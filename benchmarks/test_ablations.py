@@ -1,0 +1,152 @@
+"""Ablations of the design choices called out in DESIGN.md §5.
+
+Not figures from the paper — these quantify how much each ingredient of
+the approach contributes, on the income / lr setting:
+
+* percentile featurization granularity (step 5 vs step 25 vs raw moments),
+* the regressor family behind the performance predictor,
+* the KS features inside the performance validator,
+* the size of the corrupted meta-training set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import record_result
+from repro.core.predictor import PerformancePredictor
+from repro.core.validator import PerformanceValidator
+from repro.errors.mixture import ErrorMixture
+from repro.evaluation.harness import known_error_generators, unknown_error_generators
+from repro.evaluation.reporting import format_table
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import f1_score
+from repro.ml.tree import DecisionTreeRegressor
+
+
+def _estimation_mae(blackbox, splits, n_eval=15, seed=0, **predictor_kwargs) -> float:
+    generators = list(known_error_generators("tabular").values())
+    predictor = PerformancePredictor(
+        blackbox, generators, mode="mixture", random_state=seed, **predictor_kwargs
+    ).fit(splits.test, splits.y_test)
+    rng = np.random.default_rng(seed + 999)
+    mixture = ErrorMixture(generators, fire_prob=0.6)
+    errors = []
+    for _ in range(n_eval):
+        corrupted, _ = mixture.corrupt_random(splits.serving, rng)
+        estimate = predictor.predict(corrupted)
+        truth = blackbox.score(corrupted, splits.y_serving)
+        errors.append(abs(estimate - truth))
+    return float(np.mean(errors))
+
+
+def test_ablation_featurization(benchmark, tabular_splits, tabular_blackboxes):
+    """Percentile step 5 (paper) vs step 25 vs moments."""
+    splits = tabular_splits["income"]
+    blackbox = tabular_blackboxes[("income", "lr")]
+
+    def run():
+        return {
+            "percentiles step=5 (paper)": _estimation_mae(
+                blackbox, splits, n_samples=100, percentile_step=5
+            ),
+            "percentiles step=25": _estimation_mae(
+                blackbox, splits, n_samples=100, percentile_step=25
+            ),
+            "moments (mean/std/min/max)": _estimation_mae(
+                blackbox, splits, n_samples=100, featurizer="moments"
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(
+        "Ablation — output featurization (income, lr; MAE of accuracy estimate)",
+        format_table(["featurizer", "MAE"], [[k, f"{v:.4f}"] for k, v in results.items()]),
+    )
+    for mae in results.values():
+        assert mae < 0.1
+
+
+def test_ablation_regressor_family(benchmark, tabular_splits, tabular_blackboxes):
+    """Random forest (paper) vs gradient boosting vs a single tree."""
+    splits = tabular_splits["income"]
+    blackbox = tabular_blackboxes[("income", "xgb")]
+
+    def run():
+        return {
+            "random forest (paper)": _estimation_mae(
+                blackbox, splits, n_samples=100,
+                regressor=RandomForestRegressor(n_trees=50, max_features="third", random_state=0),
+            ),
+            "gradient boosting": _estimation_mae(
+                blackbox, splits, n_samples=100,
+                regressor=GradientBoostingRegressor(n_stages=80, random_state=0),
+            ),
+            "single tree": _estimation_mae(
+                blackbox, splits, n_samples=100,
+                regressor=DecisionTreeRegressor(max_depth=8, random_state=0),
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(
+        "Ablation — regressor behind h (income, xgb; MAE of accuracy estimate)",
+        format_table(["regressor", "MAE"], [[k, f"{v:.4f}"] for k, v in results.items()]),
+    )
+    ensembles = min(results["random forest (paper)"], results["gradient boosting"])
+    assert ensembles <= results["single tree"] + 0.02
+
+
+def test_ablation_validator_ks_features(benchmark, tabular_splits, tabular_blackboxes):
+    """KS features on vs off, evaluated on unknown serving errors."""
+    splits = tabular_splits["income"]
+    blackbox = tabular_blackboxes[("income", "lr")]
+    known = list(known_error_generators("tabular").values())
+    unknown = list(unknown_error_generators().values())
+
+    def evaluate(use_ks: bool) -> float:
+        validator = PerformanceValidator(
+            blackbox, known, threshold=0.05, n_samples=120,
+            use_ks_features=use_ks, random_state=0,
+        ).fit(splits.test, splits.y_test)
+        test_score = blackbox.score(splits.test, splits.y_test)
+        rng = np.random.default_rng(321)
+        mixture = ErrorMixture(unknown, fire_prob=0.6)
+        truths, alarms = [], []
+        for _ in range(30):
+            corrupted, _ = mixture.corrupt_random(splits.serving, rng)
+            proba = blackbox.predict_proba(corrupted)
+            truth = blackbox.score(corrupted, splits.y_serving)
+            truths.append(int(truth < 0.95 * test_score))
+            alarms.append(int(not validator.validate_from_proba(proba)))
+        return f1_score(np.asarray(truths), np.asarray(alarms))
+
+    def run():
+        return {"with KS features (paper)": evaluate(True), "without KS features": evaluate(False)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(
+        "Ablation — validator KS features (income, lr; F1 on unknown errors)",
+        format_table(["variant", "F1"], [[k, f"{v:.3f}"] for k, v in results.items()]),
+    )
+    assert results["with KS features (paper)"] > 0.5
+
+
+def test_ablation_meta_training_size(benchmark, tabular_splits, tabular_blackboxes):
+    """How many corrupted copies does the predictor need?"""
+    splits = tabular_splits["income"]
+    blackbox = tabular_blackboxes[("income", "lr")]
+
+    def run():
+        return {
+            n: _estimation_mae(blackbox, splits, n_samples=n, seed=1)
+            for n in (25, 50, 100, 200)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(
+        "Ablation — corrupted meta-training copies (income, lr; MAE)",
+        format_table(["n_samples", "MAE"], [[str(k), f"{v:.4f}"] for k, v in results.items()]),
+    )
+    assert results[200] <= results[25] + 0.02

@@ -1,0 +1,96 @@
+"""Figure 3 — prediction quality under increasing fractions of unknown errors.
+
+The predictor's training exposure to each error type is damped to
+``1 - fraction`` while serving data is corrupted at full strength.
+
+Paper shape: prediction MAE grows with the fraction of unknown errors;
+in the paper the *linear* model degrades worst, which footnote 9
+attributes to numeric blow-ups inside sklearn's SGDClassifier under
+scaling errors. Our SGD implementation uses a numerically stable softmax,
+so that artifact does not reproduce: the linear model saturates stably
+and stays predictable, while the interaction-bearing nonlinear models
+become the harder targets at full unknown-ness. The *general* claim
+(unknown errors make performance harder to predict) reproduces; the
+linear-vs-nonlinear ordering is an implementation artifact and inverts —
+see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import record_result
+from repro.evaluation.harness import unknown_fraction_errors
+from repro.evaluation.reporting import format_table
+
+FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+N_TRAIN_SAMPLES = 80
+N_EVAL_ROUNDS = 10
+# §6.1.2 fixes one random numeric + categorical column per combination; we
+# aggregate over several column draws so the figure does not hinge on one
+# lucky (or unlucky) column.
+N_COLUMN_DRAWS = 2
+
+
+def _series(blackbox, splits, seed: int) -> dict[float, np.ndarray]:
+    series: dict[float, np.ndarray] = {}
+    for fraction in FRACTIONS:
+        draws = [
+            unknown_fraction_errors(
+                blackbox, splits, unknown_fraction=fraction,
+                n_train_samples=N_TRAIN_SAMPLES, n_eval_rounds=N_EVAL_ROUNDS,
+                seed=seed + 100 * draw,
+            )
+            for draw in range(N_COLUMN_DRAWS)
+        ]
+        series[fraction] = np.concatenate(draws)
+    return series
+
+
+def test_fig3_linear_vs_nonlinear(benchmark, tabular_splits, tabular_blackboxes):
+    def run():
+        linear = _series(
+            tabular_blackboxes[("income", "lr")], tabular_splits["income"], seed=0
+        )
+        nonlinear_xgb = _series(
+            tabular_blackboxes[("income", "xgb")], tabular_splits["income"], seed=1
+        )
+        nonlinear_dnn = _series(
+            tabular_blackboxes[("heart", "dnn")], tabular_splits["heart"], seed=2
+        )
+        nonlinear = {
+            fraction: np.concatenate([nonlinear_xgb[fraction], nonlinear_dnn[fraction]])
+            for fraction in FRACTIONS
+        }
+        return linear, nonlinear
+
+    linear, nonlinear = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for fraction in FRACTIONS:
+        rows.append([
+            f"{fraction:.2f}",
+            f"{np.mean(linear[fraction]):.4f}",
+            f"{np.percentile(linear[fraction], 95):.4f}",
+            f"{np.mean(nonlinear[fraction]):.4f}",
+            f"{np.percentile(nonlinear[fraction], 95):.4f}",
+        ])
+    record_result(
+        "Figure 3 — MAE vs fraction of unknown errors (linear vs nonlinear)",
+        format_table(
+            ["unknown_frac", "linear MAE", "linear p95", "nonlinear MAE", "nonlinear p95"],
+            rows,
+        ),
+    )
+
+    linear_mae = np.array([linear[f].mean() for f in FRACTIONS])
+    nonlinear_mae = np.array([nonlinear[f].mean() for f in FRACTIONS])
+    # General shape: fully-unknown errors are harder to predict than fully
+    # known ones, for the model family that is actually damaged by them.
+    combined_known = (linear_mae[0] + nonlinear_mae[0]) / 2.0
+    combined_unknown = (linear_mae[-1] + nonlinear_mae[-1]) / 2.0
+    assert combined_unknown > combined_known
+    assert nonlinear_mae[-1] > nonlinear_mae[0]
+    # With a stable softmax the linear model never blows up (footnote 9
+    # does not reproduce), so it must remain predictable throughout.
+    assert linear_mae.max() < 0.08

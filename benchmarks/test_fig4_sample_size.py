@@ -1,0 +1,72 @@
+"""Figure 4 — sensitivity of the predictor to the held-out sample size.
+
+The performance predictor is trained from subsamples of D_test of growing
+size. Paper shape: MAE is high for tiny samples and drops to a low plateau
+after a few hundred examples, across models (lr / dnn / xgb) for missing
+values on income and outliers on heart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import record_result
+from repro.errors.tabular_errors import GaussianOutliers, MissingValues
+from repro.evaluation.harness import sample_size_errors
+from repro.evaluation.reporting import format_table
+
+SIZES = (10, 50, 100, 250, 500, 750)
+N_TRAIN_SAMPLES = 50
+N_EVAL_ROUNDS = 8
+
+PANELS = [
+    ("income", "lr", MissingValues, "missing data in income (lr)"),
+    ("income", "dnn", MissingValues, "missing data in income (dnn)"),
+    ("income", "xgb", MissingValues, "missing data in income (xgb)"),
+    ("heart", "lr", GaussianOutliers, "outliers in heart (lr)"),
+    ("heart", "dnn", GaussianOutliers, "outliers in heart (dnn)"),
+    ("heart", "xgb", GaussianOutliers, "outliers in heart (xgb)"),
+]
+
+
+def test_fig4_sample_size_sensitivity(benchmark, tabular_splits, tabular_blackboxes):
+    def run():
+        results = {}
+        for dataset, model_name, generator_cls, label in PANELS:
+            splits = tabular_splits[dataset]
+            blackbox = tabular_blackboxes[(dataset, model_name)]
+            per_size = {}
+            for size in SIZES:
+                errors = sample_size_errors(
+                    blackbox, splits, generator_cls(), test_size=size,
+                    n_train_samples=N_TRAIN_SAMPLES, n_eval_rounds=N_EVAL_ROUNDS,
+                    seed=size,
+                )
+                per_size[size] = errors
+            results[label] = per_size
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for label, per_size in results.items():
+        rows = [
+            [
+                str(size),
+                f"{errors.mean():.4f}",
+                f"{np.percentile(errors, 10):.4f}",
+                f"{np.percentile(errors, 90):.4f}",
+            ]
+            for size, errors in per_size.items()
+        ]
+        record_result(
+            f"Figure 4 — {label}",
+            format_table(["|D_test|", "MAE", "p10", "p90"], rows),
+        )
+
+    # Shape: for each panel, the large-sample MAE beats the 10-row MAE, and
+    # a few hundred examples already give a low error.
+    for label, per_size in results.items():
+        tiny = per_size[SIZES[0]].mean()
+        plateau = np.mean([per_size[s].mean() for s in SIZES[-2:]])
+        assert plateau <= tiny + 0.02, label
+        assert plateau < 0.08, label

@@ -1,0 +1,81 @@
+"""Future-work study (§7): does a richer training error pool generalize?
+
+The paper asks "whether there is a set of errors for training which
+generalizes to the majority of real world cases". This bench trains the
+performance validator twice — once on the paper's four known error types,
+once on the extended nine-generator pool — and evaluates both on the
+*unknown* serving errors (typos, smearing, sign flips). The question is
+whether broader training coverage buys better unknown-error F1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import record_result
+from repro.core.corruption import CorruptionSampler
+from repro.core.validator import PerformanceValidator
+from repro.errors.extended_errors import extended_training_pool
+from repro.errors.mixture import ErrorMixture
+from repro.evaluation.harness import known_error_generators, unknown_error_generators
+from repro.evaluation.reporting import format_table
+from repro.ml.metrics import f1_score
+
+N_TRAIN_SAMPLES = 280
+N_EVAL_ROUNDS = 40
+THRESHOLD = 0.05
+
+
+def _f1_for_pool(blackbox, splits, pool, seed) -> float:
+    rng = np.random.default_rng(seed)
+    sampler = CorruptionSampler(blackbox, pool, mode="mixture", include_clean=True)
+    samples = sampler.sample(splits.test, splits.y_test, N_TRAIN_SAMPLES, rng)
+    validator = PerformanceValidator(
+        blackbox, pool, threshold=THRESHOLD, mode="mixture", random_state=seed
+    ).fit(splits.test, splits.y_test, samples=samples)
+    test_score = blackbox.score(splits.test, splits.y_test)
+    eval_rng = np.random.default_rng(seed + 40_000)
+    mixture = ErrorMixture(list(unknown_error_generators().values()), fire_prob=0.6)
+    truths, alarms = [], []
+    for _ in range(N_EVAL_ROUNDS):
+        corrupted, _ = mixture.corrupt_random(splits.serving, eval_rng)
+        proba = blackbox.predict_proba(corrupted)
+        truth = blackbox.score(corrupted, splits.y_serving)
+        truths.append(int(truth < (1.0 - THRESHOLD) * test_score))
+        alarms.append(int(not validator.validate_from_proba(proba)))
+    return f1_score(np.asarray(truths), np.asarray(alarms))
+
+
+def test_extended_pool_generalization(benchmark, tabular_splits, tabular_blackboxes):
+    def run():
+        results = {}
+        for dataset in ("income", "heart"):
+            for model in ("lr", "xgb"):
+                blackbox = tabular_blackboxes[(dataset, model)]
+                splits = tabular_splits[dataset]
+                known = list(known_error_generators("tabular").values())
+                extended = list(extended_training_pool().values())
+                results[(dataset, model)] = (
+                    _f1_for_pool(blackbox, splits, known, seed=5),
+                    _f1_for_pool(blackbox, splits, extended, seed=5),
+                )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [f"{dataset} ({model})", f"{known_f1:.3f}", f"{extended_f1:.3f}"]
+        for (dataset, model), (known_f1, extended_f1) in results.items()
+    ]
+    record_result(
+        "Future work (§7) — unknown-error F1: known-4 pool vs extended-9 pool",
+        format_table(["combo", "known-4 F1", "extended-9 F1"], rows),
+    )
+    known_mean = float(np.mean([pair[0] for pair in results.values()]))
+    extended_mean = float(np.mean([pair[1] for pair in results.values()]))
+    record_result(
+        "Future work (§7) — mean unknown-error F1",
+        f"known-4: {known_mean:.3f}   extended-9: {extended_mean:.3f}",
+    )
+    # The study is exploratory; the guardrail is only that the richer pool
+    # does not collapse the validator.
+    assert extended_mean > 0.5

@@ -1,0 +1,52 @@
+"""Monitoring a text classifier under an adversarial leetspeak attack.
+
+The tweets scenario from the paper: trolls evade a cyber-troll detector by
+rewriting their tweets in leetspeak ("you loser" -> "y0u 1053r"), which
+destroys the hashed n-gram evidence the model relies on. A performance
+predictor trained with the LeetspeakAdversarial generator quantifies the
+damage on unlabeled traffic as the attack ramps up.
+
+Run with:  python examples/adversarial_text_monitoring.py
+"""
+
+import numpy as np
+
+from repro.core import BlackBoxModel, PerformancePredictor
+from repro.datasets import load_dataset
+from repro.errors import LeetspeakAdversarial, to_leetspeak
+from repro.ml import MLPClassifier, Pipeline, TabularEncoder
+from repro.tabular import balance_classes, split_frame, train_test_split
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    dataset = load_dataset("tweets", n_rows=3000, seed=3)
+    frame, labels = balance_classes(dataset.frame, dataset.labels, rng)
+    (source, y_source), (serving, y_serving) = split_frame(frame, labels, (0.6, 0.4), rng)
+    train, y_train, test, y_test = train_test_split(source, y_source, 0.35, rng)
+
+    pipeline = Pipeline(
+        TabularEncoder(text_features=256), MLPClassifier(epochs=25, random_state=0)
+    ).fit(train, y_train)
+    blackbox = BlackBoxModel.wrap(pipeline)
+    print(f"troll detector test accuracy: {blackbox.score(test, y_test):.3f}")
+    example = "nobody likes you loser"
+    print(f'attack example: "{example}" -> "{to_leetspeak(example)}"')
+
+    predictor = PerformancePredictor(
+        blackbox, [LeetspeakAdversarial()], n_samples=80, random_state=0
+    ).fit(test, y_test)
+
+    print("\nattack intensity vs estimated / true accuracy on unlabeled traffic")
+    print("attacked fraction   estimated   true")
+    for fraction in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0):
+        attacked = LeetspeakAdversarial().corrupt(
+            serving, rng, columns=["text"], fraction=fraction
+        )
+        estimate = predictor.predict(attacked)
+        truth = blackbox.score(attacked, y_serving)
+        print(f"{fraction:>16.0%}   {estimate:>9.3f}   {truth:.3f}")
+
+
+if __name__ == "__main__":
+    main()

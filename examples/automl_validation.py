@@ -1,0 +1,61 @@
+"""Validating models produced by automatic machine learning (§6.3).
+
+AutoML systems choose feature maps, model families and hyperparameters on
+their own, so their results are black boxes even to the team that invoked
+them. This example runs two AutoML searches (auto-sklearn- and TPOT-style
+presets), wraps the winners as black boxes, and shows that a performance
+validator tailors itself to whichever model the search returned — the
+validator never learns what was inside.
+
+Run with:  python examples/automl_validation.py
+"""
+
+import numpy as np
+
+from repro.automl import AutoMLSearch
+from repro.core import BlackBoxModel, PerformanceValidator
+from repro.datasets import load_dataset
+from repro.errors import ErrorMixture, GaussianOutliers, MissingValues, Scaling, SwappedValues
+from repro.tabular import balance_classes, split_frame, train_test_split
+
+
+def main() -> None:
+    rng = np.random.default_rng(4)
+    dataset = load_dataset("income", n_rows=4000, seed=4)
+    frame, labels = balance_classes(dataset.frame, dataset.labels, rng)
+    (source, y_source), (serving, y_serving) = split_frame(frame, labels, (0.6, 0.4), rng)
+    train, y_train, test, y_test = train_test_split(source, y_source, 0.35, rng)
+
+    generators = [MissingValues(), GaussianOutliers(), SwappedValues(), Scaling()]
+    mixture = ErrorMixture(generators, fire_prob=0.6)
+
+    for preset in ("auto-sklearn", "tpot"):
+        search = AutoMLSearch(preset=preset, n_candidates=6, random_state=4)
+        search.fit(train, y_train)
+        blackbox = BlackBoxModel.wrap(search)
+        print(
+            f"\n{preset}: picked a '{search.best_description_}' model "
+            f"(holdout accuracy {search.best_score_:.3f})"
+        )
+        print("  candidates tried:", [
+            f"{c.description}={c.score:.3f}" for c in search.candidates_
+        ])
+
+        validator = PerformanceValidator(
+            blackbox, generators, threshold=0.05, n_samples=120, random_state=0
+        ).fit(test, y_test)
+        test_score = blackbox.score(test, y_test)
+
+        correct = 0
+        episodes = 12
+        for _ in range(episodes):
+            corrupted, _ = mixture.corrupt_random(serving, rng)
+            truth = blackbox.score(corrupted, y_serving)
+            violation = truth < 0.95 * test_score
+            alarm = not validator.validate(corrupted)
+            correct += alarm == violation
+        print(f"  validator agreement with ground truth: {correct}/{episodes} episodes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""The paper's motivating scenario: monitoring an outsourced sales model.
+
+An e-commerce team hosts a model in the cloud (here: the emulated
+CloudModelService) to predict competitor product performance. One day an
+engineer ships a preprocessing bug that changes the scale of a numeric
+attribute. Ground-truth labels only arrive weeks later, so nobody would
+notice from the predictions alone — but the deployed performance
+predictor flags the degraded batches the moment they are scored.
+
+Run with:  python examples/ecommerce_monitoring.py
+"""
+
+import numpy as np
+
+from repro.automl import CloudModelService
+from repro.core import PerformancePredictor, check_serving_batch
+from repro.datasets import load_dataset
+from repro.errors import GaussianOutliers, MissingValues, Scaling, SwappedValues
+from repro.tabular import balance_classes, split_frame, train_test_split
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+
+    # The 'bank' dataset stands in for the team's customer/product data.
+    dataset = load_dataset("bank", n_rows=4000, seed=1)
+    frame, labels = balance_classes(dataset.frame, dataset.labels, rng)
+    (source, y_source), (serving, y_serving) = split_frame(frame, labels, (0.6, 0.4), rng)
+    train, y_train, test, y_test = train_test_split(source, y_source, 0.35, rng)
+
+    # Model training is outsourced: the team only ever holds a model id.
+    service = CloudModelService(random_state=0)
+    model_id = service.train(train, y_train)
+    blackbox = service.as_blackbox(model_id)
+    print(f"cloud model {model_id}: test accuracy {blackbox.score(test, y_test):.3f}")
+
+    # Deploy a performance predictor next to the model.
+    predictor = PerformancePredictor(
+        blackbox,
+        [MissingValues(), GaussianOutliers(), SwappedValues(), Scaling()],
+        n_samples=120,
+        mode="mixture",
+        random_state=0,
+    ).fit(test, y_test)
+
+    # Simulate two weeks of daily serving batches. On day 8 an engineer
+    # accidentally switches 'duration' from seconds to milliseconds.
+    print("\nday-by-day monitoring (threshold: 5% relative accuracy drop)")
+    batch_size = len(serving) // 14
+    for day in range(14):
+        rows = np.arange(day * batch_size, (day + 1) * batch_size)
+        batch = serving.select_rows(rows)
+        batch_labels = y_serving[rows]
+        if day >= 7:
+            batch = Scaling().corrupt(
+                batch, rng, columns=["duration"], fraction=1.0, factor=1000.0
+            )
+        report = check_serving_batch(predictor, batch, threshold=0.05)
+        truth = blackbox.score(batch, batch_labels)
+        marker = " <-- preprocessing bug live" if day >= 7 else ""
+        print(
+            f"  day {day + 1:>2}: {report.describe()}  true={truth:.3f}{marker}"
+        )
+    print(f"\ncloud service usage: {service.usage}")
+
+
+if __name__ == "__main__":
+    main()

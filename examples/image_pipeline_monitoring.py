@@ -1,0 +1,72 @@
+"""Monitoring an image classifier through a camera degradation incident.
+
+A convolutional network classifies product photos (sneaker vs ankle boot).
+Over a simulated incident, the upstream camera pipeline degrades in two
+phases: first sensor noise creeps in — which *looks* alarming but the
+convnet shrugs off — then a mount comes loose and images arrive rotated,
+which genuinely destroys accuracy. The BatchMonitor around the
+performance predictor stays quiet through the harmless phase and alarms
+in the harmful one, without ever seeing a label.
+
+Run with:  python examples/image_pipeline_monitoring.py
+"""
+
+import numpy as np
+
+from repro.core import BlackBoxModel, PerformancePredictor
+from repro.datasets import load_dataset
+from repro.errors import ImageNoise, ImageRotation
+from repro.ml import ConvNetClassifier, Pipeline, TabularEncoder
+from repro.monitoring import BatchMonitor
+from repro.tabular import balance_classes, split_frame, train_test_split
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    dataset = load_dataset("fashion", n_rows=2400, seed=5)
+    frame, labels = balance_classes(dataset.frame, dataset.labels, rng)
+    (source, y_source), (serving, y_serving) = split_frame(frame, labels, (0.6, 0.4), rng)
+    train, y_train, test, y_test = train_test_split(source, y_source, 0.35, rng)
+
+    model = ConvNetClassifier(
+        conv_channels=(8, 16), dense_width=64, epochs=2, random_state=0
+    )
+    pipeline = Pipeline(TabularEncoder(), model).fit(train, y_train)
+    blackbox = BlackBoxModel.wrap(pipeline)
+    print(f"convnet test accuracy: {blackbox.score(test, y_test):.3f}")
+
+    predictor = PerformancePredictor(
+        blackbox, [ImageNoise(), ImageRotation()], n_samples=80, random_state=0
+    ).fit(test, y_test)
+    monitor = BatchMonitor(predictor, threshold=0.12, patience=2)
+
+    noise = ImageNoise()
+    rotation = ImageRotation()
+    n_days = 6
+    batch_size = len(serving) // n_days
+    print(f"\n{n_days} daily batches of ~{batch_size} images (threshold 12%)")
+    for day in range(n_days):
+        rows = np.arange(day * batch_size, (day + 1) * batch_size)
+        batch = serving.select_rows(rows)
+        batch_labels = y_serving[rows]
+        phase = "healthy"
+        if 2 <= day < 4:
+            batch = noise.corrupt(batch, rng, columns=["image"], fraction=1.0, std=0.45)
+            phase = "sensor noise (harmless)"
+        elif day >= 4:
+            batch = rotation.corrupt(
+                batch, rng, columns=["image"], fraction=0.9, max_angle=120.0
+            )
+            phase = "loose mount (rotation)"
+        record = monitor.observe(batch)
+        truth = blackbox.score(batch, batch_labels)
+        flag = "SUSTAINED" if record.sustained_alarm else ("alarm" if record.alarm else "ok")
+        print(
+            f"  day {day + 1:>2} ({phase:<24}) estimate {record.estimated_score:.3f} "
+            f"true {truth:.3f} [{flag}]"
+        )
+    print("\n" + monitor.summary())
+
+
+if __name__ == "__main__":
+    main()

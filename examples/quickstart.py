@@ -1,0 +1,62 @@
+"""Quickstart: validate a black box model's predictions on unseen data.
+
+The end-to-end workflow of the paper in ~60 lines:
+
+1. train a classifier (the "black box") on the income dataset,
+2. declare the kinds of data errors you expect in production,
+3. fit a performance predictor on the held-out test split,
+4. estimate the model's accuracy on unlabeled serving batches — clean and
+   corrupted — and raise alarms when the estimate drops.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import BlackBoxModel, PerformancePredictor, check_serving_batch
+from repro.datasets import load_dataset
+from repro.errors import GaussianOutliers, MissingValues, Scaling, SwappedValues
+from repro.ml import Pipeline, SGDClassifier, TabularEncoder
+from repro.tabular import balance_classes, split_frame, train_test_split
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # -- 1. train a black box model on the source data -------------------
+    dataset = load_dataset("income", n_rows=4000, seed=0)
+    frame, labels = balance_classes(dataset.frame, dataset.labels, rng)
+    (source, y_source), (serving, y_serving) = split_frame(frame, labels, (0.6, 0.4), rng)
+    train, y_train, test, y_test = train_test_split(source, y_source, 0.35, rng)
+
+    pipeline = Pipeline(TabularEncoder(), SGDClassifier(epochs=15, random_state=0))
+    pipeline.fit(train, y_train)
+    blackbox = BlackBoxModel.wrap(pipeline)
+    print(f"black box test accuracy: {blackbox.score(test, y_test):.3f}")
+
+    # -- 2. declare the error types you expect (not their magnitudes) ----
+    expected_errors = [MissingValues(), GaussianOutliers(), SwappedValues(), Scaling()]
+
+    # -- 3. fit the performance predictor on held-out labeled data -------
+    predictor = PerformancePredictor(
+        blackbox, expected_errors, n_samples=120, random_state=0
+    )
+    predictor.fit(test, y_test)
+
+    # -- 4. check serving batches (labels unknown to the predictor!) -----
+    print("\nclean serving batch:")
+    report = check_serving_batch(predictor, serving, threshold=0.05)
+    print(" ", report.describe())
+    print(f"  (true accuracy, for reference: {blackbox.score(serving, y_serving):.4f})")
+
+    print("\nserving batch with a unit mix-up (one column scaled by 1000):")
+    buggy = Scaling().corrupt(
+        serving, rng, columns=["capital_gain", "age"], fraction=0.8, factor=1000.0
+    )
+    report = check_serving_batch(predictor, buggy, threshold=0.05)
+    print(" ", report.describe())
+    print(f"  (true accuracy, for reference: {blackbox.score(buggy, y_serving):.4f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so editable installs must use the classic setup.py develop code path."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Learning to validate the predictions of black box classifiers "
+        "on unseen data (SIGMOD 2020 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

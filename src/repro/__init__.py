@@ -1,0 +1,56 @@
+"""repro — Learning to Validate the Predictions of Black Box Classifiers
+on Unseen Data (SIGMOD 2020 reproduction).
+
+Public API tour
+---------------
+* :mod:`repro.core` — the paper's contribution: :class:`PerformancePredictor`
+  (estimate a black box classifier's score on unlabeled serving data) and
+  :class:`PerformanceValidator` (decide whether a score drop exceeds a
+  tolerance), plus the :class:`BlackBoxModel` wrapper.
+* :mod:`repro.errors` — programmatic error generators (missing values,
+  outliers, scaling bugs, swapped columns, adversarial text, image noise,
+  ...) and mixtures thereof.
+* :mod:`repro.baselines` — task-independent shift detectors (REL, BBSE,
+  BBSEh) the paper compares against.
+* :mod:`repro.tabular` / :mod:`repro.ml` / :mod:`repro.stats` — the
+  self-contained substrates (typed dataframe, mini scikit-learn, hypothesis
+  tests) everything is built on.
+* :mod:`repro.datasets` — synthetic stand-ins for the paper's six datasets.
+* :mod:`repro.automl` — AutoML search and the emulated cloud model service.
+* :mod:`repro.evaluation` — the experiment harness behind the benchmarks.
+"""
+
+from repro.core import (
+    BlackBoxModel,
+    PerformancePredictor,
+    PerformanceValidator,
+    ValidationReport,
+    check_serving_batch,
+    prediction_statistics,
+)
+from repro.exceptions import (
+    CorruptionError,
+    DataValidationError,
+    NotFittedError,
+    ReproError,
+    SchemaError,
+    ServiceError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlackBoxModel",
+    "CorruptionError",
+    "DataValidationError",
+    "NotFittedError",
+    "PerformancePredictor",
+    "PerformanceValidator",
+    "ReproError",
+    "SchemaError",
+    "ServiceError",
+    "ValidationReport",
+    "check_serving_batch",
+    "prediction_statistics",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""AutoML substrates for §6.3: local pipeline search (auto-sklearn / TPOT /
+auto-keras stand-ins) and the emulated cloud AutoML Tables service."""
+
+from repro.automl.cloud import CloudModelService, ServiceUsage
+from repro.automl.search import PRESETS, AutoMLSearch, SearchCandidate
+
+__all__ = [
+    "AutoMLSearch",
+    "CloudModelService",
+    "PRESETS",
+    "SearchCandidate",
+    "ServiceUsage",
+]

@@ -1,0 +1,137 @@
+"""Emulation of a cloud-hosted AutoML service (Google AutoML Tables stand-in).
+
+§6.3.2 of the paper trains a model with Google AutoML Tables: the learning
+algorithm and feature map live behind an RPC boundary and the client only
+ever sees predicted probabilities. :class:`CloudModelService` reproduces
+that constraint locally: ``train`` returns an opaque model id, ``predict``
+is the only way to touch the model, the internals (a soft-voting ensemble
+chosen by a hidden search) are private attributes the public API never
+exposes, and requests are validated / metered like a remote service would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blackbox import BlackBoxModel
+from repro.exceptions import ServiceError
+from repro.ml.base import as_rng, softmax
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.neural import MLPClassifier
+from repro.ml.pipeline import Pipeline, TabularEncoder
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import Schema
+
+
+@dataclass
+class _HostedModel:
+    """Private server-side state for one trained model."""
+
+    schema: Schema
+    classes: np.ndarray
+    members: list[Pipeline]
+    weights: np.ndarray
+    prediction_count: int = 0
+
+
+@dataclass
+class ServiceUsage:
+    """Client-visible request metering."""
+
+    train_requests: int = 0
+    predict_requests: int = 0
+    rows_predicted: int = 0
+
+
+class CloudModelService:
+    """An opaque train-and-predict service.
+
+    The client workflow mirrors a cloud AutoML product::
+
+        service = CloudModelService()
+        model_id = service.train(train_frame, labels)
+        proba = service.predict(model_id, serving_frame)
+
+    Nothing about the hosted ensemble (member families, hyperparameters,
+    feature encoding) is reachable through the public API.
+    """
+
+    def __init__(self, random_state: int | None = 0):
+        self.random_state = random_state
+        self._models: dict[str, _HostedModel] = {}
+        self.usage = ServiceUsage()
+
+    def train(self, frame: DataFrame, labels: np.ndarray) -> str:
+        """Train a hidden ensemble; returns an opaque model id."""
+        if len(frame) < 20:
+            raise ServiceError("training requires at least 20 rows")
+        if len(frame) != len(labels):
+            raise ServiceError("frame and labels must be aligned")
+        self.usage.train_requests += 1
+        rng = as_rng(self.random_state)
+        # Hidden model search: the 'service' trains several families and
+        # soft-votes them with holdout-accuracy weights.
+        members = [
+            Pipeline(TabularEncoder(), GradientBoostingClassifier(
+                n_stages=40, max_depth=3, random_state=int(rng.integers(2**31)))),
+            Pipeline(TabularEncoder(), MLPClassifier(
+                epochs=25, random_state=int(rng.integers(2**31)))),
+            Pipeline(TabularEncoder(), RandomForestClassifier(
+                n_trees=40, max_depth=10, random_state=int(rng.integers(2**31)))),
+        ]
+        split = int(0.8 * len(frame))
+        order = rng.permutation(len(frame))
+        fit_rows, holdout_rows = order[:split], order[split:]
+        fit_frame = frame.select_rows(fit_rows)
+        holdout_frame = frame.select_rows(holdout_rows)
+        weights = []
+        for member in members:
+            member.fit(fit_frame, labels[fit_rows])
+            holdout_accuracy = float(
+                np.mean(member.predict(holdout_frame) == labels[holdout_rows])
+            )
+            weights.append(holdout_accuracy)
+        weight_vector = softmax(10.0 * np.asarray(weights).reshape(1, -1)).ravel()
+        model_id = "automl-tables-" + hashlib.blake2b(
+            repr((frame.schema.names, len(frame), self.usage.train_requests)).encode(),
+            digest_size=6,
+        ).hexdigest()
+        self._models[model_id] = _HostedModel(
+            schema=frame.schema,
+            classes=members[0].classes_,
+            members=members,
+            weights=weight_vector,
+        )
+        return model_id
+
+    def predict(self, model_id: str, frame: DataFrame) -> np.ndarray:
+        """Predicted class probabilities for a batch of rows."""
+        model = self._models.get(model_id)
+        if model is None:
+            raise ServiceError(f"unknown model id {model_id!r}")
+        if frame.schema != model.schema:
+            raise ServiceError("request schema does not match the trained model schema")
+        self.usage.predict_requests += 1
+        self.usage.rows_predicted += len(frame)
+        model.prediction_count += len(frame)
+        stacked = np.zeros((len(frame), len(model.classes)))
+        for weight, member in zip(model.weights, model.members):
+            stacked += weight * member.predict_proba(frame)
+        return stacked / stacked.sum(axis=1, keepdims=True)
+
+    def classes(self, model_id: str) -> np.ndarray:
+        """The class labels of a hosted model (part of any prediction API)."""
+        model = self._models.get(model_id)
+        if model is None:
+            raise ServiceError(f"unknown model id {model_id!r}")
+        return model.classes.copy()
+
+    def as_blackbox(self, model_id: str) -> BlackBoxModel:
+        """Wrap a hosted model for use with the performance predictor."""
+        return BlackBoxModel(
+            lambda frame: self.predict(model_id, frame), classes=self.classes(model_id)
+        )

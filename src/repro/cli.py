@@ -1,0 +1,242 @@
+"""Command-line interface: generate data, train, validate, monitor.
+
+Exposes the library's end-to-end workflow without writing Python::
+
+    python -m repro datasets
+    python -m repro generate --dataset income --rows 2000 --out income.npz
+    python -m repro train --data income.npz --model xgb --out deployed/
+    python -m repro check --artifacts deployed/ --data income.npz --corrupt scaling
+    python -m repro monitor --artifacts deployed/ --data income.npz --batches 10
+
+``train`` persists three artifacts into the output directory: the fitted
+pipeline (``model.npz``), the performance predictor (``predictor.npz``)
+and the held-out evaluation summary (``info.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import persistence
+from repro.core.alarms import check_serving_batch
+from repro.core.blackbox import BlackBoxModel
+from repro.core.predictor import PerformancePredictor
+from repro.datasets.base import dataset_names, load_dataset
+from repro.errors.base import ErrorGen
+from repro.evaluation.harness import known_error_generators
+from repro.evaluation.models import MODEL_NAMES, make_model
+from repro.exceptions import ReproError
+from repro.ml.pipeline import Pipeline, TabularEncoder
+from repro.monitoring import BatchMonitor
+from repro.tabular.ops import balance_classes, split_frame, train_test_split
+
+
+def _add_datasets_command(subparsers) -> None:
+    parser = subparsers.add_parser("datasets", help="list available dataset generators")
+    parser.set_defaults(handler=_run_datasets)
+
+
+def _run_datasets(_args) -> int:
+    for name in dataset_names():
+        dataset = load_dataset(name, n_rows=10, seed=0)
+        print(f"{name:<10} task={dataset.task:<8} {dataset.description}")
+    return 0
+
+
+def _add_generate_command(subparsers) -> None:
+    parser = subparsers.add_parser("generate", help="generate and serialize a dataset")
+    parser.add_argument("--dataset", required=True, choices=dataset_names())
+    parser.add_argument("--rows", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", required=True, help="output .npz path")
+    parser.set_defaults(handler=_run_generate)
+
+
+def _run_generate(args) -> int:
+    dataset = load_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+    persistence.save_dataset(dataset, args.out)
+    print(f"wrote {args.dataset} ({dataset.n_rows} rows) to {args.out}")
+    return 0
+
+
+def _add_train_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "train", help="train a black box + performance predictor from a dataset file"
+    )
+    parser.add_argument("--data", required=True, help="dataset .npz from `generate`")
+    parser.add_argument("--model", default="lr", choices=MODEL_NAMES)
+    parser.add_argument("--meta-samples", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", required=True, help="output artifact directory")
+    parser.set_defaults(handler=_run_train)
+
+
+def _split(dataset, seed):
+    rng = np.random.default_rng(seed + 1)
+    frame, labels = balance_classes(dataset.frame, dataset.labels, rng)
+    (source, y_source), (serving, y_serving) = split_frame(frame, labels, (0.6, 0.4), rng)
+    train, y_train, test, y_test = train_test_split(source, y_source, 0.35, rng)
+    return train, y_train, test, y_test, serving, y_serving
+
+
+def _run_train(args) -> int:
+    dataset = persistence.load_dataset_file(args.data)
+    train, y_train, test, y_test, _, _ = _split(dataset, args.seed)
+    pipeline = Pipeline(TabularEncoder(), make_model(args.model, random_state=args.seed))
+    pipeline.fit(train, y_train)
+    blackbox = BlackBoxModel.wrap(pipeline)
+    test_score = blackbox.score(test, y_test)
+    generators = list(known_error_generators(dataset.task).values())
+    predictor = PerformancePredictor(
+        blackbox, generators, n_samples=args.meta_samples, random_state=args.seed
+    ).fit(test, y_test)
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    persistence.save_model(pipeline, out / "model.npz")
+    persistence.save_model(predictor, out / "predictor.npz")
+    info = {
+        "dataset": dataset.name,
+        "model": args.model,
+        "test_score": test_score,
+        "error_generators": [generator.name for generator in generators],
+        "meta_samples": args.meta_samples,
+    }
+    (out / "info.json").write_text(json.dumps(info, indent=2))
+    print(f"trained {args.model} on {dataset.name}: test accuracy {test_score:.4f}")
+    print(f"artifacts written to {out}/ (model.npz, predictor.npz, info.json)")
+    return 0
+
+
+def _corruption_by_name(name: str, task: str) -> ErrorGen:
+    generators = known_error_generators(task)
+    if name not in generators:
+        raise ReproError(
+            f"unknown corruption {name!r} for task {task!r}; have {sorted(generators)}"
+        )
+    return generators[name]
+
+
+def _load_artifacts(artifact_dir: str):
+    out = Path(artifact_dir)
+    pipeline = persistence.load_model(out / "model.npz", expected_class=Pipeline)
+    predictor = persistence.load_model(
+        out / "predictor.npz", expected_class=PerformancePredictor
+    )
+    info = json.loads((out / "info.json").read_text())
+    return pipeline, predictor, info
+
+
+def _add_check_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "check", help="estimate accuracy on a serving batch and decide trust"
+    )
+    parser.add_argument("--artifacts", required=True, help="directory from `train`")
+    parser.add_argument("--data", required=True, help="dataset .npz providing serving rows")
+    parser.add_argument("--threshold", type=float, default=0.05)
+    parser.add_argument(
+        "--corrupt", default=None,
+        help="optionally corrupt the batch first (e.g. scaling, missing_values)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.set_defaults(handler=_run_check)
+
+
+def _run_check(args) -> int:
+    _, predictor, info = _load_artifacts(args.artifacts)
+    dataset = persistence.load_dataset_file(args.data)
+    _, _, _, _, serving, y_serving = _split(dataset, args.seed)
+    rng = np.random.default_rng(args.seed + 99)
+    if args.corrupt:
+        generator = _corruption_by_name(args.corrupt, dataset.task)
+        serving, report = generator.corrupt_random(serving, rng)
+        print(f"applied {report.error_name} with params {report.params}")
+    result = check_serving_batch(predictor, serving, threshold=args.threshold)
+    print(result.describe())
+    truth = BlackBoxModel.wrap(
+        persistence.load_model(Path(args.artifacts) / "model.npz", Pipeline)
+    ).score(serving, y_serving)
+    print(f"(true accuracy, available only in this sandbox: {truth:.4f})")
+    return 1 if result.alarm else 0
+
+
+def _add_monitor_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "monitor", help="stream serving batches through a BatchMonitor"
+    )
+    parser.add_argument("--artifacts", required=True)
+    parser.add_argument("--data", required=True)
+    parser.add_argument("--batches", type=int, default=10)
+    parser.add_argument("--threshold", type=float, default=0.05)
+    parser.add_argument(
+        "--break-after", type=int, default=None,
+        help="inject a scaling bug starting at this batch index",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.set_defaults(handler=_run_monitor)
+
+
+def _run_monitor(args) -> int:
+    _, predictor, _ = _load_artifacts(args.artifacts)
+    dataset = persistence.load_dataset_file(args.data)
+    _, _, _, _, serving, _ = _split(dataset, args.seed)
+    monitor = BatchMonitor(predictor, threshold=args.threshold)
+    rng = np.random.default_rng(args.seed + 7)
+    batch_size = max(1, len(serving) // args.batches)
+    exit_code = 0
+    for index in range(args.batches):
+        rows = np.arange(index * batch_size, min((index + 1) * batch_size, len(serving)))
+        if rows.size == 0:
+            break
+        batch = serving.select_rows(rows)
+        if args.break_after is not None and index >= args.break_after:
+            generator = _corruption_by_name(
+                "scaling" if dataset.task == "tabular" else
+                ("image_noise" if dataset.task == "image" else "adversarial"),
+                dataset.task,
+            )
+            params = generator.sample_params(batch, rng)
+            params["fraction"] = 1.0
+            batch = generator.corrupt(batch, rng, **params)
+        record = monitor.observe(batch)
+        flag = "SUSTAINED" if record.sustained_alarm else ("alarm" if record.alarm else "ok")
+        print(
+            f"batch {record.batch_index:>3}: estimate {record.estimated_score:.4f} "
+            f"smoothed {record.smoothed_score:.4f} [{flag}]"
+        )
+        if record.sustained_alarm:
+            exit_code = 1
+    print(monitor.summary())
+    return exit_code
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Validate black box classifier predictions on unseen data",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_datasets_command(subparsers)
+    _add_generate_command(subparsers)
+    _add_train_command(subparsers)
+    _add_check_command(subparsers)
+    _add_monitor_command(subparsers)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

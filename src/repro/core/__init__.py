@@ -1,0 +1,29 @@
+"""The paper's core contribution: performance prediction and validation
+for black box classifiers on unseen, unlabeled serving data."""
+
+from repro.core.alarms import ValidationReport, check_serving_batch
+from repro.core.blackbox import BlackBoxModel, SupportsPredictProba
+from repro.core.corruption import CorruptionSample, CorruptionSampler
+from repro.core.featurize import (
+    ks_output_features,
+    predicted_class_fractions,
+    prediction_statistics,
+)
+from repro.core.predictor import PerformancePredictor, default_regressor
+from repro.core.validator import PerformanceValidator, default_validator_model
+
+__all__ = [
+    "BlackBoxModel",
+    "CorruptionSample",
+    "CorruptionSampler",
+    "PerformancePredictor",
+    "PerformanceValidator",
+    "SupportsPredictProba",
+    "ValidationReport",
+    "check_serving_batch",
+    "default_regressor",
+    "default_validator_model",
+    "ks_output_features",
+    "predicted_class_fractions",
+    "prediction_statistics",
+]

@@ -1,0 +1,64 @@
+"""Serving-time alarm helpers.
+
+The end of the paper's pipeline: a serving system inspects the estimated
+score for each incoming batch and raises an alarm when the estimate falls
+significantly below the expected (held-out test) score. These helpers
+package that decision with enough context to act on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.predictor import PerformancePredictor
+from repro.exceptions import DataValidationError
+from repro.tabular.frame import DataFrame
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of checking one serving batch."""
+
+    estimated_score: float
+    expected_score: float
+    threshold: float
+    alarm: bool
+
+    @property
+    def relative_drop(self) -> float:
+        """Estimated relative score drop (positive = degradation)."""
+        if self.expected_score == 0.0:
+            return 0.0
+        return (self.expected_score - self.estimated_score) / self.expected_score
+
+    def describe(self) -> str:
+        state = "ALARM" if self.alarm else "ok"
+        return (
+            f"[{state}] estimated={self.estimated_score:.4f} "
+            f"expected={self.expected_score:.4f} "
+            f"drop={100 * self.relative_drop:+.2f}% "
+            f"(tolerance {100 * self.threshold:.0f}%)"
+        )
+
+
+def check_serving_batch(
+    predictor: PerformancePredictor,
+    serving_frame: DataFrame,
+    threshold: float = 0.05,
+) -> ValidationReport:
+    """Estimate the score on a serving batch and decide whether to alarm.
+
+    Alarms when the estimate drops more than ``threshold`` (relative)
+    below the score observed on held-out test data at training time.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise DataValidationError(f"threshold must be in (0, 1), got {threshold}")
+    estimate = predictor.predict(serving_frame)
+    expected = predictor.test_score_
+    alarm = estimate < (1.0 - threshold) * expected
+    return ValidationReport(
+        estimated_score=estimate,
+        expected_score=expected,
+        threshold=threshold,
+        alarm=alarm,
+    )

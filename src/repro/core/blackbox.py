@@ -1,0 +1,97 @@
+"""Black box model wrapper.
+
+The approach only ever touches a deployed model through this interface:
+``predict_proba`` on relational data, the list of classes, and nothing
+else — no feature map, no weights, no training internals. Anything
+exposing those two members (our :class:`~repro.ml.pipeline.Pipeline`, an
+AutoML result, or the emulated cloud service) can be wrapped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.ml.metrics import accuracy_score, roc_auc_score
+from repro.tabular.frame import DataFrame
+
+
+@runtime_checkable
+class SupportsPredictProba(Protocol):
+    """Anything that can produce class probabilities for a typed frame."""
+
+    classes_: np.ndarray
+
+    def predict_proba(self, frame: DataFrame) -> np.ndarray: ...
+
+
+class BlackBoxModel:
+    """Opaque handle on a deployed classifier.
+
+    Parameters
+    ----------
+    predict_proba:
+        Callable mapping a frame to an ``(n, m)`` probability matrix, or an
+        object with a ``predict_proba`` method.
+    classes:
+        Class labels aligned with the probability columns.
+    """
+
+    def __init__(
+        self,
+        predict_proba: Callable[[DataFrame], np.ndarray] | SupportsPredictProba,
+        classes: np.ndarray | None = None,
+    ):
+        if callable(predict_proba) and not hasattr(predict_proba, "predict_proba"):
+            if classes is None:
+                raise DataValidationError(
+                    "wrapping a bare callable requires explicit class labels"
+                )
+            self._predict_proba = predict_proba
+            self.classes = np.asarray(classes)
+        else:
+            model = predict_proba
+            self._predict_proba = model.predict_proba  # type: ignore[union-attr]
+            self.classes = np.asarray(
+                classes if classes is not None else model.classes_  # type: ignore[union-attr]
+            )
+        if len(self.classes) < 2:
+            raise DataValidationError("black box model must have at least two classes")
+
+    @classmethod
+    def wrap(cls, model: SupportsPredictProba) -> "BlackBoxModel":
+        """Wrap a fitted pipeline / estimator exposing predict_proba + classes_."""
+        return cls(model)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+    def predict_proba(self, frame: DataFrame) -> np.ndarray:
+        proba = np.asarray(self._predict_proba(frame), dtype=np.float64)
+        if proba.ndim != 2 or proba.shape[0] != len(frame):
+            raise DataValidationError(
+                f"model returned shape {proba.shape} for {len(frame)} rows"
+            )
+        if proba.shape[1] != self.n_classes:
+            raise DataValidationError(
+                f"model returned {proba.shape[1]} columns for {self.n_classes} classes"
+            )
+        return proba
+
+    def predict(self, frame: DataFrame) -> np.ndarray:
+        return self.classes[np.argmax(self.predict_proba(frame), axis=1)]
+
+    def score(self, frame: DataFrame, labels: np.ndarray, metric: str = "accuracy") -> float:
+        """True score on labeled data — computable only in the training sandbox."""
+        proba = self.predict_proba(frame)
+        predictions = self.classes[np.argmax(proba, axis=1)]
+        if metric == "accuracy":
+            return accuracy_score(labels, predictions)
+        if metric == "roc_auc":
+            if self.n_classes != 2:
+                raise DataValidationError("roc_auc scoring requires a binary task")
+            return roc_auc_score(labels, proba[:, 1], positive=self.classes[1])
+        raise DataValidationError(f"unknown metric {metric!r}; use accuracy or roc_auc")

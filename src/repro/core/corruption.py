@@ -1,0 +1,98 @@
+"""Meta-dataset construction: corrupt held-out data, score the black box.
+
+This implements the loop in the paper's Algorithm 1 (lines 3-12): apply
+each user-specified error generator to the held-out test data with random
+magnitudes, record the black box model's output statistics and its true
+score on every corrupted copy, and collect them as supervised examples
+``(features, score)`` for the performance predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.blackbox import BlackBoxModel
+from repro.errors.base import CorruptionReport, ErrorGen
+from repro.errors.mixture import ErrorMixture
+from repro.exceptions import DataValidationError
+from repro.tabular.frame import DataFrame
+
+
+@dataclass(frozen=True)
+class CorruptionSample:
+    """One corrupted copy of the test data and the black box's behaviour on it."""
+
+    proba: np.ndarray
+    score: float
+    reports: tuple[CorruptionReport, ...]
+
+
+class CorruptionSampler:
+    """Draws corrupted copies of held-out data and scores the black box.
+
+    Parameters
+    ----------
+    blackbox:
+        The wrapped deployed model.
+    error_generators:
+        The user's specification of expected error types.
+    mode:
+        ``"single"`` applies one generator per sample, cycling through the
+        generators (the §6.1 known-error protocol); ``"mixture"`` applies a
+        random subset of generators per sample (the §6.2 validation
+        protocol).
+    include_clean:
+        Always include an uncorrupted copy (the ``p_err = 0`` case).
+    """
+
+    def __init__(
+        self,
+        blackbox: BlackBoxModel,
+        error_generators: Sequence[ErrorGen],
+        metric: str = "accuracy",
+        mode: str = "single",
+        include_clean: bool = True,
+        fire_prob: float = 0.6,
+    ):
+        if not error_generators:
+            raise DataValidationError("need at least one error generator")
+        if mode not in ("single", "mixture"):
+            raise DataValidationError(f"unknown mode {mode!r}; use single or mixture")
+        self.blackbox = blackbox
+        self.error_generators = list(error_generators)
+        self.metric = metric
+        self.mode = mode
+        self.include_clean = include_clean
+        self.fire_prob = fire_prob
+
+    def sample(
+        self,
+        test_frame: DataFrame,
+        test_labels: np.ndarray,
+        n_samples: int,
+        rng: np.random.Generator,
+    ) -> list[CorruptionSample]:
+        """Generate ``n_samples`` corrupted copies plus optional clean ones."""
+        if n_samples < 1:
+            raise DataValidationError(f"n_samples must be >= 1, got {n_samples}")
+        samples: list[CorruptionSample] = []
+        if self.include_clean:
+            proba = self.blackbox.predict_proba(test_frame)
+            score = self.blackbox.score(test_frame, test_labels, self.metric)
+            samples.append(CorruptionSample(proba=proba, score=score, reports=()))
+        mixture = ErrorMixture(self.error_generators, fire_prob=self.fire_prob)
+        for index in range(n_samples):
+            if self.mode == "single":
+                generator = self.error_generators[index % len(self.error_generators)]
+                corrupted, report = generator.corrupt_random(test_frame, rng)
+                reports: tuple[CorruptionReport, ...] = (report,)
+            else:
+                corrupted, report_list = mixture.corrupt_random(test_frame, rng)
+                reports = tuple(report_list)
+            proba = self.blackbox.predict_proba(corrupted)
+            score = self.blackbox.score(corrupted, test_labels, self.metric)
+            samples.append(CorruptionSample(proba=proba, score=score, reports=reports))
+        return samples

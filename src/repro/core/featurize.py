@@ -1,0 +1,71 @@
+"""Featurization of black box model outputs.
+
+``prediction_statistics`` is the function of the same name in the paper's
+Algorithms 1 & 2: a univariate non-parametric summary (class-wise
+percentiles) of the model's output distribution. The validator augments it
+with Kolmogorov-Smirnov statistics comparing serving-time outputs against
+the retained test-time outputs (following Lipton et al.'s BBSE signal).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.stats.descriptive import matrix_moments, matrix_percentiles
+from repro.stats.tests import ks_two_sample
+
+FEATURIZERS = ("percentiles", "moments")
+
+
+def prediction_statistics(
+    proba: np.ndarray, step: int = 5, featurizer: str = "percentiles"
+) -> np.ndarray:
+    """Summarize an (n, m) probability matrix into a fixed-width vector.
+
+    The default collects the 0th, 5th, ..., 100th percentile of each class
+    column (the paper's featurization); ``featurizer="moments"`` is the
+    coarser ablation (mean / std / min / max per class).
+    """
+    proba = np.asarray(proba, dtype=np.float64)
+    if proba.ndim != 2:
+        raise DataValidationError(f"expected (n, m) probabilities, got {proba.shape}")
+    if featurizer == "percentiles":
+        return matrix_percentiles(proba, step=step)
+    if featurizer == "moments":
+        return matrix_moments(proba)
+    raise DataValidationError(f"unknown featurizer {featurizer!r}; have {FEATURIZERS}")
+
+
+def ks_output_features(proba: np.ndarray, proba_reference: np.ndarray) -> np.ndarray:
+    """Per-class KS statistic and p-value between two output distributions.
+
+    Compares the model's class-probability columns on (potentially
+    corrupted) serving data against its columns on the clean held-out test
+    data — the hypothesis-test features the performance validator adds on
+    top of the percentiles.
+    """
+    proba = np.asarray(proba, dtype=np.float64)
+    proba_reference = np.asarray(proba_reference, dtype=np.float64)
+    if proba.ndim != 2 or proba_reference.ndim != 2:
+        raise DataValidationError("both probability matrices must be 2-d")
+    if proba.shape[1] != proba_reference.shape[1]:
+        raise DataValidationError(
+            f"class count mismatch: {proba.shape[1]} vs {proba_reference.shape[1]}"
+        )
+    features = []
+    for column in range(proba.shape[1]):
+        result = ks_two_sample(proba[:, column], proba_reference[:, column])
+        features.append(result.statistic)
+        features.append(result.p_value)
+    return np.asarray(features)
+
+
+def predicted_class_fractions(proba: np.ndarray) -> np.ndarray:
+    """Fraction of rows argmax-assigned to each class (BBSEh-style signal)."""
+    proba = np.asarray(proba, dtype=np.float64)
+    if proba.ndim != 2 or proba.shape[0] == 0:
+        raise DataValidationError(f"expected a non-empty (n, m) matrix, got {proba.shape}")
+    assignments = np.argmax(proba, axis=1)
+    counts = np.bincount(assignments, minlength=proba.shape[1])
+    return counts / proba.shape[0]

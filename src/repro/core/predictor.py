@@ -1,0 +1,210 @@
+"""The performance predictor (paper Algorithms 1 & 2).
+
+Learns a regression model ``h`` mapping statistics of the black box
+model's outputs to the score the black box achieves, by training on
+synthetically corrupted copies of held-out labeled data. At serving time,
+``h`` estimates the score on unseen *unlabeled* data from the same output
+statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.blackbox import BlackBoxModel
+from repro.core.corruption import CorruptionSample, CorruptionSampler
+from repro.core.featurize import prediction_statistics
+from repro.errors.base import ErrorGen
+from repro.exceptions import DataValidationError, NotFittedError
+from repro.ml.base import Estimator, as_rng
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.model_selection import GridSearchCV
+from repro.tabular.frame import DataFrame
+
+DEFAULT_FOREST_GRID = (20, 50, 100)
+
+
+def default_regressor(random_state: int | None = 0) -> GridSearchCV:
+    """The paper's choice of ``h``: a random forest regressor whose number
+    of trees is grid-searched with five-fold cross-validation."""
+    return GridSearchCV(
+        RandomForestRegressor(max_features="third", random_state=random_state),
+        param_grid={"n_trees": list(DEFAULT_FOREST_GRID)},
+        n_splits=5,
+        random_state=random_state,
+    )
+
+
+class PerformancePredictor:
+    """Estimates a black box classifier's score on unlabeled serving data.
+
+    Parameters
+    ----------
+    blackbox:
+        The deployed model, wrapped as a :class:`BlackBoxModel`.
+    error_generators:
+        The user's programmatic specification of expected error types.
+    metric:
+        Score to predict: ``"accuracy"`` (default) or ``"roc_auc"``.
+    n_samples:
+        Number of corrupted copies of the held-out data used to train ``h``.
+    mode:
+        Corruption protocol: ``"single"`` (one error type per copy) or
+        ``"mixture"`` (random subsets of error types per copy).
+    featurizer / percentile_step:
+        Output featurization; the paper uses class-wise percentiles at
+        step 5.
+    regressor:
+        Estimator used for ``h``; defaults to the paper's CV-tuned random
+        forest. Anything with fit/predict over matrices works (ablations
+        pass gradient boosting or a linear model here).
+    """
+
+    def __init__(
+        self,
+        blackbox: BlackBoxModel,
+        error_generators: Sequence[ErrorGen],
+        metric: str = "accuracy",
+        n_samples: int = 150,
+        mode: str = "single",
+        featurizer: str = "percentiles",
+        percentile_step: int = 5,
+        regressor: Estimator | None = None,
+        include_clean: bool = True,
+        fire_prob: float = 0.6,
+        random_state: int | None = 0,
+    ):
+        self.blackbox = blackbox
+        self.error_generators = list(error_generators)
+        self.metric = metric
+        self.n_samples = n_samples
+        self.mode = mode
+        self.featurizer = featurizer
+        self.percentile_step = percentile_step
+        self.regressor = regressor
+        self.include_clean = include_clean
+        self.fire_prob = fire_prob
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1: training
+    # ------------------------------------------------------------------ #
+
+    def _featurize(self, proba: np.ndarray) -> np.ndarray:
+        return prediction_statistics(
+            proba, step=self.percentile_step, featurizer=self.featurizer
+        )
+
+    def fit(
+        self,
+        test_frame: DataFrame,
+        test_labels: np.ndarray,
+        samples: list[CorruptionSample] | None = None,
+    ) -> "PerformancePredictor":
+        """Train ``h`` on corrupted copies of the held-out test data.
+
+        ``samples`` allows callers that already ran a
+        :class:`CorruptionSampler` (e.g. to share corruptions between a
+        predictor and a validator) to skip regeneration.
+        """
+        if len(test_frame) != len(test_labels):
+            raise DataValidationError("test frame and labels must be aligned")
+        rng = as_rng(self.random_state)
+        self.test_score_ = self.blackbox.score(test_frame, test_labels, self.metric)
+        if samples is None:
+            sampler = CorruptionSampler(
+                self.blackbox,
+                self.error_generators,
+                metric=self.metric,
+                mode=self.mode,
+                include_clean=self.include_clean,
+                fire_prob=self.fire_prob,
+            )
+            samples = sampler.sample(test_frame, test_labels, self.n_samples, rng)
+        self.meta_features_ = np.stack([self._featurize(s.proba) for s in samples])
+        self.meta_scores_ = np.asarray([s.score for s in samples])
+        regressor = self.regressor if self.regressor is not None else default_regressor(
+            self.random_state
+        )
+        self.regressor_ = regressor
+        self._calibrate(rng)
+        self.regressor_.fit(self.meta_features_, self.meta_scores_)  # type: ignore[attr-defined]
+        return self
+
+    def _calibrate(self, rng: np.random.Generator) -> None:
+        """Split-conformal calibration of the estimate's error quantiles.
+
+        A fraction of the corrupted meta-examples is held out, a clone of
+        the regressor is fitted on the rest, and the absolute residuals on
+        the held-out part become the calibration scores behind
+        :meth:`predict_interval`. The final regressor is then refitted on
+        everything.
+        """
+        from repro.ml.base import clone as clone_estimator
+
+        n = len(self.meta_scores_)
+        n_calibration = max(5, int(0.2 * n))
+        if n - n_calibration < 10:
+            self.calibration_residuals_ = None
+            return
+        order = rng.permutation(n)
+        hold, fit_rows = order[:n_calibration], order[n_calibration:]
+        proxy = clone_estimator(self.regressor_)
+        proxy.fit(self.meta_features_[fit_rows], self.meta_scores_[fit_rows])  # type: ignore[attr-defined]
+        predictions = np.clip(proxy.predict(self.meta_features_[hold]), 0.0, 1.0)  # type: ignore[attr-defined]
+        self.calibration_residuals_ = np.abs(predictions - self.meta_scores_[hold])
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 2: serving-time estimation
+    # ------------------------------------------------------------------ #
+
+    def predict(self, serving_frame: DataFrame) -> float:
+        """Estimated score of the black box on an unlabeled serving batch."""
+        if not hasattr(self, "regressor_"):
+            raise NotFittedError("PerformancePredictor is not fitted; call fit() first")
+        proba = self.blackbox.predict_proba(serving_frame)
+        return self.predict_from_proba(proba)
+
+    def predict_from_proba(self, proba: np.ndarray) -> float:
+        """Estimated score from an already-computed probability matrix."""
+        if not hasattr(self, "regressor_"):
+            raise NotFittedError("PerformancePredictor is not fitted; call fit() first")
+        features = self._featurize(proba).reshape(1, -1)
+        estimate = float(self.regressor_.predict(features)[0])  # type: ignore[attr-defined]
+        # Scores live in [0, 1]; keep the regressor honest at the borders.
+        return float(np.clip(estimate, 0.0, 1.0))
+
+    def predict_interval(
+        self, serving_frame: DataFrame, coverage: float = 0.8
+    ) -> tuple[float, float, float]:
+        """(lower, estimate, upper) split-conformal interval for the score.
+
+        The interval width is the ``coverage`` quantile of the calibration
+        residuals collected during :meth:`fit`; under exchangeability of
+        the corruption episodes it covers the true score with roughly the
+        requested probability.
+        """
+        if not 0.0 < coverage < 1.0:
+            raise DataValidationError(f"coverage must be in (0, 1), got {coverage}")
+        estimate = self.predict(serving_frame)
+        if getattr(self, "calibration_residuals_", None) is None:
+            raise NotFittedError(
+                "no calibration residuals available; fit with enough meta-samples"
+            )
+        width = float(np.quantile(self.calibration_residuals_, coverage))
+        return (
+            float(np.clip(estimate - width, 0.0, 1.0)),
+            estimate,
+            float(np.clip(estimate + width, 0.0, 1.0)),
+        )
+
+    def expected_drop(self, serving_frame: DataFrame) -> float:
+        """Estimated relative drop vs. the held-out test score (>= 0 means a drop)."""
+        if not hasattr(self, "test_score_"):
+            raise NotFittedError("PerformancePredictor is not fitted; call fit() first")
+        estimate = self.predict(serving_frame)
+        if self.test_score_ == 0.0:
+            return 0.0
+        return (self.test_score_ - estimate) / self.test_score_

@@ -1,0 +1,188 @@
+"""The performance validator (§2 / §3 of the paper).
+
+Turns performance prediction into binary classification: given a
+user-defined tolerance ``t`` (e.g. 5%), decide whether the black box
+model's score on an unlabeled serving batch stays within ``(1 - t)`` of
+its held-out test score. A gradient-boosted tree classifier consumes the
+percentile features *plus* Kolmogorov-Smirnov statistics between the
+model's serving-time and test-time output distributions (the feature the
+paper borrows from Lipton et al.'s label-shift work), which requires
+retaining the test-time predictions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.blackbox import BlackBoxModel
+from repro.core.corruption import CorruptionSample, CorruptionSampler
+from repro.core.featurize import (
+    ks_output_features,
+    predicted_class_fractions,
+    prediction_statistics,
+)
+from repro.stats.tests import chi2_from_counts
+from repro.errors.base import ErrorGen
+from repro.exceptions import DataValidationError, NotFittedError
+from repro.ml.base import Estimator, as_rng, clone
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.tabular.frame import DataFrame
+
+
+def default_validator_model(random_state: int | None = 0) -> GradientBoostingClassifier:
+    """The paper's validator learner: gradient-boosted decision trees.
+
+    Feature subsampling (colsample) matters here: the percentile features
+    and the hypothesis-test features often separate the *training*
+    corruptions equally well, but only the test statistics transfer to
+    error types never seen in training. Subsampling forces the ensemble to
+    spread its splits over both groups.
+    """
+    return GradientBoostingClassifier(
+        n_stages=80, max_depth=3, learning_rate=0.1, max_features=8,
+        random_state=random_state,
+    )
+
+
+class PerformanceValidator:
+    """Predicts whether the serving-time score drop exceeds a tolerance.
+
+    Parameters
+    ----------
+    threshold:
+        Acceptable relative quality loss ``t`` (0.05 = tolerate up to a 5%
+        relative drop below the held-out test score).
+    use_ks_features:
+        Include per-class KS statistics between serving and retained test
+        outputs (the paper's extra hypothesis-test features). Disabling
+        them is an ablation.
+    mode:
+        Corruption protocol used to build training examples; validation
+        experiments in the paper use mixtures.
+    """
+
+    def __init__(
+        self,
+        blackbox: BlackBoxModel,
+        error_generators: Sequence[ErrorGen],
+        threshold: float = 0.05,
+        metric: str = "accuracy",
+        n_samples: int = 200,
+        mode: str = "mixture",
+        percentile_step: int = 5,
+        use_ks_features: bool = True,
+        model: Estimator | None = None,
+        fire_prob: float = 0.6,
+        random_state: int | None = 0,
+    ):
+        if not 0.0 < threshold < 1.0:
+            raise DataValidationError(f"threshold must be in (0, 1), got {threshold}")
+        self.blackbox = blackbox
+        self.error_generators = list(error_generators)
+        self.threshold = threshold
+        self.metric = metric
+        self.n_samples = n_samples
+        self.mode = mode
+        self.percentile_step = percentile_step
+        self.use_ks_features = use_ks_features
+        self.model = model
+        self.fire_prob = fire_prob
+        self.random_state = random_state
+
+    def _featurize(self, proba: np.ndarray) -> np.ndarray:
+        features = prediction_statistics(proba, step=self.percentile_step)
+        if self.use_ks_features:
+            # The paper's "results of hypothesis tests on model outputs":
+            # per-class KS statistics on the soft outputs (the BBSE signal)
+            # and a chi-squared test on the hard predicted-class counts
+            # (the BBSEh signal), both against the retained test outputs.
+            ks = ks_output_features(proba, self._test_proba)
+            fractions = predicted_class_fractions(proba)
+            counts = fractions * proba.shape[0]
+            test_counts = (
+                predicted_class_fractions(self._test_proba) * self._test_proba.shape[0]
+            )
+            chi2 = chi2_from_counts(counts, test_counts)
+            features = np.concatenate(
+                [features, ks, fractions, [chi2.statistic, chi2.p_value]]
+            )
+        return features
+
+    def fit(
+        self,
+        test_frame: DataFrame,
+        test_labels: np.ndarray,
+        samples: list[CorruptionSample] | None = None,
+    ) -> "PerformanceValidator":
+        """Train the validator on corrupted copies of held-out test data.
+
+        Labels are derived from the paper's acceptance rule: a corrupted
+        copy is "acceptable" when its true score stays at or above
+        ``(1 - t) * test_score``.
+        """
+        if len(test_frame) != len(test_labels):
+            raise DataValidationError("test frame and labels must be aligned")
+        rng = as_rng(self.random_state)
+        # Retain the test-time predictions: the KS features need them, both
+        # here and at serving time.
+        self._test_proba = self.blackbox.predict_proba(test_frame)
+        self.test_score_ = self.blackbox.score(test_frame, test_labels, self.metric)
+        if samples is None:
+            sampler = CorruptionSampler(
+                self.blackbox,
+                self.error_generators,
+                metric=self.metric,
+                mode=self.mode,
+                include_clean=True,
+                fire_prob=self.fire_prob,
+            )
+            samples = sampler.sample(test_frame, test_labels, self.n_samples, rng)
+        features = np.stack([self._featurize(s.proba) for s in samples])
+        acceptable = np.asarray(
+            [s.score >= (1.0 - self.threshold) * self.test_score_ for s in samples],
+            dtype=np.int64,
+        )
+        self.meta_features_ = features
+        self.meta_labels_ = acceptable
+        base = self.model if self.model is not None else default_validator_model(
+            self.random_state
+        )
+        if len(np.unique(acceptable)) < 2:
+            # Degenerate corpus (e.g. a model so robust nothing violates the
+            # threshold): fall back to a constant decision.
+            self._constant_decision = int(acceptable[0])
+            self.model_ = None
+            return self
+        self._constant_decision = None
+        self.model_ = clone(base)
+        self.model_.fit(features, acceptable)  # type: ignore[attr-defined]
+        return self
+
+    def validate(self, serving_frame: DataFrame) -> bool:
+        """True when the predictions on the serving batch can be trusted."""
+        proba = self.blackbox.predict_proba(serving_frame)
+        return self.validate_from_proba(proba)
+
+    def validate_from_proba(self, proba: np.ndarray) -> bool:
+        """Validation decision from an already-computed probability matrix."""
+        if not hasattr(self, "meta_features_"):
+            raise NotFittedError("PerformanceValidator is not fitted; call fit() first")
+        if self._constant_decision is not None:
+            return bool(self._constant_decision)
+        features = self._featurize(proba).reshape(1, -1)
+        decision = self.model_.predict(features)[0]  # type: ignore[union-attr]
+        return bool(decision == 1)
+
+    def decision_proba(self, serving_frame: DataFrame) -> float:
+        """Probability that the serving batch is acceptable."""
+        if not hasattr(self, "meta_features_"):
+            raise NotFittedError("PerformanceValidator is not fitted; call fit() first")
+        proba = self.blackbox.predict_proba(serving_frame)
+        if self._constant_decision is not None:
+            return float(self._constant_decision)
+        features = self._featurize(proba).reshape(1, -1)
+        class_proba = self.model_.predict_proba(features)[0]  # type: ignore[union-attr]
+        positive_column = int(np.flatnonzero(self.model_.classes_ == 1)[0])  # type: ignore[union-attr]
+        return float(class_proba[positive_column])

@@ -1,0 +1,8 @@
+"""Synthetic dataset generators standing in for the paper's six public
+datasets (income, heart, bank, tweets, digits, fashion)."""
+
+# Importing the generator modules registers them with the registry.
+from repro.datasets import image_gen, tabular_gen, text_gen  # noqa: F401
+from repro.datasets.base import Dataset, dataset_names, load_dataset, register_dataset
+
+__all__ = ["Dataset", "dataset_names", "load_dataset", "register_dataset"]

@@ -1,0 +1,259 @@
+"""Synthetic stand-ins for the income, heart and bank datasets.
+
+Each generator draws a latent "risk" score per row, derives the numeric and
+categorical attributes from class-conditional distributions tied to that
+score, and emits a binary label with irreducible noise. The result is a
+mixed-type relational dataset on which the paper's four black box models
+reach accuracies in the 0.7-0.95 band — the regime the original
+evaluation operates in — while every column type needed by the error
+generators (numeric for outliers/scaling/swaps, categorical for missing
+values/typos) is present.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, register_dataset
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+
+def _categorical_from_score(
+    rng: np.random.Generator,
+    score: np.ndarray,
+    categories: list[str],
+    strength: float = 1.0,
+) -> np.ndarray:
+    """Sample categories whose probabilities shift monotonically with the score.
+
+    Category i receives a logit proportional to ``strength * score * (i -
+    mid)``, so low scores favour early categories and high scores favour
+    late ones — a simple way to make every attribute informative.
+    """
+    n_categories = len(categories)
+    offsets = np.arange(n_categories) - (n_categories - 1) / 2.0
+    logits = strength * np.outer(score, offsets)
+    logits -= logits.max(axis=1, keepdims=True)
+    probabilities = np.exp(logits)
+    probabilities /= probabilities.sum(axis=1, keepdims=True)
+    cumulative = probabilities.cumsum(axis=1)
+    draws = rng.random(len(score))[:, None]
+    indices = (draws > cumulative).sum(axis=1)
+    values = np.array(categories, dtype=object)[indices]
+    return values.astype(object)
+
+
+def _labels_from_logit(
+    rng: np.random.Generator, logit: np.ndarray, names: tuple[str, str]
+) -> np.ndarray:
+    """Bernoulli labels from a logit; the noise keeps accuracy below 1."""
+    probability = 1.0 / (1.0 + np.exp(-logit))
+    draws = rng.random(len(logit)) < probability
+    negative, positive = names
+    return np.where(draws, positive, negative).astype(object)
+
+
+@register_dataset("income")
+def make_income(n_rows: int, seed: int) -> Dataset:
+    """Adult-census-like data: predict whether income exceeds 50K.
+
+    Mirrors the UCI adult schema shape: age / hours / capital gains as
+    numerics, workclass / education / occupation / marital status as
+    categoricals of realistic cardinality.
+    """
+    rng = np.random.default_rng(seed)
+    latent = rng.normal(size=n_rows)
+
+    age = np.clip(38 + 12 * latent + 6 * rng.normal(size=n_rows), 17, 90)
+    hours_per_week = np.clip(40 + 8 * latent + 8 * rng.normal(size=n_rows), 1, 99)
+    capital_gain = np.where(
+        rng.random(n_rows) < 0.15, np.exp(7 + latent + rng.normal(size=n_rows)), 0.0
+    )
+    education_num = np.clip(
+        np.round(10 + 2.5 * latent + 1.5 * rng.normal(size=n_rows)), 1, 16
+    )
+    # Negatively correlated with income — mixed-sign model weights matter
+    # for the validation experiments (a scaled positive-weight column and a
+    # sign-flipped negative-weight column shift outputs the same way).
+    dependents = np.clip(
+        np.round(2.0 - 1.8 * latent + 0.8 * rng.normal(size=n_rows)), 0, 10
+    )
+
+    education = _categorical_from_score(
+        rng, latent, ["HS-grad", "Some-college", "Assoc", "Bachelors", "Masters", "Doctorate"],
+        strength=1.4,
+    )
+    occupation = _categorical_from_score(
+        rng, latent,
+        ["Handlers-cleaners", "Farming-fishing", "Craft-repair", "Adm-clerical",
+         "Sales", "Tech-support", "Prof-specialty", "Exec-managerial"],
+        strength=1.0,
+    )
+    workclass = _categorical_from_score(
+        rng, latent, ["Private", "Self-emp", "Local-gov", "State-gov", "Federal-gov"],
+        strength=0.5,
+    )
+    marital_status = _categorical_from_score(
+        rng, latent, ["Never-married", "Divorced", "Separated", "Married"], strength=0.8
+    )
+
+    frame = DataFrame.from_dict(
+        {
+            "age": age,
+            "hours_per_week": hours_per_week,
+            "capital_gain": capital_gain,
+            "education_num": education_num,
+            "dependents": dependents,
+            "education": education,
+            "occupation": occupation,
+            "workclass": workclass,
+            "marital_status": marital_status,
+        },
+        {
+            "age": ColumnType.NUMERIC,
+            "hours_per_week": ColumnType.NUMERIC,
+            "capital_gain": ColumnType.NUMERIC,
+            "education_num": ColumnType.NUMERIC,
+            "dependents": ColumnType.NUMERIC,
+            "education": ColumnType.CATEGORICAL,
+            "occupation": ColumnType.CATEGORICAL,
+            "workclass": ColumnType.CATEGORICAL,
+            "marital_status": ColumnType.CATEGORICAL,
+        },
+    )
+    # Interaction: people in "mismatched" age/hours regimes behave
+    # differently than the marginal trend suggests. Nonlinear models pick
+    # this up, which makes corruption flip their predictions in *both*
+    # directions (class counts stay roughly stable while accuracy drops).
+    interaction = np.where((age > 38) ^ (hours_per_week > 40), 1.0, -1.0)
+    logit = 1.8 * latent + 1.1 * interaction + 0.3 * (hours_per_week - 40) / 8 - 0.4
+    labels = _labels_from_logit(rng, logit, ("<=50K", ">50K"))
+    return Dataset(
+        name="income",
+        frame=frame,
+        labels=labels,
+        task="tabular",
+        description="Adult-census-like income prediction (synthetic stand-in)",
+        positive_label=">50K",
+    )
+
+
+@register_dataset("heart")
+def make_heart(n_rows: int, seed: int) -> Dataset:
+    """Cardio-disease-like data: predict the presence of heart disease."""
+    rng = np.random.default_rng(seed)
+    latent = rng.normal(size=n_rows)
+
+    age = np.clip(53 + 7 * latent + 5 * rng.normal(size=n_rows), 29, 80)
+    height = np.clip(165 - 6.0 * latent + 6 * rng.normal(size=n_rows), 140, 200)
+    weight = np.clip(74 + 9 * latent + 10 * rng.normal(size=n_rows), 40, 180)
+    ap_hi = np.clip(127 + 14 * latent + 10 * rng.normal(size=n_rows), 80, 240)
+    ap_lo = np.clip(81 + 8 * latent + 7 * rng.normal(size=n_rows), 50, 150)
+
+    cholesterol = _categorical_from_score(
+        rng, latent, ["normal", "above-normal", "well-above-normal"], strength=1.3
+    )
+    glucose = _categorical_from_score(
+        rng, latent, ["normal", "above-normal", "well-above-normal"], strength=0.9
+    )
+    smoke = _categorical_from_score(rng, latent, ["non-smoker", "smoker"], strength=0.6)
+    active = _categorical_from_score(rng, -latent, ["inactive", "active"], strength=0.7)
+
+    frame = DataFrame.from_dict(
+        {
+            "age": age,
+            "height": height,
+            "weight": weight,
+            "ap_hi": ap_hi,
+            "ap_lo": ap_lo,
+            "cholesterol": cholesterol,
+            "glucose": glucose,
+            "smoke": smoke,
+            "active": active,
+        },
+        {
+            "age": ColumnType.NUMERIC,
+            "height": ColumnType.NUMERIC,
+            "weight": ColumnType.NUMERIC,
+            "ap_hi": ColumnType.NUMERIC,
+            "ap_lo": ColumnType.NUMERIC,
+            "cholesterol": ColumnType.CATEGORICAL,
+            "glucose": ColumnType.CATEGORICAL,
+            "smoke": ColumnType.CATEGORICAL,
+            "active": ColumnType.CATEGORICAL,
+        },
+    )
+    interaction = np.where((ap_hi > 127) ^ (weight > 74), 1.0, -1.0)
+    logit = 1.3 * latent + 1.0 * interaction + 0.02 * (ap_hi - 127) + 0.015 * (weight - 74)
+    labels = _labels_from_logit(rng, logit, ("healthy", "cardio-disease"))
+    return Dataset(
+        name="heart",
+        frame=frame,
+        labels=labels,
+        task="tabular",
+        description="Cardiovascular-disease-like prediction (synthetic stand-in)",
+        positive_label="cardio-disease",
+    )
+
+
+@register_dataset("bank")
+def make_bank(n_rows: int, seed: int) -> Dataset:
+    """Bank-marketing-like data: predict term-deposit subscription."""
+    rng = np.random.default_rng(seed)
+    latent = rng.normal(size=n_rows)
+
+    age = np.clip(41 + 9 * latent + 7 * rng.normal(size=n_rows), 18, 95)
+    balance = 1300 + 1600 * latent + 900 * rng.normal(size=n_rows)
+    duration = np.clip(np.exp(5.2 + 0.8 * latent + 0.5 * rng.normal(size=n_rows)), 5, 4000)
+    campaign = np.clip(np.round(2.5 - latent + rng.exponential(1.2, size=n_rows)), 1, 40)
+
+    job = _categorical_from_score(
+        rng, latent,
+        ["blue-collar", "services", "technician", "admin", "management", "retired"],
+        strength=0.9,
+    )
+    marital = _categorical_from_score(rng, latent, ["single", "divorced", "married"], strength=0.4)
+    education = _categorical_from_score(
+        rng, latent, ["primary", "secondary", "tertiary"], strength=1.0
+    )
+    housing = _categorical_from_score(rng, -latent, ["no-housing-loan", "housing-loan"], strength=0.7)
+    poutcome = _categorical_from_score(
+        rng, latent, ["failure", "unknown", "other", "success"], strength=1.1
+    )
+
+    frame = DataFrame.from_dict(
+        {
+            "age": age,
+            "balance": balance,
+            "duration": duration,
+            "campaign": campaign,
+            "job": job,
+            "marital": marital,
+            "education": education,
+            "housing": housing,
+            "poutcome": poutcome,
+        },
+        {
+            "age": ColumnType.NUMERIC,
+            "balance": ColumnType.NUMERIC,
+            "duration": ColumnType.NUMERIC,
+            "campaign": ColumnType.NUMERIC,
+            "job": ColumnType.CATEGORICAL,
+            "marital": ColumnType.CATEGORICAL,
+            "education": ColumnType.CATEGORICAL,
+            "housing": ColumnType.CATEGORICAL,
+            "poutcome": ColumnType.CATEGORICAL,
+        },
+    )
+    interaction = np.where((balance > 1300) ^ (duration > 180), 1.0, -1.0)
+    logit = 1.5 * latent + 0.9 * interaction + 0.5 * (np.log(duration) - 5.2) - 0.3
+    labels = _labels_from_logit(rng, logit, ("no-deposit", "deposit"))
+    return Dataset(
+        name="bank",
+        frame=frame,
+        labels=labels,
+        task="tabular",
+        description="Bank-marketing-like term-deposit prediction (synthetic stand-in)",
+        positive_label="deposit",
+    )

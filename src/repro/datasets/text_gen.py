@@ -1,0 +1,77 @@
+"""Synthetic stand-in for the cyber-troll tweets dataset.
+
+Generates short tweets from two overlapping vocabularies: trolling tweets
+mix insult phrases into everyday filler, normal tweets stay with filler and
+benign topics. The class signal lives in word-level n-grams — exactly what
+the hashing vectorizer consumes — and the insult vocabulary is plain ASCII,
+which gives the leetspeak adversarial error generator a realistic attack
+surface (rewriting characters destroys the learned n-gram evidence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, register_dataset
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+_FILLER = [
+    "just", "saw", "the", "game", "tonight", "really", "cant", "believe",
+    "this", "weather", "today", "lol", "omg", "so", "much", "fun", "with",
+    "friends", "at", "work", "coffee", "morning", "monday", "weekend",
+    "watching", "new", "episode", "love", "that", "song", "playing", "now",
+]
+
+_TROLL = [
+    "idiot", "loser", "pathetic", "stupid", "moron", "clown", "trash",
+    "garbage", "shut up", "nobody likes you", "get lost", "you suck",
+    "dumb take", "embarrassing", "worthless",
+]
+
+_BENIGN = [
+    "great job", "well done", "congrats", "thank you", "awesome news",
+    "have a nice day", "good luck", "see you soon", "take care",
+    "happy birthday", "nice photo", "beautiful view",
+]
+
+
+def _compose(rng: np.random.Generator, phrases: list[str], n_phrases: int) -> str:
+    words = []
+    for _ in range(rng.integers(4, 10)):
+        words.append(_FILLER[rng.integers(0, len(_FILLER))])
+    for _ in range(n_phrases):
+        position = rng.integers(0, len(words) + 1)
+        words.insert(position, phrases[rng.integers(0, len(phrases))])
+    return " ".join(words)
+
+
+@register_dataset("tweets")
+def make_tweets(n_rows: int, seed: int) -> Dataset:
+    """Troll-detection tweets (synthetic stand-in for the DataTurks set)."""
+    rng = np.random.default_rng(seed)
+    texts = np.empty(n_rows, dtype=object)
+    labels = np.empty(n_rows, dtype=object)
+    for i in range(n_rows):
+        if rng.random() < 0.5:
+            # Trolling tweets carry 1-3 insult phrases; 10% are subtle
+            # (single mild phrase) so the task is not trivially separable.
+            n_insults = 1 if rng.random() < 0.1 else int(rng.integers(1, 4))
+            texts[i] = _compose(rng, _TROLL, n_insults)
+            labels[i] = "troll"
+        else:
+            n_benign = int(rng.integers(0, 3))
+            texts[i] = _compose(rng, _BENIGN, n_benign)
+            labels[i] = "normal"
+    # Label noise keeps the ceiling below 1.0 like the real dataset.
+    flip = rng.random(n_rows) < 0.05
+    labels[flip] = np.where(labels[flip] == "troll", "normal", "troll")
+    frame = DataFrame.from_dict({"text": texts}, {"text": ColumnType.TEXT})
+    return Dataset(
+        name="tweets",
+        frame=frame,
+        labels=labels,
+        task="text",
+        description="Cyber-troll tweet detection (synthetic stand-in)",
+        positive_label="troll",
+    )

@@ -1,0 +1,57 @@
+"""Programmatic error generators — the user-facing specification of the
+dataset shifts and data errors the performance predictor trains against."""
+
+from repro.errors.base import CorruptionReport, ErrorGen
+from repro.errors.entropy_errors import ModelEntropyMissingValues
+from repro.errors.extended_errors import (
+    CategoryShift,
+    ClippedValues,
+    DuplicateRows,
+    ImageContrastShift,
+    ImageOcclusion,
+    PaddedStrings,
+    ShuffledColumn,
+    extended_training_pool,
+)
+from repro.errors.image_errors import ImageNoise, ImageRotation
+from repro.errors.mixture import ErrorMixture, PartiallyAppliedError, blend_frames
+from repro.errors.tabular_errors import (
+    EncodingErrors,
+    GaussianOutliers,
+    MissingValues,
+    Scaling,
+    SignFlip,
+    Smearing,
+    SwappedValues,
+    Typos,
+)
+from repro.errors.text_errors import LeetspeakAdversarial, to_leetspeak
+
+__all__ = [
+    "CategoryShift",
+    "ClippedValues",
+    "CorruptionReport",
+    "DuplicateRows",
+    "EncodingErrors",
+    "ErrorGen",
+    "ErrorMixture",
+    "GaussianOutliers",
+    "ImageContrastShift",
+    "ImageNoise",
+    "ImageOcclusion",
+    "ImageRotation",
+    "LeetspeakAdversarial",
+    "MissingValues",
+    "ModelEntropyMissingValues",
+    "PaddedStrings",
+    "PartiallyAppliedError",
+    "Scaling",
+    "ShuffledColumn",
+    "SignFlip",
+    "Smearing",
+    "SwappedValues",
+    "Typos",
+    "blend_frames",
+    "extended_training_pool",
+    "to_leetspeak",
+]

@@ -1,0 +1,100 @@
+"""Error generator framework.
+
+The paper's central user-facing abstraction: an engineer programmatically
+specifies the *types* of data errors they expect (not their magnitudes) by
+choosing from a library of :class:`ErrorGen` subclasses or writing their
+own ``corrupt`` method. The framework then samples random magnitudes and
+applies the generators to held-out data to build training material for the
+performance predictor.
+
+Contract
+--------
+* ``sample_params(frame, rng)`` draws a random parameterization (columns to
+  hit, corruption fraction, magnitudes) for one application.
+* ``corrupt(frame, rng, **params)`` returns a **new** corrupted frame; the
+  input frame is never mutated.
+* ``corrupt_random(frame, rng)`` chains the two and also returns the drawn
+  parameters so experiments can log them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.exceptions import CorruptionError
+from repro.tabular.frame import DataFrame
+
+
+@dataclass(frozen=True)
+class CorruptionReport:
+    """What a generator actually did to a frame (for experiment logging)."""
+
+    error_name: str
+    params: dict[str, Any]
+
+
+class ErrorGen(abc.ABC):
+    """Base class for programmatic error generators."""
+
+    name: str = "error"
+
+    def __init__(self, columns: Sequence[str] | None = None):
+        # When columns is None the generator picks targets at random per
+        # application, matching the paper's experiment protocol.
+        self.columns = list(columns) if columns is not None else None
+
+    @abc.abstractmethod
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        """Columns of the frame this generator can corrupt."""
+
+    @abc.abstractmethod
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        """Return a corrupted copy of the frame."""
+
+    def sample_params(self, frame: DataFrame, rng: np.random.Generator) -> dict[str, Any]:
+        """Random parameterization: 1..n target columns and a fraction."""
+        targets = self._resolve_columns(frame)
+        n_columns = int(rng.integers(1, len(targets) + 1))
+        chosen = list(rng.choice(targets, size=n_columns, replace=False))
+        return {"columns": chosen, "fraction": float(rng.uniform(0.05, 1.0))}
+
+    def corrupt_random(
+        self, frame: DataFrame, rng: np.random.Generator
+    ) -> tuple[DataFrame, CorruptionReport]:
+        params = self.sample_params(frame, rng)
+        corrupted = self.corrupt(frame, rng, **params)
+        return corrupted, CorruptionReport(error_name=self.name, params=params)
+
+    def _resolve_columns(self, frame: DataFrame) -> list[str]:
+        applicable = self.applicable_columns(frame)
+        if self.columns is not None:
+            targets = [c for c in self.columns if c in applicable]
+            missing = [c for c in self.columns if c not in frame]
+            if missing:
+                raise CorruptionError(f"{self.name}: unknown columns {missing}")
+        else:
+            targets = applicable
+        if not targets:
+            raise CorruptionError(
+                f"{self.name}: no applicable columns in frame {frame.schema!r}"
+            )
+        return targets
+
+    def _pick_rows(
+        self, n_rows: int, fraction: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Random row subset of the requested fraction (possibly empty)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise CorruptionError(f"{self.name}: fraction must be in [0, 1], got {fraction}")
+        size = int(round(fraction * n_rows))
+        if size == 0:
+            return np.empty(0, dtype=np.int64)
+        return rng.choice(n_rows, size=size, replace=False)
+
+    def __repr__(self) -> str:
+        target = "random-columns" if self.columns is None else ",".join(self.columns)
+        return f"{type(self).__name__}({target})"

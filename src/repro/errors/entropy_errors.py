@@ -1,0 +1,60 @@
+"""Model-entropy based missing values (active-learning flavored).
+
+The paper's hardest missing-value variant: rank examples by how *certain*
+the classifier is (``1 - p_max`` uncertainty) and discard values from the
+'easy', most-certain examples. This couples the corruption to the model's
+own decision surface, so output statistics shift in a subtler way than
+under uniformly random missingness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors.base import ErrorGen
+from repro.exceptions import CorruptionError
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+
+class ModelEntropyMissingValues(ErrorGen):
+    """Discard values from the examples the model is most certain about.
+
+    Parameters
+    ----------
+    predict_proba:
+        Callable mapping a frame to an ``(n, m)`` probability matrix — in
+        practice the black box model's prediction function.
+    """
+
+    name = "entropy_missing_values"
+
+    def __init__(self, predict_proba: Callable[[DataFrame], np.ndarray], columns=None):
+        super().__init__(columns)
+        self.predict_proba = predict_proba
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        return frame.categorical_columns + frame.numeric_columns
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        columns, fraction = params["columns"], params["fraction"]
+        if not 0.0 <= fraction <= 1.0:
+            raise CorruptionError(f"fraction must be in [0, 1], got {fraction}")
+        proba = np.asarray(self.predict_proba(frame))
+        if proba.ndim != 2 or proba.shape[0] != len(frame):
+            raise CorruptionError("predict_proba must return an (n_rows, m) matrix")
+        uncertainty = 1.0 - proba.max(axis=1)
+        # 'Easy' examples have low uncertainty; corrupt those first.
+        n_corrupt = int(round(fraction * len(frame)))
+        rows = np.argsort(uncertainty, kind="mergesort")[:n_corrupt]
+        corrupted = frame.copy()
+        for name in columns:
+            if rows.size == 0:
+                continue
+            if frame.schema.type_of(name) is ColumnType.NUMERIC:
+                corrupted.set_values(name, rows, np.full(rows.size, np.nan))
+            else:
+                corrupted.set_values(name, rows, [None] * rows.size)
+        return corrupted

@@ -1,0 +1,253 @@
+"""Extended error generators (the paper's future-work direction).
+
+§7 of the paper: "we intend to investigate the effects of more error
+types, and aim to empirically study whether there is a set of errors for
+training which generalizes to the majority of real world cases". This
+module adds that richer pool:
+
+* :class:`CategoryShift` — label-shift-style resampling of a categorical
+  column toward one dominant category.
+* :class:`DuplicateRows` — a fraction of rows replaced by copies of other
+  rows (double-ingestion bugs).
+* :class:`ShuffledColumn` — values of one column permuted across rows,
+  destroying the row-wise association while preserving the marginal.
+* :class:`ClippedValues` — numeric values clamped into a percentile band
+  (sensor saturation, defensive-coding bugs).
+* :class:`PaddedStrings` — whitespace / control characters appended to
+  categorical values (classic CSV-export bug; exact-match encoders break).
+* :class:`ImageOcclusion` — a random box of pixels blanked out.
+* :class:`ImageContrastShift` — gamma-style brightness/contrast drift.
+
+:func:`extended_training_pool` bundles them with the paper's known four
+for the generalization study in ``benchmarks/test_future_work_pool.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors.base import ErrorGen
+from repro.errors.tabular_errors import (
+    GaussianOutliers,
+    MissingValues,
+    Scaling,
+    SwappedValues,
+)
+from repro.exceptions import CorruptionError
+from repro.tabular.frame import DataFrame
+
+
+class CategoryShift(ErrorGen):
+    """Resample a fraction of one categorical column to a dominant value."""
+
+    name = "category_shift"
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        return frame.categorical_columns
+
+    def sample_params(self, frame: DataFrame, rng: np.random.Generator) -> dict[str, Any]:
+        targets = self._resolve_columns(frame)
+        column = str(rng.choice(targets))
+        values = [v for v in frame[column] if v is not None]
+        if not values:
+            raise CorruptionError(f"{self.name}: column {column!r} is entirely missing")
+        dominant = str(rng.choice(values))
+        return {
+            "columns": [column],
+            "fraction": float(rng.uniform(0.05, 1.0)),
+            "dominant": dominant,
+        }
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        (column,), fraction = params["columns"], params["fraction"]
+        dominant = params["dominant"]
+        corrupted = frame.copy()
+        rows = self._pick_rows(len(frame), fraction, rng)
+        if rows.size:
+            corrupted.set_values(column, rows, [dominant] * rows.size)
+        return corrupted
+
+
+class DuplicateRows(ErrorGen):
+    """Replace a fraction of rows with copies of other rows (all columns)."""
+
+    name = "duplicate_rows"
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        return frame.schema.names
+
+    def sample_params(self, frame: DataFrame, rng: np.random.Generator) -> dict[str, Any]:
+        return {
+            "columns": frame.schema.names,
+            "fraction": float(rng.uniform(0.05, 0.8)),
+        }
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        fraction = params["fraction"]
+        corrupted = frame.copy()
+        rows = self._pick_rows(len(frame), fraction, rng)
+        if rows.size == 0:
+            return corrupted
+        sources = rng.integers(0, len(frame), size=rows.size)
+        for name in frame.schema.names:
+            corrupted.set_values(name, rows, frame[name][sources])
+        return corrupted
+
+
+class ShuffledColumn(ErrorGen):
+    """Permute one column across rows, breaking row-wise associations."""
+
+    name = "shuffled_column"
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        return frame.numeric_columns + frame.categorical_columns
+
+    def sample_params(self, frame: DataFrame, rng: np.random.Generator) -> dict[str, Any]:
+        targets = self._resolve_columns(frame)
+        return {
+            "columns": [str(rng.choice(targets))],
+            "fraction": float(rng.uniform(0.1, 1.0)),
+        }
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        (column,), fraction = params["columns"], params["fraction"]
+        corrupted = frame.copy()
+        rows = self._pick_rows(len(frame), fraction, rng)
+        if rows.size < 2:
+            return corrupted
+        shuffled = rng.permutation(rows)
+        corrupted.set_values(column, rows, frame[column][shuffled])
+        return corrupted
+
+
+class ClippedValues(ErrorGen):
+    """Clamp numeric values into a central percentile band (saturation)."""
+
+    name = "clipped_values"
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        return frame.numeric_columns
+
+    def sample_params(self, frame: DataFrame, rng: np.random.Generator) -> dict[str, Any]:
+        params = super().sample_params(frame, rng)
+        params["band"] = float(rng.uniform(5.0, 35.0))  # clip at [band, 100-band] pctl
+        return params
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        columns, fraction = params["columns"], params["fraction"]
+        band = params.get("band", 20.0)
+        corrupted = frame.copy()
+        for name in columns:
+            rows = self._pick_rows(len(frame), fraction, rng)
+            if rows.size == 0:
+                continue
+            values = corrupted[name]
+            finite = values[~np.isnan(values)]
+            if finite.size == 0:
+                continue
+            low = np.percentile(finite, band)
+            high = np.percentile(finite, 100.0 - band)
+            corrupted.set_values(name, rows, np.clip(values[rows], low, high))
+        return corrupted
+
+
+class PaddedStrings(ErrorGen):
+    """Append whitespace to categorical values (breaks exact-match encoders)."""
+
+    name = "padded_strings"
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        return frame.categorical_columns
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        columns, fraction = params["columns"], params["fraction"]
+        corrupted = frame.copy()
+        for name in columns:
+            rows = self._pick_rows(len(frame), fraction, rng)
+            if rows.size == 0:
+                continue
+            values = corrupted[name]
+            replacements = [
+                None if values[row] is None else values[row] + " " * int(rng.integers(1, 4))
+                for row in rows
+            ]
+            corrupted.set_values(name, rows, replacements)
+        return corrupted
+
+
+class ImageOcclusion(ErrorGen):
+    """Blank a random box in a fraction of the images."""
+
+    name = "image_occlusion"
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        return frame.image_columns
+
+    def sample_params(self, frame: DataFrame, rng: np.random.Generator) -> dict[str, Any]:
+        params = super().sample_params(frame, rng)
+        params["box_fraction"] = float(rng.uniform(0.15, 0.5))
+        return params
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        columns, fraction = params["columns"], params["fraction"]
+        box_fraction = params.get("box_fraction", 0.3)
+        corrupted = frame.copy()
+        for name in columns:
+            rows = self._pick_rows(len(frame), fraction, rng)
+            if rows.size == 0:
+                continue
+            images = corrupted[name][rows].copy()
+            _, height, width = images.shape
+            box_h = max(1, int(box_fraction * height))
+            box_w = max(1, int(box_fraction * width))
+            for i in range(images.shape[0]):
+                top = int(rng.integers(0, height - box_h + 1))
+                left = int(rng.integers(0, width - box_w + 1))
+                images[i, top : top + box_h, left : left + box_w] = 0.0
+            corrupted.set_values(name, rows, images)
+        return corrupted
+
+
+class ImageContrastShift(ErrorGen):
+    """Gamma-style contrast / brightness drift on a fraction of images."""
+
+    name = "image_contrast"
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        return frame.image_columns
+
+    def sample_params(self, frame: DataFrame, rng: np.random.Generator) -> dict[str, Any]:
+        params = super().sample_params(frame, rng)
+        params["gamma"] = float(rng.uniform(0.3, 3.0))
+        return params
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        columns, fraction = params["columns"], params["fraction"]
+        gamma = params.get("gamma", 1.5)
+        if gamma <= 0:
+            raise CorruptionError(f"gamma must be positive, got {gamma}")
+        corrupted = frame.copy()
+        for name in columns:
+            rows = self._pick_rows(len(frame), fraction, rng)
+            if rows.size == 0:
+                continue
+            images = np.clip(corrupted[name][rows], 0.0, 1.0)
+            corrupted.set_values(name, rows, images**gamma)
+        return corrupted
+
+
+def extended_training_pool() -> dict[str, ErrorGen]:
+    """The known four plus the future-work generators (tabular tasks)."""
+    return {
+        "missing_values": MissingValues(),
+        "outliers": GaussianOutliers(),
+        "swapped_values": SwappedValues(),
+        "scaling": Scaling(),
+        "category_shift": CategoryShift(),
+        "duplicate_rows": DuplicateRows(),
+        "shuffled_column": ShuffledColumn(),
+        "clipped_values": ClippedValues(),
+        "padded_strings": PaddedStrings(),
+    }

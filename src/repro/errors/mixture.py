@@ -1,0 +1,117 @@
+"""Mixtures of error generators.
+
+The validation experiments (§6.2) corrupt serving data with *randomly
+chosen mixtures* of error types with independent probabilities — including
+the clean case where nothing fires. :class:`ErrorMixture` composes a set of
+generators that way, and :func:`blend_frames` implements the §6.1.2
+protocol of blending a fraction of corrupted rows into otherwise clean data.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors.base import CorruptionReport, ErrorGen
+from repro.exceptions import CorruptionError
+from repro.tabular.frame import DataFrame
+
+
+class ErrorMixture:
+    """Apply a random subset of generators, each with random magnitude.
+
+    Each generator independently fires with probability ``fire_prob``; a
+    firing generator samples its own columns and corruption fraction. With
+    no generator firing the frame passes through clean (the paper's
+    ``p_err = 0`` case), which gives the performance predictor examples of
+    undamaged data too.
+    """
+
+    def __init__(self, generators: Sequence[ErrorGen], fire_prob: float = 0.6):
+        if not generators:
+            raise CorruptionError("ErrorMixture needs at least one generator")
+        if not 0.0 <= fire_prob <= 1.0:
+            raise CorruptionError(f"fire_prob must be in [0, 1], got {fire_prob}")
+        self.generators = list(generators)
+        self.fire_prob = fire_prob
+
+    def corrupt_random(
+        self, frame: DataFrame, rng: np.random.Generator
+    ) -> tuple[DataFrame, list[CorruptionReport]]:
+        corrupted = frame
+        reports: list[CorruptionReport] = []
+        for generator in self.generators:
+            if rng.random() >= self.fire_prob:
+                continue
+            corrupted, report = generator.corrupt_random(corrupted, rng)
+            reports.append(report)
+        return corrupted, reports
+
+    def __repr__(self) -> str:
+        names = ", ".join(g.name for g in self.generators)
+        return f"ErrorMixture([{names}], fire_prob={self.fire_prob})"
+
+
+class PartiallyAppliedError(ErrorGen):
+    """Wrap a generator so only a fraction of its corruption lands.
+
+    Used by the §6.1.2 unknown-error experiment: with ``exposure`` 0.25,
+    only a quarter of the rows the wrapped generator corrupted make it into
+    the output, so a performance predictor trained through this wrapper has
+    seen the error type only faintly (exposure 0 = never).
+    """
+
+    def __init__(self, inner: ErrorGen, exposure: float):
+        super().__init__(columns=None)
+        if not 0.0 <= exposure <= 1.0:
+            raise CorruptionError(f"exposure must be in [0, 1], got {exposure}")
+        self.inner = inner
+        self.exposure = exposure
+        self.name = f"partial({inner.name}, {exposure:.2f})"
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        return self.inner.applicable_columns(frame)
+
+    def sample_params(self, frame: DataFrame, rng: np.random.Generator):
+        return self.inner.sample_params(frame, rng)
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params) -> DataFrame:
+        if self.exposure == 0.0:
+            return frame.copy()
+        corrupted = self.inner.corrupt(frame, rng, **params)
+        if self.exposure == 1.0:
+            return corrupted
+        return blend_frames(frame, corrupted, self.exposure, rng)
+
+
+def blend_frames(
+    clean: DataFrame,
+    corrupted: DataFrame,
+    fraction_corrupted: float,
+    rng: np.random.Generator,
+) -> DataFrame:
+    """Mix rows of a corrupted frame into a clean one (§6.1.2 protocol).
+
+    Row i comes from ``corrupted`` with probability ``fraction_corrupted``
+    and from ``clean`` otherwise; row order and count are preserved so
+    labels stay aligned.
+    """
+    if len(clean) != len(corrupted):
+        raise CorruptionError("clean and corrupted frames must have equal row counts")
+    if clean.schema != corrupted.schema:
+        raise CorruptionError("clean and corrupted frames must share a schema")
+    if not 0.0 <= fraction_corrupted <= 1.0:
+        raise CorruptionError(
+            f"fraction_corrupted must be in [0, 1], got {fraction_corrupted}"
+        )
+    take_corrupted = rng.random(len(clean)) < fraction_corrupted
+    if not take_corrupted.any():
+        return clean.copy()
+    if take_corrupted.all():
+        return corrupted.copy()
+    blended = clean.copy()
+    rows = np.flatnonzero(take_corrupted)
+    for name in clean.schema.names:
+        blended.set_values(name, rows, corrupted[name][rows])
+    return blended

@@ -1,0 +1,275 @@
+"""Error generators for relational data.
+
+Implements the perturbations from §6 of the paper:
+
+* :class:`MissingValues` — missing cells in categorical (or numeric) columns.
+* :class:`GaussianOutliers` — additive noise with 2-5x column std.
+* :class:`SwappedValues` — values swapped between column pairs.
+* :class:`Scaling` — values multiplied by 10 / 100 / 1000.
+* :class:`EncodingErrors` — mojibake character substitutions.
+
+Plus the "unknown" errors from §6.2.2, which the validator never sees at
+training time:
+
+* :class:`Typos` — random character edits in categorical values.
+* :class:`Smearing` — numeric values shifted by up to +-10%.
+* :class:`SignFlip` — numeric values multiplied by -1.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors.base import ErrorGen
+from repro.exceptions import CorruptionError
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+
+class MissingValues(ErrorGen):
+    """Introduce missing cells at random into categorical or numeric columns."""
+
+    name = "missing_values"
+
+    def __init__(self, columns=None, column_kind: str = "categorical"):
+        super().__init__(columns)
+        if column_kind not in ("categorical", "numeric", "any"):
+            raise CorruptionError(f"unknown column_kind {column_kind!r}")
+        self.column_kind = column_kind
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        if self.column_kind == "categorical":
+            return frame.categorical_columns
+        if self.column_kind == "numeric":
+            return frame.numeric_columns
+        return frame.categorical_columns + frame.numeric_columns
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        columns, fraction = params["columns"], params["fraction"]
+        corrupted = frame.copy()
+        for name in columns:
+            rows = self._pick_rows(len(frame), fraction, rng)
+            if rows.size == 0:
+                continue
+            if frame.schema.type_of(name) is ColumnType.NUMERIC:
+                corrupted.set_values(name, rows, np.full(rows.size, np.nan))
+            else:
+                corrupted.set_values(name, rows, [None] * rows.size)
+        return corrupted
+
+
+class GaussianOutliers(ErrorGen):
+    """Add gaussian noise (std scaled 2-5x the column std) to numeric cells."""
+
+    name = "outliers"
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        return frame.numeric_columns
+
+    def sample_params(self, frame: DataFrame, rng: np.random.Generator) -> dict[str, Any]:
+        params = super().sample_params(frame, rng)
+        params["scale"] = float(rng.uniform(2.0, 5.0))
+        return params
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        columns, fraction = params["columns"], params["fraction"]
+        scale = params.get("scale", 3.0)
+        corrupted = frame.copy()
+        for name in columns:
+            rows = self._pick_rows(len(frame), fraction, rng)
+            if rows.size == 0:
+                continue
+            values = corrupted[name]
+            column_std = float(np.nanstd(values))
+            if column_std == 0.0:
+                column_std = 1.0
+            noise = rng.normal(scale=scale * column_std, size=rows.size)
+            corrupted.set_values(name, rows, values[rows] + noise)
+        return corrupted
+
+
+class SwappedValues(ErrorGen):
+    """Swap a proportion of values between a pair of columns.
+
+    For same-type pairs values are exchanged directly. For a numeric /
+    categorical pair the swap mimics what a buggy preprocessing join does:
+    the numeric side receives an unparseable string and becomes missing,
+    the categorical side receives the stringified number (an unseen
+    category).
+    """
+
+    name = "swapped_values"
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        return frame.numeric_columns + frame.categorical_columns
+
+    def sample_params(self, frame: DataFrame, rng: np.random.Generator) -> dict[str, Any]:
+        targets = self._resolve_columns(frame)
+        if len(targets) < 2:
+            raise CorruptionError("swapped_values needs at least two applicable columns")
+        pair = list(rng.choice(targets, size=2, replace=False))
+        return {"columns": pair, "fraction": float(rng.uniform(0.05, 1.0))}
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        columns, fraction = params["columns"], params["fraction"]
+        if len(columns) != 2:
+            raise CorruptionError("swapped_values expects exactly two columns")
+        first, second = columns
+        corrupted = frame.copy()
+        rows = self._pick_rows(len(frame), fraction, rng)
+        if rows.size == 0:
+            return corrupted
+        type_a = frame.schema.type_of(first)
+        type_b = frame.schema.type_of(second)
+        values_a = corrupted[first][rows].copy()
+        values_b = corrupted[second][rows].copy()
+        if type_a is type_b:
+            corrupted.set_values(first, rows, values_b)
+            corrupted.set_values(second, rows, values_a)
+            return corrupted
+        numeric, categorical = (first, second) if type_a is ColumnType.NUMERIC else (second, first)
+        numeric_values = corrupted[numeric][rows].copy()
+        # Numeric side: category strings do not parse -> missing.
+        corrupted.set_values(numeric, rows, np.full(rows.size, np.nan))
+        # Categorical side: stringified numbers become unseen categories.
+        as_strings = [
+            None if np.isnan(v) else str(round(float(v), 2)) for v in numeric_values
+        ]
+        corrupted.set_values(categorical, rows, as_strings)
+        return corrupted
+
+
+class Scaling(ErrorGen):
+    """Multiply a fraction of numeric values by 10, 100 or 1000.
+
+    Mimics unit mix-ups, e.g. a feature switching from seconds to
+    milliseconds in preprocessing code.
+    """
+
+    name = "scaling"
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        return frame.numeric_columns
+
+    def sample_params(self, frame: DataFrame, rng: np.random.Generator) -> dict[str, Any]:
+        params = super().sample_params(frame, rng)
+        params["factor"] = float(rng.choice([10.0, 100.0, 1000.0]))
+        return params
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        columns, fraction = params["columns"], params["fraction"]
+        factor = params.get("factor", 100.0)
+        corrupted = frame.copy()
+        for name in columns:
+            rows = self._pick_rows(len(frame), fraction, rng)
+            if rows.size == 0:
+                continue
+            corrupted.set_values(name, rows, corrupted[name][rows] * factor)
+        return corrupted
+
+
+_MOJIBAKE = {"e": "é", "o": "œ", "u": "ü", "a": "â", "E": "É", "O": "Œ", "U": "Ü", "A": "Â"}
+
+
+class EncodingErrors(ErrorGen):
+    """Simulate broken character encodings in categorical values."""
+
+    name = "encoding_errors"
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        return frame.categorical_columns
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        columns, fraction = params["columns"], params["fraction"]
+        corrupted = frame.copy()
+        for name in columns:
+            rows = self._pick_rows(len(frame), fraction, rng)
+            if rows.size == 0:
+                continue
+            values = corrupted[name]
+            replacements = []
+            for row in rows:
+                value = values[row]
+                if value is None:
+                    replacements.append(None)
+                else:
+                    replacements.append("".join(_MOJIBAKE.get(ch, ch) for ch in value))
+            corrupted.set_values(name, rows, replacements)
+        return corrupted
+
+
+class Typos(ErrorGen):
+    """Random character edits in categorical values (an 'unknown' error)."""
+
+    name = "typos"
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        return frame.categorical_columns
+
+    @staticmethod
+    def _edit(value: str, rng: np.random.Generator) -> str:
+        if not value:
+            return value
+        position = int(rng.integers(0, len(value)))
+        replacement = chr(ord("a") + int(rng.integers(0, 26)))
+        operation = rng.integers(0, 3)
+        if operation == 0:  # substitute
+            return value[:position] + replacement + value[position + 1 :]
+        if operation == 1:  # insert
+            return value[:position] + replacement + value[position:]
+        return value[:position] + value[position + 1 :]  # delete
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        columns, fraction = params["columns"], params["fraction"]
+        corrupted = frame.copy()
+        for name in columns:
+            rows = self._pick_rows(len(frame), fraction, rng)
+            if rows.size == 0:
+                continue
+            values = corrupted[name]
+            replacements = [
+                None if values[row] is None else self._edit(values[row], rng) for row in rows
+            ]
+            corrupted.set_values(name, rows, replacements)
+        return corrupted
+
+
+class Smearing(ErrorGen):
+    """Shift numeric values by a random amount in +-10% (an 'unknown' error)."""
+
+    name = "smearing"
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        return frame.numeric_columns
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        columns, fraction = params["columns"], params["fraction"]
+        corrupted = frame.copy()
+        for name in columns:
+            rows = self._pick_rows(len(frame), fraction, rng)
+            if rows.size == 0:
+                continue
+            shifts = rng.uniform(-0.1, 0.1, size=rows.size)
+            corrupted.set_values(name, rows, corrupted[name][rows] * (1.0 + shifts))
+        return corrupted
+
+
+class SignFlip(ErrorGen):
+    """Multiply numeric values by -1 (an 'unknown' error)."""
+
+    name = "sign_flip"
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        return frame.numeric_columns
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        columns, fraction = params["columns"], params["fraction"]
+        corrupted = frame.copy()
+        for name in columns:
+            rows = self._pick_rows(len(frame), fraction, rng)
+            if rows.size == 0:
+                continue
+            corrupted.set_values(name, rows, -corrupted[name][rows])
+        return corrupted

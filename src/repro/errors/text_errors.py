@@ -1,0 +1,48 @@
+"""Adversarial text perturbation for the tweets dataset.
+
+The paper simulates attackers rewriting trolling tweets in 'leetspeak'
+("hello world" -> "h3110 w041d") to slip past the classifier: the hashed
+n-grams of the rewritten words no longer match anything seen in training.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors.base import ErrorGen
+from repro.tabular.frame import DataFrame
+
+_LEET = {
+    "a": "4", "e": "3", "i": "1", "l": "1", "o": "0",
+    "s": "5", "t": "7", "b": "8", "g": "9",
+}
+
+
+def to_leetspeak(text: str) -> str:
+    """Rewrite a string using the classic leetspeak substitutions."""
+    return "".join(_LEET.get(ch, ch) for ch in text.lower())
+
+
+class LeetspeakAdversarial(ErrorGen):
+    """Rewrite a fraction of text values in leetspeak."""
+
+    name = "adversarial_leetspeak"
+
+    def applicable_columns(self, frame: DataFrame) -> list[str]:
+        return frame.text_columns
+
+    def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
+        columns, fraction = params["columns"], params["fraction"]
+        corrupted = frame.copy()
+        for name in columns:
+            rows = self._pick_rows(len(frame), fraction, rng)
+            if rows.size == 0:
+                continue
+            values = corrupted[name]
+            replacements = [
+                None if values[row] is None else to_leetspeak(values[row]) for row in rows
+            ]
+            corrupted.set_values(name, rows, replacements)
+        return corrupted

@@ -1,0 +1,42 @@
+"""Experiment harness and reporting for reproducing the paper's evaluation."""
+
+from repro.evaluation.harness import (
+    CloudExperimentResult,
+    ExperimentSplits,
+    ValidationScores,
+    cloud_experiment,
+    extended_error_generators,
+    known_error_generators,
+    prepare_splits,
+    sample_size_errors,
+    score_estimation_errors,
+    train_black_box,
+    unknown_error_generators,
+    unknown_fraction_errors,
+    validation_comparison,
+    validation_comparison_multi,
+)
+from repro.evaluation.models import MODEL_NAMES, make_model
+from repro.evaluation.reporting import DistributionSummary, format_f1_cell, format_table
+
+__all__ = [
+    "CloudExperimentResult",
+    "DistributionSummary",
+    "ExperimentSplits",
+    "MODEL_NAMES",
+    "ValidationScores",
+    "cloud_experiment",
+    "extended_error_generators",
+    "format_f1_cell",
+    "format_table",
+    "known_error_generators",
+    "make_model",
+    "prepare_splits",
+    "sample_size_errors",
+    "score_estimation_errors",
+    "train_black_box",
+    "unknown_error_generators",
+    "unknown_fraction_errors",
+    "validation_comparison",
+    "validation_comparison_multi",
+]

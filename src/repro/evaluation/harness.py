@@ -1,0 +1,419 @@
+"""Experiment harness implementing the paper's evaluation protocols.
+
+Each public function corresponds to a protocol from §6 and is called by
+the benchmark suite (one bench per table/figure) and by the examples. The
+harness owns the common plumbing: partitioning a dataset into disjoint
+source / serving splits, training a black box on the source data, choosing
+the per-dataset error generators, and scoring the approaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.bbse import BBSE, BBSEh
+from repro.baselines.rel import RelationalShiftDetector
+from repro.core.blackbox import BlackBoxModel
+from repro.core.predictor import PerformancePredictor
+from repro.core.validator import PerformanceValidator
+from repro.datasets.base import Dataset, load_dataset
+from repro.errors.base import ErrorGen
+from repro.errors.entropy_errors import ModelEntropyMissingValues
+from repro.errors.image_errors import ImageNoise, ImageRotation
+from repro.errors.mixture import ErrorMixture, PartiallyAppliedError
+from repro.errors.tabular_errors import (
+    GaussianOutliers,
+    MissingValues,
+    Scaling,
+    SignFlip,
+    Smearing,
+    SwappedValues,
+    Typos,
+)
+from repro.errors.text_errors import LeetspeakAdversarial
+from repro.evaluation.models import make_model
+from repro.exceptions import DataValidationError
+from repro.ml.metrics import f1_score
+from repro.ml.pipeline import Pipeline, TabularEncoder
+from repro.tabular.frame import DataFrame
+from repro.tabular.ops import balance_classes, split_frame, train_test_split
+
+
+@dataclass(frozen=True)
+class ExperimentSplits:
+    """Disjoint train / test / serving partitions of one dataset."""
+
+    dataset: Dataset
+    train: DataFrame
+    y_train: np.ndarray
+    test: DataFrame
+    y_test: np.ndarray
+    serving: DataFrame
+    y_serving: np.ndarray
+
+
+def prepare_splits(
+    dataset_name: str,
+    n_rows: int = 4000,
+    seed: int = 0,
+    serving_fraction: float = 0.4,
+    test_fraction: float = 0.35,
+) -> ExperimentSplits:
+    """Load a dataset, balance classes, and carve out the paper's splits.
+
+    Source data (train + test) and serving data are disjoint; the test
+    split is the held-out data the performance predictor trains on.
+    """
+    dataset = load_dataset(dataset_name, n_rows=n_rows, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    frame, labels = balance_classes(dataset.frame, dataset.labels, rng)
+    (source, y_source), (serving, y_serving) = split_frame(
+        frame, labels, (1.0 - serving_fraction, serving_fraction), rng
+    )
+    train, y_train, test, y_test = train_test_split(source, y_source, test_fraction, rng)
+    return ExperimentSplits(
+        dataset=dataset,
+        train=train,
+        y_train=y_train,
+        test=test,
+        y_test=y_test,
+        serving=serving,
+        y_serving=y_serving,
+    )
+
+
+def train_black_box(
+    model_name: str,
+    splits: ExperimentSplits,
+    seed: int = 0,
+    grid_search: bool = False,
+) -> BlackBoxModel:
+    """Train one of the paper's model families on the source training split."""
+    model = make_model(model_name, random_state=seed, grid_search=grid_search)
+    pipeline = Pipeline(TabularEncoder(), model).fit(splits.train, splits.y_train)
+    return BlackBoxModel.wrap(pipeline)
+
+
+def known_error_generators(task: str) -> dict[str, ErrorGen]:
+    """The §6.1.1 'known error' set for a dataset task type."""
+    if task == "tabular":
+        return {
+            "missing_values": MissingValues(),
+            "outliers": GaussianOutliers(),
+            "swapped_values": SwappedValues(),
+            "scaling": Scaling(),
+        }
+    if task == "text":
+        return {"adversarial": LeetspeakAdversarial()}
+    if task == "image":
+        return {"image_noise": ImageNoise(), "image_rotation": ImageRotation()}
+    raise DataValidationError(f"unknown task {task!r}")
+
+
+def unknown_error_generators() -> dict[str, ErrorGen]:
+    """The §6.2.2 errors the validator never sees during training."""
+    return {"typos": Typos(), "smearing": Smearing(), "sign_flip": SignFlip()}
+
+
+def extended_error_generators(blackbox: BlackBoxModel) -> dict[str, ErrorGen]:
+    """§6.1.2 error pool: the known tabular set plus entropy-based missingness."""
+    generators = known_error_generators("tabular")
+    generators["entropy_missing"] = ModelEntropyMissingValues(blackbox.predict_proba)
+    return generators
+
+
+# --------------------------------------------------------------------- #
+# §6.1.1 — prediction score estimation for known error types (Figure 2)
+# --------------------------------------------------------------------- #
+
+
+def score_estimation_errors(
+    blackbox: BlackBoxModel,
+    splits: ExperimentSplits,
+    train_generators: list[ErrorGen],
+    eval_generators: list[ErrorGen],
+    n_train_samples: int = 120,
+    n_eval_rounds: int = 20,
+    metric: str = "accuracy",
+    seed: int = 0,
+) -> np.ndarray:
+    """Absolute errors of the predictor's score estimates on corrupted serving data.
+
+    Trains a performance predictor on corruptions of the held-out test
+    split, then corrupts the (disjoint, unseen) serving split with randomly
+    sampled magnitudes and compares estimated vs. true score.
+    """
+    predictor = PerformancePredictor(
+        blackbox,
+        train_generators,
+        metric=metric,
+        n_samples=n_train_samples,
+        mode="single",
+        random_state=seed,
+    ).fit(splits.test, splits.y_test)
+    rng = np.random.default_rng(seed + 10_000)
+    absolute_errors = []
+    for round_index in range(n_eval_rounds):
+        generator = eval_generators[round_index % len(eval_generators)]
+        corrupted, _ = generator.corrupt_random(splits.serving, rng)
+        estimate = predictor.predict(corrupted)
+        truth = blackbox.score(corrupted, splits.y_serving, metric)
+        absolute_errors.append(abs(estimate - truth))
+    return np.asarray(absolute_errors)
+
+
+# --------------------------------------------------------------------- #
+# §6.1.2 — mixed and unknown shifts (Figure 3)
+# --------------------------------------------------------------------- #
+
+
+def unknown_fraction_errors(
+    blackbox: BlackBoxModel,
+    splits: ExperimentSplits,
+    unknown_fraction: float,
+    n_train_samples: int = 100,
+    n_eval_rounds: int = 15,
+    seed: int = 0,
+) -> np.ndarray:
+    """Absolute estimation errors when the predictor trained on weakened errors.
+
+    Following §6.1.2 exactly: one random numerical column and one random
+    categorical column are chosen per (model, dataset) combination, and all
+    error types are applied to those columns only. ``unknown_fraction`` u
+    damps the predictor's training exposure to every error type to (1 - u);
+    the serving data is corrupted at full strength. u = 1 reproduces the
+    fully-unknown case where the predictor never saw a single corrupted
+    cell.
+    """
+    if not 0.0 <= unknown_fraction <= 1.0:
+        raise DataValidationError(f"unknown_fraction must be in [0, 1], got {unknown_fraction}")
+    column_rng = np.random.default_rng(seed + 5_000)
+    numeric_column = str(column_rng.choice(splits.test.numeric_columns))
+    categorical_column = str(column_rng.choice(splits.test.categorical_columns))
+    full_generators: list[ErrorGen] = [
+        MissingValues(columns=[categorical_column]),
+        GaussianOutliers(columns=[numeric_column]),
+        SwappedValues(columns=[numeric_column, categorical_column]),
+        Scaling(columns=[numeric_column]),
+        ModelEntropyMissingValues(
+            blackbox.predict_proba, columns=[categorical_column, numeric_column]
+        ),
+    ]
+    train_generators: list[ErrorGen] = [
+        PartiallyAppliedError(generator, exposure=1.0 - unknown_fraction)
+        for generator in full_generators
+    ]
+    predictor = PerformancePredictor(
+        blackbox,
+        train_generators,
+        n_samples=n_train_samples,
+        mode="mixture",
+        random_state=seed,
+    ).fit(splits.test, splits.y_test)
+    rng = np.random.default_rng(seed + 20_000)
+    mixture = ErrorMixture(full_generators, fire_prob=0.6)
+    absolute_errors = []
+    for _ in range(n_eval_rounds):
+        corrupted, _ = mixture.corrupt_random(splits.serving, rng)
+        estimate = predictor.predict(corrupted)
+        truth = blackbox.score(corrupted, splits.y_serving)
+        absolute_errors.append(abs(estimate - truth))
+    return np.asarray(absolute_errors)
+
+
+# --------------------------------------------------------------------- #
+# §6.1.3 — sensitivity to |D_test| (Figure 4)
+# --------------------------------------------------------------------- #
+
+
+def sample_size_errors(
+    blackbox: BlackBoxModel,
+    splits: ExperimentSplits,
+    generator: ErrorGen,
+    test_size: int,
+    n_train_samples: int = 80,
+    n_eval_rounds: int = 15,
+    seed: int = 0,
+) -> np.ndarray:
+    """Estimation errors when the predictor only sees ``test_size`` held-out rows."""
+    if test_size > len(splits.test):
+        raise DataValidationError(
+            f"test_size {test_size} exceeds held-out split of {len(splits.test)}"
+        )
+    rng = np.random.default_rng(seed + 30_000)
+    rows = rng.choice(len(splits.test), size=test_size, replace=False)
+    small_test = splits.test.select_rows(rows)
+    small_labels = splits.y_test[rows]
+    predictor = PerformancePredictor(
+        blackbox, [generator], n_samples=n_train_samples, mode="single", random_state=seed
+    ).fit(small_test, small_labels)
+    absolute_errors = []
+    for _ in range(n_eval_rounds):
+        corrupted, _ = generator.corrupt_random(splits.serving, rng)
+        estimate = predictor.predict(corrupted)
+        truth = blackbox.score(corrupted, splits.y_serving)
+        absolute_errors.append(abs(estimate - truth))
+    return np.asarray(absolute_errors)
+
+
+# --------------------------------------------------------------------- #
+# §6.2 — performance validation vs. baselines (Figures 5 and 6)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ValidationScores:
+    """F1 of each approach at detecting threshold violations."""
+
+    ppm: float
+    bbse: float
+    bbse_h: float
+    rel: float | None  # None when REL is inapplicable (image data)
+
+    def as_dict(self) -> dict[str, float | None]:
+        return {"PPM": self.ppm, "BBSE": self.bbse, "BBSE-h": self.bbse_h, "REL": self.rel}
+
+
+def validation_comparison_multi(
+    blackbox: BlackBoxModel,
+    splits: ExperimentSplits,
+    train_generators: list[ErrorGen],
+    eval_generators: list[ErrorGen],
+    thresholds: tuple[float, ...],
+    n_train_samples: int = 400,
+    n_eval_rounds: int = 40,
+    seed: int = 0,
+) -> dict[float, ValidationScores]:
+    """Compare PPM against BBSE / BBSEh / REL at several thresholds.
+
+    Training corrupts the held-out test split with mixtures of
+    ``train_generators``; evaluation corrupts the serving split with
+    mixtures of ``eval_generators`` (the same list for the §6.2.1 known
+    case, the unknown errors for §6.2.2). The positive class for F1 is "the
+    true score violates the threshold", i.e. an alarm should be raised.
+
+    The expensive parts — the corrupted meta-training copies and the
+    serving evaluation episodes — are generated once and shared by every
+    threshold's validator, mirroring how a deployment would reuse one
+    corruption corpus for several alarm sensitivities.
+    """
+    from repro.core.corruption import CorruptionSampler
+
+    rng = np.random.default_rng(seed)
+    sampler = CorruptionSampler(
+        blackbox, train_generators, mode="mixture", include_clean=True
+    )
+    shared_samples = sampler.sample(splits.test, splits.y_test, n_train_samples, rng)
+
+    validators = {}
+    for threshold in thresholds:
+        validators[threshold] = PerformanceValidator(
+            blackbox,
+            train_generators,
+            threshold=threshold,
+            mode="mixture",
+            random_state=seed,
+        ).fit(splits.test, splits.y_test, samples=shared_samples)
+
+    has_rel_columns = bool(splits.test.numeric_columns or splits.test.categorical_columns)
+    rel = RelationalShiftDetector().fit(splits.test) if has_rel_columns else None
+    bbse = BBSE(blackbox).fit(splits.test)
+    bbse_h = BBSEh(blackbox).fit(splits.test)
+
+    eval_rng = np.random.default_rng(seed + 40_000)
+    mixture = ErrorMixture(eval_generators, fire_prob=0.6)
+    test_score = blackbox.score(splits.test, splits.y_test)
+
+    true_scores = []
+    ppm_alarms: dict[float, list[int]] = {t: [] for t in thresholds}
+    bbse_alarms, bbse_h_alarms, rel_alarms = [], [], []
+    for _ in range(n_eval_rounds):
+        corrupted, _ = mixture.corrupt_random(splits.serving, eval_rng)
+        proba = blackbox.predict_proba(corrupted)
+        true_scores.append(blackbox.score(corrupted, splits.y_serving))
+        for threshold in thresholds:
+            ppm_alarms[threshold].append(
+                int(not validators[threshold].validate_from_proba(proba))
+            )
+        bbse_alarms.append(int(bbse.shift_detected_from_proba(proba)))
+        bbse_h_alarms.append(int(bbse_h.shift_detected_from_proba(proba)))
+        if rel is not None:
+            rel_alarms.append(int(rel.shift_detected(corrupted)))
+
+    results = {}
+    for threshold in thresholds:
+        truths = np.asarray(
+            [int(score < (1.0 - threshold) * test_score) for score in true_scores]
+        )
+        results[threshold] = ValidationScores(
+            ppm=f1_score(truths, np.asarray(ppm_alarms[threshold])),
+            bbse=f1_score(truths, np.asarray(bbse_alarms)),
+            bbse_h=f1_score(truths, np.asarray(bbse_h_alarms)),
+            rel=f1_score(truths, np.asarray(rel_alarms)) if rel is not None else None,
+        )
+    return results
+
+
+def validation_comparison(
+    blackbox: BlackBoxModel,
+    splits: ExperimentSplits,
+    train_generators: list[ErrorGen],
+    eval_generators: list[ErrorGen],
+    threshold: float,
+    n_train_samples: int = 400,
+    n_eval_rounds: int = 40,
+    seed: int = 0,
+) -> ValidationScores:
+    """Single-threshold convenience wrapper around the multi version."""
+    results = validation_comparison_multi(
+        blackbox, splits, train_generators, eval_generators, (threshold,),
+        n_train_samples=n_train_samples, n_eval_rounds=n_eval_rounds, seed=seed,
+    )
+    return results[threshold]
+
+
+# --------------------------------------------------------------------- #
+# §6.3.2 — cloud-hosted model (Figure 7)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CloudExperimentResult:
+    """Predicted-vs-true accuracy pairs for the cloud model experiment."""
+
+    predicted: np.ndarray
+    true: np.ndarray
+
+    @property
+    def mae(self) -> float:
+        return float(np.mean(np.abs(self.predicted - self.true)))
+
+    @property
+    def correlation(self) -> float:
+        if self.true.std() == 0 or self.predicted.std() == 0:
+            return 0.0
+        return float(np.corrcoef(self.predicted, self.true)[0, 1])
+
+
+def cloud_experiment(
+    blackbox: BlackBoxModel,
+    splits: ExperimentSplits,
+    n_train_samples: int = 120,
+    n_eval_rounds: int = 25,
+    seed: int = 0,
+) -> CloudExperimentResult:
+    """Predict the accuracy of an opaque (cloud) model under error mixtures."""
+    generators = list(known_error_generators("tabular").values())
+    predictor = PerformancePredictor(
+        blackbox, generators, n_samples=n_train_samples, mode="mixture", random_state=seed
+    ).fit(splits.test, splits.y_test)
+    rng = np.random.default_rng(seed + 50_000)
+    mixture = ErrorMixture(generators, fire_prob=0.6)
+    predicted, true = [], []
+    for _ in range(n_eval_rounds):
+        corrupted, _ = mixture.corrupt_random(splits.serving, rng)
+        predicted.append(predictor.predict(corrupted))
+        true.append(blackbox.score(corrupted, splits.y_serving))
+    return CloudExperimentResult(predicted=np.asarray(predicted), true=np.asarray(true))

@@ -1,0 +1,64 @@
+"""Plain-text reporting of experiment results.
+
+The benchmarks print the same rows / series the paper plots; these helpers
+format distributions and comparison tables consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-ish summary of an error distribution."""
+
+    median: float
+    mean: float
+    p5: float
+    p10: float
+    p90: float
+    p95: float
+
+    @classmethod
+    def of(cls, values: np.ndarray) -> "DistributionSummary":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise DataValidationError("cannot summarize an empty sample")
+        return cls(
+            median=float(np.median(values)),
+            mean=float(values.mean()),
+            p5=float(np.percentile(values, 5)),
+            p10=float(np.percentile(values, 10)),
+            p90=float(np.percentile(values, 90)),
+            p95=float(np.percentile(values, 95)),
+        )
+
+    def row(self, label: str) -> str:
+        return (
+            f"{label:<28} median={self.median:.4f} mean={self.mean:.4f} "
+            f"p10={self.p10:.4f} p90={self.p90:.4f}"
+        )
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width text table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise DataValidationError("every row must match the header width")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_f1_cell(value: float | None) -> str:
+    return "n/a" if value is None else f"{value:.3f}"

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A dataframe operation referenced a column or type that does not fit the schema."""
+
+
+class NotFittedError(ReproError):
+    """An estimator method requiring a fitted model was called before ``fit``."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to make progress (e.g. diverging loss)."""
+
+
+class DataValidationError(ReproError):
+    """Input data failed validation (wrong shape, dtype, or empty input)."""
+
+
+class CorruptionError(ReproError):
+    """An error generator was applied to data it cannot corrupt."""
+
+
+class ServiceError(ReproError):
+    """The (emulated) cloud model service rejected a request."""

@@ -1,0 +1,97 @@
+"""Mini ML library (scikit-learn stand-in) used as the modeling substrate.
+
+Contains the black box model zoo (SGD logistic regression, MLP, gradient
+boosting, convnet), the learners behind the performance predictor and
+validator (random forest, GBM), preprocessing, pipelines, model selection
+and metrics.
+"""
+
+from repro.ml.base import (
+    ClassifierMixin,
+    Estimator,
+    as_rng,
+    check_labels,
+    check_matrix,
+    clone,
+    sigmoid,
+    softmax,
+)
+from repro.ml.boosting import GradientBoostingClassifier, GradientBoostingRegressor
+from repro.ml.calibration import CalibratedClassifier, IsotonicCalibrator, PlattCalibrator
+from repro.ml.conv import ConvNetClassifier
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.linear import SGDClassifier
+from repro.ml.metrics import (
+    SCORERS,
+    accuracy_score,
+    confusion_counts,
+    f1_score,
+    log_loss,
+    mean_absolute_error,
+    mean_squared_error,
+    precision_score,
+    r2_score,
+    recall_score,
+    roc_auc_score,
+    score_predictions,
+)
+from repro.ml.model_selection import (
+    GridSearchCV,
+    KFold,
+    cross_val_score,
+    matrix_train_test_split,
+)
+from repro.ml.neural import MLPClassifier
+from repro.ml.pipeline import Pipeline, TabularEncoder
+from repro.ml.preprocessing import (
+    HashingVectorizer,
+    LabelEncoder,
+    OneHotEncoder,
+    StandardScaler,
+)
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "CalibratedClassifier",
+    "ClassifierMixin",
+    "ConvNetClassifier",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "Estimator",
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+    "GridSearchCV",
+    "HashingVectorizer",
+    "IsotonicCalibrator",
+    "KFold",
+    "LabelEncoder",
+    "MLPClassifier",
+    "OneHotEncoder",
+    "Pipeline",
+    "PlattCalibrator",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "SCORERS",
+    "SGDClassifier",
+    "StandardScaler",
+    "TabularEncoder",
+    "accuracy_score",
+    "as_rng",
+    "check_labels",
+    "check_matrix",
+    "clone",
+    "confusion_counts",
+    "cross_val_score",
+    "f1_score",
+    "log_loss",
+    "matrix_train_test_split",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "precision_score",
+    "r2_score",
+    "recall_score",
+    "roc_auc_score",
+    "score_predictions",
+    "sigmoid",
+    "softmax",
+]

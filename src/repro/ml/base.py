@@ -1,0 +1,123 @@
+"""Estimator protocol for the mini ML library (scikit-learn stand-in).
+
+Estimators follow the familiar contract: construct with hyperparameters,
+``fit(X, y)`` returns ``self``, ``predict`` / ``predict_proba`` consume a
+2-d float matrix. :func:`clone` creates an unfitted copy with the same
+hyperparameters, which model selection relies on.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import DataValidationError, NotFittedError
+
+
+def check_matrix(X: object, name: str = "X") -> np.ndarray:
+    """Validate and convert input to a 2-d float64 matrix."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise DataValidationError(f"{name} must be 2-d, got shape {X.shape}")
+    if X.shape[0] == 0:
+        raise DataValidationError(f"{name} must contain at least one row")
+    return X
+
+
+def check_labels(y: object, n_rows: int) -> np.ndarray:
+    """Validate a label vector against the number of rows in X."""
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise DataValidationError(f"y must be 1-d, got shape {y.shape}")
+    if len(y) != n_rows:
+        raise DataValidationError(f"X has {n_rows} rows but y has {len(y)} entries")
+    return y
+
+
+def as_rng(random_state: int | np.random.Generator | None) -> np.random.Generator:
+    """Normalize a seed / generator / None to a numpy Generator."""
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    return np.random.default_rng(random_state)
+
+
+def softmax(scores: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-subtraction for numerical stability."""
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def sigmoid(scores: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(scores, dtype=np.float64)
+    positive = scores >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-scores[positive]))
+    exp_s = np.exp(scores[~positive])
+    out[~positive] = exp_s / (1.0 + exp_s)
+    return out
+
+
+class Estimator:
+    """Base class providing get_params / set_params from ``__init__`` signature."""
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        signature = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, param in signature.parameters.items()
+            if name != "self" and param.kind is not inspect.Parameter.VAR_KEYWORD
+        ]
+
+    def get_params(self) -> dict[str, Any]:
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "Estimator":
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise DataValidationError(
+                    f"{type(self).__name__} has no parameter {name!r}; valid: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def _require_fitted(self, attribute: str) -> None:
+        if not hasattr(self, attribute):
+            raise NotFittedError(
+                f"{type(self).__name__} is not fitted; call fit() first"
+            )
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: Estimator) -> Estimator:
+    """An unfitted copy of the estimator with identical hyperparameters."""
+    params = {key: copy.deepcopy(value) for key, value in estimator.get_params().items()}
+    return type(estimator)(**params)
+
+
+class ClassifierMixin:
+    """Shared helpers for classifiers that store ``classes_`` after fitting."""
+
+    classes_: np.ndarray
+
+    def _encode_labels(self, y: np.ndarray) -> np.ndarray:
+        """Store ``classes_`` and return integer-encoded labels."""
+        self.classes_ = np.unique(y)
+        if len(self.classes_) < 2:
+            raise DataValidationError("classifier requires at least two classes in y")
+        index = {cls: i for i, cls in enumerate(self.classes_)}
+        return np.array([index[label] for label in y], dtype=np.int64)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)  # type: ignore[attr-defined]
+        return self.classes_[np.argmax(proba, axis=1)]

@@ -1,0 +1,148 @@
+"""Probability calibration: Platt scaling and isotonic regression.
+
+The performance predictor reads a model's output *distribution*, so how
+well the black box's probabilities are calibrated changes what those
+distributions look like. These utilities let users calibrate a model's
+scores on held-out data — and let experiments ask whether calibration
+helps or hurts the percentile featurization.
+
+* :class:`PlattCalibrator` — fits ``p = sigmoid(a * score + b)`` by
+  Newton-Raphson on the log-likelihood (Platt 1999).
+* :class:`IsotonicCalibrator` — monotone step-function fit via the
+  pool-adjacent-violators algorithm.
+* :class:`CalibratedClassifier` — wraps a fitted binary classifier and
+  recalibrates its positive-class probability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError, NotFittedError
+from repro.ml.base import Estimator, sigmoid
+
+
+class PlattCalibrator(Estimator):
+    """Sigmoid calibration of binary scores (Platt scaling)."""
+
+    def __init__(self, max_iterations: int = 100, tolerance: float = 1e-10):
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    def fit(self, scores: np.ndarray, y: np.ndarray) -> "PlattCalibrator":
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if scores.shape != y.shape or scores.size == 0:
+            raise DataValidationError("scores and y must be aligned and non-empty")
+        if not set(np.unique(y)) <= {0.0, 1.0}:
+            raise DataValidationError("y must be binary 0/1 for Platt scaling")
+        # Platt's target smoothing avoids saturated labels.
+        n_pos = float(y.sum())
+        n_neg = float(len(y) - n_pos)
+        targets = np.where(y == 1.0, (n_pos + 1.0) / (n_pos + 2.0), 1.0 / (n_neg + 2.0))
+        a, b = 0.0, float(np.log((n_neg + 1.0) / (n_pos + 1.0)))
+        for _ in range(self.max_iterations):
+            p = sigmoid(a * scores + b)
+            gradient_a = float(np.dot(scores, p - targets))
+            gradient_b = float(np.sum(p - targets))
+            w = p * (1.0 - p) + 1e-12
+            h_aa = float(np.dot(scores * scores, w))
+            h_ab = float(np.dot(scores, w))
+            h_bb = float(np.sum(w))
+            determinant = h_aa * h_bb - h_ab * h_ab
+            if abs(determinant) < 1e-18:
+                break
+            step_a = (h_bb * gradient_a - h_ab * gradient_b) / determinant
+            step_b = (h_aa * gradient_b - h_ab * gradient_a) / determinant
+            a -= step_a
+            b -= step_b
+            if abs(step_a) < self.tolerance and abs(step_b) < self.tolerance:
+                break
+        self.a_, self.b_ = a, b
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        self._require_fitted("a_")
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        return sigmoid(self.a_ * scores + self.b_)
+
+
+class IsotonicCalibrator(Estimator):
+    """Monotone nondecreasing calibration via pool-adjacent-violators."""
+
+    def fit(self, scores: np.ndarray, y: np.ndarray) -> "IsotonicCalibrator":
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if scores.shape != y.shape or scores.size == 0:
+            raise DataValidationError("scores and y must be aligned and non-empty")
+        order = np.argsort(scores, kind="mergesort")
+        xs = scores[order]
+        ys = y[order]
+        # PAVA with block merging.
+        block_value = list(ys.astype(float))
+        block_weight = [1.0] * len(ys)
+        block_end = list(range(len(ys)))
+        i = 0
+        while i < len(block_value) - 1:
+            if block_value[i] > block_value[i + 1] + 1e-15:
+                merged_weight = block_weight[i] + block_weight[i + 1]
+                merged_value = (
+                    block_value[i] * block_weight[i]
+                    + block_value[i + 1] * block_weight[i + 1]
+                ) / merged_weight
+                block_value[i : i + 2] = [merged_value]
+                block_weight[i : i + 2] = [merged_weight]
+                block_end[i : i + 2] = [block_end[i + 1]]
+                if i > 0:
+                    i -= 1
+            else:
+                i += 1
+        # Expand blocks back to per-point fitted values.
+        fitted = np.empty(len(ys))
+        start = 0
+        for value, end in zip(block_value, block_end):
+            fitted[start : end + 1] = value
+            start = end + 1
+        self.thresholds_ = xs
+        self.values_ = fitted
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        self._require_fitted("thresholds_")
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        indices = np.searchsorted(self.thresholds_, scores, side="right") - 1
+        indices = np.clip(indices, 0, len(self.values_) - 1)
+        return self.values_[indices]
+
+
+class CalibratedClassifier(Estimator):
+    """Recalibrate a fitted binary classifier's positive-class probability."""
+
+    def __init__(self, model: object, method: str = "platt"):
+        if method not in ("platt", "isotonic"):
+            raise DataValidationError(f"unknown method {method!r}; use platt or isotonic")
+        self.model = model
+        self.method = method
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "CalibratedClassifier":
+        proba = np.asarray(self.model.predict_proba(X))  # type: ignore[attr-defined]
+        if proba.shape[1] != 2:
+            raise DataValidationError("calibration wrapper supports binary models only")
+        self.classes_ = np.asarray(self.model.classes_)  # type: ignore[attr-defined]
+        y01 = (np.asarray(y) == self.classes_[1]).astype(float)
+        calibrator = (
+            PlattCalibrator() if self.method == "platt" else IsotonicCalibrator()
+        )
+        self.calibrator_ = calibrator.fit(proba[:, 1], y01)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "calibrator_"):
+            raise NotFittedError("CalibratedClassifier is not fitted; call fit() first")
+        raw = np.asarray(self.model.predict_proba(X))  # type: ignore[attr-defined]
+        positive = np.clip(self.calibrator_.transform(raw[:, 1]), 0.0, 1.0)
+        return np.column_stack([1.0 - positive, positive])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

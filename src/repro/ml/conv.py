@@ -1,0 +1,245 @@
+"""Convolutional network classifier for the image experiments (pure numpy).
+
+Architecture follows §6 of the paper: conv(32) -> ReLU -> conv(64) -> ReLU
+-> 2x2 max pooling -> dropout -> dense(128) -> ReLU -> dropout -> softmax.
+Convolutions are implemented with im2col so forward and backward passes are
+matrix multiplications; training uses minibatch Adam.
+
+The input is a flattened image matrix ``(n, h*w)`` plus an ``image_shape``
+hyperparameter, so the convnet plugs into the same pipeline interface as
+the tabular models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.ml.base import (
+    ClassifierMixin,
+    Estimator,
+    as_rng,
+    check_labels,
+    check_matrix,
+    softmax,
+)
+from repro.ml.neural import _Adam
+
+
+def im2col(images: np.ndarray, kernel: int, stride: int = 1) -> np.ndarray:
+    """Unfold (n, c, h, w) images into (n, out_h*out_w, c*kernel*kernel) patches."""
+    n, c, h, w = images.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    strides = images.strides
+    shape = (n, c, out_h, out_w, kernel, kernel)
+    view = np.lib.stride_tricks.as_strided(
+        images,
+        shape=shape,
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    # (n, out_h, out_w, c, k, k) -> rows of patches.
+    patches = view.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h * out_w, c * kernel * kernel)
+    return np.ascontiguousarray(patches)
+
+
+def col2im(
+    cols: np.ndarray, image_shape: tuple[int, int, int, int], kernel: int, stride: int = 1
+) -> np.ndarray:
+    """Fold patch gradients back onto the image grid (adjoint of im2col)."""
+    n, c, h, w = image_shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    grads = np.zeros(image_shape)
+    cols = cols.reshape(n, out_h, out_w, c, kernel, kernel)
+    for ki in range(kernel):
+        for kj in range(kernel):
+            grads[:, :, ki : ki + out_h * stride : stride, kj : kj + out_w * stride : stride] += (
+                cols[:, :, :, :, ki, kj].transpose(0, 3, 1, 2)
+            )
+    return grads
+
+
+class _ConvLayer:
+    """Valid convolution with ReLU, parameterized as an im2col matmul."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int, rng: np.random.Generator):
+        fan_in = in_channels * kernel * kernel
+        scale = np.sqrt(2.0 / fan_in)
+        self.weights = rng.normal(scale=scale, size=(fan_in, out_channels))
+        self.bias = np.zeros(out_channels)
+        self.kernel = kernel
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        self._input_shape = images.shape
+        self._cols = im2col(images, self.kernel)
+        n, c, h, w = images.shape
+        out_h = h - self.kernel + 1
+        out_w = w - self.kernel + 1
+        scores = self._cols @ self.weights + self.bias
+        self._pre_activation = scores
+        activated = np.maximum(scores, 0.0)
+        return activated.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_out: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        n, oc, out_h, out_w = grad_out.shape
+        grad_scores = grad_out.transpose(0, 2, 3, 1).reshape(n, out_h * out_w, oc)
+        grad_scores = grad_scores * (self._pre_activation > 0)
+        grad_w = np.einsum("npk,npo->ko", self._cols, grad_scores)
+        grad_b = grad_scores.sum(axis=(0, 1))
+        grad_cols = grad_scores @ self.weights.T
+        grad_images = col2im(grad_cols, self._input_shape, self.kernel)
+        return grad_images, grad_w, grad_b
+
+
+def _maxpool_forward(images: np.ndarray, size: int = 2) -> tuple[np.ndarray, np.ndarray]:
+    n, c, h, w = images.shape
+    out_h, out_w = h // size, w // size
+    trimmed = images[:, :, : out_h * size, : out_w * size]
+    windows = trimmed.reshape(n, c, out_h, size, out_w, size)
+    pooled = windows.max(axis=(3, 5))
+    mask = windows == pooled[:, :, :, None, :, None]
+    return pooled, mask
+
+
+def _maxpool_backward(
+    grad_out: np.ndarray, mask: np.ndarray, input_shape: tuple[int, ...], size: int = 2
+) -> np.ndarray:
+    n, c, h, w = input_shape
+    out_h, out_w = h // size, w // size
+    expanded = mask * grad_out[:, :, :, None, :, None]
+    grads = np.zeros(input_shape)
+    grads[:, :, : out_h * size, : out_w * size] = expanded.reshape(
+        n, c, out_h * size, out_w * size
+    )
+    return grads
+
+
+class ConvNetClassifier(Estimator, ClassifierMixin):
+    """conv(32)-conv(64)-maxpool-dense(128) softmax classifier with dropout."""
+
+    def __init__(
+        self,
+        image_shape: tuple[int, int] = (28, 28),
+        conv_channels: tuple[int, int] = (32, 64),
+        dense_width: int = 128,
+        kernel: int = 3,
+        dropout: float = 0.25,
+        learning_rate: float = 1e-3,
+        epochs: int = 4,
+        batch_size: int = 64,
+        random_state: int | None = 0,
+    ):
+        self.image_shape = image_shape
+        self.conv_channels = conv_channels
+        self.dense_width = dense_width
+        self.kernel = kernel
+        self.dropout = dropout
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.random_state = random_state
+
+    def _to_images(self, X: np.ndarray) -> np.ndarray:
+        h, w = self.image_shape
+        if X.shape[1] != h * w:
+            raise DataValidationError(
+                f"X has {X.shape[1]} features, expected {h}*{w}={h * w} pixels"
+            )
+        return X.reshape(-1, 1, h, w)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "ConvNetClassifier":
+        X = check_matrix(X)
+        y = check_labels(y, X.shape[0])
+        y_idx = self._encode_labels(y)
+        images = self._to_images(X)
+        n = images.shape[0]
+        m = len(self.classes_)
+        rng = as_rng(self.random_state)
+        c1, c2 = self.conv_channels
+        self._conv1 = _ConvLayer(1, c1, self.kernel, rng)
+        self._conv2 = _ConvLayer(c1, c2, self.kernel, rng)
+        h, w = self.image_shape
+        conv_h = h - 2 * (self.kernel - 1)
+        conv_w = w - 2 * (self.kernel - 1)
+        flat_dim = c2 * (conv_h // 2) * (conv_w // 2)
+        scale1 = np.sqrt(2.0 / flat_dim)
+        scale2 = np.sqrt(2.0 / self.dense_width)
+        self._w_dense = rng.normal(scale=scale1, size=(flat_dim, self.dense_width))
+        self._b_dense = np.zeros(self.dense_width)
+        self._w_out = rng.normal(scale=scale2, size=(self.dense_width, m))
+        self._b_out = np.zeros(m)
+        params = [
+            self._conv1.weights, self._conv1.bias,
+            self._conv2.weights, self._conv2.bias,
+            self._w_dense, self._b_dense, self._w_out, self._b_out,
+        ]
+        optimizer = _Adam(params, self.learning_rate)
+        onehot = np.eye(m)[y_idx]
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                grads = self._backprop(images[batch], onehot[batch], rng)
+                optimizer.step(params, grads)
+        self.fitted_ = True
+        return self
+
+    def _backprop(
+        self, images: np.ndarray, onehot: np.ndarray, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        batch = images.shape[0]
+        a1 = self._conv1.forward(images)
+        a2 = self._conv2.forward(a1)
+        pooled, mask = _maxpool_forward(a2)
+        flat = pooled.reshape(batch, -1)
+        keep1 = (rng.random(flat.shape) >= self.dropout) / (1.0 - self.dropout)
+        flat_dropped = flat * keep1
+        z_dense = flat_dropped @ self._w_dense + self._b_dense
+        a_dense = np.maximum(z_dense, 0.0)
+        keep2 = (rng.random(a_dense.shape) >= self.dropout) / (1.0 - self.dropout)
+        a_dense_dropped = a_dense * keep2
+        scores = a_dense_dropped @ self._w_out + self._b_out
+        proba = softmax(scores)
+        grad_scores = (proba - onehot) / batch
+        grad_w_out = a_dense_dropped.T @ grad_scores
+        grad_b_out = grad_scores.sum(axis=0)
+        grad_a_dense = (grad_scores @ self._w_out.T) * keep2 * (z_dense > 0)
+        grad_w_dense = flat_dropped.T @ grad_a_dense
+        grad_b_dense = grad_a_dense.sum(axis=0)
+        grad_flat = (grad_a_dense @ self._w_dense.T) * keep1
+        grad_pooled = grad_flat.reshape(pooled.shape)
+        grad_a2 = _maxpool_backward(grad_pooled, mask, a2.shape)
+        grad_a1, grad_w2, grad_b2 = self._conv2.backward(grad_a2)
+        _, grad_w1, grad_b1 = self._conv1.backward(grad_a1)
+        return [
+            grad_w1, grad_b1, grad_w2, grad_b2,
+            grad_w_dense, grad_b_dense, grad_w_out, grad_b_out,
+        ]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("fitted_")
+        X = check_matrix(X)
+        images = self._to_images(np.nan_to_num(X, nan=0.0))
+        proba_parts = []
+        # Predict in chunks to bound im2col memory.
+        for start in range(0, images.shape[0], 512):
+            chunk = images[start : start + 512]
+            a1 = self._conv1.forward(chunk)
+            a2 = self._conv2.forward(a1)
+            pooled, _ = _maxpool_forward(a2)
+            flat = pooled.reshape(chunk.shape[0], -1)
+            a_dense = np.maximum(flat @ self._w_dense + self._b_dense, 0.0)
+            scores = a_dense @ self._w_out + self._b_out
+            proba_parts.append(softmax(scores))
+        return np.concatenate(proba_parts, axis=0)

@@ -1,0 +1,135 @@
+"""Random forests (bagged CART trees).
+
+``RandomForestRegressor`` is the learner the paper uses for the
+performance predictor ``h`` (grid-searched over the number of trees with
+five-fold cross-validation); the classifier variant rounds out the model
+zoo for the AutoML experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import (
+    ClassifierMixin,
+    Estimator,
+    as_rng,
+    check_labels,
+    check_matrix,
+)
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+def _bootstrap(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.integers(0, n, size=n)
+
+
+class RandomForestRegressor(Estimator):
+    """Bagging ensemble of CART regression trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_trees: int = 50,
+        max_depth: int = 10,
+        min_samples_leaf: int = 2,
+        max_features: str | int | None = "sqrt",
+        random_state: int | None = 0,
+    ):
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    def _resolve_max_features(self, n_features: int) -> int | None:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if self.max_features == "third":
+            return max(1, n_features // 3)
+        return int(self.max_features)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = check_matrix(X)
+        y = check_labels(y, X.shape[0]).astype(np.float64)
+        rng = as_rng(self.random_state)
+        max_features = self._resolve_max_features(X.shape[1])
+        self.trees_ = []
+        for _ in range(self.n_trees):
+            rows = _bootstrap(rng, X.shape[0])
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[rows], y[rows])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("trees_")
+        X = check_matrix(X)
+        predictions = np.stack([tree.predict(X) for tree in self.trees_])
+        return predictions.mean(axis=0)
+
+
+class RandomForestClassifier(Estimator, ClassifierMixin):
+    """Bagging ensemble of CART classification trees, probability-averaged."""
+
+    def __init__(
+        self,
+        n_trees: int = 50,
+        max_depth: int = 10,
+        min_samples_leaf: int = 2,
+        max_features: str | int | None = "sqrt",
+        random_state: int | None = 0,
+    ):
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = check_matrix(X)
+        y = check_labels(y, X.shape[0])
+        self._encode_labels(y)
+        rng = as_rng(self.random_state)
+        if self.max_features is None:
+            max_features = None
+        elif self.max_features == "sqrt":
+            max_features = max(1, int(np.sqrt(X.shape[1])))
+        else:
+            max_features = int(self.max_features)
+        self.trees_ = []
+        for _ in range(self.n_trees):
+            rows = _bootstrap(rng, X.shape[0])
+            # Resample until the bootstrap contains every class (tiny inputs
+            # can otherwise drop one), so tree probability columns align.
+            for _ in range(100):
+                if len(np.unique(y[rows])) == len(self.classes_):
+                    break
+                rows = _bootstrap(rng, X.shape[0])
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[rows], y[rows])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("trees_")
+        X = check_matrix(X)
+        stacked = np.zeros((X.shape[0], len(self.classes_)))
+        for tree in self.trees_:
+            proba = tree.predict_proba(X)
+            # Align the tree's class columns with the forest's.
+            for i, cls in enumerate(tree.classes_):
+                column = int(np.searchsorted(self.classes_, cls))
+                stacked[:, column] += proba[:, i]
+        return stacked / len(self.trees_)

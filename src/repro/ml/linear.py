@@ -1,0 +1,113 @@
+"""Linear classification via stochastic gradient descent.
+
+This is the reproduction's ``lr`` black box: multinomial logistic
+regression trained with minibatch SGD, with L1 or L2 regularization, the
+same family as scikit-learn's ``SGDClassifier(loss="log_loss")`` that the
+paper grid-searches over regularization type and learning rate.
+
+The paper's footnote 9 attributes the linear model's failure under
+unknown scaling errors to numeric blow-ups inside ``SGDClassifier``. Our
+implementation reproduces that pathology faithfully at *serving* time:
+decision scores grow linearly with the (mis-)scaled inputs, so the softmax
+saturates and predictions become unrelated to the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.ml.base import (
+    ClassifierMixin,
+    Estimator,
+    as_rng,
+    check_labels,
+    check_matrix,
+    softmax,
+)
+
+
+class SGDClassifier(Estimator, ClassifierMixin):
+    """Multinomial logistic regression trained with minibatch SGD.
+
+    Parameters
+    ----------
+    penalty:
+        "l2", "l1" or "none".
+    alpha:
+        Regularization strength.
+    learning_rate:
+        Initial step size; decays as ``lr / (1 + decay * step)``.
+    epochs, batch_size:
+        Optimization budget.
+    random_state:
+        Seed for shuffling and initialization.
+    """
+
+    def __init__(
+        self,
+        penalty: str = "l2",
+        alpha: float = 1e-4,
+        learning_rate: float = 0.1,
+        decay: float = 1e-3,
+        epochs: int = 20,
+        batch_size: int = 64,
+        random_state: int | None = 0,
+    ):
+        if penalty not in ("l1", "l2", "none"):
+            raise DataValidationError(f"unknown penalty {penalty!r}")
+        self.penalty = penalty
+        self.alpha = alpha
+        self.learning_rate = learning_rate
+        self.decay = decay
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.random_state = random_state
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SGDClassifier":
+        X = check_matrix(X)
+        y = check_labels(y, X.shape[0])
+        y_idx = self._encode_labels(y)
+        n, d = X.shape
+        m = len(self.classes_)
+        rng = as_rng(self.random_state)
+        weights = rng.normal(scale=0.01, size=(d, m))
+        bias = np.zeros(m)
+        onehot = np.eye(m)[y_idx]
+        step = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                xb, yb = X[batch], onehot[batch]
+                proba = softmax(xb @ weights + bias)
+                grad_scores = (proba - yb) / len(batch)
+                grad_w = xb.T @ grad_scores
+                grad_b = grad_scores.sum(axis=0)
+                if self.penalty == "l2":
+                    grad_w += self.alpha * weights
+                elif self.penalty == "l1":
+                    grad_w += self.alpha * np.sign(weights)
+                lr = self.learning_rate / (1.0 + self.decay * step)
+                weights -= lr * grad_w
+                bias -= lr * grad_b
+                step += 1
+        self.coef_ = weights
+        self.intercept_ = bias
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("coef_")
+        X = check_matrix(X)
+        if X.shape[1] != self.coef_.shape[0]:
+            raise DataValidationError(
+                f"X has {X.shape[1]} features, model expects {self.coef_.shape[0]}"
+            )
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(X)
+        # Deliberately no input sanitization: wildly scaled serving inputs
+        # saturate the softmax exactly like the overflow-prone original.
+        scores = np.nan_to_num(scores, nan=0.0, posinf=1e15, neginf=-1e15)
+        return softmax(scores)

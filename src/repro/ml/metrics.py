@@ -1,0 +1,155 @@
+"""Evaluation metrics for the mini ML library.
+
+The paper scores black-box classifiers with accuracy and ROC AUC, measures
+the performance predictor with (mean) absolute error, and compares the
+validators with F1. All of those metrics, plus the usual supporting cast,
+live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+
+def _check_pair(y_true: object, y_pred: object) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise DataValidationError(
+            f"y_true and y_pred must be aligned 1-d arrays, got {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise DataValidationError("metrics require at least one example")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true: object, y_pred: object) -> float:
+    """Fraction of exactly-matching predictions."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def mean_absolute_error(y_true: object, y_pred: object) -> float:
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true.astype(float) - y_pred.astype(float))))
+
+
+def mean_squared_error(y_true: object, y_pred: object) -> float:
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    diff = y_true.astype(float) - y_pred.astype(float)
+    return float(np.mean(diff * diff))
+
+
+def r2_score(y_true: object, y_pred: object) -> float:
+    """Coefficient of determination; 0 for a constant-mean predictor."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    y_true = y_true.astype(float)
+    residual = float(np.sum((y_true - y_pred.astype(float)) ** 2))
+    total = float(np.sum((y_true - y_true.mean()) ** 2))
+    if total == 0.0:
+        return 0.0 if residual > 0 else 1.0
+    return 1.0 - residual / total
+
+
+def confusion_counts(
+    y_true: object, y_pred: object, positive: object = 1
+) -> tuple[int, int, int, int]:
+    """(tp, fp, fn, tn) for a binary task with the given positive label."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    true_pos = y_true == positive
+    pred_pos = y_pred == positive
+    tp = int(np.sum(true_pos & pred_pos))
+    fp = int(np.sum(~true_pos & pred_pos))
+    fn = int(np.sum(true_pos & ~pred_pos))
+    tn = int(np.sum(~true_pos & ~pred_pos))
+    return tp, fp, fn, tn
+
+
+def precision_score(y_true: object, y_pred: object, positive: object = 1) -> float:
+    tp, fp, _, _ = confusion_counts(y_true, y_pred, positive)
+    if tp + fp == 0:
+        return 0.0
+    return tp / (tp + fp)
+
+
+def recall_score(y_true: object, y_pred: object, positive: object = 1) -> float:
+    tp, _, fn, _ = confusion_counts(y_true, y_pred, positive)
+    if tp + fn == 0:
+        return 0.0
+    return tp / (tp + fn)
+
+
+def f1_score(y_true: object, y_pred: object, positive: object = 1) -> float:
+    """Harmonic mean of precision and recall; 0 when both are undefined."""
+    precision = precision_score(y_true, y_pred, positive)
+    recall = recall_score(y_true, y_pred, positive)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def roc_auc_score(y_true: object, scores: object, positive: object = 1) -> float:
+    """Area under the ROC curve via the rank (Mann-Whitney) formulation.
+
+    Ties in the scores receive mid-ranks, matching the usual definition.
+    """
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape or y_true.ndim != 1:
+        raise DataValidationError("y_true and scores must be aligned 1-d arrays")
+    pos = y_true == positive
+    n_pos = int(pos.sum())
+    n_neg = int((~pos).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise DataValidationError("ROC AUC requires both classes present")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    sorted_scores = scores[order]
+    i = 0
+    rank = 1.0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        mid = (rank + rank + (j - i)) / 2.0
+        ranks[order[i : j + 1]] = mid
+        rank += j - i + 1
+        i = j + 1
+    rank_sum = float(ranks[pos].sum())
+    u_statistic = rank_sum - n_pos * (n_pos + 1) / 2.0
+    return u_statistic / (n_pos * n_neg)
+
+
+def log_loss(y_true_idx: object, proba: object, eps: float = 1e-12) -> float:
+    """Cross-entropy of integer-encoded labels against a probability matrix."""
+    y_true_idx = np.asarray(y_true_idx, dtype=np.int64)
+    proba = np.asarray(proba, dtype=np.float64)
+    if proba.ndim != 2 or len(y_true_idx) != proba.shape[0]:
+        raise DataValidationError("proba must be (n, m) aligned with y_true_idx")
+    clipped = np.clip(proba[np.arange(len(y_true_idx)), y_true_idx], eps, 1.0)
+    return float(-np.mean(np.log(clipped)))
+
+
+SCORERS = {
+    "accuracy": accuracy_score,
+    "f1": f1_score,
+    "mae": mean_absolute_error,
+    "mse": mean_squared_error,
+    "r2": r2_score,
+}
+
+
+def score_predictions(
+    metric: str, y_true: np.ndarray, y_pred: np.ndarray, proba: np.ndarray | None = None
+) -> float:
+    """Score predictions by metric name; ``roc_auc`` needs the probability matrix."""
+    if metric == "roc_auc":
+        if proba is None or proba.ndim != 2 or proba.shape[1] != 2:
+            raise DataValidationError("roc_auc scoring requires binary predict_proba output")
+        classes = np.unique(y_true)
+        return roc_auc_score(y_true, proba[:, 1], positive=classes.max())
+    if metric not in SCORERS:
+        raise DataValidationError(f"unknown metric {metric!r}; have {sorted(SCORERS)} + roc_auc")
+    return SCORERS[metric](y_true, y_pred)

@@ -1,0 +1,139 @@
+"""Model selection: k-fold cross-validation and grid search.
+
+The paper trains every black box with five-fold cross-validation and a
+grid search over model-specific hyperparameters, and tunes the performance
+predictor's forest size the same way.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.ml.base import Estimator, as_rng, check_labels, check_matrix, clone
+from repro.ml.metrics import accuracy_score, mean_absolute_error
+
+
+class KFold:
+    """Shuffled k-fold splitter over row indices."""
+
+    def __init__(self, n_splits: int = 5, random_state: int | None = 0):
+        if n_splits < 2:
+            raise DataValidationError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.random_state = random_state
+
+    def split(self, n_rows: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if n_rows < self.n_splits:
+            raise DataValidationError(
+                f"cannot split {n_rows} rows into {self.n_splits} folds"
+            )
+        rng = as_rng(self.random_state)
+        order = rng.permutation(n_rows)
+        folds = np.array_split(order, self.n_splits)
+        for i in range(self.n_splits):
+            validation = folds[i]
+            training = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield training, validation
+
+
+def _default_score(estimator: Estimator, X: np.ndarray, y: np.ndarray) -> float:
+    """Accuracy for classifiers, negative MAE for regressors (higher = better)."""
+    if hasattr(estimator, "predict_proba"):
+        return accuracy_score(y, estimator.predict(X))  # type: ignore[attr-defined]
+    return -mean_absolute_error(y, estimator.predict(X))  # type: ignore[attr-defined]
+
+
+def cross_val_score(
+    estimator: Estimator,
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 5,
+    random_state: int | None = 0,
+) -> np.ndarray:
+    """Per-fold validation scores for an unfitted estimator."""
+    X = check_matrix(X)
+    y = check_labels(y, X.shape[0])
+    scores = []
+    for train_idx, val_idx in KFold(n_splits, random_state).split(X.shape[0]):
+        model = clone(estimator)
+        model.fit(X[train_idx], y[train_idx])  # type: ignore[attr-defined]
+        scores.append(_default_score(model, X[val_idx], y[val_idx]))
+    return np.asarray(scores)
+
+
+class GridSearchCV(Estimator):
+    """Exhaustive grid search with k-fold cross-validation, then refit.
+
+    ``param_grid`` maps parameter names to candidate value lists; every
+    combination is scored by mean CV score (accuracy for classifiers,
+    negative MAE for regressors) and the best is refitted on all data.
+    """
+
+    def __init__(
+        self,
+        estimator: Estimator,
+        param_grid: Mapping[str, Sequence[Any]],
+        n_splits: int = 5,
+        random_state: int | None = 0,
+    ):
+        if not param_grid:
+            raise DataValidationError("param_grid must name at least one parameter")
+        self.estimator = estimator
+        self.param_grid = dict(param_grid)
+        self.n_splits = n_splits
+        self.random_state = random_state
+
+    def _candidates(self) -> Iterator[dict[str, Any]]:
+        names = list(self.param_grid)
+        for combo in itertools.product(*(self.param_grid[name] for name in names)):
+            yield dict(zip(names, combo))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GridSearchCV":
+        X = check_matrix(X)
+        y = check_labels(y, X.shape[0])
+        results = []
+        for params in self._candidates():
+            candidate = clone(self.estimator).set_params(**params)
+            scores = cross_val_score(
+                candidate, X, y, n_splits=self.n_splits, random_state=self.random_state
+            )
+            results.append((float(scores.mean()), params))
+        self.cv_results_ = results
+        best_score, best_params = max(results, key=lambda item: item[0])
+        self.best_score_ = best_score
+        self.best_params_ = best_params
+        self.best_estimator_ = clone(self.estimator).set_params(**best_params)
+        self.best_estimator_.fit(X, y)  # type: ignore[attr-defined]
+        if hasattr(self.best_estimator_, "classes_"):
+            self.classes_ = self.best_estimator_.classes_
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("best_estimator_")
+        return self.best_estimator_.predict(X)  # type: ignore[attr-defined]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("best_estimator_")
+        return self.best_estimator_.predict_proba(X)  # type: ignore[attr-defined]
+
+
+def matrix_train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    random_state: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle-split a feature matrix and labels into train / test."""
+    X = check_matrix(X)
+    y = check_labels(y, X.shape[0])
+    if not 0.0 < test_fraction < 1.0:
+        raise DataValidationError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = as_rng(random_state)
+    order = rng.permutation(X.shape[0])
+    n_test = max(1, int(round(test_fraction * X.shape[0])))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return X[train_idx], y[train_idx], X[test_idx], y[test_idx]

@@ -1,0 +1,129 @@
+"""Feed-forward neural network classifier (the paper's ``dnn`` black box).
+
+Two hidden ReLU layers and a softmax output, trained with minibatch Adam on
+cross-entropy — the architecture §6 of the paper describes, in pure numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.ml.base import (
+    ClassifierMixin,
+    Estimator,
+    as_rng,
+    check_labels,
+    check_matrix,
+    softmax,
+)
+
+
+class _Adam:
+    """Adam optimizer state for one list of parameter arrays."""
+
+    def __init__(self, params: list[np.ndarray], lr: float):
+        self.lr = lr
+        self.beta1, self.beta2, self.eps = 0.9, 0.999, 1e-8
+        self.m = [np.zeros_like(p) for p in params]
+        self.v = [np.zeros_like(p) for p in params]
+        self.t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        self.t += 1
+        for i, (param, grad) in enumerate(zip(params, grads)):
+            self.m[i] = self.beta1 * self.m[i] + (1 - self.beta1) * grad
+            self.v[i] = self.beta2 * self.v[i] + (1 - self.beta2) * grad * grad
+            m_hat = self.m[i] / (1 - self.beta1**self.t)
+            v_hat = self.v[i] / (1 - self.beta2**self.t)
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class MLPClassifier(Estimator, ClassifierMixin):
+    """Two-hidden-layer ReLU network with softmax output, trained with Adam."""
+
+    def __init__(
+        self,
+        hidden: tuple[int, int] = (64, 32),
+        learning_rate: float = 1e-3,
+        epochs: int = 30,
+        batch_size: int = 64,
+        l2: float = 1e-5,
+        random_state: int | None = 0,
+    ):
+        if len(hidden) != 2 or any(h <= 0 for h in hidden):
+            raise DataValidationError(f"hidden must be two positive widths, got {hidden}")
+        self.hidden = hidden
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.random_state = random_state
+
+    def _init_params(self, d: int, m: int, rng: np.random.Generator) -> list[np.ndarray]:
+        h1, h2 = self.hidden
+        def glorot(fan_in: int, fan_out: int) -> np.ndarray:
+            scale = np.sqrt(2.0 / (fan_in + fan_out))
+            return rng.normal(scale=scale, size=(fan_in, fan_out))
+        return [
+            glorot(d, h1), np.zeros(h1),
+            glorot(h1, h2), np.zeros(h2),
+            glorot(h2, m), np.zeros(m),
+        ]
+
+    @staticmethod
+    def _forward(params: list[np.ndarray], X: np.ndarray) -> tuple[np.ndarray, ...]:
+        w1, b1, w2, b2, w3, b3 = params
+        z1 = X @ w1 + b1
+        a1 = np.maximum(z1, 0.0)
+        z2 = a1 @ w2 + b2
+        a2 = np.maximum(z2, 0.0)
+        scores = a2 @ w3 + b3
+        return a1, a2, scores
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        X = check_matrix(X)
+        y = check_labels(y, X.shape[0])
+        y_idx = self._encode_labels(y)
+        n, d = X.shape
+        m = len(self.classes_)
+        rng = as_rng(self.random_state)
+        params = self._init_params(d, m, rng)
+        optimizer = _Adam(params, self.learning_rate)
+        onehot = np.eye(m)[y_idx]
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                xb, yb = X[batch], onehot[batch]
+                w1, b1, w2, b2, w3, b3 = params
+                a1, a2, scores = self._forward(params, xb)
+                proba = softmax(scores)
+                grad_scores = (proba - yb) / len(batch)
+                grad_w3 = a2.T @ grad_scores + self.l2 * w3
+                grad_b3 = grad_scores.sum(axis=0)
+                grad_a2 = grad_scores @ w3.T
+                grad_z2 = grad_a2 * (a2 > 0)
+                grad_w2 = a1.T @ grad_z2 + self.l2 * w2
+                grad_b2 = grad_z2.sum(axis=0)
+                grad_a1 = grad_z2 @ w2.T
+                grad_z1 = grad_a1 * (a1 > 0)
+                grad_w1 = xb.T @ grad_z1 + self.l2 * w1
+                grad_b1 = grad_z1.sum(axis=0)
+                optimizer.step(
+                    params, [grad_w1, grad_b1, grad_w2, grad_b2, grad_w3, grad_b3]
+                )
+        self.params_ = params
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("params_")
+        X = check_matrix(X)
+        if X.shape[1] != self.params_[0].shape[0]:
+            raise DataValidationError(
+                f"X has {X.shape[1]} features, model expects {self.params_[0].shape[0]}"
+            )
+        X = np.nan_to_num(X, nan=0.0, posinf=1e15, neginf=-1e15)
+        _, _, scores = self._forward(self.params_, X)
+        scores = np.nan_to_num(scores, nan=0.0, posinf=1e15, neginf=-1e15)
+        return softmax(scores)

@@ -1,0 +1,186 @@
+"""Feature preprocessing: scaling, one-hot encoding, hashed n-grams.
+
+These implement the featurization the paper describes in §6: "we
+standardize all numerical attributes, one-hot encode all categorical
+attributes, and hash word-level n-grams of textual attributes to a large
+sparse vector". All transformers are fitted on training data only and
+applied unchanged to serving data.
+
+A detail that matters for the paper's §6.2.2 argument: one-hot encoding an
+unseen or missing category produces the **zero vector**, which is why typos
+in categorical values have the same downstream effect as missing values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.ml.base import Estimator
+
+
+class StandardScaler(Estimator):
+    """Standardize numeric features to zero mean and unit variance.
+
+    Missing cells (``nan``) are imputed with the fit-time column mean before
+    scaling, i.e. they map to exactly 0 in the standardized space.
+    """
+
+    def __init__(self, clip: float | None = None):
+        self.clip = clip
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise DataValidationError(f"expected 2-d input, got shape {X.shape}")
+        with np.errstate(invalid="ignore"):
+            self.mean_ = np.nanmean(X, axis=0)
+            self.scale_ = np.nanstd(X, axis=0)
+        self.mean_ = np.where(np.isnan(self.mean_), 0.0, self.mean_)
+        # Treat near-zero spread as constant: summation rounding can leave a
+        # ULP-sized std on a constant column, and dividing by it would blow
+        # the column up to O(1) noise.
+        negligible = self.scale_ <= 1e-9 * np.maximum(1.0, np.abs(self.mean_))
+        self.scale_ = np.where(np.isnan(self.scale_) | negligible, 1.0, self.scale_)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("mean_")
+        X = np.asarray(X, dtype=np.float64)
+        filled = np.where(np.isnan(X), self.mean_, X)
+        standardized = (filled - self.mean_) / self.scale_
+        if self.clip is not None:
+            standardized = np.clip(standardized, -self.clip, self.clip)
+        return standardized
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class OneHotEncoder(Estimator):
+    """One-hot encode a single categorical column of python strings.
+
+    Categories are learned at fit time; unseen categories and missing cells
+    (``None``) encode to the zero vector at transform time.
+    """
+
+    def __init__(self, max_categories: int = 64):
+        self.max_categories = max_categories
+
+    def fit(self, values: np.ndarray) -> "OneHotEncoder":
+        observed: dict[str, int] = {}
+        for value in values:
+            if value is not None:
+                observed[value] = observed.get(value, 0) + 1
+        # Keep the most frequent categories, ties broken alphabetically so
+        # the encoding is deterministic.
+        ranked = sorted(observed.items(), key=lambda item: (-item[1], item[0]))
+        kept = sorted(category for category, _ in ranked[: self.max_categories])
+        self.categories_ = kept
+        self._index = {category: i for i, category in enumerate(kept)}
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fitted("categories_")
+        encoded = np.zeros((len(values), len(self.categories_)), dtype=np.float64)
+        for row, value in enumerate(values):
+            column = self._index.get(value) if value is not None else None
+            if column is not None:
+                encoded[row, column] = 1.0
+        return encoded
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+
+def _stable_hash(token: str) -> int:
+    """Deterministic 64-bit hash of a token (process-independent)."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashingVectorizer(Estimator):
+    """Hash word-level n-grams of text into a fixed-width dense vector.
+
+    Uses the signed hashing trick: each n-gram contributes +1 or -1 to one
+    bucket, so collisions partially cancel. Stateless apart from its
+    hyperparameters; ``fit`` exists for interface symmetry.
+    """
+
+    def __init__(self, n_features: int = 256, ngram_range: tuple[int, int] = (1, 2)):
+        if n_features <= 0:
+            raise DataValidationError("n_features must be positive")
+        lo, hi = ngram_range
+        if not 1 <= lo <= hi:
+            raise DataValidationError(f"invalid ngram_range {ngram_range}")
+        self.n_features = n_features
+        self.ngram_range = ngram_range
+
+    @staticmethod
+    def tokenize(text: str) -> list[str]:
+        """Lowercase word tokenizer keeping alphanumeric runs."""
+        tokens: list[str] = []
+        current: list[str] = []
+        for char in text.lower():
+            if char.isalnum():
+                current.append(char)
+            elif current:
+                tokens.append("".join(current))
+                current = []
+        if current:
+            tokens.append("".join(current))
+        return tokens
+
+    def _ngrams(self, tokens: list[str]) -> list[str]:
+        lo, hi = self.ngram_range
+        grams = []
+        for n in range(lo, hi + 1):
+            for i in range(len(tokens) - n + 1):
+                grams.append(" ".join(tokens[i : i + n]))
+        return grams
+
+    def fit(self, values: np.ndarray) -> "HashingVectorizer":
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        encoded = np.zeros((len(values), self.n_features), dtype=np.float64)
+        for row, text in enumerate(values):
+            if text is None:
+                continue
+            for gram in self._ngrams(self.tokenize(text)):
+                h = _stable_hash(gram)
+                bucket = h % self.n_features
+                sign = 1.0 if (h >> 32) & 1 else -1.0
+                encoded[row, bucket] += sign
+        # L2-normalize non-empty rows so document length does not dominate.
+        norms = np.linalg.norm(encoded, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return encoded / norms
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.transform(values)
+
+
+class LabelEncoder(Estimator):
+    """Map arbitrary hashable labels to contiguous integers."""
+
+    def fit(self, y: np.ndarray) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(y))
+        self._index = {label: i for i, label in enumerate(self.classes_)}
+        return self
+
+    def transform(self, y: np.ndarray) -> np.ndarray:
+        self._require_fitted("classes_")
+        try:
+            return np.array([self._index[label] for label in y], dtype=np.int64)
+        except KeyError as exc:
+            raise DataValidationError(f"unseen label {exc.args[0]!r}") from None
+
+    def fit_transform(self, y: np.ndarray) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, indices: np.ndarray) -> np.ndarray:
+        self._require_fitted("classes_")
+        return self.classes_[np.asarray(indices, dtype=np.int64)]

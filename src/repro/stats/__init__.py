@@ -1,0 +1,46 @@
+"""Self-contained statistics substrate: special functions, hypothesis tests
+and the percentile featurization used by the performance predictor."""
+
+from repro.stats.descriptive import (
+    DEFAULT_PERCENTILE_STEP,
+    column_percentiles,
+    matrix_moments,
+    matrix_percentiles,
+    percentile_grid,
+    summary_moments,
+)
+from repro.stats.distributions import (
+    chi2_sf,
+    empirical_cdf,
+    kolmogorov_sf,
+    log_gamma,
+    normal_cdf,
+    regularized_gamma_p,
+)
+from repro.stats.tests import (
+    TestResult,
+    bonferroni,
+    chi2_from_counts,
+    chi2_two_sample,
+    ks_two_sample,
+)
+
+__all__ = [
+    "DEFAULT_PERCENTILE_STEP",
+    "TestResult",
+    "bonferroni",
+    "chi2_from_counts",
+    "chi2_sf",
+    "chi2_two_sample",
+    "column_percentiles",
+    "empirical_cdf",
+    "kolmogorov_sf",
+    "ks_two_sample",
+    "log_gamma",
+    "matrix_moments",
+    "matrix_percentiles",
+    "normal_cdf",
+    "percentile_grid",
+    "regularized_gamma_p",
+    "summary_moments",
+]

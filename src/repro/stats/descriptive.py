@@ -1,0 +1,64 @@
+"""Descriptive statistics used for featurizing model outputs.
+
+The paper featurizes black-box model outputs by computing class-wise
+percentiles of the predicted probabilities ("collecting the 0th, 5th,
+10th, ... percentile"). These helpers implement that featurization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+DEFAULT_PERCENTILE_STEP = 5
+
+
+def percentile_grid(step: int = DEFAULT_PERCENTILE_STEP) -> np.ndarray:
+    """The percentile levels 0, step, 2*step, ..., 100."""
+    if not 1 <= step <= 100 or 100 % step != 0:
+        raise DataValidationError(f"percentile step must divide 100, got {step}")
+    return np.arange(0, 101, step, dtype=np.float64)
+
+
+def column_percentiles(values: np.ndarray, step: int = DEFAULT_PERCENTILE_STEP) -> np.ndarray:
+    """Percentiles of a 1-d sample at the standard grid."""
+    values = np.asarray(values, dtype=np.float64)
+    values = values[~np.isnan(values)]
+    if values.size == 0:
+        raise DataValidationError("cannot compute percentiles of an empty sample")
+    return np.percentile(values, percentile_grid(step))
+
+
+def matrix_percentiles(matrix: np.ndarray, step: int = DEFAULT_PERCENTILE_STEP) -> np.ndarray:
+    """Column-wise percentiles of a 2-d matrix, flattened to one vector.
+
+    For an (n_examples, n_classes) probability matrix this produces the
+    paper's feature vector: the per-class output distributions summarized by
+    their percentile profiles, concatenated class by class.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise DataValidationError(f"expected a 2-d matrix, got shape {matrix.shape}")
+    if matrix.shape[0] == 0:
+        raise DataValidationError("cannot featurize an empty prediction matrix")
+    levels = percentile_grid(step)
+    return np.percentile(matrix, levels, axis=0).T.ravel()
+
+
+def summary_moments(values: np.ndarray) -> np.ndarray:
+    """Mean, std, min, max of a sample — the ablation alternative to percentiles."""
+    values = np.asarray(values, dtype=np.float64)
+    values = values[~np.isnan(values)]
+    if values.size == 0:
+        raise DataValidationError("cannot summarize an empty sample")
+    return np.array([values.mean(), values.std(), values.min(), values.max()])
+
+
+def matrix_moments(matrix: np.ndarray) -> np.ndarray:
+    """Column-wise moments of a 2-d matrix, flattened (ablation featurizer)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] == 0:
+        raise DataValidationError(f"expected a non-empty 2-d matrix, got shape {matrix.shape}")
+    stats = [matrix.mean(axis=0), matrix.std(axis=0), matrix.min(axis=0), matrix.max(axis=0)]
+    return np.stack(stats, axis=1).ravel()

@@ -1,0 +1,154 @@
+"""Special functions and sampling distributions implemented from scratch.
+
+These back the hypothesis tests used by the REL / BBSE / BBSEh baselines and
+by the performance validator's Kolmogorov-Smirnov features. scipy carries
+equivalent routines, but the reproduction keeps its statistical substrate
+self-contained; the test suite cross-checks every function against scipy.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+# Lanczos approximation coefficients (g=7, n=9), standard choice giving
+# ~15 significant digits for log-gamma on the positive real axis.
+_LANCZOS_G = 7.0
+_LANCZOS_COEFFS = (
+    0.99999999999980993,
+    676.5203681218851,
+    -1259.1392167224028,
+    771.32342877765313,
+    -176.61502916214059,
+    12.507343278686905,
+    -0.13857109526572012,
+    9.9843695780195716e-6,
+    1.5056327351493116e-7,
+)
+
+
+def log_gamma(x: float) -> float:
+    """Natural log of the gamma function for ``x > 0`` (Lanczos approximation)."""
+    if x <= 0:
+        raise DataValidationError(f"log_gamma requires x > 0, got {x}")
+    if x < 0.5:
+        # Reflection formula keeps the approximation accurate near zero.
+        return math.log(math.pi / math.sin(math.pi * x)) - log_gamma(1.0 - x)
+    x -= 1.0
+    acc = _LANCZOS_COEFFS[0]
+    for i, coeff in enumerate(_LANCZOS_COEFFS[1:], start=1):
+        acc += coeff / (x + i)
+    t = x + _LANCZOS_G + 0.5
+    return 0.5 * math.log(2.0 * math.pi) + (x + 0.5) * math.log(t) - t + math.log(acc)
+
+
+def _lower_incomplete_gamma_series(s: float, x: float) -> float:
+    """Regularized lower incomplete gamma P(s, x) via its power series (x < s+1)."""
+    term = 1.0 / s
+    total = term
+    k = s
+    for _ in range(10_000):
+        k += 1.0
+        term *= x / k
+        total += term
+        if abs(term) < abs(total) * 1e-15:
+            break
+    return total * math.exp(-x + s * math.log(x) - log_gamma(s))
+
+def _upper_incomplete_gamma_cf(s: float, x: float) -> float:
+    """Regularized upper incomplete gamma Q(s, x) via continued fraction (x >= s+1)."""
+    tiny = 1e-300
+    b = x + 1.0 - s
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 10_000):
+        an = -i * (i - s)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    return h * math.exp(-x + s * math.log(x) - log_gamma(s))
+
+
+def regularized_gamma_p(s: float, x: float) -> float:
+    """Regularized lower incomplete gamma function P(s, x) for s > 0, x >= 0."""
+    if s <= 0:
+        raise DataValidationError(f"shape must be positive, got {s}")
+    if x < 0:
+        raise DataValidationError(f"x must be non-negative, got {x}")
+    if x == 0:
+        return 0.0
+    if x < s + 1.0:
+        return min(1.0, _lower_incomplete_gamma_series(s, x))
+    return min(1.0, max(0.0, 1.0 - _upper_incomplete_gamma_cf(s, x)))
+
+
+def chi2_sf(statistic: float, df: int) -> float:
+    """Survival function of the chi-squared distribution with ``df`` degrees of freedom."""
+    if df <= 0:
+        raise DataValidationError(f"degrees of freedom must be positive, got {df}")
+    if statistic < 0:
+        raise DataValidationError(f"chi2 statistic must be non-negative, got {statistic}")
+    if statistic == 0:
+        return 1.0
+    if statistic < df + 1.0:
+        return max(0.0, 1.0 - regularized_gamma_p(df / 2.0, statistic / 2.0))
+    return max(0.0, _upper_incomplete_gamma_cf(df / 2.0, statistic / 2.0))
+
+
+def kolmogorov_sf(x: float) -> float:
+    """Survival function of the Kolmogorov distribution.
+
+    Q(x) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 x^2); the asymptotic null
+    distribution of sqrt(n) * D_n for the one-sample KS statistic.
+    """
+    if x <= 1e-3:
+        # SF(1e-3) differs from 1 by far less than float precision, and
+        # x*x underflows for subnormal inputs.
+        return 1.0
+    if x >= 8.0:
+        return 0.0
+    if x < 1.0:
+        # The alternating series converges slowly for small x; use the
+        # theta-function dual form of the CDF instead:
+        # P(x) = sqrt(2*pi)/x * sum_{k>=1} exp(-(2k-1)^2 pi^2 / (8 x^2)).
+        cdf = 0.0
+        for k in range(1, 101):
+            term = math.exp(-((2 * k - 1) ** 2) * math.pi**2 / (8.0 * x * x))
+            cdf += term
+            if term < 1e-18:
+                break
+        cdf *= math.sqrt(2.0 * math.pi) / x
+        return min(1.0, max(0.0, 1.0 - cdf))
+    total = 0.0
+    for k in range(1, 101):
+        term = 2.0 * (-1.0) ** (k - 1) * math.exp(-2.0 * k * k * x * x)
+        total += term
+        if abs(term) < 1e-16:
+            break
+    return min(1.0, max(0.0, total))
+
+
+def normal_cdf(x: float) -> float:
+    """Standard normal CDF via the error function."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def empirical_cdf(sample: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Evaluate the empirical CDF of ``sample`` at ``points``."""
+    sample = np.sort(np.asarray(sample, dtype=np.float64))
+    if sample.size == 0:
+        raise DataValidationError("empirical_cdf requires a non-empty sample")
+    return np.searchsorted(sample, points, side="right") / sample.size

@@ -1,0 +1,118 @@
+"""Two-sample hypothesis tests used by the baselines and validator features.
+
+* :func:`ks_two_sample` — Kolmogorov-Smirnov test between two numeric
+  samples (used by REL on numeric columns and by BBSE on softmax outputs).
+* :func:`chi2_two_sample` — chi-squared homogeneity test between two
+  categorical samples (used by REL on categorical columns and by BBSEh on
+  predicted-class counts).
+* :func:`bonferroni` — multiple-testing correction applied by REL.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.stats.distributions import chi2_sf, kolmogorov_sf
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of a hypothesis test."""
+
+    statistic: float
+    p_value: float
+
+    def rejects_at(self, alpha: float) -> bool:
+        """True when the null hypothesis (same distribution) is rejected."""
+        return self.p_value < alpha
+
+
+def ks_two_sample(sample_a: np.ndarray, sample_b: np.ndarray) -> TestResult:
+    """Two-sample Kolmogorov-Smirnov test with the asymptotic p-value.
+
+    The statistic is the supremum distance between the two empirical CDFs;
+    the p-value uses the Kolmogorov limiting distribution with the standard
+    effective sample size ``n*m / (n+m)``.
+    """
+    a = np.sort(np.asarray(sample_a, dtype=np.float64))
+    b = np.sort(np.asarray(sample_b, dtype=np.float64))
+    a = a[~np.isnan(a)]
+    b = b[~np.isnan(b)]
+    if a.size == 0 or b.size == 0:
+        raise DataValidationError("KS test requires two non-empty samples")
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    statistic = float(np.max(np.abs(cdf_a - cdf_b)))
+    effective_n = a.size * b.size / (a.size + b.size)
+    p_value = kolmogorov_sf(math.sqrt(effective_n) * statistic)
+    return TestResult(statistic=statistic, p_value=p_value)
+
+
+def _contingency_counts(
+    sample_a: np.ndarray, sample_b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    categories = sorted(
+        {v for v in sample_a if v is not None} | {v for v in sample_b if v is not None}
+    )
+    if not categories:
+        raise DataValidationError("chi2 test requires at least one non-missing category")
+    index = {category: i for i, category in enumerate(categories)}
+    counts_a = np.zeros(len(categories))
+    counts_b = np.zeros(len(categories))
+    for v in sample_a:
+        if v is not None:
+            counts_a[index[v]] += 1
+    for v in sample_b:
+        if v is not None:
+            counts_b[index[v]] += 1
+    return counts_a, counts_b
+
+
+def chi2_from_counts(counts_a: np.ndarray, counts_b: np.ndarray) -> TestResult:
+    """Chi-squared homogeneity test from two aligned count vectors."""
+    counts_a = np.asarray(counts_a, dtype=np.float64)
+    counts_b = np.asarray(counts_b, dtype=np.float64)
+    if counts_a.shape != counts_b.shape or counts_a.ndim != 1:
+        raise DataValidationError("count vectors must be 1-d and aligned")
+    total_a, total_b = counts_a.sum(), counts_b.sum()
+    if total_a == 0 or total_b == 0:
+        raise DataValidationError("chi2 test requires non-empty samples")
+    pooled = counts_a + counts_b
+    keep = pooled > 0
+    counts_a, counts_b, pooled = counts_a[keep], counts_b[keep], pooled[keep]
+    if keep.sum() < 2:
+        # Only one category observed anywhere: the distributions are
+        # trivially identical, so do not reject.
+        return TestResult(statistic=0.0, p_value=1.0)
+    grand = total_a + total_b
+    expected_a = pooled * total_a / grand
+    expected_b = pooled * total_b / grand
+    statistic = float(
+        np.sum((counts_a - expected_a) ** 2 / expected_a)
+        + np.sum((counts_b - expected_b) ** 2 / expected_b)
+    )
+    df = int(keep.sum()) - 1
+    return TestResult(statistic=statistic, p_value=chi2_sf(statistic, df))
+
+
+def chi2_two_sample(sample_a: np.ndarray, sample_b: np.ndarray) -> TestResult:
+    """Chi-squared homogeneity test between two categorical samples.
+
+    Missing cells (``None``) are dropped; categories are pooled across both
+    samples so a value seen in only one sample still contributes.
+    """
+    counts_a, counts_b = _contingency_counts(sample_a, sample_b)
+    return chi2_from_counts(counts_a, counts_b)
+
+
+def bonferroni(p_values: list[float], alpha: float = 0.05) -> bool:
+    """True when any test rejects after Bonferroni correction."""
+    if not p_values:
+        raise DataValidationError("bonferroni requires at least one p-value")
+    corrected = alpha / len(p_values)
+    return any(p < corrected for p in p_values)

@@ -1,0 +1,21 @@
+"""Lightweight typed dataframe substrate (pandas stand-in).
+
+See :mod:`repro.tabular.frame` for storage conventions.
+"""
+
+from repro.tabular.frame import DataFrame, concat, is_missing
+from repro.tabular.ops import balance_classes, split_frame, subsample, train_test_split
+from repro.tabular.schema import ColumnSpec, ColumnType, Schema
+
+__all__ = [
+    "ColumnSpec",
+    "ColumnType",
+    "DataFrame",
+    "Schema",
+    "balance_classes",
+    "concat",
+    "is_missing",
+    "split_frame",
+    "subsample",
+    "train_test_split",
+]

@@ -1,0 +1,254 @@
+"""A lightweight typed dataframe backed by numpy arrays.
+
+This is the stand-in for the pandas DataFrame that the original paper code
+builds on. Only the pieces the validation approach needs are implemented:
+typed columns, missing-value semantics, row selection, and cheap copies so
+that error generators can corrupt a frame without touching the original.
+
+Storage conventions
+-------------------
+* NUMERIC columns: ``float64`` arrays, ``nan`` marks a missing cell.
+* CATEGORICAL / TEXT columns: ``object`` arrays of ``str``; ``None`` marks a
+  missing cell.
+* IMAGE columns: ``float64`` arrays of shape ``(n_rows, height, width)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataValidationError, SchemaError
+from repro.tabular.schema import ColumnSpec, ColumnType, Schema
+
+
+def _coerce_values(values: object, ctype: ColumnType) -> np.ndarray:
+    """Normalize raw column values to the storage convention for ``ctype``."""
+    if ctype is ColumnType.NUMERIC:
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise DataValidationError(f"numeric column must be 1-d, got shape {arr.shape}")
+        return arr
+    if ctype in (ColumnType.CATEGORICAL, ColumnType.TEXT):
+        arr = np.empty(len(values), dtype=object)  # type: ignore[arg-type]
+        for i, value in enumerate(values):  # type: ignore[arg-type]
+            if value is None:
+                arr[i] = None
+            elif isinstance(value, float) and np.isnan(value):
+                arr[i] = None
+            else:
+                arr[i] = str(value)
+        return arr
+    if ctype is ColumnType.IMAGE:
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 3:
+            raise DataValidationError(
+                f"image column must have shape (n, h, w), got {arr.shape}"
+            )
+        return arr
+    raise SchemaError(f"unsupported column type {ctype!r}")
+
+
+def is_missing(values: np.ndarray) -> np.ndarray:
+    """Boolean mask of missing cells for a stored column array."""
+    if values.dtype == object:
+        return np.array([v is None for v in values], dtype=bool)
+    if values.ndim > 1:
+        return np.isnan(values).any(axis=tuple(range(1, values.ndim)))
+    return np.isnan(values)
+
+
+class DataFrame:
+    """An immutable-by-convention table of typed columns.
+
+    Mutating methods return new frames; the underlying arrays are shared
+    until :meth:`copy` is called, which deep-copies the storage so error
+    generators can scribble on cells safely.
+    """
+
+    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
+        if set(columns) != set(schema.names):
+            raise SchemaError(
+                f"columns {sorted(columns)} do not match schema {schema.names}"
+            )
+        lengths = {name: len(col) for name, col in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise DataValidationError(f"ragged columns: {lengths}")
+        self._schema = schema
+        self._columns = dict(columns)
+        self._n_rows = next(iter(lengths.values())) if lengths else 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, object], types: Mapping[str, ColumnType]
+    ) -> "DataFrame":
+        """Build a frame from raw column values and their declared types."""
+        if set(data) != set(types):
+            raise SchemaError("data and types must cover the same column names")
+        schema = Schema([ColumnSpec(name, types[name]) for name in data])
+        columns = {name: _coerce_values(values, types[name]) for name, values in data.items()}
+        return cls(schema, columns)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schema
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        """The stored array for a column. Treat as read-only unless copied."""
+        if name not in self._schema:
+            raise SchemaError(f"unknown column {name!r}; have {self._schema.names}")
+        return self._columns[name]
+
+    def __repr__(self) -> str:
+        return f"DataFrame(n_rows={self._n_rows}, schema={self._schema!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataFrame):
+            return NotImplemented
+        if self._schema != other._schema or self._n_rows != other._n_rows:
+            return False
+        for name in self._schema.names:
+            a, b = self._columns[name], other._columns[name]
+            if a.dtype == object:
+                if not all(x == y or (x is None and y is None) for x, y in zip(a, b)):
+                    return False
+            else:
+                if not np.array_equal(a, b, equal_nan=True):
+                    return False
+        return True
+
+    @property
+    def numeric_columns(self) -> list[str]:
+        return self._schema.names_of_type(ColumnType.NUMERIC)
+
+    @property
+    def categorical_columns(self) -> list[str]:
+        return self._schema.names_of_type(ColumnType.CATEGORICAL)
+
+    @property
+    def text_columns(self) -> list[str]:
+        return self._schema.names_of_type(ColumnType.TEXT)
+
+    @property
+    def image_columns(self) -> list[str]:
+        return self._schema.names_of_type(ColumnType.IMAGE)
+
+    def missing_mask(self, name: str) -> np.ndarray:
+        """Boolean mask of missing cells in the named column."""
+        return is_missing(self[name])
+
+    def missing_fraction(self, name: str) -> float:
+        """Fraction of missing cells in the named column (0.0 for empty frames)."""
+        if self._n_rows == 0:
+            return 0.0
+        return float(self.missing_mask(name).mean())
+
+    # ------------------------------------------------------------------ #
+    # Transformation
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "DataFrame":
+        """Deep-copy the storage so the result can be mutated in place."""
+        return DataFrame(
+            self._schema, {name: col.copy() for name, col in self._columns.items()}
+        )
+
+    def select_rows(self, index: Sequence[int] | np.ndarray) -> "DataFrame":
+        """A new frame containing the rows at ``index`` (fancy indexing)."""
+        idx = np.asarray(index)
+        if idx.dtype == bool:
+            if len(idx) != self._n_rows:
+                raise DataValidationError(
+                    f"boolean mask length {len(idx)} != n_rows {self._n_rows}"
+                )
+        elif not np.issubdtype(idx.dtype, np.integer):
+            # An empty python list arrives as float64; treat it (and any
+            # other integral-valued input) as row indices.
+            idx = idx.astype(np.int64)
+        return DataFrame(self._schema, {name: col[idx] for name, col in self._columns.items()})
+
+    def head(self, n: int = 5) -> "DataFrame":
+        return self.select_rows(np.arange(min(n, self._n_rows)))
+
+    def with_column(self, name: str, ctype: ColumnType, values: object) -> "DataFrame":
+        """A new frame with the column added or replaced."""
+        arr = _coerce_values(values, ctype)
+        n = arr.shape[0]
+        if self._schema.names and n != self._n_rows:
+            raise DataValidationError(f"new column has {n} rows, frame has {self._n_rows}")
+        if name in self._schema:
+            specs = [
+                ColumnSpec(name, ctype) if spec.name == name else spec
+                for spec in self._schema
+            ]
+        else:
+            specs = list(self._schema) + [ColumnSpec(name, ctype)]
+        columns = dict(self._columns)
+        columns[name] = arr
+        return DataFrame(Schema(specs), columns)
+
+    def drop_columns(self, *names: str) -> "DataFrame":
+        """A new frame without the given columns."""
+        schema = self._schema.without(*names)
+        columns = {name: self._columns[name] for name in schema.names}
+        return DataFrame(schema, columns)
+
+    def set_values(self, name: str, row_index: np.ndarray, values: object) -> None:
+        """Mutate cells in place. Only safe on frames obtained via :meth:`copy`."""
+        col = self[name]
+        ctype = self._schema.type_of(name)
+        if ctype is ColumnType.NUMERIC:
+            col[row_index] = np.asarray(values, dtype=np.float64)
+        elif ctype is ColumnType.IMAGE:
+            col[row_index] = np.asarray(values, dtype=np.float64)
+        else:
+            if np.isscalar(values) or values is None:
+                values = [values] * int(np.asarray(row_index).size)
+            for i, value in zip(np.atleast_1d(row_index), values):  # type: ignore[arg-type]
+                col[i] = None if value is None else str(value)
+
+    def column_values(self, name: str, drop_missing: bool = False) -> np.ndarray:
+        """Column values, optionally with missing cells removed."""
+        values = self[name]
+        if drop_missing:
+            return values[~is_missing(values)]
+        return values
+
+    def to_dict(self) -> dict[str, list]:
+        """Plain-python dump of the frame (useful in tests and examples)."""
+        return {name: list(self._columns[name]) for name in self._schema.names}
+
+
+def concat(frames: Iterable[DataFrame]) -> DataFrame:
+    """Stack frames with identical schemas vertically."""
+    frames = list(frames)
+    if not frames:
+        raise DataValidationError("cannot concat an empty list of frames")
+    schema = frames[0].schema
+    for frame in frames[1:]:
+        if frame.schema != schema:
+            raise SchemaError("cannot concat frames with different schemas")
+    columns = {}
+    for name in schema.names:
+        parts = [frame[name] for frame in frames]
+        columns[name] = np.concatenate(parts, axis=0)
+    return DataFrame(schema, columns)

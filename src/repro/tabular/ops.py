@@ -1,0 +1,97 @@
+"""Dataset-level operations: splitting, shuffling and class balancing.
+
+The paper partitions each dataset into disjoint source / serving splits,
+then splits the source data again into train / test, and resamples for
+balanced classes in accuracy experiments. These helpers implement those
+operations over :class:`~repro.tabular.frame.DataFrame`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.tabular.frame import DataFrame
+
+
+def _check_labels(frame: DataFrame, labels: np.ndarray) -> np.ndarray:
+    labels = np.asarray(labels)
+    if labels.ndim != 1 or len(labels) != len(frame):
+        raise DataValidationError(
+            f"labels must be 1-d with {len(frame)} entries, got shape {labels.shape}"
+        )
+    return labels
+
+
+def split_frame(
+    frame: DataFrame,
+    labels: np.ndarray,
+    fractions: tuple[float, ...],
+    rng: np.random.Generator,
+) -> list[tuple[DataFrame, np.ndarray]]:
+    """Shuffle rows and split into disjoint partitions by fraction.
+
+    ``fractions`` must sum to at most 1.0; any remainder is dropped, which
+    makes it easy to subsample large datasets for laptop-scale runs.
+    """
+    labels = _check_labels(frame, labels)
+    if any(f <= 0 for f in fractions):
+        raise DataValidationError("all split fractions must be positive")
+    if sum(fractions) > 1.0 + 1e-9:
+        raise DataValidationError(f"fractions sum to {sum(fractions)} > 1")
+    order = rng.permutation(len(frame))
+    parts = []
+    start = 0
+    for fraction in fractions:
+        size = int(round(fraction * len(frame)))
+        idx = order[start : start + size]
+        parts.append((frame.select_rows(idx), labels[idx]))
+        start += size
+    return parts
+
+
+def train_test_split(
+    frame: DataFrame,
+    labels: np.ndarray,
+    test_fraction: float,
+    rng: np.random.Generator,
+) -> tuple[DataFrame, np.ndarray, DataFrame, np.ndarray]:
+    """Split into (train_frame, train_labels, test_frame, test_labels)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise DataValidationError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    (train, y_train), (test, y_test) = split_frame(
+        frame, labels, (1.0 - test_fraction, test_fraction), rng
+    )
+    return train, y_train, test, y_test
+
+
+def balance_classes(
+    frame: DataFrame, labels: np.ndarray, rng: np.random.Generator
+) -> tuple[DataFrame, np.ndarray]:
+    """Downsample the majority classes so every class has equal support.
+
+    The paper balances classes in accuracy experiments "to make the scores
+    easier to interpret" (a random guesser then scores 1/m).
+    """
+    labels = _check_labels(frame, labels)
+    classes, counts = np.unique(labels, return_counts=True)
+    if len(classes) < 2:
+        raise DataValidationError("need at least two classes to balance")
+    target = counts.min()
+    keep: list[np.ndarray] = []
+    for cls in classes:
+        idx = np.flatnonzero(labels == cls)
+        keep.append(rng.choice(idx, size=target, replace=False))
+    index = rng.permutation(np.concatenate(keep))
+    return frame.select_rows(index), labels[index]
+
+
+def subsample(
+    frame: DataFrame, labels: np.ndarray, n: int, rng: np.random.Generator
+) -> tuple[DataFrame, np.ndarray]:
+    """Take a uniform random sample of ``n`` rows without replacement."""
+    labels = _check_labels(frame, labels)
+    if n > len(frame):
+        raise DataValidationError(f"cannot sample {n} rows from {len(frame)}")
+    idx = rng.choice(len(frame), size=n, replace=False)
+    return frame.select_rows(idx), labels[idx]

@@ -1,0 +1,115 @@
+"""Column types and schemas for the lightweight typed dataframe.
+
+The paper's error generators operate on *relational* data with typed
+columns: numeric attributes (which can be scaled, smeared, outliered),
+categorical attributes (which can receive missing values, typos, encoding
+errors), free text (which can be attacked with leetspeak), and images
+(which can be rotated or blurred). The schema records those types so error
+generators and feature encoders can select the columns they apply to.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """The type of a dataframe column.
+
+    NUMERIC columns hold float64 values with ``nan`` marking missing cells.
+    CATEGORICAL and TEXT columns hold python strings with ``None`` marking
+    missing cells. IMAGE columns hold one 2-d float array per row.
+    """
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+    TEXT = "text"
+    IMAGE = "image"
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Name and type of one column."""
+
+    name: str
+    ctype: ColumnType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be a non-empty string")
+
+
+class Schema:
+    """An ordered, immutable collection of column specs.
+
+    Lookup by name is O(1); iteration preserves declaration order.
+    """
+
+    def __init__(self, specs: list[ColumnSpec] | tuple[ColumnSpec, ...]):
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {duplicates}")
+        self._specs = tuple(specs)
+        self._by_name = {spec.name: spec for spec in specs}
+
+    @classmethod
+    def of(cls, **types: ColumnType) -> "Schema":
+        """Build a schema from keyword arguments, e.g. ``Schema.of(age=ColumnType.NUMERIC)``."""
+        return cls([ColumnSpec(name, ctype) for name, ctype in types.items()])
+
+    @property
+    def names(self) -> list[str]:
+        return [spec.name for spec in self._specs]
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self):
+        return iter(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> ColumnSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}; have {self.names}") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._specs == other._specs
+
+    def __hash__(self) -> int:
+        return hash(self._specs)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{s.name}:{s.ctype.value}" for s in self._specs)
+        return f"Schema({fields})"
+
+    def names_of_type(self, ctype: ColumnType) -> list[str]:
+        """Names of all columns with the given type, in schema order."""
+        return [spec.name for spec in self._specs if spec.ctype is ctype]
+
+    def type_of(self, name: str) -> ColumnType:
+        return self[name].ctype
+
+    def require(self, name: str, ctype: ColumnType) -> None:
+        """Raise :class:`SchemaError` unless ``name`` exists with type ``ctype``."""
+        actual = self[name].ctype
+        if actual is not ctype:
+            raise SchemaError(
+                f"column {name!r} has type {actual.value}, expected {ctype.value}"
+            )
+
+    def without(self, *names: str) -> "Schema":
+        """A new schema with the given columns removed."""
+        for name in names:
+            self[name]  # validate
+        dropped = set(names)
+        return Schema([s for s in self._specs if s.name not in dropped])

@@ -1,0 +1,83 @@
+"""Tests for the emulated cloud model service."""
+
+import numpy as np
+import pytest
+
+from repro.automl.cloud import CloudModelService
+from repro.exceptions import ServiceError
+from repro.ml.metrics import accuracy_score
+
+
+@pytest.fixture(scope="module")
+def service_and_model(income_splits):
+    service = CloudModelService(random_state=0)
+    model_id = service.train(income_splits.train, income_splits.y_train)
+    return service, model_id
+
+
+class TestTraining:
+    def test_returns_opaque_model_id(self, service_and_model):
+        _, model_id = service_and_model
+        assert model_id.startswith("automl-tables-")
+
+    def test_too_few_rows_rejected(self, income_splits):
+        service = CloudModelService()
+        tiny = income_splits.train.select_rows(np.arange(5))
+        with pytest.raises(ServiceError):
+            service.train(tiny, income_splits.y_train[:5])
+
+    def test_misaligned_labels_rejected(self, income_splits):
+        service = CloudModelService()
+        with pytest.raises(ServiceError):
+            service.train(income_splits.train, income_splits.y_train[:-1])
+
+
+class TestPrediction:
+    def test_predictions_are_probabilities(self, service_and_model, income_splits):
+        service, model_id = service_and_model
+        proba = service.predict(model_id, income_splits.test)
+        assert proba.shape == (len(income_splits.test), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_model_is_accurate(self, service_and_model, income_splits):
+        service, model_id = service_and_model
+        classes = service.classes(model_id)
+        proba = service.predict(model_id, income_splits.test)
+        predictions = classes[np.argmax(proba, axis=1)]
+        assert accuracy_score(income_splits.y_test, predictions) > 0.7
+
+    def test_unknown_model_id_rejected(self, service_and_model, income_splits):
+        service, _ = service_and_model
+        with pytest.raises(ServiceError):
+            service.predict("automl-tables-bogus", income_splits.test)
+
+    def test_schema_mismatch_rejected(self, service_and_model, income_splits):
+        service, model_id = service_and_model
+        wrong = income_splits.test.drop_columns(income_splits.test.categorical_columns[0])
+        with pytest.raises(ServiceError):
+            service.predict(model_id, wrong)
+
+    def test_usage_metering(self, income_splits):
+        service = CloudModelService(random_state=0)
+        model_id = service.train(income_splits.train, income_splits.y_train)
+        service.predict(model_id, income_splits.test)
+        service.predict(model_id, income_splits.test)
+        assert service.usage.train_requests == 1
+        assert service.usage.predict_requests == 2
+        assert service.usage.rows_predicted == 2 * len(income_splits.test)
+
+
+class TestBlackBoxAdapter:
+    def test_as_blackbox_round_trip(self, service_and_model, income_splits):
+        service, model_id = service_and_model
+        blackbox = service.as_blackbox(model_id)
+        score = blackbox.score(income_splits.test, income_splits.y_test)
+        assert 0.6 < score <= 1.0
+
+    def test_internals_not_exposed_via_public_api(self, service_and_model):
+        service, _ = service_and_model
+        public = [name for name in dir(service) if not name.startswith("_")]
+        assert set(public) <= {
+            "train", "predict", "classes", "as_blackbox", "usage", "random_state"
+        }

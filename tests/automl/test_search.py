@@ -1,0 +1,69 @@
+"""Tests for the AutoML search."""
+
+import numpy as np
+import pytest
+
+from repro.automl.search import PRESETS, AutoMLSearch
+from repro.core.blackbox import BlackBoxModel
+from repro.exceptions import DataValidationError
+from repro.ml.metrics import accuracy_score
+
+
+class TestAutoMLSearchTabular:
+    @pytest.fixture(scope="class")
+    def search(self, income_splits):
+        return AutoMLSearch(preset="auto-sklearn", n_candidates=4, random_state=0).fit(
+            income_splits.train, income_splits.y_train
+        )
+
+    def test_produces_working_model(self, search, income_splits):
+        accuracy = accuracy_score(income_splits.y_test, search.predict(income_splits.test))
+        assert accuracy > 0.65
+
+    def test_evaluates_requested_candidates(self, search):
+        assert len(search.candidates_) == 4
+        assert all(0.0 <= c.score <= 1.0 for c in search.candidates_)
+
+    def test_best_score_is_max_candidate_score(self, search):
+        assert search.best_score_ == max(c.score for c in search.candidates_)
+
+    def test_wrappable_as_blackbox(self, search, income_splits):
+        blackbox = BlackBoxModel.wrap(search)
+        proba = blackbox.predict_proba(income_splits.test)
+        assert proba.shape == (len(income_splits.test), 2)
+
+    def test_predict_proba_rows_sum_to_one(self, search, income_splits):
+        proba = search.predict_proba(income_splits.test)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+class TestPresets:
+    def test_all_presets_listed(self):
+        assert set(PRESETS) == {"auto-sklearn", "tpot", "auto-keras", "large-convnet"}
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(DataValidationError):
+            AutoMLSearch(preset="h2o")
+
+    def test_zero_candidates_raises(self):
+        with pytest.raises(DataValidationError):
+            AutoMLSearch(n_candidates=0)
+
+    def test_tpot_mutation_path(self, income_splits):
+        search = AutoMLSearch(preset="tpot", n_candidates=4, random_state=1).fit(
+            income_splits.train, income_splits.y_train
+        )
+        assert len(search.candidates_) == 4
+        assert accuracy_score(
+            income_splits.y_test, search.predict(income_splits.test)
+        ) > 0.6
+
+    def test_search_is_deterministic_given_seed(self, income_splits):
+        a = AutoMLSearch(n_candidates=2, random_state=5).fit(
+            income_splits.train, income_splits.y_train
+        )
+        b = AutoMLSearch(n_candidates=2, random_state=5).fit(
+            income_splits.train, income_splits.y_train
+        )
+        assert a.best_description_ == b.best_description_
+        assert a.best_score_ == b.best_score_

@@ -1,0 +1,82 @@
+"""Tests for the BBSE / BBSEh black-box shift detection baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bbse import BBSE, BBSEh
+from repro.core.blackbox import BlackBoxModel
+from repro.errors.tabular_errors import Scaling
+from repro.exceptions import DataValidationError, NotFittedError
+
+
+class TestBBSE:
+    def test_no_shift_on_clean_serving_data(self, income_blackbox, income_splits):
+        detector = BBSE(income_blackbox).fit(income_splits.test)
+        assert detector.shift_detected(income_splits.serving) is False
+        assert detector.validate(income_splits.serving) is True
+
+    def test_detects_output_shift_under_scaling(self, income_blackbox, income_splits, rng):
+        detector = BBSE(income_blackbox).fit(income_splits.test)
+        corrupted = Scaling().corrupt(
+            income_splits.serving, rng,
+            columns=income_splits.serving.numeric_columns, fraction=1.0, factor=1000.0,
+        )
+        assert detector.shift_detected(corrupted) is True
+
+    def test_from_proba_entry_point(self, income_blackbox, income_splits):
+        detector = BBSE(income_blackbox).fit(income_splits.test)
+        proba = income_blackbox.predict_proba(income_splits.serving)
+        assert detector.shift_detected_from_proba(proba) is False
+
+    def test_class_mismatch_raises(self, income_blackbox, income_splits):
+        detector = BBSE(income_blackbox).fit(income_splits.test)
+        with pytest.raises(DataValidationError):
+            detector.shift_detected_from_proba(np.random.random((10, 3)))
+
+    def test_unfitted_raises(self, income_blackbox, income_splits):
+        with pytest.raises(NotFittedError):
+            BBSE(income_blackbox).shift_detected(income_splits.serving)
+
+    def test_invalid_alpha_raises(self, income_blackbox):
+        with pytest.raises(DataValidationError):
+            BBSE(income_blackbox, alpha=1.5)
+
+
+class TestBBSEh:
+    def test_no_shift_on_clean_serving_data(self, income_blackbox, income_splits):
+        detector = BBSEh(income_blackbox).fit(income_splits.test)
+        assert detector.shift_detected(income_splits.serving) is False
+
+    def test_detects_class_balance_shift(self, income_blackbox, income_splits):
+        detector = BBSEh(income_blackbox).fit(income_splits.test)
+        # Synthetic outputs assigning nearly everything to class 0.
+        n = 800
+        proba = np.column_stack([np.full(n, 0.9), np.full(n, 0.1)])
+        assert detector.shift_detected_from_proba(proba) is True
+
+    def test_blind_to_balance_preserving_confidence_shift(
+        self, income_blackbox, income_splits
+    ):
+        # BBSEh only sees hard class counts: making every prediction more
+        # confident without moving the argmax is invisible to it (but not
+        # to BBSE) — the structural weakness the paper exploits.
+        detector_h = BBSEh(income_blackbox).fit(income_splits.test)
+        proba = income_blackbox.predict_proba(income_splits.serving)
+        sharpened = np.where(proba > 0.5, 0.99, 0.01)
+        sharpened = sharpened / sharpened.sum(axis=1, keepdims=True)
+        assert detector_h.shift_detected_from_proba(sharpened) is False
+        detector_s = BBSE(income_blackbox).fit(income_splits.test)
+        assert detector_s.shift_detected_from_proba(sharpened) is True
+
+    def test_unfitted_raises(self, income_blackbox, income_splits):
+        with pytest.raises(NotFittedError):
+            BBSEh(income_blackbox).shift_detected(income_splits.serving)
+
+    def test_class_count_mismatch_raises(self, income_blackbox, income_splits):
+        detector = BBSEh(income_blackbox).fit(income_splits.test)
+        with pytest.raises(DataValidationError):
+            detector.shift_detected_from_proba(np.random.random((10, 4)))
+
+    def test_class_counts_helper(self):
+        proba = np.array([[0.9, 0.1], [0.4, 0.6], [0.2, 0.8]])
+        assert list(BBSEh._class_counts(proba)) == [1.0, 2.0]

@@ -1,0 +1,107 @@
+"""Tests for the REL relational shift detection baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rel import RelationalShiftDetector
+from repro.errors.tabular_errors import MissingValues, Scaling
+from repro.exceptions import DataValidationError, NotFittedError
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+
+def make_pair(n: int = 400) -> tuple[DataFrame, DataFrame]:
+    rng = np.random.default_rng(0)
+
+    def build(seed):
+        r = np.random.default_rng(seed)
+        return DataFrame.from_dict(
+            {
+                "x": r.normal(size=n),
+                "c": r.choice(["a", "b", "c"], size=n).astype(object),
+            },
+            {"x": ColumnType.NUMERIC, "c": ColumnType.CATEGORICAL},
+        )
+
+    return build(1), build(2)
+
+
+class TestRelationalShiftDetector:
+    def test_no_shift_on_iid_samples(self):
+        reference, serving = make_pair()
+        detector = RelationalShiftDetector().fit(reference)
+        assert detector.shift_detected(serving) is False
+        assert detector.validate(serving) is True
+
+    def test_detects_numeric_location_shift(self):
+        reference, serving = make_pair()
+        shifted = serving.copy()
+        shifted.set_values("x", np.arange(len(shifted)), shifted["x"] + 1.0)
+        detector = RelationalShiftDetector().fit(reference)
+        assert detector.shift_detected(shifted) is True
+
+    def test_detects_categorical_frequency_shift(self):
+        reference, serving = make_pair()
+        skewed = serving.copy()
+        rows = np.arange(len(skewed) // 2)
+        skewed.set_values("c", rows, ["a"] * len(rows))
+        detector = RelationalShiftDetector().fit(reference)
+        assert detector.shift_detected(skewed) is True
+
+    def test_detects_missingness_increase(self, rng):
+        reference, serving = make_pair()
+        corrupted = MissingValues(columns=["c"]).corrupt(
+            serving, rng, columns=["c"], fraction=0.4
+        )
+        detector = RelationalShiftDetector().fit(reference)
+        assert detector.shift_detected(corrupted) is True
+
+    def test_detects_scaling(self, rng):
+        reference, serving = make_pair()
+        corrupted = Scaling().corrupt(serving, rng, columns=["x"], fraction=0.8, factor=100.0)
+        detector = RelationalShiftDetector().fit(reference)
+        assert detector.shift_detected(corrupted) is True
+
+    def test_blind_to_model_irrelevant_vs_relevant(self):
+        # REL fires on any distributional change, even one a model ignores —
+        # the paper's core criticism. A shift in a pure-noise column
+        # triggers exactly like a shift in a predictive column.
+        rng = np.random.default_rng(3)
+        n = 400
+        reference = DataFrame.from_dict(
+            {"noise": rng.normal(size=n)}, {"noise": ColumnType.NUMERIC}
+        )
+        serving = DataFrame.from_dict(
+            {"noise": rng.normal(loc=2.0, size=n)}, {"noise": ColumnType.NUMERIC}
+        )
+        detector = RelationalShiftDetector().fit(reference)
+        assert detector.shift_detected(serving) is True
+
+    def test_image_only_frame_rejected(self):
+        images = DataFrame.from_dict(
+            {"image": np.zeros((5, 4, 4))}, {"image": ColumnType.IMAGE}
+        )
+        with pytest.raises(DataValidationError):
+            RelationalShiftDetector().fit(images)
+
+    def test_schema_mismatch_raises(self):
+        reference, serving = make_pair()
+        detector = RelationalShiftDetector().fit(reference)
+        with pytest.raises(DataValidationError):
+            detector.shift_detected(serving.drop_columns("c"))
+
+    def test_unfitted_raises(self):
+        _, serving = make_pair()
+        with pytest.raises(NotFittedError):
+            RelationalShiftDetector().shift_detected(serving)
+
+    def test_invalid_alpha_raises(self):
+        with pytest.raises(DataValidationError):
+            RelationalShiftDetector(alpha=0.0)
+
+    def test_fully_missing_numeric_column_detected(self, rng):
+        reference, serving = make_pair()
+        blanked = serving.copy()
+        blanked.set_values("x", np.arange(len(blanked)), np.full(len(blanked), np.nan))
+        detector = RelationalShiftDetector().fit(reference)
+        assert detector.shift_detected(blanked) is True

@@ -1,0 +1,63 @@
+"""Shared fixtures: small datasets and trained pipelines.
+
+Expensive artifacts (dataset splits, fitted black boxes) are session-scoped
+so the suite stays fast while many tests can exercise realistic objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.blackbox import BlackBoxModel
+from repro.evaluation.harness import ExperimentSplits, prepare_splits
+from repro.ml.linear import SGDClassifier
+from repro.ml.pipeline import Pipeline, TabularEncoder
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def small_frame() -> DataFrame:
+    """A tiny mixed-type frame with known values, including missing cells."""
+    return DataFrame.from_dict(
+        {
+            "age": [20.0, 30.0, 40.0, np.nan, 60.0, 25.0],
+            "income": [1000.0, 2000.0, 1500.0, 3000.0, 1200.0, 2500.0],
+            "city": ["berlin", "paris", None, "berlin", "rome", "paris"],
+            "note": ["hello world", "lorem ipsum", "hello again", None, "more text", "hi"],
+        },
+        {
+            "age": ColumnType.NUMERIC,
+            "income": ColumnType.NUMERIC,
+            "city": ColumnType.CATEGORICAL,
+            "note": ColumnType.TEXT,
+        },
+    )
+
+
+@pytest.fixture(scope="session")
+def income_splits() -> ExperimentSplits:
+    return prepare_splits("income", n_rows=1500, seed=0)
+
+
+@pytest.fixture(scope="session")
+def income_blackbox(income_splits: ExperimentSplits) -> BlackBoxModel:
+    pipeline = Pipeline(TabularEncoder(), SGDClassifier(epochs=10, random_state=0))
+    pipeline.fit(income_splits.train, income_splits.y_train)
+    return BlackBoxModel.wrap(pipeline)
+
+
+@pytest.fixture(scope="session")
+def binary_matrix_problem() -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """A linearly separable-with-noise binary problem as raw matrices."""
+    rng = np.random.default_rng(42)
+    X = rng.normal(size=(500, 8))
+    weights = rng.normal(size=8)
+    y = (X @ weights + 0.5 * rng.normal(size=500) > 0).astype(int)
+    return X[:350], y[:350], X[350:], y[350:]

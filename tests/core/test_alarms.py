@@ -1,0 +1,66 @@
+"""Tests for serving-time alarm helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.alarms import ValidationReport, check_serving_batch
+from repro.core.predictor import PerformancePredictor
+from repro.errors.tabular_errors import MissingValues, Scaling
+from repro.exceptions import DataValidationError
+
+
+@pytest.fixture(scope="module")
+def predictor(income_blackbox, income_splits):
+    return PerformancePredictor(
+        income_blackbox, [MissingValues(), Scaling()], n_samples=40, random_state=0
+    ).fit(income_splits.test, income_splits.y_test)
+
+
+class TestValidationReport:
+    def test_relative_drop(self):
+        report = ValidationReport(
+            estimated_score=0.72, expected_score=0.8, threshold=0.05, alarm=True
+        )
+        assert report.relative_drop == pytest.approx(0.1)
+
+    def test_relative_drop_zero_expected(self):
+        report = ValidationReport(
+            estimated_score=0.0, expected_score=0.0, threshold=0.05, alarm=False
+        )
+        assert report.relative_drop == 0.0
+
+    def test_describe_mentions_state(self):
+        alarm = ValidationReport(0.5, 0.8, 0.05, True)
+        ok = ValidationReport(0.79, 0.8, 0.05, False)
+        assert "ALARM" in alarm.describe()
+        assert "[ok]" in ok.describe()
+
+
+class TestCheckServingBatch:
+    def test_no_alarm_on_clean_batch(self, predictor, income_splits):
+        report = check_serving_batch(predictor, income_splits.serving, threshold=0.1)
+        assert report.alarm is False
+        assert report.expected_score == predictor.test_score_
+
+    def test_alarm_on_catastrophic_batch(self, predictor, income_splits, rng):
+        corrupted = Scaling().corrupt(
+            income_splits.serving, rng,
+            columns=income_splits.serving.numeric_columns, fraction=1.0, factor=1000.0,
+        )
+        report = check_serving_batch(predictor, corrupted, threshold=0.05)
+        assert report.alarm is True
+        assert report.estimated_score < report.expected_score
+
+    def test_threshold_controls_sensitivity(self, predictor, income_splits, rng):
+        corrupted = Scaling().corrupt(
+            income_splits.serving, rng,
+            columns=income_splits.serving.numeric_columns, fraction=1.0, factor=1000.0,
+        )
+        strict = check_serving_batch(predictor, corrupted, threshold=0.01)
+        lax = check_serving_batch(predictor, corrupted, threshold=0.49)
+        assert strict.alarm is True
+        assert lax.alarm is False
+
+    def test_invalid_threshold_raises(self, predictor, income_splits):
+        with pytest.raises(DataValidationError):
+            check_serving_batch(predictor, income_splits.serving, threshold=0.0)

@@ -1,0 +1,86 @@
+"""Tests for the black box model wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.blackbox import BlackBoxModel
+from repro.exceptions import DataValidationError
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+
+def make_frame(n: int = 10) -> DataFrame:
+    return DataFrame.from_dict(
+        {"x": np.linspace(0, 1, n)}, {"x": ColumnType.NUMERIC}
+    )
+
+
+def fake_predict_proba(frame: DataFrame) -> np.ndarray:
+    p = frame["x"]
+    return np.column_stack([1.0 - p, p])
+
+
+class TestConstruction:
+    def test_wrap_pipeline_like_object(self, income_blackbox, income_splits):
+        proba = income_blackbox.predict_proba(income_splits.test)
+        assert proba.shape == (len(income_splits.test), 2)
+
+    def test_wrap_bare_callable_requires_classes(self):
+        with pytest.raises(DataValidationError):
+            BlackBoxModel(fake_predict_proba)
+
+    def test_wrap_bare_callable_with_classes(self):
+        model = BlackBoxModel(fake_predict_proba, classes=np.array(["no", "yes"]))
+        assert model.n_classes == 2
+
+    def test_single_class_rejected(self):
+        with pytest.raises(DataValidationError):
+            BlackBoxModel(fake_predict_proba, classes=np.array(["only"]))
+
+
+class TestPrediction:
+    def make(self) -> BlackBoxModel:
+        return BlackBoxModel(fake_predict_proba, classes=np.array(["no", "yes"]))
+
+    def test_predict_argmax(self):
+        model = self.make()
+        predictions = model.predict(make_frame(3))
+        # x = 0, .5, 1; argmax ties (x = .5) resolve to the first class.
+        assert list(predictions) == ["no", "no", "yes"]
+
+    def test_proba_shape_validated(self):
+        bad = BlackBoxModel(lambda frame: np.zeros((2, 2)), classes=np.array([0, 1]))
+        with pytest.raises(DataValidationError):
+            bad.predict_proba(make_frame(5))
+
+    def test_class_count_validated(self):
+        bad = BlackBoxModel(
+            lambda frame: np.zeros((len(frame), 3)), classes=np.array([0, 1])
+        )
+        with pytest.raises(DataValidationError):
+            bad.predict_proba(make_frame(5))
+
+
+class TestScoring:
+    def make(self) -> BlackBoxModel:
+        return BlackBoxModel(fake_predict_proba, classes=np.array(["no", "yes"]))
+
+    def test_accuracy(self):
+        frame = make_frame(4)  # x = 0, 1/3, 2/3, 1 -> no, no, yes, yes
+        labels = np.array(["no", "yes", "yes", "yes"], dtype=object)
+        assert self.make().score(frame, labels) == 0.75
+
+    def test_roc_auc(self):
+        frame = make_frame(4)
+        labels = np.array(["no", "no", "yes", "yes"], dtype=object)
+        assert self.make().score(frame, labels, metric="roc_auc") == 1.0
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(DataValidationError):
+            self.make().score(make_frame(2), np.array(["no", "yes"]), metric="brier")
+
+    def test_real_blackbox_score_in_sane_range(self, income_blackbox, income_splits):
+        score = income_blackbox.score(income_splits.test, income_splits.y_test)
+        assert 0.6 < score < 1.0
+        auc = income_blackbox.score(income_splits.test, income_splits.y_test, "roc_auc")
+        assert 0.6 < auc <= 1.0

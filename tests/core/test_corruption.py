@@ -1,0 +1,86 @@
+"""Tests for the corruption sampler (Algorithm 1's data generation loop)."""
+
+import numpy as np
+import pytest
+
+from repro.core.corruption import CorruptionSampler
+from repro.errors.tabular_errors import GaussianOutliers, MissingValues, Scaling
+from repro.exceptions import DataValidationError
+
+
+@pytest.fixture
+def sampler(income_blackbox):
+    return CorruptionSampler(
+        income_blackbox,
+        [MissingValues(), Scaling()],
+        mode="single",
+        include_clean=True,
+    )
+
+
+class TestCorruptionSampler:
+    def test_sample_count_includes_clean(self, sampler, income_splits, rng):
+        samples = sampler.sample(income_splits.test, income_splits.y_test, 6, rng)
+        assert len(samples) == 7
+        assert samples[0].reports == ()  # the clean copy comes first
+
+    def test_single_mode_cycles_generators(self, sampler, income_splits, rng):
+        samples = sampler.sample(income_splits.test, income_splits.y_test, 4, rng)
+        names = [s.reports[0].error_name for s in samples[1:]]
+        assert names == ["missing_values", "scaling", "missing_values", "scaling"]
+
+    def test_mixture_mode_varies_report_counts(self, income_blackbox, income_splits):
+        sampler = CorruptionSampler(
+            income_blackbox,
+            [MissingValues(), Scaling(), GaussianOutliers()],
+            mode="mixture",
+            include_clean=False,
+            fire_prob=0.5,
+        )
+        rng = np.random.default_rng(0)
+        samples = sampler.sample(income_splits.test, income_splits.y_test, 20, rng)
+        counts = {len(s.reports) for s in samples}
+        assert len(counts) > 1
+
+    def test_scores_in_unit_interval(self, sampler, income_splits, rng):
+        samples = sampler.sample(income_splits.test, income_splits.y_test, 6, rng)
+        assert all(0.0 <= s.score <= 1.0 for s in samples)
+
+    def test_proba_shapes_match_test_rows(self, sampler, income_splits, rng):
+        samples = sampler.sample(income_splits.test, income_splits.y_test, 2, rng)
+        for sample in samples:
+            assert sample.proba.shape == (len(income_splits.test), 2)
+
+    def test_clean_score_equals_direct_score(self, sampler, income_blackbox, income_splits, rng):
+        samples = sampler.sample(income_splits.test, income_splits.y_test, 1, rng)
+        direct = income_blackbox.score(income_splits.test, income_splits.y_test)
+        assert samples[0].score == pytest.approx(direct)
+
+    def test_corruption_tends_to_lower_scores(self, income_blackbox, income_splits):
+        sampler = CorruptionSampler(
+            income_blackbox, [Scaling()], mode="single", include_clean=True
+        )
+        rng = np.random.default_rng(1)
+        samples = sampler.sample(income_splits.test, income_splits.y_test, 12, rng)
+        clean = samples[0].score
+        corrupted_scores = [s.score for s in samples[1:]]
+        assert min(corrupted_scores) < clean
+
+    def test_invalid_mode_raises(self, income_blackbox):
+        with pytest.raises(DataValidationError):
+            CorruptionSampler(income_blackbox, [Scaling()], mode="bulk")
+
+    def test_empty_generators_raise(self, income_blackbox):
+        with pytest.raises(DataValidationError):
+            CorruptionSampler(income_blackbox, [])
+
+    def test_zero_samples_raise(self, sampler, income_splits, rng):
+        with pytest.raises(DataValidationError):
+            sampler.sample(income_splits.test, income_splits.y_test, 0, rng)
+
+    def test_roc_auc_metric(self, income_blackbox, income_splits, rng):
+        sampler = CorruptionSampler(
+            income_blackbox, [MissingValues()], metric="roc_auc", mode="single"
+        )
+        samples = sampler.sample(income_splits.test, income_splits.y_test, 2, rng)
+        assert all(0.0 <= s.score <= 1.0 for s in samples)

@@ -1,0 +1,90 @@
+"""Tests for output featurization (prediction_statistics and KS features)."""
+
+import numpy as np
+import pytest
+
+from repro.core.featurize import (
+    ks_output_features,
+    predicted_class_fractions,
+    prediction_statistics,
+)
+from repro.exceptions import DataValidationError
+
+
+class TestPredictionStatistics:
+    def test_percentile_width(self, rng):
+        proba = rng.random((50, 2))
+        assert prediction_statistics(proba).shape == (42,)
+
+    def test_step_controls_width(self, rng):
+        proba = rng.random((50, 2))
+        assert prediction_statistics(proba, step=25).shape == (10,)
+
+    def test_moments_featurizer(self, rng):
+        proba = rng.random((50, 2))
+        assert prediction_statistics(proba, featurizer="moments").shape == (8,)
+
+    def test_batch_size_invariance(self, rng):
+        # Features from different batch sizes of the same distribution must
+        # be close — the predictor depends on this at serving time.
+        column = rng.beta(2, 5, size=20_000)
+        proba = np.column_stack([1 - column, column])
+        small = prediction_statistics(proba[:2000])
+        large = prediction_statistics(proba)
+        assert np.abs(small - large).max() < 0.05
+
+    def test_unknown_featurizer_raises(self, rng):
+        with pytest.raises(DataValidationError):
+            prediction_statistics(rng.random((5, 2)), featurizer="wavelets")
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataValidationError):
+            prediction_statistics(np.array([0.1, 0.9]))
+
+    def test_shifted_distribution_changes_features(self, rng):
+        base = rng.beta(5, 5, size=500)
+        shifted = np.clip(base + 0.3, 0, 1)
+        f_base = prediction_statistics(np.column_stack([1 - base, base]))
+        f_shift = prediction_statistics(np.column_stack([1 - shifted, shifted]))
+        assert np.abs(f_base - f_shift).max() > 0.1
+
+
+class TestKsOutputFeatures:
+    def test_identical_outputs_give_zero_statistic(self, rng):
+        proba = rng.random((100, 2))
+        features = ks_output_features(proba, proba)
+        # [stat, p, stat, p] with stat 0 and p 1.
+        assert features[0] == 0.0 and features[1] == 1.0
+
+    def test_shifted_outputs_detected(self, rng):
+        p = rng.beta(2, 2, size=300)
+        a = np.column_stack([1 - p, p])
+        q = np.clip(p + 0.2, 0, 1)
+        b = np.column_stack([1 - q, q])
+        features = ks_output_features(b, a)
+        assert features[0] > 0.15  # statistic
+        assert features[1] < 0.01  # p-value
+
+    def test_width_is_two_per_class(self, rng):
+        a = rng.random((50, 3))
+        b = rng.random((60, 3))
+        assert ks_output_features(a, b).shape == (6,)
+
+    def test_class_mismatch_raises(self, rng):
+        with pytest.raises(DataValidationError):
+            ks_output_features(rng.random((10, 2)), rng.random((10, 3)))
+
+
+class TestPredictedClassFractions:
+    def test_sums_to_one(self, rng):
+        fractions = predicted_class_fractions(rng.random((100, 4)))
+        assert fractions.shape == (4,)
+        assert fractions.sum() == pytest.approx(1.0)
+
+    def test_counts_argmax(self):
+        proba = np.array([[0.9, 0.1], [0.8, 0.2], [0.3, 0.7]])
+        assert list(predicted_class_fractions(proba)) == pytest.approx([2 / 3, 1 / 3])
+
+    def test_empty_raises(self):
+        with pytest.raises(DataValidationError):
+            predicted_class_fractions(np.empty((0, 2)))

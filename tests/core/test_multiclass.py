@@ -1,0 +1,114 @@
+"""End-to-end checks of the m-class code paths (the paper's formalism is
+m-class even though its evaluation datasets are binary)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bbse import BBSE, BBSEh
+from repro.core.blackbox import BlackBoxModel
+from repro.core.featurize import prediction_statistics
+from repro.core.predictor import PerformancePredictor
+from repro.core.validator import PerformanceValidator
+from repro.errors.tabular_errors import GaussianOutliers, MissingValues, Scaling
+from repro.ml.linear import SGDClassifier
+from repro.ml.pipeline import Pipeline, TabularEncoder
+from repro.tabular.frame import DataFrame
+from repro.tabular.ops import split_frame, train_test_split
+from repro.tabular.schema import ColumnType
+
+
+@pytest.fixture(scope="module")
+def three_class_problem():
+    """A 3-class tabular problem with mixed column types."""
+    rng = np.random.default_rng(0)
+    n = 1800
+    centers = {"low": -2.0, "mid": 0.0, "high": 2.0}
+    labels = rng.choice(list(centers), size=n)
+    x1 = np.array([centers[label] for label in labels]) + rng.normal(size=n)
+    x2 = np.array([centers[label] for label in labels]) * -0.5 + rng.normal(size=n)
+    tier = np.array(
+        [
+            {"low": "bronze", "mid": "silver", "high": "gold"}[label]
+            if rng.random() < 0.7 else str(rng.choice(["bronze", "silver", "gold"]))
+            for label in labels
+        ],
+        dtype=object,
+    )
+    frame = DataFrame.from_dict(
+        {"x1": x1, "x2": x2, "tier": tier},
+        {"x1": ColumnType.NUMERIC, "x2": ColumnType.NUMERIC, "tier": ColumnType.CATEGORICAL},
+    )
+    (source, y_source), (serving, y_serving) = split_frame(
+        frame, labels.astype(object), (0.6, 0.4), rng
+    )
+    train, y_train, test, y_test = train_test_split(source, y_source, 0.35, rng)
+    pipeline = Pipeline(TabularEncoder(), SGDClassifier(epochs=15, random_state=0))
+    pipeline.fit(train, y_train)
+    blackbox = BlackBoxModel.wrap(pipeline)
+    return blackbox, test, y_test, serving, y_serving
+
+
+class TestMulticlassBlackBox:
+    def test_three_probability_columns(self, three_class_problem):
+        blackbox, test, _, _, _ = three_class_problem
+        proba = blackbox.predict_proba(test)
+        assert proba.shape[1] == 3
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_model_learns_the_task(self, three_class_problem):
+        blackbox, test, y_test, _, _ = three_class_problem
+        assert blackbox.score(test, y_test) > 0.7
+
+    def test_featurization_width_scales_with_classes(self, three_class_problem):
+        blackbox, test, _, _, _ = three_class_problem
+        features = prediction_statistics(blackbox.predict_proba(test))
+        assert features.shape == (3 * 21,)
+
+
+class TestMulticlassPredictor:
+    @pytest.fixture(scope="class")
+    def predictor(self, three_class_problem):
+        blackbox, test, y_test, _, _ = three_class_problem
+        return PerformancePredictor(
+            blackbox, [MissingValues(), GaussianOutliers(), Scaling()],
+            n_samples=60, random_state=0,
+        ).fit(test, y_test)
+
+    def test_clean_estimate_near_truth(self, predictor, three_class_problem):
+        blackbox, _, _, serving, y_serving = three_class_problem
+        estimate = predictor.predict(serving)
+        truth = blackbox.score(serving, y_serving)
+        assert abs(estimate - truth) < 0.08
+
+    def test_detects_catastrophe(self, predictor, three_class_problem, rng):
+        blackbox, _, _, serving, y_serving = three_class_problem
+        broken = Scaling().corrupt(
+            serving, rng, columns=["x1", "x2"], fraction=1.0, factor=1000.0
+        )
+        estimate = predictor.predict(broken)
+        truth = blackbox.score(broken, y_serving)
+        assert estimate < predictor.test_score_ - 0.1
+        assert abs(estimate - truth) < 0.15
+
+
+class TestMulticlassValidatorAndBaselines:
+    def test_validator_fits_and_decides(self, three_class_problem):
+        blackbox, test, y_test, serving, _ = three_class_problem
+        validator = PerformanceValidator(
+            blackbox, [MissingValues(), Scaling()], threshold=0.1,
+            n_samples=60, random_state=0,
+        ).fit(test, y_test)
+        # 3 classes: 63 percentiles + 6 KS + 3 fractions + 2 chi2 = 74.
+        assert validator.meta_features_.shape[1] == 74
+        assert validator.validate(serving) is True
+
+    def test_bbse_variants_handle_three_classes(self, three_class_problem, rng):
+        blackbox, test, _, serving, _ = three_class_problem
+        bbse = BBSE(blackbox).fit(test)
+        bbse_h = BBSEh(blackbox).fit(test)
+        assert bbse.shift_detected(serving) is False
+        assert bbse_h.shift_detected(serving) is False
+        broken = Scaling().corrupt(
+            serving, rng, columns=["x1", "x2"], fraction=1.0, factor=1000.0
+        )
+        assert bbse.shift_detected(broken) is True

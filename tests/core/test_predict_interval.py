@@ -1,0 +1,61 @@
+"""Tests for the split-conformal score intervals."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import PerformancePredictor
+from repro.errors.mixture import ErrorMixture
+from repro.errors.tabular_errors import GaussianOutliers, MissingValues, Scaling
+from repro.exceptions import DataValidationError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def predictor(income_blackbox, income_splits):
+    return PerformancePredictor(
+        income_blackbox,
+        [MissingValues(), GaussianOutliers(), Scaling()],
+        n_samples=80,
+        mode="mixture",
+        random_state=0,
+    ).fit(income_splits.test, income_splits.y_test)
+
+
+class TestPredictInterval:
+    def test_interval_orders_and_contains_estimate(self, predictor, income_splits):
+        lower, estimate, upper = predictor.predict_interval(income_splits.serving)
+        assert 0.0 <= lower <= estimate <= upper <= 1.0
+
+    def test_interval_widens_with_coverage(self, predictor, income_splits):
+        narrow = predictor.predict_interval(income_splits.serving, coverage=0.5)
+        wide = predictor.predict_interval(income_splits.serving, coverage=0.95)
+        assert (wide[2] - wide[0]) >= (narrow[2] - narrow[0])
+
+    def test_empirical_coverage_is_roughly_right(
+        self, predictor, income_blackbox, income_splits
+    ):
+        rng = np.random.default_rng(11)
+        mixture = ErrorMixture(
+            [MissingValues(), GaussianOutliers(), Scaling()], fire_prob=0.6
+        )
+        hits = 0
+        rounds = 20
+        for _ in range(rounds):
+            corrupted, _ = mixture.corrupt_random(income_splits.serving, rng)
+            lower, _, upper = predictor.predict_interval(corrupted, coverage=0.9)
+            truth = income_blackbox.score(corrupted, income_splits.y_serving)
+            hits += lower <= truth <= upper
+        # Conformal validity is approximate at this scale; require a clear
+        # majority rather than the exact nominal rate.
+        assert hits / rounds >= 0.6
+
+    def test_invalid_coverage_raises(self, predictor, income_splits):
+        with pytest.raises(DataValidationError):
+            predictor.predict_interval(income_splits.serving, coverage=1.0)
+
+    def test_tiny_meta_corpus_has_no_calibration(self, income_blackbox, income_splits):
+        small = PerformancePredictor(
+            income_blackbox, [Scaling()], n_samples=8, random_state=0
+        ).fit(income_splits.test, income_splits.y_test)
+        assert small.calibration_residuals_ is None
+        with pytest.raises(NotFittedError):
+            small.predict_interval(income_splits.serving)

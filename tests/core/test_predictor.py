@@ -1,0 +1,136 @@
+"""Tests for the performance predictor (Algorithms 1 & 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.corruption import CorruptionSampler
+from repro.core.predictor import PerformancePredictor, default_regressor
+from repro.errors.tabular_errors import GaussianOutliers, MissingValues, Scaling
+from repro.exceptions import NotFittedError
+from repro.ml.boosting import GradientBoostingRegressor
+
+
+@pytest.fixture(scope="module")
+def fitted_predictor(income_blackbox, income_splits):
+    predictor = PerformancePredictor(
+        income_blackbox,
+        [MissingValues(), GaussianOutliers(), Scaling()],
+        n_samples=60,
+        random_state=0,
+    )
+    return predictor.fit(income_splits.test, income_splits.y_test)
+
+
+class TestFitting:
+    def test_records_test_score(self, fitted_predictor, income_blackbox, income_splits):
+        direct = income_blackbox.score(income_splits.test, income_splits.y_test)
+        assert fitted_predictor.test_score_ == pytest.approx(direct)
+
+    def test_meta_dataset_dimensions(self, fitted_predictor):
+        n, d = fitted_predictor.meta_features_.shape
+        assert n == 61  # 60 corrupted + 1 clean
+        assert d == 42  # 21 percentiles x 2 classes
+        assert fitted_predictor.meta_scores_.shape == (61,)
+
+    def test_meta_scores_are_valid(self, fitted_predictor):
+        assert np.all((fitted_predictor.meta_scores_ >= 0) & (fitted_predictor.meta_scores_ <= 1))
+
+    def test_accepts_precomputed_samples(self, income_blackbox, income_splits, rng):
+        sampler = CorruptionSampler(income_blackbox, [Scaling()], mode="single")
+        samples = sampler.sample(income_splits.test, income_splits.y_test, 20, rng)
+        predictor = PerformancePredictor(income_blackbox, [Scaling()], random_state=0)
+        predictor.fit(income_splits.test, income_splits.y_test, samples=samples)
+        assert len(predictor.meta_scores_) == 21
+
+    def test_misaligned_labels_raise(self, income_blackbox, income_splits):
+        predictor = PerformancePredictor(income_blackbox, [Scaling()])
+        from repro.exceptions import DataValidationError
+
+        with pytest.raises(DataValidationError):
+            predictor.fit(income_splits.test, income_splits.y_test[:-1])
+
+
+class TestPrediction:
+    def test_estimate_in_unit_interval(self, fitted_predictor, income_splits):
+        estimate = fitted_predictor.predict(income_splits.serving)
+        assert 0.0 <= estimate <= 1.0
+
+    def test_clean_serving_estimate_near_test_score(self, fitted_predictor, income_splits):
+        estimate = fitted_predictor.predict(income_splits.serving)
+        assert abs(estimate - fitted_predictor.test_score_) < 0.08
+
+    def test_detects_catastrophic_corruption(
+        self, fitted_predictor, income_blackbox, income_splits, rng
+    ):
+        corrupted = Scaling().corrupt(
+            income_splits.serving, rng,
+            columns=income_splits.serving.numeric_columns, fraction=1.0, factor=1000.0,
+        )
+        estimate = fitted_predictor.predict(corrupted)
+        truth = income_blackbox.score(corrupted, income_splits.y_serving)
+        assert abs(estimate - truth) < 0.12
+        assert estimate < fitted_predictor.test_score_ - 0.05
+
+    def test_estimates_track_truth_across_magnitudes(
+        self, fitted_predictor, income_blackbox, income_splits, rng
+    ):
+        errors = []
+        generator = MissingValues()
+        for _ in range(8):
+            corrupted, _ = generator.corrupt_random(income_splits.serving, rng)
+            estimate = fitted_predictor.predict(corrupted)
+            truth = income_blackbox.score(corrupted, income_splits.y_serving)
+            errors.append(abs(estimate - truth))
+        assert float(np.median(errors)) < 0.05
+
+    def test_predict_from_proba_matches_predict(
+        self, fitted_predictor, income_blackbox, income_splits
+    ):
+        proba = income_blackbox.predict_proba(income_splits.serving)
+        assert fitted_predictor.predict_from_proba(proba) == pytest.approx(
+            fitted_predictor.predict(income_splits.serving)
+        )
+
+    def test_expected_drop_sign(self, fitted_predictor, income_splits, rng):
+        corrupted = Scaling().corrupt(
+            income_splits.serving, rng,
+            columns=income_splits.serving.numeric_columns, fraction=1.0, factor=1000.0,
+        )
+        assert fitted_predictor.expected_drop(corrupted) > 0.0
+
+    def test_unfitted_raises(self, income_blackbox, income_splits):
+        predictor = PerformancePredictor(income_blackbox, [Scaling()])
+        with pytest.raises(NotFittedError):
+            predictor.predict(income_splits.serving)
+        with pytest.raises(NotFittedError):
+            predictor.expected_drop(income_splits.serving)
+
+
+class TestConfigurations:
+    def test_custom_regressor(self, income_blackbox, income_splits):
+        predictor = PerformancePredictor(
+            income_blackbox,
+            [Scaling()],
+            n_samples=20,
+            regressor=GradientBoostingRegressor(n_stages=20, random_state=0),
+            random_state=0,
+        ).fit(income_splits.test, income_splits.y_test)
+        assert 0.0 <= predictor.predict(income_splits.serving) <= 1.0
+
+    def test_moments_featurizer(self, income_blackbox, income_splits):
+        predictor = PerformancePredictor(
+            income_blackbox, [Scaling()], n_samples=20,
+            featurizer="moments", random_state=0,
+        ).fit(income_splits.test, income_splits.y_test)
+        assert predictor.meta_features_.shape[1] == 8
+
+    def test_roc_auc_metric(self, income_blackbox, income_splits):
+        predictor = PerformancePredictor(
+            income_blackbox, [MissingValues()], n_samples=20,
+            metric="roc_auc", random_state=0,
+        ).fit(income_splits.test, income_splits.y_test)
+        assert 0.0 <= predictor.predict(income_splits.serving) <= 1.0
+
+    def test_default_regressor_is_cv_tuned_forest(self):
+        search = default_regressor()
+        assert search.param_grid == {"n_trees": [20, 50, 100]}

@@ -1,0 +1,103 @@
+"""Tests for the performance validator."""
+
+import numpy as np
+import pytest
+
+from repro.core.validator import PerformanceValidator, default_validator_model
+from repro.errors.tabular_errors import GaussianOutliers, MissingValues, Scaling, SwappedValues
+from repro.exceptions import DataValidationError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def fitted_validator(income_blackbox, income_splits):
+    validator = PerformanceValidator(
+        income_blackbox,
+        [MissingValues(), GaussianOutliers(), SwappedValues(), Scaling()],
+        threshold=0.05,
+        n_samples=100,
+        random_state=0,
+    )
+    return validator.fit(income_splits.test, income_splits.y_test)
+
+
+class TestFitting:
+    def test_meta_labels_are_binary(self, fitted_validator):
+        assert set(np.unique(fitted_validator.meta_labels_)) <= {0, 1}
+
+    def test_both_decisions_present_in_training(self, fitted_validator):
+        assert len(np.unique(fitted_validator.meta_labels_)) == 2
+
+    def test_feature_width_includes_test_blocks(self, fitted_validator):
+        # 42 percentiles + 2x(KS stat, p) + 2 class fractions + chi2 (stat, p).
+        assert fitted_validator.meta_features_.shape[1] == 50
+
+    def test_ks_features_can_be_disabled(self, income_blackbox, income_splits):
+        validator = PerformanceValidator(
+            income_blackbox, [Scaling()], n_samples=30,
+            use_ks_features=False, random_state=0,
+        ).fit(income_splits.test, income_splits.y_test)
+        assert validator.meta_features_.shape[1] == 42
+
+    def test_invalid_threshold_raises(self, income_blackbox):
+        for bad in (0.0, 1.0, -0.1):
+            with pytest.raises(DataValidationError):
+                PerformanceValidator(income_blackbox, [Scaling()], threshold=bad)
+
+
+class TestDecisions:
+    def test_trusts_clean_serving_data(self, fitted_validator, income_splits):
+        assert fitted_validator.validate(income_splits.serving) is True
+
+    def test_alarms_on_catastrophic_corruption(self, fitted_validator, income_splits, rng):
+        corrupted = Scaling().corrupt(
+            income_splits.serving, rng,
+            columns=income_splits.serving.numeric_columns, fraction=1.0, factor=1000.0,
+        )
+        assert fitted_validator.validate(corrupted) is False
+
+    def test_decision_proba_in_unit_interval(self, fitted_validator, income_splits):
+        probability = fitted_validator.decision_proba(income_splits.serving)
+        assert 0.0 <= probability <= 1.0
+
+    def test_decision_proba_higher_for_clean_than_corrupted(
+        self, fitted_validator, income_splits, rng
+    ):
+        clean_proba = fitted_validator.decision_proba(income_splits.serving)
+        corrupted = Scaling().corrupt(
+            income_splits.serving, rng,
+            columns=income_splits.serving.numeric_columns, fraction=1.0, factor=1000.0,
+        )
+        assert clean_proba > fitted_validator.decision_proba(corrupted)
+
+    def test_validate_from_proba_matches_validate(
+        self, fitted_validator, income_blackbox, income_splits
+    ):
+        proba = income_blackbox.predict_proba(income_splits.serving)
+        assert fitted_validator.validate_from_proba(proba) == fitted_validator.validate(
+            income_splits.serving
+        )
+
+    def test_unfitted_raises(self, income_blackbox, income_splits):
+        validator = PerformanceValidator(income_blackbox, [Scaling()])
+        with pytest.raises(NotFittedError):
+            validator.validate(income_splits.serving)
+
+
+class TestDegenerateCorpus:
+    def test_constant_fallback_when_nothing_violates(self, income_blackbox, income_splits):
+        # Missing values barely move this model, so with a huge threshold
+        # every corrupted copy stays acceptable -> constant decision.
+        validator = PerformanceValidator(
+            income_blackbox, [MissingValues()], threshold=0.45,
+            n_samples=15, random_state=0,
+        ).fit(income_splits.test, income_splits.y_test)
+        assert validator._constant_decision == 1
+        assert validator.validate(income_splits.serving) is True
+        assert validator.decision_proba(income_splits.serving) == 1.0
+
+
+class TestDefaultModel:
+    def test_is_gradient_boosting(self):
+        from repro.ml.boosting import GradientBoostingClassifier
+
+        assert isinstance(default_validator_model(), GradientBoostingClassifier)

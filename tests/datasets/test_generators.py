@@ -1,0 +1,147 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset, dataset_names, load_dataset
+from repro.exceptions import DataValidationError
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+TABULAR = ("income", "heart", "bank")
+ALL = ("income", "heart", "bank", "tweets", "digits", "fashion")
+
+
+class TestRegistry:
+    def test_all_six_datasets_registered(self):
+        assert set(ALL) <= set(dataset_names())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DataValidationError):
+            load_dataset("mnist-full")
+
+    def test_too_few_rows_raises(self):
+        with pytest.raises(DataValidationError):
+            load_dataset("income", n_rows=5)
+
+    def test_dataset_rejects_misaligned_labels(self):
+        frame = DataFrame.from_dict({"x": [1.0, 2.0]}, {"x": ColumnType.NUMERIC})
+        with pytest.raises(DataValidationError):
+            Dataset(
+                name="bad", frame=frame, labels=np.array(["a"]),
+                task="tabular", description="",
+            )
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestEveryDataset:
+    def test_row_count_and_alignment(self, name):
+        dataset = load_dataset(name, n_rows=200, seed=0)
+        assert dataset.n_rows == 200
+        assert len(dataset.labels) == 200
+
+    def test_binary_labels(self, name):
+        dataset = load_dataset(name, n_rows=200, seed=0)
+        assert len(dataset.classes) == 2
+
+    def test_roughly_balanced(self, name):
+        dataset = load_dataset(name, n_rows=1000, seed=0)
+        _, counts = np.unique(dataset.labels, return_counts=True)
+        assert counts.min() / counts.max() > 0.4
+
+    def test_reproducible_given_seed(self, name):
+        a = load_dataset(name, n_rows=100, seed=7)
+        b = load_dataset(name, n_rows=100, seed=7)
+        assert a.frame == b.frame
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self, name):
+        a = load_dataset(name, n_rows=100, seed=1)
+        b = load_dataset(name, n_rows=100, seed=2)
+        assert a.frame != b.frame
+
+    def test_positive_label_is_a_class(self, name):
+        dataset = load_dataset(name, n_rows=100, seed=0)
+        assert dataset.positive_label in set(dataset.classes)
+
+
+@pytest.mark.parametrize("name", TABULAR)
+class TestTabularDatasets:
+    def test_has_numeric_and_categorical_columns(self, name):
+        dataset = load_dataset(name, n_rows=200, seed=0)
+        assert len(dataset.frame.numeric_columns) >= 2
+        assert len(dataset.frame.categorical_columns) >= 2
+
+    def test_no_missing_values_in_clean_data(self, name):
+        dataset = load_dataset(name, n_rows=200, seed=0)
+        for column in dataset.frame.schema.names:
+            assert dataset.frame.missing_fraction(column) == 0.0
+
+    def test_attributes_carry_signal(self, name):
+        # A numeric column should differ between classes (t-statistic-ish).
+        dataset = load_dataset(name, n_rows=2000, seed=0)
+        classes = dataset.classes
+        signal_found = False
+        for column in dataset.frame.numeric_columns:
+            values = dataset.frame[column]
+            mean_a = values[dataset.labels == classes[0]].mean()
+            mean_b = values[dataset.labels == classes[1]].mean()
+            pooled_std = values.std() + 1e-12
+            if abs(mean_a - mean_b) / pooled_std > 0.2:
+                signal_found = True
+        assert signal_found
+
+    def test_income_has_negative_correlated_column(self, name):
+        # Mixed-sign feature-label correlations are required for the
+        # validation experiments (see DESIGN.md).
+        dataset = load_dataset(name, n_rows=2000, seed=0)
+        classes = sorted(dataset.classes)
+        label01 = (dataset.labels == dataset.positive_label).astype(float)
+        correlations = [
+            np.corrcoef(dataset.frame[c], label01)[0, 1]
+            for c in dataset.frame.numeric_columns
+        ]
+        assert min(correlations) < -0.05
+        assert max(correlations) > 0.05
+
+
+class TestTweets:
+    def test_text_column_only(self):
+        dataset = load_dataset("tweets", n_rows=100, seed=0)
+        assert dataset.frame.text_columns == ["text"]
+        assert dataset.task == "text"
+
+    def test_troll_vocabulary_appears_in_troll_tweets(self):
+        dataset = load_dataset("tweets", n_rows=500, seed=0)
+        trolls = dataset.frame["text"][dataset.labels == "troll"]
+        insults = sum("idiot" in t or "loser" in t or "stupid" in t for t in trolls)
+        assert insults > 0
+
+    def test_texts_are_nonempty_strings(self):
+        dataset = load_dataset("tweets", n_rows=100, seed=0)
+        assert all(isinstance(t, str) and t for t in dataset.frame["text"])
+
+
+class TestImages:
+    @pytest.mark.parametrize("name", ["digits", "fashion"])
+    def test_image_shape_and_range(self, name):
+        dataset = load_dataset(name, n_rows=50, seed=0)
+        images = dataset.frame["image"]
+        assert images.shape == (50, 28, 28)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+        assert dataset.task == "image"
+
+    @pytest.mark.parametrize("name", ["digits", "fashion"])
+    def test_images_are_not_blank(self, name):
+        dataset = load_dataset(name, n_rows=20, seed=0)
+        for image in dataset.frame["image"]:
+            assert image.std() > 0.05
+
+    def test_classes_are_visually_distinct(self):
+        # Mean images of the two classes must differ substantially.
+        dataset = load_dataset("digits", n_rows=300, seed=0)
+        images = dataset.frame["image"]
+        classes = dataset.classes
+        mean_a = images[dataset.labels == classes[0]].mean(axis=0)
+        mean_b = images[dataset.labels == classes[1]].mean(axis=0)
+        assert np.abs(mean_a - mean_b).max() > 0.2

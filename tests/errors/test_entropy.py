@@ -1,0 +1,74 @@
+"""Tests for model-entropy based missing values."""
+
+import numpy as np
+import pytest
+
+from repro.errors.entropy_errors import ModelEntropyMissingValues
+from repro.exceptions import CorruptionError
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+
+def make_frame(n: int = 100) -> DataFrame:
+    rng = np.random.default_rng(0)
+    return DataFrame.from_dict(
+        {
+            "x": rng.normal(size=n),
+            "c": rng.choice(["a", "b"], size=n).astype(object),
+        },
+        {"x": ColumnType.NUMERIC, "c": ColumnType.CATEGORICAL},
+    )
+
+
+def certainty_by_row_order(frame: DataFrame) -> np.ndarray:
+    """Fake model: row i is predicted with confidence growing in x."""
+    x = frame["x"]
+    p = 0.5 + 0.5 * (np.argsort(np.argsort(x)) / (len(x) - 1)) * 0.98
+    return np.column_stack([p, 1.0 - p])
+
+
+class TestModelEntropyMissingValues:
+    def test_discards_from_most_certain_rows(self, rng):
+        frame = make_frame()
+        generator = ModelEntropyMissingValues(certainty_by_row_order)
+        corrupted = generator.corrupt(frame, rng, columns=["c"], fraction=0.3)
+        missing = np.array([v is None for v in corrupted["c"]])
+        proba = certainty_by_row_order(frame)
+        certainty = proba.max(axis=1)
+        # Corrupted rows must be exactly the 30 most certain ones.
+        assert missing.sum() == 30
+        assert certainty[missing].min() >= certainty[~missing].max()
+
+    def test_numeric_columns_get_nan(self, rng):
+        frame = make_frame()
+        generator = ModelEntropyMissingValues(certainty_by_row_order)
+        corrupted = generator.corrupt(frame, rng, columns=["x"], fraction=0.2)
+        assert corrupted.missing_fraction("x") == pytest.approx(0.2)
+
+    def test_full_fraction_blanks_everything(self, rng):
+        frame = make_frame()
+        generator = ModelEntropyMissingValues(certainty_by_row_order)
+        corrupted = generator.corrupt(frame, rng, columns=["c"], fraction=1.0)
+        assert corrupted.missing_fraction("c") == 1.0
+
+    def test_does_not_mutate_input(self, rng):
+        frame = make_frame()
+        snapshot = frame.copy()
+        ModelEntropyMissingValues(certainty_by_row_order).corrupt_random(frame, rng)
+        assert frame == snapshot
+
+    def test_bad_predict_proba_shape_raises(self, rng):
+        generator = ModelEntropyMissingValues(lambda frame: np.zeros(len(frame)))
+        with pytest.raises(CorruptionError):
+            generator.corrupt(make_frame(), rng, columns=["c"], fraction=0.5)
+
+    def test_invalid_fraction_raises(self, rng):
+        generator = ModelEntropyMissingValues(certainty_by_row_order)
+        with pytest.raises(CorruptionError):
+            generator.corrupt(make_frame(), rng, columns=["c"], fraction=-0.5)
+
+    def test_works_against_real_blackbox(self, income_blackbox, income_splits, rng):
+        generator = ModelEntropyMissingValues(income_blackbox.predict_proba)
+        corrupted, report = generator.corrupt_random(income_splits.serving, rng)
+        assert len(corrupted) == len(income_splits.serving)
+        assert report.error_name == "entropy_missing_values"

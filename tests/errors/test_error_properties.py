@@ -1,0 +1,115 @@
+"""Property-based tests over the whole error-generator library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors.tabular_errors import (
+    EncodingErrors,
+    GaussianOutliers,
+    MissingValues,
+    Scaling,
+    SignFlip,
+    Smearing,
+    SwappedValues,
+    Typos,
+)
+from repro.tabular.frame import DataFrame, is_missing
+from repro.tabular.schema import ColumnType
+
+GENERATOR_FACTORIES = [
+    MissingValues,
+    GaussianOutliers,
+    SwappedValues,
+    Scaling,
+    EncodingErrors,
+    Typos,
+    Smearing,
+    SignFlip,
+]
+
+
+def make_frame(n_rows: int, seed: int) -> DataFrame:
+    rng = np.random.default_rng(seed)
+    return DataFrame.from_dict(
+        {
+            "a": rng.normal(size=n_rows),
+            "b": rng.exponential(size=n_rows),
+            "c": rng.choice(["x", "y", "z"], size=n_rows).astype(object),
+            "d": rng.choice(["p", "q"], size=n_rows).astype(object),
+        },
+        {
+            "a": ColumnType.NUMERIC,
+            "b": ColumnType.NUMERIC,
+            "c": ColumnType.CATEGORICAL,
+            "d": ColumnType.CATEGORICAL,
+        },
+    )
+
+
+@pytest.mark.parametrize("factory", GENERATOR_FACTORIES, ids=lambda f: f.__name__)
+class TestGeneratorProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(n_rows=st.integers(5, 80), seed=st.integers(0, 100), rng_seed=st.integers(0, 100))
+    def test_immutability_and_shape(self, factory, n_rows, seed, rng_seed):
+        frame = make_frame(n_rows, seed)
+        snapshot = frame.copy()
+        rng = np.random.default_rng(rng_seed)
+        corrupted, report = factory().corrupt_random(frame, rng)
+        assert frame == snapshot
+        assert len(corrupted) == n_rows
+        assert corrupted.schema == frame.schema
+        assert report.error_name == factory().name
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 100), rng_seed=st.integers(0, 100))
+    def test_determinism_given_rng_seed(self, factory, seed, rng_seed):
+        frame = make_frame(40, seed)
+        a, _ = factory().corrupt_random(frame, np.random.default_rng(rng_seed))
+        b, _ = factory().corrupt_random(frame, np.random.default_rng(rng_seed))
+        assert a == b
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        fraction=st.floats(0.0, 1.0, allow_nan=False),
+        seed=st.integers(0, 50),
+    )
+    def test_fraction_bounds_cell_changes(self, factory, fraction, seed):
+        frame = make_frame(60, seed)
+        generator = factory()
+        rng = np.random.default_rng(seed)
+        params = generator.sample_params(frame, rng)
+        params["fraction"] = fraction
+        corrupted = generator.corrupt(frame, rng, **params)
+        # At most ceil(fraction * n) rows may differ per column.
+        budget = int(round(fraction * 60)) + 1
+        for name in frame.schema.names:
+            before, after = frame[name], corrupted[name]
+            if before.dtype == object:
+                changed = sum(
+                    (x != y) and not (x is None and y is None)
+                    for x, y in zip(before, after)
+                )
+            else:
+                changed = int(
+                    (~np.isclose(before, after) & ~(np.isnan(before) & np.isnan(after))).sum()
+                )
+            assert changed <= budget
+
+
+class TestMissingnessMonotonicity:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        low=st.floats(0.0, 0.4, allow_nan=False),
+        high=st.floats(0.6, 1.0, allow_nan=False),
+        seed=st.integers(0, 50),
+    )
+    def test_more_fraction_more_missing(self, low, high, seed):
+        frame = make_frame(200, seed)
+        generator = MissingValues(columns=["c"])
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        few = generator.corrupt(frame, rng_a, columns=["c"], fraction=low)
+        many = generator.corrupt(frame, rng_b, columns=["c"], fraction=high)
+        assert is_missing(many["c"]).sum() >= is_missing(few["c"]).sum()

@@ -1,0 +1,151 @@
+"""Tests for the extended (future-work) error generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors.extended_errors import (
+    CategoryShift,
+    ClippedValues,
+    DuplicateRows,
+    ImageContrastShift,
+    ImageOcclusion,
+    PaddedStrings,
+    ShuffledColumn,
+    extended_training_pool,
+)
+from repro.exceptions import CorruptionError
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+
+def make_frame(n: int = 300) -> DataFrame:
+    rng = np.random.default_rng(0)
+    return DataFrame.from_dict(
+        {
+            "x": rng.normal(10.0, 3.0, size=n),
+            "c": rng.choice(["a", "b", "c"], size=n).astype(object),
+        },
+        {"x": ColumnType.NUMERIC, "c": ColumnType.CATEGORICAL},
+    )
+
+
+def make_images(n: int = 40) -> DataFrame:
+    rng = np.random.default_rng(1)
+    images = np.clip(rng.random((n, 12, 12)), 0, 1)
+    return DataFrame.from_dict({"image": images}, {"image": ColumnType.IMAGE})
+
+
+TABULAR_GENERATORS = [
+    CategoryShift(), DuplicateRows(), ShuffledColumn(), ClippedValues(), PaddedStrings(),
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("generator", TABULAR_GENERATORS, ids=lambda g: g.name)
+    def test_immutability_and_schema(self, generator, rng):
+        frame = make_frame()
+        snapshot = frame.copy()
+        corrupted, report = generator.corrupt_random(frame, rng)
+        assert frame == snapshot
+        assert corrupted.schema == frame.schema
+        assert len(corrupted) == len(frame)
+        assert report.error_name == generator.name
+
+    def test_pool_contains_known_and_extended(self):
+        pool = extended_training_pool()
+        assert {"missing_values", "outliers", "swapped_values", "scaling"} <= set(pool)
+        assert {"category_shift", "duplicate_rows", "shuffled_column"} <= set(pool)
+
+
+class TestCategoryShift:
+    def test_shifts_toward_dominant(self, rng):
+        frame = make_frame()
+        corrupted = CategoryShift().corrupt(
+            frame, rng, columns=["c"], fraction=1.0, dominant="a"
+        )
+        assert all(v == "a" for v in corrupted["c"])
+
+    def test_dominant_sampled_from_column(self, rng):
+        params = CategoryShift().sample_params(make_frame(), rng)
+        assert params["dominant"] in {"a", "b", "c"}
+
+
+class TestDuplicateRows:
+    def test_duplicated_rows_exist_elsewhere(self, rng):
+        frame = make_frame(100)
+        corrupted = DuplicateRows().corrupt(
+            frame, rng, columns=frame.schema.names, fraction=0.5
+        )
+        original_values = set(np.round(frame["x"], 9))
+        assert all(round(v, 9) in original_values for v in corrupted["x"])
+
+    def test_increases_duplicate_count(self, rng):
+        frame = make_frame(200)
+        corrupted = DuplicateRows().corrupt(
+            frame, rng, columns=frame.schema.names, fraction=0.6
+        )
+        unique_before = len(np.unique(frame["x"]))
+        unique_after = len(np.unique(corrupted["x"]))
+        assert unique_after < unique_before
+
+
+class TestShuffledColumn:
+    def test_marginal_preserved_association_broken(self, rng):
+        frame = make_frame(500)
+        corrupted = ShuffledColumn().corrupt(frame, rng, columns=["x"], fraction=1.0)
+        assert np.allclose(np.sort(corrupted["x"]), np.sort(frame["x"]))
+        assert not np.allclose(corrupted["x"], frame["x"])
+
+
+class TestClippedValues:
+    def test_values_clamped_to_band(self, rng):
+        frame = make_frame(500)
+        corrupted = ClippedValues().corrupt(
+            frame, rng, columns=["x"], fraction=1.0, band=25.0
+        )
+        low = np.percentile(frame["x"], 25)
+        high = np.percentile(frame["x"], 75)
+        assert corrupted["x"].min() >= low - 1e-9
+        assert corrupted["x"].max() <= high + 1e-9
+
+
+class TestPaddedStrings:
+    def test_values_become_unseen_categories(self, rng):
+        frame = make_frame()
+        corrupted = PaddedStrings().corrupt(frame, rng, columns=["c"], fraction=1.0)
+        assert all(v.endswith(" ") for v in corrupted["c"])
+        assert all(v.strip() in {"a", "b", "c"} for v in corrupted["c"])
+
+
+class TestImageGenerators:
+    def test_occlusion_blanks_a_box(self, rng):
+        frame = make_images()
+        corrupted = ImageOcclusion().corrupt(
+            frame, rng, columns=["image"], fraction=1.0, box_fraction=0.4
+        )
+        # Every image must contain a zero region larger than before.
+        zeros_before = (frame["image"] == 0).sum()
+        zeros_after = (corrupted["image"] == 0).sum()
+        assert zeros_after > zeros_before
+
+    def test_contrast_shift_preserves_range(self, rng):
+        frame = make_images()
+        corrupted = ImageContrastShift().corrupt(
+            frame, rng, columns=["image"], fraction=1.0, gamma=2.5
+        )
+        assert corrupted["image"].min() >= 0.0
+        assert corrupted["image"].max() <= 1.0
+        assert not np.allclose(corrupted["image"], frame["image"])
+
+    def test_gamma_below_one_brightens(self, rng):
+        frame = make_images()
+        corrupted = ImageContrastShift().corrupt(
+            frame, rng, columns=["image"], fraction=1.0, gamma=0.5
+        )
+        assert corrupted["image"].mean() > frame["image"].mean()
+
+    def test_invalid_gamma_raises(self, rng):
+        with pytest.raises(CorruptionError):
+            ImageContrastShift().corrupt(
+                make_images(), rng, columns=["image"], fraction=0.5, gamma=-1.0
+            )

@@ -1,0 +1,124 @@
+"""Tests for error mixtures, blending and partial application."""
+
+import numpy as np
+import pytest
+
+from repro.errors.mixture import ErrorMixture, PartiallyAppliedError, blend_frames
+from repro.errors.tabular_errors import GaussianOutliers, MissingValues, Scaling
+from repro.exceptions import CorruptionError
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+
+def make_frame(n: int = 300) -> DataFrame:
+    rng = np.random.default_rng(0)
+    return DataFrame.from_dict(
+        {
+            "x": rng.normal(size=n),
+            "c": rng.choice(["a", "b"], size=n).astype(object),
+        },
+        {"x": ColumnType.NUMERIC, "c": ColumnType.CATEGORICAL},
+    )
+
+
+class TestErrorMixture:
+    def test_fire_prob_one_applies_every_generator(self, rng):
+        mixture = ErrorMixture([MissingValues(), Scaling()], fire_prob=1.0)
+        _, reports = mixture.corrupt_random(make_frame(), rng)
+        assert [r.error_name for r in reports] == ["missing_values", "scaling"]
+
+    def test_fire_prob_zero_passes_through_clean(self, rng):
+        mixture = ErrorMixture([MissingValues(), Scaling()], fire_prob=0.0)
+        corrupted, reports = mixture.corrupt_random(make_frame(), rng)
+        assert reports == []
+        assert corrupted == make_frame()
+
+    def test_intermediate_fire_prob_varies(self):
+        mixture = ErrorMixture([MissingValues(), Scaling(), GaussianOutliers()], fire_prob=0.5)
+        rng = np.random.default_rng(0)
+        counts = {len(mixture.corrupt_random(make_frame(), rng)[1]) for _ in range(30)}
+        assert len(counts) > 1  # both clean-ish and multi-error episodes occur
+
+    def test_does_not_mutate_input(self, rng):
+        frame = make_frame()
+        snapshot = frame.copy()
+        ErrorMixture([MissingValues(), Scaling()], fire_prob=1.0).corrupt_random(frame, rng)
+        assert frame == snapshot
+
+    def test_empty_generator_list_raises(self):
+        with pytest.raises(CorruptionError):
+            ErrorMixture([])
+
+    def test_invalid_fire_prob_raises(self):
+        with pytest.raises(CorruptionError):
+            ErrorMixture([MissingValues()], fire_prob=1.5)
+
+
+class TestBlendFrames:
+    def test_fraction_zero_is_clean(self, rng):
+        clean = make_frame()
+        corrupted, _ = Scaling().corrupt_random(clean, rng)
+        blended = blend_frames(clean, corrupted, 0.0, rng)
+        assert blended == clean
+
+    def test_fraction_one_is_corrupted(self, rng):
+        clean = make_frame()
+        corrupted, _ = Scaling().corrupt_random(clean, rng)
+        blended = blend_frames(clean, corrupted, 1.0, rng)
+        assert blended == corrupted
+
+    def test_intermediate_fraction_mixes_rows(self, rng):
+        clean = make_frame(1000)
+        corrupted = clean.copy()
+        corrupted.set_values("x", np.arange(1000), corrupted["x"] + 100.0)
+        blended = blend_frames(clean, corrupted, 0.4, rng)
+        from_corrupted = (blended["x"] > 50.0).mean()
+        assert from_corrupted == pytest.approx(0.4, abs=0.05)
+
+    def test_row_count_mismatch_raises(self, rng):
+        clean = make_frame(10)
+        with pytest.raises(CorruptionError):
+            blend_frames(clean, make_frame(20), 0.5, rng)
+
+    def test_schema_mismatch_raises(self, rng):
+        clean = make_frame()
+        with pytest.raises(CorruptionError):
+            blend_frames(clean, clean.drop_columns("c"), 0.5, rng)
+
+    def test_invalid_fraction_raises(self, rng):
+        clean = make_frame()
+        with pytest.raises(CorruptionError):
+            blend_frames(clean, clean.copy(), -0.1, rng)
+
+
+class TestPartiallyAppliedError:
+    def test_zero_exposure_never_corrupts(self, rng):
+        generator = PartiallyAppliedError(Scaling(), exposure=0.0)
+        corrupted, _ = generator.corrupt_random(make_frame(), rng)
+        assert corrupted == make_frame()
+
+    def test_full_exposure_equals_inner(self, rng):
+        frame = make_frame()
+        inner = Scaling()
+        params = inner.sample_params(frame, np.random.default_rng(1))
+        direct = inner.corrupt(frame, np.random.default_rng(2), **params)
+        wrapped = PartiallyAppliedError(inner, exposure=1.0).corrupt(
+            frame, np.random.default_rng(2), **params
+        )
+        assert wrapped == direct
+
+    def test_partial_exposure_damps_corruption(self):
+        frame = make_frame(2000)
+        inner = MissingValues()
+        params = {"columns": ["c"], "fraction": 1.0}
+        wrapped = PartiallyAppliedError(inner, exposure=0.25)
+        corrupted = wrapped.corrupt(frame, np.random.default_rng(3), **params)
+        assert corrupted.missing_fraction("c") == pytest.approx(0.25, abs=0.05)
+
+    def test_invalid_exposure_raises(self):
+        with pytest.raises(CorruptionError):
+            PartiallyAppliedError(Scaling(), exposure=2.0)
+
+    def test_name_mentions_inner_and_exposure(self):
+        generator = PartiallyAppliedError(Scaling(), exposure=0.5)
+        assert "scaling" in generator.name and "0.50" in generator.name

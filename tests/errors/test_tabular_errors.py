@@ -1,0 +1,241 @@
+"""Tests for the tabular error generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors.tabular_errors import (
+    EncodingErrors,
+    GaussianOutliers,
+    MissingValues,
+    Scaling,
+    SignFlip,
+    Smearing,
+    SwappedValues,
+    Typos,
+)
+from repro.exceptions import CorruptionError
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+
+def make_frame(n: int = 200) -> DataFrame:
+    rng = np.random.default_rng(0)
+    return DataFrame.from_dict(
+        {
+            "num_a": rng.normal(10.0, 2.0, size=n),
+            "num_b": rng.normal(-5.0, 1.0, size=n),
+            "cat_a": rng.choice(["red", "green", "blue"], size=n).astype(object),
+            "cat_b": rng.choice(["tiny", "huge"], size=n).astype(object),
+        },
+        {
+            "num_a": ColumnType.NUMERIC,
+            "num_b": ColumnType.NUMERIC,
+            "cat_a": ColumnType.CATEGORICAL,
+            "cat_b": ColumnType.CATEGORICAL,
+        },
+    )
+
+
+class TestErrorGenContract:
+    """Invariants every generator must satisfy."""
+
+    GENERATORS = [
+        MissingValues(),
+        GaussianOutliers(),
+        SwappedValues(),
+        Scaling(),
+        EncodingErrors(),
+        Typos(),
+        Smearing(),
+        SignFlip(),
+    ]
+
+    @pytest.mark.parametrize("generator", GENERATORS, ids=lambda g: g.name)
+    def test_does_not_mutate_input(self, generator, rng):
+        frame = make_frame()
+        snapshot = frame.copy()
+        generator.corrupt_random(frame, rng)
+        assert frame == snapshot
+
+    @pytest.mark.parametrize("generator", GENERATORS, ids=lambda g: g.name)
+    def test_preserves_row_count_and_schema(self, generator, rng):
+        frame = make_frame()
+        corrupted, _ = generator.corrupt_random(frame, rng)
+        assert len(corrupted) == len(frame)
+        assert corrupted.schema == frame.schema
+
+    @pytest.mark.parametrize("generator", GENERATORS, ids=lambda g: g.name)
+    def test_report_names_generator(self, generator, rng):
+        _, report = generator.corrupt_random(make_frame(), rng)
+        assert report.error_name == generator.name
+        assert "columns" in report.params
+
+    @pytest.mark.parametrize("generator", GENERATORS, ids=lambda g: g.name)
+    def test_zero_fraction_changes_nothing(self, generator, rng):
+        frame = make_frame()
+        params = generator.sample_params(frame, rng)
+        params["fraction"] = 0.0
+        corrupted = generator.corrupt(frame, rng, **params)
+        assert corrupted == frame
+
+    def test_unknown_column_raises(self, rng):
+        generator = MissingValues(columns=["nope"])
+        with pytest.raises(CorruptionError):
+            generator.corrupt_random(make_frame(), rng)
+
+    def test_inapplicable_frame_raises(self, rng):
+        text_only = DataFrame.from_dict({"t": ["a", "b"]}, {"t": ColumnType.TEXT})
+        with pytest.raises(CorruptionError):
+            GaussianOutliers().corrupt_random(text_only, rng)
+
+    def test_invalid_fraction_raises(self, rng):
+        generator = MissingValues()
+        frame = make_frame()
+        params = generator.sample_params(frame, rng)
+        params["fraction"] = 1.5
+        with pytest.raises(CorruptionError):
+            generator.corrupt(frame, rng, **params)
+
+
+class TestMissingValues:
+    def test_introduces_requested_fraction(self, rng):
+        frame = make_frame(1000)
+        generator = MissingValues(columns=["cat_a"])
+        corrupted = generator.corrupt(frame, rng, columns=["cat_a"], fraction=0.3)
+        assert corrupted.missing_fraction("cat_a") == pytest.approx(0.3, abs=0.01)
+
+    def test_numeric_kind_produces_nan(self, rng):
+        frame = make_frame()
+        generator = MissingValues(column_kind="numeric")
+        corrupted = generator.corrupt(frame, rng, columns=["num_a"], fraction=0.5)
+        assert corrupted.missing_fraction("num_a") == pytest.approx(0.5, abs=0.05)
+
+    def test_default_applies_to_categorical_only(self):
+        assert MissingValues().applicable_columns(make_frame()) == ["cat_a", "cat_b"]
+
+    def test_invalid_kind_raises(self):
+        with pytest.raises(CorruptionError):
+            MissingValues(column_kind="bogus")
+
+
+class TestGaussianOutliers:
+    def test_increases_column_spread(self, rng):
+        frame = make_frame(1000)
+        generator = GaussianOutliers(columns=["num_a"])
+        corrupted = generator.corrupt(
+            frame, rng, columns=["num_a"], fraction=0.5, scale=4.0
+        )
+        assert corrupted["num_a"].std() > 1.5 * frame["num_a"].std()
+
+    def test_untouched_columns_identical(self, rng):
+        frame = make_frame()
+        corrupted = GaussianOutliers().corrupt(
+            frame, rng, columns=["num_a"], fraction=0.5, scale=3.0
+        )
+        assert np.array_equal(corrupted["num_b"], frame["num_b"])
+
+    def test_scale_sampled_in_paper_range(self, rng):
+        params = GaussianOutliers().sample_params(make_frame(), rng)
+        assert 2.0 <= params["scale"] <= 5.0
+
+
+class TestSwappedValues:
+    def test_same_type_swap_exchanges_values(self, rng):
+        frame = make_frame()
+        generator = SwappedValues(columns=["num_a", "num_b"])
+        corrupted = generator.corrupt(
+            frame, rng, columns=["num_a", "num_b"], fraction=1.0
+        )
+        assert np.allclose(corrupted["num_a"], frame["num_b"])
+        assert np.allclose(corrupted["num_b"], frame["num_a"])
+
+    def test_cross_type_swap_nans_numeric_and_stringifies(self, rng):
+        frame = make_frame()
+        generator = SwappedValues(columns=["num_a", "cat_a"])
+        corrupted = generator.corrupt(
+            frame, rng, columns=["num_a", "cat_a"], fraction=1.0
+        )
+        assert corrupted.missing_fraction("num_a") == 1.0
+        # Categorical side holds stringified numbers (unseen categories).
+        assert all(v is None or v not in ("red", "green", "blue") for v in corrupted["cat_a"])
+
+    def test_sample_params_picks_a_pair(self, rng):
+        params = SwappedValues().sample_params(make_frame(), rng)
+        assert len(params["columns"]) == 2
+
+    def test_single_column_frame_raises(self, rng):
+        frame = DataFrame.from_dict({"x": [1.0, 2.0]}, {"x": ColumnType.NUMERIC})
+        with pytest.raises(CorruptionError):
+            SwappedValues().sample_params(frame, rng)
+
+    def test_wrong_column_count_raises(self, rng):
+        with pytest.raises(CorruptionError):
+            SwappedValues().corrupt(make_frame(), rng, columns=["num_a"], fraction=0.5)
+
+
+class TestScaling:
+    def test_multiplies_by_factor(self, rng):
+        frame = make_frame()
+        corrupted = Scaling().corrupt(
+            frame, rng, columns=["num_a"], fraction=1.0, factor=100.0
+        )
+        assert np.allclose(corrupted["num_a"], frame["num_a"] * 100.0)
+
+    def test_factor_sampled_from_paper_values(self, rng):
+        params = Scaling().sample_params(make_frame(), rng)
+        assert params["factor"] in (10.0, 100.0, 1000.0)
+
+    def test_partial_fraction_leaves_other_rows(self, rng):
+        frame = make_frame(1000)
+        corrupted = Scaling().corrupt(
+            frame, rng, columns=["num_a"], fraction=0.3, factor=10.0
+        )
+        changed = ~np.isclose(corrupted["num_a"], frame["num_a"])
+        assert changed.mean() == pytest.approx(0.3, abs=0.02)
+
+
+class TestEncodingErrors:
+    def test_replaces_vowels_with_mojibake(self, rng):
+        frame = make_frame()
+        corrupted = EncodingErrors().corrupt(
+            frame, rng, columns=["cat_a"], fraction=1.0
+        )
+        assert any("é" in v or "œ" in v for v in corrupted["cat_a"] if v is not None)
+
+    def test_missing_values_pass_through(self, rng):
+        frame = make_frame().copy()
+        frame.set_values("cat_a", np.arange(len(frame)), None)
+        corrupted = EncodingErrors().corrupt(frame, rng, columns=["cat_a"], fraction=1.0)
+        assert all(v is None for v in corrupted["cat_a"])
+
+
+class TestTypos:
+    def test_corrupted_values_become_unseen_categories(self, rng):
+        frame = make_frame(500)
+        corrupted = Typos().corrupt(frame, rng, columns=["cat_a"], fraction=1.0)
+        original = {"red", "green", "blue"}
+        changed = sum(v not in original for v in corrupted["cat_a"])
+        # Character edits almost always leave the original vocabulary.
+        assert changed > 400
+
+    def test_edit_operations_cover_sub_insert_delete(self, rng):
+        lengths = set()
+        for _ in range(100):
+            lengths.add(len(Typos._edit("abcdef", rng)))
+        assert lengths == {5, 6, 7}
+
+
+class TestSmearing:
+    def test_changes_bounded_by_ten_percent(self, rng):
+        frame = make_frame()
+        corrupted = Smearing().corrupt(frame, rng, columns=["num_a"], fraction=1.0)
+        relative = np.abs(corrupted["num_a"] / frame["num_a"] - 1.0)
+        assert relative.max() <= 0.1 + 1e-12
+
+
+class TestSignFlip:
+    def test_flips_selected_fraction(self, rng):
+        frame = make_frame(1000)
+        corrupted = SignFlip().corrupt(frame, rng, columns=["num_a"], fraction=0.4)
+        flipped = np.isclose(corrupted["num_a"], -frame["num_a"]) & (frame["num_a"] != 0)
+        assert flipped.mean() == pytest.approx(0.4, abs=0.02)

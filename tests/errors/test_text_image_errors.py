@@ -1,0 +1,124 @@
+"""Tests for the text and image error generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors.image_errors import ImageNoise, ImageRotation
+from repro.errors.text_errors import LeetspeakAdversarial, to_leetspeak
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+
+def make_text_frame(n: int = 50) -> DataFrame:
+    texts = np.array([f"hello world number {i}" for i in range(n)], dtype=object)
+    return DataFrame.from_dict({"text": texts}, {"text": ColumnType.TEXT})
+
+
+def make_image_frame(n: int = 30) -> DataFrame:
+    rng = np.random.default_rng(0)
+    images = np.zeros((n, 16, 16))
+    images[:, 4:12, 4:12] = 0.8  # a bright square
+    images += rng.normal(scale=0.01, size=images.shape)
+    images = np.clip(images, 0, 1)
+    return DataFrame.from_dict({"image": images}, {"image": ColumnType.IMAGE})
+
+
+class TestLeetspeak:
+    def test_paper_example(self):
+        # The paper's example: "hello world" -> leetspeak.
+        assert to_leetspeak("hello world") == "h3110 w0r1d"
+
+    def test_lowercases(self):
+        assert to_leetspeak("HELLO") == to_leetspeak("hello")
+
+    def test_corrupts_requested_fraction(self, rng):
+        frame = make_text_frame(100)
+        generator = LeetspeakAdversarial()
+        corrupted = generator.corrupt(frame, rng, columns=["text"], fraction=0.5)
+        changed = sum(a != b for a, b in zip(corrupted["text"], frame["text"]))
+        assert changed == 50
+
+    def test_preserves_missing(self, rng):
+        frame = make_text_frame(10).copy()
+        frame.set_values("text", np.array([0]), None)
+        corrupted = LeetspeakAdversarial().corrupt(frame, rng, columns=["text"], fraction=1.0)
+        assert corrupted["text"][0] is None
+
+    def test_does_not_mutate_input(self, rng):
+        frame = make_text_frame()
+        snapshot = frame.copy()
+        LeetspeakAdversarial().corrupt_random(frame, rng)
+        assert frame == snapshot
+
+    def test_only_applicable_to_text(self):
+        numeric = DataFrame.from_dict({"x": [1.0]}, {"x": ColumnType.NUMERIC})
+        assert LeetspeakAdversarial().applicable_columns(numeric) == []
+
+
+class TestImageNoise:
+    def test_perturbs_pixels_substantially(self, rng):
+        frame = make_image_frame()
+        corrupted = ImageNoise().corrupt(
+            frame, rng, columns=["image"], fraction=1.0, std=0.4
+        )
+        assert np.abs(corrupted["image"] - frame["image"]).mean() > 0.1
+
+    def test_pixels_stay_in_unit_range(self, rng):
+        frame = make_image_frame()
+        corrupted = ImageNoise().corrupt(
+            frame, rng, columns=["image"], fraction=1.0, std=0.5
+        )
+        assert corrupted["image"].min() >= 0.0
+        assert corrupted["image"].max() <= 1.0
+
+    def test_partial_fraction(self, rng):
+        frame = make_image_frame(100)
+        corrupted = ImageNoise().corrupt(
+            frame, rng, columns=["image"], fraction=0.3, std=0.4
+        )
+        changed = np.array([
+            not np.allclose(a, b) for a, b in zip(corrupted["image"], frame["image"])
+        ])
+        assert changed.sum() == 30
+
+    def test_std_sampled_in_range(self, rng):
+        params = ImageNoise().sample_params(make_image_frame(), rng)
+        assert 0.05 <= params["std"] <= 0.5
+
+    def test_does_not_mutate_input(self, rng):
+        frame = make_image_frame()
+        snapshot = frame.copy()
+        ImageNoise().corrupt_random(frame, rng)
+        assert frame == snapshot
+
+
+class TestImageRotation:
+    def test_rotates_content(self, rng):
+        frame = make_image_frame()
+        corrupted = ImageRotation().corrupt(
+            frame, rng, columns=["image"], fraction=1.0, max_angle=90.0
+        )
+        differences = [
+            np.abs(a - b).mean() for a, b in zip(corrupted["image"], frame["image"])
+        ]
+        assert np.mean(differences) > 0.001
+
+    def test_preserves_shape_and_range(self, rng):
+        frame = make_image_frame()
+        corrupted = ImageRotation().corrupt(
+            frame, rng, columns=["image"], fraction=1.0, max_angle=45.0
+        )
+        assert corrupted["image"].shape == frame["image"].shape
+        assert corrupted["image"].min() >= 0.0
+        assert corrupted["image"].max() <= 1.0
+
+    def test_zero_fraction_is_identity(self, rng):
+        frame = make_image_frame()
+        corrupted = ImageRotation().corrupt(
+            frame, rng, columns=["image"], fraction=0.0, max_angle=90.0
+        )
+        assert corrupted == frame
+
+    def test_max_angle_sampled_in_range(self, rng):
+        params = ImageRotation().sample_params(make_image_frame(), rng)
+        assert 10.0 <= params["max_angle"] <= 180.0

@@ -1,0 +1,143 @@
+"""Tests for the experiment harness (small-scale versions of each protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.errors.tabular_errors import MissingValues
+from repro.evaluation.harness import (
+    cloud_experiment,
+    known_error_generators,
+    prepare_splits,
+    sample_size_errors,
+    score_estimation_errors,
+    train_black_box,
+    unknown_error_generators,
+    unknown_fraction_errors,
+    validation_comparison,
+)
+from repro.exceptions import DataValidationError
+
+
+class TestPrepareSplits:
+    def test_partitions_are_disjoint_and_balanced(self, income_splits):
+        total = (
+            len(income_splits.train) + len(income_splits.test) + len(income_splits.serving)
+        )
+        # Balancing discards some rows; splits must not overlap in size terms.
+        assert total <= 1500
+        for labels in (income_splits.y_train, income_splits.y_serving):
+            _, counts = np.unique(labels, return_counts=True)
+            assert counts.min() / counts.max() > 0.7
+
+    def test_image_dataset_splits(self):
+        splits = prepare_splits("digits", n_rows=100, seed=0)
+        assert splits.train.image_columns == ["image"]
+
+
+class TestTrainBlackBox:
+    @pytest.mark.parametrize("model_name", ["lr", "xgb", "dnn"])
+    def test_models_reach_sane_accuracy(self, income_splits, model_name):
+        blackbox = train_black_box(model_name, income_splits, seed=0)
+        score = blackbox.score(income_splits.test, income_splits.y_test)
+        assert score > 0.65
+
+    def test_unknown_model_raises(self, income_splits):
+        with pytest.raises(DataValidationError):
+            train_black_box("svm", income_splits)
+
+
+class TestGeneratorSelection:
+    def test_tabular_known_errors(self):
+        generators = known_error_generators("tabular")
+        assert set(generators) == {"missing_values", "outliers", "swapped_values", "scaling"}
+
+    def test_text_known_errors(self):
+        assert set(known_error_generators("text")) == {"adversarial"}
+
+    def test_image_known_errors(self):
+        assert set(known_error_generators("image")) == {"image_noise", "image_rotation"}
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(DataValidationError):
+            known_error_generators("audio")
+
+    def test_unknown_errors_are_the_paper_trio(self):
+        assert set(unknown_error_generators()) == {"typos", "smearing", "sign_flip"}
+
+
+class TestScoreEstimation:
+    def test_small_run_produces_low_errors(self, income_blackbox, income_splits):
+        generators = [MissingValues()]
+        errors = score_estimation_errors(
+            income_blackbox, income_splits, generators, generators,
+            n_train_samples=30, n_eval_rounds=6, seed=0,
+        )
+        assert errors.shape == (6,)
+        assert np.median(errors) < 0.08
+
+
+class TestUnknownFraction:
+    def test_runs_and_bounds(self, income_blackbox, income_splits):
+        errors = unknown_fraction_errors(
+            income_blackbox, income_splits, unknown_fraction=0.5,
+            n_train_samples=25, n_eval_rounds=4, seed=0,
+        )
+        assert errors.shape == (4,)
+        assert np.all(errors >= 0)
+
+    def test_invalid_fraction_raises(self, income_blackbox, income_splits):
+        with pytest.raises(DataValidationError):
+            unknown_fraction_errors(income_blackbox, income_splits, unknown_fraction=1.5)
+
+
+class TestSampleSize:
+    def test_runs_with_small_dtest(self, income_blackbox, income_splits):
+        errors = sample_size_errors(
+            income_blackbox, income_splits, MissingValues(), test_size=60,
+            n_train_samples=20, n_eval_rounds=4, seed=0,
+        )
+        assert errors.shape == (4,)
+
+    def test_oversized_test_size_raises(self, income_blackbox, income_splits):
+        with pytest.raises(DataValidationError):
+            sample_size_errors(
+                income_blackbox, income_splits, MissingValues(),
+                test_size=10_000,
+            )
+
+
+class TestValidationComparison:
+    def test_returns_f1_for_all_approaches(self, income_blackbox, income_splits):
+        known = list(known_error_generators("tabular").values())
+        scores = validation_comparison(
+            income_blackbox, income_splits, known, known, threshold=0.05,
+            n_train_samples=60, n_eval_rounds=12, seed=0,
+        )
+        table = scores.as_dict()
+        assert set(table) == {"PPM", "BBSE", "BBSE-h", "REL"}
+        for value in table.values():
+            assert value is None or 0.0 <= value <= 1.0
+
+    def test_rel_is_none_for_image_data(self):
+        splits = prepare_splits("digits", n_rows=120, seed=0)
+        blackbox = train_black_box("conv", splits, seed=0)
+        generators = list(known_error_generators("image").values())
+        scores = validation_comparison(
+            blackbox, splits, generators, generators, threshold=0.05,
+            n_train_samples=10, n_eval_rounds=4, seed=0,
+        )
+        assert scores.rel is None
+
+
+class TestCloudExperiment:
+    def test_runs_against_opaque_service(self, income_splits):
+        from repro.automl.cloud import CloudModelService
+
+        service = CloudModelService(random_state=0)
+        model_id = service.train(income_splits.train, income_splits.y_train)
+        result = cloud_experiment(
+            service.as_blackbox(model_id), income_splits,
+            n_train_samples=25, n_eval_rounds=5, seed=0,
+        )
+        assert result.predicted.shape == (5,)
+        assert 0.0 <= result.mae <= 1.0

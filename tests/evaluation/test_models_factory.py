@@ -1,0 +1,44 @@
+"""Tests for the black box model factory."""
+
+import pytest
+
+from repro.evaluation.models import LINEAR_MODELS, MODEL_NAMES, NONLINEAR_MODELS, make_model
+from repro.exceptions import DataValidationError
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.conv import ConvNetClassifier
+from repro.ml.linear import SGDClassifier
+from repro.ml.model_selection import GridSearchCV
+from repro.ml.neural import MLPClassifier
+
+
+class TestMakeModel:
+    def test_model_families(self):
+        assert isinstance(make_model("lr"), SGDClassifier)
+        assert isinstance(make_model("dnn"), MLPClassifier)
+        assert isinstance(make_model("xgb"), GradientBoostingClassifier)
+        assert isinstance(make_model("conv"), ConvNetClassifier)
+
+    def test_names_partition(self):
+        assert set(LINEAR_MODELS) | set(NONLINEAR_MODELS) <= set(MODEL_NAMES)
+        assert not set(LINEAR_MODELS) & set(NONLINEAR_MODELS)
+
+    def test_unknown_raises(self):
+        with pytest.raises(DataValidationError):
+            make_model("svm")
+
+    @pytest.mark.parametrize("name", ["lr", "dnn", "xgb"])
+    def test_grid_search_wrapping(self, name):
+        wrapped = make_model(name, grid_search=True)
+        assert isinstance(wrapped, GridSearchCV)
+        assert wrapped.param_grid  # non-empty grid
+
+    def test_grid_searched_lr_trains(self, binary_matrix_problem):
+        X_train, y_train, X_test, y_test = binary_matrix_problem
+        search = make_model("lr", grid_search=True)
+        search.param_grid = {"learning_rate": [0.1]}  # trim for test speed
+        search.fit(X_train, y_train)
+        assert (search.predict(X_test) == y_test).mean() > 0.8
+
+    def test_random_state_threading(self):
+        model = make_model("lr", random_state=7)
+        assert model.random_state == 7

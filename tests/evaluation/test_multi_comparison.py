@@ -1,0 +1,48 @@
+"""Tests for the shared-corpus multi-threshold validation comparison."""
+
+import numpy as np
+import pytest
+
+from repro.errors.tabular_errors import MissingValues, Scaling
+from repro.evaluation.harness import (
+    known_error_generators,
+    validation_comparison,
+    validation_comparison_multi,
+)
+
+
+class TestValidationComparisonMulti:
+    @pytest.fixture(scope="class")
+    def results(self, income_blackbox, income_splits):
+        generators = list(known_error_generators("tabular").values())
+        return validation_comparison_multi(
+            income_blackbox, income_splits, generators, generators,
+            thresholds=(0.03, 0.05, 0.10),
+            n_train_samples=60, n_eval_rounds=10, seed=0,
+        )
+
+    def test_one_result_per_threshold(self, results):
+        assert set(results) == {0.03, 0.05, 0.10}
+
+    def test_baseline_scores_differ_only_through_truth_labels(self, results):
+        # The baselines do not depend on the threshold except through the
+        # ground-truth labeling, so their alarms are shared; F1 values may
+        # differ across thresholds but are all within [0, 1].
+        for scores in results.values():
+            for value in (scores.ppm, scores.bbse, scores.bbse_h, scores.rel):
+                assert value is None or 0.0 <= value <= 1.0
+
+    def test_single_threshold_wrapper_matches_multi(self, income_blackbox, income_splits):
+        generators = [MissingValues(), Scaling()]
+        single = validation_comparison(
+            income_blackbox, income_splits, generators, generators,
+            threshold=0.05, n_train_samples=40, n_eval_rounds=8, seed=3,
+        )
+        multi = validation_comparison_multi(
+            income_blackbox, income_splits, generators, generators,
+            thresholds=(0.05,), n_train_samples=40, n_eval_rounds=8, seed=3,
+        )[0.05]
+        assert single.ppm == multi.ppm
+        assert single.bbse == multi.bbse
+        assert single.bbse_h == multi.bbse_h
+        assert single.rel == multi.rel

@@ -1,0 +1,51 @@
+"""Tests for result formatting."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.reporting import DistributionSummary, format_f1_cell, format_table
+from repro.exceptions import DataValidationError
+
+
+class TestDistributionSummary:
+    def test_summary_of_known_sample(self):
+        values = np.arange(101, dtype=float)
+        summary = DistributionSummary.of(values)
+        assert summary.median == 50.0
+        assert summary.mean == 50.0
+        assert summary.p5 == 5.0
+        assert summary.p95 == 95.0
+
+    def test_row_formatting(self):
+        summary = DistributionSummary.of(np.array([0.01, 0.02, 0.03]))
+        row = summary.row("income (lr)")
+        assert row.startswith("income (lr)")
+        assert "median=0.0200" in row
+
+    def test_empty_raises(self):
+        with pytest.raises(DataValidationError):
+            DistributionSummary.of(np.array([]))
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        table = format_table(["name", "f1"], [["ppm", "0.9"], ["bbse", "0.85"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1].replace(" ", "")) == {"-"}
+
+    def test_uneven_row_raises(self):
+        with pytest.raises(DataValidationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        assert "a" in format_table(["a"], [])
+
+
+class TestFormatF1Cell:
+    def test_number_formatting(self):
+        assert format_f1_cell(0.87654) == "0.877"
+
+    def test_none_is_na(self):
+        assert format_f1_cell(None) == "n/a"

@@ -1,0 +1,124 @@
+"""Tests for the estimator protocol and numeric helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError, NotFittedError
+from repro.ml.base import (
+    Estimator,
+    as_rng,
+    check_labels,
+    check_matrix,
+    clone,
+    sigmoid,
+    softmax,
+)
+
+
+class Toy(Estimator):
+    def __init__(self, alpha: float = 1.0, depth: int = 3):
+        self.alpha = alpha
+        self.depth = depth
+
+    def fit(self, X, y):
+        self.fitted_ = True
+        return self
+
+
+class TestEstimatorParams:
+    def test_get_params_reads_init_args(self):
+        assert Toy(alpha=2.0).get_params() == {"alpha": 2.0, "depth": 3}
+
+    def test_set_params_roundtrip(self):
+        toy = Toy().set_params(alpha=5.0, depth=7)
+        assert toy.alpha == 5.0 and toy.depth == 7
+
+    def test_set_params_unknown_raises(self):
+        with pytest.raises(DataValidationError, match="no parameter"):
+            Toy().set_params(gamma=1.0)
+
+    def test_require_fitted(self):
+        toy = Toy()
+        with pytest.raises(NotFittedError):
+            toy._require_fitted("fitted_")
+        toy.fit(None, None)
+        toy._require_fitted("fitted_")
+
+    def test_repr_contains_params(self):
+        assert "alpha=1.0" in repr(Toy())
+
+
+class TestClone:
+    def test_clone_copies_params_not_state(self):
+        toy = Toy(alpha=9.0).fit(None, None)
+        fresh = clone(toy)
+        assert fresh.alpha == 9.0
+        assert not hasattr(fresh, "fitted_")
+
+    def test_clone_deep_copies_mutable_params(self):
+        class WithList(Estimator):
+            def __init__(self, items=None):
+                self.items = items if items is not None else []
+
+        original = WithList([1, 2])
+        cloned = clone(original)
+        cloned.items.append(3)
+        assert original.items == [1, 2]
+
+
+class TestCheckers:
+    def test_check_matrix_promotes_1d(self):
+        assert check_matrix(np.array([1.0, 2.0])).shape == (2, 1)
+
+    def test_check_matrix_rejects_3d_and_empty(self):
+        with pytest.raises(DataValidationError):
+            check_matrix(np.zeros((2, 2, 2)))
+        with pytest.raises(DataValidationError):
+            check_matrix(np.empty((0, 3)))
+
+    def test_check_labels_alignment(self):
+        y = check_labels([1, 0, 1], 3)
+        assert len(y) == 3
+        with pytest.raises(DataValidationError):
+            check_labels([1, 0], 3)
+        with pytest.raises(DataValidationError):
+            check_labels(np.zeros((3, 1)), 3)
+
+    def test_as_rng_accepts_seed_generator_none(self):
+        assert isinstance(as_rng(0), np.random.Generator)
+        generator = np.random.default_rng(1)
+        assert as_rng(generator) is generator
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_as_rng_seed_reproducible(self):
+        assert as_rng(5).random() == as_rng(5).random()
+
+
+class TestNumerics:
+    def test_softmax_rows_sum_to_one(self, rng):
+        result = softmax(rng.normal(size=(10, 4)))
+        assert np.allclose(result.sum(axis=1), 1.0)
+        assert np.all(result >= 0)
+
+    def test_softmax_stable_for_huge_scores(self):
+        result = softmax(np.array([[1e10, 0.0], [-1e10, 0.0]]))
+        assert np.all(np.isfinite(result))
+        assert result[0, 0] == pytest.approx(1.0)
+        assert result[1, 0] == pytest.approx(0.0)
+
+    def test_softmax_shift_invariance(self, rng):
+        scores = rng.normal(size=(5, 3))
+        assert np.allclose(softmax(scores), softmax(scores + 100.0))
+
+    def test_sigmoid_matches_definition(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        assert np.allclose(sigmoid(x), 1.0 / (1.0 + np.exp(-x)))
+
+    def test_sigmoid_stable_at_extremes(self):
+        result = sigmoid(np.array([-1e10, 1e10]))
+        assert result[0] == 0.0
+        assert result[1] == 1.0
+
+    def test_sigmoid_symmetry(self, rng):
+        x = rng.normal(size=100)
+        assert np.allclose(sigmoid(x) + sigmoid(-x), 1.0)

@@ -1,0 +1,102 @@
+"""Tests for gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.boosting import GradientBoostingClassifier, GradientBoostingRegressor
+from repro.ml.metrics import accuracy_score, mean_absolute_error
+
+
+class TestGradientBoostingClassifier:
+    def test_learns_binary_problem(self, binary_matrix_problem):
+        X_train, y_train, X_test, y_test = binary_matrix_problem
+        model = GradientBoostingClassifier(n_stages=40, random_state=0).fit(X_train, y_train)
+        assert accuracy_score(y_test, model.predict(X_test)) > 0.85
+
+    def test_proba_rows_sum_to_one(self, binary_matrix_problem):
+        X_train, y_train, X_test, _ = binary_matrix_problem
+        model = GradientBoostingClassifier(n_stages=10, random_state=0).fit(X_train, y_train)
+        proba = model.predict_proba(X_test)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba > 0) & (proba < 1))
+
+    def test_more_stages_improve_training_fit(self, binary_matrix_problem):
+        X_train, y_train, _, _ = binary_matrix_problem
+        weak = GradientBoostingClassifier(n_stages=1, random_state=0).fit(X_train, y_train)
+        strong = GradientBoostingClassifier(n_stages=60, random_state=0).fit(X_train, y_train)
+        acc_weak = accuracy_score(y_train, weak.predict(X_train))
+        acc_strong = accuracy_score(y_train, strong.predict(X_train))
+        assert acc_strong >= acc_weak
+
+    def test_base_score_is_log_odds_of_prior(self):
+        X = np.random.default_rng(0).random((100, 2))
+        y = np.array([1] * 80 + [0] * 20)
+        model = GradientBoostingClassifier(n_stages=1).fit(X, y)
+        assert model.base_score_ == pytest.approx(np.log(0.8 / 0.2), abs=1e-6)
+
+    def test_multiclass_softmax_boosting(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((300, 2))
+        y = (X[:, 0] * 3).astype(int)
+        model = GradientBoostingClassifier(n_stages=20, random_state=0).fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (300, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_string_labels(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((80, 2))
+        y = np.where(X[:, 1] > 0.5, "up", "down").astype(object)
+        model = GradientBoostingClassifier(n_stages=10, random_state=0).fit(X, y)
+        assert set(model.predict(X)) <= {"up", "down"}
+
+    def test_feature_subsampling(self, binary_matrix_problem):
+        # colsample decorrelates stages; the model must still learn.
+        X_train, y_train, X_test, y_test = binary_matrix_problem
+        model = GradientBoostingClassifier(
+            n_stages=40, max_features=3, random_state=0
+        ).fit(X_train, y_train)
+        assert accuracy_score(y_test, model.predict(X_test)) > 0.8
+
+    def test_subsample_under_one(self, binary_matrix_problem):
+        X_train, y_train, X_test, y_test = binary_matrix_problem
+        model = GradientBoostingClassifier(
+            n_stages=30, subsample=0.7, random_state=0
+        ).fit(X_train, y_train)
+        assert accuracy_score(y_test, model.predict(X_test)) > 0.8
+
+    def test_decision_function_monotone_with_proba(self, binary_matrix_problem):
+        X_train, y_train, X_test, _ = binary_matrix_problem
+        model = GradientBoostingClassifier(n_stages=10, random_state=0).fit(X_train, y_train)
+        raw = model.decision_function(X_test)
+        proba = model.predict_proba(X_test)[:, 1]
+        order_raw = np.argsort(raw)
+        order_proba = np.argsort(proba)
+        assert np.array_equal(order_raw, order_proba)
+
+
+class TestGradientBoostingRegressor:
+    def test_learns_nonlinear_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-2, 2, size=(400, 1))
+        y = np.sin(X.ravel() * 2)
+        model = GradientBoostingRegressor(n_stages=80, random_state=0).fit(X[:300], y[:300])
+        assert mean_absolute_error(y[300:], model.predict(X[300:])) < 0.15
+
+    def test_zero_stage_limit_predicts_mean(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((50, 2))
+        y = rng.random(50)
+        model = GradientBoostingRegressor(n_stages=1, learning_rate=0.0).fit(X, y)
+        assert np.allclose(model.predict(X), y.mean())
+
+    def test_shrinkage_slows_fitting(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((100, 2))
+        y = rng.random(100)
+        fast = GradientBoostingRegressor(n_stages=10, learning_rate=0.5, random_state=0).fit(X, y)
+        slow = GradientBoostingRegressor(n_stages=10, learning_rate=0.01, random_state=0).fit(X, y)
+        err_fast = mean_absolute_error(y, fast.predict(X))
+        err_slow = mean_absolute_error(y, slow.predict(X))
+        assert err_fast < err_slow

@@ -1,0 +1,100 @@
+"""Tests for probability calibration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError, NotFittedError
+from repro.ml.base import sigmoid
+from repro.ml.calibration import CalibratedClassifier, IsotonicCalibrator, PlattCalibrator
+from repro.ml.linear import SGDClassifier
+from repro.ml.metrics import log_loss
+
+
+def make_miscalibrated(n=2000, seed=0):
+    """Scores whose true P(y=1|score) = sigmoid(2*score - 1)."""
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(size=n)
+    probabilities = sigmoid(2.0 * scores - 1.0)
+    y = (rng.random(n) < probabilities).astype(float)
+    return scores, y
+
+
+class TestPlattCalibrator:
+    def test_recovers_sigmoid_parameters(self):
+        scores, y = make_miscalibrated()
+        calibrator = PlattCalibrator().fit(scores, y)
+        assert calibrator.a_ == pytest.approx(2.0, abs=0.3)
+        assert calibrator.b_ == pytest.approx(-1.0, abs=0.3)
+
+    def test_improves_log_loss_of_raw_scores(self):
+        scores, y = make_miscalibrated()
+        # Treat raw scores pushed through identity-sigmoid as probabilities.
+        raw_p = sigmoid(scores)
+        calibrated_p = PlattCalibrator().fit(scores, y).transform(scores)
+        y_idx = y.astype(int)
+        raw_ll = log_loss(y_idx, np.column_stack([1 - raw_p, raw_p]))
+        cal_ll = log_loss(y_idx, np.column_stack([1 - calibrated_p, calibrated_p]))
+        assert cal_ll < raw_ll
+
+    def test_outputs_are_probabilities(self):
+        scores, y = make_miscalibrated(300)
+        out = PlattCalibrator().fit(scores, y).transform(scores)
+        assert np.all((out > 0) & (out < 1))
+
+    def test_rejects_non_binary_targets(self):
+        with pytest.raises(DataValidationError):
+            PlattCalibrator().fit(np.array([0.1, 0.2]), np.array([0, 2]))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(DataValidationError):
+            PlattCalibrator().fit(np.array([0.1]), np.array([0, 1]))
+
+
+class TestIsotonicCalibrator:
+    def test_output_is_monotone(self):
+        scores, y = make_miscalibrated(500, seed=1)
+        calibrator = IsotonicCalibrator().fit(scores, y)
+        grid = np.linspace(scores.min(), scores.max(), 100)
+        values = calibrator.transform(grid)
+        assert np.all(np.diff(values) >= -1e-12)
+
+    def test_perfectly_sorted_input_is_preserved(self):
+        scores = np.array([1.0, 2.0, 3.0, 4.0])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        calibrator = IsotonicCalibrator().fit(scores, y)
+        assert np.allclose(calibrator.transform(scores), y)
+
+    def test_violator_pooling(self):
+        # Decreasing targets must pool to their mean.
+        scores = np.array([1.0, 2.0])
+        y = np.array([1.0, 0.0])
+        calibrator = IsotonicCalibrator().fit(scores, y)
+        assert np.allclose(calibrator.transform(scores), [0.5, 0.5])
+
+    def test_transform_extrapolates_flat(self):
+        scores = np.array([0.0, 1.0])
+        y = np.array([0.0, 1.0])
+        calibrator = IsotonicCalibrator().fit(scores, y)
+        assert calibrator.transform(np.array([-5.0]))[0] == 0.0
+        assert calibrator.transform(np.array([5.0]))[0] == 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            IsotonicCalibrator().transform(np.array([0.5]))
+
+
+class TestCalibratedClassifier:
+    @pytest.mark.parametrize("method", ["platt", "isotonic"])
+    def test_wraps_fitted_model(self, binary_matrix_problem, method):
+        X_train, y_train, X_test, y_test = binary_matrix_problem
+        model = SGDClassifier(epochs=10, random_state=0).fit(X_train, y_train)
+        calibrated = CalibratedClassifier(model, method=method).fit(X_train, y_train)
+        proba = calibrated.predict_proba(X_test)
+        assert proba.shape == (len(X_test), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        accuracy = (calibrated.predict(X_test) == y_test).mean()
+        assert accuracy > 0.8
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(DataValidationError):
+            CalibratedClassifier(object(), method="beta")

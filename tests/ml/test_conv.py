@@ -1,0 +1,104 @@
+"""Tests for the convolutional network and its im2col plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.ml.conv import ConvNetClassifier, _maxpool_backward, _maxpool_forward, col2im, im2col
+
+
+class TestIm2Col:
+    def test_patch_extraction_matches_naive(self):
+        rng = np.random.default_rng(0)
+        images = rng.random((2, 3, 6, 6))
+        kernel = 3
+        cols = im2col(images, kernel)
+        n, c, h, w = images.shape
+        out = h - kernel + 1
+        assert cols.shape == (2, out * out, c * kernel * kernel)
+        # Check one specific patch against a naive slice.
+        patch = images[1, :, 2 : 2 + kernel, 1 : 1 + kernel].reshape(-1)
+        assert np.allclose(cols[1, 2 * out + 1], patch)
+
+    def test_col2im_is_adjoint_of_im2col(self):
+        # <im2col(x), y> == <x, col2im(y)> for random x, y (adjoint test).
+        rng = np.random.default_rng(1)
+        images = rng.random((2, 2, 5, 5))
+        kernel = 3
+        cols = im2col(images, kernel)
+        y = rng.random(cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((images * col2im(y, images.shape, kernel)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestMaxPool:
+    def test_forward_picks_maxima(self):
+        image = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pooled, _ = _maxpool_forward(image)
+        assert pooled.shape == (1, 1, 2, 2)
+        assert pooled[0, 0, 0, 0] == 5.0
+        assert pooled[0, 0, 1, 1] == 15.0
+
+    def test_backward_routes_gradient_to_maxima(self):
+        image = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pooled, mask = _maxpool_forward(image)
+        grad = np.ones_like(pooled)
+        upstream = _maxpool_backward(grad, mask, image.shape)
+        # Gradient lands only on the four maxima positions.
+        assert upstream.sum() == 4.0
+        assert upstream[0, 0, 1, 1] == 1.0  # value 5 is the max of its window
+        assert upstream[0, 0, 0, 0] == 0.0
+
+
+class TestConvNetClassifier:
+    @pytest.fixture(scope="class")
+    def image_problem(self):
+        """Bright-left vs bright-right 12x12 images."""
+        rng = np.random.default_rng(0)
+        n = 240
+        images = rng.normal(scale=0.1, size=(n, 12, 12))
+        labels = np.zeros(n, dtype=int)
+        half = n // 2
+        images[:half, :, :5] += 1.0
+        images[half:, :, 7:] += 1.0
+        labels[half:] = 1
+        order = rng.permutation(n)
+        X = images[order].reshape(n, -1)
+        return X[:180], labels[order][:180], X[180:], labels[order][180:]
+
+    def test_learns_spatial_pattern(self, image_problem):
+        X_train, y_train, X_test, y_test = image_problem
+        model = ConvNetClassifier(
+            image_shape=(12, 12), conv_channels=(4, 8), dense_width=16,
+            epochs=3, random_state=0,
+        ).fit(X_train, y_train)
+        assert (model.predict(X_test) == y_test).mean() > 0.9
+
+    def test_proba_rows_sum_to_one(self, image_problem):
+        X_train, y_train, X_test, _ = image_problem
+        model = ConvNetClassifier(
+            image_shape=(12, 12), conv_channels=(2, 4), dense_width=8,
+            epochs=1, random_state=0,
+        ).fit(X_train, y_train)
+        proba = model.predict_proba(X_test)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_wrong_pixel_count_raises(self, image_problem):
+        X_train, y_train, _, _ = image_problem
+        model = ConvNetClassifier(
+            image_shape=(12, 12), conv_channels=(2, 4), dense_width=8,
+            epochs=1, random_state=0,
+        ).fit(X_train, y_train)
+        with pytest.raises(DataValidationError):
+            model.predict_proba(np.zeros((1, 100)))
+
+    def test_nan_pixels_handled_at_predict(self, image_problem):
+        X_train, y_train, X_test, _ = image_problem
+        model = ConvNetClassifier(
+            image_shape=(12, 12), conv_channels=(2, 4), dense_width=8,
+            epochs=1, random_state=0,
+        ).fit(X_train, y_train)
+        corrupted = X_test.copy()
+        corrupted[0, :10] = np.nan
+        assert np.all(np.isfinite(model.predict_proba(corrupted)))

@@ -1,0 +1,88 @@
+"""Tests for random forests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.metrics import accuracy_score, mean_absolute_error
+
+
+class TestRandomForestRegressor:
+    def test_learns_smooth_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(400, 2))
+        y = X[:, 0] ** 2 + 0.5 * X[:, 1]
+        forest = RandomForestRegressor(n_trees=30, random_state=0).fit(X[:300], y[:300])
+        assert mean_absolute_error(y[300:], forest.predict(X[300:])) < 0.1
+
+    def test_more_trees_reduce_variance(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 4))
+        y = X @ np.array([1.0, -2.0, 0.5, 0.0]) + 0.3 * rng.normal(size=300)
+        small = RandomForestRegressor(n_trees=2, random_state=0).fit(X[:200], y[:200])
+        large = RandomForestRegressor(n_trees=40, random_state=0).fit(X[:200], y[:200])
+        err_small = mean_absolute_error(y[200:], small.predict(X[200:]))
+        err_large = mean_absolute_error(y[200:], large.predict(X[200:]))
+        assert err_large <= err_small
+
+    def test_prediction_is_tree_average(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((50, 2))
+        y = rng.random(50)
+        forest = RandomForestRegressor(n_trees=5, random_state=0).fit(X, y)
+        manual = np.mean([tree.predict(X) for tree in forest.trees_], axis=0)
+        assert np.allclose(forest.predict(X), manual)
+
+    def test_max_features_options(self):
+        rng = np.random.default_rng(3)
+        X = rng.random((60, 9))
+        y = rng.random(60)
+        for option in ("sqrt", "third", 4, None):
+            RandomForestRegressor(n_trees=3, max_features=option, random_state=0).fit(X, y)
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(4)
+        X = rng.random((80, 3))
+        y = rng.random(80)
+        a = RandomForestRegressor(n_trees=5, random_state=9).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_trees=5, random_state=9).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+
+class TestRandomForestClassifier:
+    def test_learns_binary_problem(self, binary_matrix_problem):
+        X_train, y_train, X_test, y_test = binary_matrix_problem
+        forest = RandomForestClassifier(n_trees=30, random_state=0).fit(X_train, y_train)
+        assert accuracy_score(y_test, forest.predict(X_test)) > 0.8
+
+    def test_proba_rows_sum_to_one(self, binary_matrix_problem):
+        X_train, y_train, X_test, _ = binary_matrix_problem
+        forest = RandomForestClassifier(n_trees=10, random_state=0).fit(X_train, y_train)
+        proba = forest.predict_proba(X_test)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_string_classes(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((60, 2))
+        y = np.where(X[:, 0] > 0.5, "hot", "cold").astype(object)
+        forest = RandomForestClassifier(n_trees=5, random_state=0).fit(X, y)
+        assert set(forest.predict(X)) <= {"hot", "cold"}
+        assert list(forest.classes_) == ["cold", "hot"]
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((150, 2))
+        y = (X[:, 0] * 3).astype(int)
+        forest = RandomForestClassifier(n_trees=10, random_state=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert proba.shape == (150, 3)
+        assert (forest.predict(X) == y).mean() > 0.9
+
+    def test_tiny_input_keeps_all_classes(self):
+        # Bootstraps of tiny datasets can drop a class; the forest must
+        # still produce aligned probability columns.
+        X = np.array([[0.0], [0.1], [0.9], [1.0]])
+        y = np.array([0, 0, 1, 1])
+        forest = RandomForestClassifier(n_trees=5, random_state=0).fit(X, y)
+        assert forest.predict_proba(X).shape == (4, 2)

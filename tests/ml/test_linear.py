@@ -1,0 +1,70 @@
+"""Tests for the SGD logistic regression classifier."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.ml.linear import SGDClassifier
+from repro.ml.metrics import accuracy_score
+
+
+class TestSGDClassifier:
+    def test_learns_linear_problem(self, binary_matrix_problem):
+        X_train, y_train, X_test, y_test = binary_matrix_problem
+        model = SGDClassifier(epochs=15, random_state=0).fit(X_train, y_train)
+        assert accuracy_score(y_test, model.predict(X_test)) > 0.85
+
+    def test_proba_rows_sum_to_one(self, binary_matrix_problem):
+        X_train, y_train, X_test, _ = binary_matrix_problem
+        model = SGDClassifier(epochs=5, random_state=0).fit(X_train, y_train)
+        proba = model.predict_proba(X_test)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(0)
+        centers = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]])
+        X = np.concatenate([rng.normal(c, 0.5, size=(60, 2)) for c in centers])
+        y = np.repeat([0, 1, 2], 60)
+        model = SGDClassifier(epochs=20, random_state=0).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_l1_penalty_sparsifies_more_than_l2(self, binary_matrix_problem):
+        X_train, y_train, _, _ = binary_matrix_problem
+        # Add pure-noise features; L1 should push their weights closer to 0.
+        rng = np.random.default_rng(1)
+        noise = rng.normal(size=(X_train.shape[0], 20))
+        X_noise = np.hstack([X_train, noise])
+        l1 = SGDClassifier(penalty="l1", alpha=1e-2, epochs=20, random_state=0).fit(X_noise, y_train)
+        l2 = SGDClassifier(penalty="l2", alpha=1e-2, epochs=20, random_state=0).fit(X_noise, y_train)
+        l1_noise_mass = np.abs(l1.coef_[8:]).mean()
+        l2_noise_mass = np.abs(l2.coef_[8:]).mean()
+        assert l1_noise_mass < l2_noise_mass
+
+    def test_unknown_penalty_raises(self):
+        with pytest.raises(DataValidationError):
+            SGDClassifier(penalty="elastic")
+
+    def test_decision_function_feature_mismatch_raises(self, binary_matrix_problem):
+        X_train, y_train, _, _ = binary_matrix_problem
+        model = SGDClassifier(epochs=2, random_state=0).fit(X_train, y_train)
+        with pytest.raises(DataValidationError):
+            model.decision_function(np.zeros((2, 3)))
+
+    def test_saturates_on_wildly_scaled_inputs(self, binary_matrix_problem):
+        # Footnote-9 behaviour: hugely scaled serving inputs produce
+        # saturated (but finite) probabilities.
+        X_train, y_train, X_test, _ = binary_matrix_problem
+        model = SGDClassifier(epochs=5, random_state=0).fit(X_train, y_train)
+        proba = model.predict_proba(X_test * 1e6)
+        assert np.all(np.isfinite(proba))
+        assert np.all(proba.max(axis=1) > 0.999)
+
+    def test_single_class_raises(self):
+        with pytest.raises(DataValidationError):
+            SGDClassifier().fit(np.zeros((5, 2)), np.zeros(5))
+
+    def test_deterministic_given_seed(self, binary_matrix_problem):
+        X_train, y_train, X_test, _ = binary_matrix_problem
+        a = SGDClassifier(epochs=3, random_state=1).fit(X_train, y_train).predict_proba(X_test)
+        b = SGDClassifier(epochs=3, random_state=1).fit(X_train, y_train).predict_proba(X_test)
+        assert np.array_equal(a, b)

@@ -1,0 +1,149 @@
+"""Metric implementations checked against hand-computed values and scipy."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_counts,
+    f1_score,
+    log_loss,
+    mean_absolute_error,
+    mean_squared_error,
+    precision_score,
+    r2_score,
+    recall_score,
+    roc_auc_score,
+    score_predictions,
+)
+
+
+class TestAccuracy:
+    def test_hand_value(self):
+        assert accuracy_score([1, 0, 1, 1], [1, 1, 1, 0]) == 0.5
+
+    def test_string_labels(self):
+        assert accuracy_score(["a", "b"], ["a", "a"]) == 0.5
+
+    def test_perfect_and_zero(self):
+        assert accuracy_score([1, 1], [1, 1]) == 1.0
+        assert accuracy_score([1, 1], [0, 0]) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(DataValidationError):
+            accuracy_score([1, 0], [1])
+
+    def test_empty_raises(self):
+        with pytest.raises(DataValidationError):
+            accuracy_score([], [])
+
+
+class TestRegressionMetrics:
+    def test_mae_hand_value(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 4.0]) == 1.5
+
+    def test_mse_hand_value(self):
+        assert mean_squared_error([1.0, 2.0], [2.0, 4.0]) == 2.5
+
+    def test_r2_perfect_is_one(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_r2_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+
+class TestConfusionBasedMetrics:
+    # y_true: 3 positives, 2 negatives; predictions hit 2 tp, 1 fp.
+    y_true = [1, 1, 1, 0, 0]
+    y_pred = [1, 1, 0, 1, 0]
+
+    def test_confusion_counts(self):
+        assert confusion_counts(self.y_true, self.y_pred) == (2, 1, 1, 1)
+
+    def test_precision(self):
+        assert precision_score(self.y_true, self.y_pred) == pytest.approx(2 / 3)
+
+    def test_recall(self):
+        assert recall_score(self.y_true, self.y_pred) == pytest.approx(2 / 3)
+
+    def test_f1(self):
+        assert f1_score(self.y_true, self.y_pred) == pytest.approx(2 / 3)
+
+    def test_f1_degenerate_no_positives_predicted_or_present(self):
+        assert f1_score([0, 0], [0, 0]) == 0.0
+
+    def test_precision_zero_when_nothing_predicted_positive(self):
+        assert precision_score([1, 0], [0, 0]) == 0.0
+
+    def test_recall_zero_when_no_positives_exist(self):
+        assert recall_score([0, 0], [1, 0]) == 0.0
+
+    def test_custom_positive_label(self):
+        assert f1_score(["y", "n"], ["y", "y"], positive="y") == pytest.approx(2 / 3)
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_scores_near_half(self, rng):
+        y = rng.integers(0, 2, size=2000)
+        scores = rng.random(2000)
+        assert roc_auc_score(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_get_mid_rank(self):
+        # All scores tied: AUC must be exactly 0.5.
+        assert roc_auc_score([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == 0.5
+
+    def test_matches_trapezoid_small_case(self):
+        y = np.array([0, 1, 0, 1, 1])
+        scores = np.array([0.1, 0.3, 0.35, 0.8, 0.9])
+        # Pairs: positives {0.3, 0.8, 0.9}, negatives {0.1, 0.35}.
+        # Correctly ordered pairs: (0.3>0.1), (0.8>both), (0.9>both) = 5/6.
+        assert roc_auc_score(y, scores) == pytest.approx(5 / 6)
+
+    def test_single_class_raises(self):
+        with pytest.raises(DataValidationError):
+            roc_auc_score([1, 1], [0.2, 0.3])
+
+
+class TestLogLoss:
+    def test_hand_value(self):
+        proba = np.array([[0.9, 0.1], [0.2, 0.8]])
+        expected = -np.mean([np.log(0.9), np.log(0.8)])
+        assert log_loss([0, 1], proba) == pytest.approx(expected)
+
+    def test_clipping_avoids_infinity(self):
+        proba = np.array([[1.0, 0.0]])
+        assert np.isfinite(log_loss([1], proba))
+
+    def test_misaligned_raises(self):
+        with pytest.raises(DataValidationError):
+            log_loss([0, 1], np.array([[0.5, 0.5]]))
+
+
+class TestScorePredictions:
+    def test_accuracy_route(self):
+        assert score_predictions("accuracy", np.array([1, 0]), np.array([1, 1])) == 0.5
+
+    def test_roc_auc_requires_proba(self):
+        with pytest.raises(DataValidationError):
+            score_predictions("roc_auc", np.array([1, 0]), np.array([1, 0]))
+
+    def test_roc_auc_route(self):
+        y = np.array([0, 0, 1, 1])
+        proba = np.column_stack([1 - np.array([0.1, 0.2, 0.8, 0.9]), [0.1, 0.2, 0.8, 0.9]])
+        assert score_predictions("roc_auc", y, y, proba=proba) == 1.0
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(DataValidationError):
+            score_predictions("nope", np.array([1]), np.array([1]))

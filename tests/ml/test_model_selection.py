@@ -1,0 +1,127 @@
+"""Tests for k-fold CV, cross_val_score and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.linear import SGDClassifier
+from repro.ml.model_selection import (
+    GridSearchCV,
+    KFold,
+    cross_val_score,
+    matrix_train_test_split,
+)
+
+
+class TestKFold:
+    def test_folds_partition_the_data(self):
+        seen = []
+        for train_idx, val_idx in KFold(5, random_state=0).split(100):
+            assert len(set(train_idx) & set(val_idx)) == 0
+            seen.extend(val_idx)
+        assert sorted(seen) == list(range(100))
+
+    def test_validation_sizes_are_balanced(self):
+        sizes = [len(v) for _, v in KFold(3, random_state=0).split(10)]
+        assert sorted(sizes) == [3, 3, 4]
+
+    def test_too_few_rows_raise(self):
+        with pytest.raises(DataValidationError):
+            list(KFold(5).split(3))
+
+    def test_n_splits_below_two_raises(self):
+        with pytest.raises(DataValidationError):
+            KFold(1)
+
+    def test_shuffling_depends_on_seed(self):
+        a = [tuple(v) for _, v in KFold(2, random_state=0).split(10)]
+        b = [tuple(v) for _, v in KFold(2, random_state=1).split(10)]
+        assert a != b
+
+
+class TestCrossValScore:
+    def test_classifier_scored_by_accuracy(self, binary_matrix_problem):
+        X_train, y_train, _, _ = binary_matrix_problem
+        scores = cross_val_score(
+            SGDClassifier(epochs=5, random_state=0), X_train, y_train, n_splits=3
+        )
+        assert scores.shape == (3,)
+        assert np.all((scores >= 0) & (scores <= 1))
+        assert scores.mean() > 0.8
+
+    def test_regressor_scored_by_negative_mae(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((90, 3))
+        y = X @ np.array([1.0, 2.0, -1.0])
+        scores = cross_val_score(
+            RandomForestRegressor(n_trees=10, random_state=0), X, y, n_splits=3
+        )
+        assert np.all(scores <= 0)  # negative MAE
+
+    def test_does_not_mutate_input_estimator(self, binary_matrix_problem):
+        X_train, y_train, _, _ = binary_matrix_problem
+        estimator = SGDClassifier(epochs=2, random_state=0)
+        cross_val_score(estimator, X_train, y_train, n_splits=3)
+        assert not hasattr(estimator, "coef_")
+
+
+class TestGridSearchCV:
+    def test_picks_best_and_refits(self, binary_matrix_problem):
+        X_train, y_train, X_test, y_test = binary_matrix_problem
+        search = GridSearchCV(
+            SGDClassifier(random_state=0),
+            param_grid={"learning_rate": [1e-6, 0.1]},
+            n_splits=3,
+        ).fit(X_train, y_train)
+        # A vanishing learning rate cannot learn; the grid must reject it.
+        assert search.best_params_["learning_rate"] == 0.1
+        assert (search.predict(X_test) == y_test).mean() > 0.8
+
+    def test_cv_results_cover_full_grid(self, binary_matrix_problem):
+        X_train, y_train, _, _ = binary_matrix_problem
+        search = GridSearchCV(
+            SGDClassifier(epochs=2, random_state=0),
+            param_grid={"penalty": ["l1", "l2"], "alpha": [1e-4, 1e-3]},
+            n_splits=3,
+        ).fit(X_train, y_train)
+        assert len(search.cv_results_) == 4
+
+    def test_exposes_classes_for_classifiers(self, binary_matrix_problem):
+        X_train, y_train, _, _ = binary_matrix_problem
+        search = GridSearchCV(
+            SGDClassifier(epochs=2, random_state=0),
+            param_grid={"alpha": [1e-4]},
+            n_splits=3,
+        ).fit(X_train, y_train)
+        assert list(search.classes_) == [0, 1]
+        assert search.predict_proba(X_train).shape == (len(X_train), 2)
+
+    def test_works_for_regressors(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((60, 3))
+        y = X @ np.array([1.0, -1.0, 0.5])
+        search = GridSearchCV(
+            RandomForestRegressor(random_state=0),
+            param_grid={"n_trees": [2, 10]},
+            n_splits=3,
+        ).fit(X, y)
+        assert search.best_params_["n_trees"] in (2, 10)
+        assert search.predict(X).shape == (60,)
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(DataValidationError):
+            GridSearchCV(SGDClassifier(), param_grid={})
+
+
+class TestMatrixTrainTestSplit:
+    def test_sizes_and_disjointness(self):
+        X = np.arange(100, dtype=float).reshape(-1, 1)
+        y = np.arange(100)
+        X_train, y_train, X_test, y_test = matrix_train_test_split(X, y, 0.2, random_state=0)
+        assert len(X_test) == 20 and len(X_train) == 80
+        assert not set(y_train) & set(y_test)
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(DataValidationError):
+            matrix_train_test_split(np.zeros((10, 1)), np.zeros(10), 1.5)

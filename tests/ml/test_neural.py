@@ -1,0 +1,63 @@
+"""Tests for the MLP classifier."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.ml.metrics import accuracy_score
+from repro.ml.neural import MLPClassifier
+
+
+class TestMLPClassifier:
+    def test_learns_linear_problem(self, binary_matrix_problem):
+        X_train, y_train, X_test, y_test = binary_matrix_problem
+        model = MLPClassifier(epochs=25, random_state=0).fit(X_train, y_train)
+        assert accuracy_score(y_test, model.predict(X_test)) > 0.85
+
+    def test_learns_xor_nonlinearity(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(600, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        model = MLPClassifier(hidden=(32, 16), epochs=60, random_state=0).fit(X[:450], y[:450])
+        assert accuracy_score(y[450:], model.predict(X[450:])) > 0.9
+
+    def test_proba_rows_sum_to_one(self, binary_matrix_problem):
+        X_train, y_train, X_test, _ = binary_matrix_problem
+        model = MLPClassifier(epochs=3, random_state=0).fit(X_train, y_train)
+        proba = model.predict_proba(X_test)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_handles_nan_and_inf_at_predict(self, binary_matrix_problem):
+        X_train, y_train, X_test, _ = binary_matrix_problem
+        model = MLPClassifier(epochs=3, random_state=0).fit(X_train, y_train)
+        corrupted = X_test.copy()
+        corrupted[0, 0] = np.nan
+        corrupted[1, 0] = np.inf
+        proba = model.predict_proba(corrupted)
+        assert np.all(np.isfinite(proba))
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(1)
+        centers = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 3.0]])
+        X = np.concatenate([rng.normal(c, 0.4, size=(50, 2)) for c in centers])
+        y = np.repeat(["a", "b", "c"], 50).astype(object)
+        model = MLPClassifier(epochs=40, random_state=0).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_invalid_hidden_raises(self):
+        with pytest.raises(DataValidationError):
+            MLPClassifier(hidden=(10,))
+        with pytest.raises(DataValidationError):
+            MLPClassifier(hidden=(10, 0))
+
+    def test_feature_count_mismatch_raises(self, binary_matrix_problem):
+        X_train, y_train, _, _ = binary_matrix_problem
+        model = MLPClassifier(epochs=1, random_state=0).fit(X_train, y_train)
+        with pytest.raises(DataValidationError):
+            model.predict_proba(np.zeros((2, 3)))
+
+    def test_deterministic_given_seed(self, binary_matrix_problem):
+        X_train, y_train, X_test, _ = binary_matrix_problem
+        a = MLPClassifier(epochs=2, random_state=3).fit(X_train, y_train).predict_proba(X_test)
+        b = MLPClassifier(epochs=2, random_state=3).fit(X_train, y_train).predict_proba(X_test)
+        assert np.array_equal(a, b)

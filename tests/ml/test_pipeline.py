@@ -1,0 +1,118 @@
+"""Tests for the tabular encoder (feature map) and pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.ml.linear import SGDClassifier
+from repro.ml.pipeline import Pipeline, TabularEncoder
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+
+class TestTabularEncoder:
+    def test_encodes_all_column_types(self, small_frame):
+        encoder = TabularEncoder(text_features=32)
+        matrix = encoder.fit_transform(small_frame)
+        # 2 numeric + 3 city categories + 32 hashed text dims.
+        assert matrix.shape == (6, 2 + 3 + 32)
+        assert np.all(np.isfinite(matrix))
+
+    def test_fit_on_train_apply_on_serve(self, small_frame):
+        encoder = TabularEncoder(text_features=8).fit(small_frame)
+        serving = small_frame.select_rows([0, 1])
+        out = encoder.transform(serving)
+        assert out.shape[0] == 2
+
+    def test_unseen_category_encodes_to_zero_block(self, small_frame):
+        encoder = TabularEncoder(text_features=8).fit(small_frame)
+        serving = small_frame.copy()
+        serving.set_values("city", np.arange(6), ["atlantis"] * 6)
+        out = encoder.transform(serving)
+        categorical_block = out[:, 2:5]
+        assert categorical_block.sum() == 0.0
+
+    def test_missing_numeric_maps_to_zero(self, small_frame):
+        encoder = TabularEncoder(text_features=8).fit(small_frame)
+        out = encoder.transform(small_frame)
+        # Row 3 has a missing age; standardized missing -> imputed mean -> 0.
+        assert out[3, 0] == 0.0
+
+    def test_schema_mismatch_raises(self, small_frame):
+        encoder = TabularEncoder(text_features=8).fit(small_frame)
+        with pytest.raises(DataValidationError, match="schema"):
+            encoder.transform(small_frame.drop_columns("city"))
+
+    def test_image_columns_flatten(self):
+        frame = DataFrame.from_dict(
+            {"img": np.random.default_rng(0).random((4, 5, 5))}, {"img": ColumnType.IMAGE}
+        )
+        out = TabularEncoder().fit_transform(frame)
+        assert out.shape == (4, 25)
+
+    def test_empty_schema_raises(self):
+        frame = DataFrame.from_dict({}, {})
+        with pytest.raises(DataValidationError):
+            TabularEncoder().fit_transform(frame)
+
+    def test_n_features_property(self, small_frame):
+        encoder = TabularEncoder(text_features=16).fit(small_frame)
+        assert encoder.n_features_ == 2 + 3 + 16
+
+    def test_clip_numeric_bounds_scaled_inputs(self, small_frame):
+        encoder = TabularEncoder(text_features=8, clip_numeric=3.0).fit(small_frame)
+        scaled = small_frame.copy()
+        scaled.set_values("income", np.arange(6), scaled["income"] * 1e6)
+        out = encoder.transform(scaled)
+        assert np.abs(out[:, :2]).max() <= 3.0
+
+
+class TestPipeline:
+    def make_labeled_frame(self):
+        rng = np.random.default_rng(0)
+        n = 300
+        x = rng.normal(size=n)
+        color = np.where(x + 0.5 * rng.normal(size=n) > 0, "red", "blue").astype(object)
+        frame = DataFrame.from_dict(
+            {"x": x, "color": color},
+            {"x": ColumnType.NUMERIC, "color": ColumnType.CATEGORICAL},
+        )
+        labels = np.where(x > 0, "pos", "neg").astype(object)
+        return frame, labels
+
+    def test_fit_predict_roundtrip(self):
+        frame, labels = self.make_labeled_frame()
+        pipeline = Pipeline(TabularEncoder(), SGDClassifier(epochs=10, random_state=0))
+        pipeline.fit(frame, labels)
+        accuracy = float(np.mean(pipeline.predict(frame) == labels))
+        assert accuracy > 0.85
+
+    def test_predict_proba_shape_and_simplex(self):
+        frame, labels = self.make_labeled_frame()
+        pipeline = Pipeline(TabularEncoder(), SGDClassifier(epochs=3, random_state=0))
+        pipeline.fit(frame, labels)
+        proba = pipeline.predict_proba(frame)
+        assert proba.shape == (300, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_classes_exposed(self):
+        frame, labels = self.make_labeled_frame()
+        pipeline = Pipeline(TabularEncoder(), SGDClassifier(epochs=1, random_state=0))
+        pipeline.fit(frame, labels)
+        assert list(pipeline.classes_) == ["neg", "pos"]
+
+    def test_fit_does_not_mutate_prototypes(self):
+        frame, labels = self.make_labeled_frame()
+        encoder = TabularEncoder()
+        model = SGDClassifier(epochs=1, random_state=0)
+        Pipeline(encoder, model).fit(frame, labels)
+        assert not hasattr(encoder, "schema_")
+        assert not hasattr(model, "coef_")
+
+    def test_unfitted_predict_raises(self):
+        frame, _ = self.make_labeled_frame()
+        pipeline = Pipeline(TabularEncoder(), SGDClassifier())
+        from repro.exceptions import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            pipeline.predict(frame)

@@ -1,0 +1,148 @@
+"""Tests for scaling, one-hot encoding, hashing and label encoding."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.ml.preprocessing import (
+    HashingVectorizer,
+    LabelEncoder,
+    OneHotEncoder,
+    StandardScaler,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(5.0, 3.0, size=(200, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_transform_uses_fit_statistics(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [10.0]]))
+        assert scaler.transform(np.array([[5.0]]))[0, 0] == 0.0
+        assert scaler.transform(np.array([[10.0]]))[0, 0] == 1.0
+
+    def test_nan_imputed_to_fit_mean(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [10.0]]))
+        assert scaler.transform(np.array([[np.nan]]))[0, 0] == 0.0
+
+    def test_all_nan_column_at_fit_is_neutral(self):
+        scaler = StandardScaler().fit(np.array([[np.nan], [np.nan]]))
+        out = scaler.transform(np.array([[3.0]]))
+        assert np.isfinite(out).all()
+
+    def test_constant_column_maps_to_zero(self):
+        scaler = StandardScaler().fit(np.array([[7.0], [7.0]]))
+        assert scaler.transform(np.array([[7.0]]))[0, 0] == 0.0
+
+    def test_clip_bounds_output(self):
+        scaler = StandardScaler(clip=2.0).fit(np.array([[0.0], [1.0]]))
+        out = scaler.transform(np.array([[1000.0]]))
+        assert out[0, 0] == 2.0
+
+    def test_1d_input_raises(self):
+        with pytest.raises(DataValidationError):
+            StandardScaler().fit(np.array([1.0, 2.0]))
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        values = np.array(["b", "a", "b"], dtype=object)
+        encoded = OneHotEncoder().fit_transform(values)
+        assert encoded.shape == (3, 2)
+        # Categories are stored sorted: a then b.
+        assert list(encoded[0]) == [0.0, 1.0]
+        assert list(encoded[1]) == [1.0, 0.0]
+
+    def test_unseen_category_is_zero_vector(self):
+        encoder = OneHotEncoder().fit(np.array(["a", "b"], dtype=object))
+        out = encoder.transform(np.array(["zzz"], dtype=object))
+        assert out.sum() == 0.0
+
+    def test_missing_value_is_zero_vector(self):
+        encoder = OneHotEncoder().fit(np.array(["a", "b"], dtype=object))
+        out = encoder.transform(np.array([None], dtype=object))
+        assert out.sum() == 0.0
+
+    def test_missing_values_ignored_at_fit(self):
+        encoder = OneHotEncoder().fit(np.array(["a", None, "b"], dtype=object))
+        assert encoder.categories_ == ["a", "b"]
+
+    def test_max_categories_keeps_most_frequent(self):
+        values = np.array(["a"] * 5 + ["b"] * 3 + ["c"], dtype=object)
+        encoder = OneHotEncoder(max_categories=2).fit(values)
+        assert encoder.categories_ == ["a", "b"]
+        assert encoder.transform(np.array(["c"], dtype=object)).sum() == 0.0
+
+    def test_deterministic_category_order(self):
+        values = np.array(["x", "y", "z"], dtype=object)
+        a = OneHotEncoder().fit(values).categories_
+        b = OneHotEncoder().fit(values[::-1].copy()).categories_
+        assert a == b
+
+
+class TestHashingVectorizer:
+    def test_deterministic_across_instances(self):
+        texts = np.array(["hello world", "foo bar baz"], dtype=object)
+        a = HashingVectorizer(n_features=64).transform(texts)
+        b = HashingVectorizer(n_features=64).transform(texts)
+        assert np.array_equal(a, b)
+
+    def test_same_text_same_vector(self):
+        texts = np.array(["repeat me", "repeat me"], dtype=object)
+        out = HashingVectorizer().transform(texts)
+        assert np.array_equal(out[0], out[1])
+
+    def test_different_text_different_vector(self):
+        texts = np.array(["alpha beta", "gamma delta"], dtype=object)
+        out = HashingVectorizer().transform(texts)
+        assert not np.array_equal(out[0], out[1])
+
+    def test_rows_are_l2_normalized(self):
+        out = HashingVectorizer().transform(np.array(["some words here"], dtype=object))
+        assert np.linalg.norm(out[0]) == pytest.approx(1.0)
+
+    def test_missing_text_is_zero_vector(self):
+        out = HashingVectorizer().transform(np.array([None], dtype=object))
+        assert out.sum() == 0.0
+
+    def test_empty_text_is_zero_vector(self):
+        out = HashingVectorizer().transform(np.array([""], dtype=object))
+        assert np.all(out == 0.0)
+
+    def test_tokenizer_lowercases_and_splits(self):
+        assert HashingVectorizer.tokenize("Hello, World! 123") == ["hello", "world", "123"]
+
+    def test_bigrams_included(self):
+        vectorizer = HashingVectorizer(n_features=1024, ngram_range=(1, 2))
+        grams = vectorizer._ngrams(["a", "b", "c"])
+        assert "a b" in grams and "b c" in grams and "a" in grams
+
+    def test_leetspeak_changes_vector(self):
+        # The adversarial attack works precisely because hashed n-grams of
+        # rewritten words differ.
+        clean = HashingVectorizer().transform(np.array(["you are a loser"], dtype=object))
+        leet = HashingVectorizer().transform(np.array(["y0u 4r3 4 1053r"], dtype=object))
+        assert not np.allclose(clean, leet)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(DataValidationError):
+            HashingVectorizer(n_features=0)
+        with pytest.raises(DataValidationError):
+            HashingVectorizer(ngram_range=(2, 1))
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        y = np.array(["no", "yes", "no"], dtype=object)
+        encoder = LabelEncoder().fit(y)
+        indices = encoder.transform(y)
+        assert list(indices) == [0, 1, 0]
+        assert list(encoder.inverse_transform(indices)) == list(y)
+
+    def test_unseen_label_raises(self):
+        encoder = LabelEncoder().fit(np.array(["a", "b"], dtype=object))
+        with pytest.raises(DataValidationError, match="unseen"):
+            encoder.transform(np.array(["c"], dtype=object))

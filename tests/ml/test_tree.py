@@ -1,0 +1,132 @@
+"""Tests for the CART decision trees."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor, _best_split
+
+
+class TestBestSplit:
+    def test_obvious_split(self):
+        x = np.array([1.0, 2.0, 10.0, 11.0])
+        targets = np.array([[0.0], [0.0], [1.0], [1.0]])
+        threshold, gain = _best_split(x, targets, min_samples_leaf=1)
+        assert 2.0 < threshold < 10.0
+        assert gain > 0
+
+    def test_constant_feature_returns_none(self):
+        x = np.ones(5)
+        targets = np.arange(5, dtype=float).reshape(-1, 1)
+        assert _best_split(x, targets, 1) is None
+
+    def test_constant_target_returns_none(self):
+        x = np.arange(5, dtype=float)
+        targets = np.ones((5, 1))
+        assert _best_split(x, targets, 1) is None
+
+    def test_min_samples_leaf_respected(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        targets = np.array([[0.0], [0.0], [0.0], [10.0]])
+        # With min_samples_leaf=2 the best cut (between 3 and 4) is illegal.
+        threshold, _ = _best_split(x, targets, min_samples_leaf=2)
+        assert threshold == pytest.approx(2.5)
+
+    def test_ulp_adjacent_values_still_partition(self):
+        # Regression test: midpoint of two floats one ULP apart rounds up to
+        # the larger value; the split must not send every row left.
+        a = 0.5
+        b = np.nextafter(a, 1.0)
+        x = np.array([a, a, b, b])
+        targets = np.array([[0.0], [0.0], [1.0], [1.0]])
+        threshold, _ = _best_split(x, targets, 1)
+        go_left = x <= threshold
+        assert 0 < go_left.sum() < len(x)
+
+
+class TestDecisionTreeRegressor:
+    def test_fits_piecewise_constant(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (X.ravel() > 0.5).astype(float) * 10.0
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        prediction = tree.predict(X)
+        assert np.allclose(prediction, y)
+
+    def test_respects_max_depth(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((200, 3))
+        y = rng.random(200)
+        stump = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        # A depth-1 tree yields at most two distinct predictions.
+        assert len(np.unique(stump.predict(X))) <= 2
+
+    def test_min_samples_leaf(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((50, 2))
+        y = rng.random(50)
+        tree = DecisionTreeRegressor(max_depth=20, min_samples_leaf=10).fit(X, y)
+        leaves = tree.apply(X)
+        _, counts = np.unique(leaves, return_counts=True)
+        assert counts.min() >= 10
+
+    def test_single_row(self):
+        tree = DecisionTreeRegressor().fit(np.array([[1.0]]), np.array([5.0]))
+        assert tree.predict(np.array([[42.0]]))[0] == 5.0
+
+    def test_prediction_is_leaf_mean(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((100, 2))
+        y = rng.random(100)
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        leaves = tree.apply(X)
+        predictions = tree.predict(X)
+        for leaf in np.unique(leaves):
+            rows = leaves == leaf
+            assert predictions[rows][0] == pytest.approx(y[rows].mean())
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict(np.zeros((1, 1)))
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((80, 5))
+        y = rng.random(80)
+        a = DecisionTreeRegressor(max_features=2, random_state=7).fit(X, y).predict(X)
+        b = DecisionTreeRegressor(max_features=2, random_state=7).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+
+class TestDecisionTreeClassifier:
+    def test_learns_simple_rule(self):
+        X = np.array([[0.0], [0.1], [0.9], [1.0]])
+        y = np.array(["lo", "lo", "hi", "hi"], dtype=object)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert list(tree.predict(X)) == ["lo", "lo", "hi", "hi"]
+
+    def test_predict_proba_rows_sum_to_one(self, rng):
+        X = rng.random((100, 3))
+        y = rng.integers(0, 3, size=100)
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.shape == (100, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_proba_are_leaf_class_frequencies(self):
+        X = np.array([[0.0], [0.0], [0.0], [1.0]])
+        y = np.array([0, 0, 1, 1])
+        stump = DecisionTreeClassifier(max_depth=1, min_samples_leaf=1).fit(X, y)
+        proba = stump.predict_proba(np.array([[0.0]]))
+        assert proba[0, 0] == pytest.approx(2 / 3)
+
+    def test_classes_sorted(self):
+        X = np.zeros((4, 1))
+        X[:2] = 1.0
+        tree = DecisionTreeClassifier().fit(X, np.array(["z", "z", "a", "a"], dtype=object))
+        assert list(tree.classes_) == ["a", "z"]
+
+    def test_overfits_training_data_at_depth(self, rng):
+        X = rng.random((60, 4))
+        y = rng.integers(0, 2, size=60)
+        tree = DecisionTreeClassifier(max_depth=30).fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.95

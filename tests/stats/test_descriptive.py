@@ -1,0 +1,102 @@
+"""Tests for the percentile / moment featurization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.stats.descriptive import (
+    column_percentiles,
+    matrix_moments,
+    matrix_percentiles,
+    percentile_grid,
+    summary_moments,
+)
+
+
+class TestPercentileGrid:
+    def test_default_grid(self):
+        grid = percentile_grid()
+        assert grid[0] == 0 and grid[-1] == 100
+        assert len(grid) == 21
+
+    def test_coarser_grid(self):
+        assert list(percentile_grid(25)) == [0, 25, 50, 75, 100]
+
+    @pytest.mark.parametrize("bad", [0, 3, 7, 101, -5])
+    def test_invalid_step_raises(self, bad):
+        with pytest.raises(DataValidationError):
+            percentile_grid(bad)
+
+
+class TestColumnPercentiles:
+    def test_min_median_max(self):
+        values = np.arange(101, dtype=float)
+        result = column_percentiles(values)
+        assert result[0] == 0.0
+        assert result[10] == 50.0
+        assert result[-1] == 100.0
+
+    def test_monotone_nondecreasing(self, rng):
+        result = column_percentiles(rng.normal(size=500))
+        assert np.all(np.diff(result) >= 0)
+
+    def test_nan_dropped(self):
+        values = np.array([1.0, np.nan, 3.0])
+        result = column_percentiles(values)
+        assert result[0] == 1.0 and result[-1] == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(DataValidationError):
+            column_percentiles(np.array([np.nan]))
+
+
+class TestMatrixPercentiles:
+    def test_shape_is_classes_times_grid(self, rng):
+        proba = rng.random((100, 3))
+        result = matrix_percentiles(proba)
+        assert result.shape == (3 * 21,)
+
+    def test_blocks_are_per_column(self):
+        matrix = np.column_stack([np.zeros(50), np.ones(50)])
+        result = matrix_percentiles(matrix)
+        assert np.all(result[:21] == 0.0)
+        assert np.all(result[21:] == 1.0)
+
+    def test_row_count_invariance(self, rng):
+        # Percentile features must be comparable across batch sizes.
+        column = rng.random(10_000)
+        small = matrix_percentiles(column[:1000].reshape(-1, 1))
+        large = matrix_percentiles(column.reshape(-1, 1))
+        assert np.allclose(small, large, atol=0.05)
+
+    def test_rejects_1d_and_empty(self):
+        with pytest.raises(DataValidationError):
+            matrix_percentiles(np.array([1.0, 2.0]).reshape(-1))
+        with pytest.raises(DataValidationError):
+            matrix_percentiles(np.empty((0, 2)))
+
+
+class TestMoments:
+    def test_summary_moments_values(self):
+        values = np.array([1.0, 2.0, 3.0])
+        mean, std, lo, hi = summary_moments(values)
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(np.std(values))
+        assert (lo, hi) == (1.0, 3.0)
+
+    def test_matrix_moments_shape(self, rng):
+        result = matrix_moments(rng.random((30, 4)))
+        assert result.shape == (16,)
+
+    def test_matrix_moments_layout(self):
+        matrix = np.column_stack([np.full(10, 2.0), np.full(10, 7.0)])
+        result = matrix_moments(matrix)
+        # Per column: mean, std, min, max.
+        assert list(result[:4]) == [2.0, 0.0, 2.0, 2.0]
+        assert list(result[4:]) == [7.0, 0.0, 7.0, 7.0]
+
+    def test_empty_raises(self):
+        with pytest.raises(DataValidationError):
+            summary_moments(np.array([]))
+        with pytest.raises(DataValidationError):
+            matrix_moments(np.empty((0, 3)))

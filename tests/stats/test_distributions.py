@@ -1,0 +1,112 @@
+"""Special functions cross-checked against scipy."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.special
+import scipy.stats
+
+from repro.exceptions import DataValidationError
+from repro.stats.distributions import (
+    chi2_sf,
+    empirical_cdf,
+    kolmogorov_sf,
+    log_gamma,
+    normal_cdf,
+    regularized_gamma_p,
+)
+
+
+class TestLogGamma:
+    @pytest.mark.parametrize("x", [0.1, 0.5, 1.0, 1.5, 2.0, 5.0, 10.5, 100.0, 500.0])
+    def test_matches_scipy(self, x):
+        assert log_gamma(x) == pytest.approx(scipy.special.gammaln(x), rel=1e-10)
+
+    def test_factorial_identity(self):
+        # Gamma(n) = (n-1)!
+        assert math.exp(log_gamma(6)) == pytest.approx(120.0, rel=1e-10)
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(DataValidationError):
+            log_gamma(0.0)
+        with pytest.raises(DataValidationError):
+            log_gamma(-1.5)
+
+
+class TestRegularizedGammaP:
+    @pytest.mark.parametrize(
+        "s,x",
+        [(0.5, 0.1), (0.5, 2.0), (1.0, 1.0), (2.5, 1.0), (2.5, 10.0), (10.0, 3.0), (10.0, 30.0)],
+    )
+    def test_matches_scipy(self, s, x):
+        assert regularized_gamma_p(s, x) == pytest.approx(
+            scipy.special.gammainc(s, x), rel=1e-9, abs=1e-12
+        )
+
+    def test_boundaries(self):
+        assert regularized_gamma_p(3.0, 0.0) == 0.0
+        assert regularized_gamma_p(1.0, 1e6) == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DataValidationError):
+            regularized_gamma_p(-1.0, 1.0)
+        with pytest.raises(DataValidationError):
+            regularized_gamma_p(1.0, -1.0)
+
+
+class TestChi2Sf:
+    @pytest.mark.parametrize(
+        "stat,df", [(0.5, 1), (3.84, 1), (5.99, 2), (10.0, 5), (30.0, 20), (100.0, 10)]
+    )
+    def test_matches_scipy(self, stat, df):
+        assert chi2_sf(stat, df) == pytest.approx(
+            scipy.stats.chi2.sf(stat, df), rel=1e-8, abs=1e-12
+        )
+
+    def test_zero_statistic(self):
+        assert chi2_sf(0.0, 3) == 1.0
+
+    def test_critical_value_convention(self):
+        # 3.841 is the classic 5% critical value for one degree of freedom.
+        assert chi2_sf(3.841, 1) == pytest.approx(0.05, abs=1e-3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DataValidationError):
+            chi2_sf(1.0, 0)
+        with pytest.raises(DataValidationError):
+            chi2_sf(-1.0, 2)
+
+
+class TestKolmogorovSf:
+    @pytest.mark.parametrize("x", [0.3, 0.5, 0.8, 1.0, 1.36, 2.0, 3.0])
+    def test_matches_scipy(self, x):
+        assert kolmogorov_sf(x) == pytest.approx(
+            scipy.special.kolmogorov(x), rel=1e-8, abs=1e-12
+        )
+
+    def test_limits(self):
+        assert kolmogorov_sf(0.0) == 1.0
+        assert kolmogorov_sf(-1.0) == 1.0
+        assert kolmogorov_sf(10.0) == 0.0
+
+    def test_classic_critical_value(self):
+        # 1.358 is the 5% critical value of the Kolmogorov distribution.
+        assert kolmogorov_sf(1.358) == pytest.approx(0.05, abs=2e-3)
+
+
+class TestNormalCdf:
+    @pytest.mark.parametrize("x", [-3.0, -1.0, 0.0, 0.5, 1.96, 4.0])
+    def test_matches_scipy(self, x):
+        assert normal_cdf(x) == pytest.approx(scipy.stats.norm.cdf(x), abs=1e-12)
+
+
+class TestEmpiricalCdf:
+    def test_step_function_values(self):
+        sample = np.array([1.0, 2.0, 3.0, 4.0])
+        points = np.array([0.5, 1.0, 2.5, 4.0, 9.0])
+        assert list(empirical_cdf(sample, points)) == [0.0, 0.25, 0.5, 1.0, 1.0]
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(DataValidationError):
+            empirical_cdf(np.array([]), np.array([1.0]))

@@ -1,0 +1,143 @@
+"""Hypothesis tests cross-checked against scipy."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.exceptions import DataValidationError
+from repro.stats.tests import (
+    TestResult as StatTestResult,
+)
+from repro.stats.tests import (
+    bonferroni,
+    chi2_from_counts,
+    chi2_two_sample,
+    ks_two_sample,
+)
+
+
+class TestKsTwoSample:
+    def test_statistic_matches_scipy(self, rng):
+        a = rng.normal(size=200)
+        b = rng.normal(0.5, 1.2, size=150)
+        ours = ks_two_sample(a, b)
+        theirs = scipy.stats.ks_2samp(a, b, method="asymp")
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-12)
+
+    def test_p_value_close_to_scipy_asymptotic(self, rng):
+        # Moderate effect, p-value in a well-conditioned range.
+        a = rng.normal(size=300)
+        b = rng.normal(0.12, 1.0, size=300)
+        ours = ks_two_sample(a, b)
+        theirs = scipy.stats.ks_2samp(a, b, method="asymp")
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=0.15, abs=1e-4)
+
+    def test_tail_p_value_same_order_as_scipy(self, rng):
+        # scipy adds a continuity correction, so deep-tail p-values agree
+        # only in order of magnitude.
+        a = rng.normal(size=300)
+        b = rng.normal(0.4, 1.0, size=300)
+        ours = ks_two_sample(a, b)
+        theirs = scipy.stats.ks_2samp(a, b, method="asymp")
+        assert np.log10(ours.p_value) == pytest.approx(np.log10(theirs.pvalue), abs=0.5)
+
+    def test_identical_samples_do_not_reject(self, rng):
+        a = rng.normal(size=100)
+        result = ks_two_sample(a, a)
+        assert result.statistic == 0.0
+        assert result.p_value == 1.0
+
+    def test_disjoint_samples_reject_strongly(self):
+        result = ks_two_sample(np.zeros(50), np.ones(50))
+        assert result.statistic == 1.0
+        assert result.p_value < 1e-6
+
+    def test_nan_values_are_dropped(self):
+        a = np.array([1.0, 2.0, np.nan, 3.0])
+        b = np.array([1.0, 2.0, 3.0])
+        assert ks_two_sample(a, b).statistic == pytest.approx(0.0)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(DataValidationError):
+            ks_two_sample(np.array([]), np.array([1.0]))
+        with pytest.raises(DataValidationError):
+            ks_two_sample(np.array([np.nan]), np.array([1.0]))
+
+
+class TestChi2TwoSample:
+    def test_matches_scipy_contingency(self):
+        a = np.array(["x"] * 60 + ["y"] * 30 + ["z"] * 10, dtype=object)
+        b = np.array(["x"] * 30 + ["y"] * 55 + ["z"] * 15, dtype=object)
+        ours = chi2_two_sample(a, b)
+        observed = np.array([[60, 30, 10], [30, 55, 15]])
+        theirs = scipy.stats.chi2_contingency(observed, correction=False)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-10)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-8)
+
+    def test_identical_distributions_do_not_reject(self):
+        a = np.array(["x"] * 50 + ["y"] * 50, dtype=object)
+        result = chi2_two_sample(a, a.copy())
+        assert result.p_value > 0.99
+
+    def test_category_present_in_only_one_sample(self):
+        a = np.array(["x"] * 50, dtype=object)
+        b = np.array(["x"] * 25 + ["novel"] * 25, dtype=object)
+        result = chi2_two_sample(a, b)
+        assert result.p_value < 0.01
+
+    def test_missing_values_dropped(self):
+        a = np.array(["x", None, "y", "x"], dtype=object)
+        b = np.array(["x", "y", None, "x"], dtype=object)
+        result = chi2_two_sample(a, b)
+        assert result.p_value > 0.5
+
+    def test_all_missing_raises(self):
+        a = np.array([None, None], dtype=object)
+        with pytest.raises(DataValidationError):
+            chi2_two_sample(a, a.copy())
+
+    def test_single_shared_category_is_trivially_equal(self):
+        a = np.array(["only"] * 10, dtype=object)
+        result = chi2_two_sample(a, a.copy())
+        assert result.statistic == 0.0
+        assert result.p_value == 1.0
+
+
+class TestChi2FromCounts:
+    def test_rejects_misaligned_counts(self):
+        with pytest.raises(DataValidationError):
+            chi2_from_counts(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(DataValidationError):
+            chi2_from_counts(np.array([0.0, 0.0]), np.array([1.0, 2.0]))
+
+    def test_pools_zero_categories(self):
+        # A category absent from both samples must not contribute df.
+        with_zero = chi2_from_counts(np.array([10.0, 20.0, 0.0]), np.array([20.0, 10.0, 0.0]))
+        without = chi2_from_counts(np.array([10.0, 20.0]), np.array([20.0, 10.0]))
+        assert with_zero.p_value == pytest.approx(without.p_value)
+
+
+class TestBonferroni:
+    def test_rejects_when_any_survives_correction(self):
+        assert bonferroni([0.001, 0.5, 0.9], alpha=0.05)
+
+    def test_does_not_reject_marginal_p_values(self):
+        # 0.03 < 0.05 uncorrected but not after dividing by 3.
+        assert not bonferroni([0.03, 0.5, 0.9], alpha=0.05)
+
+    def test_single_test_is_plain_alpha(self):
+        assert bonferroni([0.04], alpha=0.05)
+        assert not bonferroni([0.06], alpha=0.05)
+
+    def test_empty_raises(self):
+        with pytest.raises(DataValidationError):
+            bonferroni([])
+
+
+class TestTestResult:
+    def test_rejects_at(self):
+        result = StatTestResult(statistic=1.0, p_value=0.01)
+        assert result.rejects_at(0.05)
+        assert not result.rejects_at(0.001)

@@ -1,0 +1,191 @@
+"""Unit tests for the typed dataframe."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError, SchemaError
+from repro.tabular.frame import DataFrame, concat, is_missing
+from repro.tabular.schema import ColumnType
+
+
+def make_frame() -> DataFrame:
+    return DataFrame.from_dict(
+        {
+            "x": [1.0, 2.0, np.nan, 4.0],
+            "c": ["a", None, "b", "a"],
+        },
+        {"x": ColumnType.NUMERIC, "c": ColumnType.CATEGORICAL},
+    )
+
+
+class TestConstruction:
+    def test_from_dict_sets_length(self):
+        assert len(make_frame()) == 4
+
+    def test_numeric_stored_as_float64(self):
+        assert make_frame()["x"].dtype == np.float64
+
+    def test_categorical_stored_as_object_strings(self):
+        values = make_frame()["c"]
+        assert values.dtype == object
+        assert values[0] == "a"
+        assert values[1] is None
+
+    def test_nan_in_categorical_becomes_none(self):
+        frame = DataFrame.from_dict(
+            {"c": ["a", float("nan"), "b"]}, {"c": ColumnType.CATEGORICAL}
+        )
+        assert frame["c"][1] is None
+
+    def test_non_string_categorical_coerced_to_string(self):
+        frame = DataFrame.from_dict({"c": [1, 2.5, "x"]}, {"c": ColumnType.CATEGORICAL})
+        assert list(frame["c"]) == ["1", "2.5", "x"]
+
+    def test_mismatched_types_dict_raises(self):
+        with pytest.raises(SchemaError):
+            DataFrame.from_dict({"x": [1.0]}, {"y": ColumnType.NUMERIC})
+
+    def test_ragged_columns_raise(self):
+        with pytest.raises(DataValidationError, match="ragged"):
+            DataFrame.from_dict(
+                {"x": [1.0, 2.0], "y": [1.0]},
+                {"x": ColumnType.NUMERIC, "y": ColumnType.NUMERIC},
+            )
+
+    def test_image_column_requires_3d(self):
+        with pytest.raises(DataValidationError):
+            DataFrame.from_dict({"img": np.zeros((3, 4))}, {"img": ColumnType.IMAGE})
+        frame = DataFrame.from_dict({"img": np.zeros((3, 4, 4))}, {"img": ColumnType.IMAGE})
+        assert frame["img"].shape == (3, 4, 4)
+
+    def test_numeric_column_requires_1d(self):
+        with pytest.raises(DataValidationError):
+            DataFrame.from_dict({"x": np.zeros((3, 2))}, {"x": ColumnType.NUMERIC})
+
+
+class TestIntrospection:
+    def test_column_type_lists(self):
+        frame = make_frame()
+        assert frame.numeric_columns == ["x"]
+        assert frame.categorical_columns == ["c"]
+        assert frame.text_columns == []
+        assert frame.image_columns == []
+
+    def test_contains(self):
+        assert "x" in make_frame()
+        assert "z" not in make_frame()
+
+    def test_getitem_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            make_frame()["z"]
+
+    def test_missing_mask_numeric(self):
+        assert list(make_frame().missing_mask("x")) == [False, False, True, False]
+
+    def test_missing_mask_categorical(self):
+        assert list(make_frame().missing_mask("c")) == [False, True, False, False]
+
+    def test_missing_fraction(self):
+        assert make_frame().missing_fraction("x") == pytest.approx(0.25)
+
+    def test_equality(self):
+        assert make_frame() == make_frame()
+        other = make_frame().with_column("x", ColumnType.NUMERIC, [9.0, 2.0, np.nan, 4.0])
+        assert make_frame() != other
+
+    def test_equality_respects_nan(self):
+        # Frames with NaN in the same place are equal.
+        assert make_frame() == make_frame()
+
+
+class TestTransformation:
+    def test_copy_is_deep(self):
+        original = make_frame()
+        copy = original.copy()
+        copy.set_values("x", np.array([0]), [99.0])
+        assert original["x"][0] == 1.0
+        assert copy["x"][0] == 99.0
+
+    def test_select_rows_by_index(self):
+        selected = make_frame().select_rows([0, 3])
+        assert len(selected) == 2
+        assert list(selected["c"]) == ["a", "a"]
+
+    def test_select_rows_by_boolean_mask(self):
+        mask = np.array([True, False, True, False])
+        assert len(make_frame().select_rows(mask)) == 2
+
+    def test_select_rows_bad_mask_length_raises(self):
+        with pytest.raises(DataValidationError):
+            make_frame().select_rows(np.array([True, False]))
+
+    def test_head(self):
+        assert len(make_frame().head(2)) == 2
+        assert len(make_frame().head(100)) == 4
+
+    def test_with_column_adds(self):
+        frame = make_frame().with_column("y", ColumnType.NUMERIC, [1.0, 2.0, 3.0, 4.0])
+        assert frame.schema.names == ["x", "c", "y"]
+
+    def test_with_column_replaces_in_place(self):
+        frame = make_frame().with_column("x", ColumnType.NUMERIC, [0.0, 0.0, 0.0, 0.0])
+        assert frame.schema.names == ["x", "c"]
+        assert frame["x"].sum() == 0.0
+
+    def test_with_column_wrong_length_raises(self):
+        with pytest.raises(DataValidationError):
+            make_frame().with_column("y", ColumnType.NUMERIC, [1.0])
+
+    def test_drop_columns(self):
+        frame = make_frame().drop_columns("c")
+        assert frame.schema.names == ["x"]
+
+    def test_set_values_categorical_none(self):
+        frame = make_frame().copy()
+        frame.set_values("c", np.array([0, 2]), [None, None])
+        assert frame["c"][0] is None and frame["c"][2] is None
+
+    def test_set_values_categorical_scalar_broadcast(self):
+        frame = make_frame().copy()
+        frame.set_values("c", np.array([0, 2]), None)
+        assert frame["c"][0] is None and frame["c"][2] is None
+
+    def test_column_values_drop_missing(self):
+        values = make_frame().column_values("x", drop_missing=True)
+        assert list(values) == [1.0, 2.0, 4.0]
+
+    def test_to_dict_roundtrip_names(self):
+        dumped = make_frame().to_dict()
+        assert set(dumped) == {"x", "c"}
+        assert len(dumped["x"]) == 4
+
+
+class TestConcat:
+    def test_stacks_rows(self):
+        combined = concat([make_frame(), make_frame()])
+        assert len(combined) == 8
+        assert combined.schema == make_frame().schema
+
+    def test_empty_list_raises(self):
+        with pytest.raises(DataValidationError):
+            concat([])
+
+    def test_schema_mismatch_raises(self):
+        other = make_frame().drop_columns("c")
+        with pytest.raises(SchemaError):
+            concat([make_frame(), other])
+
+
+class TestIsMissing:
+    def test_object_array(self):
+        arr = np.array(["a", None, "b"], dtype=object)
+        assert list(is_missing(arr)) == [False, True, False]
+
+    def test_float_array(self):
+        arr = np.array([1.0, np.nan])
+        assert list(is_missing(arr)) == [False, True]
+
+    def test_image_array_any_nan_pixel(self):
+        arr = np.zeros((2, 2, 2))
+        arr[1, 0, 0] = np.nan
+        assert list(is_missing(arr)) == [False, True]

@@ -1,0 +1,122 @@
+"""Unit tests for dataset-level split / balance operations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.tabular.frame import DataFrame
+from repro.tabular.ops import balance_classes, split_frame, subsample, train_test_split
+from repro.tabular.schema import ColumnType
+
+
+def make_data(n: int = 100) -> tuple[DataFrame, np.ndarray]:
+    rng = np.random.default_rng(1)
+    frame = DataFrame.from_dict(
+        {"x": rng.normal(size=n), "row_id": np.arange(n, dtype=float)},
+        {"x": ColumnType.NUMERIC, "row_id": ColumnType.NUMERIC},
+    )
+    labels = np.where(rng.random(n) < 0.3, "pos", "neg").astype(object)
+    return frame, labels
+
+
+class TestSplitFrame:
+    def test_partitions_are_disjoint(self, rng):
+        frame, labels = make_data()
+        (a, _), (b, _) = split_frame(frame, labels, (0.6, 0.4), rng)
+        ids_a = set(a["row_id"])
+        ids_b = set(b["row_id"])
+        assert not ids_a & ids_b
+        assert len(ids_a | ids_b) == 100
+
+    def test_respects_fractions(self, rng):
+        frame, labels = make_data()
+        parts = split_frame(frame, labels, (0.5, 0.3, 0.2), rng)
+        assert [len(p[0]) for p in parts] == [50, 30, 20]
+
+    def test_labels_stay_aligned(self, rng):
+        frame, labels = make_data()
+        (a, y_a), _ = split_frame(frame, labels, (0.7, 0.3), rng)
+        # row_id indexes the original arrays, so alignment is checkable.
+        for row_id, label in zip(a["row_id"], y_a):
+            assert labels[int(row_id)] == label
+
+    def test_fractions_leq_one_allows_subsampling(self, rng):
+        frame, labels = make_data()
+        parts = split_frame(frame, labels, (0.2, 0.2), rng)
+        assert sum(len(p[0]) for p in parts) == 40
+
+    def test_oversized_fractions_raise(self, rng):
+        frame, labels = make_data()
+        with pytest.raises(DataValidationError):
+            split_frame(frame, labels, (0.8, 0.4), rng)
+
+    def test_nonpositive_fraction_raises(self, rng):
+        frame, labels = make_data()
+        with pytest.raises(DataValidationError):
+            split_frame(frame, labels, (0.5, -0.1), rng)
+
+    def test_misaligned_labels_raise(self, rng):
+        frame, labels = make_data()
+        with pytest.raises(DataValidationError):
+            split_frame(frame, labels[:-1], (0.5, 0.5), rng)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        frame, labels = make_data()
+        train, y_train, test, y_test = train_test_split(frame, labels, 0.25, rng)
+        assert len(train) == 75 and len(test) == 25
+        assert len(y_train) == 75 and len(y_test) == 25
+
+    def test_invalid_fraction_raises(self, rng):
+        frame, labels = make_data()
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(DataValidationError):
+                train_test_split(frame, labels, bad, rng)
+
+
+class TestBalanceClasses:
+    def test_equal_class_counts(self, rng):
+        frame, labels = make_data(200)
+        balanced, y = balance_classes(frame, labels, rng)
+        _, counts = np.unique(y, return_counts=True)
+        assert counts[0] == counts[1]
+        assert len(balanced) == len(y)
+
+    def test_downsamples_to_minority(self, rng):
+        frame, labels = make_data(200)
+        minority = min(np.unique(labels, return_counts=True)[1])
+        _, y = balance_classes(frame, labels, rng)
+        assert len(y) == 2 * minority
+
+    def test_single_class_raises(self, rng):
+        frame, _ = make_data(10)
+        labels = np.array(["same"] * 10, dtype=object)
+        with pytest.raises(DataValidationError):
+            balance_classes(frame, labels, rng)
+
+    def test_rows_are_shuffled(self, rng):
+        frame, labels = make_data(200)
+        balanced, y = balance_classes(frame, labels, rng)
+        # Balanced output should not be grouped by class.
+        first_half_classes = set(y[: len(y) // 2])
+        assert len(first_half_classes) == 2
+
+
+class TestSubsample:
+    def test_size_and_alignment(self, rng):
+        frame, labels = make_data()
+        sampled, y = subsample(frame, labels, 30, rng)
+        assert len(sampled) == 30 and len(y) == 30
+        for row_id, label in zip(sampled["row_id"], y):
+            assert labels[int(row_id)] == label
+
+    def test_without_replacement(self, rng):
+        frame, labels = make_data()
+        sampled, _ = subsample(frame, labels, 100, rng)
+        assert len(set(sampled["row_id"])) == 100
+
+    def test_oversample_raises(self, rng):
+        frame, labels = make_data(10)
+        with pytest.raises(DataValidationError):
+            subsample(frame, labels, 11, rng)

@@ -1,0 +1,92 @@
+"""Unit tests for schemas and column specs."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.tabular.schema import ColumnSpec, ColumnType, Schema
+
+
+class TestColumnSpec:
+    def test_holds_name_and_type(self):
+        spec = ColumnSpec("age", ColumnType.NUMERIC)
+        assert spec.name == "age"
+        assert spec.ctype is ColumnType.NUMERIC
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("", ColumnType.NUMERIC)
+
+    def test_is_hashable_and_frozen(self):
+        spec = ColumnSpec("age", ColumnType.NUMERIC)
+        assert hash(spec) == hash(ColumnSpec("age", ColumnType.NUMERIC))
+        with pytest.raises(AttributeError):
+            spec.name = "other"
+
+
+class TestSchema:
+    def make(self) -> Schema:
+        return Schema.of(
+            age=ColumnType.NUMERIC,
+            city=ColumnType.CATEGORICAL,
+            note=ColumnType.TEXT,
+        )
+
+    def test_preserves_declaration_order(self):
+        assert self.make().names == ["age", "city", "note"]
+
+    def test_len_and_iteration(self):
+        schema = self.make()
+        assert len(schema) == 3
+        assert [spec.name for spec in schema] == schema.names
+
+    def test_contains_and_getitem(self):
+        schema = self.make()
+        assert "age" in schema
+        assert "salary" not in schema
+        assert schema["city"].ctype is ColumnType.CATEGORICAL
+
+    def test_getitem_unknown_raises_with_candidates(self):
+        with pytest.raises(SchemaError, match="unknown column"):
+            self.make()["salary"]
+
+    def test_rejects_duplicate_names(self):
+        specs = [ColumnSpec("a", ColumnType.NUMERIC), ColumnSpec("a", ColumnType.TEXT)]
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(specs)
+
+    def test_names_of_type(self):
+        schema = self.make()
+        assert schema.names_of_type(ColumnType.NUMERIC) == ["age"]
+        assert schema.names_of_type(ColumnType.IMAGE) == []
+
+    def test_type_of(self):
+        assert self.make().type_of("note") is ColumnType.TEXT
+
+    def test_require_passes_on_match(self):
+        self.make().require("age", ColumnType.NUMERIC)
+
+    def test_require_raises_on_mismatch(self):
+        with pytest.raises(SchemaError, match="expected"):
+            self.make().require("age", ColumnType.TEXT)
+
+    def test_equality_and_hash(self):
+        assert self.make() == self.make()
+        assert hash(self.make()) == hash(self.make())
+        other = Schema.of(age=ColumnType.NUMERIC)
+        assert self.make() != other
+
+    def test_equality_is_order_sensitive(self):
+        a = Schema.of(x=ColumnType.NUMERIC, y=ColumnType.NUMERIC)
+        b = Schema.of(y=ColumnType.NUMERIC, x=ColumnType.NUMERIC)
+        assert a != b
+
+    def test_without_removes_columns(self):
+        reduced = self.make().without("city")
+        assert reduced.names == ["age", "note"]
+
+    def test_without_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            self.make().without("salary")
+
+    def test_repr_mentions_types(self):
+        assert "age:numeric" in repr(self.make())

@@ -1,0 +1,80 @@
+"""Public API surface checks: exports exist, __all__ is honest, and the
+README's quickstart snippet keeps working."""
+
+import importlib
+
+import numpy as np
+import pytest
+
+import repro
+
+
+PACKAGES = [
+    "repro",
+    "repro.automl",
+    "repro.baselines",
+    "repro.core",
+    "repro.datasets",
+    "repro.errors",
+    "repro.evaluation",
+    "repro.ml",
+    "repro.stats",
+    "repro.tabular",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.__all__ lists missing {name!r}"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_is_sorted(self, package):
+        module = importlib.import_module(package)
+        exported = [n for n in getattr(module, "__all__", []) if n != "__version__"]
+        assert exported == sorted(exported), f"{package}.__all__ is not sorted"
+
+    def test_version_present(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_exception_hierarchy_rooted(self):
+        for name in ("SchemaError", "NotFittedError", "DataValidationError",
+                     "CorruptionError", "ServiceError"):
+            assert issubclass(getattr(repro, name), repro.ReproError)
+
+    def test_top_level_convenience_classes(self):
+        assert repro.BlackBoxModel is importlib.import_module("repro.core").BlackBoxModel
+        assert repro.PerformancePredictor is importlib.import_module(
+            "repro.core"
+        ).PerformancePredictor
+
+    def test_side_modules_importable(self):
+        for name in ("repro.persistence", "repro.monitoring", "repro.cli"):
+            importlib.import_module(name)
+
+
+class TestReadmeQuickstart:
+    def test_snippet_runs(self):
+        """The README quickstart, condensed, must execute as written."""
+        from repro.core import BlackBoxModel, PerformancePredictor, check_serving_batch
+        from repro.datasets import load_dataset
+        from repro.errors import GaussianOutliers, MissingValues, Scaling, SwappedValues
+        from repro.ml import Pipeline, SGDClassifier, TabularEncoder
+        from repro.tabular import balance_classes, split_frame, train_test_split
+
+        rng = np.random.default_rng(0)
+        ds = load_dataset("income", n_rows=800)
+        frame, labels = balance_classes(ds.frame, ds.labels, rng)
+        (source, y_src), (serving, _) = split_frame(frame, labels, (0.6, 0.4), rng)
+        train, y_train, test, y_test = train_test_split(source, y_src, 0.35, rng)
+
+        model = Pipeline(TabularEncoder(), SGDClassifier(epochs=3)).fit(train, y_train)
+        blackbox = BlackBoxModel.wrap(model)
+        errors = [MissingValues(), GaussianOutliers(), SwappedValues(), Scaling()]
+        predictor = PerformancePredictor(blackbox, errors, n_samples=12).fit(test, y_test)
+        report = check_serving_batch(predictor, serving, threshold=0.05)
+        assert 0.0 <= report.estimated_score <= 1.0
+        assert isinstance(report.describe(), str)

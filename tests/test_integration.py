@@ -1,0 +1,166 @@
+"""End-to-end integration tests across the whole stack.
+
+These walk the full paper workflow — train a black box, specify errors,
+fit the predictor/validator, corrupt serving data, raise alarms — and pin
+the qualitative results the reproduction must deliver.
+"""
+
+import numpy as np
+import pytest
+
+from repro.automl.cloud import CloudModelService
+from repro.automl.search import AutoMLSearch
+from repro.baselines.bbse import BBSE, BBSEh
+from repro.baselines.rel import RelationalShiftDetector
+from repro.core.alarms import check_serving_batch
+from repro.core.blackbox import BlackBoxModel
+from repro.core.predictor import PerformancePredictor
+from repro.core.validator import PerformanceValidator
+from repro.errors.mixture import ErrorMixture
+from repro.errors.tabular_errors import (
+    GaussianOutliers,
+    MissingValues,
+    Scaling,
+    SwappedValues,
+)
+from repro.errors.text_errors import LeetspeakAdversarial
+from repro.evaluation.harness import prepare_splits, train_black_box
+
+
+class TestTabularEndToEnd:
+    def test_full_workflow_with_alarm(self, income_blackbox, income_splits, rng):
+        generators = [MissingValues(), GaussianOutliers(), SwappedValues(), Scaling()]
+        predictor = PerformancePredictor(
+            income_blackbox, generators, n_samples=80, random_state=0
+        ).fit(income_splits.test, income_splits.y_test)
+
+        clean_report = check_serving_batch(predictor, income_splits.serving, 0.05)
+        assert clean_report.alarm is False
+
+        broken = Scaling().corrupt(
+            income_splits.serving, rng,
+            columns=income_splits.serving.numeric_columns, fraction=0.9, factor=1000.0,
+        )
+        broken_report = check_serving_batch(predictor, broken, 0.05)
+        assert broken_report.alarm is True
+        truth = income_blackbox.score(broken, income_splits.y_serving)
+        assert abs(broken_report.estimated_score - truth) < 0.15
+
+    def test_predictor_tracks_gradual_degradation(
+        self, income_blackbox, income_splits, rng
+    ):
+        generators = [GaussianOutliers()]
+        predictor = PerformancePredictor(
+            income_blackbox, generators, n_samples=60, random_state=0
+        ).fit(income_splits.test, income_splits.y_test)
+        estimates, truths = [], []
+        for fraction in (0.0, 0.3, 0.6, 0.9):
+            corrupted = GaussianOutliers().corrupt(
+                income_splits.serving, rng,
+                columns=income_splits.serving.numeric_columns,
+                fraction=fraction, scale=4.0,
+            )
+            estimates.append(predictor.predict(corrupted))
+            truths.append(income_blackbox.score(corrupted, income_splits.y_serving))
+        # Both series must degrade together.
+        assert truths[0] > truths[-1]
+        assert estimates[0] > estimates[-1]
+        assert np.mean(np.abs(np.array(estimates) - np.array(truths))) < 0.08
+
+
+class TestValidatorBeatsBaselinesOnModelIrrelevantShift:
+    def test_ppm_ignores_shift_the_model_ignores(self, income_splits, rng):
+        """A shift in an ignored column must not trip PPM, but trips REL.
+
+        This is the paper's core argument for model-aware validation.
+        """
+        # Train a black box on a single informative column by blanking the
+        # numeric columns' signal: use the full pipeline but corrupt a
+        # column REL watches and the model barely uses.
+        blackbox = train_black_box("xgb", income_splits, seed=0)
+        generators = [MissingValues(), GaussianOutliers(), SwappedValues(), Scaling()]
+        validator = PerformanceValidator(
+            blackbox, generators, threshold=0.05, n_samples=100, random_state=0
+        ).fit(income_splits.test, income_splits.y_test)
+        rel = RelationalShiftDetector().fit(income_splits.test)
+
+        # Smear one low-importance numeric column slightly: a clear
+        # distributional shift with negligible accuracy impact.
+        serving = income_splits.serving.copy()
+        column = "capital_gain"
+        serving.set_values(
+            column, np.arange(len(serving)), serving[column] * 1.02 + 0.01
+        )
+        true_score = blackbox.score(serving, income_splits.y_serving)
+        test_score = blackbox.score(income_splits.test, income_splits.y_test)
+        assert true_score >= 0.95 * test_score  # accuracy unharmed
+        assert validator.validate(serving) is True
+        assert rel.shift_detected(serving) is True  # REL false alarm
+
+
+class TestTextEndToEnd:
+    def test_adversarial_attack_detected(self):
+        splits = prepare_splits("tweets", n_rows=1200, seed=0)
+        blackbox = train_black_box("lr", splits, seed=0)
+        predictor = PerformancePredictor(
+            blackbox, [LeetspeakAdversarial()], n_samples=40, random_state=0
+        ).fit(splits.test, splits.y_test)
+        rng = np.random.default_rng(0)
+        attacked = LeetspeakAdversarial().corrupt(
+            splits.serving, rng, columns=["text"], fraction=0.9
+        )
+        estimate = predictor.predict(attacked)
+        truth = blackbox.score(attacked, splits.y_serving)
+        assert truth < blackbox.score(splits.test, splits.y_test)  # attack works
+        assert abs(estimate - truth) < 0.1  # and is quantified
+
+
+class TestAutoMLEndToEnd:
+    def test_validator_tailors_to_automl_model(self, income_splits):
+        search = AutoMLSearch(preset="auto-sklearn", n_candidates=3, random_state=0)
+        search.fit(income_splits.train, income_splits.y_train)
+        blackbox = BlackBoxModel.wrap(search)
+        generators = [MissingValues(), Scaling()]
+        validator = PerformanceValidator(
+            blackbox, generators, threshold=0.05, n_samples=60, random_state=0
+        ).fit(income_splits.test, income_splits.y_test)
+        assert validator.validate(income_splits.serving) is True
+
+    def test_cloud_model_performance_prediction(self, income_splits):
+        service = CloudModelService(random_state=0)
+        model_id = service.train(income_splits.train, income_splits.y_train)
+        blackbox = service.as_blackbox(model_id)
+        generators = [MissingValues(), GaussianOutliers(), Scaling()]
+        predictor = PerformancePredictor(
+            blackbox, generators, n_samples=50, mode="mixture", random_state=0
+        ).fit(income_splits.test, income_splits.y_test)
+        rng = np.random.default_rng(1)
+        mixture = ErrorMixture(generators, fire_prob=0.6)
+        absolute_errors = []
+        for _ in range(5):
+            corrupted, _ = mixture.corrupt_random(income_splits.serving, rng)
+            estimate = predictor.predict(corrupted)
+            truth = blackbox.score(corrupted, income_splits.y_serving)
+            absolute_errors.append(abs(estimate - truth))
+        assert float(np.median(absolute_errors)) < 0.08
+
+
+class TestBaselineComparison:
+    def test_all_four_approaches_agree_on_catastrophe(
+        self, income_blackbox, income_splits, rng
+    ):
+        generators = [MissingValues(), GaussianOutliers(), SwappedValues(), Scaling()]
+        validator = PerformanceValidator(
+            income_blackbox, generators, threshold=0.05, n_samples=80, random_state=0
+        ).fit(income_splits.test, income_splits.y_test)
+        rel = RelationalShiftDetector().fit(income_splits.test)
+        bbse = BBSE(income_blackbox).fit(income_splits.test)
+        bbse_h = BBSEh(income_blackbox).fit(income_splits.test)
+        broken = Scaling().corrupt(
+            income_splits.serving, rng,
+            columns=income_splits.serving.numeric_columns, fraction=1.0, factor=1000.0,
+        )
+        assert validator.validate(broken) is False
+        assert rel.shift_detected(broken) is True
+        assert bbse.shift_detected(broken) is True
+        assert bbse_h.shift_detected(broken) is True

@@ -1,0 +1,128 @@
+"""Tests for the streaming batch monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import PerformancePredictor
+from repro.errors.tabular_errors import GaussianOutliers, MissingValues, Scaling
+from repro.exceptions import DataValidationError
+from repro.monitoring import BatchMonitor
+
+
+@pytest.fixture(scope="module")
+def predictor(income_blackbox, income_splits):
+    return PerformancePredictor(
+        income_blackbox,
+        [MissingValues(), GaussianOutliers(), Scaling()],
+        n_samples=60,
+        random_state=0,
+    ).fit(income_splits.test, income_splits.y_test)
+
+
+def batches_of(frame, n_batches):
+    size = len(frame) // n_batches
+    return [
+        frame.select_rows(np.arange(i * size, (i + 1) * size)) for i in range(n_batches)
+    ]
+
+
+class TestConstruction:
+    def test_requires_fitted_predictor(self, income_blackbox):
+        unfitted = PerformancePredictor(income_blackbox, [Scaling()])
+        with pytest.raises(DataValidationError):
+            BatchMonitor(unfitted)
+
+    def test_parameter_validation(self, predictor):
+        with pytest.raises(DataValidationError):
+            BatchMonitor(predictor, threshold=0.0)
+        with pytest.raises(DataValidationError):
+            BatchMonitor(predictor, smoothing=0.0)
+        with pytest.raises(DataValidationError):
+            BatchMonitor(predictor, patience=0)
+        with pytest.raises(DataValidationError):
+            BatchMonitor(predictor, history=0)
+
+    def test_alarm_floor(self, predictor):
+        monitor = BatchMonitor(predictor, threshold=0.10)
+        assert monitor.alarm_floor == pytest.approx(0.9 * predictor.test_score_)
+
+
+class TestObservation:
+    def test_clean_batches_do_not_alarm(self, predictor, income_splits):
+        monitor = BatchMonitor(predictor, threshold=0.10)
+        for batch in batches_of(income_splits.serving, 3):
+            record = monitor.observe(batch)
+            assert record.alarm is False
+            assert record.sustained_alarm is False
+        assert monitor.alarm_rate() == 0.0
+
+    def test_catastrophic_batches_raise_sustained_alarm(
+        self, predictor, income_splits, rng
+    ):
+        monitor = BatchMonitor(predictor, threshold=0.05, patience=2)
+        broken = Scaling().corrupt(
+            income_splits.serving, rng,
+            columns=income_splits.serving.numeric_columns, fraction=1.0, factor=1000.0,
+        )
+        records = [monitor.observe(batch) for batch in batches_of(broken, 3)]
+        assert records[0].alarm is True
+        assert records[0].sustained_alarm is False  # patience not yet reached
+        assert records[1].sustained_alarm is True
+
+    def test_single_blip_does_not_sustain(self, predictor, income_splits, rng):
+        monitor = BatchMonitor(predictor, threshold=0.05, patience=2, smoothing=0.5)
+        clean_batches = batches_of(income_splits.serving, 4)
+        broken = Scaling().corrupt(
+            clean_batches[1], rng,
+            columns=income_splits.serving.numeric_columns, fraction=1.0, factor=1000.0,
+        )
+        sequence = [clean_batches[0], broken, clean_batches[2], clean_batches[3]]
+        records = [monitor.observe(batch) for batch in sequence]
+        assert records[1].alarm is True
+        assert all(not record.sustained_alarm for record in records)
+
+    def test_empty_batch_raises(self, predictor, income_splits):
+        monitor = BatchMonitor(predictor)
+        with pytest.raises(DataValidationError):
+            monitor.observe(income_splits.serving.select_rows([]))
+
+    def test_history_is_bounded(self, predictor, income_splits):
+        monitor = BatchMonitor(predictor, history=3)
+        batch = income_splits.serving.head(50)
+        for _ in range(6):
+            monitor.observe(batch)
+        assert len(monitor.state.records) == 3
+
+    def test_batch_indices_increment(self, predictor, income_splits):
+        monitor = BatchMonitor(predictor)
+        batch = income_splits.serving.head(50)
+        indices = [monitor.observe(batch).batch_index for _ in range(3)]
+        assert indices == [0, 1, 2]
+
+    def test_smoothing_dampens_single_estimate(self, predictor, income_splits, rng):
+        monitor = BatchMonitor(predictor, smoothing=0.3)
+        clean = income_splits.serving.head(300)
+        first = monitor.observe(clean)
+        broken = Scaling().corrupt(
+            clean, rng, columns=income_splits.serving.numeric_columns,
+            fraction=1.0, factor=1000.0,
+        )
+        second = monitor.observe(broken)
+        assert second.smoothed_score > second.estimated_score
+        assert second.smoothed_score < first.smoothed_score
+
+
+class TestReporting:
+    def test_summary_states(self, predictor, income_splits):
+        monitor = BatchMonitor(predictor)
+        assert "no batches" in monitor.summary()
+        monitor.observe(income_splits.serving.head(100))
+        assert "state: ok" in monitor.summary()
+
+    def test_recent_records(self, predictor, income_splits):
+        monitor = BatchMonitor(predictor)
+        batch = income_splits.serving.head(50)
+        for _ in range(5):
+            monitor.observe(batch)
+        recent = monitor.recent_records(2)
+        assert [record.batch_index for record in recent] == [3, 4]

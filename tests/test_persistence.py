@@ -1,0 +1,96 @@
+"""Tests for artifact serialization (frames, datasets, models)."""
+
+import numpy as np
+import pytest
+
+from repro import persistence
+from repro.core.predictor import PerformancePredictor
+from repro.datasets.base import load_dataset
+from repro.errors.tabular_errors import MissingValues, Scaling
+from repro.exceptions import DataValidationError
+from repro.ml.linear import SGDClassifier
+from repro.ml.pipeline import Pipeline, TabularEncoder
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+
+class TestFrameRoundTrip:
+    def test_mixed_frame_with_missing_values(self, small_frame, tmp_path):
+        path = tmp_path / "frame.npz"
+        persistence.save_frame(small_frame, path)
+        loaded = persistence.load_frame(path)
+        assert loaded == small_frame
+        assert loaded.schema == small_frame.schema
+
+    def test_image_frame(self, tmp_path):
+        frame = DataFrame.from_dict(
+            {"img": np.random.default_rng(0).random((4, 6, 6))},
+            {"img": ColumnType.IMAGE},
+        )
+        path = tmp_path / "images.npz"
+        persistence.save_frame(frame, path)
+        assert persistence.load_frame(path) == frame
+
+    def test_empty_strings_vs_missing_distinguished(self, tmp_path):
+        frame = DataFrame.from_dict(
+            {"c": ["", None, "x"]}, {"c": ColumnType.CATEGORICAL}
+        )
+        path = tmp_path / "frame.npz"
+        persistence.save_frame(frame, path)
+        loaded = persistence.load_frame(path)
+        assert loaded["c"][0] == ""
+        assert loaded["c"][1] is None
+
+    def test_missing_schema_raises(self):
+        with pytest.raises(DataValidationError):
+            persistence.frame_from_arrays({}, prefix="frame")
+
+
+class TestDatasetRoundTrip:
+    @pytest.mark.parametrize("name", ["income", "tweets", "digits"])
+    def test_every_task_type(self, name, tmp_path):
+        dataset = load_dataset(name, n_rows=60, seed=0)
+        path = tmp_path / f"{name}.npz"
+        persistence.save_dataset(dataset, path)
+        loaded = persistence.load_dataset_file(path)
+        assert loaded.name == dataset.name
+        assert loaded.task == dataset.task
+        assert loaded.positive_label == dataset.positive_label
+        assert loaded.frame == dataset.frame
+        assert np.array_equal(loaded.labels, dataset.labels)
+
+
+class TestModelRoundTrip:
+    def test_pipeline_predictions_survive(self, income_splits, tmp_path):
+        pipeline = Pipeline(TabularEncoder(), SGDClassifier(epochs=3, random_state=0))
+        pipeline.fit(income_splits.train, income_splits.y_train)
+        path = tmp_path / "model.npz"
+        persistence.save_model(pipeline, path)
+        loaded = persistence.load_model(path, expected_class=Pipeline)
+        original = pipeline.predict_proba(income_splits.test)
+        reloaded = loaded.predict_proba(income_splits.test)
+        assert np.array_equal(original, reloaded)
+
+    def test_performance_predictor_survives(self, income_blackbox, income_splits, tmp_path):
+        predictor = PerformancePredictor(
+            income_blackbox, [MissingValues(), Scaling()], n_samples=20, random_state=0
+        ).fit(income_splits.test, income_splits.y_test)
+        path = tmp_path / "predictor.npz"
+        persistence.save_model(predictor, path)
+        loaded = persistence.load_model(path, expected_class=PerformancePredictor)
+        assert loaded.test_score_ == predictor.test_score_
+        assert loaded.predict(income_splits.serving) == pytest.approx(
+            predictor.predict(income_splits.serving)
+        )
+
+    def test_expected_class_guard(self, tmp_path):
+        path = tmp_path / "artifact.npz"
+        persistence.save_model(SGDClassifier(), path)
+        with pytest.raises(DataValidationError, match="expected a Pipeline"):
+            persistence.load_model(path, expected_class=Pipeline)
+
+    def test_load_is_class_consistent(self, tmp_path):
+        path = tmp_path / "artifact.npz"
+        persistence.save_model(SGDClassifier(), path)
+        loaded = persistence.load_model(path)
+        assert isinstance(loaded, SGDClassifier)

@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+import scipy.special
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.featurize import prediction_statistics
+from repro.ml.base import sigmoid, softmax
+from repro.ml.metrics import accuracy_score, f1_score, roc_auc_score
+from repro.ml.preprocessing import HashingVectorizer, OneHotEncoder, StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+from repro.stats.distributions import chi2_sf, kolmogorov_sf, regularized_gamma_p
+from repro.stats.tests import ks_two_sample
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def float_matrices(min_rows=1, max_rows=30, min_cols=1, max_cols=6):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(min_rows, max_rows), st.integers(min_cols, max_cols)
+        ),
+        elements=finite_floats,
+    )
+
+
+class TestNumericInvariants:
+    @given(float_matrices())
+    def test_softmax_is_a_distribution(self, scores):
+        proba = softmax(scores)
+        assert np.all(proba >= 0)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    @given(hnp.arrays(np.float64, st.integers(1, 50), elements=finite_floats))
+    def test_sigmoid_bounded_and_monotone(self, x):
+        values = sigmoid(np.sort(x))
+        assert np.all((values >= 0) & (values <= 1))
+        assert np.all(np.diff(values) >= -1e-15)
+
+    @given(st.floats(min_value=0.01, max_value=50.0), st.floats(min_value=0.0, max_value=200.0))
+    def test_regularized_gamma_p_matches_scipy(self, s, x):
+        assert regularized_gamma_p(s, x) == pytest.approx(
+            scipy.special.gammainc(s, x), rel=1e-6, abs=1e-9
+        )
+
+    @given(st.floats(min_value=0.0, max_value=300.0), st.integers(1, 60))
+    def test_chi2_sf_matches_scipy(self, statistic, df):
+        assert chi2_sf(statistic, df) == pytest.approx(
+            scipy.stats.chi2.sf(statistic, df), rel=1e-5, abs=1e-9
+        )
+
+    @given(st.floats(min_value=0.0, max_value=5.0))
+    def test_kolmogorov_sf_is_a_survival_function(self, x):
+        value = kolmogorov_sf(x)
+        assert 0.0 <= value <= 1.0
+        # Monotone nonincreasing.
+        assert kolmogorov_sf(x + 0.1) <= value + 1e-12
+
+
+class TestStatsProperties:
+    @given(
+        hnp.arrays(np.float64, st.integers(5, 80), elements=finite_floats),
+        hnp.arrays(np.float64, st.integers(5, 80), elements=finite_floats),
+    )
+    def test_ks_statistic_matches_scipy(self, a, b):
+        ours = ks_two_sample(a, b)
+        theirs = scipy.stats.ks_2samp(a, b, method="asymp")
+        assert ours.statistic == pytest.approx(theirs.statistic, abs=1e-12)
+        assert 0.0 <= ours.p_value <= 1.0
+
+    @given(hnp.arrays(np.float64, st.integers(2, 60), elements=finite_floats))
+    def test_ks_is_symmetric(self, a):
+        b = a + 1.0
+        assert ks_two_sample(a, b).statistic == pytest.approx(
+            ks_two_sample(b, a).statistic
+        )
+
+
+class TestMetricProperties:
+    @given(
+        hnp.arrays(np.int64, st.integers(1, 60), elements=st.integers(0, 3)),
+        hnp.arrays(np.int64, st.integers(1, 60), elements=st.integers(0, 3)),
+    )
+    def test_accuracy_bounded(self, y_true, y_pred):
+        n = min(len(y_true), len(y_pred))
+        if n == 0:
+            return
+        value = accuracy_score(y_true[:n], y_pred[:n])
+        assert 0.0 <= value <= 1.0
+
+    @given(st.data())
+    def test_f1_bounded_and_symmetric_on_perfect(self, data):
+        n = data.draw(st.integers(2, 50))
+        y = data.draw(hnp.arrays(np.int64, n, elements=st.integers(0, 1)))
+        assert 0.0 <= f1_score(y, 1 - y) <= 1.0
+        if y.sum() > 0:
+            assert f1_score(y, y) == 1.0
+
+    @given(st.data())
+    def test_auc_complement_identity(self, data):
+        n = data.draw(st.integers(4, 60))
+        scores = data.draw(
+            hnp.arrays(np.float64, n, elements=st.floats(0, 1, allow_nan=False))
+        )
+        y = np.zeros(n, dtype=int)
+        y[: n // 2] = 1
+        auc = roc_auc_score(y, scores)
+        flipped = roc_auc_score(y, -scores)
+        assert auc + flipped == pytest.approx(1.0)
+
+
+class TestPreprocessingProperties:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(2, 30), st.integers(1, 6)),
+            elements=st.floats(
+                min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+            ),
+        )
+    )
+    def test_scaler_output_centered(self, X):
+        # Bounded magnitudes: with values near float64 cancellation limits a
+        # standardizer cannot promise centering, only finiteness.
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-6)
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=50))
+    def test_onehot_rows_have_at_most_one_hot(self, values):
+        arr = np.array(values, dtype=object)
+        encoded = OneHotEncoder().fit_transform(arr)
+        assert np.all(encoded.sum(axis=1) == 1.0)
+
+    @given(st.text(min_size=0, max_size=80))
+    def test_hashing_vectorizer_total_function(self, text):
+        out = HashingVectorizer(n_features=32).transform(np.array([text], dtype=object))
+        assert out.shape == (1, 32)
+        assert np.all(np.isfinite(out))
+        norm = np.linalg.norm(out)
+        assert norm == pytest.approx(1.0) or norm == 0.0
+
+
+class TestFeaturizationProperties:
+    @given(float_matrices(min_rows=2, min_cols=2, max_cols=4))
+    def test_percentile_features_monotone_within_class(self, matrix):
+        features = prediction_statistics(matrix)
+        per_class = features.reshape(matrix.shape[1], -1)
+        for block in per_class:
+            assert np.all(np.diff(block) >= -1e-9)
+
+    @given(float_matrices(min_rows=3, min_cols=2, max_cols=3))
+    def test_features_invariant_to_row_permutation(self, matrix):
+        rng = np.random.default_rng(0)
+        shuffled = matrix[rng.permutation(matrix.shape[0])]
+        assert np.allclose(
+            prediction_statistics(matrix), prediction_statistics(shuffled)
+        )
+
+
+class TestTreeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_tree_predictions_within_target_range(self, data):
+        n = data.draw(st.integers(5, 60))
+        X = data.draw(hnp.arrays(np.float64, (n, 3), elements=finite_floats))
+        y = data.draw(hnp.arrays(np.float64, n, elements=finite_floats))
+        tree = DecisionTreeRegressor(max_depth=4, random_state=0).fit(X, y)
+        predictions = tree.predict(X)
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+
+class TestFrameProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_select_rows_roundtrip(self, data):
+        n = data.draw(st.integers(1, 40))
+        values = data.draw(hnp.arrays(np.float64, n, elements=finite_floats))
+        frame = DataFrame.from_dict({"x": values}, {"x": ColumnType.NUMERIC})
+        index = data.draw(
+            st.lists(st.integers(0, n - 1), min_size=0, max_size=n)
+        )
+        selected = frame.select_rows(np.array(index, dtype=int))
+        assert len(selected) == len(index)
+        for out_row, src_row in enumerate(index):
+            assert selected["x"][out_row] == values[src_row]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.one_of(st.none(), st.text(max_size=5)), min_size=1, max_size=30))
+    def test_categorical_missing_roundtrip(self, values):
+        frame = DataFrame.from_dict({"c": values}, {"c": ColumnType.CATEGORICAL})
+        mask = frame.missing_mask("c")
+        assert mask.sum() == sum(v is None for v in values)
