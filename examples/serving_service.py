@@ -1,0 +1,130 @@
+"""A multi-model validation serving tier in one process.
+
+The platform-team sequel to ``ecommerce_monitoring.py``: instead of one
+hand-rolled monitoring loop per model, every deployed model registers an
+endpoint (fitted performance predictor + serving policy) in a
+ModelRegistry, and one ValidationService validates all serving traffic —
+micro-batching trickle traffic, exporting Prometheus metrics, and paging
+through an alert sink that happens to be flaky (the retry/backoff layer
+absorbs that).
+
+Two models share the service here:
+
+* ``churn``  — a logistic-regression churn model with steady bulk
+  traffic, which an engineer breaks with a unit-conversion bug,
+* ``risk``   — a gradient-boosted risk model that receives small
+  trickles of rows and is only scored once enough rows accumulate.
+
+Run with:  python examples/serving_service.py
+"""
+
+import numpy as np
+
+from repro.core import BlackBoxModel, PerformancePredictor
+from repro.datasets import load_dataset
+from repro.errors import GaussianOutliers, MissingValues, Scaling, SwappedValues
+from repro.ml import GradientBoostingClassifier, Pipeline, SGDClassifier, TabularEncoder
+from repro.serving import (
+    AlertEvent,
+    CallbackSink,
+    Endpoint,
+    EndpointPolicy,
+    EventRouter,
+    ModelRegistry,
+    ValidationService,
+)
+from repro.tabular import balance_classes, split_frame, train_test_split
+
+
+class FlakyPager:
+    """A paging integration that drops the first two calls — as real
+    webhook endpoints love to do right when something is on fire."""
+
+    def __init__(self):
+        self.calls = 0
+        self.pages = []
+
+    def __call__(self, event: AlertEvent) -> None:
+        self.calls += 1
+        if self.calls <= 2:
+            raise ConnectionError("pager webhook timed out")
+        self.pages.append(event)
+
+
+def fit_endpoint(name, model, train, y_train, test, y_test, errors, policy):
+    pipeline = Pipeline(TabularEncoder(), model).fit(train, y_train)
+    blackbox = BlackBoxModel.wrap(pipeline)
+    predictor = PerformancePredictor(
+        blackbox, errors, n_samples=80, mode="mixture", random_state=0
+    ).fit(test, y_test)
+    print(f"  {name}: test accuracy {predictor.test_score_:.3f}")
+    return Endpoint(name=name, version="1", predictor=predictor, policy=policy)
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    dataset = load_dataset("bank", n_rows=3000, seed=3)
+    frame, labels = balance_classes(dataset.frame, dataset.labels, rng)
+    (source, y_source), (serving, _) = split_frame(frame, labels, (0.6, 0.4), rng)
+    train, y_train, test, y_test = train_test_split(source, y_source, 0.35, rng)
+    errors = [MissingValues(), GaussianOutliers(), SwappedValues(), Scaling()]
+
+    print("training two models and their performance predictors")
+    registry = ModelRegistry()
+    registry.register(fit_endpoint(
+        "churn", SGDClassifier(epochs=10, random_state=0),
+        train, y_train, test, y_test, errors,
+        EndpointPolicy(threshold=0.05, patience=2),
+    ))
+    registry.register(fit_endpoint(
+        "risk", GradientBoostingClassifier(n_stages=30, random_state=0),
+        train, y_train, test, y_test, errors,
+        EndpointPolicy(threshold=0.10, micro_batch_size=240, max_wait_seconds=60.0),
+    ))
+
+    pager = FlakyPager()
+    router = EventRouter([CallbackSink(pager, name="pager")], backoff=0.0)
+    service = ValidationService(registry, events=router)
+
+    # Bulk traffic for the churn endpoint: ten daily batches, with a
+    # duration-scaling bug shipped on day six.
+    print("\nchurn endpoint: ten daily batches (bug ships on day 6)")
+    batch_size = len(serving) // 10
+    for day in range(10):
+        batch = serving.select_rows(
+            np.arange(day * batch_size, (day + 1) * batch_size)
+        )
+        if day >= 5:
+            batch = Scaling().corrupt(
+                batch, rng, columns=["duration"], fraction=1.0, factor=1000.0
+            )
+        for result in service.submit("churn", batch):
+            print(f"  day {day + 1:>2}: {result.describe()}")
+
+    # Trickle traffic for the risk endpoint: 60-row requests buffer until
+    # the 240-row micro-batch target is met — four requests per score.
+    print("\nrisk endpoint: trickle traffic through the micro-batcher")
+    for start in range(0, 720, 60):
+        chunk = serving.select_rows(np.arange(start, start + 60))
+        for result in service.submit("risk", chunk):
+            print(f"  after {start + 60:>3} rows: {result.describe()}")
+    pending = service.pending_rows("risk")
+    print(f"  rows still buffered: {pending}")
+
+    print("\nservice state")
+    print(service.summary())
+
+    print(
+        f"\npager: {pager.calls} delivery attempts, {len(pager.pages)} pages "
+        f"delivered, {len(router.dead_letters)} dead-lettered"
+        " (the first two attempts failed and were retried)"
+    )
+
+    print("\nPrometheus metrics (request/alarm counters)")
+    for line in service.metrics.to_prometheus().splitlines():
+        if line.startswith(("serving_requests_total", "serving_alarms_total")):
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,10 +7,14 @@ Exposes the library's end-to-end workflow without writing Python::
     python -m repro train --data income.npz --model xgb --out deployed/
     python -m repro check --artifacts deployed/ --data income.npz --corrupt scaling
     python -m repro monitor --artifacts deployed/ --data income.npz --batches 10
+    python -m repro endpoints --config serving.json
+    python -m repro serve-batch --config serving.json --endpoint income --data income.npz
 
 ``train`` persists three artifacts into the output directory: the fitted
 pipeline (``model.npz``), the performance predictor (``predictor.npz``)
-and the held-out evaluation summary (``info.json``).
+and the held-out evaluation summary (``info.json``). ``endpoints`` and
+``serve-batch`` consume a declarative serving config (see
+:mod:`repro.serving.config`) whose entries point at such directories.
 """
 
 from __future__ import annotations
@@ -33,6 +37,14 @@ from repro.evaluation.models import MODEL_NAMES, make_model
 from repro.exceptions import ReproError
 from repro.ml.pipeline import Pipeline, TabularEncoder
 from repro.monitoring import BatchMonitor
+from repro.serving import (
+    EventRouter,
+    JsonlFileSink,
+    StdoutSink,
+    ValidationService,
+    registry_from_config,
+)
+from repro.tabular.frame import DataFrame
 from repro.tabular.ops import balance_classes, split_frame, train_test_split
 
 
@@ -215,6 +227,135 @@ def _run_monitor(args) -> int:
     return exit_code
 
 
+def _add_endpoints_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "endpoints", help="list the endpoints declared in a serving config"
+    )
+    parser.add_argument("--config", required=True, help="serving config JSON")
+    parser.set_defaults(handler=_run_endpoints)
+
+
+def _run_endpoints(args) -> int:
+    registry = registry_from_config(args.config)
+    for endpoint in registry.endpoints():
+        print(endpoint.describe())
+        predictor_path = Path(persistence_dir_of(args.config, endpoint))
+        if predictor_path.exists():
+            class_path = persistence.artifact_class_path(predictor_path)
+            print(f"  predictor artifact: {predictor_path} ({class_path})")
+    return 0
+
+
+def persistence_dir_of(config_path: str, endpoint) -> Path:
+    """The predictor artifact path behind a config endpoint entry."""
+    from repro.serving.config import load_serving_config
+
+    for spec in load_serving_config(config_path):
+        if spec.name == endpoint.name and spec.version == endpoint.version:
+            artifact_dir = Path(spec.artifacts)
+            if not artifact_dir.is_absolute():
+                artifact_dir = Path(config_path).parent / artifact_dir
+            return artifact_dir / "predictor.npz"
+    raise ReproError(f"endpoint {endpoint.key} not found in {config_path}")
+
+
+def _add_serve_batch_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve-batch",
+        help="replay serving batches through the validation service",
+    )
+    parser.add_argument("--config", required=True, help="serving config JSON")
+    parser.add_argument("--endpoint", required=True, help="endpoint name to address")
+    parser.add_argument("--version", default=None, help="endpoint version (default: latest)")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--batch-dir", default=None,
+        help="directory of .npz frame/dataset files replayed in sorted order",
+    )
+    source.add_argument(
+        "--data", default=None,
+        help="dataset .npz whose serving split is chunked into batches",
+    )
+    parser.add_argument("--batches", type=int, default=10, help="chunks for --data mode")
+    parser.add_argument(
+        "--break-after", type=int, default=None,
+        help="with --data: inject a scaling bug starting at this batch index",
+    )
+    parser.add_argument(
+        "--metrics", choices=("json", "prometheus", "none"), default="json",
+        help="metrics export printed after the replay",
+    )
+    parser.add_argument(
+        "--alerts-out", default=None,
+        help="also append alert events to this JSONL file",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.set_defaults(handler=_run_serve_batch)
+
+
+def _iter_replay_batches(args):
+    """Yield (label, frame) pairs from whichever batch source was given."""
+    if args.batch_dir is not None:
+        paths = sorted(Path(args.batch_dir).glob("*.npz"))
+        if not paths:
+            raise ReproError(f"no .npz batch files under {args.batch_dir}")
+        for path in paths:
+            try:
+                frame = persistence.load_frame(path)
+            except Exception:
+                frame = persistence.load_dataset_file(path).frame
+            yield path.name, frame
+        return
+    dataset = persistence.load_dataset_file(args.data)
+    _, _, _, _, serving, _ = _split(dataset, args.seed)
+    rng = np.random.default_rng(args.seed + 7)
+    batch_size = max(1, len(serving) // args.batches)
+    for index in range(args.batches):
+        rows = np.arange(index * batch_size, min((index + 1) * batch_size, len(serving)))
+        if rows.size == 0:
+            return
+        batch = serving.select_rows(rows)
+        if args.break_after is not None and index >= args.break_after:
+            generator = _corruption_by_name(
+                "scaling" if dataset.task == "tabular" else
+                ("image_noise" if dataset.task == "image" else "adversarial"),
+                dataset.task,
+            )
+            params = generator.sample_params(batch, rng)
+            params["fraction"] = 1.0
+            batch = generator.corrupt(batch, rng, **params)
+        yield f"batch-{index}", batch
+
+
+def _run_serve_batch(args) -> int:
+    registry = registry_from_config(args.config)
+    sinks = [StdoutSink()]
+    if args.alerts_out:
+        sinks.append(JsonlFileSink(args.alerts_out))
+    service = ValidationService(registry, events=EventRouter(sinks))
+    exit_code = 0
+    for label, frame in _iter_replay_batches(args):
+        if not isinstance(frame, DataFrame) or len(frame) == 0:
+            continue
+        results = service.submit(args.endpoint, frame, version=args.version)
+        for result in results:
+            print(f"{label}: {result.describe()}")
+            if result.sustained_alarm:
+                exit_code = 1
+    final = service.flush(args.endpoint, version=args.version)
+    if final is not None:
+        print(f"flush: {final.describe()}")
+        if final.sustained_alarm:
+            exit_code = 1
+    print()
+    print(service.summary())
+    if args.metrics == "json":
+        print(service.metrics.to_json(indent=2))
+    elif args.metrics == "prometheus":
+        print(service.metrics.to_prometheus(), end="")
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -226,6 +367,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_train_command(subparsers)
     _add_check_command(subparsers)
     _add_monitor_command(subparsers)
+    _add_endpoints_command(subparsers)
+    _add_serve_batch_command(subparsers)
     return parser
 
 

@@ -15,6 +15,19 @@ from repro.exceptions import DataValidationError
 from repro.tabular.frame import DataFrame
 
 
+def alarm_floor(expected_score: float, threshold: float) -> float:
+    """The score below which a serving batch alarms.
+
+    One definition shared by :func:`check_serving_batch`,
+    :class:`repro.monitoring.BatchMonitor` and the serving layer: a batch
+    alarms when its estimated score falls more than ``threshold``
+    (relative) below the expected held-out test score.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise DataValidationError(f"threshold must be in (0, 1), got {threshold}")
+    return (1.0 - threshold) * expected_score
+
+
 @dataclass(frozen=True)
 class ValidationReport:
     """Outcome of checking one serving batch."""
@@ -51,11 +64,10 @@ def check_serving_batch(
     Alarms when the estimate drops more than ``threshold`` (relative)
     below the score observed on held-out test data at training time.
     """
-    if not 0.0 < threshold < 1.0:
-        raise DataValidationError(f"threshold must be in (0, 1), got {threshold}")
+    floor = alarm_floor(predictor.test_score_, threshold)
     estimate = predictor.predict(serving_frame)
     expected = predictor.test_score_
-    alarm = estimate < (1.0 - threshold) * expected
+    alarm = estimate < floor
     return ValidationReport(
         estimated_score=estimate,
         expected_score=expected,

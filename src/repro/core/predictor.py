@@ -186,9 +186,19 @@ class PerformancePredictor:
         the corruption episodes it covers the true score with roughly the
         requested probability.
         """
+        return self.interval_from_estimate(self.predict(serving_frame), coverage)
+
+    def interval_from_estimate(
+        self, estimate: float, coverage: float = 0.8
+    ) -> tuple[float, float, float]:
+        """Conformal interval around an already-computed estimate.
+
+        Lets serving-layer callers that hold one ``predict_proba`` result
+        derive estimate, interval and monitor update in a single pass
+        instead of re-scoring the batch per question.
+        """
         if not 0.0 < coverage < 1.0:
             raise DataValidationError(f"coverage must be in (0, 1), got {coverage}")
-        estimate = self.predict(serving_frame)
         if getattr(self, "calibration_residuals_", None) is None:
             raise NotFittedError(
                 "no calibration residuals available; fit with enough meta-samples"
@@ -196,7 +206,7 @@ class PerformancePredictor:
         width = float(np.quantile(self.calibration_residuals_, coverage))
         return (
             float(np.clip(estimate - width, 0.0, 1.0)),
-            estimate,
+            float(estimate),
             float(np.clip(estimate + width, 0.0, 1.0)),
         )
 

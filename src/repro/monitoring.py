@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.alarms import alarm_floor
 from repro.core.predictor import PerformancePredictor
 from repro.exceptions import DataValidationError
 from repro.tabular.frame import DataFrame
@@ -32,10 +33,16 @@ class BatchRecord:
 
 @dataclass
 class MonitorState:
-    """Mutable history kept by the monitor."""
+    """Mutable history kept by the monitor.
+
+    ``total_batches`` counts every batch ever observed — unlike
+    ``len(records)``, it keeps increasing after history trimming, so
+    ``BatchRecord.batch_index`` stays unique over the monitor's lifetime.
+    """
 
     records: list[BatchRecord] = field(default_factory=list)
     consecutive_alarms: int = 0
+    total_batches: int = 0
 
 
 class BatchMonitor:
@@ -91,13 +98,34 @@ class BatchMonitor:
     @property
     def alarm_floor(self) -> float:
         """Scores below this trigger a batch alarm."""
-        return (1.0 - self.threshold) * self.expected_score
+        return alarm_floor(self.expected_score, self.threshold)
+
+    def reset(self) -> None:
+        """Forget all observed batches and smoothing state.
+
+        Use after a known remediation (rollback, pipeline fix) so stale
+        alarm streaks and the smoothed estimate don't carry over into the
+        healthy regime.
+        """
+        self.state = MonitorState()
+        self._smoothed = None
 
     def observe(self, batch: DataFrame) -> BatchRecord:
         """Score one serving batch and update the monitor state."""
         if len(batch) == 0:
             raise DataValidationError("cannot monitor an empty batch")
-        estimate = self.predictor.predict(batch)
+        return self.observe_estimate(self.predictor.predict(batch), len(batch))
+
+    def observe_estimate(self, estimate: float, n_rows: int) -> BatchRecord:
+        """Record an externally computed score estimate.
+
+        The serving layer computes ``predict_proba`` once per batch and
+        derives estimate, interval and validation from it; this entry
+        point lets the monitor join that single pass instead of
+        re-scoring the batch itself.
+        """
+        if n_rows < 1:
+            raise DataValidationError(f"n_rows must be >= 1, got {n_rows}")
         if self._smoothed is None:
             self._smoothed = estimate
         else:
@@ -114,14 +142,15 @@ class BatchMonitor:
             and self._smoothed < self.alarm_floor
         )
         record = BatchRecord(
-            batch_index=len(self.state.records),
-            n_rows=len(batch),
-            estimated_score=estimate,
+            batch_index=self.state.total_batches,
+            n_rows=n_rows,
+            estimated_score=float(estimate),
             smoothed_score=float(self._smoothed),
             alarm=alarm,
             sustained_alarm=sustained,
         )
         self.state.records.append(record)
+        self.state.total_batches += 1
         if len(self.state.records) > self.history:
             del self.state.records[: len(self.state.records) - self.history]
         return record
@@ -145,7 +174,7 @@ class BatchMonitor:
             "alarm" if latest.alarm else "ok"
         )
         return (
-            f"BatchMonitor: {len(self.state.records)} batches, "
+            f"BatchMonitor: {self.state.total_batches} batches, "
             f"latest estimate {latest.estimated_score:.4f} "
             f"(expected {self.expected_score:.4f}, floor {self.alarm_floor:.4f}), "
             f"alarm rate {self.alarm_rate():.2f}, state: {state}"

@@ -153,6 +153,19 @@ def save_model(model: object, path: str | Path) -> None:
     )
 
 
+def artifact_class_path(path: str | Path) -> str:
+    """The dotted class path recorded in a :func:`save_model` artifact.
+
+    Reads only the npz header entry, without unpickling the payload —
+    cheap enough for listing many artifacts (e.g. ``repro endpoints``)
+    and safe to call on untrusted files.
+    """
+    with np.load(Path(path), allow_pickle=False) as arrays:
+        if "class_path" not in arrays:
+            raise DataValidationError(f"{path} is not a model artifact")
+        return str(arrays["class_path"])
+
+
 def load_model(path: str | Path, expected_class: type | None = None) -> object:
     """Load an artifact written by :func:`save_model`.
 

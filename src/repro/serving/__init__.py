@@ -1,0 +1,69 @@
+"""Multi-model validation serving: registry, service, metrics, alerts.
+
+The paper's deployment story made servable. A
+:class:`~repro.serving.registry.ModelRegistry` hosts named, versioned
+endpoints (fitted predictor + optional validator + policy); a
+:class:`~repro.serving.service.ValidationService` scores serving
+batches addressed to those endpoints in a single pass (estimate,
+conformal interval, validator decision, monitor update) with optional
+micro-batching; telemetry lands in a
+:class:`~repro.serving.metrics.MetricsRegistry` (JSON + Prometheus
+exports) and alarms are delivered through an
+:class:`~repro.serving.events.EventRouter` with retry, backoff and a
+dead-letter buffer.
+"""
+
+from repro.serving.config import (
+    EndpointSpec,
+    build_registry,
+    load_serving_config,
+    registry_from_config,
+    write_serving_config,
+)
+from repro.serving.events import (
+    AlertEvent,
+    AlertSink,
+    CallbackSink,
+    DeadLetter,
+    EventRouter,
+    JsonlFileSink,
+    StdoutSink,
+)
+from repro.serving.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.serving.registry import (
+    Endpoint,
+    EndpointPolicy,
+    ModelRegistry,
+    endpoint_from_artifacts,
+)
+from repro.serving.service import BatchResult, ValidationService
+
+__all__ = [
+    "AlertEvent",
+    "AlertSink",
+    "BatchResult",
+    "CallbackSink",
+    "Counter",
+    "DeadLetter",
+    "Endpoint",
+    "EndpointPolicy",
+    "EndpointSpec",
+    "EventRouter",
+    "Gauge",
+    "Histogram",
+    "JsonlFileSink",
+    "MetricsRegistry",
+    "ModelRegistry",
+    "StdoutSink",
+    "ValidationService",
+    "build_registry",
+    "endpoint_from_artifacts",
+    "load_serving_config",
+    "registry_from_config",
+    "write_serving_config",
+]

@@ -1,0 +1,157 @@
+"""Declarative serving configuration.
+
+Operators describe *what* to serve in a JSON file; the code decides
+*how*. A config lists endpoints, each pointing at a ``repro train``
+artifact directory (or a registry snapshot) plus an optional policy
+block::
+
+    {
+      "endpoints": [
+        {
+          "name": "income-lr",
+          "version": "1",
+          "artifacts": "deployed/income",
+          "policy": {"threshold": 0.05, "micro_batch_size": 200}
+        }
+      ]
+    }
+
+Relative artifact paths resolve against the config file's directory, so
+a config checked in next to its artifacts keeps working from any CWD.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+from repro.exceptions import DataValidationError
+from repro.serving.registry import (
+    Endpoint,
+    EndpointPolicy,
+    ModelRegistry,
+    endpoint_from_artifacts,
+)
+
+_POLICY_FIELDS = {f.name for f in fields(EndpointPolicy)}
+
+
+@dataclass(frozen=True)
+class EndpointSpec:
+    """One endpoint entry, as declared in the config file."""
+
+    name: str
+    artifacts: str
+    version: str = "1"
+    policy: EndpointPolicy = EndpointPolicy()
+
+
+def parse_policy(raw: dict) -> EndpointPolicy:
+    """Build a policy from a JSON object, rejecting unknown keys loudly."""
+    unknown = set(raw) - _POLICY_FIELDS
+    if unknown:
+        raise DataValidationError(
+            f"unknown policy keys {sorted(unknown)}; valid keys: {sorted(_POLICY_FIELDS)}"
+        )
+    return EndpointPolicy(**raw)
+
+
+def load_serving_config(path: str | Path) -> list[EndpointSpec]:
+    """Parse and validate a serving config file."""
+    config_path = Path(path)
+    if not config_path.exists():
+        raise DataValidationError(f"no serving config at {config_path}")
+    try:
+        payload = json.loads(config_path.read_text())
+    except json.JSONDecodeError as error:
+        raise DataValidationError(f"invalid JSON in {config_path}: {error}") from error
+    if not isinstance(payload, dict) or "endpoints" not in payload:
+        raise DataValidationError(
+            f"{config_path} must be an object with an 'endpoints' list"
+        )
+    entries = payload["endpoints"]
+    if not isinstance(entries, list) or not entries:
+        raise DataValidationError(f"{config_path}: 'endpoints' must be a non-empty list")
+    specs: list[EndpointSpec] = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise DataValidationError(f"{config_path}: endpoint {i} must be an object")
+        missing = {"name", "artifacts"} - set(entry)
+        if missing:
+            raise DataValidationError(
+                f"{config_path}: endpoint {i} is missing {sorted(missing)}"
+            )
+        unknown = set(entry) - {"name", "artifacts", "version", "policy"}
+        if unknown:
+            raise DataValidationError(
+                f"{config_path}: endpoint {i} has unknown keys {sorted(unknown)}"
+            )
+        policy_raw = entry.get("policy", {})
+        if not isinstance(policy_raw, dict):
+            raise DataValidationError(
+                f"{config_path}: endpoint {i} policy must be an object"
+            )
+        specs.append(
+            EndpointSpec(
+                name=str(entry["name"]),
+                artifacts=str(entry["artifacts"]),
+                version=str(entry.get("version", "1")),
+                policy=parse_policy(policy_raw),
+            )
+        )
+    return specs
+
+
+def build_registry(
+    specs: list[EndpointSpec], base_dir: str | Path | None = None
+) -> ModelRegistry:
+    """Load every spec's artifacts into a fresh registry."""
+    registry = ModelRegistry()
+    base = Path(base_dir) if base_dir is not None else Path(".")
+    for spec in specs:
+        artifact_dir = Path(spec.artifacts)
+        if not artifact_dir.is_absolute():
+            artifact_dir = base / artifact_dir
+        endpoint = endpoint_from_artifacts(
+            artifact_dir, name=spec.name, version=spec.version, policy=spec.policy
+        )
+        registry.register(endpoint)
+    return registry
+
+
+def registry_from_config(path: str | Path) -> ModelRegistry:
+    """One-call path from a config file to a servable registry."""
+    config_path = Path(path)
+    return build_registry(load_serving_config(config_path), base_dir=config_path.parent)
+
+
+def write_serving_config(
+    path: str | Path, endpoints: list[tuple[Endpoint, str]]
+) -> None:
+    """Emit a config referencing (endpoint, artifact_dir) pairs.
+
+    The inverse of :func:`registry_from_config`, used by tooling that
+    trains artifacts and wants to hand an operator a ready-to-serve
+    config.
+    """
+    payload = {
+        "endpoints": [
+            {
+                "name": endpoint.name,
+                "version": endpoint.version,
+                "artifacts": str(artifact_dir),
+                "policy": {
+                    "threshold": endpoint.policy.threshold,
+                    "smoothing": endpoint.policy.smoothing,
+                    "patience": endpoint.policy.patience,
+                    "history": endpoint.policy.history,
+                    "micro_batch_size": endpoint.policy.micro_batch_size,
+                    "max_wait_seconds": endpoint.policy.max_wait_seconds,
+                    "interval_coverage": endpoint.policy.interval_coverage,
+                },
+            }
+            for endpoint, artifact_dir in endpoints
+        ]
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,223 @@
+"""Structured alert events and delivery to pluggable sinks.
+
+When the serving layer decides a batch (or a sustained streak of
+batches) looks degraded, someone has to find out. This module carries
+that last mile:
+
+* :class:`AlertEvent` — an immutable, JSON-serializable record of one
+  alarm decision with enough context to act on (endpoint, scores, floor,
+  batch index, severity),
+* sinks — anything with ``emit(event)``; stdout, JSONL files and plain
+  callbacks ship in the box,
+* :class:`EventRouter` — fans an event out to every sink with bounded
+  retry and exponential backoff, and parks undeliverable events in a
+  bounded dead-letter buffer instead of dropping them, so a paging
+  integration that flaps for a few seconds cannot eat a sustained-alarm
+  page.
+
+The router is synchronous by design: the service calls it inline, and
+the injectable ``sleep`` keeps retry/backoff fully testable without
+real waiting.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Protocol, TextIO, runtime_checkable
+
+from repro.exceptions import DataValidationError
+
+SEVERITIES = ("info", "alarm", "sustained")
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One alarm decision, with the context an on-call needs."""
+
+    endpoint: str
+    severity: str
+    batch_index: int
+    n_rows: int
+    estimated_score: float
+    expected_score: float
+    alarm_floor: float
+    message: str
+    context: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise DataValidationError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "endpoint": self.endpoint,
+            "severity": self.severity,
+            "batch_index": self.batch_index,
+            "n_rows": self.n_rows,
+            "estimated_score": self.estimated_score,
+            "expected_score": self.expected_score,
+            "alarm_floor": self.alarm_floor,
+            "message": self.message,
+            "context": dict(self.context),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def describe(self) -> str:
+        return (
+            f"[{self.severity.upper()}] {self.endpoint} batch {self.batch_index}: "
+            f"estimated={self.estimated_score:.4f} "
+            f"expected={self.expected_score:.4f} floor={self.alarm_floor:.4f} "
+            f"— {self.message}"
+        )
+
+
+@runtime_checkable
+class AlertSink(Protocol):
+    """Anything that can receive an alert event."""
+
+    name: str
+
+    def emit(self, event: AlertEvent) -> None: ...
+
+
+class StdoutSink:
+    """Human-readable alerts on a stream (stdout by default)."""
+
+    def __init__(self, stream: TextIO | None = None, name: str = "stdout"):
+        self.name = name
+        self._stream = stream
+
+    def emit(self, event: AlertEvent) -> None:
+        stream = self._stream if self._stream is not None else sys.stdout
+        print(event.describe(), file=stream)
+
+
+class JsonlFileSink:
+    """One JSON object per line, appended — greppable, tailable, replayable."""
+
+    def __init__(self, path: str | Path, name: str = "jsonl"):
+        self.name = name
+        self.path = Path(path)
+
+    def emit(self, event: AlertEvent) -> None:
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(event.to_json() + "\n")
+
+
+class CallbackSink:
+    """Bridges to arbitrary integrations (webhooks, queues) via a callable."""
+
+    def __init__(self, callback: Callable[[AlertEvent], None], name: str = "callback"):
+        self.name = name
+        self._callback = callback
+
+    def emit(self, event: AlertEvent) -> None:
+        self._callback(event)
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """An event a sink could not accept within the retry budget."""
+
+    sink: str
+    event: AlertEvent
+    error: str
+    attempts: int
+
+
+class EventRouter:
+    """Delivers every event to every sink, retrying transient failures.
+
+    Parameters
+    ----------
+    sinks:
+        Initial sink list; more can be attached with :meth:`add_sink`.
+    max_retries:
+        Re-emission attempts *after* the first try (3 means up to 4
+        total calls per sink).
+    backoff:
+        Base delay in seconds; attempt ``k`` sleeps ``backoff * 2**k``.
+    dead_letter_capacity:
+        Bounded buffer of undeliverable events (oldest dropped first) —
+        an inspection window, not a durable queue.
+    sleep:
+        Injectable for tests; defaults to :func:`time.sleep`.
+    """
+
+    def __init__(
+        self,
+        sinks: list[AlertSink] | None = None,
+        max_retries: int = 3,
+        backoff: float = 0.05,
+        dead_letter_capacity: int = 256,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_retries < 0:
+            raise DataValidationError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff < 0:
+            raise DataValidationError(f"backoff must be >= 0, got {backoff}")
+        if dead_letter_capacity < 1:
+            raise DataValidationError(
+                f"dead_letter_capacity must be >= 1, got {dead_letter_capacity}"
+            )
+        self.sinks: list[AlertSink] = list(sinks or [])
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self._sleep = sleep
+        self.dead_letters: deque[DeadLetter] = deque(maxlen=dead_letter_capacity)
+        self.delivered_count = 0
+        self.failed_count = 0
+
+    def add_sink(self, sink: AlertSink) -> None:
+        self.sinks.append(sink)
+
+    def publish(self, event: AlertEvent) -> int:
+        """Deliver to all sinks; returns how many accepted the event.
+
+        One failing sink never blocks the others — each gets its own
+        retry budget, and exhausted budgets go to the dead-letter buffer.
+        """
+        delivered = 0
+        for sink in self.sinks:
+            if self._deliver(sink, event):
+                delivered += 1
+        return delivered
+
+    def _deliver(self, sink: AlertSink, event: AlertEvent) -> bool:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                sink.emit(event)
+            except Exception as error:  # noqa: BLE001 — sink faults must not propagate
+                if attempts > self.max_retries:
+                    self.failed_count += 1
+                    self.dead_letters.append(
+                        DeadLetter(
+                            sink=getattr(sink, "name", type(sink).__name__),
+                            event=event,
+                            error=f"{type(error).__name__}: {error}",
+                            attempts=attempts,
+                        )
+                    )
+                    return False
+                if self.backoff > 0:
+                    self._sleep(self.backoff * (2 ** (attempts - 1)))
+            else:
+                self.delivered_count += 1
+                return True
+
+    def drain_dead_letters(self) -> list[DeadLetter]:
+        """Return and clear the dead-letter buffer (for re-publication)."""
+        letters = list(self.dead_letters)
+        self.dead_letters.clear()
+        return letters

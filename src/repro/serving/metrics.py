@@ -1,0 +1,296 @@
+"""In-process metrics for the validation serving layer.
+
+A deliberately small telemetry substrate — counters, gauges and
+histograms with labeled series — exportable both as JSON (for tests,
+dashboards and the CLI summary) and in the Prometheus text exposition
+format (for scraping once the service sits behind an HTTP endpoint).
+
+Design choices mirror the Prometheus client model without the
+dependency:
+
+* a metric is a *family* (name, help text, label names); each distinct
+  label-value combination is a separate *series*,
+* counters only go up, gauges are set, histograms record cumulative
+  bucket counts plus a running sum and count,
+* the registry owns the families and renders every export format, so
+  instrumented code never knows how it is scraped.
+
+Everything is plain Python and thread-safe enough for the current
+single-process service (one lock per registry); no background threads,
+no global state.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+
+from repro.exceptions import DataValidationError
+
+# Latency-oriented default buckets (seconds), log-spaced like the
+# Prometheus defaults but trimmed to the ranges batch scoring exhibits.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+# Score-oriented buckets for estimated-score distributions in [0, 1].
+SCORE_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0)
+
+
+def _label_key(labelnames: tuple[str, ...], labels: dict[str, str]) -> tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise DataValidationError(
+            f"expected labels {sorted(labelnames)}, got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+def _format_labels(labelnames: tuple[str, ...], values: tuple[str, ...]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in zip(labelnames, values)
+    )
+    return "{" + pairs + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class Metric:
+    """Base family: name, help text, label names, per-series storage."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: tuple[str, ...] = ()):
+        if not name or not name.replace("_", "").isalnum():
+            raise DataValidationError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._series: dict[tuple[str, ...], object] = {}
+
+    def _series_items(self) -> list[tuple[tuple[str, ...], object]]:
+        return sorted(self._series.items())
+
+
+class Counter(Metric):
+    """A monotonically increasing count per label combination."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise DataValidationError(f"counters only go up, got {amount}")
+        key = _label_key(self.labelnames, labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return float(self._series.get(_label_key(self.labelnames, labels), 0.0))
+
+    def to_json(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help_text,
+            "series": [
+                {"labels": dict(zip(self.labelnames, key)), "value": value}
+                for key, value in self._series_items()
+            ],
+        }
+
+    def render(self) -> list[str]:
+        return [
+            f"{self.name}{_format_labels(self.labelnames, key)} {_render_value(value)}"
+            for key, value in self._series_items()
+        ]
+
+
+class Gauge(Metric):
+    """A value that can go up and down (e.g. registered endpoint count)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        self._series[_label_key(self.labelnames, labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(self.labelnames, labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        return float(self._series.get(_label_key(self.labelnames, labels), 0.0))
+
+    def to_json(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help_text,
+            "series": [
+                {"labels": dict(zip(self.labelnames, key)), "value": value}
+                for key, value in self._series_items()
+            ],
+        }
+
+    def render(self) -> list[str]:
+        return [
+            f"{self.name}{_format_labels(self.labelnames, key)} {_render_value(value)}"
+            for key, value in self._series_items()
+        ]
+
+
+@dataclass
+class _HistogramSeries:
+    bucket_counts: list[int]
+    total: float = 0.0
+    count: int = 0
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram per label combination."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help_text, labelnames)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise DataValidationError("histogram buckets must be sorted and non-empty")
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(self.labelnames, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = _HistogramSeries(bucket_counts=[0] * len(self.buckets))
+            self._series[key] = series
+        for i, upper in enumerate(self.buckets):
+            if value <= upper:
+                series.bucket_counts[i] += 1
+        series.total += float(value)
+        series.count += 1
+
+    def count(self, **labels: str) -> int:
+        series = self._series.get(_label_key(self.labelnames, labels))
+        return 0 if series is None else series.count
+
+    def sum(self, **labels: str) -> float:
+        series = self._series.get(_label_key(self.labelnames, labels))
+        return 0.0 if series is None else series.total
+
+    def to_json(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help_text,
+            "buckets": list(self.buckets),
+            "series": [
+                {
+                    "labels": dict(zip(self.labelnames, key)),
+                    "bucket_counts": list(series.bucket_counts),
+                    "sum": series.total,
+                    "count": series.count,
+                }
+                for key, series in self._series_items()
+            ],
+        }
+
+    def render(self) -> list[str]:
+        lines: list[str] = []
+        for key, series in self._series_items():
+            for upper, cumulative in zip(self.buckets, series.bucket_counts):
+                bucket_labels = _format_labels(
+                    self.labelnames + ("le",), key + (_render_value(upper),)
+                )
+                lines.append(f"{self.name}_bucket{bucket_labels} {cumulative}")
+            inf_labels = _format_labels(self.labelnames + ("le",), key + ("+Inf",))
+            lines.append(f"{self.name}_bucket{inf_labels} {series.count}")
+            plain = _format_labels(self.labelnames, key)
+            lines.append(f"{self.name}_sum{plain} {_render_value(series.total)}")
+            lines.append(f"{self.name}_count{plain} {series.count}")
+        return lines
+
+
+def _render_value(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+class MetricsRegistry:
+    """Owns metric families and renders exports.
+
+    One registry per :class:`~repro.serving.service.ValidationService`;
+    tests can construct their own to assert on counts in isolation.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help_text: str, labelnames: tuple[str, ...] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str, labelnames: tuple[str, ...] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, Histogram) or existing.labelnames != tuple(labelnames):
+                    raise DataValidationError(
+                        f"metric {name!r} already registered with a different shape"
+                    )
+                return existing
+            metric = Histogram(name, help_text, tuple(labelnames), buckets)
+            self._metrics[name] = metric
+            return metric
+
+    def _get_or_create(self, cls, name, help_text, labelnames):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labelnames != tuple(labelnames):
+                    raise DataValidationError(
+                        f"metric {name!r} already registered with a different shape"
+                    )
+                return existing
+            metric = cls(name, help_text, tuple(labelnames))
+            self._metrics[name] = metric
+            return metric
+
+    def get(self, name: str) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            raise DataValidationError(f"no metric named {name!r}")
+        return metric
+
+    def to_json(self, indent: int | None = None) -> str:
+        with self._lock:
+            payload = {name: m.to_json() for name, m in sorted(self._metrics.items())}
+        return json.dumps(payload, indent=indent)
+
+    def to_prometheus(self) -> str:
+        """The text exposition format: HELP/TYPE headers plus samples."""
+        lines: list[str] = []
+        with self._lock:
+            for name, metric in sorted(self._metrics.items()):
+                lines.append(f"# HELP {name} {metric.help_text}")
+                lines.append(f"# TYPE {name} {metric.kind}")
+                lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,286 @@
+"""Named, versioned endpoints over fitted validation artifacts.
+
+The paper deploys the learned performance predictor "along with the
+original model"; a real serving tier hosts *many* such deployments. The
+registry is the directory of those deployments: each
+:class:`Endpoint` bundles a fitted :class:`PerformancePredictor`
+(which carries the wrapped black box), an optional
+:class:`PerformanceValidator`, and the serving policy (alarm threshold,
+smoothing, micro-batching) under a ``name@version`` identity.
+
+Snapshots are built on :mod:`repro.persistence`: one subdirectory per
+endpoint with the fitted artifacts as npz files plus a JSON manifest,
+so a registry written by a training process can be restored by any
+number of serving processes.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro import persistence
+from repro.core.predictor import PerformancePredictor
+from repro.core.validator import PerformanceValidator
+from repro.exceptions import DataValidationError
+
+_MANIFEST_NAME = "registry.json"
+_MANIFEST_VERSION = 1
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass(frozen=True)
+class EndpointPolicy:
+    """Per-endpoint serving behavior.
+
+    ``micro_batch_size`` of ``None`` scores every submitted frame
+    immediately; otherwise rows accumulate until the target size is
+    reached or ``max_wait_seconds`` elapses since the first buffered
+    row. ``interval_coverage`` of ``None`` skips conformal intervals
+    (they need calibration residuals, which tiny meta-corpora lack).
+    """
+
+    threshold: float = 0.05
+    smoothing: float = 0.5
+    patience: int = 2
+    history: int = 1000
+    micro_batch_size: int | None = None
+    max_wait_seconds: float = 1.0
+    interval_coverage: float | None = 0.8
+
+    def __post_init__(self):
+        if not 0.0 < self.threshold < 1.0:
+            raise DataValidationError(f"threshold must be in (0, 1), got {self.threshold}")
+        if self.micro_batch_size is not None and self.micro_batch_size < 1:
+            raise DataValidationError(
+                f"micro_batch_size must be >= 1 or None, got {self.micro_batch_size}"
+            )
+        if self.max_wait_seconds < 0:
+            raise DataValidationError(
+                f"max_wait_seconds must be >= 0, got {self.max_wait_seconds}"
+            )
+        if self.interval_coverage is not None and not 0.0 < self.interval_coverage < 1.0:
+            raise DataValidationError(
+                f"interval_coverage must be in (0, 1) or None, got {self.interval_coverage}"
+            )
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One deployed model + its validation artifacts + serving policy."""
+
+    name: str
+    version: str
+    predictor: PerformancePredictor
+    validator: PerformanceValidator | None = None
+    policy: EndpointPolicy = field(default_factory=EndpointPolicy)
+
+    def __post_init__(self):
+        if not _NAME_PATTERN.match(self.name):
+            raise DataValidationError(
+                f"endpoint name must match {_NAME_PATTERN.pattern}, got {self.name!r}"
+            )
+        if not _NAME_PATTERN.match(self.version):
+            raise DataValidationError(
+                f"endpoint version must match {_NAME_PATTERN.pattern}, got {self.version!r}"
+            )
+        if not hasattr(self.predictor, "test_score_"):
+            raise DataValidationError(
+                f"endpoint {self.name!r}: predictor must be fitted before registration"
+            )
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}@{self.version}"
+
+    @property
+    def expected_score(self) -> float:
+        return self.predictor.test_score_
+
+    def describe(self) -> str:
+        validator = "with validator" if self.validator is not None else "predictor only"
+        batching = (
+            f"micro-batch {self.policy.micro_batch_size}"
+            if self.policy.micro_batch_size is not None
+            else "immediate"
+        )
+        return (
+            f"{self.key}: expected score {self.expected_score:.4f}, "
+            f"threshold {self.policy.threshold:.0%}, {batching}, {validator}"
+        )
+
+
+class ModelRegistry:
+    """Registry of serving endpoints, keyed by ``name`` and ``version``.
+
+    ``get`` without a version returns the most recently registered
+    version of that name — registration order is the deployment order.
+    """
+
+    def __init__(self):
+        self._endpoints: dict[str, dict[str, Endpoint]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(versions) for versions in self._endpoints.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._endpoints
+
+    def register(self, endpoint: Endpoint, replace_existing: bool = False) -> Endpoint:
+        versions = self._endpoints.setdefault(endpoint.name, {})
+        if endpoint.version in versions and not replace_existing:
+            raise DataValidationError(
+                f"endpoint {endpoint.key} already registered; "
+                "pass replace_existing=True to overwrite"
+            )
+        # Re-insert so that the most recent registration is the latest
+        # version even when overwriting.
+        versions.pop(endpoint.version, None)
+        versions[endpoint.version] = endpoint
+        return endpoint
+
+    def get(self, name: str, version: str | None = None) -> Endpoint:
+        versions = self._endpoints.get(name)
+        if not versions:
+            raise DataValidationError(
+                f"no endpoint named {name!r}; have {sorted(self._endpoints)}"
+            )
+        if version is None:
+            return next(reversed(versions.values()))
+        if version not in versions:
+            raise DataValidationError(
+                f"endpoint {name!r} has no version {version!r}; have {sorted(versions)}"
+            )
+        return versions[version]
+
+    def deregister(self, name: str, version: str | None = None) -> None:
+        versions = self._endpoints.get(name)
+        if not versions:
+            raise DataValidationError(f"no endpoint named {name!r}")
+        if version is None:
+            del self._endpoints[name]
+            return
+        if version not in versions:
+            raise DataValidationError(f"endpoint {name!r} has no version {version!r}")
+        del versions[version]
+        if not versions:
+            del self._endpoints[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._endpoints)
+
+    def endpoints(self) -> list[Endpoint]:
+        """All endpoints, sorted by name then registration order."""
+        result: list[Endpoint] = []
+        for name in sorted(self._endpoints):
+            result.extend(self._endpoints[name].values())
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self, directory: str | Path) -> Path:
+        """Write every endpoint's artifacts + a manifest to ``directory``.
+
+        Layout::
+
+            directory/
+              registry.json                  # manifest
+              <name>@<version>/
+                predictor.npz
+                validator.npz                # only when present
+                endpoint.json                # identity + policy
+        """
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        manifest: dict = {"manifest_version": _MANIFEST_VERSION, "endpoints": []}
+        for endpoint in self.endpoints():
+            subdir = root / endpoint.key
+            subdir.mkdir(parents=True, exist_ok=True)
+            persistence.save_model(endpoint.predictor, subdir / "predictor.npz")
+            if endpoint.validator is not None:
+                persistence.save_model(endpoint.validator, subdir / "validator.npz")
+            meta = {
+                "name": endpoint.name,
+                "version": endpoint.version,
+                "has_validator": endpoint.validator is not None,
+                "expected_score": endpoint.expected_score,
+                "policy": asdict(endpoint.policy),
+            }
+            (subdir / "endpoint.json").write_text(json.dumps(meta, indent=2))
+            manifest["endpoints"].append({"key": endpoint.key, "path": endpoint.key})
+        (root / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        return root
+
+    @classmethod
+    def restore(cls, directory: str | Path) -> "ModelRegistry":
+        """Rebuild a registry from a :meth:`snapshot` directory."""
+        root = Path(directory)
+        manifest_path = root / _MANIFEST_NAME
+        if not manifest_path.exists():
+            raise DataValidationError(f"no registry manifest at {manifest_path}")
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("manifest_version") != _MANIFEST_VERSION:
+            raise DataValidationError(
+                f"unsupported registry manifest version {manifest.get('manifest_version')!r}"
+            )
+        registry = cls()
+        for entry in manifest["endpoints"]:
+            subdir = root / entry["path"]
+            meta = json.loads((subdir / "endpoint.json").read_text())
+            predictor = persistence.load_model(
+                subdir / "predictor.npz", expected_class=PerformancePredictor
+            )
+            validator = None
+            if meta["has_validator"]:
+                validator = persistence.load_model(
+                    subdir / "validator.npz", expected_class=PerformanceValidator
+                )
+            registry.register(
+                Endpoint(
+                    name=meta["name"],
+                    version=meta["version"],
+                    predictor=predictor,
+                    validator=validator,
+                    policy=EndpointPolicy(**meta["policy"]),
+                )
+            )
+        return registry
+
+
+def endpoint_from_artifacts(
+    artifact_dir: str | Path,
+    name: str,
+    version: str = "1",
+    policy: EndpointPolicy | None = None,
+) -> Endpoint:
+    """Build an endpoint from a ``repro train`` output directory.
+
+    ``repro train`` writes ``predictor.npz`` (and optionally
+    ``validator.npz``); this adapter turns that layout into a registrable
+    endpoint, which is how the CLI's declarative config references
+    previously trained artifacts.
+    """
+    directory = Path(artifact_dir)
+    predictor_path = directory / "predictor.npz"
+    if not predictor_path.exists():
+        raise DataValidationError(f"no predictor artifact at {predictor_path}")
+    predictor = persistence.load_model(
+        predictor_path, expected_class=PerformancePredictor
+    )
+    validator = None
+    validator_path = directory / "validator.npz"
+    if validator_path.exists():
+        validator = persistence.load_model(
+            validator_path, expected_class=PerformanceValidator
+        )
+    return Endpoint(
+        name=name,
+        version=version,
+        predictor=predictor,
+        validator=validator,
+        policy=policy if policy is not None else EndpointPolicy(),
+    )

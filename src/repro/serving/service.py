@@ -1,0 +1,367 @@
+"""The validation serving loop: batches in, decisions + telemetry out.
+
+:class:`ValidationService` is the process-level object a serving tier
+embeds next to its model hosts. It owns, per registered endpoint,
+
+* a :class:`~repro.monitoring.BatchMonitor` (smoothing, patience,
+  sustained alarms),
+* an optional micro-batch buffer (accumulate small requests into
+  statistically meaningful batches before scoring — percentile features
+  over five rows are noise, over five hundred they are a signal),
+* instrumentation (request/row/alarm counters, latency and score
+  histograms) on a shared :class:`~repro.serving.metrics.MetricsRegistry`,
+* alert delivery through an :class:`~repro.serving.events.EventRouter`.
+
+Scoring is single-pass: one ``predict_proba`` per batch feeds the score
+estimate, the conformal interval, the validator decision and the
+monitor update. Time is injected (``clock``) so micro-batch max-wait
+flushing is deterministic under test.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import DataValidationError
+from repro.monitoring import BatchMonitor, BatchRecord
+from repro.serving.events import AlertEvent, EventRouter
+from repro.serving.metrics import MetricsRegistry, SCORE_BUCKETS
+from repro.serving.registry import Endpoint, ModelRegistry
+from repro.tabular.frame import DataFrame, concat
+
+_BATCH_SIZE_BUCKETS = (1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0)
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Everything the service decided about one scored batch."""
+
+    endpoint: str
+    version: str
+    batch_index: int
+    n_rows: int
+    estimated_score: float
+    smoothed_score: float
+    expected_score: float
+    alarm_floor: float
+    alarm: bool
+    sustained_alarm: bool
+    interval: tuple[float, float, float] | None = None
+    trusted: bool | None = None
+
+    @property
+    def key(self) -> str:
+        return f"{self.endpoint}@{self.version}"
+
+    def describe(self) -> str:
+        state = "SUSTAINED-ALARM" if self.sustained_alarm else (
+            "alarm" if self.alarm else "ok"
+        )
+        interval = (
+            f" interval=[{self.interval[0]:.4f}, {self.interval[2]:.4f}]"
+            if self.interval is not None
+            else ""
+        )
+        trust = "" if self.trusted is None else f" trusted={self.trusted}"
+        return (
+            f"{self.key} batch {self.batch_index}: "
+            f"estimated={self.estimated_score:.4f}{interval}{trust} [{state}]"
+        )
+
+
+@dataclass
+class _MicroBatchBuffer:
+    """Rows waiting to reach the endpoint's target batch size."""
+
+    frames: list[DataFrame] = field(default_factory=list)
+    n_rows: int = 0
+    first_arrival: float = 0.0
+
+    def add(self, frame: DataFrame, now: float) -> None:
+        if not self.frames:
+            self.first_arrival = now
+        self.frames.append(frame)
+        self.n_rows += len(frame)
+
+    def drain(self) -> DataFrame:
+        merged = self.frames[0] if len(self.frames) == 1 else concat(self.frames)
+        self.frames = []
+        self.n_rows = 0
+        return merged
+
+
+class ValidationService:
+    """Serves validation decisions for every endpoint in a registry.
+
+    Parameters
+    ----------
+    registry:
+        Endpoints to serve. Endpoints registered after construction are
+        picked up automatically — monitors are created lazily.
+    metrics:
+        Optional shared metrics registry (a new one by default).
+    events:
+        Optional alert router; without one, alerts are only reflected in
+        metrics and results.
+    clock:
+        Monotonic-time source used for latency measurement and
+        micro-batch max-wait flushing; injectable for tests.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        metrics: MetricsRegistry | None = None,
+        events: EventRouter | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.registry = registry
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events
+        self._clock = clock
+        self._monitors: dict[str, BatchMonitor] = {}
+        self._buffers: dict[str, _MicroBatchBuffer] = {}
+
+        labels = ("endpoint",)
+        self._requests = self.metrics.counter(
+            "serving_requests_total", "Submitted serving requests", labels
+        )
+        self._rows = self.metrics.counter(
+            "serving_rows_total", "Submitted serving rows", labels
+        )
+        self._scored = self.metrics.counter(
+            "serving_batches_scored_total", "Batches scored after micro-batching", labels
+        )
+        self._alarms = self.metrics.counter(
+            "serving_alarms_total", "Alarm decisions by severity", ("endpoint", "severity")
+        )
+        self._flushes = self.metrics.counter(
+            "serving_microbatch_flushes_total",
+            "Micro-batch buffer flushes by trigger",
+            ("endpoint", "reason"),
+        )
+        self._latency = self.metrics.histogram(
+            "serving_scoring_latency_seconds", "Single-pass scoring latency", labels
+        )
+        self._batch_sizes = self.metrics.histogram(
+            "serving_batch_size_rows", "Rows per scored batch", labels,
+            buckets=_BATCH_SIZE_BUCKETS,
+        )
+        self._scores = self.metrics.histogram(
+            "serving_estimated_score", "Distribution of estimated scores", labels,
+            buckets=SCORE_BUCKETS,
+        )
+        self._endpoint_gauge = self.metrics.gauge(
+            "serving_endpoints_registered", "Endpoints known to the registry"
+        )
+        self._endpoint_gauge.set(len(registry))
+
+    # ------------------------------------------------------------------ #
+    # Submission and micro-batching
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self, name: str, frame: DataFrame, version: str | None = None
+    ) -> list[BatchResult]:
+        """Route a serving frame to an endpoint.
+
+        Returns the batch results this submission produced: exactly one
+        for an immediate-scoring endpoint, zero or more for a
+        micro-batching endpoint (zero while rows accumulate, one or more
+        when the submission trips a size or max-wait flush).
+        """
+        if len(frame) == 0:
+            raise DataValidationError("cannot serve an empty batch")
+        endpoint = self.registry.get(name, version)
+        self._endpoint_gauge.set(len(self.registry))
+        self._requests.inc(endpoint=endpoint.key)
+        self._rows.inc(len(frame), endpoint=endpoint.key)
+
+        policy = endpoint.policy
+        if policy.micro_batch_size is None:
+            return [self._score(endpoint, frame)]
+
+        buffer = self._buffers.setdefault(endpoint.key, _MicroBatchBuffer())
+        now = self._clock()
+        results: list[BatchResult] = []
+        # A buffer that aged out before this submission flushes first so
+        # the stale rows are not merged with fresh ones.
+        if buffer.frames and now - buffer.first_arrival >= policy.max_wait_seconds:
+            self._flushes.inc(endpoint=endpoint.key, reason="max_wait")
+            results.append(self._score(endpoint, buffer.drain()))
+        buffer.add(frame, now)
+        if buffer.n_rows >= policy.micro_batch_size:
+            self._flushes.inc(endpoint=endpoint.key, reason="size")
+            results.append(self._score(endpoint, buffer.drain()))
+        return results
+
+    def flush(self, name: str, version: str | None = None) -> BatchResult | None:
+        """Score whatever an endpoint's buffer holds, regardless of size."""
+        endpoint = self.registry.get(name, version)
+        buffer = self._buffers.get(endpoint.key)
+        if buffer is None or not buffer.frames:
+            return None
+        self._flushes.inc(endpoint=endpoint.key, reason="manual")
+        return self._score(endpoint, buffer.drain())
+
+    def flush_expired(self) -> list[BatchResult]:
+        """Score every buffer older than its endpoint's max wait.
+
+        A serving loop calls this periodically (or a timer wires it up)
+        so trickling traffic still gets validated within ``max_wait``.
+        """
+        now = self._clock()
+        results: list[BatchResult] = []
+        for key, buffer in self._buffers.items():
+            if not buffer.frames:
+                continue
+            name, _, version = key.rpartition("@")
+            endpoint = self.registry.get(name, version)
+            if now - buffer.first_arrival >= endpoint.policy.max_wait_seconds:
+                self._flushes.inc(endpoint=endpoint.key, reason="max_wait")
+                results.append(self._score(endpoint, buffer.drain()))
+        return results
+
+    def pending_rows(self, name: str, version: str | None = None) -> int:
+        """Rows currently buffered for an endpoint."""
+        endpoint = self.registry.get(name, version)
+        buffer = self._buffers.get(endpoint.key)
+        return 0 if buffer is None else buffer.n_rows
+
+    # ------------------------------------------------------------------ #
+    # Single-pass scoring
+    # ------------------------------------------------------------------ #
+
+    def monitor(self, name: str, version: str | None = None) -> BatchMonitor:
+        """The per-endpoint monitor (created on first use)."""
+        endpoint = self.registry.get(name, version)
+        monitor = self._monitors.get(endpoint.key)
+        if monitor is None:
+            policy = endpoint.policy
+            monitor = BatchMonitor(
+                endpoint.predictor,
+                threshold=policy.threshold,
+                smoothing=policy.smoothing,
+                patience=policy.patience,
+                history=policy.history,
+            )
+            self._monitors[endpoint.key] = monitor
+        return monitor
+
+    def _score(self, endpoint: Endpoint, frame: DataFrame) -> BatchResult:
+        monitor = self.monitor(endpoint.name, endpoint.version)
+        policy = endpoint.policy
+        started = self._clock()
+        proba = endpoint.predictor.blackbox.predict_proba(frame)
+        estimate = endpoint.predictor.predict_from_proba(proba)
+        record = monitor.observe_estimate(estimate, len(frame))
+        interval = None
+        if (
+            policy.interval_coverage is not None
+            and getattr(endpoint.predictor, "calibration_residuals_", None) is not None
+        ):
+            interval = endpoint.predictor.interval_from_estimate(
+                estimate, policy.interval_coverage
+            )
+        trusted = None
+        if endpoint.validator is not None:
+            trusted = endpoint.validator.validate_from_proba(proba)
+        elapsed = max(0.0, self._clock() - started)
+
+        key = endpoint.key
+        self._scored.inc(endpoint=key)
+        self._latency.observe(elapsed, endpoint=key)
+        self._batch_sizes.observe(len(frame), endpoint=key)
+        self._scores.observe(estimate, endpoint=key)
+        severity = self._severity(record)
+        if severity is not None:
+            self._alarms.inc(endpoint=key, severity=severity)
+            self._publish_alert(endpoint, record, severity, trusted)
+
+        return BatchResult(
+            endpoint=endpoint.name,
+            version=endpoint.version,
+            batch_index=record.batch_index,
+            n_rows=record.n_rows,
+            estimated_score=record.estimated_score,
+            smoothed_score=record.smoothed_score,
+            expected_score=endpoint.expected_score,
+            alarm_floor=monitor.alarm_floor,
+            alarm=record.alarm,
+            sustained_alarm=record.sustained_alarm,
+            interval=interval,
+            trusted=trusted,
+        )
+
+    @staticmethod
+    def _severity(record: BatchRecord) -> str | None:
+        if record.sustained_alarm:
+            return "sustained"
+        if record.alarm:
+            return "alarm"
+        return None
+
+    def _publish_alert(
+        self,
+        endpoint: Endpoint,
+        record: BatchRecord,
+        severity: str,
+        trusted: bool | None,
+    ) -> None:
+        if self.events is None:
+            return
+        monitor = self._monitors[endpoint.key]
+        drop = 0.0
+        if endpoint.expected_score > 0:
+            drop = (
+                endpoint.expected_score - record.estimated_score
+            ) / endpoint.expected_score
+        message = (
+            f"estimated score dropped {drop:+.1%} below the held-out expectation"
+            if severity == "alarm"
+            else f"score degradation sustained for {monitor.patience}+ batches"
+        )
+        context: dict = {"smoothed_score": record.smoothed_score}
+        if trusted is not None:
+            context["validator_trusted"] = trusted
+        self.events.publish(
+            AlertEvent(
+                endpoint=endpoint.key,
+                severity=severity,
+                batch_index=record.batch_index,
+                n_rows=record.n_rows,
+                estimated_score=record.estimated_score,
+                expected_score=endpoint.expected_score,
+                alarm_floor=monitor.alarm_floor,
+                message=message,
+                context=context,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> str:
+        """Multi-endpoint state overview for logs and the CLI."""
+        lines = [f"ValidationService: {len(self.registry)} endpoint(s)"]
+        for endpoint in self.registry.endpoints():
+            monitor = self._monitors.get(endpoint.key)
+            if monitor is None or not monitor.state.records:
+                lines.append(f"  {endpoint.key}: no batches observed")
+                continue
+            latest = monitor.state.records[-1]
+            state = "SUSTAINED-ALARM" if latest.sustained_alarm else (
+                "alarm" if latest.alarm else "ok"
+            )
+            pending = self.pending_rows(endpoint.name, endpoint.version)
+            lines.append(
+                f"  {endpoint.key}: {monitor.state.total_batches} batches, "
+                f"latest {latest.estimated_score:.4f} "
+                f"(floor {monitor.alarm_floor:.4f}), "
+                f"alarm rate {monitor.alarm_rate():.2f}, "
+                f"pending rows {pending}, state: {state}"
+            )
+        return "\n".join(lines)

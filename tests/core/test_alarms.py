@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.alarms import ValidationReport, check_serving_batch
+from repro.core.alarms import ValidationReport, alarm_floor, check_serving_batch
 from repro.core.predictor import PerformancePredictor
 from repro.errors.tabular_errors import MissingValues, Scaling
 from repro.exceptions import DataValidationError
@@ -14,6 +14,28 @@ def predictor(income_blackbox, income_splits):
     return PerformancePredictor(
         income_blackbox, [MissingValues(), Scaling()], n_samples=40, random_state=0
     ).fit(income_splits.test, income_splits.y_test)
+
+
+class TestAlarmFloor:
+    def test_relative_floor(self):
+        assert alarm_floor(0.8, 0.05) == pytest.approx(0.76)
+        assert alarm_floor(0.8, 0.5) == pytest.approx(0.4)
+
+    @pytest.mark.parametrize("threshold", [0.0, 1.0, -0.1, 2.0])
+    def test_invalid_threshold_raises(self, threshold):
+        with pytest.raises(DataValidationError):
+            alarm_floor(0.8, threshold)
+
+    def test_shared_by_monitor_and_check(self, predictor, income_splits):
+        from repro.monitoring import BatchMonitor
+
+        monitor = BatchMonitor(predictor, threshold=0.07)
+        report = check_serving_batch(
+            predictor, income_splits.serving.head(100), threshold=0.07
+        )
+        floor = alarm_floor(predictor.test_score_, 0.07)
+        assert monitor.alarm_floor == pytest.approx(floor)
+        assert report.alarm == (report.estimated_score < floor)
 
 
 class TestValidationReport:

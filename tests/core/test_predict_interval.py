@@ -59,3 +59,39 @@ class TestPredictInterval:
         assert small.calibration_residuals_ is None
         with pytest.raises(NotFittedError):
             small.predict_interval(income_splits.serving)
+        with pytest.raises(NotFittedError):
+            small.interval_from_estimate(0.8)
+
+    def test_extreme_coverages_are_valid_and_ordered(self, predictor, income_splits):
+        tight = predictor.predict_interval(income_splits.serving, coverage=0.01)
+        loose = predictor.predict_interval(income_splits.serving, coverage=0.99)
+        for lower, estimate, upper in (tight, loose):
+            assert 0.0 <= lower <= estimate <= upper <= 1.0
+        assert (loose[2] - loose[0]) >= (tight[2] - tight[0])
+        # 0.01 coverage keeps essentially the smallest residual: the band
+        # must hug the estimate.
+        assert (tight[2] - tight[0]) <= 2.0 * float(
+            np.quantile(predictor.calibration_residuals_, 0.01)
+        ) + 1e-12
+
+    @pytest.mark.parametrize("coverage", [0.0, 1.0, -0.5, 2.0])
+    def test_interval_from_estimate_validates_coverage(self, predictor, coverage):
+        with pytest.raises(DataValidationError):
+            predictor.interval_from_estimate(0.8, coverage=coverage)
+
+    def test_interval_clips_at_unit_borders(self, predictor):
+        width = float(np.quantile(predictor.calibration_residuals_, 0.99))
+        assert width > 0.0
+        lower, estimate, upper = predictor.interval_from_estimate(1.0, coverage=0.99)
+        assert (lower, estimate, upper) == (pytest.approx(1.0 - width), 1.0, 1.0)
+        lower, estimate, upper = predictor.interval_from_estimate(0.0, coverage=0.99)
+        assert (lower, estimate, upper) == (0.0, 0.0, pytest.approx(width))
+
+    def test_interval_from_estimate_matches_predict_interval(
+        self, predictor, income_splits
+    ):
+        batch = income_splits.serving.head(300)
+        estimate = predictor.predict(batch)
+        assert predictor.interval_from_estimate(estimate, 0.8) == pytest.approx(
+            predictor.predict_interval(batch, coverage=0.8)
+        )

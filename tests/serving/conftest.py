@@ -1,0 +1,64 @@
+"""Fixtures for the serving layer: fitted artifacts and endpoint factories.
+
+The expensive pieces (fitted predictor / validator over the session-scoped
+income black box) are module-scoped per test module via the package-scoped
+fixtures here, so the serving suite adds two fits total, not two per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predictor import PerformancePredictor
+from repro.core.validator import PerformanceValidator
+from repro.errors.tabular_errors import GaussianOutliers, MissingValues, Scaling
+from repro.serving.registry import Endpoint, EndpointPolicy, ModelRegistry
+
+
+@pytest.fixture(scope="package")
+def serving_predictor(income_blackbox, income_splits):
+    return PerformancePredictor(
+        income_blackbox,
+        [MissingValues(), GaussianOutliers(), Scaling()],
+        n_samples=60,
+        random_state=0,
+    ).fit(income_splits.test, income_splits.y_test)
+
+
+@pytest.fixture(scope="package")
+def serving_validator(income_blackbox, income_splits):
+    return PerformanceValidator(
+        income_blackbox,
+        [MissingValues(), GaussianOutliers(), Scaling()],
+        threshold=0.05,
+        n_samples=60,
+        random_state=0,
+    ).fit(income_splits.test, income_splits.y_test)
+
+
+@pytest.fixture
+def make_endpoint(serving_predictor, serving_validator):
+    """Factory for endpoints around the shared fitted artifacts."""
+
+    def factory(
+        name: str = "income",
+        version: str = "1",
+        with_validator: bool = False,
+        **policy_kwargs,
+    ) -> Endpoint:
+        return Endpoint(
+            name=name,
+            version=version,
+            predictor=serving_predictor,
+            validator=serving_validator if with_validator else None,
+            policy=EndpointPolicy(**policy_kwargs),
+        )
+
+    return factory
+
+
+@pytest.fixture
+def registry(make_endpoint):
+    reg = ModelRegistry()
+    reg.register(make_endpoint())
+    return reg

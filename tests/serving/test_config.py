@@ -1,0 +1,114 @@
+"""Tests for the declarative serving configuration."""
+
+import json
+
+import pytest
+
+from repro import persistence
+from repro.exceptions import DataValidationError
+from repro.serving.config import (
+    load_serving_config,
+    parse_policy,
+    registry_from_config,
+    write_serving_config,
+)
+from repro.serving.registry import EndpointPolicy, ModelRegistry
+
+
+@pytest.fixture
+def artifact_dir(serving_predictor, tmp_path):
+    directory = tmp_path / "deployed"
+    directory.mkdir()
+    persistence.save_model(serving_predictor, directory / "predictor.npz")
+    return directory
+
+
+def write_config(path, payload):
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestParsePolicy:
+    def test_defaults_and_overrides(self):
+        assert parse_policy({}) == EndpointPolicy()
+        assert parse_policy({"threshold": 0.1}).threshold == 0.1
+
+    def test_unknown_keys_raise(self):
+        with pytest.raises(DataValidationError) as excinfo:
+            parse_policy({"thresold": 0.1})
+        assert "thresold" in str(excinfo.value)
+
+
+class TestLoadServingConfig:
+    def test_valid_config(self, tmp_path):
+        path = write_config(
+            tmp_path / "serving.json",
+            {
+                "endpoints": [
+                    {
+                        "name": "income",
+                        "artifacts": "deployed",
+                        "version": "2",
+                        "policy": {"micro_batch_size": 100},
+                    }
+                ]
+            },
+        )
+        specs = load_serving_config(path)
+        assert len(specs) == 1
+        assert specs[0].name == "income"
+        assert specs[0].version == "2"
+        assert specs[0].policy.micro_batch_size == 100
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            load_serving_config(tmp_path / "nope.json")
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "serving.json"
+        path.write_text("{not json")
+        with pytest.raises(DataValidationError):
+            load_serving_config(path)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"endpoints": []},
+            {"endpoints": [{"name": "income"}]},
+            {"endpoints": [{"name": "a", "artifacts": "d", "extra": 1}]},
+            {"endpoints": [{"name": "a", "artifacts": "d", "policy": ["x"]}]},
+        ],
+    )
+    def test_malformed_configs_raise(self, tmp_path, payload):
+        path = write_config(tmp_path / "serving.json", payload)
+        with pytest.raises(DataValidationError):
+            load_serving_config(path)
+
+
+class TestRegistryFromConfig:
+    def test_relative_paths_resolve_against_config_dir(self, artifact_dir, tmp_path):
+        path = write_config(
+            tmp_path / "serving.json",
+            {"endpoints": [{"name": "income", "artifacts": "deployed"}]},
+        )
+        registry = registry_from_config(path)
+        assert len(registry) == 1
+        assert registry.get("income").expected_score > 0.5
+
+    def test_config_written_by_write_serving_config_round_trips(
+        self, artifact_dir, make_endpoint, tmp_path
+    ):
+        endpoint = make_endpoint(threshold=0.08, micro_batch_size=50)
+        config_path = tmp_path / "serving.json"
+        write_serving_config(config_path, [(endpoint, str(artifact_dir))])
+        registry = registry_from_config(config_path)
+        loaded = registry.get("income")
+        assert loaded.policy.threshold == 0.08
+        assert loaded.policy.micro_batch_size == 50
+
+    def test_duplicate_endpoint_keys_raise(self, artifact_dir, tmp_path):
+        entry = {"name": "income", "artifacts": "deployed"}
+        path = write_config(tmp_path / "serving.json", {"endpoints": [entry, entry]})
+        with pytest.raises(DataValidationError):
+            registry_from_config(path)

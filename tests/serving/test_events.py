@@ -1,0 +1,150 @@
+"""Tests for alert events, sinks, and the retrying router."""
+
+import io
+import json
+
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.serving.events import (
+    AlertEvent,
+    CallbackSink,
+    EventRouter,
+    JsonlFileSink,
+    StdoutSink,
+)
+
+
+def make_event(severity="alarm", batch_index=3):
+    return AlertEvent(
+        endpoint="income@1",
+        severity=severity,
+        batch_index=batch_index,
+        n_rows=100,
+        estimated_score=0.61,
+        expected_score=0.78,
+        alarm_floor=0.741,
+        message="estimated score dropped",
+    )
+
+
+class FlakySink:
+    """Fails the first ``failures`` emits, then accepts everything."""
+
+    def __init__(self, failures: int, name: str = "flaky"):
+        self.name = name
+        self.failures = failures
+        self.calls = 0
+        self.received: list[AlertEvent] = []
+
+    def emit(self, event: AlertEvent) -> None:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise ConnectionError("pager service unavailable")
+        self.received.append(event)
+
+
+class TestAlertEvent:
+    def test_invalid_severity_raises(self):
+        with pytest.raises(DataValidationError):
+            make_event(severity="panic")
+
+    def test_json_round_trip(self):
+        event = make_event()
+        decoded = json.loads(event.to_json())
+        assert decoded["endpoint"] == "income@1"
+        assert decoded["severity"] == "alarm"
+        assert decoded["estimated_score"] == pytest.approx(0.61)
+
+    def test_describe_mentions_severity_and_endpoint(self):
+        text = make_event(severity="sustained").describe()
+        assert "SUSTAINED" in text
+        assert "income@1" in text
+
+
+class TestSinks:
+    def test_stdout_sink_writes_description(self):
+        stream = io.StringIO()
+        StdoutSink(stream=stream).emit(make_event())
+        assert "income@1" in stream.getvalue()
+
+    def test_jsonl_sink_appends_one_line_per_event(self, tmp_path):
+        sink = JsonlFileSink(tmp_path / "alerts.jsonl")
+        sink.emit(make_event(batch_index=1))
+        sink.emit(make_event(batch_index=2))
+        lines = (tmp_path / "alerts.jsonl").read_text().splitlines()
+        assert [json.loads(line)["batch_index"] for line in lines] == [1, 2]
+
+    def test_callback_sink_invokes_callable(self):
+        received = []
+        CallbackSink(received.append).emit(make_event())
+        assert len(received) == 1
+
+
+class TestEventRouter:
+    def test_delivers_to_every_sink(self):
+        a, b = FlakySink(0, "a"), FlakySink(0, "b")
+        router = EventRouter([a, b], sleep=lambda _: None)
+        assert router.publish(make_event()) == 2
+        assert len(a.received) == len(b.received) == 1
+
+    def test_flaky_sink_recovers_via_retry_with_empty_dead_letters(self):
+        sink = FlakySink(2)
+        router = EventRouter([sink], max_retries=3, sleep=lambda _: None)
+        assert router.publish(make_event()) == 1
+        assert sink.calls == 3  # two failures + one success
+        assert len(sink.received) == 1
+        assert list(router.dead_letters) == []
+        assert router.delivered_count == 1
+        assert router.failed_count == 0
+
+    def test_exhausted_retries_park_event_in_dead_letters(self):
+        sink = FlakySink(100)
+        router = EventRouter([sink], max_retries=2, sleep=lambda _: None)
+        event = make_event()
+        assert router.publish(event) == 0
+        assert sink.calls == 3  # first try + 2 retries
+        letter = router.dead_letters[0]
+        assert letter.sink == "flaky"
+        assert letter.event is event
+        assert letter.attempts == 3
+        assert "ConnectionError" in letter.error
+
+    def test_one_dead_sink_does_not_block_others(self):
+        dead, healthy = FlakySink(100, "dead"), FlakySink(0, "healthy")
+        router = EventRouter([dead, healthy], max_retries=1, sleep=lambda _: None)
+        assert router.publish(make_event()) == 1
+        assert len(healthy.received) == 1
+        assert len(router.dead_letters) == 1
+
+    def test_backoff_is_exponential(self):
+        sleeps = []
+        sink = FlakySink(3)
+        router = EventRouter([sink], max_retries=3, backoff=0.1, sleep=sleeps.append)
+        router.publish(make_event())
+        assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_dead_letter_buffer_is_bounded(self):
+        sink = FlakySink(10**6)
+        router = EventRouter(
+            [sink], max_retries=0, dead_letter_capacity=2, sleep=lambda _: None
+        )
+        for index in range(5):
+            router.publish(make_event(batch_index=index))
+        assert [letter.event.batch_index for letter in router.dead_letters] == [3, 4]
+
+    def test_drain_returns_and_clears(self):
+        sink = FlakySink(10)
+        router = EventRouter([sink], max_retries=0, sleep=lambda _: None)
+        router.publish(make_event())
+        drained = router.drain_dead_letters()
+        assert len(drained) == 1
+        assert list(router.dead_letters) == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(DataValidationError):
+            EventRouter(max_retries=-1)
+        with pytest.raises(DataValidationError):
+            EventRouter(backoff=-0.1)
+        with pytest.raises(DataValidationError):
+            EventRouter(dead_letter_capacity=0)

@@ -1,0 +1,124 @@
+"""Tests for the in-process metrics layer."""
+
+import json
+
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.serving.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("requests_total", "requests", ("endpoint",))
+        assert counter.value(endpoint="a") == 0.0
+        counter.inc(endpoint="a")
+        counter.inc(2, endpoint="a")
+        assert counter.value(endpoint="a") == 3.0
+
+    def test_series_are_independent(self):
+        counter = Counter("requests_total", "requests", ("endpoint",))
+        counter.inc(endpoint="a")
+        counter.inc(5, endpoint="b")
+        assert counter.value(endpoint="a") == 1.0
+        assert counter.value(endpoint="b") == 5.0
+
+    def test_negative_increment_raises(self):
+        counter = Counter("requests_total", "requests")
+        with pytest.raises(DataValidationError):
+            counter.inc(-1)
+
+    def test_wrong_labels_raise(self):
+        counter = Counter("requests_total", "requests", ("endpoint",))
+        with pytest.raises(DataValidationError):
+            counter.inc(shard="a")
+        with pytest.raises(DataValidationError):
+            counter.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("pending_rows", "buffered rows", ("endpoint",))
+        gauge.set(10, endpoint="a")
+        gauge.inc(5, endpoint="a")
+        gauge.dec(3, endpoint="a")
+        assert gauge.value(endpoint="a") == 12.0
+
+    def test_unlabeled_gauge(self):
+        gauge = Gauge("endpoints", "count")
+        gauge.set(4)
+        assert gauge.value() == 4.0
+
+
+class TestHistogram:
+    def test_bucket_counts_are_cumulative(self):
+        hist = Histogram("latency", "seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        payload = hist.to_json()["series"][0]
+        assert payload["bucket_counts"] == [1, 3, 4]
+        assert payload["count"] == 5
+        assert payload["sum"] == pytest.approx(56.05)
+
+    def test_count_and_sum_accessors(self):
+        hist = Histogram("latency", "seconds", ("endpoint",), buckets=(1.0,))
+        hist.observe(0.5, endpoint="a")
+        hist.observe(2.0, endpoint="a")
+        assert hist.count(endpoint="a") == 2
+        assert hist.sum(endpoint="a") == pytest.approx(2.5)
+        assert hist.count(endpoint="missing") == 0
+
+    def test_unsorted_buckets_raise(self):
+        with pytest.raises(DataValidationError):
+            Histogram("latency", "seconds", buckets=(1.0, 0.1))
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total", "requests", ("endpoint",))
+        second = registry.counter("requests_total", "requests", ("endpoint",))
+        assert first is second
+
+    def test_shape_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "requests", ("endpoint",))
+        with pytest.raises(DataValidationError):
+            registry.counter("requests_total", "requests", ("endpoint", "shard"))
+        with pytest.raises(DataValidationError):
+            registry.gauge("requests_total", "requests", ("endpoint",))
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(DataValidationError):
+            MetricsRegistry().get("nope")
+
+    def test_json_export_parses_and_reflects_counts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "requests", ("endpoint",))
+        counter.inc(3, endpoint="a@1")
+        payload = json.loads(registry.to_json())
+        series = payload["requests_total"]["series"]
+        assert series == [{"labels": {"endpoint": "a@1"}, "value": 3.0}]
+
+    def test_prometheus_export_format(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "requests", ("endpoint",))
+        counter.inc(3, endpoint="a@1")
+        hist = registry.histogram("latency_seconds", "latency", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        text = registry.to_prometheus()
+        assert "# HELP requests_total requests" in text
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{endpoint="a@1"} 3' in text
+        assert "# TYPE latency_seconds histogram" in text
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "latency_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "requests", ("endpoint",))
+        counter.inc(endpoint='we"ird\nname')
+        text = registry.to_prometheus()
+        assert 'endpoint="we\\"ird\\nname"' in text

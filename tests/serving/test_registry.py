@@ -1,0 +1,154 @@
+"""Tests for endpoints, policies and the model registry."""
+
+import pytest
+
+from repro.core.predictor import PerformancePredictor
+from repro.errors.tabular_errors import Scaling
+from repro.exceptions import DataValidationError
+from repro.serving.registry import (
+    Endpoint,
+    EndpointPolicy,
+    ModelRegistry,
+    endpoint_from_artifacts,
+)
+
+
+class TestEndpointPolicy:
+    def test_defaults_are_valid(self):
+        policy = EndpointPolicy()
+        assert policy.threshold == 0.05
+        assert policy.micro_batch_size is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threshold": 0.0},
+            {"threshold": 1.0},
+            {"micro_batch_size": 0},
+            {"max_wait_seconds": -1.0},
+            {"interval_coverage": 1.5},
+        ],
+    )
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(DataValidationError):
+            EndpointPolicy(**kwargs)
+
+
+class TestEndpoint:
+    def test_key_and_expected_score(self, make_endpoint, serving_predictor):
+        endpoint = make_endpoint(name="income", version="2")
+        assert endpoint.key == "income@2"
+        assert endpoint.expected_score == serving_predictor.test_score_
+
+    def test_unfitted_predictor_rejected(self, income_blackbox):
+        unfitted = PerformancePredictor(income_blackbox, [Scaling()])
+        with pytest.raises(DataValidationError):
+            Endpoint(name="income", version="1", predictor=unfitted)
+
+    @pytest.mark.parametrize("bad_name", ["", "with space", "a/b", "@v"])
+    def test_invalid_names_rejected(self, serving_predictor, bad_name):
+        with pytest.raises(DataValidationError):
+            Endpoint(name=bad_name, version="1", predictor=serving_predictor)
+
+    def test_describe_mentions_policy(self, make_endpoint):
+        text = make_endpoint(micro_batch_size=100).describe()
+        assert "micro-batch 100" in text
+        assert "income@1" in text
+
+
+class TestModelRegistry:
+    def test_register_and_get(self, make_endpoint):
+        registry = ModelRegistry()
+        endpoint = registry.register(make_endpoint())
+        assert registry.get("income") is endpoint
+        assert registry.get("income", "1") is endpoint
+        assert len(registry) == 1
+        assert "income" in registry
+
+    def test_get_without_version_returns_latest(self, make_endpoint):
+        registry = ModelRegistry()
+        registry.register(make_endpoint(version="1"))
+        v2 = registry.register(make_endpoint(version="2"))
+        assert registry.get("income") is v2
+        assert registry.get("income", "1").version == "1"
+
+    def test_duplicate_registration_raises_unless_replacing(self, make_endpoint):
+        registry = ModelRegistry()
+        registry.register(make_endpoint())
+        with pytest.raises(DataValidationError):
+            registry.register(make_endpoint())
+        replacement = make_endpoint(threshold=0.10)
+        registry.register(replacement, replace_existing=True)
+        assert registry.get("income").policy.threshold == 0.10
+
+    def test_unknown_lookups_raise(self, make_endpoint):
+        registry = ModelRegistry()
+        registry.register(make_endpoint())
+        with pytest.raises(DataValidationError):
+            registry.get("missing")
+        with pytest.raises(DataValidationError):
+            registry.get("income", "99")
+
+    def test_deregister_version_and_name(self, make_endpoint):
+        registry = ModelRegistry()
+        registry.register(make_endpoint(version="1"))
+        registry.register(make_endpoint(version="2"))
+        registry.deregister("income", "1")
+        assert len(registry) == 1
+        registry.deregister("income")
+        assert "income" not in registry
+
+    def test_endpoints_listing_is_sorted_by_name(self, make_endpoint):
+        registry = ModelRegistry()
+        registry.register(make_endpoint(name="zeta"))
+        registry.register(make_endpoint(name="alpha"))
+        assert [e.name for e in registry.endpoints()] == ["alpha", "zeta"]
+
+
+class TestSnapshotRestore:
+    def test_round_trip_preserves_predictions_and_policy(
+        self, make_endpoint, income_splits, tmp_path
+    ):
+        registry = ModelRegistry()
+        registry.register(make_endpoint(threshold=0.07, micro_batch_size=250))
+        registry.register(make_endpoint(name="audited", with_validator=True))
+        registry.snapshot(tmp_path / "snap")
+
+        restored = ModelRegistry.restore(tmp_path / "snap")
+        assert len(restored) == 2
+        original = registry.get("income")
+        copy = restored.get("income")
+        assert copy.policy == original.policy
+        batch = income_splits.serving.head(200)
+        assert copy.predictor.predict(batch) == pytest.approx(
+            original.predictor.predict(batch)
+        )
+        audited = restored.get("audited")
+        assert audited.validator is not None
+        assert audited.validator.validate(batch) == registry.get(
+            "audited"
+        ).validator.validate(batch)
+
+    def test_restore_requires_manifest(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            ModelRegistry.restore(tmp_path)
+
+
+class TestEndpointFromArtifacts:
+    def test_missing_predictor_raises(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            endpoint_from_artifacts(tmp_path, name="income")
+
+    def test_loads_train_style_directory(
+        self, serving_predictor, income_splits, tmp_path
+    ):
+        from repro import persistence
+
+        persistence.save_model(serving_predictor, tmp_path / "predictor.npz")
+        endpoint = endpoint_from_artifacts(tmp_path, name="income", version="3")
+        assert endpoint.key == "income@3"
+        assert endpoint.validator is None
+        batch = income_splits.serving.head(100)
+        assert endpoint.predictor.predict(batch) == pytest.approx(
+            serving_predictor.predict(batch)
+        )

@@ -1,0 +1,245 @@
+"""Tests for the validation service: routing, micro-batching, telemetry.
+
+Includes the subsystem's end-to-end acceptance test: two endpoints, a
+stream of clean and corrupted batches, metrics exports that reflect the
+observed counts, and alert delivery through a flaky sink that recovers
+via retry.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.serving.events import AlertEvent, EventRouter
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import ValidationService
+from repro.errors.tabular_errors import Scaling
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FlakySink:
+    def __init__(self, failures: int, name: str = "pager"):
+        self.name = name
+        self.failures = failures
+        self.calls = 0
+        self.received: list[AlertEvent] = []
+
+    def emit(self, event: AlertEvent) -> None:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise ConnectionError("pager timeout")
+        self.received.append(event)
+
+
+def clean_batches(income_splits, n, rows=150):
+    """``n`` deterministic clean batches cycling over the serving split."""
+    serving = income_splits.serving
+    slices = [
+        serving.select_rows(np.arange(start, start + rows))
+        for start in range(0, len(serving) - rows + 1, rows)
+    ]
+    return [slices[i % len(slices)] for i in range(n)]
+
+
+def corrupt(batch, income_splits, rng):
+    return Scaling().corrupt(
+        batch, rng,
+        columns=income_splits.serving.numeric_columns, fraction=1.0, factor=1000.0,
+    )
+
+
+class TestSubmission:
+    def test_immediate_endpoint_returns_one_result(self, registry, income_splits):
+        service = ValidationService(registry)
+        [result] = service.submit("income", income_splits.serving.head(200))
+        assert result.key == "income@1"
+        assert result.batch_index == 0
+        assert result.n_rows == 200
+        assert 0.0 <= result.estimated_score <= 1.0
+        assert result.interval is not None
+        assert result.interval[0] <= result.estimated_score <= result.interval[2]
+        assert result.trusted is None
+
+    def test_empty_batch_raises(self, registry, income_splits):
+        service = ValidationService(registry)
+        with pytest.raises(DataValidationError):
+            service.submit("income", income_splits.serving.select_rows([]))
+
+    def test_unknown_endpoint_raises(self, registry, income_splits):
+        service = ValidationService(registry)
+        with pytest.raises(DataValidationError):
+            service.submit("nope", income_splits.serving.head(10))
+
+    def test_interval_suppressed_by_policy(self, make_endpoint, income_splits):
+        registry = ModelRegistry()
+        registry.register(make_endpoint(interval_coverage=None))
+        service = ValidationService(registry)
+        [result] = service.submit("income", income_splits.serving.head(100))
+        assert result.interval is None
+
+    def test_validator_endpoint_reports_trust(self, make_endpoint, income_splits):
+        registry = ModelRegistry()
+        registry.register(make_endpoint(name="audited", with_validator=True))
+        service = ValidationService(registry)
+        [result] = service.submit("audited", income_splits.serving.head(400))
+        assert result.trusted is True
+
+    def test_monitors_are_isolated_per_endpoint(
+        self, make_endpoint, income_splits, rng
+    ):
+        registry = ModelRegistry()
+        registry.register(make_endpoint(name="sales"))
+        registry.register(make_endpoint(name="fraud"))
+        service = ValidationService(registry)
+        batch = income_splits.serving.head(150)
+        service.submit("sales", corrupt(batch, income_splits, rng))
+        [fraud_result] = service.submit("fraud", batch)
+        assert fraud_result.alarm is False
+        assert service.monitor("sales").state.consecutive_alarms == 1
+        assert service.monitor("fraud").state.consecutive_alarms == 0
+
+
+class TestMicroBatching:
+    @pytest.fixture
+    def micro_service(self, make_endpoint):
+        registry = ModelRegistry()
+        registry.register(
+            make_endpoint(micro_batch_size=300, max_wait_seconds=10.0)
+        )
+        clock = FakeClock()
+        return ValidationService(registry, clock=clock), clock
+
+    def test_accumulates_until_target_size(self, micro_service, income_splits):
+        service, _ = micro_service
+        first = income_splits.serving.select_rows(np.arange(0, 150))
+        second = income_splits.serving.select_rows(np.arange(150, 300))
+        assert service.submit("income", first) == []
+        assert service.pending_rows("income") == 150
+        [result] = service.submit("income", second)
+        assert result.n_rows == 300
+        assert service.pending_rows("income") == 0
+
+    def test_max_wait_flush_via_flush_expired(self, micro_service, income_splits):
+        service, clock = micro_service
+        service.submit("income", income_splits.serving.head(100))
+        assert service.flush_expired() == []
+        clock.advance(10.5)
+        [result] = service.flush_expired()
+        assert result.n_rows == 100
+        assert service.pending_rows("income") == 0
+
+    def test_stale_buffer_flushes_before_merging_fresh_rows(
+        self, micro_service, income_splits
+    ):
+        service, clock = micro_service
+        service.submit("income", income_splits.serving.head(100))
+        clock.advance(11.0)
+        results = service.submit(
+            "income", income_splits.serving.select_rows(np.arange(100, 150))
+        )
+        assert [r.n_rows for r in results] == [100]
+        assert service.pending_rows("income") == 50
+
+    def test_manual_flush(self, micro_service, income_splits):
+        service, _ = micro_service
+        assert service.flush("income") is None
+        service.submit("income", income_splits.serving.head(80))
+        result = service.flush("income")
+        assert result is not None and result.n_rows == 80
+        flushes = service.metrics.get("serving_microbatch_flushes_total")
+        assert flushes.value(endpoint="income@1", reason="manual") == 1
+
+    def test_request_and_row_counters_track_submissions(
+        self, micro_service, income_splits
+    ):
+        service, _ = micro_service
+        service.submit("income", income_splits.serving.head(100))
+        requests = service.metrics.get("serving_requests_total")
+        rows = service.metrics.get("serving_rows_total")
+        scored = service.metrics.get("serving_batches_scored_total")
+        assert requests.value(endpoint="income@1") == 1
+        assert rows.value(endpoint="income@1") == 100
+        assert scored.value(endpoint="income@1") == 0  # still buffered
+
+
+class TestEndToEnd:
+    def test_two_endpoints_twenty_plus_batches_metrics_and_alerts(
+        self, make_endpoint, income_splits, rng
+    ):
+        registry = ModelRegistry()
+        registry.register(make_endpoint(name="sales", threshold=0.10, patience=2))
+        registry.register(
+            make_endpoint(name="fraud", with_validator=True, threshold=0.10)
+        )
+        pager = FlakySink(failures=2)
+        router = EventRouter([pager], max_retries=3, sleep=lambda _: None)
+        service = ValidationService(registry, events=router)
+
+        batches = clean_batches(income_splits, 16)
+        results = []
+        for batch in batches:
+            results.extend(service.submit("sales", batch))
+        for batch in clean_batches(income_splits, 4):
+            results.extend(service.submit("fraud", batch))
+        corrupted_results = []
+        for batch in clean_batches(income_splits, 8):
+            corrupted_results.extend(
+                service.submit("sales", corrupt(batch, income_splits, rng))
+            )
+
+        # (a) corrupted batches alarm, clean ones don't.
+        assert len(results) == 20
+        assert all(not r.alarm for r in results)
+        assert len(corrupted_results) == 8
+        assert all(r.alarm for r in corrupted_results)
+        assert any(r.sustained_alarm for r in corrupted_results)
+        fraud_results = [r for r in results if r.endpoint == "fraud"]
+        assert all(r.trusted is True for r in fraud_results)
+
+        # (b) metrics exports reflect the observed request/alarm counts.
+        alarms = service.metrics.get("serving_alarms_total")
+        alarm_total = alarms.value(endpoint="sales@1", severity="alarm") + alarms.value(
+            endpoint="sales@1", severity="sustained"
+        )
+        assert alarm_total == 8
+        assert alarms.value(endpoint="fraud@1", severity="alarm") == 0
+
+        payload = json.loads(service.metrics.to_json())
+        requests_series = {
+            s["labels"]["endpoint"]: s["value"]
+            for s in payload["serving_requests_total"]["series"]
+        }
+        assert requests_series == {"sales@1": 24.0, "fraud@1": 4.0}
+        latency = payload["serving_scoring_latency_seconds"]["series"]
+        assert sum(s["count"] for s in latency) == 28
+
+        text = service.metrics.to_prometheus()
+        assert 'serving_requests_total{endpoint="sales@1"} 24' in text
+        assert 'serving_requests_total{endpoint="fraud@1"} 4' in text
+        assert 'serving_batches_scored_total{endpoint="sales@1"} 24' in text
+        assert "# TYPE serving_alarms_total counter" in text
+
+        # (c) the flaky sink recovered via retry: every alert delivered,
+        # nothing in the dead-letter buffer.
+        assert pager.calls == len(pager.received) + 2
+        assert len(pager.received) == 8
+        assert list(router.dead_letters) == []
+        severities = [event.severity for event in pager.received]
+        assert severities[0] == "alarm"
+        assert "sustained" in severities
+
+        summary = service.summary()
+        assert "2 endpoint(s)" in summary
+        assert "sales@1" in summary and "fraud@1" in summary

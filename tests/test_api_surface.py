@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.errors",
     "repro.evaluation",
     "repro.ml",
+    "repro.serving",
     "repro.stats",
     "repro.tabular",
 ]

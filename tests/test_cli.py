@@ -102,3 +102,86 @@ class TestMonitorCommand:
         output = capsys.readouterr().out
         assert code == 1
         assert "SUSTAINED" in output
+
+
+@pytest.fixture(scope="module")
+def serving_config(tmp_path_factory, artifact_dir):
+    path = tmp_path_factory.mktemp("cli") / "serving.json"
+    path.write_text(json.dumps({
+        "endpoints": [{
+            "name": "income", "version": "1", "artifacts": str(artifact_dir),
+            "policy": {"threshold": 0.05, "patience": 2},
+        }]
+    }))
+    return path
+
+
+class TestEndpointsCommand:
+    def test_lists_configured_endpoints(self, serving_config, capsys):
+        assert main(["endpoints", "--config", str(serving_config)]) == 0
+        output = capsys.readouterr().out
+        assert "income@1" in output
+        assert "expected score" in output
+        assert "PerformancePredictor" in output
+
+    def test_missing_config_is_an_error(self, tmp_path, capsys):
+        code = main(["endpoints", "--config", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "no serving config" in capsys.readouterr().err
+
+
+class TestServeBatchCommand:
+    def test_clean_replay_exits_zero_with_metrics(
+        self, serving_config, dataset_file, capsys
+    ):
+        code = main([
+            "serve-batch", "--config", str(serving_config), "--endpoint", "income",
+            "--data", str(dataset_file), "--batches", "3", "--metrics", "prometheus",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert 'serving_requests_total{endpoint="income@1"} 3' in output
+        assert "ValidationService: 1 endpoint(s)" in output
+
+    def test_injected_bug_alarms_and_exits_one(
+        self, serving_config, dataset_file, tmp_path, capsys
+    ):
+        alerts = tmp_path / "alerts.jsonl"
+        code = main([
+            "serve-batch", "--config", str(serving_config), "--endpoint", "income",
+            "--data", str(dataset_file), "--batches", "5", "--break-after", "1",
+            "--metrics", "json", "--alerts-out", str(alerts),
+        ])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "SUSTAINED" in output
+        events = [json.loads(line) for line in alerts.read_text().splitlines()]
+        assert len(events) >= 2
+        assert {event["severity"] for event in events} >= {"alarm", "sustained"}
+
+    def test_batch_dir_replay(self, serving_config, dataset_file, tmp_path, capsys):
+        from repro import persistence
+
+        dataset = persistence.load_dataset_file(dataset_file)
+        batch_dir = tmp_path / "batches"
+        batch_dir.mkdir()
+        for index in range(2):
+            rows = range(index * 100, (index + 1) * 100)
+            persistence.save_frame(
+                dataset.frame.select_rows(list(rows)), batch_dir / f"b{index}.npz"
+            )
+        code = main([
+            "serve-batch", "--config", str(serving_config), "--endpoint", "income",
+            "--batch-dir", str(batch_dir), "--metrics", "none",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "b0.npz" in output and "b1.npz" in output
+
+    def test_empty_batch_dir_is_an_error(self, serving_config, tmp_path, capsys):
+        code = main([
+            "serve-batch", "--config", str(serving_config), "--endpoint", "income",
+            "--batch-dir", str(tmp_path / "empty"),
+        ])
+        assert code == 2
+        assert "no .npz batch files" in capsys.readouterr().err

@@ -99,6 +99,54 @@ class TestObservation:
         indices = [monitor.observe(batch).batch_index for _ in range(3)]
         assert indices == [0, 1, 2]
 
+    def test_batch_indices_keep_increasing_past_history(
+        self, predictor, income_splits
+    ):
+        # Regression: the index used to be len(records), so after history
+        # trimming every record reported batch_index == history.
+        history = 4
+        monitor = BatchMonitor(predictor, history=history)
+        batch = income_splits.serving.head(50)
+        indices = [
+            monitor.observe(batch).batch_index for _ in range(history + 3)
+        ]
+        assert indices == list(range(history + 3))
+        assert len(monitor.state.records) == history
+        retained = [record.batch_index for record in monitor.state.records]
+        assert retained == [3, 4, 5, 6]
+        assert monitor.state.total_batches == history + 3
+
+    def test_observe_estimate_records_external_estimates(self, predictor):
+        monitor = BatchMonitor(predictor, threshold=0.10)
+        record = monitor.observe_estimate(predictor.test_score_, 250)
+        assert record.n_rows == 250
+        assert record.alarm is False
+        low = monitor.observe_estimate(0.0, 250)
+        assert low.alarm is True
+        with pytest.raises(DataValidationError):
+            monitor.observe_estimate(0.5, 0)
+
+    def test_reset_clears_history_and_smoothing(self, predictor, income_splits, rng):
+        from repro.errors.tabular_errors import Scaling
+
+        monitor = BatchMonitor(predictor, threshold=0.05, patience=1)
+        broken = Scaling().corrupt(
+            income_splits.serving.head(200), rng,
+            columns=income_splits.serving.numeric_columns, fraction=1.0, factor=1000.0,
+        )
+        monitor.observe(broken)
+        assert monitor.state.consecutive_alarms == 1
+        monitor.reset()
+        assert monitor.state.records == []
+        assert monitor.state.consecutive_alarms == 0
+        assert monitor.state.total_batches == 0
+        assert "no batches" in monitor.summary()
+        # A clean batch after reset starts a fresh smoothing stream: the
+        # smoothed score equals the raw estimate again.
+        record = monitor.observe(income_splits.serving.head(200))
+        assert record.batch_index == 0
+        assert record.smoothed_score == pytest.approx(record.estimated_score)
+
     def test_smoothing_dampens_single_estimate(self, predictor, income_splits, rng):
         monitor = BatchMonitor(predictor, smoothing=0.3)
         clean = income_splits.serving.head(300)
@@ -110,6 +158,34 @@ class TestObservation:
         second = monitor.observe(broken)
         assert second.smoothed_score > second.estimated_score
         assert second.smoothed_score < first.smoothed_score
+
+
+class TestPersistenceRoundTrip:
+    def test_monitor_state_survives_save_load_observe(
+        self, predictor, income_splits, tmp_path
+    ):
+        from repro import persistence
+
+        monitor = BatchMonitor(predictor, threshold=0.10, smoothing=0.5)
+        batch = income_splits.serving.head(200)
+        for _ in range(3):
+            monitor.observe(batch)
+        path = tmp_path / "monitor.npz"
+        persistence.save_model(monitor, path)
+
+        restored = persistence.load_model(path, expected_class=BatchMonitor)
+        # The smoothed float and every counter survive the snapshot.
+        assert restored._smoothed == pytest.approx(monitor._smoothed)
+        assert restored.state.total_batches == 3
+        assert restored.state.consecutive_alarms == monitor.state.consecutive_alarms
+        assert restored.state.records == monitor.state.records
+        assert restored.alarm_floor == pytest.approx(monitor.alarm_floor)
+
+        # Observation continues exactly where the saved process stopped.
+        original_next = monitor.observe(batch)
+        restored_next = restored.observe(batch)
+        assert restored_next == original_next
+        assert restored_next.batch_index == 3
 
 
 class TestReporting:
