@@ -1,0 +1,52 @@
+"""Smoke test for the `repro bench` timing harness."""
+
+import json
+
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.perf import PROFILES, format_report, run_benchmarks, write_report
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_benchmarks(n_jobs=2, backend="thread", profile="smoke")
+
+
+def test_report_shape(smoke_report):
+    assert smoke_report["profile"] == "smoke"
+    assert smoke_report["n_jobs"] == 2
+    assert smoke_report["environment"]["cpu_count"] >= 1
+    names = [bench["name"] for bench in smoke_report["benchmarks"]]
+    assert names == ["meta_dataset", "forest_fit", "grid_search", "harness_rounds"]
+    for bench in smoke_report["benchmarks"]:
+        assert bench["serial_seconds"] > 0
+        assert bench["parallel_seconds"] > 0
+        assert bench["speedup"] is not None
+
+
+def test_parallel_results_identical(smoke_report):
+    assert smoke_report["all_identical"]
+    assert all(b["identical_results"] for b in smoke_report["benchmarks"])
+
+
+def test_report_round_trips_as_json(smoke_report, tmp_path):
+    path = tmp_path / "bench.json"
+    write_report(smoke_report, path)
+    assert json.loads(path.read_text()) == smoke_report
+
+
+def test_format_report_mentions_every_benchmark(smoke_report):
+    text = format_report(smoke_report)
+    for bench in smoke_report["benchmarks"]:
+        assert bench["name"] in text
+
+
+def test_profiles_are_complete():
+    assert set(PROFILES) == {"smoke", "full"}
+    assert PROFILES["smoke"]["meta_samples"] < PROFILES["full"]["meta_samples"]
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(DataValidationError):
+        run_benchmarks(profile="gigantic")

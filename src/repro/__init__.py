@@ -32,6 +32,7 @@ from repro.exceptions import (
     CorruptionError,
     DataValidationError,
     NotFittedError,
+    ParallelExecutionError,
     ReproError,
     SchemaError,
     ServiceError,
@@ -44,6 +45,7 @@ __all__ = [
     "CorruptionError",
     "DataValidationError",
     "NotFittedError",
+    "ParallelExecutionError",
     "PerformancePredictor",
     "PerformanceValidator",
     "ReproError",

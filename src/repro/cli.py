@@ -85,7 +85,20 @@ def _add_train_command(subparsers) -> None:
     parser.add_argument("--meta-samples", type=int, default=120)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", required=True, help="output artifact directory")
+    _add_parallel_arguments(parser)
     parser.set_defaults(handler=_run_train)
+
+
+def _add_parallel_arguments(parser) -> None:
+    parser.add_argument(
+        "--n-jobs", type=int, default=1,
+        help="worker count for parallel paths (1 = serial, -1 = all cores)",
+    )
+    parser.add_argument(
+        "--parallel-backend", default="auto",
+        choices=("auto", "serial", "thread", "process"),
+        help="parallel backend; results are identical on every choice",
+    )
 
 
 def _split(dataset, seed):
@@ -105,7 +118,8 @@ def _run_train(args) -> int:
     test_score = blackbox.score(test, y_test)
     generators = list(known_error_generators(dataset.task).values())
     predictor = PerformancePredictor(
-        blackbox, generators, n_samples=args.meta_samples, random_state=args.seed
+        blackbox, generators, n_samples=args.meta_samples, random_state=args.seed,
+        n_jobs=args.n_jobs, backend=args.parallel_backend,
     ).fit(test, y_test)
 
     out = Path(args.out)
@@ -356,6 +370,37 @@ def _run_serve_batch(args) -> int:
     return exit_code
 
 
+def _add_bench_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "bench",
+        help="time the parallel hot paths (serial vs --n-jobs) and write JSON",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workload for CI (default: the full reference workload)",
+    )
+    parser.add_argument("--out", default="BENCH_PR2.json", help="report output path")
+    _add_parallel_arguments(parser)
+    parser.set_defaults(handler=_run_bench, n_jobs=4)
+
+
+def _run_bench(args) -> int:
+    from repro.perf import format_report, run_benchmarks, write_report
+
+    payload = run_benchmarks(
+        n_jobs=args.n_jobs,
+        backend=args.parallel_backend,
+        profile="smoke" if args.smoke else "full",
+    )
+    write_report(payload, args.out)
+    print(format_report(payload))
+    print(f"report written to {args.out}")
+    if not payload["all_identical"]:
+        print("error: parallel results diverged from serial", file=sys.stderr)
+        return 2
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -369,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_monitor_command(subparsers)
     _add_endpoints_command(subparsers)
     _add_serve_batch_command(subparsers)
+    _add_bench_command(subparsers)
     return parser
 
 

@@ -18,6 +18,7 @@ from repro.core.blackbox import BlackBoxModel
 from repro.errors.base import CorruptionReport, ErrorGen
 from repro.errors.mixture import ErrorMixture
 from repro.exceptions import DataValidationError
+from repro.parallel import pmap, spawn_seeds
 from repro.tabular.frame import DataFrame
 
 
@@ -28,6 +29,37 @@ class CorruptionSample:
     proba: np.ndarray
     score: float
     reports: tuple[CorruptionReport, ...]
+
+
+@dataclass(frozen=True)
+class _Episode:
+    """Payload for one corrupt→predict→score episode.
+
+    Module-level and dataclass-based so the process backend can pickle
+    it; episodes within one chunk share the frame / black box objects,
+    which pickle memoization sends across only once per chunk.
+    """
+
+    blackbox: BlackBoxModel
+    frame: DataFrame
+    labels: np.ndarray
+    metric: str
+    generator: ErrorGen | None
+    mixture: ErrorMixture | None
+
+
+def _run_episode(episode: _Episode, rng: np.random.Generator) -> CorruptionSample:
+    """Corrupt one copy with the episode's private RNG and score the black box."""
+    if episode.generator is not None:
+        corrupted, report = episode.generator.corrupt_random(episode.frame, rng)
+        reports: tuple[CorruptionReport, ...] = (report,)
+    else:
+        assert episode.mixture is not None
+        corrupted, report_list = episode.mixture.corrupt_random(episode.frame, rng)
+        reports = tuple(report_list)
+    proba = episode.blackbox.predict_proba(corrupted)
+    score = episode.blackbox.score(corrupted, episode.labels, episode.metric)
+    return CorruptionSample(proba=proba, score=score, reports=reports)
 
 
 class CorruptionSampler:
@@ -46,6 +78,11 @@ class CorruptionSampler:
         protocol).
     include_clean:
         Always include an uncorrupted copy (the ``p_err = 0`` case).
+    n_jobs / backend:
+        Parallelism for the corruption episodes (see
+        :mod:`repro.parallel`). Episodes receive independent spawned
+        RNGs, so the samples are bit-identical for every ``n_jobs`` and
+        backend choice.
     """
 
     def __init__(
@@ -56,6 +93,8 @@ class CorruptionSampler:
         mode: str = "single",
         include_clean: bool = True,
         fire_prob: float = 0.6,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
     ):
         if not error_generators:
             raise DataValidationError("need at least one error generator")
@@ -67,6 +106,8 @@ class CorruptionSampler:
         self.mode = mode
         self.include_clean = include_clean
         self.fire_prob = fire_prob
+        self.n_jobs = n_jobs
+        self.backend = backend
 
     def sample(
         self,
@@ -74,8 +115,16 @@ class CorruptionSampler:
         test_labels: np.ndarray,
         n_samples: int,
         rng: np.random.Generator,
+        n_jobs: int | None = None,
+        backend: str | None = None,
     ) -> list[CorruptionSample]:
-        """Generate ``n_samples`` corrupted copies plus optional clean ones."""
+        """Generate ``n_samples`` corrupted copies plus optional clean ones.
+
+        Each episode runs on its own RNG spawned from ``rng`` (one draw
+        is consumed from ``rng`` regardless of ``n_samples``), so the
+        returned samples do not depend on worker count or backend.
+        ``n_jobs`` / ``backend`` override the sampler-level settings.
+        """
         if n_samples < 1:
             raise DataValidationError(f"n_samples must be >= 1, got {n_samples}")
         samples: list[CorruptionSample] = []
@@ -84,15 +133,34 @@ class CorruptionSampler:
             score = self.blackbox.score(test_frame, test_labels, self.metric)
             samples.append(CorruptionSample(proba=proba, score=score, reports=()))
         mixture = ErrorMixture(self.error_generators, fire_prob=self.fire_prob)
+        episodes = []
         for index in range(n_samples):
             if self.mode == "single":
-                generator = self.error_generators[index % len(self.error_generators)]
-                corrupted, report = generator.corrupt_random(test_frame, rng)
-                reports: tuple[CorruptionReport, ...] = (report,)
+                generator: ErrorGen | None = self.error_generators[
+                    index % len(self.error_generators)
+                ]
+                episode_mixture = None
             else:
-                corrupted, report_list = mixture.corrupt_random(test_frame, rng)
-                reports = tuple(report_list)
-            proba = self.blackbox.predict_proba(corrupted)
-            score = self.blackbox.score(corrupted, test_labels, self.metric)
-            samples.append(CorruptionSample(proba=proba, score=score, reports=reports))
+                generator = None
+                episode_mixture = mixture
+            episodes.append(
+                _Episode(
+                    blackbox=self.blackbox,
+                    frame=test_frame,
+                    labels=test_labels,
+                    metric=self.metric,
+                    generator=generator,
+                    mixture=episode_mixture,
+                )
+            )
+        seeds = spawn_seeds(rng, n_samples)
+        samples.extend(
+            pmap(
+                _run_episode,
+                episodes,
+                n_jobs=self.n_jobs if n_jobs is None else n_jobs,
+                seeds=seeds,
+                backend=self.backend if backend is None else backend,
+            )
+        )
         return samples

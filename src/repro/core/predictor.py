@@ -26,14 +26,23 @@ from repro.tabular.frame import DataFrame
 DEFAULT_FOREST_GRID = (20, 50, 100)
 
 
-def default_regressor(random_state: int | None = 0) -> GridSearchCV:
+def default_regressor(
+    random_state: int | None = 0,
+    n_jobs: int | None = 1,
+    backend: str = "auto",
+) -> GridSearchCV:
     """The paper's choice of ``h``: a random forest regressor whose number
-    of trees is grid-searched with five-fold cross-validation."""
+    of trees is grid-searched with five-fold cross-validation.
+
+    ``n_jobs`` parallelizes the candidate×fold grid (the inner forests
+    stay serial to avoid nested pools)."""
     return GridSearchCV(
         RandomForestRegressor(max_features="third", random_state=random_state),
         param_grid={"n_trees": list(DEFAULT_FOREST_GRID)},
         n_splits=5,
         random_state=random_state,
+        n_jobs=n_jobs,
+        backend=backend,
     )
 
 
@@ -60,6 +69,10 @@ class PerformancePredictor:
         Estimator used for ``h``; defaults to the paper's CV-tuned random
         forest. Anything with fit/predict over matrices works (ablations
         pass gradient boosting or a linear model here).
+    n_jobs / backend:
+        Parallelism for the corruption episodes and the default
+        regressor's grid search (see :mod:`repro.parallel`). The fitted
+        state is bit-identical for every ``n_jobs`` and backend.
     """
 
     def __init__(
@@ -75,6 +88,8 @@ class PerformancePredictor:
         include_clean: bool = True,
         fire_prob: float = 0.6,
         random_state: int | None = 0,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
     ):
         self.blackbox = blackbox
         self.error_generators = list(error_generators)
@@ -87,6 +102,8 @@ class PerformancePredictor:
         self.include_clean = include_clean
         self.fire_prob = fire_prob
         self.random_state = random_state
+        self.n_jobs = n_jobs
+        self.backend = backend
 
     # ------------------------------------------------------------------ #
     # Algorithm 1: training
@@ -121,12 +138,14 @@ class PerformancePredictor:
                 mode=self.mode,
                 include_clean=self.include_clean,
                 fire_prob=self.fire_prob,
+                n_jobs=self.n_jobs,
+                backend=self.backend,
             )
             samples = sampler.sample(test_frame, test_labels, self.n_samples, rng)
         self.meta_features_ = np.stack([self._featurize(s.proba) for s in samples])
         self.meta_scores_ = np.asarray([s.score for s in samples])
         regressor = self.regressor if self.regressor is not None else default_regressor(
-            self.random_state
+            self.random_state, n_jobs=self.n_jobs, backend=self.backend
         )
         self.regressor_ = regressor
         self._calibrate(rng)
@@ -134,27 +153,32 @@ class PerformancePredictor:
         return self
 
     def _calibrate(self, rng: np.random.Generator) -> None:
-        """Split-conformal calibration of the estimate's error quantiles.
+        """Cross-conformal calibration of the estimate's error quantiles.
 
-        A fraction of the corrupted meta-examples is held out, a clone of
-        the regressor is fitted on the rest, and the absolute residuals on
-        the held-out part become the calibration scores behind
-        :meth:`predict_interval`. The final regressor is then refitted on
-        everything.
+        The corrupted meta-examples are split into two folds; a clone of
+        the regressor fitted on each fold scores the other, so *every*
+        meta-example contributes an out-of-fold absolute residual (the
+        cross-conformal scheme of Vovk). Compared to a single small
+        holdout, the residual quantiles behind :meth:`predict_interval`
+        are far less sensitive to how the split falls. The final
+        regressor is then refitted on everything.
         """
         from repro.ml.base import clone as clone_estimator
 
         n = len(self.meta_scores_)
-        n_calibration = max(5, int(0.2 * n))
-        if n - n_calibration < 10:
+        if n < 15:
             self.calibration_residuals_ = None
             return
         order = rng.permutation(n)
-        hold, fit_rows = order[:n_calibration], order[n_calibration:]
-        proxy = clone_estimator(self.regressor_)
-        proxy.fit(self.meta_features_[fit_rows], self.meta_scores_[fit_rows])  # type: ignore[attr-defined]
-        predictions = np.clip(proxy.predict(self.meta_features_[hold]), 0.0, 1.0)  # type: ignore[attr-defined]
-        self.calibration_residuals_ = np.abs(predictions - self.meta_scores_[hold])
+        residuals = np.empty(n)
+        for fold in np.array_split(order, 2):
+            mask = np.ones(n, dtype=bool)
+            mask[fold] = False
+            proxy = clone_estimator(self.regressor_)
+            proxy.fit(self.meta_features_[mask], self.meta_scores_[mask])  # type: ignore[attr-defined]
+            predictions = np.clip(proxy.predict(self.meta_features_[fold]), 0.0, 1.0)  # type: ignore[attr-defined]
+            residuals[fold] = np.abs(predictions - self.meta_scores_[fold])
+        self.calibration_residuals_ = residuals
 
     # ------------------------------------------------------------------ #
     # Algorithm 2: serving-time estimation

@@ -76,6 +76,8 @@ class PerformanceValidator:
         model: Estimator | None = None,
         fire_prob: float = 0.6,
         random_state: int | None = 0,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
     ):
         if not 0.0 < threshold < 1.0:
             raise DataValidationError(f"threshold must be in (0, 1), got {threshold}")
@@ -90,6 +92,8 @@ class PerformanceValidator:
         self.model = model
         self.fire_prob = fire_prob
         self.random_state = random_state
+        self.n_jobs = n_jobs
+        self.backend = backend
 
     def _featurize(self, proba: np.ndarray) -> np.ndarray:
         features = prediction_statistics(proba, step=self.percentile_step)
@@ -137,6 +141,8 @@ class PerformanceValidator:
                 mode=self.mode,
                 include_clean=True,
                 fire_prob=self.fire_prob,
+                n_jobs=self.n_jobs,
+                backend=self.backend,
             )
             samples = sampler.sample(test_frame, test_labels, self.n_samples, rng)
         features = np.stack([self._featurize(s.proba) for s in samples])

@@ -37,6 +37,7 @@ from repro.evaluation.models import make_model
 from repro.exceptions import DataValidationError
 from repro.ml.metrics import f1_score
 from repro.ml.pipeline import Pipeline, TabularEncoder
+from repro.parallel import pmap, spawn_seeds
 from repro.tabular.frame import DataFrame
 from repro.tabular.ops import balance_classes, split_frame, train_test_split
 
@@ -125,6 +126,38 @@ def extended_error_generators(blackbox: BlackBoxModel) -> dict[str, ErrorGen]:
 
 
 # --------------------------------------------------------------------- #
+# Parallel round runners (module-level so process pools can pickle them)
+# --------------------------------------------------------------------- #
+
+
+def _estimation_round(task, rng: np.random.Generator) -> float:
+    """One corrupt→estimate→score round; returns the absolute error."""
+    predictor, blackbox, corruptor, serving, y_serving, metric = task
+    corrupted, _ = corruptor.corrupt_random(serving, rng)
+    estimate = predictor.predict(corrupted)
+    truth = blackbox.score(corrupted, y_serving, metric)
+    return abs(estimate - truth)
+
+
+def _prediction_round(task, rng: np.random.Generator) -> tuple[float, float]:
+    """One corrupt→predict round; returns (estimated, true) score."""
+    predictor, blackbox, mixture, serving, y_serving = task
+    corrupted, _ = mixture.corrupt_random(serving, rng)
+    return predictor.predict(corrupted), blackbox.score(corrupted, y_serving)
+
+
+def _validation_round(task, rng: np.random.Generator):
+    """One §6.2 evaluation round: corrupt the serving split, collect the
+    black box's outputs, the true score, and REL's frame-level alarm."""
+    blackbox, mixture, serving, y_serving, rel = task
+    corrupted, _ = mixture.corrupt_random(serving, rng)
+    proba = blackbox.predict_proba(corrupted)
+    true_score = blackbox.score(corrupted, y_serving)
+    rel_alarm = int(rel.shift_detected(corrupted)) if rel is not None else None
+    return proba, true_score, rel_alarm
+
+
+# --------------------------------------------------------------------- #
 # §6.1.1 — prediction score estimation for known error types (Figure 2)
 # --------------------------------------------------------------------- #
 
@@ -138,12 +171,16 @@ def score_estimation_errors(
     n_eval_rounds: int = 20,
     metric: str = "accuracy",
     seed: int = 0,
+    n_jobs: int | None = 1,
+    backend: str = "auto",
 ) -> np.ndarray:
     """Absolute errors of the predictor's score estimates on corrupted serving data.
 
     Trains a performance predictor on corruptions of the held-out test
     split, then corrupts the (disjoint, unseen) serving split with randomly
-    sampled magnitudes and compares estimated vs. true score.
+    sampled magnitudes and compares estimated vs. true score. Training
+    episodes and evaluation rounds run on per-task spawned RNGs, so the
+    result is identical for every ``n_jobs`` / backend.
     """
     predictor = PerformancePredictor(
         blackbox,
@@ -152,16 +189,25 @@ def score_estimation_errors(
         n_samples=n_train_samples,
         mode="single",
         random_state=seed,
+        n_jobs=n_jobs,
+        backend=backend,
     ).fit(splits.test, splits.y_test)
     rng = np.random.default_rng(seed + 10_000)
-    absolute_errors = []
-    for round_index in range(n_eval_rounds):
-        generator = eval_generators[round_index % len(eval_generators)]
-        corrupted, _ = generator.corrupt_random(splits.serving, rng)
-        estimate = predictor.predict(corrupted)
-        truth = blackbox.score(corrupted, splits.y_serving, metric)
-        absolute_errors.append(abs(estimate - truth))
-    return np.asarray(absolute_errors)
+    tasks = [
+        (
+            predictor,
+            blackbox,
+            eval_generators[round_index % len(eval_generators)],
+            splits.serving,
+            splits.y_serving,
+            metric,
+        )
+        for round_index in range(n_eval_rounds)
+    ]
+    seeds = spawn_seeds(rng, n_eval_rounds)
+    return np.asarray(
+        pmap(_estimation_round, tasks, n_jobs=n_jobs, seeds=seeds, backend=backend)
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -176,6 +222,8 @@ def unknown_fraction_errors(
     n_train_samples: int = 100,
     n_eval_rounds: int = 15,
     seed: int = 0,
+    n_jobs: int | None = 1,
+    backend: str = "auto",
 ) -> np.ndarray:
     """Absolute estimation errors when the predictor trained on weakened errors.
 
@@ -211,16 +259,22 @@ def unknown_fraction_errors(
         n_samples=n_train_samples,
         mode="mixture",
         random_state=seed,
+        n_jobs=n_jobs,
+        backend=backend,
     ).fit(splits.test, splits.y_test)
     rng = np.random.default_rng(seed + 20_000)
     mixture = ErrorMixture(full_generators, fire_prob=0.6)
-    absolute_errors = []
-    for _ in range(n_eval_rounds):
-        corrupted, _ = mixture.corrupt_random(splits.serving, rng)
-        estimate = predictor.predict(corrupted)
-        truth = blackbox.score(corrupted, splits.y_serving)
-        absolute_errors.append(abs(estimate - truth))
-    return np.asarray(absolute_errors)
+    task = (predictor, blackbox, mixture, splits.serving, splits.y_serving, "accuracy")
+    seeds = spawn_seeds(rng, n_eval_rounds)
+    return np.asarray(
+        pmap(
+            _estimation_round,
+            [task] * n_eval_rounds,
+            n_jobs=n_jobs,
+            seeds=seeds,
+            backend=backend,
+        )
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -236,6 +290,8 @@ def sample_size_errors(
     n_train_samples: int = 80,
     n_eval_rounds: int = 15,
     seed: int = 0,
+    n_jobs: int | None = 1,
+    backend: str = "auto",
 ) -> np.ndarray:
     """Estimation errors when the predictor only sees ``test_size`` held-out rows."""
     if test_size > len(splits.test):
@@ -247,15 +303,20 @@ def sample_size_errors(
     small_test = splits.test.select_rows(rows)
     small_labels = splits.y_test[rows]
     predictor = PerformancePredictor(
-        blackbox, [generator], n_samples=n_train_samples, mode="single", random_state=seed
+        blackbox, [generator], n_samples=n_train_samples, mode="single",
+        random_state=seed, n_jobs=n_jobs, backend=backend,
     ).fit(small_test, small_labels)
-    absolute_errors = []
-    for _ in range(n_eval_rounds):
-        corrupted, _ = generator.corrupt_random(splits.serving, rng)
-        estimate = predictor.predict(corrupted)
-        truth = blackbox.score(corrupted, splits.y_serving)
-        absolute_errors.append(abs(estimate - truth))
-    return np.asarray(absolute_errors)
+    task = (predictor, blackbox, generator, splits.serving, splits.y_serving, "accuracy")
+    seeds = spawn_seeds(rng, n_eval_rounds)
+    return np.asarray(
+        pmap(
+            _estimation_round,
+            [task] * n_eval_rounds,
+            n_jobs=n_jobs,
+            seeds=seeds,
+            backend=backend,
+        )
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -285,6 +346,8 @@ def validation_comparison_multi(
     n_train_samples: int = 400,
     n_eval_rounds: int = 40,
     seed: int = 0,
+    n_jobs: int | None = 1,
+    backend: str = "auto",
 ) -> dict[float, ValidationScores]:
     """Compare PPM against BBSE / BBSEh / REL at several thresholds.
 
@@ -303,7 +366,8 @@ def validation_comparison_multi(
 
     rng = np.random.default_rng(seed)
     sampler = CorruptionSampler(
-        blackbox, train_generators, mode="mixture", include_clean=True
+        blackbox, train_generators, mode="mixture", include_clean=True,
+        n_jobs=n_jobs, backend=backend,
     )
     shared_samples = sampler.sample(splits.test, splits.y_test, n_train_samples, rng)
 
@@ -326,21 +390,32 @@ def validation_comparison_multi(
     mixture = ErrorMixture(eval_generators, fire_prob=0.6)
     test_score = blackbox.score(splits.test, splits.y_test)
 
+    # The expensive corrupt→predict→score part of each round fans out;
+    # the per-threshold alarm decisions on the collected outputs are cheap
+    # and stay in the parent.
+    round_task = (blackbox, mixture, splits.serving, splits.y_serving, rel)
+    seeds = spawn_seeds(eval_rng, n_eval_rounds)
+    rounds = pmap(
+        _validation_round,
+        [round_task] * n_eval_rounds,
+        n_jobs=n_jobs,
+        seeds=seeds,
+        backend=backend,
+    )
+
     true_scores = []
     ppm_alarms: dict[float, list[int]] = {t: [] for t in thresholds}
     bbse_alarms, bbse_h_alarms, rel_alarms = [], [], []
-    for _ in range(n_eval_rounds):
-        corrupted, _ = mixture.corrupt_random(splits.serving, eval_rng)
-        proba = blackbox.predict_proba(corrupted)
-        true_scores.append(blackbox.score(corrupted, splits.y_serving))
+    for proba, true_score, rel_alarm in rounds:
+        true_scores.append(true_score)
         for threshold in thresholds:
             ppm_alarms[threshold].append(
                 int(not validators[threshold].validate_from_proba(proba))
             )
         bbse_alarms.append(int(bbse.shift_detected_from_proba(proba)))
         bbse_h_alarms.append(int(bbse_h.shift_detected_from_proba(proba)))
-        if rel is not None:
-            rel_alarms.append(int(rel.shift_detected(corrupted)))
+        if rel_alarm is not None:
+            rel_alarms.append(rel_alarm)
 
     results = {}
     for threshold in thresholds:
@@ -365,11 +440,14 @@ def validation_comparison(
     n_train_samples: int = 400,
     n_eval_rounds: int = 40,
     seed: int = 0,
+    n_jobs: int | None = 1,
+    backend: str = "auto",
 ) -> ValidationScores:
     """Single-threshold convenience wrapper around the multi version."""
     results = validation_comparison_multi(
         blackbox, splits, train_generators, eval_generators, (threshold,),
         n_train_samples=n_train_samples, n_eval_rounds=n_eval_rounds, seed=seed,
+        n_jobs=n_jobs, backend=backend,
     )
     return results[threshold]
 
@@ -403,17 +481,23 @@ def cloud_experiment(
     n_train_samples: int = 120,
     n_eval_rounds: int = 25,
     seed: int = 0,
+    n_jobs: int | None = 1,
+    backend: str = "auto",
 ) -> CloudExperimentResult:
     """Predict the accuracy of an opaque (cloud) model under error mixtures."""
     generators = list(known_error_generators("tabular").values())
     predictor = PerformancePredictor(
-        blackbox, generators, n_samples=n_train_samples, mode="mixture", random_state=seed
+        blackbox, generators, n_samples=n_train_samples, mode="mixture",
+        random_state=seed, n_jobs=n_jobs, backend=backend,
     ).fit(splits.test, splits.y_test)
     rng = np.random.default_rng(seed + 50_000)
     mixture = ErrorMixture(generators, fire_prob=0.6)
-    predicted, true = [], []
-    for _ in range(n_eval_rounds):
-        corrupted, _ = mixture.corrupt_random(splits.serving, rng)
-        predicted.append(predictor.predict(corrupted))
-        true.append(blackbox.score(corrupted, splits.y_serving))
+    task = (predictor, blackbox, mixture, splits.serving, splits.y_serving)
+    seeds = spawn_seeds(rng, n_eval_rounds)
+    rounds = pmap(
+        _prediction_round, [task] * n_eval_rounds,
+        n_jobs=n_jobs, seeds=seeds, backend=backend,
+    )
+    predicted = [estimate for estimate, _ in rounds]
+    true = [truth for _, truth in rounds]
     return CloudExperimentResult(predicted=np.asarray(predicted), true=np.asarray(true))

@@ -31,3 +31,22 @@ class CorruptionError(ReproError):
 
 class ServiceError(ReproError):
     """The (emulated) cloud model service rejected a request."""
+
+
+class ParallelExecutionError(ReproError):
+    """A task submitted to a parallel executor failed.
+
+    Carries the failing task's index, the original exception type and
+    message, and (when available) the worker-side traceback, so callers
+    see a single library error instead of a bare pool traceback.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        task_index: int | None = None,
+        original_type: str | None = None,
+    ):
+        super().__init__(message)
+        self.task_index = task_index
+        self.original_type = original_type

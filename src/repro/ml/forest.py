@@ -18,10 +18,22 @@ from repro.ml.base import (
     check_matrix,
 )
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.parallel import pmap
 
 
 def _bootstrap(rng: np.random.Generator, n: int) -> np.ndarray:
     return rng.integers(0, n, size=n)
+
+
+def _fit_tree(task) -> Estimator:
+    """Fit one pre-seeded tree on its bootstrap rows (process-pool safe).
+
+    The forest draws every tree's bootstrap rows and seed from its own
+    RNG *serially* before fanning the fits out, so the fitted trees are
+    bit-identical to a fully serial fit at any ``n_jobs``.
+    """
+    tree_cls, X, y, rows, params = task
+    return tree_cls(**params).fit(X[rows], y[rows])
 
 
 class RandomForestRegressor(Estimator):
@@ -34,12 +46,16 @@ class RandomForestRegressor(Estimator):
         min_samples_leaf: int = 2,
         max_features: str | int | None = "sqrt",
         random_state: int | None = 0,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
     ):
         self.n_trees = n_trees
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.random_state = random_state
+        self.n_jobs = n_jobs
+        self.backend = backend
 
     def _resolve_max_features(self, n_features: int) -> int | None:
         if self.max_features is None:
@@ -55,17 +71,17 @@ class RandomForestRegressor(Estimator):
         y = check_labels(y, X.shape[0]).astype(np.float64)
         rng = as_rng(self.random_state)
         max_features = self._resolve_max_features(X.shape[1])
-        self.trees_ = []
+        tasks = []
         for _ in range(self.n_trees):
             rows = _bootstrap(rng, X.shape[0])
-            tree = DecisionTreeRegressor(
+            params = dict(
                 max_depth=self.max_depth,
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=max_features,
                 random_state=int(rng.integers(0, 2**31 - 1)),
             )
-            tree.fit(X[rows], y[rows])
-            self.trees_.append(tree)
+            tasks.append((DecisionTreeRegressor, X, y, rows, params))
+        self.trees_ = pmap(_fit_tree, tasks, n_jobs=self.n_jobs, backend=self.backend)
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -85,12 +101,16 @@ class RandomForestClassifier(Estimator, ClassifierMixin):
         min_samples_leaf: int = 2,
         max_features: str | int | None = "sqrt",
         random_state: int | None = 0,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
     ):
         self.n_trees = n_trees
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.random_state = random_state
+        self.n_jobs = n_jobs
+        self.backend = backend
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         X = check_matrix(X)
@@ -103,7 +123,7 @@ class RandomForestClassifier(Estimator, ClassifierMixin):
             max_features = max(1, int(np.sqrt(X.shape[1])))
         else:
             max_features = int(self.max_features)
-        self.trees_ = []
+        tasks = []
         for _ in range(self.n_trees):
             rows = _bootstrap(rng, X.shape[0])
             # Resample until the bootstrap contains every class (tiny inputs
@@ -112,14 +132,14 @@ class RandomForestClassifier(Estimator, ClassifierMixin):
                 if len(np.unique(y[rows])) == len(self.classes_):
                     break
                 rows = _bootstrap(rng, X.shape[0])
-            tree = DecisionTreeClassifier(
+            params = dict(
                 max_depth=self.max_depth,
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=max_features,
                 random_state=int(rng.integers(0, 2**31 - 1)),
             )
-            tree.fit(X[rows], y[rows])
-            self.trees_.append(tree)
+            tasks.append((DecisionTreeClassifier, X, y, rows, params))
+        self.trees_ = pmap(_fit_tree, tasks, n_jobs=self.n_jobs, backend=self.backend)
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:

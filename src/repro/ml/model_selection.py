@@ -15,6 +15,7 @@ import numpy as np
 from repro.exceptions import DataValidationError
 from repro.ml.base import Estimator, as_rng, check_labels, check_matrix, clone
 from repro.ml.metrics import accuracy_score, mean_absolute_error
+from repro.parallel import pmap
 
 
 class KFold:
@@ -47,22 +48,35 @@ def _default_score(estimator: Estimator, X: np.ndarray, y: np.ndarray) -> float:
     return -mean_absolute_error(y, estimator.predict(X))  # type: ignore[attr-defined]
 
 
+def _fit_and_score(task) -> float:
+    """Clone-fit-score one (estimator, fold) pair (process-pool safe).
+
+    Every task carries an *unfitted* estimator template with its own
+    ``random_state``, so fold scores are identical at any ``n_jobs``.
+    """
+    estimator, X, y, train_idx, val_idx = task
+    model = clone(estimator)
+    model.fit(X[train_idx], y[train_idx])  # type: ignore[attr-defined]
+    return _default_score(model, X[val_idx], y[val_idx])
+
+
 def cross_val_score(
     estimator: Estimator,
     X: np.ndarray,
     y: np.ndarray,
     n_splits: int = 5,
     random_state: int | None = 0,
+    n_jobs: int | None = 1,
+    backend: str = "auto",
 ) -> np.ndarray:
     """Per-fold validation scores for an unfitted estimator."""
     X = check_matrix(X)
     y = check_labels(y, X.shape[0])
-    scores = []
-    for train_idx, val_idx in KFold(n_splits, random_state).split(X.shape[0]):
-        model = clone(estimator)
-        model.fit(X[train_idx], y[train_idx])  # type: ignore[attr-defined]
-        scores.append(_default_score(model, X[val_idx], y[val_idx]))
-    return np.asarray(scores)
+    tasks = [
+        (estimator, X, y, train_idx, val_idx)
+        for train_idx, val_idx in KFold(n_splits, random_state).split(X.shape[0])
+    ]
+    return np.asarray(pmap(_fit_and_score, tasks, n_jobs=n_jobs, backend=backend))
 
 
 class GridSearchCV(Estimator):
@@ -71,6 +85,10 @@ class GridSearchCV(Estimator):
     ``param_grid`` maps parameter names to candidate value lists; every
     combination is scored by mean CV score (accuracy for classifiers,
     negative MAE for regressors) and the best is refitted on all data.
+
+    ``n_jobs`` fans the candidate×fold grid out over a
+    :mod:`repro.parallel` backend; every cell is an independent
+    clone-fit-score, so results match the serial search exactly.
     """
 
     def __init__(
@@ -79,6 +97,8 @@ class GridSearchCV(Estimator):
         param_grid: Mapping[str, Sequence[Any]],
         n_splits: int = 5,
         random_state: int | None = 0,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
     ):
         if not param_grid:
             raise DataValidationError("param_grid must name at least one parameter")
@@ -86,6 +106,8 @@ class GridSearchCV(Estimator):
         self.param_grid = dict(param_grid)
         self.n_splits = n_splits
         self.random_state = random_state
+        self.n_jobs = n_jobs
+        self.backend = backend
 
     def _candidates(self) -> Iterator[dict[str, Any]]:
         names = list(self.param_grid)
@@ -95,13 +117,20 @@ class GridSearchCV(Estimator):
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GridSearchCV":
         X = check_matrix(X)
         y = check_labels(y, X.shape[0])
+        candidates = list(self._candidates())
+        # One shared fold list (KFold is deterministic in random_state, so
+        # this matches the per-candidate splits of a serial search).
+        folds = list(KFold(self.n_splits, self.random_state).split(X.shape[0]))
+        tasks = [
+            (clone(self.estimator).set_params(**params), X, y, train_idx, val_idx)
+            for params in candidates
+            for train_idx, val_idx in folds
+        ]
+        scores = pmap(_fit_and_score, tasks, n_jobs=self.n_jobs, backend=self.backend)
         results = []
-        for params in self._candidates():
-            candidate = clone(self.estimator).set_params(**params)
-            scores = cross_val_score(
-                candidate, X, y, n_splits=self.n_splits, random_state=self.random_state
-            )
-            results.append((float(scores.mean()), params))
+        for i, params in enumerate(candidates):
+            fold_scores = np.asarray(scores[i * len(folds) : (i + 1) * len(folds)])
+            results.append((float(fold_scores.mean()), params))
         self.cv_results_ = results
         best_score, best_params = max(results, key=lambda item: item[0])
         self.best_score_ = best_score

@@ -36,6 +36,11 @@ class _FlatTree:
     left: list[int] = field(default_factory=list)
     right: list[int] = field(default_factory=list)
     value: list[np.ndarray] = field(default_factory=list)
+    # Frozen numpy views of the node lists, built once on first predict()
+    # and dropped whenever the structure mutates.
+    _frozen: tuple[np.ndarray, ...] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def add_node(self, value: np.ndarray) -> int:
         self.feature.append(-1)
@@ -43,6 +48,7 @@ class _FlatTree:
         self.left.append(-1)
         self.right.append(-1)
         self.value.append(value)
+        self._frozen = None
         return len(self.feature) - 1
 
     def set_split(self, node: int, feature: int, threshold: float, left: int, right: int) -> None:
@@ -50,14 +56,22 @@ class _FlatTree:
         self.threshold[node] = threshold
         self.left[node] = left
         self.right[node] = right
+        self._frozen = None
+
+    def _arrays(self) -> tuple[np.ndarray, ...]:
+        if self._frozen is None:
+            self._frozen = (
+                np.asarray(self.feature, dtype=np.int64),
+                np.asarray(self.threshold, dtype=np.float64),
+                np.asarray(self.left, dtype=np.int64),
+                np.asarray(self.right, dtype=np.int64),
+                np.stack(self.value),
+            )
+        return self._frozen
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Batch prediction by iterative partitioning of the row set."""
-        feature = np.asarray(self.feature)
-        threshold = np.asarray(self.threshold)
-        left = np.asarray(self.left)
-        right = np.asarray(self.right)
-        values = np.stack(self.value)
+        feature, threshold, left, right, values = self._arrays()
         out = np.empty((X.shape[0], values.shape[1]))
         # Walk groups of rows down the tree together.
         stack = [(0, np.arange(X.shape[0]))]
@@ -77,10 +91,7 @@ class _FlatTree:
 
     def apply(self, X: np.ndarray) -> np.ndarray:
         """Leaf index reached by every row (for per-leaf boosting updates)."""
-        feature = np.asarray(self.feature)
-        threshold = np.asarray(self.threshold)
-        left = np.asarray(self.left)
-        right = np.asarray(self.right)
+        feature, threshold, left, right, _ = self._arrays()
         out = np.empty(X.shape[0], dtype=np.int64)
         stack = [(0, np.arange(X.shape[0]))]
         while stack:
@@ -99,6 +110,7 @@ class _FlatTree:
         """Overwrite leaf outputs (used by boosting's Newton leaf updates)."""
         for node, value in leaf_values.items():
             self.value[node] = np.array([value])
+        self._frozen = None
 
     @property
     def n_nodes(self) -> int:

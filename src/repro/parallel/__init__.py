@@ -1,0 +1,31 @@
+"""Deterministic parallel execution for the library's hot loops.
+
+The meta-dataset generation episodes (Algorithm 1), per-tree forest
+fits, grid-search candidate×fold evaluations and the evaluation
+harness's repeated rounds are all embarrassingly parallel. This package
+fans them out over a serial / thread / process backend behind one
+``pmap`` API while keeping results bit-identical regardless of backend
+or worker count (see :mod:`repro.parallel.seeding` for the seed-spawning
+scheme that makes this possible).
+"""
+
+from repro.exceptions import ParallelExecutionError
+from repro.parallel.executor import (
+    BACKENDS,
+    Executor,
+    available_backends,
+    pmap,
+    resolve_n_jobs,
+)
+from repro.parallel.seeding import rng_from_seed, spawn_seeds
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "ParallelExecutionError",
+    "available_backends",
+    "pmap",
+    "resolve_n_jobs",
+    "rng_from_seed",
+    "spawn_seeds",
+]

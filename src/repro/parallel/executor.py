@@ -1,0 +1,288 @@
+"""The deterministic parallel execution engine.
+
+One :class:`Executor` abstraction fronts three interchangeable backends
+(serial, thread pool, process pool) behind a single ordered-``map`` API.
+Determinism is the design center: per-task RNGs come from
+:func:`repro.parallel.seeding.spawn_seeds`, results are collected in
+submission order, and task code never observes which worker ran it — so
+a computation produces bit-identical output at every ``n_jobs`` and on
+every backend.
+
+Failure semantics
+-----------------
+* A task raising inside a worker surfaces as
+  :class:`~repro.exceptions.ParallelExecutionError` (a
+  :class:`~repro.exceptions.ReproError`) carrying the task index and the
+  original exception, never a bare pool traceback.
+* Backend-level failures (a pool that cannot start, unpicklable task
+  payloads, a broken worker process) trigger a graceful fallback to the
+  serial backend with a warning, unless ``fallback_serial=False``.
+
+Process-backend callables must be module-level functions (pickling);
+call sites in :mod:`repro.core.corruption`, :mod:`repro.ml.forest`,
+:mod:`repro.ml.model_selection` and :mod:`repro.evaluation.harness`
+follow that pattern.
+"""
+
+from __future__ import annotations
+
+import traceback
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataValidationError, ParallelExecutionError
+from repro.parallel.seeding import rng_from_seed
+
+BACKENDS = ("serial", "thread", "process")
+
+#: Tasks per chunk submitted to a pool are sized so each worker receives
+#: roughly this many chunks, amortizing per-submission overhead while
+#: keeping the pool load-balanced.
+_CHUNKS_PER_WORKER = 4
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends usable on this host ("serial" and "thread" always are)."""
+    usable = ["serial", "thread"]
+    try:
+        import concurrent.futures.process  # noqa: F401
+        import multiprocessing.synchronize  # noqa: F401
+
+        usable.append("process")
+    except ImportError:  # pragma: no cover - exotic platforms only
+        pass
+    return tuple(usable)
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` request to a positive worker count.
+
+    ``None`` means 1; negative values count back from the host CPU count
+    (``-1`` = all cores, as in joblib).
+    """
+    import os
+
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == 0:
+        raise DataValidationError("n_jobs must not be 0; use 1 for serial or -1 for all cores")
+    if n_jobs < 0:
+        return max(1, (os.cpu_count() or 1) + 1 + n_jobs)
+    return n_jobs
+
+
+@dataclass
+class _TaskFailure:
+    """Worker-side record of a task that raised (strings stay picklable)."""
+
+    index: int
+    error_type: str
+    message: str
+    traceback_text: str
+    exception: BaseException | None = None
+
+    @classmethod
+    def from_exception(cls, index: int, error: BaseException) -> "_TaskFailure":
+        return cls(
+            index=index,
+            error_type=type(error).__name__,
+            message=str(error),
+            traceback_text="".join(
+                traceback.format_exception(type(error), error, error.__traceback__)
+            ),
+            exception=error,
+        )
+
+
+def _run_chunk(
+    fn: Callable[..., Any], tasks: list[tuple[int, Any, Any]]
+) -> list[tuple[int, bool, Any]]:
+    """Execute one chunk of (index, item, seed) tasks; never raises.
+
+    Module-level so process pools can pickle it. Failures become
+    :class:`_TaskFailure` markers the parent turns into a
+    :class:`ParallelExecutionError`, keeping worker tracebacks intact.
+    """
+    out: list[tuple[int, bool, Any]] = []
+    for index, item, seed in tasks:
+        try:
+            if seed is None:
+                out.append((index, True, fn(item)))
+            else:
+                out.append((index, True, fn(item, rng_from_seed(seed))))
+        except Exception as error:
+            out.append((index, False, _TaskFailure.from_exception(index, error)))
+    return out
+
+
+class Executor:
+    """Ordered, deterministic map over items with a pluggable backend.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker count; 1 (or ``None``) runs serially, negative counts back
+        from the host cores (``-1`` = all).
+    backend:
+        ``"serial"``, ``"thread"``, ``"process"``, or ``"auto"`` (process
+        pool when more than one worker is requested and the platform
+        supports it, otherwise threads, otherwise serial).
+    chunk_size:
+        Tasks per pool submission. Defaults to an even split that gives
+        each worker a few chunks; raise it for very cheap tasks.
+    fallback_serial:
+        When True (default), backend-level failures degrade to a serial
+        run with a warning instead of raising.
+    """
+
+    def __init__(
+        self,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
+        chunk_size: int | None = None,
+        fallback_serial: bool = True,
+    ):
+        if backend not in BACKENDS + ("auto",):
+            raise DataValidationError(
+                f"unknown backend {backend!r}; use one of {BACKENDS + ('auto',)}"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise DataValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.n_jobs = n_jobs
+        self.backend = backend
+        self.chunk_size = chunk_size
+        self.fallback_serial = fallback_serial
+
+    # ------------------------------------------------------------------ #
+
+    def resolved_backend(self, n_items: int | None = None) -> str:
+        """The concrete backend a map of ``n_items`` would run on."""
+        n_jobs = resolve_n_jobs(self.n_jobs)
+        if n_items is not None:
+            n_jobs = min(n_jobs, max(1, n_items))
+        if n_jobs <= 1:
+            return "serial"
+        if self.backend == "auto":
+            return "process" if "process" in available_backends() else "thread"
+        if self.backend == "process" and "process" not in available_backends():
+            return "thread"  # pragma: no cover - exotic platforms only
+        return self.backend
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        items: Iterable[Any],
+        *,
+        seeds: Sequence[Any] | None = None,
+    ) -> list[Any]:
+        """Apply ``fn`` to every item, returning results in item order.
+
+        With ``seeds`` (one entry per item, e.g. from
+        :func:`~repro.parallel.seeding.spawn_seeds`) each call receives a
+        private ``numpy.random.Generator`` as second argument:
+        ``fn(item, rng)``. Without seeds, ``fn(item)``.
+        """
+        items = list(items)
+        if seeds is not None:
+            seeds = list(seeds)
+            if len(seeds) != len(items):
+                raise DataValidationError(
+                    f"got {len(seeds)} seeds for {len(items)} items"
+                )
+        tasks = [
+            (i, item, seeds[i] if seeds is not None else None)
+            for i, item in enumerate(items)
+        ]
+        backend = self.resolved_backend(len(items))
+        if backend == "serial":
+            return self._collect(_run_chunk(fn, tasks), len(items), "serial")
+        n_jobs = min(resolve_n_jobs(self.n_jobs), max(1, len(items)))
+        try:
+            results = self._run_pool(fn, tasks, backend, n_jobs)
+        except Exception as error:
+            if not self.fallback_serial:
+                raise ParallelExecutionError(
+                    f"{backend} backend failed: {type(error).__name__}: {error}",
+                    original_type=type(error).__name__,
+                ) from error
+            warnings.warn(
+                f"parallel {backend} backend unavailable "
+                f"({type(error).__name__}: {error}); falling back to serial",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            results = _run_chunk(fn, tasks)
+            backend = "serial"
+        return self._collect(results, len(items), backend)
+
+    # ------------------------------------------------------------------ #
+
+    def _run_pool(
+        self,
+        fn: Callable[..., Any],
+        tasks: list[tuple[int, Any, Any]],
+        backend: str,
+        n_jobs: int,
+    ) -> list[tuple[int, bool, Any]]:
+        from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+        if self.chunk_size is not None:
+            chunk_size = self.chunk_size
+        else:
+            chunk_size = max(1, -(-len(tasks) // (n_jobs * _CHUNKS_PER_WORKER)))
+        chunks = [tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)]
+        pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
+        results: list[tuple[int, bool, Any]] = []
+        with pool_cls(max_workers=n_jobs) as pool:
+            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+            for future in futures:
+                results.extend(future.result())
+        return results
+
+    @staticmethod
+    def _collect(
+        results: list[tuple[int, bool, Any]], n_items: int, backend: str
+    ) -> list[Any]:
+        ordered: list[Any] = [None] * n_items
+        failures: list[_TaskFailure] = []
+        for index, ok, payload in results:
+            if ok:
+                ordered[index] = payload
+            else:
+                failures.append(payload)
+        if failures:
+            first = min(failures, key=lambda f: f.index)
+            error = ParallelExecutionError(
+                f"parallel task {first.index} failed on the {backend} backend "
+                f"with {first.error_type}: {first.message}\n"
+                f"--- worker traceback ---\n{first.traceback_text}",
+                task_index=first.index,
+                original_type=first.error_type,
+            )
+            if first.exception is not None:
+                raise error from first.exception
+            raise error  # pragma: no cover - exception lost to pickling
+        return ordered
+
+    def __repr__(self) -> str:
+        return (
+            f"Executor(n_jobs={self.n_jobs!r}, backend={self.backend!r}, "
+            f"chunk_size={self.chunk_size!r})"
+        )
+
+
+def pmap(
+    fn: Callable[..., Any],
+    items: Iterable[Any],
+    n_jobs: int | None = 1,
+    seeds: Sequence[Any] | None = None,
+    backend: str = "auto",
+    chunk_size: int | None = None,
+) -> list[Any]:
+    """One-shot deterministic parallel map (see :class:`Executor`)."""
+    executor = Executor(n_jobs=n_jobs, backend=backend, chunk_size=chunk_size)
+    return executor.map(fn, items, seeds=seeds)

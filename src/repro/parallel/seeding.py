@@ -1,0 +1,52 @@
+"""Deterministic seed derivation for parallel task fan-out.
+
+Every parallel loop in the library derives one independent RNG per task
+via :meth:`numpy.random.SeedSequence.spawn`. Spawned seed sequences are
+statistically independent streams, and — crucially — the derivation only
+depends on the *root* entropy and the task index, never on which worker
+runs the task or how many workers exist. Results are therefore
+bit-identical for any backend and any ``n_jobs``.
+
+When the root is a live :class:`numpy.random.Generator` (the usual case:
+a caller hands its ``rng`` into ``sample(...)``), exactly one draw is
+consumed from it to obtain the root entropy, so the caller's stream
+advances the same way no matter how many tasks are spawned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+SeedLike = "int | None | np.random.SeedSequence | np.random.Generator"
+
+
+def spawn_seeds(
+    source: int | None | np.random.SeedSequence | np.random.Generator,
+    n_tasks: int,
+) -> list[np.random.SeedSequence]:
+    """``n_tasks`` independent child seed sequences derived from ``source``.
+
+    ``source`` may be a seed sequence (spawned directly), a generator
+    (one 63-bit draw is consumed to build the root), or a plain
+    ``int`` / ``None`` seed.
+    """
+    if n_tasks < 0:
+        raise DataValidationError(f"n_tasks must be >= 0, got {n_tasks}")
+    if isinstance(source, np.random.SeedSequence):
+        root = source
+    elif isinstance(source, np.random.Generator):
+        root = np.random.SeedSequence(int(source.integers(0, 2**63)))
+    else:
+        root = np.random.SeedSequence(source)
+    return list(root.spawn(n_tasks))
+
+
+def rng_from_seed(
+    seed: int | None | np.random.SeedSequence | np.random.Generator,
+) -> np.random.Generator:
+    """Materialize a task seed (or pass a generator through) as a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

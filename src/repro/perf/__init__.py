@@ -1,0 +1,22 @@
+"""Performance measurement: the ``repro bench`` timing harness.
+
+Times the parallelized hot paths at serial vs. parallel settings and
+verifies the engine's bit-identical-results guarantee while doing so.
+See :mod:`repro.perf.bench` and ``benchmarks/perf/``.
+"""
+
+from repro.perf.bench import (
+    PROFILES,
+    environment_info,
+    format_report,
+    run_benchmarks,
+    write_report,
+)
+
+__all__ = [
+    "PROFILES",
+    "environment_info",
+    "format_report",
+    "run_benchmarks",
+    "write_report",
+]

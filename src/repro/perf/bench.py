@@ -1,0 +1,234 @@
+"""Timing harness for the deterministic parallel engine (``repro bench``).
+
+Times the four parallelized hot paths — meta-dataset generation, forest
+fitting, grid-searched cross-validation, and the evaluation harness's
+round loop — once serially and once at the requested ``n_jobs``, checks
+that both settings produce bit-identical results (the engine's core
+guarantee), and writes a JSON report. ``BENCH_PR2.json`` at the repo
+root is the committed reference run; CI refreshes a smoke-profile copy
+per PR so the perf trajectory stays visible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.blackbox import BlackBoxModel
+from repro.core.corruption import CorruptionSampler
+from repro.evaluation.harness import (
+    known_error_generators,
+    prepare_splits,
+    score_estimation_errors,
+)
+from repro.exceptions import DataValidationError
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.linear import SGDClassifier
+from repro.ml.model_selection import GridSearchCV
+from repro.ml.pipeline import Pipeline, TabularEncoder
+
+#: Workload sizes. ``smoke`` keeps the CI job around a minute; ``full``
+#: is the committed reference workload.
+PROFILES: dict[str, dict[str, Any]] = {
+    "smoke": dict(
+        n_rows=400,
+        meta_samples=12,
+        forest_rows=300,
+        forest_trees=16,
+        grid_trees=(5, 10),
+        grid_splits=3,
+        eval_rounds=4,
+        eval_meta_samples=10,
+    ),
+    "full": dict(
+        n_rows=1500,
+        meta_samples=60,
+        forest_rows=1200,
+        forest_trees=48,
+        grid_trees=(10, 20, 40),
+        grid_splits=5,
+        eval_rounds=12,
+        eval_meta_samples=40,
+    ),
+}
+
+
+def environment_info() -> dict[str, Any]:
+    """Host facts a reader needs to interpret the timings."""
+    return {
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _timed(fn: Callable[[], Any]) -> tuple[float, Any]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _income_workload(profile: dict[str, Any]):
+    """One fitted black box + splits, shared by the data-bound benchmarks."""
+    splits = prepare_splits("income", n_rows=profile["n_rows"], seed=0)
+    pipeline = Pipeline(TabularEncoder(), SGDClassifier(epochs=5, random_state=0))
+    pipeline.fit(splits.train, splits.y_train)
+    return BlackBoxModel.wrap(pipeline), splits
+
+
+def _regression_matrix(n_rows: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(n_rows, 12))
+    weights = rng.normal(size=12)
+    y = X @ weights + 0.3 * rng.normal(size=n_rows)
+    return X, y
+
+
+def bench_meta_dataset(profile, blackbox, splits, n_jobs, backend) -> dict[str, Any]:
+    """Algorithm 1's corrupt→predict→score episode loop."""
+    generators = list(known_error_generators("tabular").values())
+
+    def run(jobs: int):
+        sampler = CorruptionSampler(
+            blackbox, generators, mode="mixture", include_clean=True,
+            n_jobs=jobs, backend=backend,
+        )
+        return sampler.sample(
+            splits.test, splits.y_test, profile["meta_samples"],
+            np.random.default_rng(0),
+        )
+
+    serial_seconds, serial = _timed(lambda: run(1))
+    parallel_seconds, parallel = _timed(lambda: run(n_jobs))
+    identical = len(serial) == len(parallel) and all(
+        s.score == p.score and np.array_equal(s.proba, p.proba)
+        for s, p in zip(serial, parallel)
+    )
+    return _report("meta_dataset", serial_seconds, parallel_seconds, identical)
+
+
+def bench_forest_fit(profile, n_jobs, backend) -> dict[str, Any]:
+    """Per-tree parallel random-forest fitting."""
+    X, y = _regression_matrix(profile["forest_rows"])
+
+    def run(jobs: int):
+        forest = RandomForestRegressor(
+            n_trees=profile["forest_trees"], random_state=0,
+            n_jobs=jobs, backend=backend,
+        )
+        return forest.fit(X, y).predict(X)
+
+    serial_seconds, serial = _timed(lambda: run(1))
+    parallel_seconds, parallel = _timed(lambda: run(n_jobs))
+    return _report(
+        "forest_fit", serial_seconds, parallel_seconds,
+        np.array_equal(serial, parallel),
+    )
+
+
+def bench_grid_search(profile, n_jobs, backend) -> dict[str, Any]:
+    """Candidate×fold fan-out of the CV-tuned forest."""
+    X, y = _regression_matrix(profile["forest_rows"] // 2)
+
+    def run(jobs: int):
+        search = GridSearchCV(
+            RandomForestRegressor(max_features="third", random_state=0),
+            param_grid={"n_trees": list(profile["grid_trees"])},
+            n_splits=profile["grid_splits"], random_state=0,
+            n_jobs=jobs, backend=backend,
+        )
+        search.fit(X, y)
+        return search.best_params_, search.cv_results_
+
+    serial_seconds, (serial_best, serial_cv) = _timed(lambda: run(1))
+    parallel_seconds, (parallel_best, parallel_cv) = _timed(lambda: run(n_jobs))
+    identical = serial_best == parallel_best and serial_cv == parallel_cv
+    return _report("grid_search", serial_seconds, parallel_seconds, identical)
+
+
+def bench_harness_rounds(profile, blackbox, splits, n_jobs, backend) -> dict[str, Any]:
+    """The evaluation harness's ``n_eval_rounds`` loop (predictor included)."""
+    generators = list(known_error_generators("tabular").values())
+
+    def run(jobs: int):
+        return score_estimation_errors(
+            blackbox, splits, generators, generators,
+            n_train_samples=profile["eval_meta_samples"],
+            n_eval_rounds=profile["eval_rounds"],
+            seed=0, n_jobs=jobs, backend=backend,
+        )
+
+    serial_seconds, serial = _timed(lambda: run(1))
+    parallel_seconds, parallel = _timed(lambda: run(n_jobs))
+    return _report(
+        "harness_rounds", serial_seconds, parallel_seconds,
+        np.array_equal(serial, parallel),
+    )
+
+
+def _report(name: str, serial: float, parallel: float, identical: bool) -> dict[str, Any]:
+    return {
+        "name": name,
+        "serial_seconds": round(serial, 4),
+        "parallel_seconds": round(parallel, 4),
+        "speedup": round(serial / parallel, 3) if parallel > 0 else None,
+        "identical_results": bool(identical),
+    }
+
+
+def run_benchmarks(
+    n_jobs: int = 4,
+    backend: str = "auto",
+    profile: str = "full",
+) -> dict[str, Any]:
+    """Run every benchmark and return the JSON-ready report payload."""
+    if profile not in PROFILES:
+        raise DataValidationError(
+            f"unknown bench profile {profile!r}; have {sorted(PROFILES)}"
+        )
+    sizes = PROFILES[profile]
+    blackbox, splits = _income_workload(sizes)
+    benchmarks = [
+        bench_meta_dataset(sizes, blackbox, splits, n_jobs, backend),
+        bench_forest_fit(sizes, n_jobs, backend),
+        bench_grid_search(sizes, n_jobs, backend),
+        bench_harness_rounds(sizes, blackbox, splits, n_jobs, backend),
+    ]
+    return {
+        "schema_version": 1,
+        "profile": profile,
+        "n_jobs": n_jobs,
+        "backend": backend,
+        "environment": environment_info(),
+        "benchmarks": benchmarks,
+        "all_identical": all(b["identical_results"] for b in benchmarks),
+    }
+
+
+def write_report(payload: dict[str, Any], path: str | Path) -> None:
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def format_report(payload: dict[str, Any]) -> str:
+    """Human-readable summary of a report payload."""
+    lines = [
+        f"profile={payload['profile']} n_jobs={payload['n_jobs']} "
+        f"backend={payload['backend']} cpus={payload['environment']['cpu_count']}"
+    ]
+    for bench in payload["benchmarks"]:
+        marker = "ok " if bench["identical_results"] else "DIFF"
+        lines.append(
+            f"  {bench['name']:<16} serial {bench['serial_seconds']:>8.3f}s  "
+            f"n_jobs={payload['n_jobs']} {bench['parallel_seconds']:>8.3f}s  "
+            f"speedup {bench['speedup']:>5.2f}x  [{marker}]"
+        )
+    return "\n".join(lines)

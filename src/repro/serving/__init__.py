@@ -15,8 +15,11 @@ dead-letter buffer.
 
 from repro.serving.config import (
     EndpointSpec,
+    ParallelSettings,
     build_registry,
+    load_parallel_settings,
     load_serving_config,
+    parse_parallel,
     registry_from_config,
     write_serving_config,
 )
@@ -59,11 +62,14 @@ __all__ = [
     "JsonlFileSink",
     "MetricsRegistry",
     "ModelRegistry",
+    "ParallelSettings",
     "StdoutSink",
     "ValidationService",
     "build_registry",
     "endpoint_from_artifacts",
+    "load_parallel_settings",
     "load_serving_config",
+    "parse_parallel",
     "registry_from_config",
     "write_serving_config",
 ]

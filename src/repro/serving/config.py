@@ -13,8 +13,13 @@ block::
           "artifacts": "deployed/income",
           "policy": {"threshold": 0.05, "micro_batch_size": 200}
         }
-      ]
+      ],
+      "parallel": {"n_jobs": 4, "backend": "thread"}
     }
+
+The optional ``parallel`` block controls how many artifact directories
+are loaded concurrently when the registry is built (loading is I/O and
+unpickling bound, so the thread backend is the default there).
 
 Relative artifact paths resolve against the config file's directory, so
 a config checked in next to its artifacts keeps working from any CWD.
@@ -27,6 +32,7 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 
 from repro.exceptions import DataValidationError
+from repro.parallel import BACKENDS, pmap, resolve_n_jobs
 from repro.serving.registry import (
     Endpoint,
     EndpointPolicy,
@@ -47,6 +53,25 @@ class EndpointSpec:
     policy: EndpointPolicy = EndpointPolicy()
 
 
+@dataclass(frozen=True)
+class ParallelSettings:
+    """The config file's ``parallel`` block: registry-build concurrency."""
+
+    n_jobs: int = 1
+    backend: str = "thread"
+
+    def __post_init__(self):
+        resolve_n_jobs(self.n_jobs)  # validates, raising on n_jobs == 0
+        if self.backend not in BACKENDS + ("auto",):
+            raise DataValidationError(
+                f"unknown parallel backend {self.backend!r}; "
+                f"valid backends: {sorted(BACKENDS + ('auto',))}"
+            )
+
+
+_PARALLEL_FIELDS = {f.name for f in fields(ParallelSettings)}
+
+
 def parse_policy(raw: dict) -> EndpointPolicy:
     """Build a policy from a JSON object, rejecting unknown keys loudly."""
     unknown = set(raw) - _POLICY_FIELDS
@@ -55,6 +80,19 @@ def parse_policy(raw: dict) -> EndpointPolicy:
             f"unknown policy keys {sorted(unknown)}; valid keys: {sorted(_POLICY_FIELDS)}"
         )
     return EndpointPolicy(**raw)
+
+
+def parse_parallel(raw: dict) -> ParallelSettings:
+    """Build parallel settings from a JSON object, rejecting unknown keys."""
+    if not isinstance(raw, dict):
+        raise DataValidationError("'parallel' must be an object")
+    unknown = set(raw) - _PARALLEL_FIELDS
+    if unknown:
+        raise DataValidationError(
+            f"unknown parallel keys {sorted(unknown)}; "
+            f"valid keys: {sorted(_PARALLEL_FIELDS)}"
+        )
+    return ParallelSettings(**raw)
 
 
 def load_serving_config(path: str | Path) -> list[EndpointSpec]:
@@ -69,6 +107,11 @@ def load_serving_config(path: str | Path) -> list[EndpointSpec]:
     if not isinstance(payload, dict) or "endpoints" not in payload:
         raise DataValidationError(
             f"{config_path} must be an object with an 'endpoints' list"
+        )
+    unknown = set(payload) - {"endpoints", "parallel"}
+    if unknown:
+        raise DataValidationError(
+            f"{config_path} has unknown top-level keys {sorted(unknown)}"
         )
     entries = payload["endpoints"]
     if not isinstance(entries, list) or not entries:
@@ -103,19 +146,50 @@ def load_serving_config(path: str | Path) -> list[EndpointSpec]:
     return specs
 
 
+def load_parallel_settings(path: str | Path) -> ParallelSettings:
+    """The ``parallel`` block of a config file (defaults when absent)."""
+    config_path = Path(path)
+    if not config_path.exists():
+        raise DataValidationError(f"no serving config at {config_path}")
+    try:
+        payload = json.loads(config_path.read_text())
+    except json.JSONDecodeError as error:
+        raise DataValidationError(f"invalid JSON in {config_path}: {error}") from error
+    if not isinstance(payload, dict):
+        raise DataValidationError(f"{config_path} must be a JSON object")
+    return parse_parallel(payload.get("parallel", {}))
+
+
+def _load_endpoint(task: tuple[EndpointSpec, Path]) -> Endpoint:
+    spec, artifact_dir = task
+    return endpoint_from_artifacts(
+        artifact_dir, name=spec.name, version=spec.version, policy=spec.policy
+    )
+
+
 def build_registry(
-    specs: list[EndpointSpec], base_dir: str | Path | None = None
+    specs: list[EndpointSpec],
+    base_dir: str | Path | None = None,
+    parallel: ParallelSettings | None = None,
 ) -> ModelRegistry:
-    """Load every spec's artifacts into a fresh registry."""
+    """Load every spec's artifacts into a fresh registry.
+
+    With ``parallel.n_jobs > 1`` the artifact directories are loaded
+    concurrently; registration order still follows the config order.
+    """
+    parallel = parallel if parallel is not None else ParallelSettings()
     registry = ModelRegistry()
     base = Path(base_dir) if base_dir is not None else Path(".")
+    tasks = []
     for spec in specs:
         artifact_dir = Path(spec.artifacts)
         if not artifact_dir.is_absolute():
             artifact_dir = base / artifact_dir
-        endpoint = endpoint_from_artifacts(
-            artifact_dir, name=spec.name, version=spec.version, policy=spec.policy
-        )
+        tasks.append((spec, artifact_dir))
+    endpoints = pmap(
+        _load_endpoint, tasks, n_jobs=parallel.n_jobs, backend=parallel.backend
+    )
+    for endpoint in endpoints:
         registry.register(endpoint)
     return registry
 
@@ -123,7 +197,11 @@ def build_registry(
 def registry_from_config(path: str | Path) -> ModelRegistry:
     """One-call path from a config file to a servable registry."""
     config_path = Path(path)
-    return build_registry(load_serving_config(config_path), base_dir=config_path.parent)
+    return build_registry(
+        load_serving_config(config_path),
+        base_dir=config_path.parent,
+        parallel=load_parallel_settings(config_path),
+    )
 
 
 def write_serving_config(

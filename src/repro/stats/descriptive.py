@@ -7,6 +7,8 @@ percentiles of the predicted probabilities ("collecting the 0th, 5th,
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.exceptions import DataValidationError
@@ -14,11 +16,22 @@ from repro.exceptions import DataValidationError
 DEFAULT_PERCENTILE_STEP = 5
 
 
+@lru_cache(maxsize=None)
+def _cached_grid(step: int) -> np.ndarray:
+    grid = np.arange(0, 101, step, dtype=np.float64)
+    grid.setflags(write=False)
+    return grid
+
+
 def percentile_grid(step: int = DEFAULT_PERCENTILE_STEP) -> np.ndarray:
-    """The percentile levels 0, step, 2*step, ..., 100."""
+    """The percentile levels 0, step, 2*step, ..., 100.
+
+    Featurization calls this once per corruption episode, so the grid is
+    cached (and returned read-only to keep the cache trustworthy).
+    """
     if not 1 <= step <= 100 or 100 % step != 0:
         raise DataValidationError(f"percentile step must divide 100, got {step}")
-    return np.arange(0, 101, step, dtype=np.float64)
+    return _cached_grid(int(step))
 
 
 def column_percentiles(values: np.ndarray, step: int = DEFAULT_PERCENTILE_STEP) -> np.ndarray:

@@ -1,0 +1,137 @@
+"""The engine's core guarantee: bit-identical results at every n_jobs/backend.
+
+Covers the four wired hot paths — corruption episodes, forest fitting,
+cross-validated grid search, and the full PerformancePredictor fit —
+against a serial reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.corruption import CorruptionSampler
+from repro.core.predictor import PerformancePredictor
+from repro.errors.tabular_errors import GaussianOutliers, MissingValues, Scaling
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.model_selection import GridSearchCV, cross_val_score
+
+SETTINGS = [(1, "serial"), (2, "thread"), (4, "thread"), (2, "process"), (4, "process")]
+
+
+@pytest.fixture(scope="module")
+def reference_predictor(income_blackbox, income_splits):
+    return PerformancePredictor(
+        income_blackbox,
+        [MissingValues(), GaussianOutliers(), Scaling()],
+        n_samples=18,
+        mode="single",
+        regressor=RandomForestRegressor(n_trees=8, random_state=0),
+        random_state=0,
+    ).fit(income_splits.test, income_splits.y_test)
+
+
+class TestPredictorDeterminism:
+    @pytest.mark.parametrize("n_jobs,backend", SETTINGS)
+    def test_fitted_state_is_identical(
+        self, reference_predictor, income_blackbox, income_splits, n_jobs, backend
+    ):
+        predictor = PerformancePredictor(
+            income_blackbox,
+            [MissingValues(), GaussianOutliers(), Scaling()],
+            n_samples=18,
+            mode="single",
+            regressor=RandomForestRegressor(n_trees=8, random_state=0),
+            random_state=0,
+            n_jobs=n_jobs,
+            backend=backend,
+        ).fit(income_splits.test, income_splits.y_test)
+        assert np.array_equal(
+            predictor.meta_features_, reference_predictor.meta_features_
+        )
+        assert np.array_equal(predictor.meta_scores_, reference_predictor.meta_scores_)
+        assert np.array_equal(
+            predictor.calibration_residuals_,
+            reference_predictor.calibration_residuals_,
+        )
+        assert predictor.predict(income_splits.serving) == reference_predictor.predict(
+            income_splits.serving
+        )
+
+
+class TestForestDeterminism:
+    @pytest.mark.parametrize("n_jobs,backend", SETTINGS)
+    def test_regressor_predictions_identical(
+        self, binary_matrix_problem, n_jobs, backend
+    ):
+        X, y, X_test, _ = binary_matrix_problem
+        reference = RandomForestRegressor(n_trees=12, random_state=3).fit(X, y)
+        forest = RandomForestRegressor(
+            n_trees=12, random_state=3, n_jobs=n_jobs, backend=backend
+        ).fit(X, y)
+        assert np.array_equal(forest.predict(X_test), reference.predict(X_test))
+
+    @pytest.mark.parametrize("n_jobs,backend", [(2, "thread"), (4, "process")])
+    def test_classifier_probabilities_identical(
+        self, binary_matrix_problem, n_jobs, backend
+    ):
+        X, y, X_test, _ = binary_matrix_problem
+        reference = RandomForestClassifier(n_trees=10, random_state=1).fit(X, y)
+        forest = RandomForestClassifier(
+            n_trees=10, random_state=1, n_jobs=n_jobs, backend=backend
+        ).fit(X, y)
+        assert np.array_equal(
+            forest.predict_proba(X_test), reference.predict_proba(X_test)
+        )
+
+
+class TestModelSelectionDeterminism:
+    @pytest.mark.parametrize("n_jobs,backend", [(2, "thread"), (4, "process")])
+    def test_cross_val_scores_identical(self, binary_matrix_problem, n_jobs, backend):
+        X, y, _, _ = binary_matrix_problem
+        estimator = RandomForestClassifier(n_trees=6, random_state=0)
+        reference = cross_val_score(estimator, X, y, n_splits=3)
+        scores = cross_val_score(
+            estimator, X, y, n_splits=3, n_jobs=n_jobs, backend=backend
+        )
+        assert np.array_equal(scores, reference)
+
+    @pytest.mark.parametrize("n_jobs,backend", [(4, "thread"), (2, "process")])
+    def test_grid_search_identical(self, binary_matrix_problem, n_jobs, backend):
+        X, y, _, _ = binary_matrix_problem
+
+        def search(jobs, backend_name):
+            return GridSearchCV(
+                RandomForestRegressor(random_state=0),
+                param_grid={"n_trees": [4, 8]},
+                n_splits=3,
+                n_jobs=jobs,
+                backend=backend_name,
+            ).fit(X, y.astype(float))
+
+        reference = search(1, "serial")
+        result = search(n_jobs, backend)
+        assert result.best_params_ == reference.best_params_
+        assert result.cv_results_ == reference.cv_results_
+
+
+class TestSamplerDeterminism:
+    @pytest.mark.parametrize("n_jobs,backend", [(2, "thread"), (4, "process")])
+    def test_samples_identical(self, income_blackbox, income_splits, n_jobs, backend):
+        def draw(jobs, backend_name):
+            sampler = CorruptionSampler(
+                income_blackbox,
+                [MissingValues(), Scaling()],
+                mode="mixture",
+                n_jobs=jobs,
+                backend=backend_name,
+            )
+            return sampler.sample(
+                income_splits.test, income_splits.y_test, 8, np.random.default_rng(5)
+            )
+
+        reference = draw(1, "serial")
+        samples = draw(n_jobs, backend)
+        assert len(samples) == len(reference)
+        for sample, expected in zip(samples, reference):
+            assert sample.score == expected.score
+            assert np.array_equal(sample.proba, expected.proba)
+            assert sample.reports == expected.reports

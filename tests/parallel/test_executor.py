@@ -1,0 +1,129 @@
+"""Tests for the Executor: ordering, determinism, failure semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError, ParallelExecutionError, ReproError
+from repro.parallel import (
+    BACKENDS,
+    Executor,
+    available_backends,
+    pmap,
+    resolve_n_jobs,
+    spawn_seeds,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _draw(item, rng):
+    return float(rng.random()) + item
+
+
+def _boom(x):
+    if x == 3:
+        raise ValueError("task exploded on 3")
+    return x
+
+
+class TestResolveNJobs:
+    def test_none_means_one(self):
+        assert resolve_n_jobs(None) == 1
+
+    def test_positive_passthrough(self):
+        assert resolve_n_jobs(4) == 4
+
+    def test_zero_raises(self):
+        with pytest.raises(DataValidationError):
+            resolve_n_jobs(0)
+
+    def test_negative_counts_back_from_cores(self):
+        import os
+
+        assert resolve_n_jobs(-1) == (os.cpu_count() or 1)
+        assert resolve_n_jobs(-10_000) == 1
+
+
+class TestBackends:
+    def test_serial_and_thread_always_available(self):
+        assert {"serial", "thread"} <= set(available_backends())
+        assert set(available_backends()) <= set(BACKENDS)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(DataValidationError):
+            Executor(backend="greenlet")
+
+    def test_bad_chunk_size_raises(self):
+        with pytest.raises(DataValidationError):
+            Executor(chunk_size=0)
+
+    def test_single_job_resolves_serial(self):
+        assert Executor(n_jobs=1, backend="auto").resolved_backend() == "serial"
+
+    def test_single_item_resolves_serial(self):
+        assert Executor(n_jobs=8, backend="thread").resolved_backend(1) == "serial"
+
+
+class TestMap:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_ordered_results_on_every_backend(self, backend, n_jobs):
+        expected = [x * x for x in range(23)]
+        assert pmap(_square, range(23), n_jobs=n_jobs, backend=backend) == expected
+
+    def test_empty_items(self):
+        assert pmap(_square, [], n_jobs=4) == []
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_seeded_results_identical_to_serial(self, backend, n_jobs):
+        reference = pmap(_draw, range(11), n_jobs=1, seeds=spawn_seeds(0, 11))
+        result = pmap(
+            _draw, range(11), n_jobs=n_jobs, seeds=spawn_seeds(0, 11), backend=backend
+        )
+        assert result == reference
+
+    def test_chunk_size_does_not_change_results(self):
+        reference = pmap(_draw, range(9), n_jobs=1, seeds=spawn_seeds(1, 9))
+        chunked = pmap(
+            _draw, range(9), n_jobs=2, seeds=spawn_seeds(1, 9),
+            backend="thread", chunk_size=1,
+        )
+        assert chunked == reference
+
+    def test_seed_length_mismatch_raises(self):
+        with pytest.raises(DataValidationError):
+            pmap(_draw, range(4), seeds=spawn_seeds(0, 3))
+
+
+class TestFailureSemantics:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_task_error_surfaces_as_repro_error(self, backend):
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            pmap(_boom, range(6), n_jobs=2, backend=backend)
+        error = excinfo.value
+        assert isinstance(error, ReproError)
+        assert error.task_index == 3
+        assert error.original_type == "ValueError"
+        assert "task exploded on 3" in str(error)
+        # The worker traceback travels with the error, not as a bare dump.
+        assert "worker traceback" in str(error)
+        assert isinstance(error.__cause__, ValueError)
+
+    def test_unpicklable_fn_falls_back_to_serial_with_warning(self):
+        executor = Executor(n_jobs=2, backend="process")
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            result = executor.map(lambda x: x + 1, range(5))
+        assert result == [1, 2, 3, 4, 5]
+
+    def test_fallback_can_be_disabled(self):
+        executor = Executor(n_jobs=2, backend="process", fallback_serial=False)
+        with pytest.raises(ParallelExecutionError):
+            executor.map(lambda x: x + 1, range(5))
+
+    def test_first_failing_index_is_reported(self):
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            pmap(_boom, [3, 3, 0], n_jobs=2, backend="thread")
+        assert excinfo.value.task_index == 0

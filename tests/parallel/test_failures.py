@@ -1,0 +1,43 @@
+"""Failure injection: corruption episodes that raise inside workers."""
+
+import numpy as np
+import pytest
+
+from repro.core.corruption import CorruptionSampler
+from repro.exceptions import ParallelExecutionError, ReproError
+from repro.errors.base import ErrorGen
+
+
+class ExplodingError(ErrorGen):
+    """A generator whose corrupt step always blows up (module-level so the
+    process backend can pickle it)."""
+
+    name = "exploding"
+
+    def applicable_columns(self, frame):
+        return frame.numeric_columns
+
+    def corrupt(self, frame, rng, **params):
+        raise RuntimeError("corruption blew up")
+
+
+@pytest.mark.parametrize("n_jobs,backend", [(1, "serial"), (2, "thread"), (2, "process")])
+def test_episode_error_surfaces_as_repro_error(
+    income_blackbox, income_splits, n_jobs, backend
+):
+    sampler = CorruptionSampler(
+        income_blackbox, [ExplodingError()], mode="single",
+        include_clean=False, n_jobs=n_jobs, backend=backend,
+    )
+    with pytest.raises(ParallelExecutionError) as excinfo:
+        sampler.sample(
+            income_splits.test, income_splits.y_test, 4, np.random.default_rng(0)
+        )
+    error = excinfo.value
+    assert isinstance(error, ReproError)
+    assert error.task_index == 0
+    assert error.original_type == "RuntimeError"
+    # The user sees the episode's own message plus the worker traceback,
+    # never a bare pool dump.
+    assert "corruption blew up" in str(error)
+    assert "worker traceback" in str(error)

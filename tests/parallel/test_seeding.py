@@ -1,0 +1,62 @@
+"""Tests for deterministic seed derivation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.parallel import rng_from_seed, spawn_seeds
+
+
+class TestSpawnSeeds:
+    def test_int_source_is_deterministic(self):
+        a = spawn_seeds(42, 5)
+        b = spawn_seeds(42, 5)
+        draws_a = [np.random.default_rng(s).random() for s in a]
+        draws_b = [np.random.default_rng(s).random() for s in b]
+        assert draws_a == draws_b
+
+    def test_children_are_independent_streams(self):
+        seeds = spawn_seeds(0, 10)
+        draws = {np.random.default_rng(s).random() for s in seeds}
+        assert len(draws) == 10
+
+    def test_generator_source_consumes_exactly_one_draw(self):
+        few, many = np.random.default_rng(7), np.random.default_rng(7)
+        spawn_seeds(few, 2)
+        spawn_seeds(many, 200)
+        # The caller's stream advanced identically despite the different
+        # task counts — the whole point of spawning from one draw.
+        assert few.integers(2**63) == many.integers(2**63)
+
+    def test_task_seeds_do_not_depend_on_task_count(self):
+        few = spawn_seeds(np.random.default_rng(7), 2)
+        many = spawn_seeds(np.random.default_rng(7), 200)
+        for a, b in zip(few, many):
+            assert np.random.default_rng(a).random() == np.random.default_rng(b).random()
+
+    def test_seed_sequence_source_spawns_directly(self):
+        root = np.random.SeedSequence(5)
+        seeds = spawn_seeds(root, 3)
+        assert [s.spawn_key for s in seeds] == [(0,), (1,), (2,)]
+
+    def test_zero_tasks_allowed(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_negative_task_count_raises(self):
+        with pytest.raises(DataValidationError):
+            spawn_seeds(0, -1)
+
+
+class TestRngFromSeed:
+    def test_generator_passes_through(self):
+        rng = np.random.default_rng(0)
+        assert rng_from_seed(rng) is rng
+
+    def test_seed_sequence_materializes(self):
+        seed = np.random.SeedSequence(3)
+        a, b = rng_from_seed(seed), rng_from_seed(np.random.SeedSequence(3))
+        assert a.random() == b.random()
+
+    def test_int_and_none(self):
+        assert rng_from_seed(9).random() == np.random.default_rng(9).random()
+        assert isinstance(rng_from_seed(None), np.random.Generator)

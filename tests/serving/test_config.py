@@ -7,7 +7,10 @@ import pytest
 from repro import persistence
 from repro.exceptions import DataValidationError
 from repro.serving.config import (
+    ParallelSettings,
+    load_parallel_settings,
     load_serving_config,
+    parse_parallel,
     parse_policy,
     registry_from_config,
     write_serving_config,
@@ -112,3 +115,66 @@ class TestRegistryFromConfig:
         path = write_config(tmp_path / "serving.json", {"endpoints": [entry, entry]})
         with pytest.raises(DataValidationError):
             registry_from_config(path)
+
+    def test_unknown_top_level_keys_raise(self, tmp_path):
+        path = write_config(
+            tmp_path / "serving.json",
+            {"endpoints": [{"name": "a", "artifacts": "d"}], "paralel": {}},
+        )
+        with pytest.raises(DataValidationError) as excinfo:
+            load_serving_config(path)
+        assert "paralel" in str(excinfo.value)
+
+
+class TestParallelBlock:
+    def test_parse_defaults_and_overrides(self):
+        assert parse_parallel({}) == ParallelSettings()
+        settings = parse_parallel({"n_jobs": 4, "backend": "process"})
+        assert settings.n_jobs == 4
+        assert settings.backend == "process"
+
+    def test_unknown_keys_raise(self):
+        with pytest.raises(DataValidationError) as excinfo:
+            parse_parallel({"njobs": 4})
+        assert "njobs" in str(excinfo.value)
+
+    def test_invalid_backend_raises(self):
+        with pytest.raises(DataValidationError):
+            ParallelSettings(backend="greenlet")
+
+    def test_zero_jobs_raises(self):
+        with pytest.raises(DataValidationError):
+            ParallelSettings(n_jobs=0)
+
+    def test_load_parallel_settings(self, tmp_path):
+        path = write_config(
+            tmp_path / "serving.json",
+            {
+                "endpoints": [{"name": "a", "artifacts": "d"}],
+                "parallel": {"n_jobs": 2, "backend": "thread"},
+            },
+        )
+        assert load_parallel_settings(path) == ParallelSettings(2, "thread")
+
+    def test_absent_block_yields_defaults(self, tmp_path):
+        path = write_config(
+            tmp_path / "serving.json",
+            {"endpoints": [{"name": "a", "artifacts": "d"}]},
+        )
+        assert load_parallel_settings(path) == ParallelSettings()
+
+    def test_registry_loads_endpoints_concurrently(self, artifact_dir, tmp_path):
+        path = write_config(
+            tmp_path / "serving.json",
+            {
+                "endpoints": [
+                    {"name": "income", "artifacts": "deployed"},
+                    {"name": "income-b", "artifacts": "deployed"},
+                ],
+                "parallel": {"n_jobs": 2, "backend": "thread"},
+            },
+        )
+        registry = registry_from_config(path)
+        assert len(registry) == 2
+        # Registration order follows the config order despite the pool.
+        assert [e.name for e in registry.endpoints()] == ["income", "income-b"]

@@ -18,6 +18,8 @@ PACKAGES = [
     "repro.errors",
     "repro.evaluation",
     "repro.ml",
+    "repro.parallel",
+    "repro.perf",
     "repro.serving",
     "repro.stats",
     "repro.tabular",

@@ -185,3 +185,48 @@ class TestServeBatchCommand:
         ])
         assert code == 2
         assert "no .npz batch files" in capsys.readouterr().err
+
+
+class TestParallelArguments:
+    def test_train_defaults_to_serial(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["train", "--data", "d.npz", "--out", "out"]
+        )
+        assert args.n_jobs == 1
+        assert args.parallel_backend == "auto"
+
+    def test_train_accepts_n_jobs(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "train", "--data", "d.npz", "--out", "out",
+            "--n-jobs", "4", "--parallel-backend", "thread",
+        ])
+        assert args.n_jobs == 4
+        assert args.parallel_backend == "thread"
+
+
+class TestBenchCommand:
+    def test_bench_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench", "--smoke"])
+        assert args.n_jobs == 4
+        assert args.smoke is True
+        assert args.out == "BENCH_PR2.json"
+
+    def test_smoke_bench_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main([
+            "bench", "--smoke", "--out", str(out),
+            "--n-jobs", "2", "--parallel-backend", "thread",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "report written to" in output
+        report = json.loads(out.read_text())
+        assert report["all_identical"] is True
+        assert report["profile"] == "smoke"
+        assert len(report["benchmarks"]) == 4
