@@ -18,16 +18,44 @@ def test_report_shape(smoke_report):
     assert smoke_report["n_jobs"] == 2
     assert smoke_report["environment"]["cpu_count"] >= 1
     names = [bench["name"] for bench in smoke_report["benchmarks"]]
-    assert names == ["meta_dataset", "forest_fit", "grid_search", "harness_rounds"]
+    assert names == [
+        "meta_dataset",
+        "forest_fit",
+        "grid_search",
+        "harness_rounds",
+        "tree_fit_exact_vs_hist",
+        "boosting_exact_vs_hist",
+    ]
     for bench in smoke_report["benchmarks"]:
-        assert bench["serial_seconds"] > 0
-        assert bench["parallel_seconds"] > 0
+        if "identical_results" in bench:
+            assert bench["serial_seconds"] > 0
+            assert bench["parallel_seconds"] > 0
+        else:
+            assert bench["exact_seconds"] > 0
+            assert bench["hist_seconds"] > 0
         assert bench["speedup"] is not None
 
 
 def test_parallel_results_identical(smoke_report):
     assert smoke_report["all_identical"]
-    assert all(b["identical_results"] for b in smoke_report["benchmarks"])
+    assert all(
+        b["identical_results"]
+        for b in smoke_report["benchmarks"]
+        if "identical_results" in b
+    )
+
+
+def test_tree_engines_reach_quality_parity(smoke_report):
+    assert smoke_report["quality_parity"]
+    engine_benches = [
+        b for b in smoke_report["benchmarks"] if "quality_parity" in b
+    ]
+    assert len(engine_benches) == 2
+    for bench in engine_benches:
+        assert bench["quality_parity"]
+        assert bench["quality_metric"] in ("r2", "accuracy")
+        assert bench["exact_quality"] > 0.5
+        assert bench["hist_quality"] > 0.5
 
 
 def test_report_round_trips_as_json(smoke_report, tmp_path):

@@ -35,6 +35,7 @@ from repro.errors.base import ErrorGen
 from repro.evaluation.harness import known_error_generators
 from repro.evaluation.models import MODEL_NAMES, make_model
 from repro.exceptions import ReproError
+from repro.ml.binning import TREE_METHODS
 from repro.ml.pipeline import Pipeline, TabularEncoder
 from repro.monitoring import BatchMonitor
 from repro.serving import (
@@ -85,6 +86,10 @@ def _add_train_command(subparsers) -> None:
     parser.add_argument("--meta-samples", type=int, default=120)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", required=True, help="output artifact directory")
+    parser.add_argument(
+        "--tree-method", default="exact", choices=TREE_METHODS,
+        help="split-finding engine for tree learners (hist = binned, faster)",
+    )
     _add_parallel_arguments(parser)
     parser.set_defaults(handler=_run_train)
 
@@ -112,7 +117,10 @@ def _split(dataset, seed):
 def _run_train(args) -> int:
     dataset = persistence.load_dataset_file(args.data)
     train, y_train, test, y_test, _, _ = _split(dataset, args.seed)
-    pipeline = Pipeline(TabularEncoder(), make_model(args.model, random_state=args.seed))
+    pipeline = Pipeline(
+        TabularEncoder(),
+        make_model(args.model, random_state=args.seed, tree_method=args.tree_method),
+    )
     pipeline.fit(train, y_train)
     blackbox = BlackBoxModel.wrap(pipeline)
     test_score = blackbox.score(test, y_test)
@@ -120,6 +128,7 @@ def _run_train(args) -> int:
     predictor = PerformancePredictor(
         blackbox, generators, n_samples=args.meta_samples, random_state=args.seed,
         n_jobs=args.n_jobs, backend=args.parallel_backend,
+        tree_method=args.tree_method,
     ).fit(test, y_test)
 
     out = Path(args.out)
@@ -132,6 +141,7 @@ def _run_train(args) -> int:
         "test_score": test_score,
         "error_generators": [generator.name for generator in generators],
         "meta_samples": args.meta_samples,
+        "tree_method": args.tree_method,
     }
     (out / "info.json").write_text(json.dumps(info, indent=2))
     print(f"trained {args.model} on {dataset.name}: test accuracy {test_score:.4f}")
@@ -250,7 +260,11 @@ def _add_endpoints_command(subparsers) -> None:
 
 
 def _run_endpoints(args) -> int:
+    from repro.serving.config import load_model_settings
+
     registry = registry_from_config(args.config)
+    model = load_model_settings(args.config)
+    print(f"model: tree_method={model.tree_method} max_bins={model.max_bins}")
     for endpoint in registry.endpoints():
         print(endpoint.describe())
         predictor_path = Path(persistence_dir_of(args.config, endpoint))
@@ -373,13 +387,13 @@ def _run_serve_batch(args) -> int:
 def _add_bench_command(subparsers) -> None:
     parser = subparsers.add_parser(
         "bench",
-        help="time the parallel hot paths (serial vs --n-jobs) and write JSON",
+        help="time the parallel and tree-engine hot paths and write JSON",
     )
     parser.add_argument(
         "--smoke", action="store_true",
         help="tiny workload for CI (default: the full reference workload)",
     )
-    parser.add_argument("--out", default="BENCH_PR2.json", help="report output path")
+    parser.add_argument("--out", default="BENCH_PR3.json", help="report output path")
     _add_parallel_arguments(parser)
     parser.set_defaults(handler=_run_bench, n_jobs=4)
 
@@ -395,10 +409,14 @@ def _run_bench(args) -> int:
     write_report(payload, args.out)
     print(format_report(payload))
     print(f"report written to {args.out}")
+    failed = False
     if not payload["all_identical"]:
         print("error: parallel results diverged from serial", file=sys.stderr)
-        return 2
-    return 0
+        failed = True
+    if not payload["quality_parity"]:
+        print("error: hist tree engine failed quality parity", file=sys.stderr)
+        failed = True
+    return 2 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:

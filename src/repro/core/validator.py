@@ -31,18 +31,23 @@ from repro.ml.boosting import GradientBoostingClassifier
 from repro.tabular.frame import DataFrame
 
 
-def default_validator_model(random_state: int | None = 0) -> GradientBoostingClassifier:
+def default_validator_model(
+    random_state: int | None = 0,
+    tree_method: str = "exact",
+    max_bins: int = 256,
+) -> GradientBoostingClassifier:
     """The paper's validator learner: gradient-boosted decision trees.
 
     Feature subsampling (colsample) matters here: the percentile features
     and the hypothesis-test features often separate the *training*
     corruptions equally well, but only the test statistics transfer to
     error types never seen in training. Subsampling forces the ensemble to
-    spread its splits over both groups.
+    spread its splits over both groups. ``tree_method="hist"`` bins the
+    meta-features once and shares the codes across all boosting stages.
     """
     return GradientBoostingClassifier(
         n_stages=80, max_depth=3, learning_rate=0.1, max_features=8,
-        random_state=random_state,
+        random_state=random_state, tree_method=tree_method, max_bins=max_bins,
     )
 
 
@@ -61,6 +66,9 @@ class PerformanceValidator:
     mode:
         Corruption protocol used to build training examples; validation
         experiments in the paper use mixtures.
+    tree_method / max_bins:
+        Split-finding engine for the default gradient-boosting model
+        (``"exact"`` or ``"hist"``). Ignored when ``model`` is passed.
     """
 
     def __init__(
@@ -78,6 +86,8 @@ class PerformanceValidator:
         random_state: int | None = 0,
         n_jobs: int | None = 1,
         backend: str = "auto",
+        tree_method: str = "exact",
+        max_bins: int = 256,
     ):
         if not 0.0 < threshold < 1.0:
             raise DataValidationError(f"threshold must be in (0, 1), got {threshold}")
@@ -94,6 +104,8 @@ class PerformanceValidator:
         self.random_state = random_state
         self.n_jobs = n_jobs
         self.backend = backend
+        self.tree_method = tree_method
+        self.max_bins = max_bins
 
     def _featurize(self, proba: np.ndarray) -> np.ndarray:
         features = prediction_statistics(proba, step=self.percentile_step)
@@ -153,7 +165,7 @@ class PerformanceValidator:
         self.meta_features_ = features
         self.meta_labels_ = acceptable
         base = self.model if self.model is not None else default_validator_model(
-            self.random_state
+            self.random_state, tree_method=self.tree_method, max_bins=self.max_bins
         )
         if len(np.unique(acceptable)) < 2:
             # Degenerate corpus (e.g. a model so robust nothing violates the

@@ -173,6 +173,7 @@ def score_estimation_errors(
     seed: int = 0,
     n_jobs: int | None = 1,
     backend: str = "auto",
+    tree_method: str = "exact",
 ) -> np.ndarray:
     """Absolute errors of the predictor's score estimates on corrupted serving data.
 
@@ -191,6 +192,7 @@ def score_estimation_errors(
         random_state=seed,
         n_jobs=n_jobs,
         backend=backend,
+        tree_method=tree_method,
     ).fit(splits.test, splits.y_test)
     rng = np.random.default_rng(seed + 10_000)
     tasks = [
@@ -224,6 +226,7 @@ def unknown_fraction_errors(
     seed: int = 0,
     n_jobs: int | None = 1,
     backend: str = "auto",
+    tree_method: str = "exact",
 ) -> np.ndarray:
     """Absolute estimation errors when the predictor trained on weakened errors.
 
@@ -261,6 +264,7 @@ def unknown_fraction_errors(
         random_state=seed,
         n_jobs=n_jobs,
         backend=backend,
+        tree_method=tree_method,
     ).fit(splits.test, splits.y_test)
     rng = np.random.default_rng(seed + 20_000)
     mixture = ErrorMixture(full_generators, fire_prob=0.6)
@@ -292,6 +296,7 @@ def sample_size_errors(
     seed: int = 0,
     n_jobs: int | None = 1,
     backend: str = "auto",
+    tree_method: str = "exact",
 ) -> np.ndarray:
     """Estimation errors when the predictor only sees ``test_size`` held-out rows."""
     if test_size > len(splits.test):
@@ -305,6 +310,7 @@ def sample_size_errors(
     predictor = PerformancePredictor(
         blackbox, [generator], n_samples=n_train_samples, mode="single",
         random_state=seed, n_jobs=n_jobs, backend=backend,
+        tree_method=tree_method,
     ).fit(small_test, small_labels)
     task = (predictor, blackbox, generator, splits.serving, splits.y_serving, "accuracy")
     seeds = spawn_seeds(rng, n_eval_rounds)
@@ -348,6 +354,7 @@ def validation_comparison_multi(
     seed: int = 0,
     n_jobs: int | None = 1,
     backend: str = "auto",
+    tree_method: str = "exact",
 ) -> dict[float, ValidationScores]:
     """Compare PPM against BBSE / BBSEh / REL at several thresholds.
 
@@ -379,6 +386,7 @@ def validation_comparison_multi(
             threshold=threshold,
             mode="mixture",
             random_state=seed,
+            tree_method=tree_method,
         ).fit(splits.test, splits.y_test, samples=shared_samples)
 
     has_rel_columns = bool(splits.test.numeric_columns or splits.test.categorical_columns)
@@ -442,12 +450,13 @@ def validation_comparison(
     seed: int = 0,
     n_jobs: int | None = 1,
     backend: str = "auto",
+    tree_method: str = "exact",
 ) -> ValidationScores:
     """Single-threshold convenience wrapper around the multi version."""
     results = validation_comparison_multi(
         blackbox, splits, train_generators, eval_generators, (threshold,),
         n_train_samples=n_train_samples, n_eval_rounds=n_eval_rounds, seed=seed,
-        n_jobs=n_jobs, backend=backend,
+        n_jobs=n_jobs, backend=backend, tree_method=tree_method,
     )
     return results[threshold]
 
@@ -483,12 +492,14 @@ def cloud_experiment(
     seed: int = 0,
     n_jobs: int | None = 1,
     backend: str = "auto",
+    tree_method: str = "exact",
 ) -> CloudExperimentResult:
     """Predict the accuracy of an opaque (cloud) model under error mixtures."""
     generators = list(known_error_generators("tabular").values())
     predictor = PerformancePredictor(
         blackbox, generators, n_samples=n_train_samples, mode="mixture",
         random_state=seed, n_jobs=n_jobs, backend=backend,
+        tree_method=tree_method,
     ).fit(splits.test, splits.y_test)
     rng = np.random.default_rng(seed + 50_000)
     mixture = ErrorMixture(generators, fire_prob=0.6)

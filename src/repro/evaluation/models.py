@@ -23,13 +23,18 @@ NONLINEAR_MODELS = ("dnn", "xgb")
 
 
 def make_model(
-    name: str, random_state: int | None = 0, grid_search: bool = False
+    name: str,
+    random_state: int | None = 0,
+    grid_search: bool = False,
+    tree_method: str = "exact",
 ) -> Estimator:
     """Instantiate one of the paper's black box model families.
 
     With ``grid_search=True`` the estimator is wrapped in the paper's
     five-fold CV grid search (regularization/learning-rate for lr, layer
-    sizes for dnn, tree count/depth for xgb).
+    sizes for dnn, tree count/depth for xgb). ``tree_method`` selects the
+    split-finding engine of the tree-based family (``xgb``); the other
+    families ignore it.
     """
     if name == "lr":
         model: Estimator = SGDClassifier(epochs=15, random_state=random_state)
@@ -50,7 +55,9 @@ def make_model(
             )
         return model
     if name == "xgb":
-        model = GradientBoostingClassifier(n_stages=40, random_state=random_state)
+        model = GradientBoostingClassifier(
+            n_stages=40, random_state=random_state, tree_method=tree_method
+        )
         if grid_search:
             return GridSearchCV(
                 model,

@@ -16,6 +16,13 @@ from repro.ml.base import (
     sigmoid,
     softmax,
 )
+from repro.ml.binning import (
+    TREE_METHODS,
+    BinnedMatrix,
+    bin_matrix,
+    check_max_bins,
+    check_tree_method,
+)
 from repro.ml.boosting import GradientBoostingClassifier, GradientBoostingRegressor
 from repro.ml.calibration import CalibratedClassifier, IsotonicCalibrator, PlattCalibrator
 from repro.ml.conv import ConvNetClassifier
@@ -52,6 +59,7 @@ from repro.ml.preprocessing import (
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 
 __all__ = [
+    "BinnedMatrix",
     "CalibratedClassifier",
     "ClassifierMixin",
     "ConvNetClassifier",
@@ -74,11 +82,15 @@ __all__ = [
     "SCORERS",
     "SGDClassifier",
     "StandardScaler",
+    "TREE_METHODS",
     "TabularEncoder",
     "accuracy_score",
     "as_rng",
+    "bin_matrix",
     "check_labels",
     "check_matrix",
+    "check_max_bins",
+    "check_tree_method",
     "clone",
     "confusion_counts",
     "cross_val_score",

@@ -1,0 +1,124 @@
+"""Feature binning for the histogram tree engine.
+
+Each feature is quantile-binned **once per fit** into at most 256 small
+integer codes; the histogram tree builder then works entirely on the
+codes and never touches the raw floats again. Ensembles (forests,
+boosting stages) share one :class:`BinnedMatrix` across all their trees,
+so the O(features · n log n) binning cost is paid a single time per fit
+instead of once per node per tree.
+
+The code/threshold correspondence is exact: ``code <= b`` holds for a
+row if and only if ``x <= edges[b]`` holds for its raw value, so a tree
+grown on codes partitions raw data identically when its recorded float
+thresholds are used at prediction time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+#: The engines selectable via the ``tree_method`` knob.
+TREE_METHODS = ("exact", "hist")
+
+#: uint8 codes bound the bin count.
+MAX_BINS_LIMIT = 256
+
+
+def check_tree_method(tree_method: str) -> str:
+    """Validate a ``tree_method`` value, returning it unchanged."""
+    if tree_method not in TREE_METHODS:
+        raise DataValidationError(
+            f"unknown tree_method {tree_method!r}; valid methods: {TREE_METHODS}"
+        )
+    return tree_method
+
+
+def check_max_bins(max_bins: int) -> int:
+    """Validate a ``max_bins`` value, returning it unchanged."""
+    if not 2 <= max_bins <= MAX_BINS_LIMIT:
+        raise DataValidationError(
+            f"max_bins must be in [2, {MAX_BINS_LIMIT}], got {max_bins}"
+        )
+    return max_bins
+
+
+@dataclass(frozen=True)
+class BinnedMatrix:
+    """A feature matrix quantile-binned into per-feature integer codes.
+
+    ``codes[i, j]`` is the bin of row ``i`` on feature ``j``; splitting
+    at bin boundary ``b`` sends exactly the rows with ``code <= b`` left,
+    which at prediction time is the float comparison
+    ``x <= edges[j][b]``. ``flat`` holds the same codes offset by
+    ``j * n_bins`` so one :func:`np.bincount` accumulates histograms for
+    every feature at once.
+    """
+
+    codes: np.ndarray  # (n_rows, n_features) uint8
+    flat: np.ndarray  # (n_rows, n_features) int64, codes + feature offsets
+    edges: list[np.ndarray]  # per feature: candidate thresholds, ascending
+    n_bins: int  # uniform bin-axis width (max over features)
+
+    @property
+    def n_rows(self) -> int:
+        return self.codes.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.codes.shape[1]
+
+    def edge_mask(self) -> np.ndarray:
+        """(n_features, n_bins - 1) mask of bin boundaries that exist."""
+        mask = np.zeros((self.n_features, self.n_bins - 1), dtype=bool)
+        for j, feature_edges in enumerate(self.edges):
+            mask[j, : len(feature_edges)] = True
+        return mask
+
+
+def _feature_edges(x: np.ndarray, max_bins: int) -> np.ndarray:
+    """Candidate split thresholds for one feature column.
+
+    Features with few distinct values keep every midpoint boundary (the
+    hist engine then sees the same candidate set as the exact engine);
+    wide features fall back to ``max_bins - 1`` interior quantiles.
+    """
+    unique = np.unique(x)
+    if unique.size <= 1:
+        return np.empty(0, dtype=np.float64)
+    if unique.size <= max_bins:
+        edges = (unique[:-1] + unique[1:]) / 2.0
+        # Adjacent values one ULP apart: the midpoint rounds up to the
+        # larger value; fall back to the smaller value so the boundary
+        # still separates the pair under the `<=` comparison.
+        rounded_up = edges >= unique[1:]
+        edges[rounded_up] = unique[:-1][rounded_up]
+        return edges
+    quantiles = np.arange(1, max_bins) / max_bins
+    return np.unique(np.quantile(x, quantiles))
+
+
+def bin_matrix(X: np.ndarray, max_bins: int = 256) -> BinnedMatrix:
+    """Quantile-bin every feature of ``X`` into a :class:`BinnedMatrix`.
+
+    Deterministic: depends only on the data and ``max_bins``.
+    """
+    check_max_bins(max_bins)
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise DataValidationError(f"X must be 2-d, got shape {X.shape}")
+    n_rows, n_features = X.shape
+    edges: list[np.ndarray] = []
+    codes = np.empty((n_rows, n_features), dtype=np.uint8)
+    for j in range(n_features):
+        feature_edges = _feature_edges(X[:, j], max_bins)
+        edges.append(feature_edges)
+        # side="left": code <= b  <=>  x <= edges[b], exactly.
+        codes[:, j] = np.searchsorted(feature_edges, X[:, j], side="left")
+    n_bins = max(2, max((e.size + 1 for e in edges), default=2))
+    offsets = np.arange(n_features, dtype=np.int64) * n_bins
+    flat = codes.astype(np.int64) + offsets[np.newaxis, :]
+    return BinnedMatrix(codes=codes, flat=flat, edges=edges, n_bins=n_bins)

@@ -21,6 +21,7 @@ from repro.ml.base import (
     sigmoid,
     softmax,
 )
+from repro.ml.binning import BinnedMatrix, bin_matrix, check_tree_method
 from repro.ml.tree import DecisionTreeRegressor
 
 
@@ -30,16 +31,33 @@ def _newton_leaf_updates(
     residuals: np.ndarray,
     hessians: np.ndarray,
 ) -> None:
-    """Replace each leaf's mean-residual output with a Newton step."""
+    """Replace each leaf's mean-residual output with a Newton step.
+
+    One ``np.bincount`` pass over the leaf indices sums residuals and
+    hessians for every leaf at once (this runs once per stage per class,
+    so it sits on the boosting hot path).
+    """
     leaves = tree.apply(X)
-    updates: dict[int, float] = {}
-    for leaf in np.unique(leaves):
-        rows = leaves == leaf
-        denominator = float(hessians[rows].sum())
-        if denominator < 1e-10:
-            denominator = 1e-10
-        updates[int(leaf)] = float(residuals[rows].sum()) / denominator
-    tree.tree_.set_leaf_values(updates)
+    unique_leaves, inverse = np.unique(leaves, return_inverse=True)
+    residual_sums = np.bincount(inverse, weights=residuals)
+    hessian_sums = np.bincount(inverse, weights=hessians)
+    steps = residual_sums / np.maximum(hessian_sums, 1e-10)
+    tree.tree_.set_leaf_values(
+        {int(leaf): float(step) for leaf, step in zip(unique_leaves, steps)}
+    )
+
+
+def _fit_stage_tree(
+    tree: DecisionTreeRegressor,
+    X: np.ndarray,
+    binned: BinnedMatrix | None,
+    targets: np.ndarray,
+    rows: np.ndarray,
+) -> DecisionTreeRegressor:
+    """Fit one boosting-stage tree, reusing the shared binned matrix."""
+    if binned is not None:
+        return tree.fit_binned(binned, targets, rows=rows)
+    return tree.fit(X[rows], targets[rows])
 
 
 class GradientBoostingClassifier(Estimator, ClassifierMixin):
@@ -54,6 +72,8 @@ class GradientBoostingClassifier(Estimator, ClassifierMixin):
         subsample: float = 1.0,
         max_features: int | None = None,
         random_state: int | None = 0,
+        tree_method: str = "exact",
+        max_bins: int = 256,
     ):
         self.n_stages = n_stages
         self.learning_rate = learning_rate
@@ -65,6 +85,8 @@ class GradientBoostingClassifier(Estimator, ClassifierMixin):
         # equally well but only some of them transfer to serving time.
         self.max_features = max_features
         self.random_state = random_state
+        self.tree_method = tree_method
+        self.max_bins = max_bins
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
         X = check_matrix(X)
@@ -82,7 +104,14 @@ class GradientBoostingClassifier(Estimator, ClassifierMixin):
             min_samples_leaf=self.min_samples_leaf,
             max_features=self.max_features,
             random_state=int(rng.integers(0, 2**31 - 1)),
+            tree_method=self.tree_method,
+            max_bins=self.max_bins,
         )
+
+    def _bin_once(self, X: np.ndarray) -> BinnedMatrix | None:
+        """The shared binned matrix (hist engine), built once per fit."""
+        check_tree_method(self.tree_method)
+        return bin_matrix(X, self.max_bins) if self.tree_method == "hist" else None
 
     def _sample_rows(self, rng: np.random.Generator, n: int) -> np.ndarray:
         if self.subsample >= 1.0:
@@ -92,6 +121,7 @@ class GradientBoostingClassifier(Estimator, ClassifierMixin):
 
     def _fit_binary(self, X: np.ndarray, y_idx: np.ndarray) -> None:
         rng = as_rng(self.random_state)
+        binned = self._bin_once(X)
         n = X.shape[0]
         y = y_idx.astype(np.float64)
         positive_rate = np.clip(y.mean(), 1e-6, 1 - 1e-6)
@@ -103,14 +133,14 @@ class GradientBoostingClassifier(Estimator, ClassifierMixin):
             residuals = y - p
             hessians = p * (1.0 - p)
             rows = self._sample_rows(rng, n)
-            tree = self._new_tree(rng)
-            tree.fit(X[rows], residuals[rows])
+            tree = _fit_stage_tree(self._new_tree(rng), X, binned, residuals, rows)
             _newton_leaf_updates(tree, X[rows], residuals[rows], hessians[rows])
             raw += self.learning_rate * tree.predict(X)
             self.stages_.append([tree])
 
     def _fit_multiclass(self, X: np.ndarray, y_idx: np.ndarray) -> None:
         rng = as_rng(self.random_state)
+        binned = self._bin_once(X)
         n, m = X.shape[0], len(self.classes_)
         onehot = np.eye(m)[y_idx]
         priors = np.clip(onehot.mean(axis=0), 1e-6, 1.0)
@@ -124,8 +154,7 @@ class GradientBoostingClassifier(Estimator, ClassifierMixin):
             for k in range(m):
                 residuals = onehot[:, k] - p[:, k]
                 hessians = p[:, k] * (1.0 - p[:, k])
-                tree = self._new_tree(rng)
-                tree.fit(X[rows], residuals[rows])
+                tree = _fit_stage_tree(self._new_tree(rng), X, binned, residuals, rows)
                 _newton_leaf_updates(tree, X[rows], residuals[rows], hessians[rows])
                 raw[:, k] += self.learning_rate * tree.predict(X)
                 stage.append(tree)
@@ -163,17 +192,23 @@ class GradientBoostingRegressor(Estimator):
         max_depth: int = 3,
         min_samples_leaf: int = 5,
         random_state: int | None = 0,
+        tree_method: str = "exact",
+        max_bins: int = 256,
     ):
         self.n_stages = n_stages
         self.learning_rate = learning_rate
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self.random_state = random_state
+        self.tree_method = tree_method
+        self.max_bins = max_bins
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingRegressor":
         X = check_matrix(X)
         y = check_labels(y, X.shape[0]).astype(np.float64)
+        check_tree_method(self.tree_method)
         rng = as_rng(self.random_state)
+        binned = bin_matrix(X, self.max_bins) if self.tree_method == "hist" else None
         self.base_score_ = float(y.mean())
         prediction = np.full(X.shape[0], self.base_score_)
         self.trees_: list[DecisionTreeRegressor] = []
@@ -183,8 +218,13 @@ class GradientBoostingRegressor(Estimator):
                 max_depth=self.max_depth,
                 min_samples_leaf=self.min_samples_leaf,
                 random_state=int(rng.integers(0, 2**31 - 1)),
+                tree_method=self.tree_method,
+                max_bins=self.max_bins,
             )
-            tree.fit(X, residuals)
+            if binned is not None:
+                tree.fit_binned(binned, residuals)
+            else:
+                tree.fit(X, residuals)
             prediction += self.learning_rate * tree.predict(X)
             self.trees_.append(tree)
         return self

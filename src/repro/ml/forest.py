@@ -17,6 +17,7 @@ from repro.ml.base import (
     check_labels,
     check_matrix,
 )
+from repro.ml.binning import bin_matrix, check_tree_method
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.parallel import pmap
 
@@ -30,9 +31,13 @@ def _fit_tree(task) -> Estimator:
 
     The forest draws every tree's bootstrap rows and seed from its own
     RNG *serially* before fanning the fits out, so the fitted trees are
-    bit-identical to a fully serial fit at any ``n_jobs``.
+    bit-identical to a fully serial fit at any ``n_jobs``. With the hist
+    engine the forest bins the matrix once and every tree receives the
+    shared :class:`~repro.ml.binning.BinnedMatrix` instead of raw floats.
     """
-    tree_cls, X, y, rows, params = task
+    tree_cls, X, y, rows, params, binned = task
+    if binned is not None:
+        return tree_cls(**params).fit_binned(binned, y, rows=rows)
     return tree_cls(**params).fit(X[rows], y[rows])
 
 
@@ -48,6 +53,8 @@ class RandomForestRegressor(Estimator):
         random_state: int | None = 0,
         n_jobs: int | None = 1,
         backend: str = "auto",
+        tree_method: str = "exact",
+        max_bins: int = 256,
     ):
         self.n_trees = n_trees
         self.max_depth = max_depth
@@ -56,6 +63,8 @@ class RandomForestRegressor(Estimator):
         self.random_state = random_state
         self.n_jobs = n_jobs
         self.backend = backend
+        self.tree_method = tree_method
+        self.max_bins = max_bins
 
     def _resolve_max_features(self, n_features: int) -> int | None:
         if self.max_features is None:
@@ -69,8 +78,12 @@ class RandomForestRegressor(Estimator):
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
         X = check_matrix(X)
         y = check_labels(y, X.shape[0]).astype(np.float64)
+        check_tree_method(self.tree_method)
         rng = as_rng(self.random_state)
         max_features = self._resolve_max_features(X.shape[1])
+        # Bin once per fit; every tree shares the codes (amortized cost).
+        binned = bin_matrix(X, self.max_bins) if self.tree_method == "hist" else None
+        shared_X = None if binned is not None else X
         tasks = []
         for _ in range(self.n_trees):
             rows = _bootstrap(rng, X.shape[0])
@@ -79,8 +92,10 @@ class RandomForestRegressor(Estimator):
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=max_features,
                 random_state=int(rng.integers(0, 2**31 - 1)),
+                tree_method=self.tree_method,
+                max_bins=self.max_bins,
             )
-            tasks.append((DecisionTreeRegressor, X, y, rows, params))
+            tasks.append((DecisionTreeRegressor, shared_X, y, rows, params, binned))
         self.trees_ = pmap(_fit_tree, tasks, n_jobs=self.n_jobs, backend=self.backend)
         return self
 
@@ -103,6 +118,8 @@ class RandomForestClassifier(Estimator, ClassifierMixin):
         random_state: int | None = 0,
         n_jobs: int | None = 1,
         backend: str = "auto",
+        tree_method: str = "exact",
+        max_bins: int = 256,
     ):
         self.n_trees = n_trees
         self.max_depth = max_depth
@@ -111,11 +128,14 @@ class RandomForestClassifier(Estimator, ClassifierMixin):
         self.random_state = random_state
         self.n_jobs = n_jobs
         self.backend = backend
+        self.tree_method = tree_method
+        self.max_bins = max_bins
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         X = check_matrix(X)
         y = check_labels(y, X.shape[0])
         self._encode_labels(y)
+        check_tree_method(self.tree_method)
         rng = as_rng(self.random_state)
         if self.max_features is None:
             max_features = None
@@ -123,6 +143,8 @@ class RandomForestClassifier(Estimator, ClassifierMixin):
             max_features = max(1, int(np.sqrt(X.shape[1])))
         else:
             max_features = int(self.max_features)
+        binned = bin_matrix(X, self.max_bins) if self.tree_method == "hist" else None
+        shared_X = None if binned is not None else X
         tasks = []
         for _ in range(self.n_trees):
             rows = _bootstrap(rng, X.shape[0])
@@ -137,8 +159,10 @@ class RandomForestClassifier(Estimator, ClassifierMixin):
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=max_features,
                 random_state=int(rng.integers(0, 2**31 - 1)),
+                tree_method=self.tree_method,
+                max_bins=self.max_bins,
             )
-            tasks.append((DecisionTreeClassifier, X, y, rows, params))
+            tasks.append((DecisionTreeClassifier, shared_X, y, rows, params, binned))
         self.trees_ = pmap(_fit_tree, tasks, n_jobs=self.n_jobs, backend=self.backend)
         return self
 

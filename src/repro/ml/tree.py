@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.exceptions import DataValidationError
 from repro.ml.base import (
     ClassifierMixin,
     Estimator,
@@ -25,6 +26,15 @@ from repro.ml.base import (
     check_labels,
     check_matrix,
 )
+from repro.ml.binning import (
+    BinnedMatrix,
+    bin_matrix,
+    check_max_bins,
+    check_tree_method,
+)
+
+#: Gains at or below this are treated as "no useful split" by both engines.
+_MIN_GAIN = 1e-12
 
 
 @dataclass
@@ -155,7 +165,7 @@ def _best_split(
         return None
     gains = np.where(valid, gains, -np.inf)
     best = int(np.argmax(gains))
-    if gains[best] <= 1e-12:
+    if gains[best] <= _MIN_GAIN:
         return None
     threshold = (xs[best] + xs[best + 1]) / 2.0
     if threshold >= xs[best + 1]:
@@ -230,8 +240,211 @@ class _TreeBuilder:
         return bool(np.all(targets == targets[0]))
 
 
-class DecisionTreeRegressor(Estimator):
-    """CART regression tree with the MSE splitting criterion."""
+class _HistTreeBuilder:
+    """Breadth-first CART builder over a pre-binned feature matrix.
+
+    Per node, a (1 + 1 + k, features, bins) histogram of [count, sum of
+    squared target row norms, per-column target sums] is accumulated with
+    a handful of ``np.bincount`` passes over the flat bin codes, then all
+    bin boundaries of all features are scanned at once with vectorized
+    prefix sums — O(features · n_bins) per node, no per-node sorting.
+    The smaller child of every split is accumulated directly and the
+    larger child's histogram is obtained by subtracting it from the
+    parent's (the classic sibling trick), so each tree level accumulates
+    at most half its rows.
+    """
+
+    def __init__(
+        self,
+        max_depth: int,
+        min_samples_split: int,
+        min_samples_leaf: int,
+        max_features: int | None,
+        rng: np.random.Generator,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng
+
+    def build(
+        self, binned: BinnedMatrix, targets: np.ndarray, rows: np.ndarray
+    ) -> _FlatTree:
+        self._binned = binned
+        self._targets = targets
+        self._edge_mask = binned.edge_mask()
+        tree = _FlatTree()
+        root = tree.add_node(targets[rows].mean(axis=0))
+        if self.max_depth < 1 or len(rows) < self.min_samples_split:
+            return tree
+        # FIFO of (node, rows, depth, histogram) expanded breadth-first;
+        # every queued node already passed the depth / size / purity
+        # checks except the root, whose purity the first scan catches.
+        queue: list[tuple[int, np.ndarray, int, np.ndarray]] = [
+            (root, rows, 0, self._accumulate(rows))
+        ]
+        head = 0
+        while head < len(queue):
+            node, node_rows, depth, hist = queue[head]
+            head += 1
+            found = self._scan(hist, len(node_rows))
+            if found is None:
+                continue
+            feature, boundary, child_sse = found
+            go_left = self._binned.codes[node_rows, feature] <= boundary
+            left_rows = node_rows[go_left]
+            right_rows = node_rows[~go_left]
+            threshold = float(self._binned.edges[feature][boundary])
+            left = tree.add_node(targets[left_rows].mean(axis=0))
+            right = tree.add_node(targets[right_rows].mean(axis=0))
+            tree.set_split(node, feature, threshold, left, right)
+            next_depth = depth + 1
+            expand_left = self._expandable(next_depth, len(left_rows), child_sse[0])
+            expand_right = self._expandable(next_depth, len(right_rows), child_sse[1])
+            if not (expand_left or expand_right):
+                continue
+            # Sibling trick: always accumulate the smaller side (even when
+            # only the larger needs a histogram — subtracting is cheaper
+            # than accumulating the larger side directly).
+            left_is_small = len(left_rows) <= len(right_rows)
+            small_rows = left_rows if left_is_small else right_rows
+            expand_large = expand_right if left_is_small else expand_left
+            small_hist = self._accumulate(small_rows)
+            large_hist = hist - small_hist if expand_large else None
+            left_hist, right_hist = (
+                (small_hist, large_hist) if left_is_small else (large_hist, small_hist)
+            )
+            if expand_left:
+                queue.append((left, left_rows, next_depth, left_hist))
+            if expand_right:
+                queue.append((right, right_rows, next_depth, right_hist))
+        return tree
+
+    def _expandable(self, depth: int, n_rows: int, node_sse: float) -> bool:
+        """Whether a child node can possibly be split further."""
+        return (
+            depth < self.max_depth
+            and n_rows >= self.min_samples_split
+            and node_sse > _MIN_GAIN
+        )
+
+    def _accumulate(self, rows: np.ndarray) -> np.ndarray:
+        """Per-feature, per-bin [count, sum-of-squares, column sums]."""
+        binned, targets = self._binned, self._targets
+        n_features, n_bins = binned.n_features, binned.n_bins
+        k = targets.shape[1]
+        index = binned.flat[rows].ravel()
+        length = n_features * n_bins
+        hist = np.empty((2 + k, n_features, n_bins))
+        hist[0] = np.bincount(index, minlength=length).reshape(n_features, n_bins)
+        node_targets = targets[rows]
+        row_sq = (node_targets * node_targets).sum(axis=1)
+        hist[1] = np.bincount(
+            index, weights=np.repeat(row_sq, n_features), minlength=length
+        ).reshape(n_features, n_bins)
+        for column in range(k):
+            hist[2 + column] = np.bincount(
+                index,
+                weights=np.repeat(node_targets[:, column], n_features),
+                minlength=length,
+            ).reshape(n_features, n_bins)
+        return hist
+
+    def _scan(
+        self, hist: np.ndarray, n_rows: int
+    ) -> tuple[int, int, tuple[float, float]] | None:
+        """Best (feature, bin boundary) by impurity decrease, or None.
+
+        Also returns the two children's SSE, which spares the caller a
+        second pass when deciding whether each child is worth expanding.
+        """
+        counts, sq_sums, column_sums = hist[0], hist[1], hist[2:]
+        total_sq = sq_sums[0].sum()
+        total_sums = column_sums[:, 0, :].sum(axis=1)
+        parent_sse = float(total_sq - (total_sums**2).sum() / n_rows)
+        if parent_sse <= _MIN_GAIN:
+            return None
+        left_counts = counts.cumsum(axis=1)[:, :-1]
+        left_sq = sq_sums.cumsum(axis=1)[:, :-1]
+        left_sums = column_sums.cumsum(axis=2)[:, :, :-1]
+        right_counts = n_rows - left_counts
+        valid = (
+            self._edge_mask
+            & (left_counts >= self.min_samples_leaf)
+            & (right_counts >= self.min_samples_leaf)
+        )
+        n_features = counts.shape[0]
+        if self.max_features is not None and self.max_features < n_features:
+            candidates = self.rng.choice(
+                n_features, size=self.max_features, replace=False
+            )
+            mask = np.zeros(n_features, dtype=bool)
+            mask[candidates] = True
+            valid &= mask[:, np.newaxis]
+        if not valid.any():
+            return None
+        with np.errstate(divide="ignore", invalid="ignore"):
+            left_sse = left_sq - (left_sums**2).sum(axis=0) / left_counts
+            right_sse = (total_sq - left_sq) - (
+                (total_sums[:, np.newaxis, np.newaxis] - left_sums) ** 2
+            ).sum(axis=0) / right_counts
+        gains = np.where(valid, parent_sse - left_sse - right_sse, -np.inf)
+        best = int(np.argmax(gains))
+        feature, boundary = divmod(best, gains.shape[1])
+        if gains[feature, boundary] <= _MIN_GAIN:
+            return None
+        return (
+            int(feature),
+            int(boundary),
+            (float(left_sse[feature, boundary]), float(right_sse[feature, boundary])),
+        )
+
+
+class _TreeMethodMixin:
+    """Shared engine dispatch for the two decision-tree estimators."""
+
+    def _make_builder(self) -> "_TreeBuilder | _HistTreeBuilder":
+        check_tree_method(self.tree_method)
+        builder_cls = _HistTreeBuilder if self.tree_method == "hist" else _TreeBuilder
+        return builder_cls(
+            self.max_depth,
+            self.min_samples_split,
+            self.min_samples_leaf,
+            self.max_features,
+            as_rng(self.random_state),
+        )
+
+    def _build(self, X: np.ndarray, targets: np.ndarray) -> _FlatTree:
+        builder = self._make_builder()
+        if self.tree_method == "hist":
+            binned = bin_matrix(X, check_max_bins(self.max_bins))
+            return builder.build(binned, targets, np.arange(X.shape[0]))
+        return builder.build(X, targets)
+
+    def _check_binned_fit(self, binned: BinnedMatrix, rows: np.ndarray | None):
+        if self.tree_method != "hist":
+            raise DataValidationError(
+                "fit_binned requires tree_method='hist'; "
+                f"got {self.tree_method!r}"
+            )
+        if rows is None:
+            return np.arange(binned.n_rows)
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            raise DataValidationError("fit_binned requires at least one row")
+        return rows
+
+
+class DecisionTreeRegressor(Estimator, _TreeMethodMixin):
+    """CART regression tree with the MSE splitting criterion.
+
+    ``tree_method`` selects the split-finding engine: ``"exact"`` sorts
+    every candidate feature at every node, ``"hist"`` quantile-bins each
+    feature once into at most ``max_bins`` codes and scans fixed-width
+    histograms per node (see :mod:`repro.ml.binning`). Both engines are
+    deterministic in ``random_state``.
+    """
 
     def __init__(
         self,
@@ -240,24 +453,39 @@ class DecisionTreeRegressor(Estimator):
         min_samples_leaf: int = 1,
         max_features: int | None = None,
         random_state: int | None = 0,
+        tree_method: str = "exact",
+        max_bins: int = 256,
     ):
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.random_state = random_state
+        self.tree_method = tree_method
+        self.max_bins = max_bins
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
         X = check_matrix(X)
         y = check_labels(y, X.shape[0]).astype(np.float64)
-        builder = _TreeBuilder(
-            self.max_depth,
-            self.min_samples_split,
-            self.min_samples_leaf,
-            self.max_features,
-            as_rng(self.random_state),
-        )
-        self.tree_ = builder.build(X, y.reshape(-1, 1))
+        self.tree_ = self._build(X, y.reshape(-1, 1))
+        return self
+
+    def fit_binned(
+        self,
+        binned: BinnedMatrix,
+        y: np.ndarray,
+        rows: np.ndarray | None = None,
+    ) -> "DecisionTreeRegressor":
+        """Fit from a pre-binned matrix (hist engine only).
+
+        ``y`` is aligned with the binned matrix's rows; ``rows`` selects
+        the (possibly repeated, e.g. bootstrap) training rows. Ensembles
+        use this to bin once per fit and share the codes across trees.
+        """
+        rows = self._check_binned_fit(binned, rows)
+        y = check_labels(y, binned.n_rows).astype(np.float64)
+        builder = self._make_builder()
+        self.tree_ = builder.build(binned, y.reshape(-1, 1), rows)
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -270,8 +498,12 @@ class DecisionTreeRegressor(Estimator):
         return self.tree_.apply(check_matrix(X))
 
 
-class DecisionTreeClassifier(Estimator, ClassifierMixin):
-    """CART classification tree (Gini criterion, probability leaves)."""
+class DecisionTreeClassifier(Estimator, ClassifierMixin, _TreeMethodMixin):
+    """CART classification tree (Gini criterion, probability leaves).
+
+    Supports the same ``tree_method`` / ``max_bins`` engine selection as
+    :class:`DecisionTreeRegressor`.
+    """
 
     def __init__(
         self,
@@ -280,26 +512,47 @@ class DecisionTreeClassifier(Estimator, ClassifierMixin):
         min_samples_leaf: int = 1,
         max_features: int | None = None,
         random_state: int | None = 0,
+        tree_method: str = "exact",
+        max_bins: int = 256,
     ):
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.random_state = random_state
+        self.tree_method = tree_method
+        self.max_bins = max_bins
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
         X = check_matrix(X)
         y = check_labels(y, X.shape[0])
         y_idx = self._encode_labels(y)
         onehot = np.eye(len(self.classes_))[y_idx]
-        builder = _TreeBuilder(
-            self.max_depth,
-            self.min_samples_split,
-            self.min_samples_leaf,
-            self.max_features,
-            as_rng(self.random_state),
-        )
-        self.tree_ = builder.build(X, onehot)
+        self.tree_ = self._build(X, onehot)
+        return self
+
+    def fit_binned(
+        self,
+        binned: BinnedMatrix,
+        y: np.ndarray,
+        rows: np.ndarray | None = None,
+    ) -> "DecisionTreeClassifier":
+        """Fit from a pre-binned matrix (hist engine only).
+
+        Classes are taken from ``y[rows]``, matching ``fit(X[rows],
+        y[rows])``; one-hot targets are scattered over the full row range
+        so the builder can index them by the original row ids.
+        """
+        rows = self._check_binned_fit(binned, rows)
+        y = check_labels(y, binned.n_rows)
+        selected = np.unique(rows)
+        self.classes_, y_idx = np.unique(y[selected], return_inverse=True)
+        if len(self.classes_) < 2:
+            raise DataValidationError("classifier requires at least two classes in y")
+        onehot = np.zeros((binned.n_rows, len(self.classes_)))
+        onehot[selected] = np.eye(len(self.classes_))[y_idx]
+        builder = self._make_builder()
+        self.tree_ = builder.build(binned, onehot, rows)
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:

@@ -1,12 +1,17 @@
-"""Timing harness for the deterministic parallel engine (``repro bench``).
+"""Timing harness for the deterministic hot paths (``repro bench``).
 
 Times the four parallelized hot paths — meta-dataset generation, forest
 fitting, grid-searched cross-validation, and the evaluation harness's
 round loop — once serially and once at the requested ``n_jobs``, checks
 that both settings produce bit-identical results (the engine's core
-guarantee), and writes a JSON report. ``BENCH_PR2.json`` at the repo
-root is the committed reference run; CI refreshes a smoke-profile copy
-per PR so the perf trajectory stays visible.
+guarantee). Two further benchmarks race the exact tree engine against
+the histogram engine (forest fit and gradient boosting, both at
+``n_jobs=1``) and check quality parity between the engines (R² /
+accuracy within tolerance — the engines make different split choices,
+so bit-identity is not expected there). Everything lands in one JSON
+report; ``BENCH_PR3.json`` at the repo root is the committed reference
+run, and CI refreshes a smoke-profile copy per PR so the perf
+trajectory stays visible.
 """
 
 from __future__ import annotations
@@ -29,8 +34,10 @@ from repro.evaluation.harness import (
     score_estimation_errors,
 )
 from repro.exceptions import DataValidationError
+from repro.ml.boosting import GradientBoostingClassifier
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.linear import SGDClassifier
+from repro.ml.metrics import accuracy_score, r2_score
 from repro.ml.model_selection import GridSearchCV
 from repro.ml.pipeline import Pipeline, TabularEncoder
 
@@ -46,6 +53,12 @@ PROFILES: dict[str, dict[str, Any]] = {
         grid_splits=3,
         eval_rounds=4,
         eval_meta_samples=10,
+        tree_rows=400,
+        tree_features=12,
+        tree_trees=8,
+        boost_rows=240,
+        boost_features=10,
+        boost_stages=6,
     ),
     "full": dict(
         n_rows=1500,
@@ -56,8 +69,18 @@ PROFILES: dict[str, dict[str, Any]] = {
         grid_splits=5,
         eval_rounds=12,
         eval_meta_samples=40,
+        tree_rows=5000,
+        tree_features=36,
+        tree_trees=6,
+        boost_rows=2000,
+        boost_features=20,
+        boost_stages=40,
     ),
 }
+
+#: Maximum allowed quality gap between the exact and hist engines
+#: (R² for the forest benchmark, accuracy for the boosting benchmark).
+QUALITY_TOLERANCE = 0.05
 
 
 def environment_info() -> dict[str, Any]:
@@ -85,12 +108,24 @@ def _income_workload(profile: dict[str, Any]):
     return BlackBoxModel.wrap(pipeline), splits
 
 
-def _regression_matrix(n_rows: int) -> tuple[np.ndarray, np.ndarray]:
-    rng = np.random.default_rng(7)
-    X = rng.normal(size=(n_rows, 12))
-    weights = rng.normal(size=12)
+def _regression_matrix(
+    n_rows: int, n_features: int = 12, seed: int = 7
+) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n_rows, n_features))
+    weights = rng.normal(size=n_features)
     y = X @ weights + 0.3 * rng.normal(size=n_rows)
     return X, y
+
+
+def _classification_matrix(
+    n_rows: int, n_features: int, seed: int = 11
+) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n_rows, n_features))
+    weights = rng.normal(size=n_features)
+    logits = X @ weights + 0.5 * rng.normal(size=n_rows)
+    return X, (logits > 0).astype(np.int64)
 
 
 def bench_meta_dataset(profile, blackbox, splits, n_jobs, backend) -> dict[str, Any]:
@@ -175,6 +210,89 @@ def bench_harness_rounds(profile, blackbox, splits, n_jobs, backend) -> dict[str
     )
 
 
+def bench_tree_fit_exact_vs_hist(profile) -> dict[str, Any]:
+    """Exact vs. histogram split finding on a forest-fit workload.
+
+    Runs at ``n_jobs=1`` on purpose: the hist engine's speedup must come
+    from the algorithm (binned scans instead of per-node sorts), not from
+    parallelism. ``max_features=None`` makes every node consider every
+    feature, the regime the predictor's wide meta-feature matrices live
+    in. The engines pick different (near-tied) splits, so parity is
+    checked on held-out R² rather than bit-identity.
+    """
+    n_fit = profile["tree_rows"]
+    X_all, y_all = _regression_matrix(n_fit + n_fit // 2, profile["tree_features"], seed=7)
+    X, y = X_all[:n_fit], y_all[:n_fit]
+    X_eval, y_eval = X_all[n_fit:], y_all[n_fit:]
+
+    def run(tree_method: str):
+        forest = RandomForestRegressor(
+            n_trees=profile["tree_trees"], max_features=None, random_state=0,
+            n_jobs=1, tree_method=tree_method,
+        )
+        forest.fit(X, y)
+        return r2_score(y_eval, forest.predict(X_eval))
+
+    exact_seconds, exact_r2 = _timed(lambda: run("exact"))
+    hist_seconds, hist_r2 = _timed(lambda: run("hist"))
+    return _engine_report(
+        "tree_fit_exact_vs_hist", exact_seconds, hist_seconds,
+        exact_quality=exact_r2, hist_quality=hist_r2, quality_metric="r2",
+    )
+
+
+def bench_boosting_exact_vs_hist(profile) -> dict[str, Any]:
+    """Exact vs. histogram engines across gradient-boosting stages.
+
+    The hist engine bins the matrix once per fit and shares the codes
+    across every stage, so boosting amortizes the binning cost better
+    than the forest does. Parity is held-out accuracy.
+    """
+    n_fit = profile["boost_rows"]
+    X_all, y_all = _classification_matrix(
+        n_fit + n_fit // 2, profile["boost_features"], seed=11
+    )
+    X, y = X_all[:n_fit], y_all[:n_fit]
+    X_eval, y_eval = X_all[n_fit:], y_all[n_fit:]
+
+    def run(tree_method: str):
+        model = GradientBoostingClassifier(
+            n_stages=profile["boost_stages"], random_state=0,
+            tree_method=tree_method,
+        )
+        model.fit(X, y)
+        return accuracy_score(y_eval, model.predict(X_eval))
+
+    exact_seconds, exact_acc = _timed(lambda: run("exact"))
+    hist_seconds, hist_acc = _timed(lambda: run("hist"))
+    return _engine_report(
+        "boosting_exact_vs_hist", exact_seconds, hist_seconds,
+        exact_quality=exact_acc, hist_quality=hist_acc, quality_metric="accuracy",
+    )
+
+
+def _engine_report(
+    name: str,
+    exact: float,
+    hist: float,
+    exact_quality: float,
+    hist_quality: float,
+    quality_metric: str,
+) -> dict[str, Any]:
+    return {
+        "name": name,
+        "exact_seconds": round(exact, 4),
+        "hist_seconds": round(hist, 4),
+        "speedup": round(exact / hist, 3) if hist > 0 else None,
+        "quality_metric": quality_metric,
+        "exact_quality": round(float(exact_quality), 4),
+        "hist_quality": round(float(hist_quality), 4),
+        "quality_parity": bool(
+            abs(exact_quality - hist_quality) <= QUALITY_TOLERANCE
+        ),
+    }
+
+
 def _report(name: str, serial: float, parallel: float, identical: bool) -> dict[str, Any]:
     return {
         "name": name,
@@ -202,15 +320,22 @@ def run_benchmarks(
         bench_forest_fit(sizes, n_jobs, backend),
         bench_grid_search(sizes, n_jobs, backend),
         bench_harness_rounds(sizes, blackbox, splits, n_jobs, backend),
+        bench_tree_fit_exact_vs_hist(sizes),
+        bench_boosting_exact_vs_hist(sizes),
     ]
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "profile": profile,
         "n_jobs": n_jobs,
         "backend": backend,
         "environment": environment_info(),
         "benchmarks": benchmarks,
-        "all_identical": all(b["identical_results"] for b in benchmarks),
+        "all_identical": all(
+            b["identical_results"] for b in benchmarks if "identical_results" in b
+        ),
+        "quality_parity": all(
+            b["quality_parity"] for b in benchmarks if "quality_parity" in b
+        ),
     }
 
 
@@ -225,10 +350,20 @@ def format_report(payload: dict[str, Any]) -> str:
         f"backend={payload['backend']} cpus={payload['environment']['cpu_count']}"
     ]
     for bench in payload["benchmarks"]:
-        marker = "ok " if bench["identical_results"] else "DIFF"
-        lines.append(
-            f"  {bench['name']:<16} serial {bench['serial_seconds']:>8.3f}s  "
-            f"n_jobs={payload['n_jobs']} {bench['parallel_seconds']:>8.3f}s  "
-            f"speedup {bench['speedup']:>5.2f}x  [{marker}]"
-        )
+        if "identical_results" in bench:
+            marker = "ok " if bench["identical_results"] else "DIFF"
+            lines.append(
+                f"  {bench['name']:<24} serial {bench['serial_seconds']:>8.3f}s  "
+                f"n_jobs={payload['n_jobs']} {bench['parallel_seconds']:>8.3f}s  "
+                f"speedup {bench['speedup']:>5.2f}x  [{marker}]"
+            )
+        else:
+            marker = "ok " if bench["quality_parity"] else "GAP"
+            lines.append(
+                f"  {bench['name']:<24} exact  {bench['exact_seconds']:>8.3f}s  "
+                f"hist   {bench['hist_seconds']:>8.3f}s  "
+                f"speedup {bench['speedup']:>5.2f}x  "
+                f"[{marker} {bench['quality_metric']} "
+                f"{bench['exact_quality']:.3f}/{bench['hist_quality']:.3f}]"
+            )
     return "\n".join(lines)

@@ -15,10 +15,13 @@ dead-letter buffer.
 
 from repro.serving.config import (
     EndpointSpec,
+    ModelSettings,
     ParallelSettings,
     build_registry,
+    load_model_settings,
     load_parallel_settings,
     load_serving_config,
+    parse_model,
     parse_parallel,
     registry_from_config,
     write_serving_config,
@@ -62,13 +65,16 @@ __all__ = [
     "JsonlFileSink",
     "MetricsRegistry",
     "ModelRegistry",
+    "ModelSettings",
     "ParallelSettings",
     "StdoutSink",
     "ValidationService",
     "build_registry",
     "endpoint_from_artifacts",
+    "load_model_settings",
     "load_parallel_settings",
     "load_serving_config",
+    "parse_model",
     "parse_parallel",
     "registry_from_config",
     "write_serving_config",

@@ -14,12 +14,17 @@ block::
           "policy": {"threshold": 0.05, "micro_batch_size": 200}
         }
       ],
-      "parallel": {"n_jobs": 4, "backend": "thread"}
+      "parallel": {"n_jobs": 4, "backend": "thread"},
+      "model": {"tree_method": "hist", "max_bins": 128}
     }
 
 The optional ``parallel`` block controls how many artifact directories
 are loaded concurrently when the registry is built (loading is I/O and
-unpickling bound, so the thread backend is the default there).
+unpickling bound, so the thread backend is the default there). The
+optional ``model`` block declares the tree engine that refits against
+this config should use (``repro train --tree-method``); the serving
+layer itself never refits, so the block is advisory metadata surfaced
+by ``repro endpoints``.
 
 Relative artifact paths resolve against the config file's directory, so
 a config checked in next to its artifacts keeps working from any CWD.
@@ -32,6 +37,7 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 
 from repro.exceptions import DataValidationError
+from repro.ml.binning import check_max_bins, check_tree_method
 from repro.parallel import BACKENDS, pmap, resolve_n_jobs
 from repro.serving.registry import (
     Endpoint,
@@ -72,6 +78,21 @@ class ParallelSettings:
 _PARALLEL_FIELDS = {f.name for f in fields(ParallelSettings)}
 
 
+@dataclass(frozen=True)
+class ModelSettings:
+    """The config file's ``model`` block: tree-engine choice for retrains."""
+
+    tree_method: str = "exact"
+    max_bins: int = 256
+
+    def __post_init__(self):
+        check_tree_method(self.tree_method)
+        check_max_bins(self.max_bins)
+
+
+_MODEL_FIELDS = {f.name for f in fields(ModelSettings)}
+
+
 def parse_policy(raw: dict) -> EndpointPolicy:
     """Build a policy from a JSON object, rejecting unknown keys loudly."""
     unknown = set(raw) - _POLICY_FIELDS
@@ -95,6 +116,18 @@ def parse_parallel(raw: dict) -> ParallelSettings:
     return ParallelSettings(**raw)
 
 
+def parse_model(raw: dict) -> ModelSettings:
+    """Build model settings from a JSON object, rejecting unknown keys."""
+    if not isinstance(raw, dict):
+        raise DataValidationError("'model' must be an object")
+    unknown = set(raw) - _MODEL_FIELDS
+    if unknown:
+        raise DataValidationError(
+            f"unknown model keys {sorted(unknown)}; valid keys: {sorted(_MODEL_FIELDS)}"
+        )
+    return ModelSettings(**raw)
+
+
 def load_serving_config(path: str | Path) -> list[EndpointSpec]:
     """Parse and validate a serving config file."""
     config_path = Path(path)
@@ -108,7 +141,7 @@ def load_serving_config(path: str | Path) -> list[EndpointSpec]:
         raise DataValidationError(
             f"{config_path} must be an object with an 'endpoints' list"
         )
-    unknown = set(payload) - {"endpoints", "parallel"}
+    unknown = set(payload) - {"endpoints", "parallel", "model"}
     if unknown:
         raise DataValidationError(
             f"{config_path} has unknown top-level keys {sorted(unknown)}"
@@ -158,6 +191,20 @@ def load_parallel_settings(path: str | Path) -> ParallelSettings:
     if not isinstance(payload, dict):
         raise DataValidationError(f"{config_path} must be a JSON object")
     return parse_parallel(payload.get("parallel", {}))
+
+
+def load_model_settings(path: str | Path) -> ModelSettings:
+    """The ``model`` block of a config file (defaults when absent)."""
+    config_path = Path(path)
+    if not config_path.exists():
+        raise DataValidationError(f"no serving config at {config_path}")
+    try:
+        payload = json.loads(config_path.read_text())
+    except json.JSONDecodeError as error:
+        raise DataValidationError(f"invalid JSON in {config_path}: {error}") from error
+    if not isinstance(payload, dict):
+        raise DataValidationError(f"{config_path} must be a JSON object")
+    return parse_model(payload.get("model", {}))
 
 
 def _load_endpoint(task: tuple[EndpointSpec, Path]) -> Endpoint:

@@ -53,24 +53,26 @@ def ks_two_sample(sample_a: np.ndarray, sample_b: np.ndarray) -> TestResult:
     return TestResult(statistic=statistic, p_value=p_value)
 
 
+def _drop_missing(sample: np.ndarray) -> np.ndarray:
+    values = np.asarray(sample, dtype=object).ravel()
+    keep = np.frompyfunc(lambda v: v is not None, 1, 1)(values).astype(bool)
+    return values[keep]
+
+
 def _contingency_counts(
     sample_a: np.ndarray, sample_b: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
-    categories = sorted(
-        {v for v in sample_a if v is not None} | {v for v in sample_b if v is not None}
-    )
-    if not categories:
+    kept_a = _drop_missing(sample_a)
+    kept_b = _drop_missing(sample_b)
+    pooled = np.concatenate([kept_a, kept_b])
+    if pooled.size == 0:
         raise DataValidationError("chi2 test requires at least one non-missing category")
-    index = {category: i for i, category in enumerate(categories)}
-    counts_a = np.zeros(len(categories))
-    counts_b = np.zeros(len(categories))
-    for v in sample_a:
-        if v is not None:
-            counts_a[index[v]] += 1
-    for v in sample_b:
-        if v is not None:
-            counts_b[index[v]] += 1
-    return counts_a, counts_b
+    # One unique pass over the pooled values replaces the per-element dict
+    # lookups; np.unique sorts, matching the old sorted-category order.
+    categories, inverse = np.unique(pooled, return_inverse=True)
+    counts_a = np.bincount(inverse[: kept_a.size], minlength=categories.size)
+    counts_b = np.bincount(inverse[kept_a.size :], minlength=categories.size)
+    return counts_a.astype(np.float64), counts_b.astype(np.float64)
 
 
 def chi2_from_counts(counts_a: np.ndarray, counts_b: np.ndarray) -> TestResult:

@@ -1,0 +1,107 @@
+"""Tests for the quantile binning behind the histogram tree engine."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.ml.binning import (
+    MAX_BINS_LIMIT,
+    TREE_METHODS,
+    BinnedMatrix,
+    bin_matrix,
+    check_max_bins,
+    check_tree_method,
+)
+
+
+class TestValidation:
+    def test_tree_methods_accepted(self):
+        for method in TREE_METHODS:
+            check_tree_method(method)
+
+    def test_unknown_tree_method_raises(self):
+        with pytest.raises(DataValidationError):
+            check_tree_method("approx")
+
+    @pytest.mark.parametrize("max_bins", [2, 16, MAX_BINS_LIMIT])
+    def test_valid_max_bins(self, max_bins):
+        check_max_bins(max_bins)
+
+    @pytest.mark.parametrize("max_bins", [0, 1, MAX_BINS_LIMIT + 1])
+    def test_invalid_max_bins_raises(self, max_bins):
+        with pytest.raises(DataValidationError):
+            check_max_bins(max_bins)
+
+
+class TestBinMatrix:
+    def test_shapes_and_dtype(self, rng):
+        X = rng.normal(size=(100, 4))
+        binned = bin_matrix(X, max_bins=16)
+        assert isinstance(binned, BinnedMatrix)
+        assert binned.codes.shape == (100, 4)
+        assert binned.codes.dtype == np.uint8
+        assert binned.n_rows == 100
+        assert binned.n_features == 4
+        assert binned.n_bins <= 16
+        assert len(binned.edges) == 4
+
+    def test_codes_threshold_consistency(self, rng):
+        # The invariant the hist engine relies on: for every boundary b,
+        # code <= b is the same partition as x <= edges[b].
+        X = rng.normal(size=(200, 3))
+        binned = bin_matrix(X, max_bins=8)
+        for j in range(3):
+            for b, edge in enumerate(binned.edges[j]):
+                by_code = binned.codes[:, j] <= b
+                by_value = X[:, j] <= edge
+                assert np.array_equal(by_code, by_value)
+
+    def test_few_uniques_get_their_own_bins(self):
+        X = np.array([[0.0], [0.0], [1.0], [2.0], [2.0], [1.0]])
+        binned = bin_matrix(X, max_bins=256)
+        # Three distinct values -> three distinct codes.
+        assert len(np.unique(binned.codes)) == 3
+        codes = binned.codes[:, 0]
+        assert codes[0] == codes[1] < codes[2] == codes[5] < codes[3]
+
+    def test_constant_feature_single_code(self):
+        X = np.ones((10, 2))
+        binned = bin_matrix(X)
+        assert np.all(binned.codes == 0)
+        assert binned.edges[0].size == 0
+
+    def test_flat_codes_offset_per_feature(self, rng):
+        X = rng.normal(size=(50, 3))
+        binned = bin_matrix(X, max_bins=8)
+        expected = binned.codes.astype(np.int64) + np.arange(3) * binned.n_bins
+        assert np.array_equal(binned.flat, expected)
+
+    def test_quantile_binning_balances_counts(self, rng):
+        X = rng.normal(size=(4000, 1))
+        binned = bin_matrix(X, max_bins=8)
+        counts = np.bincount(binned.codes[:, 0], minlength=binned.n_bins)
+        occupied = counts[counts > 0]
+        # Quantile edges keep the bins roughly equally filled.
+        assert occupied.min() > 0.5 * 4000 / 8
+
+    def test_edge_mask_marks_real_boundaries(self):
+        X = np.column_stack([np.arange(10.0), np.ones(10)])
+        binned = bin_matrix(X, max_bins=4)
+        mask = binned.edge_mask()
+        assert mask.shape == (2, binned.n_bins - 1)
+        assert mask[0].any()
+        assert not mask[1].any()  # constant feature has no boundaries
+
+    def test_ulp_adjacent_uniques_still_separate(self):
+        a = 0.5
+        b = np.nextafter(a, 1.0)
+        X = np.array([[a], [a], [b], [b]])
+        binned = bin_matrix(X)
+        codes = binned.codes[:, 0]
+        assert codes[0] == codes[1] != codes[2]
+        edge = binned.edges[0][0]
+        assert np.array_equal(X[:, 0] <= edge, codes <= 0)
+
+    def test_rejects_bad_max_bins(self, rng):
+        with pytest.raises(DataValidationError):
+            bin_matrix(rng.normal(size=(10, 2)), max_bins=1)

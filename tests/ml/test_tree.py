@@ -2,8 +2,12 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.exceptions import NotFittedError
+from repro.exceptions import DataValidationError, NotFittedError
+from repro.ml.binning import bin_matrix
+from repro.ml.metrics import r2_score
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor, _best_split
 
 
@@ -130,3 +134,161 @@ class TestDecisionTreeClassifier:
         y = rng.integers(0, 2, size=60)
         tree = DecisionTreeClassifier(max_depth=30).fit(X, y)
         assert (tree.predict(X) == y).mean() > 0.95
+
+
+class TestBestSplitProperty:
+    """``_best_split`` against a brute-force O(n²) reference."""
+
+    @staticmethod
+    def _brute_force_best_gain(x, targets, min_samples_leaf):
+        parent_sse = ((targets - targets.mean(axis=0)) ** 2).sum()
+        best = None
+        for cut in np.unique(x)[:-1]:
+            go_left = x <= cut
+            n_left, n_right = int(go_left.sum()), int((~go_left).sum())
+            if n_left < min_samples_leaf or n_right < min_samples_leaf:
+                continue
+            left, right = targets[go_left], targets[~go_left]
+            child_sse = ((left - left.mean(axis=0)) ** 2).sum()
+            child_sse += ((right - right.mean(axis=0)) ** 2).sum()
+            gain = parent_sse - child_sse
+            if best is None or gain > best:
+                best = float(gain)
+        return best
+
+    @given(
+        values=st.lists(
+            st.floats(-10, 10, allow_nan=False, width=32), min_size=2, max_size=25
+        ),
+        target_seed=st.integers(0, 2**31 - 1),
+        min_samples_leaf=st.integers(1, 3),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, values, target_seed, min_samples_leaf):
+        x = np.asarray(values, dtype=np.float64)
+        targets = np.random.default_rng(target_seed).normal(size=(len(x), 1))
+        found = _best_split(x, targets, min_samples_leaf)
+        reference = self._brute_force_best_gain(x, targets, min_samples_leaf)
+        if found is None:
+            # The vectorized pass may only decline splits whose brute-force
+            # gain is (numerically) zero.
+            assert reference is None or reference <= 1e-7
+            return
+        threshold, gain = found
+        assert reference is not None
+        assert gain == pytest.approx(reference, rel=1e-6, abs=1e-8)
+        go_left = x <= threshold
+        assert go_left.sum() >= min_samples_leaf
+        assert (~go_left).sum() >= min_samples_leaf
+
+
+class TestHistEngine:
+    """The histogram (binned) tree engine vs. the exact engine."""
+
+    def test_invalid_tree_method_raises(self):
+        X = np.zeros((4, 1))
+        y = np.zeros(4)
+        with pytest.raises(DataValidationError):
+            DecisionTreeRegressor(tree_method="approx").fit(X, y)
+
+    def test_identical_predictions_on_separated_data(self):
+        # Well-separated plateaus: both engines must recover the exact
+        # piecewise-constant function, down to identical predictions.
+        X = np.linspace(0, 1, 120).reshape(-1, 1)
+        y = np.select(
+            [X.ravel() < 0.3, X.ravel() < 0.7], [0.0, 5.0], default=10.0
+        )
+        exact = DecisionTreeRegressor(max_depth=3, tree_method="exact").fit(X, y)
+        hist = DecisionTreeRegressor(max_depth=3, tree_method="hist").fit(X, y)
+        assert np.array_equal(exact.predict(X), hist.predict(X))
+        assert np.allclose(hist.predict(X), y)
+
+    def test_parity_on_noisy_regression(self, rng):
+        X = rng.normal(size=(500, 6))
+        y = X @ rng.normal(size=6) + 0.2 * rng.normal(size=500)
+        holdout = rng.normal(size=(200, 6))
+        truth = holdout @ np.zeros(6)  # placeholder; compare on train fit
+        exact = DecisionTreeRegressor(max_depth=6, tree_method="exact").fit(X, y)
+        hist = DecisionTreeRegressor(max_depth=6, tree_method="hist").fit(X, y)
+        r2_exact = r2_score(y, exact.predict(X))
+        r2_hist = r2_score(y, hist.predict(X))
+        assert abs(r2_exact - r2_hist) < 0.05
+        assert r2_hist > 0.7
+
+    def test_fit_binned_equals_fit(self, rng):
+        X = rng.normal(size=(150, 4))
+        y = rng.normal(size=150)
+        direct = DecisionTreeRegressor(max_depth=5, tree_method="hist").fit(X, y)
+        shared = DecisionTreeRegressor(max_depth=5, tree_method="hist").fit_binned(
+            bin_matrix(X, 256), y
+        )
+        assert np.array_equal(direct.predict(X), shared.predict(X))
+
+    def test_fit_binned_requires_hist(self, rng):
+        X = rng.normal(size=(20, 2))
+        y = rng.normal(size=20)
+        with pytest.raises(DataValidationError):
+            DecisionTreeRegressor(tree_method="exact").fit_binned(bin_matrix(X), y)
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.random((80, 5))
+        y = rng.random(80)
+        kwargs = dict(max_features=2, random_state=7, tree_method="hist")
+        a = DecisionTreeRegressor(**kwargs).fit(X, y).predict(X)
+        b = DecisionTreeRegressor(**kwargs).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_min_samples_leaf(self, rng):
+        X = rng.random((60, 3))
+        y = rng.random(60)
+        tree = DecisionTreeRegressor(
+            max_depth=20, min_samples_leaf=10, tree_method="hist"
+        ).fit(X, y)
+        _, counts = np.unique(tree.apply(X), return_counts=True)
+        assert counts.min() >= 10
+
+    def test_max_depth(self, rng):
+        X = rng.random((200, 3))
+        y = rng.random(200)
+        stump = DecisionTreeRegressor(max_depth=1, tree_method="hist").fit(X, y)
+        assert len(np.unique(stump.predict(X))) <= 2
+
+    def test_classifier_parity(self, rng):
+        X = rng.normal(size=(300, 5))
+        y = (X @ rng.normal(size=5) > 0).astype(np.int64)
+        exact = DecisionTreeClassifier(max_depth=6, tree_method="exact").fit(X, y)
+        hist = DecisionTreeClassifier(max_depth=6, tree_method="hist").fit(X, y)
+        acc_exact = (exact.predict(X) == y).mean()
+        acc_hist = (hist.predict(X) == y).mean()
+        assert abs(acc_exact - acc_hist) < 0.05
+        assert acc_hist > 0.85
+
+    def test_classifier_fit_binned_subset_rows(self, rng):
+        # fit_binned with a row subset must only learn from those rows:
+        # the held-out half carries inverted labels, so any leakage would
+        # wreck the accuracy on the training subset.
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 0] > 0).astype(np.int64)
+        y[50:] = 1 - y[50:]
+        rows = np.arange(50)
+        sub = DecisionTreeClassifier(max_depth=4, tree_method="hist").fit_binned(
+            bin_matrix(X), y, rows=rows
+        )
+        assert (sub.predict(X[rows]) == y[rows]).mean() > 0.9
+
+
+class TestFlatTreeFrozenCache:
+    def test_set_leaf_values_invalidates_frozen(self, rng):
+        # Regression test: predict() caches frozen arrays; a later
+        # set_leaf_values (boosting's Newton step) must drop the cache so
+        # the new leaf outputs are actually used.
+        X = rng.random((50, 2))
+        y = rng.random(50)
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        flat = tree.tree_
+        flat.predict(X)
+        assert flat._frozen is not None
+        leaves = np.unique(flat.apply(X))
+        flat.set_leaf_values({int(leaf): 99.0 for leaf in leaves})
+        assert flat._frozen is None
+        assert np.all(flat.predict(X) == 99.0)

@@ -2,7 +2,8 @@
 
 Covers the four wired hot paths — corruption episodes, forest fitting,
 cross-validated grid search, and the full PerformancePredictor fit —
-against a serial reference.
+against a serial reference, for both tree engines where forests are
+involved.
 """
 
 import numpy as np
@@ -58,25 +59,33 @@ class TestPredictorDeterminism:
 
 
 class TestForestDeterminism:
+    @pytest.mark.parametrize("tree_method", ["exact", "hist"])
     @pytest.mark.parametrize("n_jobs,backend", SETTINGS)
     def test_regressor_predictions_identical(
-        self, binary_matrix_problem, n_jobs, backend
+        self, binary_matrix_problem, n_jobs, backend, tree_method
     ):
         X, y, X_test, _ = binary_matrix_problem
-        reference = RandomForestRegressor(n_trees=12, random_state=3).fit(X, y)
+        reference = RandomForestRegressor(
+            n_trees=12, random_state=3, tree_method=tree_method
+        ).fit(X, y)
         forest = RandomForestRegressor(
-            n_trees=12, random_state=3, n_jobs=n_jobs, backend=backend
+            n_trees=12, random_state=3, n_jobs=n_jobs, backend=backend,
+            tree_method=tree_method,
         ).fit(X, y)
         assert np.array_equal(forest.predict(X_test), reference.predict(X_test))
 
+    @pytest.mark.parametrize("tree_method", ["exact", "hist"])
     @pytest.mark.parametrize("n_jobs,backend", [(2, "thread"), (4, "process")])
     def test_classifier_probabilities_identical(
-        self, binary_matrix_problem, n_jobs, backend
+        self, binary_matrix_problem, n_jobs, backend, tree_method
     ):
         X, y, X_test, _ = binary_matrix_problem
-        reference = RandomForestClassifier(n_trees=10, random_state=1).fit(X, y)
+        reference = RandomForestClassifier(
+            n_trees=10, random_state=1, tree_method=tree_method
+        ).fit(X, y)
         forest = RandomForestClassifier(
-            n_trees=10, random_state=1, n_jobs=n_jobs, backend=backend
+            n_trees=10, random_state=1, n_jobs=n_jobs, backend=backend,
+            tree_method=tree_method,
         ).fit(X, y)
         assert np.array_equal(
             forest.predict_proba(X_test), reference.predict_proba(X_test)

@@ -7,9 +7,12 @@ import pytest
 from repro import persistence
 from repro.exceptions import DataValidationError
 from repro.serving.config import (
+    ModelSettings,
     ParallelSettings,
+    load_model_settings,
     load_parallel_settings,
     load_serving_config,
+    parse_model,
     parse_parallel,
     parse_policy,
     registry_from_config,
@@ -124,6 +127,55 @@ class TestRegistryFromConfig:
         with pytest.raises(DataValidationError) as excinfo:
             load_serving_config(path)
         assert "paralel" in str(excinfo.value)
+
+
+class TestModelBlock:
+    def test_parse_defaults_and_overrides(self):
+        assert parse_model({}) == ModelSettings()
+        settings = parse_model({"tree_method": "hist", "max_bins": 64})
+        assert settings.tree_method == "hist"
+        assert settings.max_bins == 64
+
+    def test_unknown_keys_raise(self):
+        with pytest.raises(DataValidationError) as excinfo:
+            parse_model({"treemethod": "hist"})
+        assert "treemethod" in str(excinfo.value)
+
+    def test_invalid_tree_method_raises(self):
+        with pytest.raises(DataValidationError):
+            ModelSettings(tree_method="approx")
+
+    def test_invalid_max_bins_raises(self):
+        with pytest.raises(DataValidationError):
+            ModelSettings(max_bins=1)
+
+    def test_load_model_settings(self, tmp_path):
+        path = write_config(
+            tmp_path / "serving.json",
+            {
+                "endpoints": [{"name": "a", "artifacts": "d"}],
+                "model": {"tree_method": "hist"},
+            },
+        )
+        assert load_model_settings(path) == ModelSettings("hist", 256)
+
+    def test_absent_block_yields_defaults(self, tmp_path):
+        path = write_config(
+            tmp_path / "serving.json",
+            {"endpoints": [{"name": "a", "artifacts": "d"}]},
+        )
+        assert load_model_settings(path) == ModelSettings()
+
+    def test_model_block_accepted_at_top_level(self, tmp_path):
+        path = write_config(
+            tmp_path / "serving.json",
+            {
+                "endpoints": [{"name": "a", "artifacts": "d"}],
+                "model": {"tree_method": "exact", "max_bins": 128},
+            },
+        )
+        specs = load_serving_config(path)
+        assert len(specs) == 1
 
 
 class TestParallelBlock:

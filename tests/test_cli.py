@@ -207,6 +207,23 @@ class TestParallelArguments:
         assert args.n_jobs == 4
         assert args.parallel_backend == "thread"
 
+    def test_train_accepts_tree_method(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "train", "--data", "d.npz", "--out", "out", "--tree-method", "hist",
+        ])
+        assert args.tree_method == "hist"
+
+    def test_train_rejects_unknown_tree_method(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "train", "--data", "d.npz", "--out", "out",
+                "--tree-method", "approx",
+            ])
+
 
 class TestBenchCommand:
     def test_bench_defaults(self):
@@ -215,7 +232,7 @@ class TestBenchCommand:
         args = build_parser().parse_args(["bench", "--smoke"])
         assert args.n_jobs == 4
         assert args.smoke is True
-        assert args.out == "BENCH_PR2.json"
+        assert args.out == "BENCH_PR3.json"
 
     def test_smoke_bench_writes_report(self, tmp_path, capsys):
         out = tmp_path / "bench.json"
@@ -228,5 +245,6 @@ class TestBenchCommand:
         assert "report written to" in output
         report = json.loads(out.read_text())
         assert report["all_identical"] is True
+        assert report["quality_parity"] is True
         assert report["profile"] == "smoke"
-        assert len(report["benchmarks"]) == 4
+        assert len(report["benchmarks"]) == 6
