@@ -9,6 +9,7 @@ Exposes the library's end-to-end workflow without writing Python::
     python -m repro monitor --artifacts deployed/ --data income.npz --batches 10
     python -m repro endpoints --config serving.json
     python -m repro serve-batch --config serving.json --endpoint income --data income.npz
+    python -m repro trace --trace-out spans.json train --data income.npz --out deployed/
 
 ``train`` persists three artifacts into the output directory: the fitted
 pipeline (``model.npz``), the performance predictor (``predictor.npz``)
@@ -22,6 +23,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager, nullcontext
 from pathlib import Path
 
 import numpy as np
@@ -38,6 +40,7 @@ from repro.exceptions import ReproError
 from repro.ml.binning import TREE_METHODS
 from repro.ml.pipeline import Pipeline, TabularEncoder
 from repro.monitoring import BatchMonitor
+from repro.obs import Tracer, format_span_tree, spans_to_json, use_tracer
 from repro.serving import (
     EventRouter,
     JsonlFileSink,
@@ -91,7 +94,42 @@ def _add_train_command(subparsers) -> None:
         help="split-finding engine for tree learners (hist = binned, faster)",
     )
     _add_parallel_arguments(parser)
+    _add_trace_arguments(parser)
     parser.set_defaults(handler=_run_train)
+
+
+def _add_trace_arguments(parser) -> None:
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="collect spans over the hot paths and print the span tree",
+    )
+    parser.add_argument(
+        "--trace-out", default=None,
+        help="write the collected spans as JSON to this path (implies --trace)",
+    )
+
+
+@contextmanager
+def _traced(enabled: bool, trace_out: str | None):
+    """Run the wrapped command under a collecting tracer when asked.
+
+    The span tree prints (and the JSON export is written) even when the
+    command fails, so a trace of the failing run is never lost.
+    """
+    if not enabled and trace_out is None:
+        yield
+        return
+    tracer = Tracer()
+    with use_tracer(tracer):
+        try:
+            yield
+        finally:
+            spans = tracer.store.spans()
+            print()
+            print(format_span_tree(spans))
+            if trace_out:
+                Path(trace_out).write_text(spans_to_json(spans, indent=2) + "\n")
+                print(f"trace JSON written to {trace_out}")
 
 
 def _add_parallel_arguments(parser) -> None:
@@ -117,19 +155,20 @@ def _split(dataset, seed):
 def _run_train(args) -> int:
     dataset = persistence.load_dataset_file(args.data)
     train, y_train, test, y_test, _, _ = _split(dataset, args.seed)
-    pipeline = Pipeline(
-        TabularEncoder(),
-        make_model(args.model, random_state=args.seed, tree_method=args.tree_method),
-    )
-    pipeline.fit(train, y_train)
-    blackbox = BlackBoxModel.wrap(pipeline)
-    test_score = blackbox.score(test, y_test)
-    generators = list(known_error_generators(dataset.task).values())
-    predictor = PerformancePredictor(
-        blackbox, generators, n_samples=args.meta_samples, random_state=args.seed,
-        n_jobs=args.n_jobs, backend=args.parallel_backend,
-        tree_method=args.tree_method,
-    ).fit(test, y_test)
+    with _traced(args.trace, args.trace_out):
+        pipeline = Pipeline(
+            TabularEncoder(),
+            make_model(args.model, random_state=args.seed, tree_method=args.tree_method),
+        )
+        pipeline.fit(train, y_train)
+        blackbox = BlackBoxModel.wrap(pipeline)
+        test_score = blackbox.score(test, y_test)
+        generators = list(known_error_generators(dataset.task).values())
+        predictor = PerformancePredictor(
+            blackbox, generators, n_samples=args.meta_samples, random_state=args.seed,
+            n_jobs=args.n_jobs, backend=args.parallel_backend,
+            tree_method=args.tree_method,
+        ).fit(test, y_test)
 
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -356,25 +395,41 @@ def _iter_replay_batches(args):
 
 
 def _run_serve_batch(args) -> int:
+    from repro.obs import bridge_spans
+    from repro.serving.config import load_observability_settings
+
+    observability = load_observability_settings(args.config)
     registry = registry_from_config(args.config)
     sinks = [StdoutSink()]
     if args.alerts_out:
         sinks.append(JsonlFileSink(args.alerts_out))
     service = ValidationService(registry, events=EventRouter(sinks))
+    tracer = Tracer() if observability.enabled else None
     exit_code = 0
-    for label, frame in _iter_replay_batches(args):
-        if not isinstance(frame, DataFrame) or len(frame) == 0:
-            continue
-        results = service.submit(args.endpoint, frame, version=args.version)
-        for result in results:
-            print(f"{label}: {result.describe()}")
-            if result.sustained_alarm:
+    with use_tracer(tracer) if tracer is not None else nullcontext():
+        for label, frame in _iter_replay_batches(args):
+            if not isinstance(frame, DataFrame) or len(frame) == 0:
+                continue
+            results = service.submit(args.endpoint, frame, version=args.version)
+            for result in results:
+                print(f"{label}: {result.describe()}")
+                if result.sustained_alarm:
+                    exit_code = 1
+        final = service.flush(args.endpoint, version=args.version)
+        if final is not None:
+            print(f"flush: {final.describe()}")
+            if final.sustained_alarm:
                 exit_code = 1
-    final = service.flush(args.endpoint, version=args.version)
-    if final is not None:
-        print(f"flush: {final.describe()}")
-        if final.sustained_alarm:
-            exit_code = 1
+    if tracer is not None:
+        spans = tracer.store.spans()
+        if observability.metrics_bridge:
+            bridge_spans(spans, service.metrics)
+        if observability.export_path:
+            Path(observability.export_path).write_text(
+                spans_to_json(spans, indent=2) + "\n"
+            )
+        print()
+        print(format_span_tree(spans))
     print()
     print(service.summary())
     if args.metrics == "json":
@@ -395,17 +450,19 @@ def _add_bench_command(subparsers) -> None:
     )
     parser.add_argument("--out", default="BENCH_PR3.json", help="report output path")
     _add_parallel_arguments(parser)
+    _add_trace_arguments(parser)
     parser.set_defaults(handler=_run_bench, n_jobs=4)
 
 
 def _run_bench(args) -> int:
     from repro.perf import format_report, run_benchmarks, write_report
 
-    payload = run_benchmarks(
-        n_jobs=args.n_jobs,
-        backend=args.parallel_backend,
-        profile="smoke" if args.smoke else "full",
-    )
+    with _traced(args.trace, args.trace_out):
+        payload = run_benchmarks(
+            n_jobs=args.n_jobs,
+            backend=args.parallel_backend,
+            profile="smoke" if args.smoke else "full",
+        )
     write_report(payload, args.out)
     print(format_report(payload))
     print(f"report written to {args.out}")
@@ -417,6 +474,46 @@ def _run_bench(args) -> int:
         print("error: hist tree engine failed quality parity", file=sys.stderr)
         failed = True
     return 2 if failed else 0
+
+
+def _add_trace_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "trace",
+        help="run another repro command with span tracing enabled",
+        description=(
+            "Runs any repro subcommand under a collecting tracer, then prints "
+            "the nested span tree (wall/self/CPU times plus counters) and the "
+            "per-span-name cumulative totals. Example: "
+            "repro trace --trace-out spans.json train --data d.npz --out out/"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out", default=None,
+        help="also write the collected spans as JSON to this path",
+    )
+    parser.add_argument(
+        "command_args", nargs=argparse.REMAINDER,
+        help="the repro command to run (e.g. train --data d.npz --out out/)",
+    )
+    parser.set_defaults(handler=_run_trace)
+
+
+def _run_trace(args) -> int:
+    rest = list(args.command_args)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        raise ReproError("trace needs a command to run, e.g. `repro trace train ...`")
+    if rest[0] == "trace":
+        raise ReproError("cannot nest `repro trace trace`")
+    inner = build_parser().parse_args(rest)
+    # The wrapped command may carry its own --trace flags; the outer
+    # tracer wins so spans are not double-reported.
+    for attr in ("trace", "trace_out"):
+        if hasattr(inner, attr):
+            setattr(inner, attr, False if attr == "trace" else None)
+    with _traced(True, args.trace_out):
+        return inner.handler(inner)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -433,6 +530,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_endpoints_command(subparsers)
     _add_serve_batch_command(subparsers)
     _add_bench_command(subparsers)
+    _add_trace_command(subparsers)
     return parser
 
 

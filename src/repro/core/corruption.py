@@ -18,6 +18,7 @@ from repro.core.blackbox import BlackBoxModel
 from repro.errors.base import CorruptionReport, ErrorGen
 from repro.errors.mixture import ErrorMixture
 from repro.exceptions import DataValidationError
+from repro.obs import current_tracer
 from repro.parallel import pmap, spawn_seeds
 from repro.tabular.frame import DataFrame
 
@@ -127,40 +128,49 @@ class CorruptionSampler:
         """
         if n_samples < 1:
             raise DataValidationError(f"n_samples must be >= 1, got {n_samples}")
-        samples: list[CorruptionSample] = []
-        if self.include_clean:
-            proba = self.blackbox.predict_proba(test_frame)
-            score = self.blackbox.score(test_frame, test_labels, self.metric)
-            samples.append(CorruptionSample(proba=proba, score=score, reports=()))
-        mixture = ErrorMixture(self.error_generators, fire_prob=self.fire_prob)
-        episodes = []
-        for index in range(n_samples):
-            if self.mode == "single":
-                generator: ErrorGen | None = self.error_generators[
-                    index % len(self.error_generators)
-                ]
-                episode_mixture = None
-            else:
-                generator = None
-                episode_mixture = mixture
-            episodes.append(
-                _Episode(
-                    blackbox=self.blackbox,
-                    frame=test_frame,
-                    labels=test_labels,
-                    metric=self.metric,
-                    generator=generator,
-                    mixture=episode_mixture,
+        tracer = current_tracer()
+        with tracer.span(
+            "corruption.sample", rows=len(test_frame), corruptions=n_samples,
+            generators=len(self.error_generators), mode=self.mode,
+        ):
+            samples: list[CorruptionSample] = []
+            if self.include_clean:
+                with tracer.span("corruption.clean_baseline", rows=len(test_frame)):
+                    proba = self.blackbox.predict_proba(test_frame)
+                    score = self.blackbox.score(test_frame, test_labels, self.metric)
+                    samples.append(
+                        CorruptionSample(proba=proba, score=score, reports=())
+                    )
+            mixture = ErrorMixture(self.error_generators, fire_prob=self.fire_prob)
+            episodes = []
+            for index in range(n_samples):
+                if self.mode == "single":
+                    generator: ErrorGen | None = self.error_generators[
+                        index % len(self.error_generators)
+                    ]
+                    episode_mixture = None
+                else:
+                    generator = None
+                    episode_mixture = mixture
+                episodes.append(
+                    _Episode(
+                        blackbox=self.blackbox,
+                        frame=test_frame,
+                        labels=test_labels,
+                        metric=self.metric,
+                        generator=generator,
+                        mixture=episode_mixture,
+                    )
                 )
-            )
-        seeds = spawn_seeds(rng, n_samples)
-        samples.extend(
-            pmap(
-                _run_episode,
-                episodes,
-                n_jobs=self.n_jobs if n_jobs is None else n_jobs,
-                seeds=seeds,
-                backend=self.backend if backend is None else backend,
-            )
-        )
+            seeds = spawn_seeds(rng, n_samples)
+            with tracer.span("corruption.episodes", corruptions=n_samples):
+                samples.extend(
+                    pmap(
+                        _run_episode,
+                        episodes,
+                        n_jobs=self.n_jobs if n_jobs is None else n_jobs,
+                        seeds=seeds,
+                        backend=self.backend if backend is None else backend,
+                    )
+                )
         return samples

@@ -21,6 +21,7 @@ from repro.exceptions import DataValidationError, NotFittedError
 from repro.ml.base import Estimator, as_rng
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.model_selection import GridSearchCV
+from repro.obs import current_tracer
 from repro.tabular.frame import DataFrame
 
 DEFAULT_FOREST_GRID = (20, 50, 100)
@@ -147,31 +148,43 @@ class PerformancePredictor:
         if len(test_frame) != len(test_labels):
             raise DataValidationError("test frame and labels must be aligned")
         rng = as_rng(self.random_state)
-        self.test_score_ = self.blackbox.score(test_frame, test_labels, self.metric)
-        if samples is None:
-            sampler = CorruptionSampler(
-                self.blackbox,
-                self.error_generators,
-                metric=self.metric,
-                mode=self.mode,
-                include_clean=self.include_clean,
-                fire_prob=self.fire_prob,
-                n_jobs=self.n_jobs,
-                backend=self.backend,
+        tracer = current_tracer()
+        with tracer.span(
+            "predictor.fit", rows=len(test_frame), corruptions=self.n_samples
+        ):
+            self.test_score_ = self.blackbox.score(test_frame, test_labels, self.metric)
+            if samples is None:
+                sampler = CorruptionSampler(
+                    self.blackbox,
+                    self.error_generators,
+                    metric=self.metric,
+                    mode=self.mode,
+                    include_clean=self.include_clean,
+                    fire_prob=self.fire_prob,
+                    n_jobs=self.n_jobs,
+                    backend=self.backend,
+                )
+                samples = sampler.sample(test_frame, test_labels, self.n_samples, rng)
+            with tracer.span("predictor.featurize", corruptions=len(samples)):
+                self.meta_features_ = np.stack(
+                    [self._featurize(s.proba) for s in samples]
+                )
+            self.meta_scores_ = np.asarray([s.score for s in samples])
+            regressor = (
+                self.regressor
+                if self.regressor is not None
+                else default_regressor(
+                    self.random_state,
+                    n_jobs=self.n_jobs,
+                    backend=self.backend,
+                    tree_method=self.tree_method,
+                    max_bins=self.max_bins,
+                )
             )
-            samples = sampler.sample(test_frame, test_labels, self.n_samples, rng)
-        self.meta_features_ = np.stack([self._featurize(s.proba) for s in samples])
-        self.meta_scores_ = np.asarray([s.score for s in samples])
-        regressor = self.regressor if self.regressor is not None else default_regressor(
-            self.random_state,
-            n_jobs=self.n_jobs,
-            backend=self.backend,
-            tree_method=self.tree_method,
-            max_bins=self.max_bins,
-        )
-        self.regressor_ = regressor
-        self._calibrate(rng)
-        self.regressor_.fit(self.meta_features_, self.meta_scores_)  # type: ignore[attr-defined]
+            self.regressor_ = regressor
+            with tracer.span("predictor.calibrate"):
+                self._calibrate(rng)
+            self.regressor_.fit(self.meta_features_, self.meta_scores_)  # type: ignore[attr-defined]
         return self
 
     def _calibrate(self, rng: np.random.Generator) -> None:
@@ -217,10 +230,11 @@ class PerformancePredictor:
         """Estimated score from an already-computed probability matrix."""
         if not hasattr(self, "regressor_"):
             raise NotFittedError("PerformancePredictor is not fitted; call fit() first")
-        features = self._featurize(proba).reshape(1, -1)
-        estimate = float(self.regressor_.predict(features)[0])  # type: ignore[attr-defined]
-        # Scores live in [0, 1]; keep the regressor honest at the borders.
-        return float(np.clip(estimate, 0.0, 1.0))
+        with current_tracer().span("predictor.estimate", rows=proba.shape[0]):
+            features = self._featurize(proba).reshape(1, -1)
+            estimate = float(self.regressor_.predict(features)[0])  # type: ignore[attr-defined]
+            # Scores live in [0, 1]; keep the regressor honest at the borders.
+            return float(np.clip(estimate, 0.0, 1.0))
 
     def predict_interval(
         self, serving_frame: DataFrame, coverage: float = 0.8

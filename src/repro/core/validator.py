@@ -28,6 +28,7 @@ from repro.errors.base import ErrorGen
 from repro.exceptions import DataValidationError, NotFittedError
 from repro.ml.base import Estimator, as_rng, clone
 from repro.ml.boosting import GradientBoostingClassifier
+from repro.obs import current_tracer
 from repro.tabular.frame import DataFrame
 
 
@@ -141,41 +142,46 @@ class PerformanceValidator:
         if len(test_frame) != len(test_labels):
             raise DataValidationError("test frame and labels must be aligned")
         rng = as_rng(self.random_state)
-        # Retain the test-time predictions: the KS features need them, both
-        # here and at serving time.
-        self._test_proba = self.blackbox.predict_proba(test_frame)
-        self.test_score_ = self.blackbox.score(test_frame, test_labels, self.metric)
-        if samples is None:
-            sampler = CorruptionSampler(
-                self.blackbox,
-                self.error_generators,
-                metric=self.metric,
-                mode=self.mode,
-                include_clean=True,
-                fire_prob=self.fire_prob,
-                n_jobs=self.n_jobs,
-                backend=self.backend,
+        with current_tracer().span(
+            "validator.fit", rows=len(test_frame), corruptions=self.n_samples
+        ):
+            # Retain the test-time predictions: the KS features need them,
+            # both here and at serving time.
+            self._test_proba = self.blackbox.predict_proba(test_frame)
+            self.test_score_ = self.blackbox.score(
+                test_frame, test_labels, self.metric
             )
-            samples = sampler.sample(test_frame, test_labels, self.n_samples, rng)
-        features = np.stack([self._featurize(s.proba) for s in samples])
-        acceptable = np.asarray(
-            [s.score >= (1.0 - self.threshold) * self.test_score_ for s in samples],
-            dtype=np.int64,
-        )
-        self.meta_features_ = features
-        self.meta_labels_ = acceptable
-        base = self.model if self.model is not None else default_validator_model(
-            self.random_state, tree_method=self.tree_method, max_bins=self.max_bins
-        )
-        if len(np.unique(acceptable)) < 2:
-            # Degenerate corpus (e.g. a model so robust nothing violates the
-            # threshold): fall back to a constant decision.
-            self._constant_decision = int(acceptable[0])
-            self.model_ = None
-            return self
-        self._constant_decision = None
-        self.model_ = clone(base)
-        self.model_.fit(features, acceptable)  # type: ignore[attr-defined]
+            if samples is None:
+                sampler = CorruptionSampler(
+                    self.blackbox,
+                    self.error_generators,
+                    metric=self.metric,
+                    mode=self.mode,
+                    include_clean=True,
+                    fire_prob=self.fire_prob,
+                    n_jobs=self.n_jobs,
+                    backend=self.backend,
+                )
+                samples = sampler.sample(test_frame, test_labels, self.n_samples, rng)
+            features = np.stack([self._featurize(s.proba) for s in samples])
+            acceptable = np.asarray(
+                [s.score >= (1.0 - self.threshold) * self.test_score_ for s in samples],
+                dtype=np.int64,
+            )
+            self.meta_features_ = features
+            self.meta_labels_ = acceptable
+            base = self.model if self.model is not None else default_validator_model(
+                self.random_state, tree_method=self.tree_method, max_bins=self.max_bins
+            )
+            if len(np.unique(acceptable)) < 2:
+                # Degenerate corpus (e.g. a model so robust nothing violates
+                # the threshold): fall back to a constant decision.
+                self._constant_decision = int(acceptable[0])
+                self.model_ = None
+                return self
+            self._constant_decision = None
+            self.model_ = clone(base)
+            self.model_.fit(features, acceptable)  # type: ignore[attr-defined]
         return self
 
     def validate(self, serving_frame: DataFrame) -> bool:
@@ -187,11 +193,12 @@ class PerformanceValidator:
         """Validation decision from an already-computed probability matrix."""
         if not hasattr(self, "meta_features_"):
             raise NotFittedError("PerformanceValidator is not fitted; call fit() first")
-        if self._constant_decision is not None:
-            return bool(self._constant_decision)
-        features = self._featurize(proba).reshape(1, -1)
-        decision = self.model_.predict(features)[0]  # type: ignore[union-attr]
-        return bool(decision == 1)
+        with current_tracer().span("validator.validate", rows=proba.shape[0]):
+            if self._constant_decision is not None:
+                return bool(self._constant_decision)
+            features = self._featurize(proba).reshape(1, -1)
+            decision = self.model_.predict(features)[0]  # type: ignore[union-attr]
+            return bool(decision == 1)
 
     def decision_proba(self, serving_frame: DataFrame) -> float:
         """Probability that the serving batch is acceptable."""

@@ -23,6 +23,7 @@ from repro.ml.base import (
 )
 from repro.ml.binning import BinnedMatrix, bin_matrix, check_tree_method
 from repro.ml.tree import DecisionTreeRegressor
+from repro.obs import current_tracer
 
 
 def _newton_leaf_updates(
@@ -92,10 +93,15 @@ class GradientBoostingClassifier(Estimator, ClassifierMixin):
         X = check_matrix(X)
         y = check_labels(y, X.shape[0])
         y_idx = self._encode_labels(y)
-        if len(self.classes_) == 2:
-            self._fit_binary(X, y_idx)
-        else:
-            self._fit_multiclass(X, y_idx)
+        with current_tracer().span(
+            "boosting.fit", rows=X.shape[0], features=X.shape[1],
+            stages=self.n_stages, classes=len(self.classes_),
+            tree_method=self.tree_method,
+        ):
+            if len(self.classes_) == 2:
+                self._fit_binary(X, y_idx)
+            else:
+                self._fit_multiclass(X, y_idx)
         return self
 
     def _new_tree(self, rng: np.random.Generator) -> DecisionTreeRegressor:
@@ -111,7 +117,10 @@ class GradientBoostingClassifier(Estimator, ClassifierMixin):
     def _bin_once(self, X: np.ndarray) -> BinnedMatrix | None:
         """The shared binned matrix (hist engine), built once per fit."""
         check_tree_method(self.tree_method)
-        return bin_matrix(X, self.max_bins) if self.tree_method == "hist" else None
+        if self.tree_method != "hist":
+            return None
+        with current_tracer().span("boosting.bin", max_bins=self.max_bins):
+            return bin_matrix(X, self.max_bins)
 
     def _sample_rows(self, rng: np.random.Generator, n: int) -> np.ndarray:
         if self.subsample >= 1.0:
@@ -128,15 +137,17 @@ class GradientBoostingClassifier(Estimator, ClassifierMixin):
         self.base_score_ = float(np.log(positive_rate / (1.0 - positive_rate)))
         raw = np.full(n, self.base_score_)
         self.stages_: list[list[DecisionTreeRegressor]] = []
-        for _ in range(self.n_stages):
-            p = sigmoid(raw)
-            residuals = y - p
-            hessians = p * (1.0 - p)
-            rows = self._sample_rows(rng, n)
-            tree = _fit_stage_tree(self._new_tree(rng), X, binned, residuals, rows)
-            _newton_leaf_updates(tree, X[rows], residuals[rows], hessians[rows])
-            raw += self.learning_rate * tree.predict(X)
-            self.stages_.append([tree])
+        tracer = current_tracer()
+        for stage_index in range(self.n_stages):
+            with tracer.span("boosting.stage", stage=stage_index, trees=1):
+                p = sigmoid(raw)
+                residuals = y - p
+                hessians = p * (1.0 - p)
+                rows = self._sample_rows(rng, n)
+                tree = _fit_stage_tree(self._new_tree(rng), X, binned, residuals, rows)
+                _newton_leaf_updates(tree, X[rows], residuals[rows], hessians[rows])
+                raw += self.learning_rate * tree.predict(X)
+                self.stages_.append([tree])
 
     def _fit_multiclass(self, X: np.ndarray, y_idx: np.ndarray) -> None:
         rng = as_rng(self.random_state)
@@ -147,18 +158,22 @@ class GradientBoostingClassifier(Estimator, ClassifierMixin):
         self.base_score_ = np.log(priors)
         raw = np.tile(self.base_score_, (n, 1))
         self.stages_ = []
-        for _ in range(self.n_stages):
-            p = softmax(raw)
-            stage: list[DecisionTreeRegressor] = []
-            rows = self._sample_rows(rng, n)
-            for k in range(m):
-                residuals = onehot[:, k] - p[:, k]
-                hessians = p[:, k] * (1.0 - p[:, k])
-                tree = _fit_stage_tree(self._new_tree(rng), X, binned, residuals, rows)
-                _newton_leaf_updates(tree, X[rows], residuals[rows], hessians[rows])
-                raw[:, k] += self.learning_rate * tree.predict(X)
-                stage.append(tree)
-            self.stages_.append(stage)
+        tracer = current_tracer()
+        for stage_index in range(self.n_stages):
+            with tracer.span("boosting.stage", stage=stage_index, trees=m):
+                p = softmax(raw)
+                stage: list[DecisionTreeRegressor] = []
+                rows = self._sample_rows(rng, n)
+                for k in range(m):
+                    residuals = onehot[:, k] - p[:, k]
+                    hessians = p[:, k] * (1.0 - p[:, k])
+                    tree = _fit_stage_tree(
+                        self._new_tree(rng), X, binned, residuals, rows
+                    )
+                    _newton_leaf_updates(tree, X[rows], residuals[rows], hessians[rows])
+                    raw[:, k] += self.learning_rate * tree.predict(X)
+                    stage.append(tree)
+                self.stages_.append(stage)
 
     def decision_function(self, X: np.ndarray) -> np.ndarray:
         self._require_fitted("stages_")
@@ -207,26 +222,36 @@ class GradientBoostingRegressor(Estimator):
         X = check_matrix(X)
         y = check_labels(y, X.shape[0]).astype(np.float64)
         check_tree_method(self.tree_method)
-        rng = as_rng(self.random_state)
-        binned = bin_matrix(X, self.max_bins) if self.tree_method == "hist" else None
-        self.base_score_ = float(y.mean())
-        prediction = np.full(X.shape[0], self.base_score_)
-        self.trees_: list[DecisionTreeRegressor] = []
-        for _ in range(self.n_stages):
-            residuals = y - prediction
-            tree = DecisionTreeRegressor(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                random_state=int(rng.integers(0, 2**31 - 1)),
-                tree_method=self.tree_method,
-                max_bins=self.max_bins,
-            )
-            if binned is not None:
-                tree.fit_binned(binned, residuals)
+        tracer = current_tracer()
+        with tracer.span(
+            "boosting.fit", rows=X.shape[0], features=X.shape[1],
+            stages=self.n_stages, tree_method=self.tree_method,
+        ):
+            rng = as_rng(self.random_state)
+            if self.tree_method == "hist":
+                with tracer.span("boosting.bin", max_bins=self.max_bins):
+                    binned = bin_matrix(X, self.max_bins)
             else:
-                tree.fit(X, residuals)
-            prediction += self.learning_rate * tree.predict(X)
-            self.trees_.append(tree)
+                binned = None
+            self.base_score_ = float(y.mean())
+            prediction = np.full(X.shape[0], self.base_score_)
+            self.trees_: list[DecisionTreeRegressor] = []
+            for stage_index in range(self.n_stages):
+                with tracer.span("boosting.stage", stage=stage_index, trees=1):
+                    residuals = y - prediction
+                    tree = DecisionTreeRegressor(
+                        max_depth=self.max_depth,
+                        min_samples_leaf=self.min_samples_leaf,
+                        random_state=int(rng.integers(0, 2**31 - 1)),
+                        tree_method=self.tree_method,
+                        max_bins=self.max_bins,
+                    )
+                    if binned is not None:
+                        tree.fit_binned(binned, residuals)
+                    else:
+                        tree.fit(X, residuals)
+                    prediction += self.learning_rate * tree.predict(X)
+                    self.trees_.append(tree)
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:

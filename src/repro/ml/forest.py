@@ -19,6 +19,7 @@ from repro.ml.base import (
 )
 from repro.ml.binning import bin_matrix, check_tree_method
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.obs import current_tracer
 from repro.parallel import pmap
 
 
@@ -79,24 +80,36 @@ class RandomForestRegressor(Estimator):
         X = check_matrix(X)
         y = check_labels(y, X.shape[0]).astype(np.float64)
         check_tree_method(self.tree_method)
-        rng = as_rng(self.random_state)
-        max_features = self._resolve_max_features(X.shape[1])
-        # Bin once per fit; every tree shares the codes (amortized cost).
-        binned = bin_matrix(X, self.max_bins) if self.tree_method == "hist" else None
-        shared_X = None if binned is not None else X
-        tasks = []
-        for _ in range(self.n_trees):
-            rows = _bootstrap(rng, X.shape[0])
-            params = dict(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=max_features,
-                random_state=int(rng.integers(0, 2**31 - 1)),
-                tree_method=self.tree_method,
-                max_bins=self.max_bins,
-            )
-            tasks.append((DecisionTreeRegressor, shared_X, y, rows, params, binned))
-        self.trees_ = pmap(_fit_tree, tasks, n_jobs=self.n_jobs, backend=self.backend)
+        tracer = current_tracer()
+        with tracer.span(
+            "forest.fit", rows=X.shape[0], features=X.shape[1],
+            trees=self.n_trees, tree_method=self.tree_method,
+        ):
+            rng = as_rng(self.random_state)
+            max_features = self._resolve_max_features(X.shape[1])
+            # Bin once per fit; every tree shares the codes (amortized cost).
+            if self.tree_method == "hist":
+                with tracer.span("forest.bin", max_bins=self.max_bins):
+                    binned = bin_matrix(X, self.max_bins)
+            else:
+                binned = None
+            shared_X = None if binned is not None else X
+            tasks = []
+            for _ in range(self.n_trees):
+                rows = _bootstrap(rng, X.shape[0])
+                params = dict(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    max_features=max_features,
+                    random_state=int(rng.integers(0, 2**31 - 1)),
+                    tree_method=self.tree_method,
+                    max_bins=self.max_bins,
+                )
+                tasks.append((DecisionTreeRegressor, shared_X, y, rows, params, binned))
+            with tracer.span("forest.grow", trees=self.n_trees):
+                self.trees_ = pmap(
+                    _fit_tree, tasks, n_jobs=self.n_jobs, backend=self.backend
+                )
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -136,34 +149,46 @@ class RandomForestClassifier(Estimator, ClassifierMixin):
         y = check_labels(y, X.shape[0])
         self._encode_labels(y)
         check_tree_method(self.tree_method)
-        rng = as_rng(self.random_state)
-        if self.max_features is None:
-            max_features = None
-        elif self.max_features == "sqrt":
-            max_features = max(1, int(np.sqrt(X.shape[1])))
-        else:
-            max_features = int(self.max_features)
-        binned = bin_matrix(X, self.max_bins) if self.tree_method == "hist" else None
-        shared_X = None if binned is not None else X
-        tasks = []
-        for _ in range(self.n_trees):
-            rows = _bootstrap(rng, X.shape[0])
-            # Resample until the bootstrap contains every class (tiny inputs
-            # can otherwise drop one), so tree probability columns align.
-            for _ in range(100):
-                if len(np.unique(y[rows])) == len(self.classes_):
-                    break
+        tracer = current_tracer()
+        with tracer.span(
+            "forest.fit", rows=X.shape[0], features=X.shape[1],
+            trees=self.n_trees, tree_method=self.tree_method,
+        ):
+            rng = as_rng(self.random_state)
+            if self.max_features is None:
+                max_features = None
+            elif self.max_features == "sqrt":
+                max_features = max(1, int(np.sqrt(X.shape[1])))
+            else:
+                max_features = int(self.max_features)
+            if self.tree_method == "hist":
+                with tracer.span("forest.bin", max_bins=self.max_bins):
+                    binned = bin_matrix(X, self.max_bins)
+            else:
+                binned = None
+            shared_X = None if binned is not None else X
+            tasks = []
+            for _ in range(self.n_trees):
                 rows = _bootstrap(rng, X.shape[0])
-            params = dict(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=max_features,
-                random_state=int(rng.integers(0, 2**31 - 1)),
-                tree_method=self.tree_method,
-                max_bins=self.max_bins,
-            )
-            tasks.append((DecisionTreeClassifier, shared_X, y, rows, params, binned))
-        self.trees_ = pmap(_fit_tree, tasks, n_jobs=self.n_jobs, backend=self.backend)
+                # Resample until the bootstrap contains every class (tiny inputs
+                # can otherwise drop one), so tree probability columns align.
+                for _ in range(100):
+                    if len(np.unique(y[rows])) == len(self.classes_):
+                        break
+                    rows = _bootstrap(rng, X.shape[0])
+                params = dict(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    max_features=max_features,
+                    random_state=int(rng.integers(0, 2**31 - 1)),
+                    tree_method=self.tree_method,
+                    max_bins=self.max_bins,
+                )
+                tasks.append((DecisionTreeClassifier, shared_X, y, rows, params, binned))
+            with tracer.span("forest.grow", trees=self.n_trees):
+                self.trees_ = pmap(
+                    _fit_tree, tasks, n_jobs=self.n_jobs, backend=self.backend
+                )
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:

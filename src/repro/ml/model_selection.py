@@ -15,6 +15,7 @@ import numpy as np
 from repro.exceptions import DataValidationError
 from repro.ml.base import Estimator, as_rng, check_labels, check_matrix, clone
 from repro.ml.metrics import accuracy_score, mean_absolute_error
+from repro.obs import current_tracer
 from repro.parallel import pmap
 
 
@@ -118,27 +119,36 @@ class GridSearchCV(Estimator):
         X = check_matrix(X)
         y = check_labels(y, X.shape[0])
         candidates = list(self._candidates())
-        # One shared fold list (KFold is deterministic in random_state, so
-        # this matches the per-candidate splits of a serial search).
-        folds = list(KFold(self.n_splits, self.random_state).split(X.shape[0]))
-        tasks = [
-            (clone(self.estimator).set_params(**params), X, y, train_idx, val_idx)
-            for params in candidates
-            for train_idx, val_idx in folds
-        ]
-        scores = pmap(_fit_and_score, tasks, n_jobs=self.n_jobs, backend=self.backend)
-        results = []
-        for i, params in enumerate(candidates):
-            fold_scores = np.asarray(scores[i * len(folds) : (i + 1) * len(folds)])
-            results.append((float(fold_scores.mean()), params))
-        self.cv_results_ = results
-        best_score, best_params = max(results, key=lambda item: item[0])
-        self.best_score_ = best_score
-        self.best_params_ = best_params
-        self.best_estimator_ = clone(self.estimator).set_params(**best_params)
-        self.best_estimator_.fit(X, y)  # type: ignore[attr-defined]
-        if hasattr(self.best_estimator_, "classes_"):
-            self.classes_ = self.best_estimator_.classes_
+        tracer = current_tracer()
+        with tracer.span(
+            "grid_search.fit", rows=X.shape[0],
+            candidates=len(candidates), folds=self.n_splits,
+        ):
+            # One shared fold list (KFold is deterministic in random_state, so
+            # this matches the per-candidate splits of a serial search).
+            folds = list(KFold(self.n_splits, self.random_state).split(X.shape[0]))
+            tasks = [
+                (clone(self.estimator).set_params(**params), X, y, train_idx, val_idx)
+                for params in candidates
+                for train_idx, val_idx in folds
+            ]
+            with tracer.span("grid_search.scan", cells=len(tasks)):
+                scores = pmap(
+                    _fit_and_score, tasks, n_jobs=self.n_jobs, backend=self.backend
+                )
+            results = []
+            for i, params in enumerate(candidates):
+                fold_scores = np.asarray(scores[i * len(folds) : (i + 1) * len(folds)])
+                results.append((float(fold_scores.mean()), params))
+            self.cv_results_ = results
+            best_score, best_params = max(results, key=lambda item: item[0])
+            self.best_score_ = best_score
+            self.best_params_ = best_params
+            self.best_estimator_ = clone(self.estimator).set_params(**best_params)
+            with tracer.span("grid_search.refit"):
+                self.best_estimator_.fit(X, y)  # type: ignore[attr-defined]
+            if hasattr(self.best_estimator_, "classes_"):
+                self.classes_ = self.best_estimator_.classes_
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:

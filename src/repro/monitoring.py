@@ -156,7 +156,13 @@ class BatchMonitor:
         return record
 
     def recent_records(self, n: int = 10) -> list[BatchRecord]:
-        """The most recent ``n`` batch records, oldest first."""
+        """The most recent ``n`` batch records, oldest first.
+
+        ``n <= 0`` returns an empty list (``records[-0:]`` would silently
+        alias the *entire* history).
+        """
+        if n <= 0:
+            return []
         return self.state.records[-n:]
 
     def alarm_rate(self) -> float:

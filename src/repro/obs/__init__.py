@@ -1,0 +1,63 @@
+"""Observability: structured tracing and profiling for the pipeline.
+
+Zero-dependency spans over the four hot paths (corruption sampling,
+forest/boosting fits, grid search, serving validation), with a no-op
+default whose cost is one cached-singleton method call. See
+:mod:`repro.obs.trace` for the span model, :mod:`repro.obs.report` for
+the ``repro trace`` span-tree report and JSON export, and
+:mod:`repro.obs.bridge` for the Prometheus-compatible metrics bridge.
+"""
+
+from repro.obs.report import (
+    SpanNode,
+    aggregate_spans,
+    check_well_nested,
+    format_span_tree,
+    span_tree,
+)
+from repro.obs.trace import (
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    SpanStore,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    spans_from_json,
+    spans_to_json,
+    use_tracer,
+)
+
+_BRIDGE_EXPORTS = ("SPAN_BUCKETS", "bridge_spans")
+
+
+def __getattr__(name: str):
+    # The bridge imports repro.serving.metrics, whose package init reaches
+    # back into repro.ml (and from there into this package); loading it
+    # lazily keeps the instrumented hot-path modules importable first.
+    if name in _BRIDGE_EXPORTS:
+        from repro.obs import bridge
+
+        return getattr(bridge, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "NOOP_TRACER",
+    "NoopTracer",
+    "SPAN_BUCKETS",
+    "Span",
+    "SpanNode",
+    "SpanStore",
+    "Tracer",
+    "aggregate_spans",
+    "bridge_spans",
+    "check_well_nested",
+    "current_tracer",
+    "format_span_tree",
+    "set_tracer",
+    "span_tree",
+    "spans_from_json",
+    "spans_to_json",
+    "use_tracer",
+]

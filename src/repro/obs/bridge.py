@@ -1,0 +1,60 @@
+"""Bridge span telemetry into the serving metrics registry.
+
+The serving layer already exports a Prometheus-compatible
+:class:`~repro.serving.metrics.MetricsRegistry`; this module folds span
+data into it so traced hot-path timings ride the same scrape endpoint as
+request counters — one observability surface, two signal sources::
+
+    registry = MetricsRegistry()
+    bridge_spans(tracer.store.spans(), registry)
+    print(registry.to_prometheus())
+
+Per span, the bridge observes one histogram sample
+(``trace_span_wall_seconds{span="forest.fit"}``) and increments one
+counter (``trace_spans_total{span="forest.fit", outcome="ok"}``); CPU
+time accumulates in ``trace_span_cpu_seconds_total``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import Span
+from repro.serving.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+
+#: Span durations range from sub-millisecond serving scores to multi-second
+#: fits, so the bridge reuses the serving latency buckets by default.
+SPAN_BUCKETS = DEFAULT_LATENCY_BUCKETS
+
+
+def bridge_spans(
+    spans: list[Span],
+    registry: MetricsRegistry,
+    buckets: tuple[float, ...] = SPAN_BUCKETS,
+) -> MetricsRegistry:
+    """Fold ``spans`` into ``registry``; returns the registry for chaining.
+
+    Idempotent per span list, not per span: calling twice with the same
+    spans double-counts (the bridge has no ids), so callers bridge each
+    store snapshot exactly once — e.g. after a replay, or on a scrape
+    interval paired with ``store.clear()``.
+    """
+    wall = registry.histogram(
+        "trace_span_wall_seconds",
+        "Wall-clock duration of traced spans",
+        ("span",),
+        buckets=buckets,
+    )
+    cpu_total = registry.counter(
+        "trace_span_cpu_seconds_total",
+        "Cumulative CPU time of traced spans",
+        ("span",),
+    )
+    outcomes = registry.counter(
+        "trace_spans_total",
+        "Finished traced spans by outcome",
+        ("span", "outcome"),
+    )
+    for span in spans:
+        wall.observe(span.wall_seconds, span=span.name)
+        cpu_total.inc(max(0.0, span.cpu_seconds), span=span.name)
+        outcomes.inc(span=span.name, outcome=span.outcome)
+    return registry

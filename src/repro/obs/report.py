@@ -1,0 +1,166 @@
+"""Span-tree reporting: turn collected spans into something readable.
+
+Three consumers share these helpers:
+
+* ``repro trace <cmd>`` prints :func:`format_span_tree` — an indented
+  tree with cumulative wall time, *self* time (cumulative minus direct
+  children) and CPU time per span,
+* the CI trace-smoke step loads a JSON export and asserts
+  :func:`check_well_nested` finds no violations,
+* :func:`aggregate_spans` feeds the metrics bridge
+  (:mod:`repro.obs.bridge`) per-span-name totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import DataValidationError
+from repro.obs.trace import Span
+
+#: Tolerance when comparing child/parent time windows: wall-clock reads
+#: for the child and parent happen a few instructions apart.
+_NESTING_SLACK_SECONDS = 0.005
+
+
+@dataclass
+class SpanNode:
+    """One span plus its resolved children, ordered by start time."""
+
+    span: Span
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall time not accounted for by direct children."""
+        return max(
+            0.0,
+            self.span.wall_seconds
+            - sum(child.span.wall_seconds for child in self.children),
+        )
+
+
+def span_tree(spans: list[Span]) -> list[SpanNode]:
+    """Resolve parent ids into a forest of :class:`SpanNode` roots.
+
+    Spans whose parent is missing from the list (e.g. trimmed by a
+    bounded store) become roots, so a partial export still renders.
+    """
+    nodes = {span.span_id: SpanNode(span) for span in spans}
+    if len(nodes) != len(spans):
+        raise DataValidationError("span ids must be unique within a report")
+    roots: list[SpanNode] = []
+    for span in spans:
+        node = nodes[span.span_id]
+        parent = None if span.parent_id is None else nodes.get(span.parent_id)
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.span.started_at)
+    roots.sort(key=lambda node: node.span.started_at)
+    return roots
+
+
+def check_well_nested(spans: list[Span]) -> list[str]:
+    """Violations of the span-tree invariants (empty list = well nested).
+
+    Checks that every child starts no earlier and ends no later than its
+    parent (within clock-read slack), lives on the parent's thread, and
+    that no span's parent chain loops.
+    """
+    by_id = {span.span_id: span for span in spans}
+    problems: list[str] = []
+    for span in spans:
+        if span.parent_id is None or span.parent_id not in by_id:
+            continue
+        parent = by_id[span.parent_id]
+        if span.thread_id != parent.thread_id:
+            problems.append(
+                f"span {span.span_id} ({span.name}) crosses threads from "
+                f"parent {parent.span_id} ({parent.name})"
+            )
+        if span.started_at < parent.started_at - _NESTING_SLACK_SECONDS:
+            problems.append(
+                f"span {span.span_id} ({span.name}) starts before "
+                f"parent {parent.span_id} ({parent.name})"
+            )
+        if span.ended_at > parent.ended_at + _NESTING_SLACK_SECONDS:
+            problems.append(
+                f"span {span.span_id} ({span.name}) ends after "
+                f"parent {parent.span_id} ({parent.name})"
+            )
+        # Parent-chain loop detection (a corrupt export, never a Tracer).
+        seen = {span.span_id}
+        cursor = span
+        while cursor.parent_id is not None and cursor.parent_id in by_id:
+            if cursor.parent_id in seen:
+                problems.append(f"span {span.span_id} ({span.name}) has a parent cycle")
+                break
+            seen.add(cursor.parent_id)
+            cursor = by_id[cursor.parent_id]
+    return problems
+
+
+def aggregate_spans(spans: list[Span]) -> dict[str, dict]:
+    """Per-span-name totals: count, wall/CPU sums, max wall, error count."""
+    totals: dict[str, dict] = {}
+    for span in spans:
+        entry = totals.setdefault(
+            span.name,
+            {"count": 0, "wall_seconds": 0.0, "cpu_seconds": 0.0,
+             "max_wall_seconds": 0.0, "errors": 0},
+        )
+        entry["count"] += 1
+        entry["wall_seconds"] += span.wall_seconds
+        entry["cpu_seconds"] += span.cpu_seconds
+        entry["max_wall_seconds"] = max(entry["max_wall_seconds"], span.wall_seconds)
+        if span.outcome == "error":
+            entry["errors"] += 1
+    return totals
+
+
+def _format_counters(counters: dict) -> str:
+    if not counters:
+        return ""
+    rendered = " ".join(f"{key}={value}" for key, value in sorted(counters.items()))
+    return f"  [{rendered}]"
+
+
+def _format_node(node: SpanNode, depth: int, lines: list[str]) -> None:
+    span = node.span
+    marker = "" if span.outcome == "ok" else "  !ERROR"
+    lines.append(
+        f"{'  ' * depth}{span.name:<{max(1, 36 - 2 * depth)}} "
+        f"wall {span.wall_seconds * 1e3:>9.2f}ms  "
+        f"self {node.self_seconds * 1e3:>9.2f}ms  "
+        f"cpu {span.cpu_seconds * 1e3:>9.2f}ms"
+        f"{_format_counters(span.counters)}{marker}"
+    )
+    for child in node.children:
+        _format_node(child, depth + 1, lines)
+
+
+def format_span_tree(spans: list[Span]) -> str:
+    """The ``repro trace`` report: indented tree plus per-name totals."""
+    if not spans:
+        return "trace: no spans recorded"
+    lines = [f"trace: {len(spans)} span(s)"]
+    for root in span_tree(spans):
+        _format_node(root, 0, lines)
+    lines.append("")
+    lines.append("by span name (cumulative):")
+    totals = aggregate_spans(spans)
+    width = max(len(name) for name in totals)
+    for name, entry in sorted(
+        totals.items(), key=lambda item: -item[1]["wall_seconds"]
+    ):
+        errors = f"  errors {entry['errors']}" if entry["errors"] else ""
+        lines.append(
+            f"  {name:<{width}}  count {entry['count']:>4}  "
+            f"wall {entry['wall_seconds'] * 1e3:>9.2f}ms  "
+            f"cpu {entry['cpu_seconds'] * 1e3:>9.2f}ms  "
+            f"max {entry['max_wall_seconds'] * 1e3:>9.2f}ms{errors}"
+        )
+    return "\n".join(lines)

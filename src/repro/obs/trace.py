@@ -1,0 +1,336 @@
+"""Structured tracing: nested spans over the validation pipeline.
+
+The pipeline that audits a black box model should not be a black box
+itself. A :class:`Tracer` produces nested :class:`Span` records — name,
+wall/CPU time, counters (rows, trees, corruptions, ...), parent id and
+outcome — through a context-manager API::
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with current_tracer().span("forest.fit", trees=50, rows=1200):
+            ...
+
+Spans land in a thread-safe in-memory :class:`SpanStore`; the report
+helpers in :mod:`repro.obs.report` turn a store into a span-tree report
+or a JSON export, and :mod:`repro.obs.bridge` folds span aggregates into
+a :class:`~repro.serving.metrics.MetricsRegistry`.
+
+Tracing is **off by default**: the module-level current tracer starts as
+:data:`NOOP_TRACER`, whose ``span()`` hands back one shared do-nothing
+context manager — the disabled hot path costs a method call returning a
+cached singleton, no allocation, no locking. Instrumented code never
+checks a flag; it always writes ``with current_tracer().span(...)``.
+
+Nesting is tracked per thread (a thread-local span stack), so spans
+created inside thread-backend parallel workers become well-nested roots
+of their own thread rather than corrupting the caller's stack. Spans
+created inside *process*-backend workers live in another interpreter and
+are not collected — instrumentation therefore sits at orchestration
+level (the fit/sample/score calls), not inside per-task closures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import DataValidationError
+
+#: Span outcomes: "ok" on clean exit, "error" when the block raised.
+OUTCOMES = ("ok", "error")
+
+
+def _coerce_counter(value):
+    """Counters are JSON scalars: numbers stay numeric, the rest stringify."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    try:  # numpy scalars
+        import numpy as np
+
+        if isinstance(value, np.integer):
+            return int(value)
+        if isinstance(value, np.floating):
+            return float(value)
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished traced operation."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    started_at: float
+    wall_seconds: float
+    cpu_seconds: float
+    counters: dict
+    outcome: str = "ok"
+    error: str | None = None
+    thread_id: int = 0
+
+    def __post_init__(self):
+        if self.outcome not in OUTCOMES:
+            raise DataValidationError(
+                f"outcome must be one of {OUTCOMES}, got {self.outcome!r}"
+            )
+
+    @property
+    def ended_at(self) -> float:
+        return self.started_at + self.wall_seconds
+
+    def to_dict(self) -> dict:
+        payload = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "started_at": self.started_at,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "counters": dict(self.counters),
+            "outcome": self.outcome,
+            "thread_id": self.thread_id,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        missing = {"span_id", "name", "started_at", "wall_seconds"} - set(payload)
+        if missing:
+            raise DataValidationError(f"span record is missing {sorted(missing)}")
+        return cls(
+            span_id=int(payload["span_id"]),
+            parent_id=(
+                None if payload.get("parent_id") is None else int(payload["parent_id"])
+            ),
+            name=str(payload["name"]),
+            started_at=float(payload["started_at"]),
+            wall_seconds=float(payload["wall_seconds"]),
+            cpu_seconds=float(payload.get("cpu_seconds", 0.0)),
+            counters=dict(payload.get("counters", {})),
+            outcome=str(payload.get("outcome", "ok")),
+            error=payload.get("error"),
+            thread_id=int(payload.get("thread_id", 0)),
+        )
+
+
+class SpanStore:
+    """Thread-safe append-only buffer of finished spans.
+
+    ``capacity`` bounds memory for long-running services: once full, the
+    oldest spans are discarded (the store is an inspection window, not a
+    durable log).
+    """
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise DataValidationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._dropped = 0
+
+    def add(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+            if self._capacity is not None and len(self._spans) > self._capacity:
+                excess = len(self._spans) - self._capacity
+                del self._spans[:excess]
+                self._dropped += excess
+
+    def spans(self) -> list[Span]:
+        """Snapshot of the collected spans, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._dropped = 0
+
+    @property
+    def dropped(self) -> int:
+        """Spans discarded to honor the capacity bound."""
+        with self._lock:
+            return self._dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class _ActiveSpan:
+    """Context manager measuring one span; created by :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "_tracer", "name", "counters", "_span_id", "_parent_id",
+        "_started_at", "_wall_start", "_cpu_start",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, counters: dict):
+        self._tracer = tracer
+        self.name = name
+        self.counters = counters
+
+    def add(self, **counters) -> "_ActiveSpan":
+        """Attach or update counters while the span is running."""
+        for key, value in counters.items():
+            self.counters[key] = _coerce_counter(value)
+        return self
+
+    def __enter__(self) -> "_ActiveSpan":
+        stack = self._tracer._stack()
+        self._parent_id = stack[-1] if stack else None
+        self._span_id = next(self._tracer._ids)
+        stack.append(self._span_id)
+        self._started_at = time.time()
+        self._cpu_start = time.thread_time()
+        self._wall_start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        wall = time.perf_counter() - self._wall_start
+        cpu = time.thread_time() - self._cpu_start
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self._span_id:
+            stack.pop()
+        self._tracer.store.add(
+            Span(
+                span_id=self._span_id,
+                parent_id=self._parent_id,
+                name=self.name,
+                started_at=self._started_at,
+                wall_seconds=wall,
+                cpu_seconds=cpu,
+                counters=self.counters,
+                outcome="error" if exc_type is not None else "ok",
+                error=None if exc is None else f"{exc_type.__name__}: {exc}",
+                thread_id=threading.get_ident(),
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Produces nested spans into a :class:`SpanStore`.
+
+    One tracer serves all threads: span ids are globally unique within
+    the tracer and the nesting stack is thread-local, so concurrently
+    traced work on different threads yields independent span trees.
+    """
+
+    enabled = True
+
+    def __init__(self, store: SpanStore | None = None):
+        self.store = store if store is not None else SpanStore()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **counters) -> _ActiveSpan:
+        """A context manager that records one span on exit."""
+        return _ActiveSpan(
+            self, name, {k: _coerce_counter(v) for k, v in counters.items()}
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing span; the entire disabled-tracing hot path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def add(self, **_counters) -> "_NoopSpan":
+        return self
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """Default tracer: every ``span()`` call returns one cached no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **counters) -> _NoopSpan:  # noqa: ARG002
+        return _NOOP_SPAN
+
+
+NOOP_TRACER = NoopTracer()
+_current: Tracer | NoopTracer = NOOP_TRACER
+_current_lock = threading.Lock()
+
+
+def current_tracer() -> Tracer | NoopTracer:
+    """The process-wide tracer instrumented code writes spans to."""
+    return _current
+
+
+def set_tracer(tracer: Tracer | NoopTracer | None) -> Tracer | NoopTracer:
+    """Install ``tracer`` (``None`` restores the no-op); returns the old one."""
+    global _current
+    with _current_lock:
+        previous = _current
+        _current = tracer if tracer is not None else NOOP_TRACER
+    return previous
+
+
+class use_tracer:
+    """Context manager installing a tracer for the duration of a block::
+
+        with use_tracer(Tracer()) as tracer:
+            run_pipeline()
+        report = format_span_tree(tracer.store.spans())
+    """
+
+    def __init__(self, tracer: Tracer | NoopTracer):
+        self.tracer = tracer
+        self._previous: Tracer | NoopTracer | None = None
+
+    def __enter__(self) -> Tracer | NoopTracer:
+        self._previous = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *_exc) -> bool:
+        set_tracer(self._previous)
+        return False
+
+
+def spans_to_json(spans: Iterator[Span] | list[Span], indent: int | None = None) -> str:
+    """Serialize spans (or a store snapshot) to a JSON document."""
+    records = [span.to_dict() for span in spans]
+    return json.dumps({"schema_version": 1, "spans": records}, indent=indent)
+
+
+def spans_from_json(text: str) -> list[Span]:
+    """Inverse of :func:`spans_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise DataValidationError(f"invalid span JSON: {error}") from error
+    if not isinstance(payload, dict) or "spans" not in payload:
+        raise DataValidationError("span JSON must be an object with a 'spans' list")
+    records = payload["spans"]
+    if not isinstance(records, list):
+        raise DataValidationError("'spans' must be a list")
+    return [Span.from_dict(record) for record in records]

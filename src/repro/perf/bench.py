@@ -271,6 +271,51 @@ def bench_boosting_exact_vs_hist(profile) -> dict[str, Any]:
     )
 
 
+def bench_trace_overhead(profile) -> dict[str, Any]:
+    """Tracing-disabled vs tracing-enabled cost of an instrumented fit.
+
+    The disabled path exercises the no-op tracer that every hot path
+    consults (one module-global read plus a cached-singleton method
+    call); the enabled path collects real spans. Informational only —
+    this entry feeds neither the ``all_identical`` nor the
+    ``quality_parity`` gate.
+    """
+    from repro.obs import Tracer, use_tracer
+
+    X, y = _regression_matrix(profile["forest_rows"] // 2)
+
+    def run():
+        forest = RandomForestRegressor(
+            n_trees=profile["forest_trees"], random_state=0, n_jobs=1
+        )
+        return forest.fit(X, y).predict(X)
+
+    # Best-of-3 per mode: a single sample on a loaded host swings far
+    # more than the effect being measured.
+    repeats = 3
+    disabled_seconds, disabled = min(
+        (_timed(run) for _ in range(repeats)), key=lambda pair: pair[0]
+    )
+    tracer = Tracer()
+    with use_tracer(tracer):
+        enabled_seconds, enabled = min(
+            (_timed(run) for _ in range(repeats)), key=lambda pair: pair[0]
+        )
+    overhead = (
+        (enabled_seconds - disabled_seconds) / disabled_seconds
+        if disabled_seconds > 0
+        else None
+    )
+    return {
+        "name": "trace_overhead",
+        "disabled_seconds": round(disabled_seconds, 4),
+        "enabled_seconds": round(enabled_seconds, 4),
+        "overhead_pct": round(100.0 * overhead, 2) if overhead is not None else None,
+        "spans_collected": len(tracer.store),
+        "same_predictions": bool(np.array_equal(disabled, enabled)),
+    }
+
+
 def _engine_report(
     name: str,
     exact: float,
@@ -322,6 +367,7 @@ def run_benchmarks(
         bench_harness_rounds(sizes, blackbox, splits, n_jobs, backend),
         bench_tree_fit_exact_vs_hist(sizes),
         bench_boosting_exact_vs_hist(sizes),
+        bench_trace_overhead(sizes),
     ]
     return {
         "schema_version": 2,
@@ -357,7 +403,7 @@ def format_report(payload: dict[str, Any]) -> str:
                 f"n_jobs={payload['n_jobs']} {bench['parallel_seconds']:>8.3f}s  "
                 f"speedup {bench['speedup']:>5.2f}x  [{marker}]"
             )
-        else:
+        elif "quality_parity" in bench:
             marker = "ok " if bench["quality_parity"] else "GAP"
             lines.append(
                 f"  {bench['name']:<24} exact  {bench['exact_seconds']:>8.3f}s  "
@@ -365,5 +411,14 @@ def format_report(payload: dict[str, Any]) -> str:
                 f"speedup {bench['speedup']:>5.2f}x  "
                 f"[{marker} {bench['quality_metric']} "
                 f"{bench['exact_quality']:.3f}/{bench['hist_quality']:.3f}]"
+            )
+        else:
+            overhead = bench["overhead_pct"]
+            overhead_text = "n/a" if overhead is None else f"{overhead:+.1f}%"
+            lines.append(
+                f"  {bench['name']:<24} off    {bench['disabled_seconds']:>8.3f}s  "
+                f"on     {bench['enabled_seconds']:>8.3f}s  "
+                f"overhead {overhead_text}  "
+                f"[{bench['spans_collected']} spans]"
             )
     return "\n".join(lines)

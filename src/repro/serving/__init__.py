@@ -16,12 +16,15 @@ dead-letter buffer.
 from repro.serving.config import (
     EndpointSpec,
     ModelSettings,
+    ObservabilitySettings,
     ParallelSettings,
     build_registry,
     load_model_settings,
+    load_observability_settings,
     load_parallel_settings,
     load_serving_config,
     parse_model,
+    parse_observability,
     parse_parallel,
     registry_from_config,
     write_serving_config,
@@ -66,15 +69,18 @@ __all__ = [
     "MetricsRegistry",
     "ModelRegistry",
     "ModelSettings",
+    "ObservabilitySettings",
     "ParallelSettings",
     "StdoutSink",
     "ValidationService",
     "build_registry",
     "endpoint_from_artifacts",
     "load_model_settings",
+    "load_observability_settings",
     "load_parallel_settings",
     "load_serving_config",
     "parse_model",
+    "parse_observability",
     "parse_parallel",
     "registry_from_config",
     "write_serving_config",

@@ -15,7 +15,8 @@ block::
         }
       ],
       "parallel": {"n_jobs": 4, "backend": "thread"},
-      "model": {"tree_method": "hist", "max_bins": 128}
+      "model": {"tree_method": "hist", "max_bins": 128},
+      "observability": {"enabled": true, "export_path": "spans.json"}
     }
 
 The optional ``parallel`` block controls how many artifact directories
@@ -93,6 +94,33 @@ class ModelSettings:
 _MODEL_FIELDS = {f.name for f in fields(ModelSettings)}
 
 
+@dataclass(frozen=True)
+class ObservabilitySettings:
+    """The config file's ``observability`` block: tracing for serving runs.
+
+    ``enabled`` turns span collection on for the replay/serving process;
+    ``metrics_bridge`` additionally folds span aggregates into the
+    service's :class:`~repro.serving.metrics.MetricsRegistry` (so they
+    ride along in the Prometheus/JSON exports); ``export_path`` writes
+    the raw span JSON there after the run.
+    """
+
+    enabled: bool = False
+    metrics_bridge: bool = True
+    export_path: str | None = None
+
+    def __post_init__(self):
+        if not isinstance(self.enabled, bool):
+            raise DataValidationError("observability.enabled must be a boolean")
+        if not isinstance(self.metrics_bridge, bool):
+            raise DataValidationError("observability.metrics_bridge must be a boolean")
+        if self.export_path is not None and not isinstance(self.export_path, str):
+            raise DataValidationError("observability.export_path must be a string")
+
+
+_OBSERVABILITY_FIELDS = {f.name for f in fields(ObservabilitySettings)}
+
+
 def parse_policy(raw: dict) -> EndpointPolicy:
     """Build a policy from a JSON object, rejecting unknown keys loudly."""
     unknown = set(raw) - _POLICY_FIELDS
@@ -128,6 +156,19 @@ def parse_model(raw: dict) -> ModelSettings:
     return ModelSettings(**raw)
 
 
+def parse_observability(raw: dict) -> ObservabilitySettings:
+    """Build observability settings from a JSON object, rejecting unknown keys."""
+    if not isinstance(raw, dict):
+        raise DataValidationError("'observability' must be an object")
+    unknown = set(raw) - _OBSERVABILITY_FIELDS
+    if unknown:
+        raise DataValidationError(
+            f"unknown observability keys {sorted(unknown)}; "
+            f"valid keys: {sorted(_OBSERVABILITY_FIELDS)}"
+        )
+    return ObservabilitySettings(**raw)
+
+
 def load_serving_config(path: str | Path) -> list[EndpointSpec]:
     """Parse and validate a serving config file."""
     config_path = Path(path)
@@ -141,7 +182,7 @@ def load_serving_config(path: str | Path) -> list[EndpointSpec]:
         raise DataValidationError(
             f"{config_path} must be an object with an 'endpoints' list"
         )
-    unknown = set(payload) - {"endpoints", "parallel", "model"}
+    unknown = set(payload) - {"endpoints", "parallel", "model", "observability"}
     if unknown:
         raise DataValidationError(
             f"{config_path} has unknown top-level keys {sorted(unknown)}"
@@ -205,6 +246,20 @@ def load_model_settings(path: str | Path) -> ModelSettings:
     if not isinstance(payload, dict):
         raise DataValidationError(f"{config_path} must be a JSON object")
     return parse_model(payload.get("model", {}))
+
+
+def load_observability_settings(path: str | Path) -> ObservabilitySettings:
+    """The ``observability`` block of a config file (defaults when absent)."""
+    config_path = Path(path)
+    if not config_path.exists():
+        raise DataValidationError(f"no serving config at {config_path}")
+    try:
+        payload = json.loads(config_path.read_text())
+    except json.JSONDecodeError as error:
+        raise DataValidationError(f"invalid JSON in {config_path}: {error}") from error
+    if not isinstance(payload, dict):
+        raise DataValidationError(f"{config_path} must be a JSON object")
+    return parse_observability(payload.get("observability", {}))
 
 
 def _load_endpoint(task: tuple[EndpointSpec, Path]) -> Endpoint:

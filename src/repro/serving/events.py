@@ -217,7 +217,17 @@ class EventRouter:
                 return True
 
     def drain_dead_letters(self) -> list[DeadLetter]:
-        """Return and clear the dead-letter buffer (for re-publication)."""
-        letters = list(self.dead_letters)
-        self.dead_letters.clear()
-        return letters
+        """Return and clear the dead-letter buffer (for re-publication).
+
+        Atomic against concurrent publishers: letters are removed one
+        ``popleft`` at a time (atomic on :class:`~collections.deque`), so
+        an event appended between the snapshot and the clear can neither
+        be lost nor handed to two drainers. A ``list()``-then-``clear()``
+        implementation silently dropped such late arrivals.
+        """
+        letters: list[DeadLetter] = []
+        while True:
+            try:
+                letters.append(self.dead_letters.popleft())
+            except IndexError:
+                return letters

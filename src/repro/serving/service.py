@@ -26,6 +26,7 @@ from typing import Callable
 
 from repro.exceptions import DataValidationError
 from repro.monitoring import BatchMonitor, BatchRecord
+from repro.obs import current_tracer
 from repro.serving.events import AlertEvent, EventRouter
 from repro.serving.metrics import MetricsRegistry, SCORE_BUCKETS
 from repro.serving.registry import Endpoint, ModelRegistry
@@ -190,11 +191,17 @@ class ValidationService:
         # the stale rows are not merged with fresh ones.
         if buffer.frames and now - buffer.first_arrival >= policy.max_wait_seconds:
             self._flushes.inc(endpoint=endpoint.key, reason="max_wait")
-            results.append(self._score(endpoint, buffer.drain()))
+            with current_tracer().span(
+                "serving.flush", reason="max_wait", rows=buffer.n_rows
+            ):
+                results.append(self._score(endpoint, buffer.drain()))
         buffer.add(frame, now)
         if buffer.n_rows >= policy.micro_batch_size:
             self._flushes.inc(endpoint=endpoint.key, reason="size")
-            results.append(self._score(endpoint, buffer.drain()))
+            with current_tracer().span(
+                "serving.flush", reason="size", rows=buffer.n_rows
+            ):
+                results.append(self._score(endpoint, buffer.drain()))
         return results
 
     def flush(self, name: str, version: str | None = None) -> BatchResult | None:
@@ -204,7 +211,10 @@ class ValidationService:
         if buffer is None or not buffer.frames:
             return None
         self._flushes.inc(endpoint=endpoint.key, reason="manual")
-        return self._score(endpoint, buffer.drain())
+        with current_tracer().span(
+            "serving.flush", reason="manual", rows=buffer.n_rows
+        ):
+            return self._score(endpoint, buffer.drain())
 
     def flush_expired(self) -> list[BatchResult]:
         """Score every buffer older than its endpoint's max wait.
@@ -221,7 +231,10 @@ class ValidationService:
             endpoint = self.registry.get(name, version)
             if now - buffer.first_arrival >= endpoint.policy.max_wait_seconds:
                 self._flushes.inc(endpoint=endpoint.key, reason="max_wait")
-                results.append(self._score(endpoint, buffer.drain()))
+                with current_tracer().span(
+                    "serving.flush", reason="max_wait", rows=buffer.n_rows
+                ):
+                    results.append(self._score(endpoint, buffer.drain()))
         return results
 
     def pending_rows(self, name: str, version: str | None = None) -> int:
@@ -254,20 +267,24 @@ class ValidationService:
         monitor = self.monitor(endpoint.name, endpoint.version)
         policy = endpoint.policy
         started = self._clock()
-        proba = endpoint.predictor.blackbox.predict_proba(frame)
-        estimate = endpoint.predictor.predict_from_proba(proba)
-        record = monitor.observe_estimate(estimate, len(frame))
-        interval = None
-        if (
-            policy.interval_coverage is not None
-            and getattr(endpoint.predictor, "calibration_residuals_", None) is not None
+        with current_tracer().span(
+            "serving.score", rows=len(frame), endpoint=endpoint.key
         ):
-            interval = endpoint.predictor.interval_from_estimate(
-                estimate, policy.interval_coverage
-            )
-        trusted = None
-        if endpoint.validator is not None:
-            trusted = endpoint.validator.validate_from_proba(proba)
+            proba = endpoint.predictor.blackbox.predict_proba(frame)
+            estimate = endpoint.predictor.predict_from_proba(proba)
+            record = monitor.observe_estimate(estimate, len(frame))
+            interval = None
+            if (
+                policy.interval_coverage is not None
+                and getattr(endpoint.predictor, "calibration_residuals_", None)
+                is not None
+            ):
+                interval = endpoint.predictor.interval_from_estimate(
+                    estimate, policy.interval_coverage
+                )
+            trusted = None
+            if endpoint.validator is not None:
+                trusted = endpoint.validator.validate_from_proba(proba)
         elapsed = max(0.0, self._clock() - started)
 
         key = endpoint.key

@@ -19,18 +19,25 @@ DEFAULT_PERCENTILE_STEP = 5
 @lru_cache(maxsize=None)
 def _cached_grid(step: int) -> np.ndarray:
     grid = np.arange(0, 101, step, dtype=np.float64)
+    # Steps that do not divide 100 (e.g. 7 -> 0, 7, ..., 98) would drop
+    # the maximum; the grid always ends at the 100th percentile so fit-
+    # and serving-time feature vectors keep identical widths.
+    if grid[-1] != 100.0:
+        grid = np.append(grid, 100.0)
     grid.setflags(write=False)
     return grid
 
 
 def percentile_grid(step: int = DEFAULT_PERCENTILE_STEP) -> np.ndarray:
-    """The percentile levels 0, step, 2*step, ..., 100.
+    """The percentile levels 0, step, 2*step, ..., capped with 100.
 
+    The grid always includes the 100th percentile, even when ``step``
+    does not divide 100 (``step=7`` gives 0, 7, ..., 98, 100).
     Featurization calls this once per corruption episode, so the grid is
     cached (and returned read-only to keep the cache trustworthy).
     """
-    if not 1 <= step <= 100 or 100 % step != 0:
-        raise DataValidationError(f"percentile step must divide 100, got {step}")
+    if not 1 <= step <= 100:
+        raise DataValidationError(f"percentile step must be in [1, 100], got {step}")
     return _cached_grid(int(step))
 
 

@@ -48,8 +48,16 @@ def ks_two_sample(sample_a: np.ndarray, sample_b: np.ndarray) -> TestResult:
     cdf_a = np.searchsorted(a, grid, side="right") / a.size
     cdf_b = np.searchsorted(b, grid, side="right") / b.size
     statistic = float(np.max(np.abs(cdf_a - cdf_b)))
+    if statistic <= 0.0:
+        # Identical ECDFs (e.g. two constant samples of the same value):
+        # the asymptotic series is numerically unstable near zero, and the
+        # exact answer is "no evidence against the null".
+        return TestResult(statistic=0.0, p_value=1.0)
     effective_n = a.size * b.size / (a.size + b.size)
-    p_value = kolmogorov_sf(math.sqrt(effective_n) * statistic)
+    # The truncated asymptotic series can stray outside [0, 1] for small
+    # arguments (tie-heavy samples drive the statistic there); clamp so
+    # downstream feature vectors and alpha comparisons stay sane.
+    p_value = min(1.0, max(0.0, kolmogorov_sf(math.sqrt(effective_n) * statistic)))
     return TestResult(statistic=statistic, p_value=p_value)
 
 

@@ -20,6 +20,23 @@ class TestPredictionStatistics:
         proba = rng.random((50, 2))
         assert prediction_statistics(proba, step=25).shape == (10,)
 
+    def test_non_divisor_step_width_is_consistent(self, rng):
+        # Regression: step=7 yields the grid 0, 7, ..., 98, 100 (16
+        # levels); fit-time and serving-time feature widths must match
+        # regardless of batch size.
+        fit_features = prediction_statistics(rng.random((80, 2)), step=7)
+        serve_features = prediction_statistics(rng.random((17, 2)), step=7)
+        assert fit_features.shape == serve_features.shape == (32,)
+
+    def test_non_divisor_step_keeps_maximum(self):
+        # The 100th percentile (the column max) must survive a step that
+        # does not divide 100.
+        column = np.linspace(0.0, 1.0, 200)
+        proba = np.column_stack([1 - column, column])
+        features = prediction_statistics(proba, step=7)
+        assert features[15] == pytest.approx(1.0)  # max of class-0 column
+        assert features[-1] == pytest.approx(1.0)  # max of class-1 column
+
     def test_moments_featurizer(self, rng):
         proba = rng.random((50, 2))
         assert prediction_statistics(proba, featurizer="moments").shape == (8,)

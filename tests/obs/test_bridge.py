@@ -1,0 +1,63 @@
+"""Tests for the span → MetricsRegistry bridge."""
+
+import pytest
+
+from repro.obs import SPAN_BUCKETS, Span, Tracer, bridge_spans
+from repro.serving.metrics import MetricsRegistry
+
+
+def make_span(span_id, name, wall, outcome="ok", cpu=None):
+    return Span(
+        span_id=span_id,
+        parent_id=None,
+        name=name,
+        started_at=0.0,
+        wall_seconds=wall,
+        cpu_seconds=wall if cpu is None else cpu,
+        counters={},
+        outcome=outcome,
+        error="RuntimeError: x" if outcome == "error" else None,
+        thread_id=1,
+    )
+
+
+class TestBridgeSpans:
+    def test_histogram_and_counters_populated(self):
+        registry = MetricsRegistry()
+        spans = [
+            make_span(1, "forest.fit", 0.2),
+            make_span(2, "forest.fit", 0.4),
+            make_span(3, "serving.score", 0.001, outcome="error"),
+        ]
+        result = bridge_spans(spans, registry)
+        assert result is registry
+        wall = registry.histogram(
+            "trace_span_wall_seconds", "", ("span",), buckets=SPAN_BUCKETS
+        )
+        assert wall.count(span="forest.fit") == 2
+        assert wall.sum(span="forest.fit") == pytest.approx(0.6)
+        outcomes = registry.counter("trace_spans_total", "", ("span", "outcome"))
+        assert outcomes.value(span="forest.fit", outcome="ok") == 2
+        assert outcomes.value(span="serving.score", outcome="error") == 1
+
+    def test_negative_cpu_clamped(self):
+        registry = MetricsRegistry()
+        bridge_spans([make_span(1, "odd", 0.1, cpu=-0.5)], registry)
+        cpu = registry.counter("trace_span_cpu_seconds_total", "", ("span",))
+        assert cpu.value(span="odd") == 0.0
+
+    def test_prometheus_export_carries_span_series(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        with tracer.span("grid_search.fit"):
+            pass
+        bridge_spans(tracer.store.spans(), registry)
+        text = registry.to_prometheus()
+        assert 'trace_span_wall_seconds_bucket{span="grid_search.fit"' in text
+        assert 'trace_spans_total{span="grid_search.fit",outcome="ok"} 1' in text
+
+    def test_empty_span_list_registers_but_observes_nothing(self):
+        registry = MetricsRegistry()
+        bridge_spans([], registry)
+        outcomes = registry.counter("trace_spans_total", "", ("span", "outcome"))
+        assert outcomes.to_json()["series"] == []

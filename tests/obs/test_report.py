@@ -1,0 +1,149 @@
+"""Tests for span-tree construction, nesting checks, and the text report."""
+
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.obs import (
+    Span,
+    Tracer,
+    aggregate_spans,
+    check_well_nested,
+    format_span_tree,
+    span_tree,
+)
+
+
+def make_span(span_id, parent_id=None, name="work", started_at=0.0,
+              wall=1.0, thread_id=1, outcome="ok", counters=None):
+    return Span(
+        span_id=span_id,
+        parent_id=parent_id,
+        name=name,
+        started_at=started_at,
+        wall_seconds=wall,
+        cpu_seconds=wall,
+        counters=counters or {},
+        outcome=outcome,
+        error="RuntimeError: x" if outcome == "error" else None,
+        thread_id=thread_id,
+    )
+
+
+class TestSpanTree:
+    def test_forest_structure(self):
+        spans = [
+            make_span(1, name="root", started_at=0.0, wall=3.0),
+            make_span(2, parent_id=1, name="child-b", started_at=2.0, wall=0.5),
+            make_span(3, parent_id=1, name="child-a", started_at=0.5, wall=1.0),
+            make_span(4, name="other-root", started_at=5.0),
+        ]
+        roots = span_tree(spans)
+        assert [r.span.name for r in roots] == ["root", "other-root"]
+        # Children ordered by start time, not insertion order.
+        assert [c.span.name for c in roots[0].children] == ["child-a", "child-b"]
+
+    def test_missing_parent_becomes_root(self):
+        spans = [make_span(7, parent_id=99, name="orphan")]
+        roots = span_tree(spans)
+        assert [r.span.name for r in roots] == ["orphan"]
+
+    def test_duplicate_ids_raise(self):
+        with pytest.raises(DataValidationError):
+            span_tree([make_span(1), make_span(1)])
+
+    def test_self_seconds_subtracts_direct_children(self):
+        spans = [
+            make_span(1, name="root", wall=3.0),
+            make_span(2, parent_id=1, wall=1.0),
+            make_span(3, parent_id=1, wall=0.5),
+        ]
+        (root,) = span_tree(spans)
+        assert root.self_seconds == pytest.approx(1.5)
+
+    def test_self_seconds_floors_at_zero(self):
+        spans = [
+            make_span(1, name="root", wall=1.0),
+            make_span(2, parent_id=1, wall=2.0),
+        ]
+        (root,) = span_tree(spans)
+        assert root.self_seconds == 0.0
+
+
+class TestCheckWellNested:
+    def test_clean_trace_has_no_violations(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        assert check_well_nested(tracer.store.spans()) == []
+
+    def test_thread_crossing_flagged(self):
+        spans = [
+            make_span(1, thread_id=1),
+            make_span(2, parent_id=1, thread_id=2),
+        ]
+        violations = check_well_nested(spans)
+        assert any("crosses threads" in v for v in violations)
+
+    def test_child_outside_parent_window_flagged(self):
+        spans = [
+            make_span(1, started_at=10.0, wall=1.0),
+            make_span(2, parent_id=1, started_at=9.0, wall=0.1),
+            make_span(3, parent_id=1, started_at=10.5, wall=5.0),
+        ]
+        violations = check_well_nested(spans)
+        assert any("starts before" in v for v in violations)
+        assert any("ends after" in v for v in violations)
+
+    def test_small_clock_slack_tolerated(self):
+        spans = [
+            make_span(1, started_at=10.0, wall=1.0),
+            make_span(2, parent_id=1, started_at=9.999, wall=1.002),
+        ]
+        assert check_well_nested(spans) == []
+
+    def test_parent_cycle_flagged(self):
+        spans = [
+            make_span(1, parent_id=2),
+            make_span(2, parent_id=1),
+        ]
+        violations = check_well_nested(spans)
+        assert any("parent cycle" in v for v in violations)
+
+
+class TestAggregateSpans:
+    def test_totals_by_name(self):
+        spans = [
+            make_span(1, name="fit", wall=1.0),
+            make_span(2, name="fit", wall=3.0),
+            make_span(3, name="score", wall=0.5, outcome="error"),
+        ]
+        totals = aggregate_spans(spans)
+        assert totals["fit"]["count"] == 2
+        assert totals["fit"]["wall_seconds"] == pytest.approx(4.0)
+        assert totals["fit"]["max_wall_seconds"] == pytest.approx(3.0)
+        assert totals["fit"]["errors"] == 0
+        assert totals["score"]["errors"] == 1
+
+
+class TestFormatSpanTree:
+    def test_empty_message(self):
+        assert format_span_tree([]) == "trace: no spans recorded"
+
+    def test_report_contains_tree_and_totals(self):
+        spans = [
+            make_span(1, name="outer", wall=2.0, counters={"rows": 10}),
+            make_span(2, parent_id=1, name="inner", started_at=0.5, wall=1.0),
+        ]
+        report = format_span_tree(spans)
+        assert report.startswith("trace: 2 span(s)")
+        assert "outer" in report and "  inner" in report
+        assert "rows=10" in report
+        assert "by span name (cumulative):" in report
+
+    def test_error_marker_rendered(self):
+        report = format_span_tree([make_span(1, name="broken", outcome="error")])
+        assert "!ERROR" in report
+        assert "errors 1" in report

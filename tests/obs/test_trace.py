@@ -1,0 +1,269 @@
+"""Tests for the span model, tracer, store, and JSON round-trip."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.obs import (
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    SpanStore,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    spans_from_json,
+    spans_to_json,
+    use_tracer,
+)
+
+
+def make_span(span_id=1, parent_id=None, name="work", **overrides):
+    payload = dict(
+        span_id=span_id,
+        parent_id=parent_id,
+        name=name,
+        started_at=100.0,
+        wall_seconds=0.5,
+        cpu_seconds=0.4,
+        counters={"rows": 10},
+    )
+    payload.update(overrides)
+    return Span(**payload)
+
+
+class TestSpan:
+    def test_ended_at(self):
+        assert make_span(started_at=10.0, wall_seconds=2.5).ended_at == 12.5
+
+    def test_invalid_outcome_raises(self):
+        with pytest.raises(DataValidationError):
+            make_span(outcome="maybe")
+
+    def test_dict_round_trip(self):
+        span = make_span(outcome="error", error="ValueError: boom", thread_id=7)
+        assert Span.from_dict(span.to_dict()) == span
+
+    def test_from_dict_missing_fields_raises(self):
+        with pytest.raises(DataValidationError):
+            Span.from_dict({"span_id": 1, "name": "x"})
+
+
+class TestTracer:
+    def test_records_nested_spans(self):
+        tracer = Tracer()
+        with tracer.span("outer", rows=3):
+            with tracer.span("inner"):
+                pass
+        outer = [s for s in tracer.store.spans() if s.name == "outer"][0]
+        inner = [s for s in tracer.store.spans() if s.name == "inner"][0]
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert outer.counters == {"rows": 3}
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        spans = {s.name: s for s in tracer.store.spans()}
+        assert spans["first"].parent_id == spans["parent"].span_id
+        assert spans["second"].parent_id == spans["parent"].span_id
+
+    def test_span_ids_unique_and_increasing(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("step"):
+                pass
+        ids = [s.span_id for s in tracer.store.spans()]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+    def test_wall_time_measured(self):
+        tracer = Tracer()
+        with tracer.span("sleepy"):
+            time.sleep(0.02)
+        (span,) = tracer.store.spans()
+        assert span.wall_seconds >= 0.015
+
+    def test_error_outcome_captured_and_reraised(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        (span,) = tracer.store.spans()
+        assert span.outcome == "error"
+        assert span.error == "ValueError: boom"
+
+    def test_add_updates_counters_mid_span(self):
+        tracer = Tracer()
+        with tracer.span("work") as active:
+            active.add(items=12, phase="scan")
+        (span,) = tracer.store.spans()
+        assert span.counters == {"items": 12, "phase": "scan"}
+
+    def test_counter_coercion(self):
+        tracer = Tracer()
+        with tracer.span(
+            "typed",
+            flag=True,
+            count=np.int64(5),
+            ratio=np.float64(0.5),
+            method="hist",
+        ):
+            pass
+        (span,) = tracer.store.spans()
+        assert span.counters == {"flag": 1, "count": 5, "ratio": 0.5, "method": "hist"}
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        ready = threading.Barrier(2)
+
+        def worker():
+            ready.wait()
+            with tracer.span("worker"):
+                pass
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            ready.wait()
+            thread.join()
+        spans = {s.name: s for s in tracer.store.spans()}
+        # The worker span must not claim the main-thread span as parent.
+        assert spans["worker"].parent_id is None
+        assert spans["worker"].thread_id != spans["main"].thread_id
+
+
+class TestSpanStore:
+    def test_capacity_drops_oldest(self):
+        store = SpanStore(capacity=2)
+        for i in range(1, 5):
+            store.add(make_span(span_id=i))
+        assert [s.span_id for s in store.spans()] == [3, 4]
+        assert store.dropped == 2
+        assert len(store) == 2
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(DataValidationError):
+            SpanStore(capacity=0)
+
+    def test_clear_resets(self):
+        store = SpanStore(capacity=1)
+        store.add(make_span(span_id=1))
+        store.add(make_span(span_id=2))
+        store.clear()
+        assert len(store) == 0 and store.dropped == 0
+
+    def test_concurrent_adds_lose_nothing(self):
+        store = SpanStore()
+        n_threads, per_thread = 4, 250
+
+        def add_many(base):
+            for i in range(per_thread):
+                store.add(make_span(span_id=base + i))
+
+        threads = [
+            threading.Thread(target=add_many, args=(t * per_thread,))
+            for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(store) == n_threads * per_thread
+
+
+class TestCurrentTracer:
+    def test_default_is_noop(self):
+        assert current_tracer() is NOOP_TRACER
+        assert current_tracer().enabled is False
+
+    def test_set_and_restore(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert current_tracer() is tracer
+        finally:
+            set_tracer(previous)
+        assert current_tracer() is previous
+
+    def test_set_none_restores_noop(self):
+        previous = set_tracer(Tracer())
+        set_tracer(None)
+        assert current_tracer() is NOOP_TRACER
+        set_tracer(previous)
+
+    def test_use_tracer_scopes_installation(self):
+        tracer = Tracer()
+        with use_tracer(tracer) as installed:
+            assert installed is tracer
+            assert current_tracer() is tracer
+        assert current_tracer() is NOOP_TRACER
+
+    def test_use_tracer_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_tracer(Tracer()):
+                raise RuntimeError("bail")
+        assert current_tracer() is NOOP_TRACER
+
+
+class TestNoopTracer:
+    def test_span_returns_shared_singleton(self):
+        tracer = NoopTracer()
+        first = tracer.span("a", rows=1)
+        second = tracer.span("b")
+        assert first is second  # no allocation on the disabled path
+
+    def test_noop_span_is_a_context_manager(self):
+        with NOOP_TRACER.span("anything") as span:
+            assert span.add(rows=5) is span
+
+    def test_noop_span_propagates_exceptions(self):
+        with pytest.raises(KeyError):
+            with NOOP_TRACER.span("x"):
+                raise KeyError("escape")
+
+    def test_disabled_overhead_is_negligible(self):
+        # The disabled hot path is one method call returning a cached
+        # singleton; a generous wall bound keeps this robust under CI
+        # noise while still catching accidental allocation/locking.
+        iterations = 50_000
+        start = time.perf_counter()
+        for _ in range(iterations):
+            with current_tracer().span("hot", rows=1):
+                pass
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0
+        assert elapsed / iterations < 4e-5
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_spans(self):
+        tracer = Tracer()
+        with tracer.span("outer", rows=5):
+            with tracer.span("inner", method="hist"):
+                pass
+        spans = tracer.store.spans()
+        restored = spans_from_json(spans_to_json(spans, indent=2))
+        assert restored == spans
+
+    def test_schema_version_present(self):
+        import json
+
+        payload = json.loads(spans_to_json([make_span()]))
+        assert payload["schema_version"] == 1
+        assert len(payload["spans"]) == 1
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(DataValidationError):
+            spans_from_json("{not json")
+        with pytest.raises(DataValidationError):
+            spans_from_json('{"no_spans": []}')
+        with pytest.raises(DataValidationError):
+            spans_from_json('{"spans": 42}')

@@ -1,0 +1,205 @@
+"""End-to-end wiring tests: spans cover the traced hot paths.
+
+The four paths the tracer instruments (see docs/ARCHITECTURE.md):
+
+1. meta-dataset generation (``corruption.*`` under ``validator.fit`` /
+   ``predictor.fit``),
+2. tree-ensemble training (``forest.*`` / ``boosting.*``, exact and hist),
+3. hyperparameter search (``grid_search.*``),
+4. the serving layer (``serving.score`` / ``serving.flush``).
+
+Each test runs real code under an installed tracer and asserts on the
+recorded span names, nesting, and counters — not on mocks — so a dropped
+``with tracer.span(...)`` in any layer fails here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import PerformancePredictor
+from repro.core.validator import PerformanceValidator
+from repro.errors.tabular_errors import MissingValues, Scaling
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.linear import SGDClassifier
+from repro.ml.model_selection import GridSearchCV
+from repro.obs import (
+    NOOP_TRACER,
+    Tracer,
+    check_well_nested,
+    current_tracer,
+    span_tree,
+    spans_from_json,
+    spans_to_json,
+    use_tracer,
+)
+from repro.serving.registry import Endpoint, EndpointPolicy, ModelRegistry
+from repro.serving.service import ValidationService
+
+
+@pytest.fixture
+def tracer():
+    installed = Tracer()
+    with use_tracer(installed):
+        yield installed
+
+
+def names(tracer) -> set[str]:
+    return {span.name for span in tracer.store.spans()}
+
+
+def by_name(tracer, name: str):
+    return [span for span in tracer.store.spans() if span.name == name]
+
+
+@pytest.fixture(scope="module")
+def regression_problem():
+    rng = np.random.default_rng(7)
+    X = rng.random((80, 4))
+    return X, X @ np.array([2.0, -1.0, 0.5, 0.0])
+
+
+@pytest.fixture(scope="module")
+def wiring_predictor(income_blackbox, income_splits):
+    """A cheap fitted predictor for the serving-path tests (fit untraced)."""
+    return PerformancePredictor(
+        income_blackbox, [Scaling()], n_samples=12, random_state=0
+    ).fit(income_splits.test, income_splits.y_test)
+
+
+class TestTreeEnsemblePath:
+    def test_forest_exact_fit_emits_fit_and_grow(self, tracer, regression_problem):
+        X, y = regression_problem
+        RandomForestRegressor(n_trees=3, random_state=0, n_jobs=1).fit(X, y)
+        assert {"forest.fit", "forest.grow"} <= names(tracer)
+        assert "forest.bin" not in names(tracer)
+        (fit,) = by_name(tracer, "forest.fit")
+        assert fit.counters["tree_method"] == "exact"
+        assert fit.counters["rows"] == 80
+
+    def test_forest_hist_fit_adds_binning_span(self, tracer, regression_problem):
+        X, y = regression_problem
+        RandomForestRegressor(
+            n_trees=3, random_state=0, n_jobs=1, tree_method="hist"
+        ).fit(X, y)
+        assert {"forest.fit", "forest.bin", "forest.grow"} <= names(tracer)
+        (fit,) = by_name(tracer, "forest.fit")
+        (binned,) = by_name(tracer, "forest.bin")
+        assert binned.parent_id == fit.span_id
+
+    def test_boosting_hist_fit_emits_per_stage_spans(self, tracer, regression_problem):
+        X, y = regression_problem
+        labels = (y > np.median(y)).astype(int)
+        GradientBoostingClassifier(
+            n_stages=3, random_state=0, tree_method="hist"
+        ).fit(X, labels)
+        assert {"boosting.fit", "boosting.bin", "boosting.stage"} <= names(tracer)
+        stages = by_name(tracer, "boosting.stage")
+        assert [span.counters["stage"] for span in stages] == [0, 1, 2]
+        (fit,) = by_name(tracer, "boosting.fit")
+        assert all(span.parent_id == fit.span_id for span in stages)
+
+
+class TestGridSearchPath:
+    def test_scan_and_refit_nested_under_fit(self, tracer, binary_matrix_problem):
+        X_train, y_train, _, _ = binary_matrix_problem
+        GridSearchCV(
+            SGDClassifier(epochs=2, random_state=0),
+            param_grid={"alpha": [1e-4, 1e-3]},
+            n_splits=2,
+        ).fit(X_train, y_train)
+        assert {"grid_search.fit", "grid_search.scan", "grid_search.refit"} <= names(
+            tracer
+        )
+        (fit,) = by_name(tracer, "grid_search.fit")
+        (scan,) = by_name(tracer, "grid_search.scan")
+        (refit,) = by_name(tracer, "grid_search.refit")
+        assert scan.parent_id == fit.span_id
+        assert refit.parent_id == fit.span_id
+        assert scan.counters["cells"] == 4  # 2 params x 2 folds
+
+
+class TestMetaDatasetPath:
+    def test_validator_fit_covers_corruption_sampling(
+        self, tracer, income_blackbox, income_splits
+    ):
+        PerformanceValidator(
+            income_blackbox,
+            [Scaling(), MissingValues()],
+            threshold=0.05,
+            n_samples=12,
+            random_state=0,
+        ).fit(income_splits.test, income_splits.y_test)
+        assert {
+            "validator.fit",
+            "corruption.sample",
+            "corruption.clean_baseline",
+            "corruption.episodes",
+        } <= names(tracer)
+        (sample,) = by_name(tracer, "corruption.sample")
+        assert sample.counters["corruptions"] == 12
+        assert check_well_nested(tracer.store.spans()) == []
+
+    def test_validate_from_proba_emits_validator_span(
+        self, tracer, income_blackbox, income_splits
+    ):
+        validator = PerformanceValidator(
+            income_blackbox, [Scaling()], n_samples=12, random_state=0
+        )
+        with use_tracer(None):  # keep the fit out of the trace under test
+            validator.fit(income_splits.test, income_splits.y_test)
+        proba = income_blackbox.predict_proba(income_splits.serving.head(50))
+        validator.validate_from_proba(proba)
+        (span,) = by_name(tracer, "validator.validate")
+        assert span.counters["rows"] == 50
+
+
+class TestServingPath:
+    def test_micro_batch_flush_and_score_spans(
+        self, tracer, wiring_predictor, income_splits
+    ):
+        registry = ModelRegistry()
+        registry.register(
+            Endpoint(
+                name="income",
+                version="1",
+                predictor=wiring_predictor,
+                policy=EndpointPolicy(micro_batch_size=100),
+            )
+        )
+        service = ValidationService(registry)
+        assert service.submit("income", income_splits.serving.head(40)) == []
+        results = service.submit("income", income_splits.serving.head(60))
+        assert len(results) == 1  # size-triggered flush scored the buffer
+        (flush,) = by_name(tracer, "serving.flush")
+        assert flush.counters["reason"] == "size"
+        assert flush.counters["rows"] == 100
+        (score,) = by_name(tracer, "serving.score")
+        assert score.parent_id == flush.span_id
+        # predictor.estimate runs inside the scoring span.
+        (estimate,) = by_name(tracer, "predictor.estimate")
+        roots = {node.span.name for node in span_tree(tracer.store.spans())}
+        assert roots == {"serving.flush"}
+        assert estimate.counters["rows"] == 100
+
+
+class TestTraceLifecycle:
+    def test_real_trace_round_trips_json_and_is_well_nested(
+        self, tracer, regression_problem
+    ):
+        X, y = regression_problem
+        RandomForestRegressor(
+            n_trees=2, random_state=0, n_jobs=1, tree_method="hist"
+        ).fit(X, y)
+        spans = tracer.store.spans()
+        assert spans
+        assert check_well_nested(spans) == []
+        assert spans_from_json(spans_to_json(spans, indent=2)) == spans
+
+    def test_disabled_tracing_records_nothing(self, regression_problem):
+        X, y = regression_problem
+        bystander = Tracer()  # constructed but never installed
+        assert current_tracer() is NOOP_TRACER
+        RandomForestRegressor(n_trees=2, random_state=0, n_jobs=1).fit(X, y)
+        assert len(bystander.store) == 0
+        assert current_tracer() is NOOP_TRACER

@@ -8,11 +8,14 @@ from repro import persistence
 from repro.exceptions import DataValidationError
 from repro.serving.config import (
     ModelSettings,
+    ObservabilitySettings,
     ParallelSettings,
     load_model_settings,
+    load_observability_settings,
     load_parallel_settings,
     load_serving_config,
     parse_model,
+    parse_observability,
     parse_parallel,
     parse_policy,
     registry_from_config,
@@ -176,6 +179,74 @@ class TestModelBlock:
         )
         specs = load_serving_config(path)
         assert len(specs) == 1
+
+
+class TestObservabilityBlock:
+    def test_parse_defaults_and_overrides(self):
+        assert parse_observability({}) == ObservabilitySettings()
+        settings = parse_observability(
+            {"enabled": True, "metrics_bridge": False, "export_path": "spans.json"}
+        )
+        assert settings.enabled is True
+        assert settings.metrics_bridge is False
+        assert settings.export_path == "spans.json"
+
+    def test_defaults_are_off_and_bridge_on(self):
+        settings = ObservabilitySettings()
+        assert settings.enabled is False
+        assert settings.metrics_bridge is True
+        assert settings.export_path is None
+
+    def test_unknown_keys_raise(self):
+        with pytest.raises(DataValidationError) as excinfo:
+            parse_observability({"enbled": True})
+        assert "enbled" in str(excinfo.value)
+
+    def test_non_object_block_raises(self):
+        with pytest.raises(DataValidationError):
+            parse_observability("on")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"enabled": "yes"},
+            {"metrics_bridge": 1},
+            {"export_path": 42},
+        ],
+    )
+    def test_invalid_types_raise(self, kwargs):
+        with pytest.raises(DataValidationError):
+            ObservabilitySettings(**kwargs)
+
+    def test_load_observability_settings(self, tmp_path):
+        path = write_config(
+            tmp_path / "serving.json",
+            {
+                "endpoints": [{"name": "a", "artifacts": "d"}],
+                "observability": {"enabled": True, "export_path": "trace.json"},
+            },
+        )
+        settings = load_observability_settings(path)
+        assert settings.enabled is True
+        assert settings.metrics_bridge is True
+        assert settings.export_path == "trace.json"
+
+    def test_absent_block_yields_defaults(self, tmp_path):
+        path = write_config(
+            tmp_path / "serving.json",
+            {"endpoints": [{"name": "a", "artifacts": "d"}]},
+        )
+        assert load_observability_settings(path) == ObservabilitySettings()
+
+    def test_observability_block_accepted_at_top_level(self, tmp_path):
+        path = write_config(
+            tmp_path / "serving.json",
+            {
+                "endpoints": [{"name": "a", "artifacts": "d"}],
+                "observability": {"enabled": True},
+            },
+        )
+        assert len(load_serving_config(path)) == 1
 
 
 class TestParallelBlock:

@@ -148,3 +148,60 @@ class TestEventRouter:
             EventRouter(backoff=-0.1)
         with pytest.raises(DataValidationError):
             EventRouter(dead_letter_capacity=0)
+
+
+class AlwaysFailingSink:
+    name = "broken"
+
+    def emit(self, event: AlertEvent) -> None:
+        raise ConnectionError("permanently down")
+
+
+class TestConcurrentDrain:
+    """Drain must be atomic against publishers racing into dead letters."""
+
+    def test_no_letter_lost_or_double_drained(self):
+        import threading
+
+        n_publishers = 4
+        events_per_publisher = 200
+        total = n_publishers * events_per_publisher
+        router = EventRouter(
+            [AlwaysFailingSink()],
+            max_retries=0,
+            backoff=0.0,
+            dead_letter_capacity=total,
+            sleep=lambda _: None,
+        )
+        start = threading.Barrier(n_publishers + 2)
+        drains: list[list] = [[], []]
+
+        def publish(worker: int) -> None:
+            start.wait()
+            for i in range(events_per_publisher):
+                router.publish(
+                    make_event(batch_index=worker * events_per_publisher + i)
+                )
+
+        def drain(slot: int) -> None:
+            start.wait()
+            for _ in range(300):
+                drains[slot].extend(router.drain_dead_letters())
+
+        threads = [
+            threading.Thread(target=publish, args=(w,)) for w in range(n_publishers)
+        ] + [threading.Thread(target=drain, args=(s,)) for s in (0, 1)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        remainder = router.drain_dead_letters()
+        seen = [
+            letter.event.batch_index
+            for letter in drains[0] + drains[1] + remainder
+        ]
+        # Every parked event is drained exactly once: none lost to a
+        # clear() racing a publisher, none handed to both drainers.
+        assert len(seen) == total
+        assert sorted(seen) == list(range(total))

@@ -22,7 +22,21 @@ class TestPercentileGrid:
     def test_coarser_grid(self):
         assert list(percentile_grid(25)) == [0, 25, 50, 75, 100]
 
-    @pytest.mark.parametrize("bad", [0, 3, 7, 101, -5])
+    def test_non_divisor_step_still_ends_at_100(self):
+        # Regression: 0, 7, ..., 98 used to drop the 100th percentile,
+        # so the max of the distribution never entered the features.
+        grid = percentile_grid(7)
+        assert grid[0] == 0 and grid[-1] == 100
+        assert list(grid[:3]) == [0, 7, 14]
+        assert len(grid) == 16
+
+    @pytest.mark.parametrize("step", [1, 3, 7, 33, 50, 99, 100])
+    def test_every_step_includes_both_endpoints(self, step):
+        grid = percentile_grid(step)
+        assert grid[0] == 0 and grid[-1] == 100
+        assert np.all(np.diff(grid) > 0)
+
+    @pytest.mark.parametrize("bad", [0, 101, -5])
     def test_invalid_step_raises(self, bad):
         with pytest.raises(DataValidationError):
             percentile_grid(bad)

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exceptions import DataValidationError
 from repro.stats.tests import (
@@ -62,6 +64,66 @@ class TestKsTwoSample:
             ks_two_sample(np.array([]), np.array([1.0]))
         with pytest.raises(DataValidationError):
             ks_two_sample(np.array([np.nan]), np.array([1.0]))
+
+
+class TestKsDegenerateSamples:
+    """Regression: tie-heavy / constant inputs must keep p in [0, 1]."""
+
+    def test_equal_constant_samples(self):
+        result = ks_two_sample(np.full(40, 3.7), np.full(60, 3.7))
+        assert result.statistic == 0.0
+        assert result.p_value == 1.0
+
+    def test_different_constant_samples_reject(self):
+        result = ks_two_sample(np.full(40, 0.0), np.full(40, 1.0))
+        assert result.statistic == 1.0
+        assert 0.0 <= result.p_value <= 1e-6
+
+    def test_single_element_samples(self):
+        same = ks_two_sample(np.array([2.0]), np.array([2.0]))
+        assert same.statistic == 0.0 and same.p_value == 1.0
+        different = ks_two_sample(np.array([0.0]), np.array([1.0]))
+        assert different.statistic == 1.0
+        assert 0.0 <= different.p_value <= 1.0
+
+    @given(
+        value=st.floats(-1e6, 1e6),
+        n_a=st.integers(1, 50),
+        n_b=st.integers(1, 50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_constant_samples_property(self, value, n_a, n_b):
+        result = ks_two_sample(np.full(n_a, value), np.full(n_b, value))
+        assert result.statistic == 0.0
+        assert result.p_value == 1.0
+
+    @given(
+        levels=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=4, unique=True),
+        repeats_a=st.integers(1, 20),
+        repeats_b=st.integers(1, 20),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_tied_samples_p_value_in_unit_interval(
+        self, levels, repeats_a, repeats_b, data
+    ):
+        # Samples drawn (with heavy repetition) from a handful of tied
+        # levels exercise the small-argument region of the asymptotic
+        # series, which used to stray outside [0, 1].
+        pool = np.asarray(levels)
+        idx_a = data.draw(
+            st.lists(st.integers(0, len(levels) - 1), min_size=1, max_size=10)
+        )
+        idx_b = data.draw(
+            st.lists(st.integers(0, len(levels) - 1), min_size=1, max_size=10)
+        )
+        a = np.repeat(pool[idx_a], repeats_a)
+        b = np.repeat(pool[idx_b], repeats_b)
+        result = ks_two_sample(a, b)
+        assert 0.0 <= result.statistic <= 1.0
+        assert 0.0 <= result.p_value <= 1.0
+        if result.statistic == 0.0:
+            assert result.p_value == 1.0
 
 
 class TestChi2TwoSample:

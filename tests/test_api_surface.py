@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.errors",
     "repro.evaluation",
     "repro.ml",
+    "repro.obs",
     "repro.parallel",
     "repro.perf",
     "repro.serving",

@@ -225,6 +225,62 @@ class TestParallelArguments:
             ])
 
 
+class TestTraceCommand:
+    def test_train_and_bench_accept_trace_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "train", "--data", "d.npz", "--out", "out",
+            "--trace", "--trace-out", "spans.json",
+        ])
+        assert args.trace is True
+        assert args.trace_out == "spans.json"
+        args = build_parser().parse_args(["bench", "--smoke", "--trace"])
+        assert args.trace is True
+        assert args.trace_out is None
+
+    def test_trace_without_command_is_an_error(self, capsys):
+        assert main(["trace"]) == 2
+        assert "trace needs a command" in capsys.readouterr().err
+
+    def test_trace_cannot_nest(self, capsys):
+        assert main(["trace", "trace", "datasets"]) == 2
+        assert "cannot nest" in capsys.readouterr().err
+
+    def test_trace_wraps_check_and_exports_json(
+        self, artifact_dir, dataset_file, tmp_path, capsys
+    ):
+        from repro.obs import check_well_nested, spans_from_json
+
+        trace_out = tmp_path / "spans.json"
+        code = main([
+            "trace", "--trace-out", str(trace_out),
+            "check", "--artifacts", str(artifact_dir), "--data", str(dataset_file),
+            "--threshold", "0.1",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "trace:" in output
+        assert "predictor.estimate" in output
+        spans = spans_from_json(trace_out.read_text())
+        assert spans
+        assert check_well_nested(spans) == []
+
+    def test_train_trace_flag_prints_span_tree(
+        self, dataset_file, tmp_path, capsys
+    ):
+        code = main([
+            "train", "--data", str(dataset_file), "--model", "lr",
+            "--meta-samples", "10", "--out", str(tmp_path / "deployed"),
+            "--trace",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "trace:" in output
+        assert "corruption.sample" in output
+        assert "predictor.fit" in output
+
+
 class TestBenchCommand:
     def test_bench_defaults(self):
         from repro.cli import build_parser
@@ -247,4 +303,4 @@ class TestBenchCommand:
         assert report["all_identical"] is True
         assert report["quality_parity"] is True
         assert report["profile"] == "smoke"
-        assert len(report["benchmarks"]) == 6
+        assert len(report["benchmarks"]) == 7

@@ -202,3 +202,13 @@ class TestReporting:
             monitor.observe(batch)
         recent = monitor.recent_records(2)
         assert [record.batch_index for record in recent] == [3, 4]
+
+    @pytest.mark.parametrize("n", [0, -1, -10])
+    def test_recent_records_nonpositive_is_empty(self, predictor, income_splits, n):
+        # Regression: records[-0:] aliased the *entire* history, so
+        # recent_records(0) returned everything instead of nothing.
+        monitor = BatchMonitor(predictor)
+        batch = income_splits.serving.head(50)
+        for _ in range(3):
+            monitor.observe(batch)
+        assert monitor.recent_records(n) == []
