@@ -8,6 +8,12 @@
 
 Both follow the paper's protocol of comparing the p-value to 0.05 and
 treating a detected shift as "do not trust the predictions".
+
+Both detectors can also be built directly from a retained reference
+distribution via :meth:`BBSE.from_proba` / :meth:`BBSEh.from_proba` —
+no black box handle needed — which is how the serving layer's degraded
+mode (:mod:`repro.resilience.fallback`) constructs them from the
+validator's retained test-time outputs.
 """
 
 from __future__ import annotations
@@ -20,25 +26,65 @@ from repro.stats.tests import bonferroni, chi2_from_counts, ks_two_sample
 from repro.tabular.frame import DataFrame
 
 
+def _as_proba(proba: np.ndarray, what: str) -> np.ndarray:
+    """Validate a probability matrix: 2-D and non-empty, or fail loudly.
+
+    An empty serving batch used to crash deep inside the test statistics
+    (``np.argmax`` on a zero-length axis); now every baseline rejects it
+    up front with a :class:`~repro.exceptions.DataValidationError`.
+    """
+    arr = np.asarray(proba, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DataValidationError(
+            f"{what} probabilities must be 2-D (rows, classes), got shape {arr.shape}"
+        )
+    if arr.shape[0] == 0:
+        raise DataValidationError(
+            f"{what} probabilities are empty; shift tests need at least one row"
+        )
+    return arr
+
+
 class BBSE:
     """KS tests on the model's class-probability outputs."""
 
     name = "BBSE"
 
-    def __init__(self, blackbox: BlackBoxModel, alpha: float = 0.05):
+    def __init__(self, blackbox: BlackBoxModel | None, alpha: float = 0.05):
         if not 0.0 < alpha < 1.0:
             raise DataValidationError(f"alpha must be in (0, 1), got {alpha}")
         self.blackbox = blackbox
         self.alpha = alpha
 
+    @classmethod
+    def from_proba(cls, test_proba: np.ndarray, alpha: float = 0.05) -> "BBSE":
+        """A fitted detector built from retained test-time outputs.
+
+        No black box handle is attached, so only the ``*_from_proba``
+        entry points work on the result.
+        """
+        detector = cls(blackbox=None, alpha=alpha)
+        detector._test_proba = _as_proba(test_proba, "test")
+        return detector
+
     def fit(self, test_frame: DataFrame) -> "BBSE":
-        self._test_proba = self.blackbox.predict_proba(test_frame)
+        self._require_blackbox()
+        self._test_proba = _as_proba(
+            self.blackbox.predict_proba(test_frame), "test"
+        )
         return self
+
+    def _require_blackbox(self) -> None:
+        if self.blackbox is None:
+            raise DataValidationError(
+                f"{self.name} was built from_proba without a black box; "
+                "use the *_from_proba entry points"
+            )
 
     def shift_detected_from_proba(self, serving_proba: np.ndarray) -> bool:
         if not hasattr(self, "_test_proba"):
             raise NotFittedError("BBSE is not fitted; call fit() first")
-        serving_proba = np.asarray(serving_proba, dtype=np.float64)
+        serving_proba = _as_proba(serving_proba, "serving")
         if serving_proba.shape[1] != self._test_proba.shape[1]:
             raise DataValidationError("class-count mismatch between test and serving outputs")
         p_values = [
@@ -48,6 +94,7 @@ class BBSE:
         return bonferroni(p_values, alpha=self.alpha)
 
     def shift_detected(self, serving_frame: DataFrame) -> bool:
+        self._require_blackbox()
         return self.shift_detected_from_proba(self.blackbox.predict_proba(serving_frame))
 
     def validate(self, serving_frame: DataFrame) -> bool:
@@ -60,16 +107,33 @@ class BBSEh:
 
     name = "BBSE-h"
 
-    def __init__(self, blackbox: BlackBoxModel, alpha: float = 0.05):
+    def __init__(self, blackbox: BlackBoxModel | None, alpha: float = 0.05):
         if not 0.0 < alpha < 1.0:
             raise DataValidationError(f"alpha must be in (0, 1), got {alpha}")
         self.blackbox = blackbox
         self.alpha = alpha
 
+    @classmethod
+    def from_proba(cls, test_proba: np.ndarray, alpha: float = 0.05) -> "BBSEh":
+        """A fitted detector built from retained test-time outputs."""
+        detector = cls(blackbox=None, alpha=alpha)
+        detector._test_counts = detector._class_counts(
+            _as_proba(test_proba, "test")
+        )
+        return detector
+
     def fit(self, test_frame: DataFrame) -> "BBSEh":
-        proba = self.blackbox.predict_proba(test_frame)
+        self._require_blackbox()
+        proba = _as_proba(self.blackbox.predict_proba(test_frame), "test")
         self._test_counts = self._class_counts(proba)
         return self
+
+    def _require_blackbox(self) -> None:
+        if self.blackbox is None:
+            raise DataValidationError(
+                f"{self.name} was built from_proba without a black box; "
+                "use the *_from_proba entry points"
+            )
 
     @staticmethod
     def _class_counts(proba: np.ndarray) -> np.ndarray:
@@ -79,13 +143,14 @@ class BBSEh:
     def shift_detected_from_proba(self, serving_proba: np.ndarray) -> bool:
         if not hasattr(self, "_test_counts"):
             raise NotFittedError("BBSEh is not fitted; call fit() first")
-        serving_counts = self._class_counts(np.asarray(serving_proba, dtype=np.float64))
+        serving_counts = self._class_counts(_as_proba(serving_proba, "serving"))
         if len(serving_counts) != len(self._test_counts):
             raise DataValidationError("class-count mismatch between test and serving outputs")
         result = chi2_from_counts(self._test_counts, serving_counts)
         return result.p_value < self.alpha
 
     def shift_detected(self, serving_frame: DataFrame) -> bool:
+        self._require_blackbox()
         return self.shift_detected_from_proba(self.blackbox.predict_proba(serving_frame))
 
     def validate(self, serving_frame: DataFrame) -> bool:

@@ -42,20 +42,26 @@ class RelationalShiftDetector:
         reference = self._reference
         if serving_frame.schema != reference.schema:
             raise DataValidationError("serving frame schema differs from the fitted schema")
+        if len(serving_frame) == 0:
+            raise DataValidationError(
+                "serving frame is empty; shift tests need at least one row"
+            )
         p_values: list[float] = []
         for name in reference.numeric_columns:
             a = reference[name]
             b = serving_frame[name]
             a = a[~np.isnan(a)]
             b_clean = b[~np.isnan(b)]
+            # Missingness change is detectable by comparing missing rates via
+            # a chi-squared test on (missing, present) counts. Run it even
+            # when one side is fully missing — that is exactly the case where
+            # the missing-rate evidence matters most.
+            p_values.append(self._missingness_p_value(reference[name], b))
             if a.size == 0 or b_clean.size == 0:
                 # A fully-missing column is itself maximal evidence of shift.
                 p_values.append(0.0)
                 continue
             p_values.append(ks_two_sample(a, b_clean).p_value)
-            # Missingness change is detectable by comparing missing rates via
-            # a chi-squared test on (missing, present) counts.
-            p_values.append(self._missingness_p_value(reference[name], b))
         for name in reference.categorical_columns:
             p_values.append(
                 chi2_two_sample(reference[name], serving_frame[name]).p_value

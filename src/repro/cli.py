@@ -356,6 +356,12 @@ def _add_serve_batch_command(subparsers) -> None:
         "--alerts-out", default=None,
         help="also append alert events to this JSONL file",
     )
+    parser.add_argument(
+        "--inject-predictor-fault", type=int, default=None, metavar="N",
+        help="fault-injection harness: make the endpoint's score predictor "
+        "raise on its first N calls (requires the config's resilience "
+        "block to stay available)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.set_defaults(handler=_run_serve_batch)
 
@@ -396,14 +402,33 @@ def _iter_replay_batches(args):
 
 def _run_serve_batch(args) -> int:
     from repro.obs import bridge_spans
-    from repro.serving.config import load_observability_settings
+    from repro.serving.config import (
+        load_observability_settings,
+        load_resilience_settings,
+    )
 
     observability = load_observability_settings(args.config)
+    resilience = load_resilience_settings(args.config)
     registry = registry_from_config(args.config)
+    if args.inject_predictor_fault is not None:
+        from repro.resilience import wrap_method
+
+        endpoint = registry.get(args.endpoint, args.version)
+        wrap_method(
+            endpoint.predictor,
+            "predict_from_proba",
+            fail_on=args.inject_predictor_fault,
+        )
+        print(
+            f"injected: predictor fails on its first "
+            f"{args.inject_predictor_fault} call(s)"
+        )
     sinks = [StdoutSink()]
     if args.alerts_out:
         sinks.append(JsonlFileSink(args.alerts_out))
-    service = ValidationService(registry, events=EventRouter(sinks))
+    service = ValidationService(
+        registry, events=EventRouter(sinks), resilience=resilience
+    )
     tracer = Tracer() if observability.enabled else None
     exit_code = 0
     with use_tracer(tracer) if tracer is not None else nullcontext():

@@ -10,6 +10,7 @@ score on every corrupted copy, and collect them as supervised examples
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -19,7 +20,7 @@ from repro.errors.base import CorruptionReport, ErrorGen
 from repro.errors.mixture import ErrorMixture
 from repro.exceptions import DataValidationError
 from repro.obs import current_tracer
-from repro.parallel import pmap, spawn_seeds
+from repro.parallel import Executor, pmap, spawn_seeds
 from repro.tabular.frame import DataFrame
 
 
@@ -84,6 +85,9 @@ class CorruptionSampler:
         :mod:`repro.parallel`). Episodes receive independent spawned
         RNGs, so the samples are bit-identical for every ``n_jobs`` and
         backend choice.
+    task_retries:
+        Per-episode retry budget for transient worker failures (see
+        :class:`repro.parallel.Executor`).
     """
 
     def __init__(
@@ -96,6 +100,7 @@ class CorruptionSampler:
         fire_prob: float = 0.6,
         n_jobs: int | None = 1,
         backend: str = "auto",
+        task_retries: int = 0,
     ):
         if not error_generators:
             raise DataValidationError("need at least one error generator")
@@ -109,6 +114,7 @@ class CorruptionSampler:
         self.fire_prob = fire_prob
         self.n_jobs = n_jobs
         self.backend = backend
+        self.task_retries = task_retries
 
     def sample(
         self,
@@ -118,6 +124,8 @@ class CorruptionSampler:
         rng: np.random.Generator,
         n_jobs: int | None = None,
         backend: str | None = None,
+        checkpoint: "CheckpointStore | str | Path | None" = None,
+        checkpoint_every: int = 16,
     ) -> list[CorruptionSample]:
         """Generate ``n_samples`` corrupted copies plus optional clean ones.
 
@@ -125,6 +133,17 @@ class CorruptionSampler:
         is consumed from ``rng`` regardless of ``n_samples``), so the
         returned samples do not depend on worker count or backend.
         ``n_jobs`` / ``backend`` override the sampler-level settings.
+
+        With ``checkpoint`` (a :class:`repro.resilience.CheckpointStore`
+        or a path), finished episodes are persisted every
+        ``checkpoint_every`` episodes; re-running the same call after a
+        crash resumes from the last checkpoint and — because episode RNGs
+        are derived from the root draw, never from execution order —
+        produces a meta-dataset bit-identical to an uninterrupted run.
+        The checkpoint is fingerprinted with the sampler configuration
+        and the seed entropy, so a stale or mismatched file fails loudly
+        instead of silently mixing runs. On clean completion the
+        checkpoint file is removed.
         """
         if n_samples < 1:
             raise DataValidationError(f"n_samples must be >= 1, got {n_samples}")
@@ -163,14 +182,82 @@ class CorruptionSampler:
                     )
                 )
             seeds = spawn_seeds(rng, n_samples)
-            with tracer.span("corruption.episodes", corruptions=n_samples):
+            use_jobs = self.n_jobs if n_jobs is None else n_jobs
+            use_backend = self.backend if backend is None else backend
+            if checkpoint is None:
+                with tracer.span("corruption.episodes", corruptions=n_samples):
+                    samples.extend(
+                        pmap(
+                            _run_episode,
+                            episodes,
+                            n_jobs=use_jobs,
+                            seeds=seeds,
+                            backend=use_backend,
+                            task_retries=self.task_retries,
+                        )
+                    )
+            else:
                 samples.extend(
-                    pmap(
-                        _run_episode,
-                        episodes,
-                        n_jobs=self.n_jobs if n_jobs is None else n_jobs,
-                        seeds=seeds,
-                        backend=self.backend if backend is None else backend,
+                    self._sample_checkpointed(
+                        episodes, seeds, checkpoint, checkpoint_every,
+                        n_jobs=use_jobs, backend=use_backend,
                     )
                 )
         return samples
+
+    def _sample_checkpointed(
+        self,
+        episodes: list[_Episode],
+        seeds: list[np.random.SeedSequence],
+        checkpoint: "CheckpointStore | str | Path",
+        checkpoint_every: int,
+        n_jobs: int | None,
+        backend: str,
+    ) -> list[CorruptionSample]:
+        """Run episodes in checkpointed chunks, resuming finished work."""
+        from repro.resilience.checkpoint import CheckpointStore
+
+        if checkpoint_every < 1:
+            raise DataValidationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        store = (
+            checkpoint
+            if isinstance(checkpoint, CheckpointStore)
+            else CheckpointStore(checkpoint)
+        )
+        fingerprint = {
+            "kind": "corruption-sample",
+            "n_samples": len(episodes),
+            "mode": self.mode,
+            "metric": self.metric,
+            "include_clean": self.include_clean,
+            "fire_prob": self.fire_prob,
+            "rows": len(episodes[0].frame),
+            "generators": [type(g).__name__ for g in self.error_generators],
+            "seed_entropy": int(seeds[0].entropy) if seeds else 0,
+        }
+        completed = store.load(fingerprint)
+        pending = [i for i in range(len(episodes)) if i not in completed]
+        executor = Executor(
+            n_jobs=n_jobs, backend=backend, task_retries=self.task_retries
+        )
+        tracer = current_tracer()
+        with tracer.span(
+            "corruption.episodes",
+            corruptions=len(episodes),
+            resumed=len(completed),
+            pending=len(pending),
+        ):
+            for start in range(0, len(pending), checkpoint_every):
+                chunk = pending[start : start + checkpoint_every]
+                chunk_results = executor.map(
+                    _run_episode,
+                    [episodes[i] for i in chunk],
+                    seeds=[seeds[i] for i in chunk],
+                )
+                for index, result in zip(chunk, chunk_results):
+                    completed[index] = result
+                store.save(fingerprint, completed)
+        store.clear()
+        return [completed[i] for i in range(len(episodes))]

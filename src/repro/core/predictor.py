@@ -153,6 +153,9 @@ class PerformancePredictor:
             "predictor.fit", rows=len(test_frame), corruptions=self.n_samples
         ):
             self.test_score_ = self.blackbox.score(test_frame, test_labels, self.metric)
+            # Retain the clean test-time outputs: degraded-mode serving
+            # fits its BBSE/BBSEh fallback detectors against them.
+            self.reference_proba_ = self.blackbox.predict_proba(test_frame)
             if samples is None:
                 sampler = CorruptionSampler(
                     self.blackbox,

@@ -184,6 +184,14 @@ class PerformanceValidator:
             self.model_.fit(features, acceptable)  # type: ignore[attr-defined]
         return self
 
+    @property
+    def reference_proba(self) -> np.ndarray:
+        """The retained test-time probability outputs (for degraded-mode
+        serving, which fits BBSE/BBSEh fallbacks against them)."""
+        if not hasattr(self, "_test_proba"):
+            raise NotFittedError("PerformanceValidator is not fitted; call fit() first")
+        return self._test_proba
+
     def validate(self, serving_frame: DataFrame) -> bool:
         """True when the predictions on the serving batch can be trusted."""
         proba = self.blackbox.predict_proba(serving_frame)

@@ -33,6 +33,36 @@ class ServiceError(ReproError):
     """The (emulated) cloud model service rejected a request."""
 
 
+class ResilienceError(ReproError):
+    """Base class for fault-tolerance failures (retry, timeout, breaker)."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """A retried operation failed on every allowed attempt.
+
+    Carries the attempt count and the final exception so callers (e.g.
+    the event router's dead-letter path) can report both without parsing
+    the message.
+    """
+
+    def __init__(self, message: str, attempts: int, last_error: BaseException):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class DeadlineExceededError(ResilienceError):
+    """An operation ran past (or started after) its deadline."""
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker is open and the call was shed without running."""
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint file is unreadable or belongs to a different run."""
+
+
 class ParallelExecutionError(ReproError):
     """A task submitted to a parallel executor failed.
 

@@ -76,12 +76,22 @@ class IsotonicCalibrator(Estimator):
         if scores.shape != y.shape or scores.size == 0:
             raise DataValidationError("scores and y must be aligned and non-empty")
         order = np.argsort(scores, kind="mergesort")
-        xs = scores[order]
-        ys = y[order]
+        sorted_scores = scores[order]
+        sorted_y = y[order]
+        # Pool tied scores into one weighted block each *before* PAVA:
+        # identical inputs must map to one fitted value (their mean
+        # response), not to whichever tied point searchsorted lands on.
+        xs, tie_starts = np.unique(sorted_scores, return_index=True)
+        tie_bounds = np.append(tie_starts, len(sorted_y))
+        block_value = [
+            float(sorted_y[lo:hi].mean())
+            for lo, hi in zip(tie_bounds[:-1], tie_bounds[1:])
+        ]
+        block_weight = [
+            float(hi - lo) for lo, hi in zip(tie_bounds[:-1], tie_bounds[1:])
+        ]
+        block_end = list(range(len(xs)))
         # PAVA with block merging.
-        block_value = list(ys.astype(float))
-        block_weight = [1.0] * len(ys)
-        block_end = list(range(len(ys)))
         i = 0
         while i < len(block_value) - 1:
             if block_value[i] > block_value[i + 1] + 1e-15:
@@ -97,8 +107,8 @@ class IsotonicCalibrator(Estimator):
                     i -= 1
             else:
                 i += 1
-        # Expand blocks back to per-point fitted values.
-        fitted = np.empty(len(ys))
+        # Expand blocks back to per-unique-score fitted values.
+        fitted = np.empty(len(xs))
         start = 0
         for value, end in zip(block_value, block_end):
             fitted[start : end + 1] = value

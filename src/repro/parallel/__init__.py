@@ -13,6 +13,7 @@ from repro.exceptions import ParallelExecutionError
 from repro.parallel.executor import (
     BACKENDS,
     Executor,
+    QuarantinedTask,
     available_backends,
     pmap,
     resolve_n_jobs,
@@ -23,6 +24,7 @@ __all__ = [
     "BACKENDS",
     "Executor",
     "ParallelExecutionError",
+    "QuarantinedTask",
     "available_backends",
     "pmap",
     "resolve_n_jobs",

@@ -17,6 +17,14 @@ Failure semantics
 * Backend-level failures (a pool that cannot start, unpicklable task
   payloads, a broken worker process) trigger a graceful fallback to the
   serial backend with a warning, unless ``fallback_serial=False``.
+* ``task_retries`` re-runs a failing task in place (same worker, same
+  task RNG re-materialized from its seed) before it counts as failed —
+  transient faults never surface at all.
+* :meth:`Executor.map_quarantine` turns remaining failures into
+  *quarantined* tasks instead of an exception: the result slot is
+  ``None``, and a :class:`QuarantinedTask` records the index, attempts
+  and worker traceback. One poison task no longer kills a thousand-task
+  fan-out.
 
 Process-backend callables must be module-level functions (pickling);
 call sites in :mod:`repro.core.corruption`, :mod:`repro.ml.forest`,
@@ -84,9 +92,12 @@ class _TaskFailure:
     message: str
     traceback_text: str
     exception: BaseException | None = None
+    attempts: int = 1
 
     @classmethod
-    def from_exception(cls, index: int, error: BaseException) -> "_TaskFailure":
+    def from_exception(
+        cls, index: int, error: BaseException, attempts: int = 1
+    ) -> "_TaskFailure":
         return cls(
             index=index,
             error_type=type(error).__name__,
@@ -95,27 +106,59 @@ class _TaskFailure:
                 traceback.format_exception(type(error), error, error.__traceback__)
             ),
             exception=error,
+            attempts=attempts,
+        )
+
+
+@dataclass(frozen=True)
+class QuarantinedTask:
+    """A task that failed every attempt and was skipped, not fatal.
+
+    Returned by :meth:`Executor.map_quarantine`; carries everything an
+    operator needs to reproduce the poison task offline.
+    """
+
+    index: int
+    error_type: str
+    message: str
+    attempts: int
+    traceback_text: str
+
+    def describe(self) -> str:
+        return (
+            f"task {self.index} quarantined after {self.attempts} attempt(s): "
+            f"{self.error_type}: {self.message}"
         )
 
 
 def _run_chunk(
-    fn: Callable[..., Any], tasks: list[tuple[int, Any, Any]]
+    fn: Callable[..., Any],
+    tasks: list[tuple[int, Any, Any]],
+    task_retries: int = 0,
 ) -> list[tuple[int, bool, Any]]:
     """Execute one chunk of (index, item, seed) tasks; never raises.
 
     Module-level so process pools can pickle it. Failures become
     :class:`_TaskFailure` markers the parent turns into a
     :class:`ParallelExecutionError`, keeping worker tracebacks intact.
+    Each task gets ``task_retries`` in-place re-runs; a retried task's
+    RNG is re-materialized from its seed, so a task that succeeds on
+    retry produces the exact result a first-try success would have.
     """
     out: list[tuple[int, bool, Any]] = []
     for index, item, seed in tasks:
-        try:
-            if seed is None:
-                out.append((index, True, fn(item)))
-            else:
-                out.append((index, True, fn(item, rng_from_seed(seed))))
-        except Exception as error:
-            out.append((index, False, _TaskFailure.from_exception(index, error)))
+        for attempt in range(1, task_retries + 2):
+            try:
+                if seed is None:
+                    out.append((index, True, fn(item)))
+                else:
+                    out.append((index, True, fn(item, rng_from_seed(seed))))
+                break
+            except Exception as error:
+                if attempt > task_retries:
+                    out.append(
+                        (index, False, _TaskFailure.from_exception(index, error, attempt))
+                    )
     return out
 
 
@@ -137,6 +180,9 @@ class Executor:
     fallback_serial:
         When True (default), backend-level failures degrade to a serial
         run with a warning instead of raising.
+    task_retries:
+        In-place re-runs of a failing task before it counts as failed
+        (0 = fail on first error, the historical behavior).
     """
 
     def __init__(
@@ -145,6 +191,7 @@ class Executor:
         backend: str = "auto",
         chunk_size: int | None = None,
         fallback_serial: bool = True,
+        task_retries: int = 0,
     ):
         if backend not in BACKENDS + ("auto",):
             raise DataValidationError(
@@ -152,10 +199,13 @@ class Executor:
             )
         if chunk_size is not None and chunk_size < 1:
             raise DataValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if task_retries < 0:
+            raise DataValidationError(f"task_retries must be >= 0, got {task_retries}")
         self.n_jobs = n_jobs
         self.backend = backend
         self.chunk_size = chunk_size
         self.fallback_serial = fallback_serial
+        self.task_retries = task_retries
 
     # ------------------------------------------------------------------ #
 
@@ -186,6 +236,56 @@ class Executor:
         private ``numpy.random.Generator`` as second argument:
         ``fn(item, rng)``. Without seeds, ``fn(item)``.
         """
+        results, failures = self._map_impl(fn, items, seeds)
+        if failures:
+            first = min(failures, key=lambda f: f.index)
+            error = ParallelExecutionError(
+                f"parallel task {first.index} failed "
+                f"(after {first.attempts} attempt(s)) "
+                f"with {first.error_type}: {first.message}\n"
+                f"--- worker traceback ---\n{first.traceback_text}",
+                task_index=first.index,
+                original_type=first.error_type,
+            )
+            if first.exception is not None:
+                raise error from first.exception
+            raise error  # pragma: no cover - exception lost to pickling
+        return results
+
+    def map_quarantine(
+        self,
+        fn: Callable[..., Any],
+        items: Iterable[Any],
+        *,
+        seeds: Sequence[Any] | None = None,
+    ) -> tuple[list[Any], list[QuarantinedTask]]:
+        """Like :meth:`map`, but poison tasks are skipped, not fatal.
+
+        Returns ``(results, quarantined)``: results keep item order with
+        ``None`` in every quarantined slot, and each quarantined entry
+        records the task index, attempt count and worker traceback.
+        Callers that need completeness check ``quarantined`` explicitly
+        — nothing is dropped silently.
+        """
+        results, failures = self._map_impl(fn, items, seeds)
+        quarantined = [
+            QuarantinedTask(
+                index=failure.index,
+                error_type=failure.error_type,
+                message=failure.message,
+                attempts=failure.attempts,
+                traceback_text=failure.traceback_text,
+            )
+            for failure in sorted(failures, key=lambda f: f.index)
+        ]
+        return results, quarantined
+
+    def _map_impl(
+        self,
+        fn: Callable[..., Any],
+        items: Iterable[Any],
+        seeds: Sequence[Any] | None,
+    ) -> tuple[list[Any], list[_TaskFailure]]:
         items = list(items)
         if seeds is not None:
             seeds = list(seeds)
@@ -199,7 +299,7 @@ class Executor:
         ]
         backend = self.resolved_backend(len(items))
         if backend == "serial":
-            return self._collect(_run_chunk(fn, tasks), len(items), "serial")
+            return self._collect(_run_chunk(fn, tasks, self.task_retries), len(items))
         n_jobs = min(resolve_n_jobs(self.n_jobs), max(1, len(items)))
         try:
             results = self._run_pool(fn, tasks, backend, n_jobs)
@@ -215,9 +315,8 @@ class Executor:
                 RuntimeWarning,
                 stacklevel=2,
             )
-            results = _run_chunk(fn, tasks)
-            backend = "serial"
-        return self._collect(results, len(items), backend)
+            results = _run_chunk(fn, tasks, self.task_retries)
+        return self._collect(results, len(items))
 
     # ------------------------------------------------------------------ #
 
@@ -238,15 +337,18 @@ class Executor:
         pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
         results: list[tuple[int, bool, Any]] = []
         with pool_cls(max_workers=n_jobs) as pool:
-            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+            futures = [
+                pool.submit(_run_chunk, fn, chunk, self.task_retries)
+                for chunk in chunks
+            ]
             for future in futures:
                 results.extend(future.result())
         return results
 
     @staticmethod
     def _collect(
-        results: list[tuple[int, bool, Any]], n_items: int, backend: str
-    ) -> list[Any]:
+        results: list[tuple[int, bool, Any]], n_items: int
+    ) -> tuple[list[Any], list[_TaskFailure]]:
         ordered: list[Any] = [None] * n_items
         failures: list[_TaskFailure] = []
         for index, ok, payload in results:
@@ -254,19 +356,7 @@ class Executor:
                 ordered[index] = payload
             else:
                 failures.append(payload)
-        if failures:
-            first = min(failures, key=lambda f: f.index)
-            error = ParallelExecutionError(
-                f"parallel task {first.index} failed on the {backend} backend "
-                f"with {first.error_type}: {first.message}\n"
-                f"--- worker traceback ---\n{first.traceback_text}",
-                task_index=first.index,
-                original_type=first.error_type,
-            )
-            if first.exception is not None:
-                raise error from first.exception
-            raise error  # pragma: no cover - exception lost to pickling
-        return ordered
+        return ordered, failures
 
     def __repr__(self) -> str:
         return (
@@ -282,7 +372,11 @@ def pmap(
     seeds: Sequence[Any] | None = None,
     backend: str = "auto",
     chunk_size: int | None = None,
+    task_retries: int = 0,
 ) -> list[Any]:
     """One-shot deterministic parallel map (see :class:`Executor`)."""
-    executor = Executor(n_jobs=n_jobs, backend=backend, chunk_size=chunk_size)
+    executor = Executor(
+        n_jobs=n_jobs, backend=backend, chunk_size=chunk_size,
+        task_retries=task_retries,
+    )
     return executor.map(fn, items, seeds=seeds)

@@ -33,6 +33,22 @@ from repro.tabular.schema import ColumnSpec, ColumnType, Schema
 _FORMAT_VERSION = 1
 
 
+def normalize_npz_path(path: str | Path) -> Path:
+    """The path an npz artifact actually lives at.
+
+    ``np.savez_compressed`` silently appends ``.npz`` to paths missing
+    that suffix, so ``save_model("artifact.bin")`` used to write
+    ``artifact.bin.npz`` while ``load_model("artifact.bin")`` raised
+    ``FileNotFoundError``. Every save/load in this module (and the
+    resilience checkpoint store) normalizes through this one helper so
+    both sides agree on the suffixed path.
+    """
+    resolved = Path(path)
+    if resolved.suffix != ".npz":
+        resolved = resolved.with_name(resolved.name + ".npz")
+    return resolved
+
+
 def _encode_object_column(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Split an object column into (utf-8 strings, missing mask)."""
     missing = np.array([v is None for v in values], dtype=bool)
@@ -88,12 +104,12 @@ def save_frame(frame: DataFrame, path: str | Path) -> None:
     """Write a dataframe to one ``.npz`` file."""
     arrays = frame_to_arrays(frame)
     arrays["format_version"] = np.array(_FORMAT_VERSION)
-    np.savez_compressed(Path(path), **arrays)
+    np.savez_compressed(normalize_npz_path(path), **arrays)
 
 
 def load_frame(path: str | Path) -> DataFrame:
     """Read a dataframe written by :func:`save_frame`."""
-    with np.load(Path(path), allow_pickle=False) as arrays:
+    with np.load(normalize_npz_path(path), allow_pickle=False) as arrays:
         return frame_from_arrays(arrays)
 
 
@@ -115,12 +131,12 @@ def save_dataset(dataset: Dataset, path: str | Path) -> None:
         )
     )
     arrays["format_version"] = np.array(_FORMAT_VERSION)
-    np.savez_compressed(Path(path), **arrays)
+    np.savez_compressed(normalize_npz_path(path), **arrays)
 
 
 def load_dataset_file(path: str | Path) -> Dataset:
     """Read a dataset written by :func:`save_dataset`."""
-    with np.load(Path(path), allow_pickle=False) as arrays:
+    with np.load(normalize_npz_path(path), allow_pickle=False) as arrays:
         frame = frame_from_arrays(arrays)
         labels = np.array([str(v) for v in arrays["labels"]], dtype=object)
         meta = json.loads(str(arrays["meta"]))
@@ -146,7 +162,7 @@ def save_model(model: object, path: str | Path) -> None:
     blob = np.frombuffer(buffer.getvalue(), dtype=np.uint8)
     class_path = f"{type(model).__module__}.{type(model).__qualname__}"
     np.savez_compressed(
-        Path(path),
+        normalize_npz_path(path),
         format_version=np.array(_FORMAT_VERSION),
         class_path=np.array(class_path),
         pickle=blob,
@@ -160,7 +176,7 @@ def artifact_class_path(path: str | Path) -> str:
     cheap enough for listing many artifacts (e.g. ``repro endpoints``)
     and safe to call on untrusted files.
     """
-    with np.load(Path(path), allow_pickle=False) as arrays:
+    with np.load(normalize_npz_path(path), allow_pickle=False) as arrays:
         if "class_path" not in arrays:
             raise DataValidationError(f"{path} is not a model artifact")
         return str(arrays["class_path"])
@@ -172,7 +188,7 @@ def load_model(path: str | Path, expected_class: type | None = None) -> object:
     ``expected_class`` guards against loading the wrong artifact kind
     (e.g. handing a validator file to code expecting a predictor).
     """
-    with np.load(Path(path), allow_pickle=False) as arrays:
+    with np.load(normalize_npz_path(path), allow_pickle=False) as arrays:
         blob = bytes(arrays["pickle"].tobytes())
         class_path = str(arrays["class_path"])
     model = pickle.loads(blob)

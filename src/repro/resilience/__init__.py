@@ -1,0 +1,72 @@
+"""Fault tolerance for the validation pipeline and serving layer.
+
+Three layers, bottom to top:
+
+* :mod:`repro.resilience.policy` — :class:`RetryPolicy` (bounded
+  attempts, exponential backoff, deterministic jitter),
+  :class:`Deadline` / :class:`Timeout` (cooperative deadline-checked
+  execution) and :class:`CircuitBreaker` (closed/open/half-open over a
+  sliding failure window);
+* :mod:`repro.resilience.checkpoint` — fingerprinted, atomically
+  written npz checkpoints so meta-dataset generation resumes after a
+  crash without redoing finished work;
+* :mod:`repro.resilience.fallback` — degraded-mode serving: a
+  per-endpoint chain from full predictor scoring down through the
+  BBSE/BBSEh baselines to a static expected-score answer, guarded by
+  retry, deadline and breaker.
+
+:mod:`repro.resilience.faults` is the companion test harness: scheduled,
+deterministic exception/delay injection plus a fake clock, used by the
+test suite and the CI resilience smoke job.
+
+Everything is zero-dependency and takes injectable ``clock`` / ``sleep``
+callables, so every failure scenario replays deterministically.
+"""
+
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.fallback import (
+    FALLBACK_KINDS,
+    ResilientScorer,
+    ScoreOutcome,
+    baseline_fallback,
+    build_fallback_chain,
+    static_fallback,
+)
+from repro.resilience.faults import (
+    ALL_CALLS,
+    FakeClock,
+    FaultyCallable,
+    InjectedFault,
+    WorkerCrash,
+    failing,
+    wrap_method,
+)
+from repro.resilience.policy import (
+    BREAKER_STATES,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    Timeout,
+)
+
+__all__ = [
+    "ALL_CALLS",
+    "BREAKER_STATES",
+    "FALLBACK_KINDS",
+    "CheckpointStore",
+    "CircuitBreaker",
+    "Deadline",
+    "FakeClock",
+    "FaultyCallable",
+    "InjectedFault",
+    "ResilientScorer",
+    "RetryPolicy",
+    "ScoreOutcome",
+    "Timeout",
+    "WorkerCrash",
+    "baseline_fallback",
+    "build_fallback_chain",
+    "failing",
+    "static_fallback",
+    "wrap_method",
+]

@@ -1,0 +1,120 @@
+"""Periodic npz checkpoints for long-running task fan-outs.
+
+Meta-dataset generation corrupts and scores hundreds of copies of the
+held-out data; a worker crash near the end used to throw all of that
+work away. A :class:`CheckpointStore` persists completed task results —
+keyed by task index — after every chunk, so a restarted run loads the
+finished indices and only executes the remainder.
+
+Correctness guarantees:
+
+* **Fingerprinted.** Every checkpoint embeds a caller-supplied
+  fingerprint (sampler configuration, row count, root seed). Loading
+  with a different fingerprint raises
+  :class:`~repro.exceptions.CheckpointError` instead of silently mixing
+  two runs' samples.
+* **Atomic.** Saves write to a temp file in the same directory and
+  ``os.replace`` it over the target, so a crash *during* checkpointing
+  leaves the previous complete checkpoint, never a torn file.
+* **Bit-identical resume.** The store holds results by task index;
+  because task seeds are spawned deterministically from the root seed
+  (see :mod:`repro.parallel.seeding`), a resumed run's output is
+  byte-for-byte the output of an uninterrupted run.
+
+Results are arbitrary Python objects, pickled per index into the npz
+container — the same container format the rest of the persistence layer
+uses, sharing its path-suffix normalization.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import CheckpointError, DataValidationError
+from repro.persistence import normalize_npz_path
+
+_CHECKPOINT_VERSION = 1
+
+
+def _canonical_fingerprint(fingerprint: dict) -> str:
+    try:
+        return json.dumps(fingerprint, sort_keys=True)
+    except TypeError as error:
+        raise DataValidationError(
+            f"checkpoint fingerprint must be JSON-serializable: {error}"
+        ) from error
+
+
+class CheckpointStore:
+    """One npz file holding completed task results keyed by index."""
+
+    def __init__(self, path: str | Path):
+        self.path = normalize_npz_path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self, fingerprint: dict) -> dict[int, Any]:
+        """Completed results from disk, or ``{}`` when no checkpoint exists.
+
+        Raises :class:`~repro.exceptions.CheckpointError` when the file
+        is unreadable or was written by a run with a different
+        fingerprint — resuming across configurations would silently
+        corrupt the meta-dataset.
+        """
+        if not self.path.exists():
+            return {}
+        expected = _canonical_fingerprint(fingerprint)
+        try:
+            with np.load(self.path, allow_pickle=False) as arrays:
+                if int(arrays["checkpoint_version"]) != _CHECKPOINT_VERSION:
+                    raise CheckpointError(
+                        f"{self.path}: unsupported checkpoint version "
+                        f"{int(arrays['checkpoint_version'])}"
+                    )
+                stored = str(arrays["fingerprint"])
+                if stored != expected:
+                    raise CheckpointError(
+                        f"{self.path} belongs to a different run: "
+                        f"stored fingerprint {stored} != expected {expected}"
+                    )
+                indices = [int(i) for i in arrays["indices"]]
+                return {
+                    index: pickle.loads(bytes(arrays[f"result.{index}"].tobytes()))
+                    for index in indices
+                }
+        except CheckpointError:
+            raise
+        except Exception as error:
+            raise CheckpointError(
+                f"{self.path} is not a readable checkpoint: "
+                f"{type(error).__name__}: {error}"
+            ) from error
+
+    def save(self, fingerprint: dict, results: dict[int, Any]) -> None:
+        """Atomically persist ``results`` (the complete set so far)."""
+        if not results:
+            raise DataValidationError("refusing to write an empty checkpoint")
+        arrays: dict[str, np.ndarray] = {
+            "checkpoint_version": np.array(_CHECKPOINT_VERSION),
+            "fingerprint": np.array(_canonical_fingerprint(fingerprint)),
+            "indices": np.array(sorted(results), dtype=np.int64),
+        }
+        for index, result in results.items():
+            blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            arrays[f"result.{int(index)}"] = np.frombuffer(blob, dtype=np.uint8)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp_path = self.path.with_name(self.path.name + ".tmp.npz")
+        np.savez_compressed(tmp_path, **arrays)
+        os.replace(tmp_path, self.path)
+
+    def clear(self) -> None:
+        """Delete the checkpoint (call after the run completes cleanly)."""
+        if self.path.exists():
+            self.path.unlink()

@@ -1,0 +1,277 @@
+"""Degraded-mode scoring: a per-endpoint fallback chain.
+
+The serving layer's primary scoring path (performance predictor +
+optional validator) can fail: a corrupt artifact, a scoring exception, a
+deadline blown on an overloaded host. Degraded-mode serving answers the
+batch anyway, from the best source still standing:
+
+1. **primary** — full scoring, guarded by retry, a deadline and a
+   circuit breaker;
+2. **baseline** — the BBSE / BBSEh shift detectors from
+   :mod:`repro.baselines`, fitted against the retained test-time outputs:
+   the response carries the held-out expected score as the estimate and
+   the baseline's trust decision, flagged ``degraded=True``;
+3. **static** — the expected score alone, with no trust decision; never
+   fails.
+
+The :class:`ResilientScorer` composes the three with the primitives from
+:mod:`repro.resilience.policy` and reports retry / failure / fallback
+events through a single ``on_event`` hook, which the serving layer binds
+to its metrics registry and tracer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import (
+    DataValidationError,
+    ResilienceError,
+    RetryExhaustedError,
+)
+from repro.resilience.policy import CircuitBreaker, Deadline, RetryPolicy
+
+FALLBACK_KINDS = ("bbseh", "bbse", "static", "none")
+
+
+@dataclass(frozen=True)
+class ScoreOutcome:
+    """What a scoring layer decided about one batch.
+
+    ``degraded`` is False only on the primary path; ``fallback`` names
+    the layer that answered (``None`` for primary). ``failures`` carries
+    human-readable summaries of every layer that failed before the
+    answering one — surfaced in spans so an on-call can see *why* a
+    response degraded.
+    """
+
+    estimate: float
+    interval: tuple[float, float, float] | None = None
+    trusted: bool | None = None
+    degraded: bool = False
+    fallback: str | None = None
+    failures: tuple[str, ...] = ()
+
+
+#: A scoring layer: serving frame in, outcome out (may raise).
+ScoreFn = Callable[..., ScoreOutcome]
+
+
+class ResilientScorer:
+    """Runs a primary scorer with retry / deadline / breaker, then falls
+    back down a chain of degraded scorers.
+
+    Parameters
+    ----------
+    primary:
+        ``primary(frame, deadline)`` → :class:`ScoreOutcome`. The
+        deadline is cooperative: multi-stage scorers should
+        ``deadline.check()`` between stages.
+    fallbacks:
+        Ordered ``(name, fn)`` layers tried after the primary path is
+        exhausted. An empty list re-raises the primary failure (resilience
+        without degradation: retry and breaker only).
+    retry:
+        Optional :class:`RetryPolicy` for the primary path.
+    breaker:
+        Optional :class:`CircuitBreaker`; while open, the primary path is
+        skipped entirely and load is shed straight to the fallbacks.
+    timeout_seconds:
+        Deadline per primary attempt (``None`` = no deadline).
+    on_event:
+        ``on_event(kind, **info)`` with kinds ``retry``,
+        ``primary_failure`` (``reason`` of ``exception`` / ``timeout`` /
+        ``breaker_open``), ``fallback`` and ``fallback_failure``.
+    """
+
+    def __init__(
+        self,
+        primary: ScoreFn,
+        fallbacks: Sequence[tuple[str, ScoreFn]] = (),
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        timeout_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        on_event: Callable[..., None] | None = None,
+    ):
+        if timeout_seconds is not None and timeout_seconds <= 0:
+            raise DataValidationError(
+                f"timeout_seconds must be > 0, got {timeout_seconds}"
+            )
+        self._primary = primary
+        self._fallbacks = list(fallbacks)
+        self._retry = retry
+        self._breaker = breaker
+        self._timeout_seconds = timeout_seconds
+        self._clock = clock
+        self._on_event = on_event
+
+    def _emit(self, kind: str, **info) -> None:
+        if self._on_event is not None:
+            self._on_event(kind, **info)
+
+    def _attempt_primary(self, frame) -> ScoreOutcome:
+        """One primary attempt, recorded into the breaker."""
+        deadline = Deadline(self._timeout_seconds, clock=self._clock)
+        try:
+            outcome = self._primary(frame, deadline)
+            deadline.check("primary scoring")
+        except Exception:
+            if self._breaker is not None:
+                self._breaker.record_failure()
+            raise
+        if self._breaker is not None:
+            self._breaker.record_success()
+        return outcome
+
+    def score(self, frame) -> ScoreOutcome:
+        failures: list[str] = []
+        if self._breaker is not None and not self._breaker.allow():
+            failures.append("primary: circuit open, load shed to fallback")
+            self._emit("primary_failure", reason="breaker_open")
+        else:
+            try:
+                if self._retry is not None:
+                    outcome = self._retry.call(
+                        self._attempt_primary,
+                        frame,
+                        on_retry=lambda attempt, error: self._emit(
+                            "retry", attempt=attempt, error=error
+                        ),
+                    )
+                else:
+                    outcome = self._attempt_primary(frame)
+                return replace(outcome, failures=tuple(failures))
+            except RetryExhaustedError as error:
+                cause: BaseException = error.last_error
+                reason = _failure_reason(cause)
+                failures.append(
+                    f"primary ({error.attempts} attempts): "
+                    f"{type(cause).__name__}: {cause}"
+                )
+                self._emit("primary_failure", reason=reason)
+            except Exception as error:
+                failures.append(f"primary: {type(error).__name__}: {error}")
+                self._emit("primary_failure", reason=_failure_reason(error))
+                if not self._fallbacks:
+                    raise
+
+        for name, fallback_fn in self._fallbacks:
+            try:
+                outcome = fallback_fn(frame)
+            except Exception as error:
+                failures.append(f"{name}: {type(error).__name__}: {error}")
+                self._emit("fallback_failure", name=name)
+                continue
+            self._emit("fallback", name=name)
+            return replace(
+                outcome, degraded=True, fallback=name, failures=tuple(failures)
+            )
+        raise ResilienceError(
+            "every scoring layer failed: " + "; ".join(failures)
+        )
+
+
+def _failure_reason(error: BaseException) -> str:
+    from repro.exceptions import DeadlineExceededError
+
+    return "timeout" if isinstance(error, DeadlineExceededError) else "exception"
+
+
+# ---------------------------------------------------------------------- #
+# Fallback layer factories
+# ---------------------------------------------------------------------- #
+
+
+def baseline_fallback(
+    kind: str,
+    reference_proba: np.ndarray,
+    predict_proba: Callable[..., np.ndarray],
+    expected_score: float,
+    alpha: float = 0.05,
+) -> ScoreFn:
+    """A degraded scorer backed by a BBSE / BBSEh shift detector.
+
+    The baseline cannot *estimate* the score, so the outcome reports the
+    held-out expected score; what it contributes is the trust decision —
+    "did the model's output distribution shift?" — computed against the
+    retained test-time outputs.
+    """
+    from repro.baselines import BBSE, BBSEh
+
+    if kind == "bbse":
+        detector = BBSE.from_proba(reference_proba, alpha=alpha)
+    elif kind == "bbseh":
+        detector = BBSEh.from_proba(reference_proba, alpha=alpha)
+    else:
+        raise DataValidationError(f"unknown baseline fallback {kind!r}")
+
+    def score_with_baseline(frame) -> ScoreOutcome:
+        proba = predict_proba(frame)
+        shifted = detector.shift_detected_from_proba(proba)
+        return ScoreOutcome(
+            estimate=float(expected_score),
+            interval=None,
+            trusted=not shifted,
+            degraded=True,
+        )
+
+    score_with_baseline.__name__ = f"{kind}_fallback"
+    return score_with_baseline
+
+
+def static_fallback(expected_score: float) -> ScoreFn:
+    """The last line: answer with the held-out expectation, trust unknown."""
+
+    def score_static(_frame) -> ScoreOutcome:
+        return ScoreOutcome(
+            estimate=float(expected_score),
+            interval=None,
+            trusted=None,
+            degraded=True,
+        )
+
+    return score_static
+
+
+def build_fallback_chain(
+    kind: str,
+    expected_score: float,
+    predict_proba: Callable[..., np.ndarray] | None = None,
+    reference_proba: np.ndarray | None = None,
+    alpha: float = 0.05,
+) -> list[tuple[str, ScoreFn]]:
+    """The fallback layers for one endpoint.
+
+    ``kind`` is the configured preference: ``"bbseh"`` / ``"bbse"`` put
+    that baseline first (when a retained reference distribution is
+    available) with the static layer beneath it; ``"static"`` skips the
+    baseline; ``"none"`` disables degradation entirely (failures
+    propagate once retry and breaker are exhausted).
+    """
+    if kind not in FALLBACK_KINDS:
+        raise DataValidationError(
+            f"unknown fallback kind {kind!r}; use one of {FALLBACK_KINDS}"
+        )
+    if kind == "none":
+        return []
+    layers: list[tuple[str, ScoreFn]] = []
+    if (
+        kind in ("bbse", "bbseh")
+        and reference_proba is not None
+        and predict_proba is not None
+    ):
+        layers.append(
+            (
+                kind,
+                baseline_fallback(
+                    kind, reference_proba, predict_proba, expected_score, alpha=alpha
+                ),
+            )
+        )
+    layers.append(("static", static_fallback(expected_score)))
+    return layers

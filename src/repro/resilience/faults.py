@@ -1,0 +1,166 @@
+"""Deterministic fault injection for the resilience test suite.
+
+Chaos testing without the chaos: faults fire on *scheduled call
+indices*, never at random, so every test (and the CI smoke job) observes
+the exact same failure sequence on every run.
+
+* :class:`FakeClock` — a manually advanced monotonic clock whose
+  ``sleep`` advances time instead of blocking; doubles as the injectable
+  ``clock`` and ``sleep`` for :mod:`repro.resilience.policy`, so breaker
+  cooldowns and retry backoffs elapse instantly under test.
+* :class:`FaultyCallable` — wraps any callable and raises, delays, or
+  "crashes" on chosen 0-based call indices while counting every call.
+* :func:`failing` / :func:`wrap_method` — conveniences for the common
+  cases (fail the first N calls; patch a fault onto a live object, as
+  the ``repro serve-batch --inject-predictor-fault`` flag does).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import DataValidationError
+
+#: Sentinel accepted by ``fail_on`` / ``delay_on``: fire on every call.
+ALL_CALLS = "all"
+
+
+class FakeClock:
+    """Manual monotonic time for deterministic resilience tests."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise DataValidationError(f"cannot advance time by {seconds}")
+        self.now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """Record the request and jump time forward instead of blocking."""
+        self.sleeps.append(float(seconds))
+        self.advance(max(0.0, seconds))
+
+
+class InjectedFault(RuntimeError):
+    """The exception :class:`FaultyCallable` raises by default.
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: injected
+    faults simulate arbitrary third-party failures (a scoring library
+    bug, a dead dependency), which is exactly what the resilience layer
+    must survive without special-casing.
+    """
+
+
+class WorkerCrash(BaseException):
+    """Simulates a worker dying mid-task (not a catchable ``Exception``).
+
+    Inherits :class:`BaseException` so ordinary ``except Exception``
+    recovery paths — including task-level retry — do *not* swallow it,
+    mirroring a process that segfaults instead of raising.
+    """
+
+
+def _normalize_schedule(schedule) -> set[int] | str:
+    if schedule is None:
+        return set()
+    if schedule == ALL_CALLS:
+        return ALL_CALLS
+    if isinstance(schedule, int):
+        # ``fail_on=3`` means "the first 3 calls", the overwhelmingly
+        # common case in tests and the CLI flag.
+        if schedule < 0:
+            raise DataValidationError(f"fault count must be >= 0, got {schedule}")
+        return set(range(schedule))
+    return {int(i) for i in schedule}
+
+
+def _scheduled(schedule: set[int] | str, call_index: int) -> bool:
+    return schedule == ALL_CALLS or call_index in schedule
+
+
+class FaultyCallable:
+    """A callable that fails or delays on scheduled call indices.
+
+    Parameters
+    ----------
+    fn:
+        The wrapped callable; runs normally on unscheduled calls.
+    fail_on:
+        ``int`` (fail the first N calls), an iterable of 0-based call
+        indices, or :data:`ALL_CALLS`.
+    error:
+        Exception *factory* (or instance) raised on scheduled failures.
+        A fresh exception per call keeps tracebacks independent.
+    delay_on / delay_seconds / sleep:
+        Scheduled slow calls: before running ``fn``, ``sleep`` is called
+        with ``delay_seconds`` — pair with a :class:`FakeClock` to expire
+        deadlines without real waiting.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[..., object],
+        fail_on=None,
+        error: Callable[[], BaseException] | BaseException | None = None,
+        delay_on=None,
+        delay_seconds: float = 0.0,
+        sleep: Callable[[float], None] | None = None,
+    ):
+        self._fn = fn
+        self._fail_on = _normalize_schedule(fail_on)
+        self._delay_on = _normalize_schedule(delay_on)
+        if self._delay_on and sleep is None:
+            raise DataValidationError("delay_on requires an injectable sleep")
+        self._error = error
+        self._delay_seconds = delay_seconds
+        self._sleep = sleep
+        self.calls = 0
+        self.faults_raised = 0
+        self.__name__ = getattr(fn, "__name__", "faulty")
+
+    def _make_error(self, call_index: int) -> BaseException:
+        if self._error is None:
+            return InjectedFault(f"injected fault on call {call_index}")
+        if isinstance(self._error, BaseException):
+            return self._error
+        return self._error()
+
+    def __call__(self, *args, **kwargs):
+        call_index = self.calls
+        self.calls += 1
+        if _scheduled(self._delay_on, call_index):
+            self._sleep(self._delay_seconds)
+        if _scheduled(self._fail_on, call_index):
+            self.faults_raised += 1
+            raise self._make_error(call_index)
+        return self._fn(*args, **kwargs)
+
+
+def failing(
+    fn: Callable[..., object],
+    times: int,
+    error: Callable[[], BaseException] | BaseException | None = None,
+) -> FaultyCallable:
+    """Wrap ``fn`` to fail its first ``times`` calls (all calls if < 0)."""
+    return FaultyCallable(fn, fail_on=ALL_CALLS if times < 0 else times, error=error)
+
+
+def wrap_method(obj: object, method_name: str, **fault_kwargs) -> FaultyCallable:
+    """Patch a fault onto a live object's bound method, in place.
+
+    Returns the :class:`FaultyCallable` so callers can assert on call
+    and fault counts. Used by ``repro serve-batch
+    --inject-predictor-fault`` to break an endpoint's predictor without
+    touching its artifacts.
+    """
+    original = getattr(obj, method_name)
+    if not callable(original):
+        raise DataValidationError(f"{method_name!r} on {type(obj).__name__} is not callable")
+    faulty = FaultyCallable(original, **fault_kwargs)
+    setattr(obj, method_name, faulty)
+    return faulty

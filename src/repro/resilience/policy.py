@@ -1,0 +1,373 @@
+"""Fault-tolerance primitives: retry, deadline and circuit breaker.
+
+The paper deploys the performance predictor "along with the original
+model" to guard serving traffic — which only works if the serving loop
+survives the failures it is meant to detect. These primitives are the
+building blocks the rest of :mod:`repro.resilience` (and the serving
+layer) composes:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  *deterministic* jitter (a seeded RNG, so retry schedules replay
+  bit-identically in tests),
+* :class:`Deadline` / :class:`Timeout` — cooperative deadline-checked
+  execution (pure Python cannot preempt a running call, so work is
+  checked against the deadline at stage boundaries),
+* :class:`CircuitBreaker` — the classic closed/open/half-open state
+  machine over a sliding outcome window, thread-safe, with an injectable
+  clock so cooldowns elapse instantly under test.
+
+Everything takes injectable ``sleep`` / ``clock`` callables; nothing in
+this module ever blocks or reads wall time unless the defaults are used.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.exceptions import (
+    CircuitOpenError,
+    DataValidationError,
+    DeadlineExceededError,
+    RetryExhaustedError,
+)
+
+BREAKER_STATES = ("closed", "open", "half_open")
+
+
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    Parameters
+    ----------
+    max_retries:
+        Re-attempts *after* the first try (3 means up to 4 total calls).
+    backoff:
+        Base delay in seconds; retry ``k`` (1-based) sleeps
+        ``backoff * multiplier**(k-1)``, capped at ``max_backoff``.
+    multiplier:
+        Backoff growth factor per retry.
+    max_backoff:
+        Upper bound on a single sleep (``None`` = unbounded).
+    jitter:
+        Fractional jitter in ``[0, 1]``: each delay is scaled by a factor
+        drawn uniformly from ``[1 - jitter, 1 + jitter]`` using a seeded
+        RNG, so the schedule is deterministic per policy instance while
+        still de-synchronizing concurrent retriers.
+    retry_on:
+        Exception classes that trigger a retry; anything else propagates
+        immediately.
+    sleep / seed:
+        Injectable sleep and jitter seed for tests.
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 3,
+        backoff: float = 0.05,
+        multiplier: float = 2.0,
+        max_backoff: float | None = None,
+        jitter: float = 0.0,
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        sleep: Callable[[float], None] = time.sleep,
+        seed: int = 0,
+    ):
+        if max_retries < 0:
+            raise DataValidationError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff < 0:
+            raise DataValidationError(f"backoff must be >= 0, got {backoff}")
+        if multiplier < 1.0:
+            raise DataValidationError(f"multiplier must be >= 1, got {multiplier}")
+        if max_backoff is not None and max_backoff < 0:
+            raise DataValidationError(f"max_backoff must be >= 0, got {max_backoff}")
+        if not 0.0 <= jitter <= 1.0:
+            raise DataValidationError(f"jitter must be in [0, 1], got {jitter}")
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.multiplier = multiplier
+        self.max_backoff = max_backoff
+        self.jitter = jitter
+        self.retry_on = tuple(retry_on)
+        self._sleep = sleep
+        self._rng = np.random.default_rng(seed)
+
+    def delay(self, retry_number: int) -> float:
+        """The (jittered) sleep before 1-based retry ``retry_number``.
+
+        Consumes one RNG draw when jitter is enabled, so calling it out
+        of band perturbs the schedule — use :meth:`call` or
+        :meth:`attempts` in real code.
+        """
+        if retry_number < 1:
+            raise DataValidationError(f"retry_number must be >= 1, got {retry_number}")
+        delay = self.backoff * (self.multiplier ** (retry_number - 1))
+        if self.max_backoff is not None:
+            delay = min(delay, self.max_backoff)
+        if self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * float(self._rng.uniform(-1.0, 1.0))
+        return delay
+
+    def attempts(self) -> Iterator[int]:
+        """Yield 1-based attempt numbers, sleeping between them.
+
+        ``for attempt in policy.attempts(): ...`` runs the body up to
+        ``max_retries + 1`` times; break on success. The sleep for retry
+        ``k`` happens *before* attempt ``k + 1`` is yielded.
+        """
+        for attempt in range(1, self.max_retries + 2):
+            if attempt > 1:
+                delay = self.delay(attempt - 1)
+                if delay > 0:
+                    self._sleep(delay)
+            yield attempt
+
+    def call(
+        self,
+        fn: Callable[..., object],
+        *args,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+        **kwargs,
+    ):
+        """Run ``fn`` under this policy, returning its result.
+
+        Raises :class:`~repro.exceptions.RetryExhaustedError` (carrying
+        the attempt count and final exception) once the budget is spent.
+        ``on_retry(attempt, error)`` fires after each failed attempt that
+        will be retried — the hook the serving layer uses for counters.
+        """
+        attempts = 0
+        for attempt in self.attempts():
+            attempts = attempt
+            try:
+                return fn(*args, **kwargs)
+            except self.retry_on as error:
+                last_error = error
+                if attempt <= self.max_retries and on_retry is not None:
+                    on_retry(attempt, error)
+        raise RetryExhaustedError(
+            f"{getattr(fn, '__name__', fn)!r} failed on all {attempts} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}",
+            attempts=attempts,
+            last_error=last_error,
+        ) from last_error
+
+
+class Deadline:
+    """A point in time an operation must not run past.
+
+    Cooperative: code holding a deadline calls :meth:`check` at stage
+    boundaries (Python cannot interrupt a running call). ``seconds`` of
+    ``None`` means no deadline — every check passes.
+    """
+
+    def __init__(
+        self,
+        seconds: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if seconds is not None and seconds <= 0:
+            raise DataValidationError(f"deadline seconds must be > 0, got {seconds}")
+        self.seconds = seconds
+        self._clock = clock
+        self._expires = None if seconds is None else clock() + seconds
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` without a deadline, can go negative)."""
+        if self._expires is None:
+            return float("inf")
+        return self._expires - self._clock()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`~repro.exceptions.DeadlineExceededError` if expired."""
+        if self.expired():
+            raise DeadlineExceededError(
+                f"{what} exceeded its {self.seconds}s deadline"
+            )
+
+
+class Timeout:
+    """Deadline-checked execution of a callable.
+
+    ``run`` starts a fresh :class:`Deadline`, invokes the callable
+    (passing the deadline as a keyword when the callable accepts one, so
+    multi-stage work can self-check mid-flight), and raises
+    :class:`~repro.exceptions.DeadlineExceededError` if the call finished
+    past the deadline — the result of an overdue call is discarded, never
+    returned.
+    """
+
+    def __init__(
+        self,
+        seconds: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if seconds is not None and seconds <= 0:
+            raise DataValidationError(f"timeout seconds must be > 0, got {seconds}")
+        self.seconds = seconds
+        self._clock = clock
+
+    def run(self, fn: Callable[..., object], *args, **kwargs):
+        deadline = Deadline(self.seconds, clock=self._clock)
+        result = fn(*args, **kwargs)
+        deadline.check(what=f"{getattr(fn, '__name__', fn)!r}")
+        return result
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker over a sliding outcome window.
+
+    * **closed** — calls flow; outcomes land in a window of the last
+      ``window`` calls. When the window holds ``failure_threshold`` or
+      more failures, the breaker opens.
+    * **open** — calls are shed (:meth:`allow` returns False,
+      :meth:`call` raises :class:`~repro.exceptions.CircuitOpenError`)
+      until ``cooldown_seconds`` elapse, then the breaker half-opens.
+    * **half-open** — up to ``half_open_max_calls`` probe calls run;
+      a probe failure re-opens (restarting the cooldown), while
+      ``half_open_successes`` successful probes close the breaker and
+      clear the window.
+
+    Thread-safe: all state transitions happen under one lock. Time is
+    injectable, so tests drive the cooldown with a fake clock instead of
+    sleeping.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        window: int = 10,
+        cooldown_seconds: float = 30.0,
+        half_open_max_calls: int = 1,
+        half_open_successes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
+    ):
+        if failure_threshold < 1:
+            raise DataValidationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if window < failure_threshold:
+            raise DataValidationError(
+                f"window ({window}) must be >= failure_threshold ({failure_threshold})"
+            )
+        if cooldown_seconds <= 0:
+            raise DataValidationError(
+                f"cooldown_seconds must be > 0, got {cooldown_seconds}"
+            )
+        if half_open_max_calls < 1:
+            raise DataValidationError(
+                f"half_open_max_calls must be >= 1, got {half_open_max_calls}"
+            )
+        if half_open_successes < 1 or half_open_successes > half_open_max_calls:
+            raise DataValidationError(
+                "half_open_successes must be in [1, half_open_max_calls], "
+                f"got {half_open_successes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.cooldown_seconds = cooldown_seconds
+        self.half_open_max_calls = half_open_max_calls
+        self.half_open_successes = half_open_successes
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._opened_at = 0.0
+        self._half_open_inflight = 0
+        self._half_open_ok = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _transition(self, new_state: str) -> None:
+        old = self._state
+        self._state = new_state
+        if new_state == "open":
+            self._opened_at = self._clock()
+        if new_state == "half_open":
+            self._half_open_inflight = 0
+            self._half_open_ok = 0
+        if new_state == "closed":
+            self._outcomes.clear()
+        if self._on_transition is not None and old != new_state:
+            self._on_transition(old, new_state)
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._transition("half_open")
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (reserves a probe slot
+        when half-open)."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "closed":
+                return True
+            if self._state == "half_open":
+                if self._half_open_inflight < self.half_open_max_calls:
+                    self._half_open_inflight += 1
+                    return True
+                return False
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "half_open":
+                self._half_open_ok += 1
+                if self._half_open_ok >= self.half_open_successes:
+                    self._transition("closed")
+                return
+            if self._state == "open":
+                # A straggler finishing after the breaker opened (e.g. a
+                # retry loop that raced the transition) must not pollute
+                # the next closed window.
+                return
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "half_open":
+                self._transition("open")
+                return
+            if self._state == "open":
+                return
+            self._outcomes.append(False)
+            failures = sum(1 for ok in self._outcomes if not ok)
+            if failures >= self.failure_threshold:
+                self._transition("open")
+
+    def call(self, fn: Callable[..., object], *args, **kwargs):
+        """Run ``fn`` through the breaker.
+
+        Sheds the call with :class:`~repro.exceptions.CircuitOpenError`
+        when open; otherwise records the outcome and re-raises failures.
+        """
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit open; retrying after {self.cooldown_seconds}s cooldown"
+            )
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

@@ -11,6 +11,11 @@ micro-batching; telemetry lands in a
 exports) and alarms are delivered through an
 :class:`~repro.serving.events.EventRouter` with retry, backoff and a
 dead-letter buffer.
+
+With a :class:`~repro.serving.config.ResilienceSettings` block enabled,
+every endpoint's scoring path additionally runs under retry / deadline /
+circuit breaker and degrades down a per-endpoint fallback chain
+(:mod:`repro.resilience`) instead of failing the batch.
 """
 
 from repro.serving.config import (
@@ -18,14 +23,17 @@ from repro.serving.config import (
     ModelSettings,
     ObservabilitySettings,
     ParallelSettings,
+    ResilienceSettings,
     build_registry,
     load_model_settings,
     load_observability_settings,
     load_parallel_settings,
+    load_resilience_settings,
     load_serving_config,
     parse_model,
     parse_observability,
     parse_parallel,
+    parse_resilience,
     registry_from_config,
     write_serving_config,
 )
@@ -71,6 +79,7 @@ __all__ = [
     "ModelSettings",
     "ObservabilitySettings",
     "ParallelSettings",
+    "ResilienceSettings",
     "StdoutSink",
     "ValidationService",
     "build_registry",
@@ -78,10 +87,12 @@ __all__ = [
     "load_model_settings",
     "load_observability_settings",
     "load_parallel_settings",
+    "load_resilience_settings",
     "load_serving_config",
     "parse_model",
     "parse_observability",
     "parse_parallel",
+    "parse_resilience",
     "registry_from_config",
     "write_serving_config",
 ]

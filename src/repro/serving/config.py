@@ -16,7 +16,8 @@ block::
       ],
       "parallel": {"n_jobs": 4, "backend": "thread"},
       "model": {"tree_method": "hist", "max_bins": 128},
-      "observability": {"enabled": true, "export_path": "spans.json"}
+      "observability": {"enabled": true, "export_path": "spans.json"},
+      "resilience": {"enabled": true, "max_retries": 1, "fallback": "bbseh"}
     }
 
 The optional ``parallel`` block controls how many artifact directories
@@ -121,6 +122,72 @@ class ObservabilitySettings:
 _OBSERVABILITY_FIELDS = {f.name for f in fields(ObservabilitySettings)}
 
 
+@dataclass(frozen=True)
+class ResilienceSettings:
+    """The config file's ``resilience`` block: degraded-mode serving.
+
+    With ``enabled`` on, every endpoint's scoring path runs under a
+    retry policy, a per-attempt deadline and a per-endpoint circuit
+    breaker, and falls back to the configured degraded chain
+    (:mod:`repro.resilience.fallback`) when the primary path is
+    exhausted. ``fallback`` names the preferred degraded layer:
+    ``"bbseh"`` / ``"bbse"`` use the retained test-time outputs for a
+    shift-based trust decision, ``"static"`` answers with the expected
+    score alone, ``"none"`` disables degradation (retry and breaker
+    only — failures propagate).
+    """
+
+    enabled: bool = False
+    max_retries: int = 1
+    backoff_seconds: float = 0.05
+    timeout_seconds: float | None = None
+    breaker_failure_threshold: int = 5
+    breaker_window: int = 10
+    breaker_cooldown_seconds: float = 30.0
+    fallback: str = "bbseh"
+
+    def __post_init__(self):
+        from repro.resilience.fallback import FALLBACK_KINDS
+
+        if not isinstance(self.enabled, bool):
+            raise DataValidationError("resilience.enabled must be a boolean")
+        if self.max_retries < 0:
+            raise DataValidationError(
+                f"resilience.max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_seconds < 0:
+            raise DataValidationError(
+                f"resilience.backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise DataValidationError(
+                f"resilience.timeout_seconds must be > 0, got {self.timeout_seconds}"
+            )
+        if self.breaker_failure_threshold < 1:
+            raise DataValidationError(
+                "resilience.breaker_failure_threshold must be >= 1, "
+                f"got {self.breaker_failure_threshold}"
+            )
+        if self.breaker_window < self.breaker_failure_threshold:
+            raise DataValidationError(
+                f"resilience.breaker_window ({self.breaker_window}) must be >= "
+                f"breaker_failure_threshold ({self.breaker_failure_threshold})"
+            )
+        if self.breaker_cooldown_seconds <= 0:
+            raise DataValidationError(
+                "resilience.breaker_cooldown_seconds must be > 0, "
+                f"got {self.breaker_cooldown_seconds}"
+            )
+        if self.fallback not in FALLBACK_KINDS:
+            raise DataValidationError(
+                f"resilience.fallback must be one of {FALLBACK_KINDS}, "
+                f"got {self.fallback!r}"
+            )
+
+
+_RESILIENCE_FIELDS = {f.name for f in fields(ResilienceSettings)}
+
+
 def parse_policy(raw: dict) -> EndpointPolicy:
     """Build a policy from a JSON object, rejecting unknown keys loudly."""
     unknown = set(raw) - _POLICY_FIELDS
@@ -169,6 +236,19 @@ def parse_observability(raw: dict) -> ObservabilitySettings:
     return ObservabilitySettings(**raw)
 
 
+def parse_resilience(raw: dict) -> ResilienceSettings:
+    """Build resilience settings from a JSON object, rejecting unknown keys."""
+    if not isinstance(raw, dict):
+        raise DataValidationError("'resilience' must be an object")
+    unknown = set(raw) - _RESILIENCE_FIELDS
+    if unknown:
+        raise DataValidationError(
+            f"unknown resilience keys {sorted(unknown)}; "
+            f"valid keys: {sorted(_RESILIENCE_FIELDS)}"
+        )
+    return ResilienceSettings(**raw)
+
+
 def load_serving_config(path: str | Path) -> list[EndpointSpec]:
     """Parse and validate a serving config file."""
     config_path = Path(path)
@@ -182,7 +262,9 @@ def load_serving_config(path: str | Path) -> list[EndpointSpec]:
         raise DataValidationError(
             f"{config_path} must be an object with an 'endpoints' list"
         )
-    unknown = set(payload) - {"endpoints", "parallel", "model", "observability"}
+    unknown = set(payload) - {
+        "endpoints", "parallel", "model", "observability", "resilience"
+    }
     if unknown:
         raise DataValidationError(
             f"{config_path} has unknown top-level keys {sorted(unknown)}"
@@ -260,6 +342,20 @@ def load_observability_settings(path: str | Path) -> ObservabilitySettings:
     if not isinstance(payload, dict):
         raise DataValidationError(f"{config_path} must be a JSON object")
     return parse_observability(payload.get("observability", {}))
+
+
+def load_resilience_settings(path: str | Path) -> ResilienceSettings:
+    """The ``resilience`` block of a config file (defaults when absent)."""
+    config_path = Path(path)
+    if not config_path.exists():
+        raise DataValidationError(f"no serving config at {config_path}")
+    try:
+        payload = json.loads(config_path.read_text())
+    except json.JSONDecodeError as error:
+        raise DataValidationError(f"invalid JSON in {config_path}: {error}") from error
+    if not isinstance(payload, dict):
+        raise DataValidationError(f"{config_path} must be a JSON object")
+    return parse_resilience(payload.get("resilience", {}))
 
 
 def _load_endpoint(task: tuple[EndpointSpec, Path]) -> Endpoint:

@@ -30,7 +30,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Protocol, TextIO, runtime_checkable
 
-from repro.exceptions import DataValidationError
+from repro.exceptions import DataValidationError, RetryExhaustedError
+from repro.resilience import RetryPolicy
 
 SEVERITIES = ("info", "alarm", "sustained")
 
@@ -173,6 +174,10 @@ class EventRouter:
         self.max_retries = max_retries
         self.backoff = backoff
         self._sleep = sleep
+        self._retry = RetryPolicy(
+            max_retries=max_retries, backoff=backoff, multiplier=2.0,
+            jitter=0.0, sleep=sleep,
+        )
         self.dead_letters: deque[DeadLetter] = deque(maxlen=dead_letter_capacity)
         self.delivered_count = 0
         self.failed_count = 0
@@ -193,28 +198,25 @@ class EventRouter:
         return delivered
 
     def _deliver(self, sink: AlertSink, event: AlertEvent) -> bool:
-        attempts = 0
-        while True:
-            attempts += 1
-            try:
-                sink.emit(event)
-            except Exception as error:  # noqa: BLE001 — sink faults must not propagate
-                if attempts > self.max_retries:
-                    self.failed_count += 1
-                    self.dead_letters.append(
-                        DeadLetter(
-                            sink=getattr(sink, "name", type(sink).__name__),
-                            event=event,
-                            error=f"{type(error).__name__}: {error}",
-                            attempts=attempts,
-                        )
-                    )
-                    return False
-                if self.backoff > 0:
-                    self._sleep(self.backoff * (2 ** (attempts - 1)))
-            else:
-                self.delivered_count += 1
-                return True
+        # Delivery runs under the shared retry primitive
+        # (repro.resilience.RetryPolicy) with the same schedule the
+        # router always had: attempt k sleeps backoff * 2**(k-1).
+        try:
+            self._retry.call(sink.emit, event)
+        except RetryExhaustedError as failure:
+            error = failure.last_error
+            self.failed_count += 1
+            self.dead_letters.append(
+                DeadLetter(
+                    sink=getattr(sink, "name", type(sink).__name__),
+                    event=event,
+                    error=f"{type(error).__name__}: {error}",
+                    attempts=failure.attempts,
+                )
+            )
+            return False
+        self.delivered_count += 1
+        return True
 
     def drain_dead_letters(self) -> list[DeadLetter]:
         """Return and clear the dead-letter buffer (for re-publication).

@@ -27,6 +27,16 @@ from typing import Callable
 from repro.exceptions import DataValidationError
 from repro.monitoring import BatchMonitor, BatchRecord
 from repro.obs import current_tracer
+from repro.resilience import (
+    BREAKER_STATES,
+    CircuitBreaker,
+    Deadline,
+    ResilientScorer,
+    RetryPolicy,
+    ScoreOutcome,
+    build_fallback_chain,
+)
+from repro.serving.config import ResilienceSettings
 from repro.serving.events import AlertEvent, EventRouter
 from repro.serving.metrics import MetricsRegistry, SCORE_BUCKETS
 from repro.serving.registry import Endpoint, ModelRegistry
@@ -51,6 +61,8 @@ class BatchResult:
     sustained_alarm: bool
     interval: tuple[float, float, float] | None = None
     trusted: bool | None = None
+    degraded: bool = False
+    fallback: str | None = None
 
     @property
     def key(self) -> str:
@@ -66,9 +78,10 @@ class BatchResult:
             else ""
         )
         trust = "" if self.trusted is None else f" trusted={self.trusted}"
+        degraded = f" degraded={self.fallback}" if self.degraded else ""
         return (
             f"{self.key} batch {self.batch_index}: "
-            f"estimated={self.estimated_score:.4f}{interval}{trust} [{state}]"
+            f"estimated={self.estimated_score:.4f}{interval}{trust}{degraded} [{state}]"
         )
 
 
@@ -109,6 +122,14 @@ class ValidationService:
     clock:
         Monotonic-time source used for latency measurement and
         micro-batch max-wait flushing; injectable for tests.
+    resilience:
+        Optional :class:`~repro.serving.config.ResilienceSettings`; when
+        ``enabled``, each endpoint's scoring path runs under retry /
+        deadline / circuit breaker and degrades down its fallback chain
+        instead of failing the batch.
+    sleep:
+        Injectable sleep used by the retry policy's backoff; defaults to
+        :func:`time.sleep`.
     """
 
     def __init__(
@@ -117,13 +138,19 @@ class ValidationService:
         metrics: MetricsRegistry | None = None,
         events: EventRouter | None = None,
         clock: Callable[[], float] = time.monotonic,
+        resilience: ResilienceSettings | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         self.registry = registry
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = events
         self._clock = clock
+        self._sleep = sleep
+        self.resilience = resilience
         self._monitors: dict[str, BatchMonitor] = {}
         self._buffers: dict[str, _MicroBatchBuffer] = {}
+        self._scorers: dict[str, ResilientScorer] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
 
         labels = ("endpoint",)
         self._requests = self.metrics.counter(
@@ -158,6 +185,35 @@ class ValidationService:
             "serving_endpoints_registered", "Endpoints known to the registry"
         )
         self._endpoint_gauge.set(len(registry))
+
+        self._res_retries = self.metrics.counter(
+            "resilience_retries_total", "Primary scoring retries", labels
+        )
+        self._res_primary_failures = self.metrics.counter(
+            "resilience_primary_failures_total",
+            "Primary scoring path failures by reason",
+            ("endpoint", "reason"),
+        )
+        self._res_fallbacks = self.metrics.counter(
+            "resilience_fallback_total",
+            "Batches answered by a degraded fallback layer",
+            ("endpoint", "fallback"),
+        )
+        self._res_fallback_failures = self.metrics.counter(
+            "resilience_fallback_failures_total",
+            "Fallback layers that themselves failed",
+            ("endpoint", "fallback"),
+        )
+        self._res_transitions = self.metrics.counter(
+            "resilience_breaker_transitions_total",
+            "Circuit breaker state entries",
+            ("endpoint", "state"),
+        )
+        self._res_breaker_state = self.metrics.gauge(
+            "resilience_breaker_state",
+            "Current breaker state (0=closed, 1=open, 2=half_open)",
+            labels,
+        )
 
     # ------------------------------------------------------------------ #
     # Submission and micro-batching
@@ -263,39 +319,140 @@ class ValidationService:
             self._monitors[endpoint.key] = monitor
         return monitor
 
+    def _primary_outcome(
+        self, endpoint: Endpoint, frame: DataFrame, deadline: Deadline
+    ) -> ScoreOutcome:
+        """The full scoring path: proba → estimate → interval → trust.
+
+        Deadline-checked at stage boundaries so an overloaded host gives
+        up between stages instead of serving an arbitrarily late answer.
+        """
+        policy = endpoint.policy
+        proba = endpoint.predictor.blackbox.predict_proba(frame)
+        deadline.check("blackbox predict_proba")
+        estimate = endpoint.predictor.predict_from_proba(proba)
+        deadline.check("score estimation")
+        interval = None
+        if (
+            policy.interval_coverage is not None
+            and getattr(endpoint.predictor, "calibration_residuals_", None)
+            is not None
+        ):
+            interval = endpoint.predictor.interval_from_estimate(
+                estimate, policy.interval_coverage
+            )
+        trusted = None
+        if endpoint.validator is not None:
+            trusted = endpoint.validator.validate_from_proba(proba)
+        return ScoreOutcome(
+            estimate=float(estimate), interval=interval, trusted=trusted
+        )
+
+    def _resilient_scorer(self, endpoint: Endpoint) -> ResilientScorer:
+        """The per-endpoint scorer with retry / breaker / fallback chain
+        (created on first use, like monitors)."""
+        scorer = self._scorers.get(endpoint.key)
+        if scorer is not None:
+            return scorer
+        settings = self.resilience
+        key = endpoint.key
+        breaker = CircuitBreaker(
+            failure_threshold=settings.breaker_failure_threshold,
+            window=settings.breaker_window,
+            cooldown_seconds=settings.breaker_cooldown_seconds,
+            clock=self._clock,
+            on_transition=lambda old, new: self._on_breaker_transition(key, new),
+        )
+        self._breakers[key] = breaker
+        self._res_breaker_state.set(0.0, endpoint=key)
+        reference = None
+        if endpoint.validator is not None and hasattr(
+            endpoint.validator, "_test_proba"
+        ):
+            reference = endpoint.validator.reference_proba
+        elif getattr(endpoint.predictor, "reference_proba_", None) is not None:
+            reference = endpoint.predictor.reference_proba_
+        scorer = ResilientScorer(
+            primary=lambda frame, deadline: self._primary_outcome(
+                endpoint, frame, deadline
+            ),
+            fallbacks=build_fallback_chain(
+                settings.fallback,
+                expected_score=endpoint.expected_score,
+                predict_proba=endpoint.predictor.blackbox.predict_proba,
+                reference_proba=reference,
+            ),
+            retry=RetryPolicy(
+                max_retries=settings.max_retries,
+                backoff=settings.backoff_seconds,
+                sleep=self._sleep,
+            ),
+            breaker=breaker,
+            timeout_seconds=settings.timeout_seconds,
+            clock=self._clock,
+            on_event=lambda kind, **info: self._on_resilience_event(
+                key, kind, **info
+            ),
+        )
+        self._scorers[key] = scorer
+        return scorer
+
+    def _on_breaker_transition(self, key: str, new_state: str) -> None:
+        self._res_transitions.inc(endpoint=key, state=new_state)
+        self._res_breaker_state.set(
+            float(BREAKER_STATES.index(new_state)), endpoint=key
+        )
+
+    def _on_resilience_event(self, key: str, kind: str, **info) -> None:
+        if kind == "retry":
+            self._res_retries.inc(endpoint=key)
+        elif kind == "primary_failure":
+            self._res_primary_failures.inc(endpoint=key, reason=info["reason"])
+        elif kind == "fallback":
+            self._res_fallbacks.inc(endpoint=key, fallback=info["name"])
+        elif kind == "fallback_failure":
+            self._res_fallback_failures.inc(endpoint=key, fallback=info["name"])
+
+    def breaker_state(self, name: str, version: str | None = None) -> str | None:
+        """The endpoint's circuit breaker state (``None`` before first use
+        or with resilience disabled)."""
+        endpoint = self.registry.get(name, version)
+        breaker = self._breakers.get(endpoint.key)
+        return None if breaker is None else breaker.state
+
     def _score(self, endpoint: Endpoint, frame: DataFrame) -> BatchResult:
         monitor = self.monitor(endpoint.name, endpoint.version)
-        policy = endpoint.policy
         started = self._clock()
-        with current_tracer().span(
+        tracer = current_tracer()
+        with tracer.span(
             "serving.score", rows=len(frame), endpoint=endpoint.key
         ):
-            proba = endpoint.predictor.blackbox.predict_proba(frame)
-            estimate = endpoint.predictor.predict_from_proba(proba)
-            record = monitor.observe_estimate(estimate, len(frame))
-            interval = None
-            if (
-                policy.interval_coverage is not None
-                and getattr(endpoint.predictor, "calibration_residuals_", None)
-                is not None
-            ):
-                interval = endpoint.predictor.interval_from_estimate(
-                    estimate, policy.interval_coverage
-                )
-            trusted = None
-            if endpoint.validator is not None:
-                trusted = endpoint.validator.validate_from_proba(proba)
+            if self.resilience is not None and self.resilience.enabled:
+                outcome = self._resilient_scorer(endpoint).score(frame)
+                if outcome.degraded:
+                    # Marker span: records that (and why) this batch was
+                    # answered by a degraded layer.
+                    with tracer.span(
+                        "serving.fallback",
+                        endpoint=endpoint.key,
+                        fallback=outcome.fallback,
+                        failed_layers=len(outcome.failures),
+                    ):
+                        pass
+            else:
+                outcome = self._primary_outcome(endpoint, frame, Deadline(None))
+            record = monitor.observe_estimate(outcome.estimate, len(frame))
         elapsed = max(0.0, self._clock() - started)
 
         key = endpoint.key
         self._scored.inc(endpoint=key)
         self._latency.observe(elapsed, endpoint=key)
         self._batch_sizes.observe(len(frame), endpoint=key)
-        self._scores.observe(estimate, endpoint=key)
+        self._scores.observe(outcome.estimate, endpoint=key)
         severity = self._severity(record)
         if severity is not None:
             self._alarms.inc(endpoint=key, severity=severity)
-            self._publish_alert(endpoint, record, severity, trusted)
+            self._publish_alert(endpoint, record, severity, outcome.trusted)
 
         return BatchResult(
             endpoint=endpoint.name,
@@ -308,8 +465,10 @@ class ValidationService:
             alarm_floor=monitor.alarm_floor,
             alarm=record.alarm,
             sustained_alarm=record.sustained_alarm,
-            interval=interval,
-            trusted=trusted,
+            interval=outcome.interval,
+            trusted=outcome.trusted,
+            degraded=outcome.degraded,
+            fallback=outcome.fallback,
         )
 
     @staticmethod

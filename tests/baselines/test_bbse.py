@@ -80,3 +80,57 @@ class TestBBSEh:
     def test_class_counts_helper(self):
         proba = np.array([[0.9, 0.1], [0.4, 0.6], [0.2, 0.8]])
         assert list(BBSEh._class_counts(proba)) == [1.0, 2.0]
+
+
+class TestEmptyServingInput:
+    # Regression: an empty serving batch used to crash BBSEh deep inside
+    # np.argmax; every baseline must reject it with a clean error instead.
+    @pytest.mark.parametrize("detector_cls", [BBSE, BBSEh])
+    def test_empty_proba_is_rejected(self, detector_cls, income_blackbox, income_splits):
+        detector = detector_cls(income_blackbox).fit(income_splits.test)
+        with pytest.raises(DataValidationError, match="empty"):
+            detector.shift_detected_from_proba(np.empty((0, 2)))
+
+    @pytest.mark.parametrize("detector_cls", [BBSE, BBSEh])
+    def test_empty_serving_frame_is_rejected(
+        self, detector_cls, income_blackbox, income_splits
+    ):
+        detector = detector_cls(income_blackbox).fit(income_splits.test)
+        with pytest.raises(DataValidationError):
+            detector.shift_detected(income_splits.serving.head(0))
+
+    @pytest.mark.parametrize("detector_cls", [BBSE, BBSEh])
+    def test_non_2d_proba_is_rejected(self, detector_cls, income_blackbox, income_splits):
+        detector = detector_cls(income_blackbox).fit(income_splits.test)
+        with pytest.raises(DataValidationError, match="2-D"):
+            detector.shift_detected_from_proba(np.array([0.4, 0.6]))
+
+
+class TestFromProba:
+    # The degraded-mode serving fallback builds detectors from retained
+    # test-time outputs, with no black box handle attached.
+    @pytest.mark.parametrize("detector_cls", [BBSE, BBSEh])
+    def test_matches_fit_on_the_same_outputs(
+        self, detector_cls, income_blackbox, income_splits
+    ):
+        fitted = detector_cls(income_blackbox).fit(income_splits.test)
+        retained = detector_cls.from_proba(
+            income_blackbox.predict_proba(income_splits.test)
+        )
+        serving_proba = income_blackbox.predict_proba(income_splits.serving)
+        assert retained.shift_detected_from_proba(serving_proba) == (
+            fitted.shift_detected_from_proba(serving_proba)
+        )
+
+    @pytest.mark.parametrize("detector_cls", [BBSE, BBSEh])
+    def test_frame_entry_points_need_a_blackbox(self, detector_cls, income_splits):
+        detector = detector_cls.from_proba(np.full((50, 2), 0.5))
+        with pytest.raises(DataValidationError, match="without a black box"):
+            detector.shift_detected(income_splits.serving)
+        with pytest.raises(DataValidationError, match="without a black box"):
+            detector.fit(income_splits.test)
+
+    @pytest.mark.parametrize("detector_cls", [BBSE, BBSEh])
+    def test_rejects_empty_reference(self, detector_cls):
+        with pytest.raises(DataValidationError, match="empty"):
+            detector_cls.from_proba(np.empty((0, 2)))

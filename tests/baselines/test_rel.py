@@ -105,3 +105,36 @@ class TestRelationalShiftDetector:
         blanked.set_values("x", np.arange(len(blanked)), np.full(len(blanked), np.nan))
         detector = RelationalShiftDetector().fit(reference)
         assert detector.shift_detected(blanked) is True
+
+    def test_empty_serving_frame_is_rejected(self):
+        reference, serving = make_pair()
+        detector = RelationalShiftDetector().fit(reference)
+        with pytest.raises(DataValidationError, match="empty"):
+            detector.shift_detected(serving.head(0))
+
+    def test_numeric_missingness_test_always_runs(self):
+        # Regression: a numeric column whose *present* values are drawn
+        # from the reference distribution but with a large missing rate
+        # must still fire — the missingness chi-squared test runs for
+        # every numeric column, not only fully-missing ones.
+        rng = np.random.default_rng(5)
+        n = 600
+        reference = DataFrame.from_dict(
+            {"x": rng.normal(size=n)}, {"x": ColumnType.NUMERIC}
+        )
+        values = rng.normal(size=n)
+        values[: n // 2] = np.nan  # half missing, survivors unshifted
+        serving = DataFrame.from_dict({"x": values}, {"x": ColumnType.NUMERIC})
+        detector = RelationalShiftDetector().fit(reference)
+        assert detector.shift_detected(serving) is True
+
+    def test_fully_missing_column_yields_missingness_and_sentinel_p_values(self):
+        reference, serving = make_pair()
+        blanked = serving.copy()
+        blanked.set_values("x", np.arange(len(blanked)), np.full(len(blanked), np.nan))
+        detector = RelationalShiftDetector().fit(reference)
+        p_values = detector._column_p_values(blanked)
+        # numeric "x": missingness test + 0.0 sentinel; categorical "c":
+        # frequency + missingness tests.
+        assert len(p_values) == 4
+        assert 0.0 in p_values

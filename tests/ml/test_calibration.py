@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exceptions import DataValidationError, NotFittedError
 from repro.ml.base import sigmoid
@@ -81,6 +83,67 @@ class TestIsotonicCalibrator:
     def test_unfitted_raises(self):
         with pytest.raises(NotFittedError):
             IsotonicCalibrator().transform(np.array([0.5]))
+
+    def test_tied_scores_pool_to_their_mean(self):
+        # Regression: ties used to be fed to PAVA as separate points in
+        # stable-sort order, so transform(0.5) returned whichever label
+        # happened to sort last (1.0) instead of the tie-block mean.
+        scores = np.array([0.2, 0.5, 0.5, 0.8])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        calibrator = IsotonicCalibrator().fit(scores, y)
+        assert np.allclose(
+            calibrator.transform(np.array([0.2, 0.5, 0.8])), [0.0, 0.5, 1.0]
+        )
+
+    def test_tie_block_weight_matters_in_pooling(self):
+        # Two 0-labels against one 1-label at the same score: the pooled
+        # value must be the weighted mean 1/3, not 1/2.
+        scores = np.array([0.5, 0.5, 0.5])
+        y = np.array([0.0, 0.0, 1.0])
+        calibrator = IsotonicCalibrator().fit(scores, y)
+        assert np.allclose(calibrator.transform(np.array([0.5])), [1.0 / 3.0])
+
+
+def _make_isotonic_problem(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 40))
+    # Draw from a small grid so ties are common.
+    scores = rng.choice(np.linspace(0.0, 1.0, 6), size=n)
+    y = rng.integers(0, 2, size=n).astype(float)
+    return scores, y
+
+
+isotonic_problems = st.integers(min_value=0, max_value=2**32 - 1).map(
+    _make_isotonic_problem
+)
+
+
+class TestIsotonicProperties:
+    @given(isotonic_problems)
+    @settings(max_examples=50, deadline=None)
+    def test_transform_is_monotone_even_with_ties(self, problem):
+        scores, y = problem
+        calibrator = IsotonicCalibrator().fit(scores, y)
+        grid = np.linspace(-0.5, 1.5, 101)
+        values = calibrator.transform(grid)
+        assert np.all(np.diff(values) >= -1e-12)
+        assert np.all((values >= 0.0) & (values <= 1.0))
+
+    @given(isotonic_problems, st.randoms(use_true_random=False))
+    @settings(max_examples=50, deadline=None)
+    def test_fit_is_invariant_to_input_order(self, problem, pyrandom):
+        # Tie handling must not depend on how tied rows happen to be
+        # ordered in the training data (the stable-sort bug above).
+        scores, y = problem
+        order = list(range(len(scores)))
+        pyrandom.shuffle(order)
+        order = np.array(order)
+        original = IsotonicCalibrator().fit(scores, y)
+        shuffled = IsotonicCalibrator().fit(scores[order], y[order])
+        grid = np.linspace(-0.5, 1.5, 101)
+        np.testing.assert_allclose(
+            original.transform(grid), shuffled.transform(grid), atol=1e-12
+        )
 
 
 class TestCalibratedClassifier:

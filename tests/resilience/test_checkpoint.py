@@ -1,0 +1,75 @@
+"""Checkpoint store: atomic, fingerprinted, resumable."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CheckpointError, DataValidationError
+from repro.resilience import CheckpointStore
+
+
+FINGERPRINT = {"kind": "test", "n": 4, "seed": 123}
+
+
+class TestRoundTrip:
+    def test_load_without_file_returns_empty(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        assert store.load(FINGERPRINT) == {}
+        assert not store.exists()
+
+    def test_save_load_round_trip_preserves_objects(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt.npz")
+        results = {
+            0: {"score": 0.9, "proba": np.arange(6.0).reshape(3, 2)},
+            2: ("tuple", 7),
+        }
+        store.save(FINGERPRINT, results)
+        loaded = store.load(FINGERPRINT)
+        assert set(loaded) == {0, 2}
+        assert loaded[2] == ("tuple", 7)
+        np.testing.assert_array_equal(
+            loaded[0]["proba"], results[0]["proba"]
+        )
+
+    def test_suffixless_path_is_normalized(self, tmp_path):
+        store = CheckpointStore(tmp_path / "meta-run")
+        store.save(FINGERPRINT, {0: "x"})
+        assert store.path.suffix == ".npz"
+        assert CheckpointStore(tmp_path / "meta-run.npz").load(FINGERPRINT) == {0: "x"}
+
+    def test_clear_removes_the_file(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save(FINGERPRINT, {0: 1})
+        store.clear()
+        assert not store.exists()
+        store.clear()  # idempotent
+
+
+class TestSafety:
+    def test_fingerprint_mismatch_fails_loudly(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save(FINGERPRINT, {0: 1})
+        with pytest.raises(CheckpointError, match="different run"):
+            store.load({**FINGERPRINT, "seed": 999})
+
+    def test_corrupt_file_fails_loudly(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.write_bytes(b"not an npz file")
+        with pytest.raises(CheckpointError, match="not a readable checkpoint"):
+            store.load(FINGERPRINT)
+
+    def test_empty_results_are_rejected(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            CheckpointStore(tmp_path / "ckpt").save(FINGERPRINT, {})
+
+    def test_unserializable_fingerprint_is_rejected(self, tmp_path):
+        with pytest.raises(DataValidationError, match="JSON-serializable"):
+            CheckpointStore(tmp_path / "ckpt").save({"fn": object()}, {0: 1})
+
+    def test_save_leaves_no_temp_file_behind(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.save(FINGERPRINT, {0: 1})
+        store.save(FINGERPRINT, {0: 1, 1: 2})  # overwrite via os.replace
+        leftovers = [p.name for p in tmp_path.iterdir() if "tmp" in p.name]
+        assert leftovers == []
+        assert set(store.load(FINGERPRINT)) == {0, 1}

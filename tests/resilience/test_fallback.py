@@ -1,0 +1,186 @@
+"""Degraded-mode scoring chain, tested with stub layers and a fake clock."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError, ResilienceError
+from repro.resilience import (
+    CircuitBreaker,
+    FakeClock,
+    ResilientScorer,
+    RetryPolicy,
+    ScoreOutcome,
+    baseline_fallback,
+    build_fallback_chain,
+    failing,
+    static_fallback,
+)
+
+
+def primary_ok(frame, deadline):
+    return ScoreOutcome(estimate=0.9, trusted=True)
+
+
+def primary_boom(frame, deadline):
+    raise RuntimeError("scorer exploded")
+
+
+class TestResilientScorer:
+    def test_primary_success_is_not_degraded(self):
+        scorer = ResilientScorer(primary_ok, fallbacks=[("static", static_fallback(0.5))])
+        outcome = scorer.score("frame")
+        assert outcome.estimate == 0.9
+        assert not outcome.degraded
+        assert outcome.fallback is None
+
+    def test_primary_failure_degrades_to_fallback(self):
+        events = []
+        scorer = ResilientScorer(
+            primary_boom,
+            fallbacks=[("static", static_fallback(0.7))],
+            on_event=lambda kind, **info: events.append((kind, info)),
+        )
+        outcome = scorer.score("frame")
+        assert outcome.degraded
+        assert outcome.fallback == "static"
+        assert outcome.estimate == 0.7
+        assert outcome.trusted is None
+        assert any("scorer exploded" in f for f in outcome.failures)
+        assert ("primary_failure", {"reason": "exception"}) in events
+        assert ("fallback", {"name": "static"}) in events
+
+    def test_retry_recovers_transient_primary_fault(self):
+        flaky = failing(primary_ok, times=2)
+        clock = FakeClock()
+        scorer = ResilientScorer(
+            lambda frame, deadline: flaky(frame, deadline),
+            fallbacks=[("static", static_fallback(0.5))],
+            retry=RetryPolicy(max_retries=2, backoff=0.01, sleep=clock.sleep),
+        )
+        outcome = scorer.score("frame")
+        assert not outcome.degraded
+        assert outcome.estimate == 0.9
+        assert flaky.calls == 3
+
+    def test_no_fallbacks_reraises_primary_error(self):
+        scorer = ResilientScorer(primary_boom)
+        with pytest.raises(RuntimeError, match="scorer exploded"):
+            scorer.score("frame")
+
+    def test_all_layers_failing_raises_resilience_error(self):
+        scorer = ResilientScorer(
+            primary_boom,
+            fallbacks=[("bad", lambda frame: (_ for _ in ()).throw(ValueError("also broken")))],
+        )
+        with pytest.raises(ResilienceError, match="every scoring layer failed"):
+            scorer.score("frame")
+
+    def test_open_breaker_sheds_straight_to_fallback(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, window=1, cooldown_seconds=60.0, clock=clock
+        )
+        calls = []
+        events = []
+
+        def counting_primary(frame, deadline):
+            calls.append(1)
+            raise RuntimeError("down")
+
+        scorer = ResilientScorer(
+            counting_primary,
+            fallbacks=[("static", static_fallback(0.5))],
+            breaker=breaker,
+            clock=clock,
+            on_event=lambda kind, **info: events.append((kind, info)),
+        )
+        assert scorer.score("frame").degraded  # trips the breaker
+        assert breaker.state == "open"
+        assert scorer.score("frame").degraded  # shed: primary not called
+        assert len(calls) == 1
+        assert ("primary_failure", {"reason": "breaker_open"}) in events
+
+    def test_breaker_recovers_after_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, window=1, cooldown_seconds=10.0, clock=clock
+        )
+        healthy = {"now": False}
+
+        def recovering(frame, deadline):
+            if not healthy["now"]:
+                raise RuntimeError("down")
+            return ScoreOutcome(estimate=0.8)
+
+        scorer = ResilientScorer(
+            recovering,
+            fallbacks=[("static", static_fallback(0.5))],
+            breaker=breaker,
+            clock=clock,
+        )
+        assert scorer.score("f").degraded
+        healthy["now"] = True
+        assert scorer.score("f").degraded  # still open, shed
+        clock.advance(10.0)  # half-open probe allowed
+        outcome = scorer.score("f")
+        assert not outcome.degraded
+        assert breaker.state == "closed"
+
+    def test_timeout_turns_slow_primary_into_degraded_answer(self):
+        clock = FakeClock()
+
+        def slow(frame, deadline):
+            clock.advance(5.0)
+            return ScoreOutcome(estimate=0.9)
+
+        events = []
+        scorer = ResilientScorer(
+            slow,
+            fallbacks=[("static", static_fallback(0.5))],
+            timeout_seconds=1.0,
+            clock=clock,
+            on_event=lambda kind, **info: events.append((kind, info)),
+        )
+        outcome = scorer.score("frame")
+        assert outcome.degraded
+        assert ("primary_failure", {"reason": "timeout"}) in events
+
+
+class TestFallbackFactories:
+    def test_static_fallback_never_fails(self):
+        outcome = static_fallback(0.42)(None)
+        assert outcome == ScoreOutcome(
+            estimate=0.42, interval=None, trusted=None, degraded=True
+        )
+
+    def test_baseline_fallback_detects_shift(self):
+        rng = np.random.default_rng(0)
+        reference = rng.dirichlet((5.0, 5.0), size=400)
+        scorer = baseline_fallback(
+            "bbseh", reference, predict_proba=lambda frame: frame, expected_score=0.8
+        )
+        same = scorer(rng.dirichlet((5.0, 5.0), size=400))
+        assert same.trusted is True and same.degraded
+        skewed = np.column_stack([np.full(400, 0.99), np.full(400, 0.01)])
+        shifted = scorer(skewed)
+        assert shifted.trusted is False
+        assert shifted.estimate == 0.8  # estimate stays the held-out expectation
+
+    def test_baseline_fallback_rejects_unknown_kind(self):
+        with pytest.raises(DataValidationError):
+            baseline_fallback("nope", np.ones((3, 2)) / 2, lambda f: f, 0.5)
+
+    def test_build_chain_orders_baseline_before_static(self):
+        chain = build_fallback_chain(
+            "bbse", 0.8,
+            predict_proba=lambda f: f,
+            reference_proba=np.ones((10, 2)) / 2,
+        )
+        assert [name for name, _ in chain] == ["bbse", "static"]
+
+    def test_build_chain_without_reference_is_static_only(self):
+        chain = build_fallback_chain("bbseh", 0.8)
+        assert [name for name, _ in chain] == ["static"]
+
+    def test_build_chain_none_disables_degradation(self):
+        assert build_fallback_chain("none", 0.8) == []

@@ -1,0 +1,97 @@
+"""The fault-injection harness itself must be deterministic."""
+
+import pytest
+
+from repro.exceptions import DataValidationError, ReproError
+from repro.resilience import (
+    ALL_CALLS,
+    FakeClock,
+    FaultyCallable,
+    InjectedFault,
+    WorkerCrash,
+    failing,
+    wrap_method,
+)
+
+
+class TestFakeClock:
+    def test_sleep_advances_time_and_records(self):
+        clock = FakeClock(start=100.0)
+        clock.sleep(2.5)
+        clock.sleep(0.5)
+        assert clock() == 103.0
+        assert clock.sleeps == [2.5, 0.5]
+
+    def test_cannot_rewind(self):
+        with pytest.raises(DataValidationError):
+            FakeClock().advance(-1.0)
+
+
+class TestFaultyCallable:
+    def test_int_schedule_fails_first_n_calls(self):
+        faulty = FaultyCallable(lambda: "ok", fail_on=2)
+        with pytest.raises(InjectedFault):
+            faulty()
+        with pytest.raises(InjectedFault):
+            faulty()
+        assert faulty() == "ok"
+        assert (faulty.calls, faulty.faults_raised) == (3, 2)
+
+    def test_index_schedule_fails_exact_calls(self):
+        faulty = FaultyCallable(lambda x: x, fail_on=[1])
+        assert faulty(10) == 10
+        with pytest.raises(InjectedFault, match="call 1"):
+            faulty(11)
+        assert faulty(12) == 12
+
+    def test_all_calls_sentinel(self):
+        faulty = failing(lambda: "never", times=-1)
+        for _ in range(3):
+            with pytest.raises(InjectedFault):
+                faulty()
+
+    def test_custom_error_factory(self):
+        faulty = FaultyCallable(lambda: 1, fail_on=1, error=lambda: KeyError("custom"))
+        with pytest.raises(KeyError):
+            faulty()
+
+    def test_injected_fault_is_not_a_repro_error(self):
+        # The resilience layer must survive arbitrary third-party
+        # exceptions, so the injected one must not be special-cased.
+        assert not issubclass(InjectedFault, ReproError)
+        assert issubclass(WorkerCrash, BaseException)
+        assert not issubclass(WorkerCrash, Exception)
+
+    def test_scheduled_delay_uses_injected_sleep(self):
+        clock = FakeClock()
+        faulty = FaultyCallable(
+            lambda: "slow", delay_on=[0], delay_seconds=9.0, sleep=clock.sleep
+        )
+        assert faulty() == "slow"
+        assert faulty() == "slow"
+        assert clock.sleeps == [9.0]
+
+    def test_delay_without_sleep_is_rejected(self):
+        with pytest.raises(DataValidationError):
+            FaultyCallable(lambda: 1, delay_on=[0], delay_seconds=1.0)
+
+
+class TestWrapMethod:
+    def test_patches_bound_method_in_place(self):
+        class Scorer:
+            def score(self, x):
+                return x * 2
+
+        scorer = Scorer()
+        faulty = wrap_method(scorer, "score", fail_on=1)
+        with pytest.raises(InjectedFault):
+            scorer.score(5)
+        assert scorer.score(5) == 10
+        assert faulty.calls == 2
+
+    def test_rejects_non_callable_attribute(self):
+        class Holder:
+            value = 3
+
+        with pytest.raises(DataValidationError):
+            wrap_method(Holder(), "value", fail_on=ALL_CALLS)

@@ -1,0 +1,239 @@
+"""Retry / deadline / breaker primitives: deterministic, no real sleeps."""
+
+import pytest
+
+from repro.exceptions import (
+    CircuitOpenError,
+    DataValidationError,
+    DeadlineExceededError,
+    ReproError,
+    ResilienceError,
+    RetryExhaustedError,
+)
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    FakeClock,
+    RetryPolicy,
+    Timeout,
+)
+
+
+class TestRetryPolicy:
+    def test_success_on_first_attempt_never_sleeps(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_retries=3, backoff=0.5, sleep=clock.sleep)
+        assert policy.call(lambda: 42) == 42
+        assert clock.sleeps == []
+
+    def test_retries_until_success(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_retries=3, backoff=0.1, sleep=clock.sleep)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ValueError("transient")
+            return "ok"
+
+        assert policy.call(flaky) == "ok"
+        assert len(calls) == 3
+        assert clock.sleeps == [0.1, 0.2]  # backoff * 2**(k-1)
+
+    def test_exhaustion_raises_with_attempt_count_and_cause(self):
+        policy = RetryPolicy(max_retries=2, backoff=0.0, sleep=lambda _: None)
+
+        def always_fails():
+            raise ValueError("permanent")
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            policy.call(always_fails)
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, ValueError)
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_non_retryable_error_propagates_immediately(self):
+        calls = []
+        policy = RetryPolicy(
+            max_retries=5, backoff=0.0, retry_on=(ValueError,),
+            sleep=lambda _: None,
+        )
+
+        def wrong_kind():
+            calls.append(1)
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            policy.call(wrong_kind)
+        assert len(calls) == 1
+
+    def test_on_retry_hook_fires_per_failed_attempt(self):
+        seen = []
+        policy = RetryPolicy(max_retries=2, backoff=0.0, sleep=lambda _: None)
+
+        def always_fails():
+            raise ValueError("x")
+
+        with pytest.raises(RetryExhaustedError):
+            policy.call(always_fails, on_retry=lambda k, e: seen.append(k))
+        assert seen == [1, 2]  # no hook after the final attempt
+
+    def test_max_backoff_caps_delay(self):
+        policy = RetryPolicy(
+            max_retries=5, backoff=1.0, max_backoff=2.0, sleep=lambda _: None
+        )
+        assert [policy.delay(k) for k in range(1, 5)] == [1.0, 2.0, 2.0, 2.0]
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = RetryPolicy(backoff=1.0, jitter=0.5, seed=7, sleep=lambda _: None)
+        b = RetryPolicy(backoff=1.0, jitter=0.5, seed=7, sleep=lambda _: None)
+        delays_a = [a.delay(k) for k in range(1, 4)]
+        delays_b = [b.delay(k) for k in range(1, 4)]
+        assert delays_a == delays_b
+        assert delays_a != [1.0, 2.0, 4.0]  # jitter actually perturbs
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(DataValidationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(DataValidationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(DataValidationError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestDeadline:
+    def test_no_deadline_never_expires(self):
+        deadline = Deadline(None, clock=FakeClock())
+        assert deadline.remaining() == float("inf")
+        deadline.check()  # never raises
+
+    def test_expires_with_the_clock(self):
+        clock = FakeClock()
+        deadline = Deadline(5.0, clock=clock)
+        assert not deadline.expired()
+        clock.advance(5.0)
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceededError, match="5.0s deadline"):
+            deadline.check()
+
+    def test_timeout_discards_overdue_result(self):
+        clock = FakeClock()
+
+        def slow():
+            clock.advance(10.0)
+            return "too late"
+
+        with pytest.raises(DeadlineExceededError):
+            Timeout(1.0, clock=clock).run(slow)
+
+    def test_timeout_returns_punctual_result(self):
+        assert Timeout(1.0, clock=FakeClock()).run(lambda: "fine") == "fine"
+
+
+class TestCircuitBreaker:
+    def make(self, clock, **kwargs):
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("window", 5)
+        kwargs.setdefault("cooldown_seconds", 30.0)
+        return CircuitBreaker(clock=clock, **kwargs)
+
+    def test_opens_at_failure_threshold(self):
+        breaker = self.make(FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_successes_age_failures_out_of_the_window(self):
+        breaker = self.make(FakeClock())
+        # 2 failures then 5 successes push the failures out of the window.
+        breaker.record_failure()
+        breaker.record_failure()
+        for _ in range(5):
+            breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_open_half_open_close_cycle(self):
+        clock = FakeClock()
+        transitions = []
+        breaker = CircuitBreaker(
+            failure_threshold=2, window=4, cooldown_seconds=10.0, clock=clock,
+            on_transition=lambda old, new: transitions.append((old, new)),
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(9.0)
+        assert breaker.state == "open"
+        clock.advance(1.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # reserves the probe slot
+        assert not breaker.allow()  # only one probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert transitions == [
+            ("closed", "open"), ("open", "half_open"), ("half_open", "closed"),
+        ]
+
+    def test_half_open_failure_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, window=1, cooldown_seconds=10.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(9.0)
+        assert breaker.state == "open"  # cooldown restarted
+        clock.advance(1.0)
+        assert breaker.state == "half_open"
+
+    def test_call_sheds_load_while_open(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, window=1, cooldown_seconds=5.0, clock=clock
+        )
+        with pytest.raises(ValueError):
+            breaker.call(lambda: (_ for _ in ()).throw(ValueError("boom")))
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.call(lambda: "never runs")
+        assert isinstance(excinfo.value, ResilienceError)
+
+    def test_closing_clears_the_window(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, window=4, cooldown_seconds=1.0, clock=clock
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_success()  # closes; old failures must not linger
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_success_while_open_is_ignored(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, window=3, cooldown_seconds=5.0, clock=clock
+        )
+        breaker.record_failure()
+        breaker.record_success()  # straggler from a racing retry loop
+        assert breaker.state == "open"
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(DataValidationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(DataValidationError):
+            CircuitBreaker(failure_threshold=5, window=3)
+        with pytest.raises(DataValidationError):
+            CircuitBreaker(cooldown_seconds=0.0)
+        with pytest.raises(DataValidationError):
+            CircuitBreaker(half_open_successes=2, half_open_max_calls=1)

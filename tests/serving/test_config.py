@@ -10,14 +10,17 @@ from repro.serving.config import (
     ModelSettings,
     ObservabilitySettings,
     ParallelSettings,
+    ResilienceSettings,
     load_model_settings,
     load_observability_settings,
     load_parallel_settings,
+    load_resilience_settings,
     load_serving_config,
     parse_model,
     parse_observability,
     parse_parallel,
     parse_policy,
+    parse_resilience,
     registry_from_config,
     write_serving_config,
 )
@@ -301,3 +304,84 @@ class TestParallelBlock:
         assert len(registry) == 2
         # Registration order follows the config order despite the pool.
         assert [e.name for e in registry.endpoints()] == ["income", "income-b"]
+
+
+class TestResilienceBlock:
+    def test_parse_defaults_and_overrides(self):
+        assert parse_resilience({}) == ResilienceSettings()
+        settings = parse_resilience(
+            {"enabled": True, "max_retries": 2, "fallback": "static"}
+        )
+        assert settings.enabled is True
+        assert settings.max_retries == 2
+        assert settings.fallback == "static"
+
+    def test_defaults_are_disabled_with_bbseh_fallback(self):
+        settings = ResilienceSettings()
+        assert settings.enabled is False
+        assert settings.fallback == "bbseh"
+        assert settings.timeout_seconds is None
+
+    def test_unknown_keys_raise(self):
+        with pytest.raises(DataValidationError) as excinfo:
+            parse_resilience({"max_retrys": 2})
+        assert "max_retrys" in str(excinfo.value)
+
+    def test_non_object_block_raises(self):
+        with pytest.raises(DataValidationError):
+            parse_resilience("on")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"enabled": "yes"},
+            {"max_retries": -1},
+            {"backoff_seconds": -0.1},
+            {"timeout_seconds": 0.0},
+            {"breaker_failure_threshold": 0},
+            {"breaker_window": 2, "breaker_failure_threshold": 5},
+            {"breaker_cooldown_seconds": 0.0},
+            {"fallback": "parachute"},
+        ],
+    )
+    def test_invalid_settings_raise(self, kwargs):
+        with pytest.raises(DataValidationError):
+            ResilienceSettings(**kwargs)
+
+    def test_load_resilience_settings(self, tmp_path):
+        path = write_config(
+            tmp_path / "serving.json",
+            {
+                "endpoints": [{"name": "a", "artifacts": "d"}],
+                "resilience": {
+                    "enabled": True,
+                    "max_retries": 2,
+                    "backoff_seconds": 0.0,
+                    "breaker_failure_threshold": 3,
+                    "breaker_window": 6,
+                    "fallback": "bbse",
+                },
+            },
+        )
+        settings = load_resilience_settings(path)
+        assert settings.enabled is True
+        assert settings.max_retries == 2
+        assert settings.breaker_failure_threshold == 3
+        assert settings.fallback == "bbse"
+
+    def test_absent_block_yields_defaults(self, tmp_path):
+        path = write_config(
+            tmp_path / "serving.json",
+            {"endpoints": [{"name": "a", "artifacts": "d"}]},
+        )
+        assert load_resilience_settings(path) == ResilienceSettings()
+
+    def test_resilience_block_accepted_at_top_level(self, tmp_path):
+        path = write_config(
+            tmp_path / "serving.json",
+            {
+                "endpoints": [{"name": "a", "artifacts": "d"}],
+                "resilience": {"enabled": True},
+            },
+        )
+        assert len(load_serving_config(path)) == 1

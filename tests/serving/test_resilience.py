@@ -1,0 +1,186 @@
+"""Degraded-mode serving: faults in, answers out — never an unhandled crash."""
+
+import pytest
+
+from repro.exceptions import ResilienceError
+from repro.resilience import FakeClock, FaultyCallable, InjectedFault
+from repro.serving import ResilienceSettings, ValidationService
+
+
+def make_service(registry, resilience=None, clock=None):
+    return ValidationService(
+        registry,
+        resilience=resilience,
+        clock=clock if clock is not None else FakeClock(),
+        sleep=lambda _: None,
+    )
+
+
+@pytest.fixture
+def inject(monkeypatch):
+    """Like ``repro.resilience.wrap_method``, but undone at teardown —
+    the fitted predictor fixtures are shared across the package."""
+
+    def _inject(obj, method_name, **fault_kwargs):
+        faulty = FaultyCallable(getattr(obj, method_name), **fault_kwargs)
+        monkeypatch.setattr(obj, method_name, faulty)
+        return faulty
+
+    return _inject
+
+
+@pytest.fixture
+def settings():
+    return ResilienceSettings(
+        enabled=True,
+        max_retries=1,
+        backoff_seconds=0.0,
+        breaker_failure_threshold=2,
+        breaker_window=4,
+        breaker_cooldown_seconds=30.0,
+        fallback="bbseh",
+    )
+
+
+class TestDegradedServing:
+    def test_healthy_endpoint_serves_undegraded(self, registry, income_splits, settings):
+        service = make_service(registry, resilience=settings)
+        [result] = service.submit("income", income_splits.serving.head(100))
+        assert not result.degraded
+        assert result.fallback is None
+
+    def test_predictor_fault_degrades_to_bbseh(self, inject, registry, income_splits, settings):
+        service = make_service(registry, resilience=settings)
+        endpoint = registry.get("income")
+        faulty = inject(endpoint.predictor, "predict_from_proba", fail_on=2)
+        [result] = service.submit("income", income_splits.serving.head(100))
+        assert result.degraded
+        assert result.fallback == "bbseh"
+        assert result.trusted is True  # clean serving rows: no shift
+        assert result.estimated_score == pytest.approx(endpoint.expected_score)
+        assert faulty.calls == 2  # first attempt + one retry
+        key = endpoint.key
+        assert service.metrics.get("resilience_fallback_total").value(
+            endpoint=key, fallback="bbseh"
+        ) == 1.0
+        assert service.metrics.get("resilience_retries_total").value(
+            endpoint=key
+        ) == 1.0
+        assert service.metrics.get("resilience_primary_failures_total").value(
+            endpoint=key, reason="exception"
+        ) == 1.0
+
+    def test_retry_recovers_single_transient_fault(self, inject, registry, income_splits, settings):
+        service = make_service(registry, resilience=settings)
+        faulty = inject(
+            registry.get("income").predictor, "predict_from_proba", fail_on=1
+        )
+        [result] = service.submit("income", income_splits.serving.head(100))
+        assert not result.degraded
+        assert faulty.calls == 2
+
+    def test_blackbox_fault_falls_through_to_static(
+        self, inject, registry, income_splits, settings
+    ):
+        # A broken predict_proba takes the bbseh fallback down with it —
+        # the static layer still answers.
+        service = make_service(registry, resilience=settings)
+        endpoint = registry.get("income")
+        inject(endpoint.predictor.blackbox, "predict_proba", fail_on=99)
+        [result] = service.submit("income", income_splits.serving.head(100))
+        assert result.degraded
+        assert result.fallback == "static"
+        assert result.trusted is None
+        assert result.estimated_score == pytest.approx(endpoint.expected_score)
+
+    def test_degraded_result_is_marked_in_describe(
+        self, inject, registry, income_splits, settings
+    ):
+        service = make_service(registry, resilience=settings)
+        inject(registry.get("income").predictor, "predict_from_proba", fail_on=2)
+        [result] = service.submit("income", income_splits.serving.head(100))
+        assert "degraded=bbseh" in result.describe()
+
+    def test_disabled_resilience_propagates_faults(self, inject, registry, income_splits):
+        service = make_service(registry, resilience=None)
+        inject(registry.get("income").predictor, "predict_from_proba", fail_on=1)
+        with pytest.raises(InjectedFault):
+            service.submit("income", income_splits.serving.head(100))
+
+    def test_fallback_none_propagates_after_retry(
+        self, inject, registry, income_splits, settings
+    ):
+        from dataclasses import replace
+
+        service = make_service(registry, resilience=replace(settings, fallback="none"))
+        inject(registry.get("income").predictor, "predict_from_proba", fail_on=99)
+        with pytest.raises(ResilienceError):
+            service.submit("income", income_splits.serving.head(100))
+
+
+class TestBreakerLifecycle:
+    def test_breaker_opens_sheds_and_recovers(self, inject, registry, income_splits, settings):
+        clock = FakeClock()
+        service = make_service(registry, resilience=settings, clock=clock)
+        endpoint = registry.get("income")
+        # Each degraded batch records max_retries + 1 = 2 primary
+        # failures, so one batch trips the threshold-2 breaker.
+        faulty = inject(endpoint.predictor, "predict_from_proba", fail_on=2)
+        batch = income_splits.serving.head(100)
+
+        [first] = service.submit("income", batch)
+        assert first.degraded
+        assert service.breaker_state("income") == "open"
+
+        calls_before = faulty.calls
+        [shed] = service.submit("income", batch)
+        assert shed.degraded
+        assert faulty.calls == calls_before  # load shed: primary skipped
+        key = endpoint.key
+        assert service.metrics.get("resilience_primary_failures_total").value(
+            endpoint=key, reason="breaker_open"
+        ) == 1.0
+
+        clock.advance(settings.breaker_cooldown_seconds)
+        [recovered] = service.submit("income", batch)  # half-open probe succeeds
+        assert not recovered.degraded
+        assert service.breaker_state("income") == "closed"
+        transitions = service.metrics.get("resilience_breaker_transitions_total")
+        assert transitions.value(endpoint=key, state="open") == 1.0
+        assert transitions.value(endpoint=key, state="half_open") == 1.0
+        assert transitions.value(endpoint=key, state="closed") == 1.0
+
+    def test_breaker_state_gauge_tracks_current_state(
+        self, inject, registry, income_splits, settings
+    ):
+        clock = FakeClock()
+        service = make_service(registry, resilience=settings, clock=clock)
+        endpoint = registry.get("income")
+        inject(endpoint.predictor, "predict_from_proba", fail_on=2)
+        service.submit("income", income_splits.serving.head(100))
+        gauge = service.metrics.get("resilience_breaker_state")
+        assert gauge.value(endpoint=endpoint.key) == 1.0  # open
+
+    def test_breaker_state_is_none_before_first_use(self, registry, settings):
+        service = make_service(registry, resilience=settings)
+        assert service.breaker_state("income") is None
+
+
+class TestMonitorContinuity:
+    def test_degraded_batches_keep_the_monitor_stream_intact(
+        self, inject, registry, income_splits, settings
+    ):
+        # Batch indices must stay contiguous across degraded batches, and
+        # the fallback's expected-score estimate must not trip the alarm.
+        service = make_service(registry, resilience=settings)
+        inject(
+            registry.get("income").predictor, "predict_from_proba", fail_on=[2, 3]
+        )
+        batch = income_splits.serving.head(60)
+        results = [service.submit("income", batch)[0] for _ in range(4)]
+        assert [r.batch_index for r in results] == [0, 1, 2, 3]
+        degraded = [r.batch_index for r in results if r.degraded]
+        # Batch 2 exhausts its retry budget (calls 2 and 3), which also
+        # trips the threshold-2 breaker, so batch 3 is shed while open.
+        assert degraded == [2, 3]
+        assert not any(r.alarm for r in results)

@@ -6,11 +6,25 @@ import numpy as np
 import pytest
 
 from repro.core.blackbox import BlackBoxModel
+from repro.core.corruption import CorruptionSampler
 from repro.core.predictor import PerformancePredictor
 from repro.errors.tabular_errors import MissingValues, Scaling
-from repro.exceptions import DataValidationError, ReproError
+from repro.exceptions import (
+    DataValidationError,
+    ParallelExecutionError,
+    ReproError,
+)
 from repro.ml.linear import SGDClassifier
 from repro.ml.pipeline import Pipeline, TabularEncoder
+from repro.parallel import Executor
+from repro.resilience import (
+    CheckpointStore,
+    CircuitBreaker,
+    FakeClock,
+    FaultyCallable,
+    InjectedFault,
+    WorkerCrash,
+)
 from repro.tabular.frame import DataFrame
 from repro.tabular.schema import ColumnType
 
@@ -84,15 +98,22 @@ class TestContractViolations:
     def test_every_library_error_is_a_repro_error(self):
         # API boundary promise: one base class to catch.
         from repro.exceptions import (
+            CheckpointError,
+            CircuitOpenError,
             CorruptionError,
             DataValidationError,
+            DeadlineExceededError,
             NotFittedError,
+            ResilienceError,
+            RetryExhaustedError,
             SchemaError,
             ServiceError,
         )
 
         for error_type in (
-            CorruptionError, DataValidationError, NotFittedError, SchemaError, ServiceError,
+            CheckpointError, CircuitOpenError, CorruptionError, DataValidationError,
+            DeadlineExceededError, NotFittedError, ResilienceError,
+            RetryExhaustedError, SchemaError, ServiceError,
         ):
             assert issubclass(error_type, ReproError)
 
@@ -116,3 +137,140 @@ class TestContractViolations:
 
         with pytest.raises(DataValidationError):
             balance_classes(frame, np.array(["only"], dtype=object), np.random.default_rng(0))
+
+
+class TestBreakerUnderInjectedFaults:
+    def test_open_half_open_close_around_a_flaky_dependency(self):
+        # A dependency that fails its first 2 calls and then heals; the
+        # breaker must shed load during the outage and re-admit traffic
+        # after one successful half-open probe. Fake clock, no sleeps.
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, window=4, cooldown_seconds=30.0, clock=clock
+        )
+        dependency = FaultyCallable(lambda: "answer", fail_on=2)
+
+        outcomes = []
+        for step in range(6):
+            if step == 4:
+                clock.advance(30.0)  # cooldown elapses -> half-open
+            if not breaker.allow():
+                outcomes.append("shed")
+                continue
+            try:
+                outcomes.append(dependency())
+                breaker.record_success()
+            except InjectedFault:
+                breaker.record_failure()
+                outcomes.append("failed")
+
+        # Two failures open the breaker, the next calls are shed without
+        # touching the dependency, and the half-open probe closes it.
+        assert outcomes == ["failed", "failed", "shed", "shed", "answer", "answer"]
+        assert breaker.state == "closed"
+        assert dependency.calls == 4  # shed steps never reached it
+
+
+class TestPoisonTaskQuarantine:
+    @staticmethod
+    def _poisoned(item):
+        if item == "poison":
+            raise ValueError("inedible")
+        return item.upper()
+
+    def test_map_quarantine_skips_the_poison_task(self):
+        executor = Executor(n_jobs=1, backend="serial")
+        results, quarantined = executor.map_quarantine(
+            self._poisoned, ["a", "poison", "b"]
+        )
+        assert results == ["A", None, "B"]
+        [record] = quarantined
+        assert (record.index, record.error_type) == (1, "ValueError")
+        assert record.attempts == 1
+        assert "inedible" in record.message
+        assert "inedible" in record.traceback_text
+        assert "task 1 quarantined" in record.describe()
+
+    def test_task_retries_recover_a_transient_worker_fault(self):
+        flaky = FaultyCallable(lambda item: item * 2, fail_on=1)
+        executor = Executor(n_jobs=1, backend="serial", task_retries=1)
+        assert executor.map(flaky, [3, 4]) == [6, 8]
+        assert flaky.calls == 3  # first call failed, retried in place
+
+    def test_exhausted_retries_still_fail_loudly_in_map(self):
+        always = FaultyCallable(lambda item: item, fail_on="all")
+        executor = Executor(n_jobs=1, backend="serial", task_retries=2)
+        with pytest.raises(ParallelExecutionError, match="after 3 attempt"):
+            executor.map(always, [1])
+
+    def test_worker_crash_is_not_swallowed_by_retries(self):
+        # BaseException-level crashes (simulating a dying worker) must
+        # escape the per-task retry loop rather than being retried.
+        def crash(item):
+            raise WorkerCrash("worker died")
+
+        executor = Executor(n_jobs=1, backend="serial", task_retries=5)
+        with pytest.raises(WorkerCrash):
+            executor.map(crash, [1])
+
+
+class TestCheckpointResumeAfterCrash:
+    def _sampler(self, blackbox):
+        return CorruptionSampler(
+            blackbox,
+            [MissingValues(), Scaling()],
+            include_clean=False,
+            n_jobs=1,
+            backend="serial",
+        )
+
+    def test_resume_after_crash_is_bit_identical(
+        self, income_blackbox, income_splits, monkeypatch, tmp_path
+    ):
+        frame = income_splits.test.head(120)
+        labels = income_splits.y_test[:120]
+        store = CheckpointStore(tmp_path / "meta-run")
+
+        # Reference: one uninterrupted run on a fresh RNG.
+        expected = self._sampler(income_blackbox).sample(
+            frame, labels, 6, np.random.default_rng(11)
+        )
+
+        # Crash run: episode 4 (the 5th score call) blows up, after the
+        # chunks for episodes 0-3 have been checkpointed.
+        faulty = FaultyCallable(income_blackbox.score, fail_on=[4])
+        monkeypatch.setattr(income_blackbox, "score", faulty)
+        with pytest.raises(ParallelExecutionError):
+            self._sampler(income_blackbox).sample(
+                frame, labels, 6, np.random.default_rng(11),
+                checkpoint=store, checkpoint_every=2,
+            )
+        assert store.exists()  # partial progress survived the crash
+
+        # Resume: only the pending episodes re-run, and the meta-dataset
+        # matches the uninterrupted run bit for bit.
+        calls_before = faulty.calls
+        resumed = self._sampler(income_blackbox).sample(
+            frame, labels, 6, np.random.default_rng(11),
+            checkpoint=store, checkpoint_every=2,
+        )
+        assert faulty.calls == calls_before + 2  # episodes 4 and 5 only
+        assert not store.exists()  # cleared on success
+        assert len(resumed) == len(expected) == 6
+        for got, want in zip(resumed, expected):
+            np.testing.assert_array_equal(got.proba, want.proba)
+            assert got.score == want.score
+
+    def test_checkpoint_refuses_a_different_run(
+        self, income_blackbox, income_splits, tmp_path
+    ):
+        from repro.exceptions import CheckpointError
+
+        frame = income_splits.test.head(80)
+        labels = income_splits.y_test[:80]
+        store = CheckpointStore(tmp_path / "meta-run")
+        store.save({"kind": "some-other-run"}, {0: "junk"})
+        with pytest.raises(CheckpointError, match="different run"):
+            self._sampler(income_blackbox).sample(
+                frame, labels, 4, np.random.default_rng(0), checkpoint=store
+            )

@@ -94,3 +94,31 @@ class TestModelRoundTrip:
         persistence.save_model(SGDClassifier(), path)
         loaded = persistence.load_model(path)
         assert isinstance(loaded, SGDClassifier)
+
+
+class TestPathNormalization:
+    # Regression: a suffix-less path used to save to "model" but load
+    # from "model.npz" (np.savez appends the suffix on write only), so a
+    # save/load round trip with the same path string failed.
+    def test_suffixless_path_round_trips(self, small_frame, tmp_path):
+        path = tmp_path / "frame"
+        persistence.save_frame(small_frame, path)
+        assert persistence.load_frame(path) == small_frame
+        assert (tmp_path / "frame.npz").exists()
+        assert not (tmp_path / "frame").exists()
+
+    def test_model_suffixless_path_round_trips(self, tmp_path):
+        path = tmp_path / "model"
+        persistence.save_model(SGDClassifier(), path)
+        assert isinstance(persistence.load_model(path), SGDClassifier)
+
+    def test_foreign_suffix_gets_npz_appended(self, small_frame, tmp_path):
+        persistence.save_frame(small_frame, tmp_path / "frame.v2")
+        assert (tmp_path / "frame.v2.npz").exists()
+        assert persistence.load_frame(tmp_path / "frame.v2") == small_frame
+
+    def test_normalize_is_a_no_op_on_npz_paths(self):
+        from pathlib import Path
+
+        assert persistence.normalize_npz_path(Path("a/b.npz")) == Path("a/b.npz")
+        assert persistence.normalize_npz_path("a/b") == Path("a/b.npz")
