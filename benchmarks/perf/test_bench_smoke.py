@@ -25,15 +25,32 @@ def test_report_shape(smoke_report):
         "harness_rounds",
         "tree_fit_exact_vs_hist",
         "boosting_exact_vs_hist",
+        "trace_overhead",
+        "daemon_throughput",
     ]
     for bench in smoke_report["benchmarks"]:
         if "identical_results" in bench:
             assert bench["serial_seconds"] > 0
             assert bench["parallel_seconds"] > 0
-        else:
+            assert bench["speedup"] is not None
+        elif "quality_parity" in bench:
             assert bench["exact_seconds"] > 0
             assert bench["hist_seconds"] > 0
-        assert bench["speedup"] is not None
+            assert bench["speedup"] is not None
+
+
+def test_daemon_throughput_coalesces_and_drains(smoke_report):
+    bench = next(
+        b for b in smoke_report["benchmarks"] if b["name"] == "daemon_throughput"
+    )
+    assert bench["answered_200"] > 0
+    assert bench["mean_batch_requests"] > 1  # coalescing actually happened
+    assert bench["coalesced"]
+    assert bench["drain_clean"]
+    assert bench["batches_per_second"] > 0
+    assert bench["score_latency_p50_ms"] is not None
+    assert bench["score_latency_p99_ms"] is not None
+    assert bench["score_latency_p99_ms"] >= bench["score_latency_p50_ms"]
 
 
 def test_parallel_results_identical(smoke_report):

@@ -7,7 +7,9 @@ Exposes the library's end-to-end workflow without writing Python::
     python -m repro train --data income.npz --model xgb --out deployed/
     python -m repro check --artifacts deployed/ --data income.npz --corrupt scaling
     python -m repro monitor --artifacts deployed/ --data income.npz --batches 10
-    python -m repro endpoints --config serving.json
+    python -m repro endpoints --config serving.json [--json]
+    python -m repro serve --config serving.json --port 8099
+    python -m repro health --config serving.json
     python -m repro serve-batch --config serving.json --endpoint income --data income.npz
     python -m repro trace --trace-out spans.json train --data income.npz --out deployed/
 
@@ -295,14 +297,37 @@ def _add_endpoints_command(subparsers) -> None:
         "endpoints", help="list the endpoints declared in a serving config"
     )
     parser.add_argument("--config", required=True, help="serving config JSON")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON document instead of text",
+    )
     parser.set_defaults(handler=_run_endpoints)
 
 
 def _run_endpoints(args) -> int:
+    from dataclasses import asdict
+
     from repro.serving.config import load_model_settings
 
     registry = registry_from_config(args.config)
     model = load_model_settings(args.config)
+    if args.json:
+        document = {
+            "model": {"tree_method": model.tree_method, "max_bins": model.max_bins},
+            "endpoints": [
+                {
+                    "name": endpoint.name,
+                    "version": endpoint.version,
+                    "key": endpoint.key,
+                    "expected_score": endpoint.expected_score,
+                    "has_validator": endpoint.validator is not None,
+                    "policy": asdict(endpoint.policy),
+                }
+                for endpoint in registry.endpoints()
+            ],
+        }
+        print(json.dumps(document, indent=2))
+        return 0
     print(f"model: tree_method={model.tree_method} max_bins={model.max_bins}")
     for endpoint in registry.endpoints():
         print(endpoint.describe())
@@ -311,6 +336,83 @@ def _run_endpoints(args) -> int:
             class_path = persistence.artifact_class_path(predictor_path)
             print(f"  predictor artifact: {predictor_path} ({class_path})")
     return 0
+
+
+def _add_serve_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="run the persistent HTTP serving daemon",
+        description=(
+            "Starts the async serving daemon over the endpoints declared in a "
+            "serving config: POST /v1/endpoints/<name>/score admits frames "
+            "into bounded per-endpoint queues, worker threads coalesce them "
+            "into micro-batches, and GET /healthz, /metrics and /spans expose "
+            "daemon state. SIGTERM drains gracefully (every admitted request "
+            "is answered); SIGHUP reloads the config in place."
+        ),
+    )
+    parser.add_argument("--config", required=True, help="serving config JSON")
+    parser.add_argument("--host", default=None, help="bind host (overrides config)")
+    parser.add_argument("--port", type=int, default=None, help="bind port (overrides config)")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker threads per endpoint (overrides config)",
+    )
+    parser.set_defaults(handler=_run_serve)
+
+
+def _run_serve(args) -> int:
+    from repro.daemon import ServingDaemon
+
+    daemon = ServingDaemon.from_config(
+        args.config, host=args.host, port=args.port, workers=args.workers
+    )
+    daemon.install_signal_handlers()
+    daemon.start()
+    names = ", ".join(e.key for e in daemon.service.registry.endpoints())
+    print(f"serving {names} at {daemon.url} (SIGTERM drains, SIGHUP reloads)")
+    report = daemon.run_forever()
+    print(
+        f"drained: {report.answered_requests} requests in "
+        f"{report.scored_groups} batches, {report.unanswered_requests} unanswered"
+        + (f", registry snapshot at {report.snapshot_path}" if report.snapshot_path else "")
+    )
+    return 0 if report.clean else 1
+
+
+def _add_health_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "health",
+        help="ping a running daemon's /healthz; non-zero exit when degraded",
+    )
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--config", default=None,
+        help="serving config whose daemon block names the host/port",
+    )
+    target.add_argument(
+        "--url", default=None, help="daemon base URL (e.g. http://127.0.0.1:8099)"
+    )
+    parser.add_argument("--timeout", type=float, default=5.0)
+    parser.set_defaults(handler=_run_health)
+
+
+def _run_health(args) -> int:
+    from repro.daemon import DaemonClient
+    from repro.serving.config import load_daemon_settings
+
+    if args.url is not None:
+        base_url = args.url
+    else:
+        settings = load_daemon_settings(args.config)
+        base_url = f"http://{settings.host}:{settings.port}"
+    response = DaemonClient(base_url, timeout=args.timeout).health()
+    print(json.dumps(response.payload, indent=2))
+    status = response.payload.get("status")
+    if response.ok and status == "ok":
+        return 0
+    print(f"daemon at {base_url} is {status or 'unreachable'}", file=sys.stderr)
+    return 1
 
 
 def persistence_dir_of(config_path: str, endpoint) -> Path:
@@ -473,7 +575,7 @@ def _add_bench_command(subparsers) -> None:
         "--smoke", action="store_true",
         help="tiny workload for CI (default: the full reference workload)",
     )
-    parser.add_argument("--out", default="BENCH_PR3.json", help="report output path")
+    parser.add_argument("--out", default="BENCH_PR6.json", help="report output path")
     _add_parallel_arguments(parser)
     _add_trace_arguments(parser)
     parser.set_defaults(handler=_run_bench, n_jobs=4)
@@ -553,6 +655,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_check_command(subparsers)
     _add_monitor_command(subparsers)
     _add_endpoints_command(subparsers)
+    _add_serve_command(subparsers)
+    _add_health_command(subparsers)
     _add_serve_batch_command(subparsers)
     _add_bench_command(subparsers)
     _add_trace_command(subparsers)

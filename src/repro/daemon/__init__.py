@@ -1,0 +1,50 @@
+"""Persistent async serving daemon (``repro serve``).
+
+Layers, bottom-up:
+
+* :mod:`repro.daemon.queues` — bounded per-endpoint request queues with
+  admission control (reject / drop-oldest shed policies).
+* :mod:`repro.daemon.coalescer` — micro-batch gathering under the
+  max-rows / max-wait rule on an injectable monotonic clock.
+* :mod:`repro.daemon.workers` — gather → merge → score → fan-out worker
+  threads over :meth:`~repro.serving.service.ValidationService.score_now`
+  (which keeps the PR-5 resilient scoring path).
+* :mod:`repro.daemon.protocol` — the JSON wire format for frames and
+  batch results.
+* :mod:`repro.daemon.server` — the stdlib HTTP front end (``/v1/...``,
+  ``/healthz``, ``/metrics``, ``/spans``).
+* :mod:`repro.daemon.lifecycle` — :class:`ServingDaemon`: start,
+  SIGTERM graceful drain, SIGHUP config reload.
+* :mod:`repro.daemon.client` — stdlib urllib client (``repro health``).
+"""
+
+from repro.daemon.client import DaemonClient, DaemonResponse
+from repro.daemon.coalescer import IDLE_POLL_SECONDS, MicroBatchCoalescer
+from repro.daemon.lifecycle import SPAN_STORE_CAPACITY, DrainReport, ServingDaemon
+from repro.daemon.protocol import (
+    frame_from_payload,
+    frame_to_payload,
+    result_to_payload,
+)
+from repro.daemon.queues import SHED_POLICIES, BoundedRequestQueue, ScoreRequest
+from repro.daemon.server import MAX_BODY_BYTES, DaemonHTTPServer
+from repro.daemon.workers import EndpointWorker
+
+__all__ = [
+    "BoundedRequestQueue",
+    "DaemonClient",
+    "DaemonHTTPServer",
+    "DaemonResponse",
+    "DrainReport",
+    "EndpointWorker",
+    "IDLE_POLL_SECONDS",
+    "MAX_BODY_BYTES",
+    "MicroBatchCoalescer",
+    "SHED_POLICIES",
+    "SPAN_STORE_CAPACITY",
+    "ScoreRequest",
+    "ServingDaemon",
+    "frame_from_payload",
+    "frame_to_payload",
+    "result_to_payload",
+]

@@ -1,0 +1,114 @@
+"""Stdlib client for a running serving daemon.
+
+:class:`DaemonClient` is what ``repro health`` and the smoke tests use
+to talk to a daemon over HTTP — :mod:`urllib.request` only, mirroring
+the server's no-new-dependencies rule. Error responses are surfaced as
+:class:`DaemonResponse` objects (status + decoded payload) rather than
+raised, so callers can branch on 429/503 without exception gymnastics.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+
+from repro.daemon.protocol import frame_to_payload
+from repro.exceptions import DaemonError
+from repro.tabular.frame import DataFrame
+
+
+@dataclass(frozen=True)
+class DaemonResponse:
+    """One HTTP exchange with the daemon, already decoded."""
+
+    status: int
+    payload: dict
+    headers: dict[str, str]
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def retry_after(self) -> int | None:
+        value = self.headers.get("Retry-After")
+        return int(value) if value is not None else None
+
+
+class DaemonClient:
+    """Talks to one daemon base URL (e.g. ``http://127.0.0.1:8099``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+
+    def score(
+        self, endpoint: str, frame: DataFrame, version: str | None = None
+    ) -> DaemonResponse:
+        """POST a frame for scoring; returns the decoded response."""
+        path = f"/v1/endpoints/{endpoint}/score"
+        if version is not None:
+            path += f"?version={version}"
+        body = json.dumps(frame_to_payload(frame)).encode("utf-8")
+        return self._request("POST", path, body)
+
+    def health(self) -> DaemonResponse:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The raw Prometheus exposition text."""
+        response = self._request("GET", "/metrics", decode_json=False)
+        if not response.ok:
+            raise DaemonError(f"/metrics answered {response.status}")
+        return response.payload["text"]
+
+    def spans(self) -> list[dict]:
+        response = self._request("GET", "/spans")
+        if not response.ok:
+            raise DaemonError(f"/spans answered {response.status}")
+        return response.payload["spans"]
+
+    # ------------------------------------------------------------------ #
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        decode_json: bool = True,
+    ) -> DaemonResponse:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                raw = response.read()
+                status = response.status
+                headers = dict(response.headers.items())
+        except urllib.error.HTTPError as error:
+            # 4xx/5xx still carry a JSON body we want to surface.
+            raw = error.read()
+            status = error.code
+            headers = dict(error.headers.items())
+        except (urllib.error.URLError, OSError) as error:
+            raise DaemonError(
+                f"cannot reach daemon at {self.base_url}: {error}"
+            ) from error
+        if not decode_json:
+            return DaemonResponse(
+                status, {"text": raw.decode("utf-8", "replace")}, headers
+            )
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            payload = {"error": raw.decode("utf-8", "replace")}
+        if isinstance(payload, list):
+            payload = {"spans": payload}
+        return DaemonResponse(status, payload, headers)

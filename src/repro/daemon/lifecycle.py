@@ -1,0 +1,518 @@
+"""Daemon lifecycle: start, serve, drain on SIGTERM, reload on SIGHUP.
+
+:class:`ServingDaemon` composes the whole persistent-serving stack —
+registry, :class:`~repro.serving.service.ValidationService` (with the
+PR-5 resilient scoring path), per-endpoint bounded queues, coalescing
+workers, the HTTP front end and a span tracer — behind three verbs:
+
+* :meth:`start` — bind the port, install the tracer, spawn workers.
+* :meth:`drain` — graceful shutdown: admission stops (new requests get
+  503), queues close, workers flush every queued request exactly once,
+  the registry is snapshotted (when configured), then the HTTP server
+  stops. No admitted request is ever dropped.
+* :meth:`reload` — re-read the config file: endpoints present in the
+  new config are re-registered (fresh artifacts / policies) and new
+  ones gain queues and workers; endpoints that disappeared stop
+  admitting but keep their registry entries until their queues drain,
+  so in-flight batches still score.
+
+Signals map onto those verbs through :meth:`install_signal_handlers`:
+handlers only set flags (async-signal safety), and :meth:`run_forever`
+— the ``repro serve`` main loop — acts on them from the main thread.
+
+The request lifecycle is fully traced: ``daemon.accept`` (HTTP parse +
+admission) → ``daemon.enqueue`` (queue admission) → ``daemon.coalesce``
+(group gathering + fan-out) → ``serving.score`` (the existing service
+span), so ``/spans`` and the throughput bench can reconstruct end-to-end
+latency from one store.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.daemon.coalescer import MicroBatchCoalescer
+from repro.daemon.queues import BoundedRequestQueue, ScoreRequest
+from repro.daemon.server import DaemonHTTPServer
+from repro.daemon.workers import EndpointWorker
+from repro.exceptions import DaemonClosedError, DataValidationError
+from repro.obs import SpanStore, Tracer, bridge_spans, set_tracer, spans_to_json
+from repro.obs.trace import current_tracer
+from repro.serving.config import (
+    DaemonSettings,
+    ResilienceSettings,
+    load_daemon_settings,
+    load_resilience_settings,
+    registry_from_config,
+)
+from repro.serving.events import EventRouter
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.registry import Endpoint, ModelRegistry
+from repro.serving.service import ValidationService
+from repro.tabular.frame import DataFrame
+
+#: Bounded span memory for a long-running daemon.
+SPAN_STORE_CAPACITY = 16384
+
+_COALESCE_COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+_QUEUE_WAIT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+
+@dataclass(frozen=True)
+class DrainReport:
+    """What a graceful drain accomplished."""
+
+    answered_requests: int
+    scored_groups: int
+    unanswered_requests: int
+    snapshot_path: str | None = None
+
+    @property
+    def clean(self) -> bool:
+        return self.unanswered_requests == 0
+
+
+class ServingDaemon:
+    """The persistent async serving daemon (``repro serve``).
+
+    Construct programmatically from a registry, or from a config file
+    via :meth:`from_config` (which also enables SIGHUP reload).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        settings: DaemonSettings | None = None,
+        resilience: ResilienceSettings | None = None,
+        events: EventRouter | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        config_path: str | Path | None = None,
+    ):
+        self.settings = settings if settings is not None else DaemonSettings()
+        self.clock = clock
+        self.config_path = None if config_path is None else Path(config_path)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.service = ValidationService(
+            registry,
+            metrics=self.metrics,
+            events=events,
+            clock=clock,
+            resilience=resilience,
+        )
+        self.tracer = Tracer(SpanStore(capacity=SPAN_STORE_CAPACITY))
+
+        self._queues: dict[str, BoundedRequestQueue] = {}
+        self._score_locks: dict[str, threading.Lock] = {}
+        self._workers: list[EndpointWorker] = []
+        self._lock = threading.RLock()
+        self._accepting = False
+        self._started = False
+        self._drained = False
+        self._previous_tracer = None
+        self._server: DaemonHTTPServer | None = None
+        self._server_thread: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        self._reload_event = threading.Event()
+        self._bridge_cursor = 0
+        self._bridge_lock = threading.Lock()
+
+        self._accepted = self.metrics.counter(
+            "daemon_accepted_total", "Requests admitted into a queue", ("endpoint",)
+        )
+        self._shed = self.metrics.counter(
+            "daemon_shed_total",
+            "Requests shed by admission control",
+            ("endpoint", "policy"),
+        )
+        self._queue_depth = self.metrics.gauge(
+            "daemon_queue_depth", "Requests currently queued", ("endpoint",)
+        )
+        self._group_requests = self.metrics.histogram(
+            "daemon_coalesced_requests",
+            "Requests merged into each scored micro-batch",
+            ("endpoint",),
+            buckets=_COALESCE_COUNT_BUCKETS,
+        )
+        self._queue_wait = self.metrics.histogram(
+            "daemon_queue_wait_seconds",
+            "Time requests spent queued before scoring",
+            ("endpoint",),
+            buckets=_QUEUE_WAIT_BUCKETS,
+        )
+        self._http_responses = self.metrics.counter(
+            "daemon_http_responses_total",
+            "HTTP responses by method and status code",
+            ("method", "code"),
+        )
+        self._reloads = self.metrics.counter(
+            "daemon_config_reloads_total", "Successful SIGHUP config reloads"
+        )
+
+        for endpoint in registry.endpoints():
+            self._ensure_endpoint(endpoint)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_config(
+        cls,
+        path: str | Path,
+        host: str | None = None,
+        port: int | None = None,
+        workers: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        events: EventRouter | None = None,
+    ) -> "ServingDaemon":
+        """Build a daemon from a serving config (enables SIGHUP reload).
+
+        ``host`` / ``port`` / ``workers`` override the config's
+        ``daemon`` block — the CLI flags.
+        """
+        from dataclasses import replace
+
+        config_path = Path(path)
+        settings = load_daemon_settings(config_path)
+        overrides = {}
+        if host is not None:
+            overrides["host"] = host
+        if port is not None:
+            overrides["port"] = port
+        if workers is not None:
+            overrides["workers"] = workers
+        if overrides:
+            settings = replace(settings, **overrides)
+        return cls(
+            registry_from_config(config_path),
+            settings=settings,
+            resilience=load_resilience_settings(config_path),
+            events=events,
+            clock=clock,
+            config_path=config_path,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Endpoint plumbing
+    # ------------------------------------------------------------------ #
+
+    def _ensure_endpoint(self, endpoint: Endpoint) -> None:
+        """Create (or refresh) the queue / coalescer / workers for one
+        endpoint. Must hold ``self._lock`` or run pre-start."""
+        key = endpoint.key
+        policy = endpoint.policy
+        max_batch = (
+            policy.micro_batch_size
+            if policy.micro_batch_size is not None
+            else self.settings.max_batch_rows
+        )
+        max_wait = (
+            policy.max_wait_seconds
+            if policy.micro_batch_size is not None
+            else self.settings.max_wait_seconds
+        )
+        if key in self._queues:
+            # Reload path: refresh coalescing parameters in place.
+            for worker in self._workers:
+                if worker.key == key:
+                    worker.coalescer.max_batch_rows = max_batch
+                    worker.coalescer.max_wait_seconds = max_wait
+            return
+        queue = BoundedRequestQueue(
+            capacity=self.settings.queue_depth,
+            shed_policy=self.settings.shed_policy,
+            retry_after_seconds=self.settings.retry_after_seconds,
+            clock=self.clock,
+        )
+        self._queues[key] = queue
+        self._score_locks[key] = threading.Lock()
+        for index in range(self.settings.workers):
+            worker = EndpointWorker(
+                key=key,
+                name=endpoint.name,
+                version=endpoint.version,
+                coalescer=MicroBatchCoalescer(
+                    queue,
+                    max_batch_rows=max_batch,
+                    max_wait_seconds=max_wait,
+                    clock=self.clock,
+                ),
+                service=self.service,
+                score_lock=self._score_locks[key],
+                on_group=lambda n, rows, waits, k=key: self._record_group(
+                    k, n, rows, waits
+                ),
+                worker_index=index,
+            )
+            self._workers.append(worker)
+            if self._started:
+                worker.start()
+
+    def _record_group(
+        self, key: str, n_requests: int, n_rows: int, queue_waits: list[float]
+    ) -> None:
+        self._group_requests.observe(n_requests, endpoint=key)
+        for wait in queue_waits:
+            self._queue_wait.observe(wait, endpoint=key)
+        self._queue_depth.set(self._queues[key].depth, endpoint=key)
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self, name: str, frame: DataFrame, version: str | None = None
+    ) -> ScoreRequest:
+        """Admit one scoring request; raises instead of silently queueing
+        when the daemon is draining or the endpoint queue is full."""
+        if len(frame) == 0:
+            raise DataValidationError("cannot serve an empty batch")
+        if not self._accepting:
+            raise DaemonClosedError("daemon is draining; not accepting requests")
+        endpoint = self.service.registry.get(name, version)
+        key = endpoint.key
+        with self._lock:
+            queue = self._queues.get(key)
+        if queue is None:
+            raise DaemonClosedError(
+                f"endpoint {key!r} has no active queue (removed by reload)"
+            )
+        request = ScoreRequest(endpoint=name, frame=frame, version=version)
+        with current_tracer().span(
+            "daemon.enqueue", endpoint=key, rows=len(frame)
+        ) as span:
+            try:
+                shed = queue.put(request)
+            except Exception:
+                self._shed.inc(endpoint=key, policy=self.settings.shed_policy)
+                raise
+            span.add(depth=queue.depth)
+        if shed is not None:
+            # drop_oldest: the evicted request is answered with the same
+            # overload signal a rejected one would have received.
+            self._shed.inc(endpoint=key, policy=self.settings.shed_policy)
+            from repro.exceptions import QueueFullError
+
+            shed.set_error(
+                QueueFullError(
+                    f"endpoint {key!r} shed this request for a newer one "
+                    f"(queue depth {queue.capacity})",
+                    retry_after_seconds=self.settings.retry_after_seconds,
+                )
+            )
+        self._accepted.inc(endpoint=key)
+        self._queue_depth.set(queue.depth, endpoint=key)
+        return request
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "ServingDaemon":
+        """Bind the port, install the tracer, start workers + server."""
+        if self._started:
+            return self
+        self._previous_tracer = set_tracer(self.tracer)
+        self._server = DaemonHTTPServer(
+            (self.settings.host, self.settings.port), self
+        )
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-daemon-http",
+            daemon=True,
+        )
+        self._server_thread.start()
+        for worker in self._workers:
+            worker.start()
+        self._started = True
+        self._accepting = True
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        if self._server is not None:
+            return self._server.port
+        return self.settings.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.settings.host}:{self.port}"
+
+    @property
+    def accepting(self) -> bool:
+        return self._accepting
+
+    def request_stop(self) -> None:
+        """Flag-only stop used by signal handlers; ``run_forever`` drains."""
+        self._stop_event.set()
+
+    def request_reload(self) -> None:
+        """Flag-only reload used by the SIGHUP handler."""
+        self._reload_event.set()
+        self._stop_event.set()  # wake the run_forever wait loop
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain; SIGHUP → config reload.
+
+        Only callable from the main thread (a Python constraint); the
+        handlers set flags and :meth:`run_forever` does the actual work
+        outside signal context.
+        """
+        import signal
+
+        signal.signal(signal.SIGTERM, lambda *_: self.request_stop())
+        signal.signal(signal.SIGINT, lambda *_: self.request_stop())
+        if hasattr(signal, "SIGHUP"):
+            signal.signal(signal.SIGHUP, lambda *_: self.request_reload())
+
+    def run_forever(self) -> DrainReport:
+        """Serve until a stop signal arrives, then drain gracefully."""
+        self.start()
+        while True:
+            self._stop_event.wait()
+            if self._reload_event.is_set():
+                self._reload_event.clear()
+                self._stop_event.clear()
+                self.reload()
+                continue
+            break
+        return self.drain()
+
+    def reload(self) -> None:
+        """Re-read the config file and swap endpoints without dropping
+        in-flight batches. No-op for daemons built without a config."""
+        if self.config_path is None:
+            raise DataValidationError(
+                "reload requires a daemon built from a config file"
+            )
+        new_registry = registry_from_config(self.config_path)
+        new_keys = {endpoint.key for endpoint in new_registry.endpoints()}
+        with self._lock:
+            for endpoint in new_registry.endpoints():
+                # Replace (or add) the artifacts/policy under the same key;
+                # queued work keeps scoring against the registry, which now
+                # resolves to the refreshed endpoint.
+                self.service.registry.register(endpoint, replace_existing=True)
+                self._ensure_endpoint(endpoint)
+            for key, queue in self._queues.items():
+                if key not in new_keys and not queue.closed:
+                    # Removed endpoints stop admitting; their workers drain
+                    # what is already queued (the registry entry survives
+                    # until restart so those batches still score).
+                    queue.close()
+        self._reloads.inc()
+
+    def drain(self) -> DrainReport:
+        """Graceful shutdown; see the class docstring for the contract."""
+        if self._drained:
+            raise DaemonClosedError("daemon already drained")
+        self._accepting = False
+        with self._lock:
+            for queue in self._queues.values():
+                queue.close()
+        deadline = time.monotonic() + self.settings.drain_timeout_seconds
+        for worker in self._workers:
+            if not worker.is_alive():
+                continue
+            worker.join(timeout=max(0.05, deadline - time.monotonic()))
+        unanswered = sum(queue.depth for queue in self._queues.values())
+        for key, queue in self._queues.items():
+            self._queue_depth.set(queue.depth, endpoint=key)
+
+        snapshot_path: str | None = None
+        if self.settings.snapshot_dir is not None:
+            base = Path(self.settings.snapshot_dir)
+            if self.config_path is not None and not base.is_absolute():
+                base = self.config_path.parent / base
+            snapshot_path = str(self.service.registry.snapshot(base))
+
+        if self._server is not None:
+            self._server.shutdown()
+            if self._server_thread is not None:
+                self._server_thread.join(timeout=5.0)
+            self._server.server_close()
+        if self._started:
+            set_tracer(self._previous_tracer)
+        self._drained = True
+        return DrainReport(
+            answered_requests=sum(w.requests_answered for w in self._workers),
+            scored_groups=sum(w.groups_scored for w in self._workers),
+            unanswered_requests=unanswered,
+            snapshot_path=snapshot_path,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection (the GET routes)
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload: overall status plus per-endpoint detail.
+
+        ``degraded`` when any circuit breaker is open or any queue is
+        saturated; ``draining`` once admission stopped.
+        """
+        endpoints: dict[str, dict] = {}
+        degraded = False
+        with self._lock:
+            queues = dict(self._queues)
+        for endpoint in self.service.registry.endpoints():
+            key = endpoint.key
+            queue = queues.get(key)
+            breaker = self.service.breaker_state(endpoint.name, endpoint.version)
+            saturated = queue.saturated if queue is not None else False
+            if breaker == "open" or saturated:
+                degraded = True
+            endpoints[key] = {
+                "breaker": breaker if breaker is not None else "closed",
+                "queue_depth": queue.depth if queue is not None else 0,
+                "queue_capacity": (
+                    queue.capacity if queue is not None else self.settings.queue_depth
+                ),
+                "queue_saturated": saturated,
+                "shed_total": queue.shed_total if queue is not None else 0,
+                "accepting": queue is not None and not queue.closed,
+            }
+        if not self._accepting:
+            status = "draining"
+        elif degraded:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {"status": status, "endpoints": endpoints}
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition with new span aggregates bridged in."""
+        self._bridge_new_spans()
+        return self.metrics.to_prometheus()
+
+    def _bridge_new_spans(self) -> None:
+        """Fold spans collected since the last scrape into the metrics.
+
+        ``bridge_spans`` double-counts on repeat, so a cursor over the
+        store's total span count (collected + dropped) bridges each span
+        exactly once across scrapes.
+        """
+        with self._bridge_lock:
+            store = self.tracer.store
+            snapshot = store.spans()
+            dropped = store.dropped
+            start = max(0, self._bridge_cursor - dropped)
+            fresh = snapshot[start:]
+            if fresh:
+                bridge_spans(fresh, self.metrics)
+            self._bridge_cursor = dropped + len(snapshot)
+
+    def spans_json(self) -> str:
+        return spans_to_json(self.tracer.store.spans())
+
+    def record_http(self, method: str, code: int) -> None:
+        self._http_responses.inc(method=str(method), code=str(code))

@@ -1,0 +1,115 @@
+"""The daemon's JSON wire format: frames in, batch results out.
+
+A score request body is a JSON object declaring its columns and types::
+
+    {
+      "columns": {"age": [34, 51, null], "city": ["berlin", null, "rome"]},
+      "types":   {"age": "numeric",      "city": "categorical"}
+    }
+
+JSON has no ``NaN``, so ``null`` marks a missing cell in every column
+type (numeric ``null`` becomes ``nan`` on decode and back again on
+encode). Image columns travel as nested ``(n, h, w)`` lists.
+
+The response mirrors :class:`~repro.serving.service.BatchResult` plus
+daemon-side context (how many requests were coalesced into the scored
+batch, and the time the request spent queued)::
+
+    {"endpoint": "income", "estimated_score": 0.82, "alarm": false,
+     "coalesced_requests": 4, "coalesced_rows": 120, ...}
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.serving.service import BatchResult
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+_TYPE_NAMES = {ctype.value: ctype for ctype in ColumnType}
+
+
+def frame_to_payload(frame: DataFrame) -> dict:
+    """Encode a frame as a JSON-ready request body."""
+    columns: dict[str, list] = {}
+    types: dict[str, str] = {}
+    for spec in frame.schema:
+        values = frame[spec.name]
+        types[spec.name] = spec.ctype.value
+        if spec.ctype is ColumnType.NUMERIC:
+            columns[spec.name] = [
+                None if math.isnan(v) else float(v) for v in values
+            ]
+        elif spec.ctype is ColumnType.IMAGE:
+            columns[spec.name] = np.asarray(values, dtype=float).tolist()
+        else:
+            columns[spec.name] = [None if v is None else str(v) for v in values]
+    return {"columns": columns, "types": types}
+
+
+def frame_from_payload(payload: dict) -> DataFrame:
+    """Decode a request body into a frame, validating shape loudly."""
+    if not isinstance(payload, dict):
+        raise DataValidationError("request body must be a JSON object")
+    missing = {"columns", "types"} - set(payload)
+    if missing:
+        raise DataValidationError(f"request body is missing {sorted(missing)}")
+    columns = payload["columns"]
+    types = payload["types"]
+    if not isinstance(columns, dict) or not columns:
+        raise DataValidationError("'columns' must be a non-empty object")
+    if not isinstance(types, dict) or set(types) != set(columns):
+        raise DataValidationError("'types' must name exactly the 'columns' keys")
+    data: dict[str, object] = {}
+    ctypes: dict[str, ColumnType] = {}
+    for name, raw_type in types.items():
+        ctype = _TYPE_NAMES.get(str(raw_type))
+        if ctype is None:
+            raise DataValidationError(
+                f"column {name!r} has unknown type {raw_type!r}; "
+                f"valid types: {sorted(_TYPE_NAMES)}"
+            )
+        values = columns[name]
+        if not isinstance(values, list):
+            raise DataValidationError(f"column {name!r} must be a JSON array")
+        if ctype is ColumnType.NUMERIC:
+            values = [float("nan") if v is None else float(v) for v in values]
+        ctypes[name] = ctype
+        data[name] = values
+    return DataFrame.from_dict(data, ctypes)
+
+
+def result_to_payload(
+    result: BatchResult,
+    coalesced_requests: int | None = None,
+    coalesced_rows: int | None = None,
+    queued_seconds: float | None = None,
+) -> dict:
+    """Encode a scored batch result (plus daemon context) for the response."""
+    payload = {
+        "endpoint": result.endpoint,
+        "version": result.version,
+        "batch_index": result.batch_index,
+        "n_rows": result.n_rows,
+        "estimated_score": result.estimated_score,
+        "smoothed_score": result.smoothed_score,
+        "expected_score": result.expected_score,
+        "alarm_floor": result.alarm_floor,
+        "alarm": result.alarm,
+        "sustained_alarm": result.sustained_alarm,
+        "interval": None if result.interval is None else list(result.interval),
+        "trusted": result.trusted,
+        "degraded": result.degraded,
+        "fallback": result.fallback,
+    }
+    if coalesced_requests is not None:
+        payload["coalesced_requests"] = coalesced_requests
+    if coalesced_rows is not None:
+        payload["coalesced_rows"] = coalesced_rows
+    if queued_seconds is not None:
+        payload["queued_seconds"] = queued_seconds
+    return payload

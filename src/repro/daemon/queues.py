@@ -1,0 +1,222 @@
+"""Bounded per-endpoint request queues with admission control.
+
+The daemon's backpressure story lives here. Every endpoint owns one
+:class:`BoundedRequestQueue`; the HTTP front end *admits* a request into
+the queue (or sheds it), worker threads *drain* the queue through the
+coalescer. Shedding is a policy decision:
+
+* ``"reject"`` — a full queue refuses the *new* request with
+  :class:`~repro.exceptions.QueueFullError` (the front end answers 429
+  with ``Retry-After``). Oldest-first fairness: whoever queued first is
+  scored first.
+* ``"drop_oldest"`` — a full queue admits the new request and evicts the
+  oldest waiting one, which is failed with the same error. Freshness
+  over fairness: useful when stale validation answers are worthless.
+
+A queue can be *closed* (graceful drain): admission stops immediately,
+but everything already queued remains poppable so workers flush it —
+requests are answered exactly once, never dropped on shutdown.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import (
+    DaemonClosedError,
+    DataValidationError,
+    QueueFullError,
+)
+from repro.serving.service import BatchResult
+from repro.tabular.frame import DataFrame
+
+#: Valid shed policies for a full queue.
+SHED_POLICIES = ("reject", "drop_oldest")
+
+
+@dataclass
+class ScoreRequest:
+    """One in-flight scoring request and its result slot.
+
+    The HTTP handler thread blocks on :meth:`wait` while a worker
+    coalesces the request into a micro-batch, scores it, and calls
+    :meth:`set_result` (or :meth:`set_error`) exactly once.
+    """
+
+    endpoint: str
+    frame: DataFrame
+    version: str | None = None
+    enqueued_at: float = 0.0
+    coalesced_requests: int | None = None
+    coalesced_rows: int | None = None
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+    result: BatchResult | None = field(default=None, repr=False)
+    error: BaseException | None = field(default=None, repr=False)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.frame)
+
+    def set_result(self, result: BatchResult) -> None:
+        self.result = result
+        self._done.set()
+
+    def set_error(self, error: BaseException) -> None:
+        self.error = error
+        self._done.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the request was answered; False on timeout."""
+        return self._done.wait(timeout)
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+
+class BoundedRequestQueue:
+    """A thread-safe FIFO of :class:`ScoreRequest` with a hard depth bound.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued (not yet popped) requests.
+    shed_policy:
+        What a full queue does — see the module docstring.
+    retry_after_seconds:
+        Hint carried by :class:`~repro.exceptions.QueueFullError` for the
+        429 ``Retry-After`` header.
+    clock:
+        Injectable monotonic clock stamped onto ``enqueued_at``.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        shed_policy: str = "reject",
+        retry_after_seconds: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity < 1:
+            raise DataValidationError(f"queue capacity must be >= 1, got {capacity}")
+        if shed_policy not in SHED_POLICIES:
+            raise DataValidationError(
+                f"shed_policy must be one of {SHED_POLICIES}, got {shed_policy!r}"
+            )
+        if retry_after_seconds <= 0:
+            raise DataValidationError(
+                f"retry_after_seconds must be > 0, got {retry_after_seconds}"
+            )
+        self.capacity = capacity
+        self.shed_policy = shed_policy
+        self.retry_after_seconds = retry_after_seconds
+        self._clock = clock
+        self._items: deque[ScoreRequest] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._shed_total = 0
+        self._peak_depth = 0
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+
+    def put(self, request: ScoreRequest) -> ScoreRequest | None:
+        """Admit a request; returns the request *shed* by this admission.
+
+        * queue has room → admitted, returns ``None``;
+        * full + ``"reject"`` → raises
+          :class:`~repro.exceptions.QueueFullError` (the new request was
+          never queued);
+        * full + ``"drop_oldest"`` → admitted, returns the evicted oldest
+          request — the caller must answer it (the daemon fails it with
+          the same queue-full error so its client sees a 429).
+        """
+        with self._not_empty:
+            if self._closed:
+                raise DaemonClosedError(
+                    f"queue for {request.endpoint!r} is closed (daemon draining)"
+                )
+            request.enqueued_at = self._clock()
+            shed: ScoreRequest | None = None
+            if len(self._items) >= self.capacity:
+                self._shed_total += 1
+                if self.shed_policy == "reject":
+                    raise QueueFullError(
+                        f"endpoint {request.endpoint!r} queue is full "
+                        f"({self.capacity} waiting)",
+                        retry_after_seconds=self.retry_after_seconds,
+                    )
+                shed = self._items.popleft()
+            self._items.append(request)
+            self._peak_depth = max(self._peak_depth, len(self._items))
+            self._not_empty.notify()
+            return shed
+
+    # ------------------------------------------------------------------ #
+    # Draining
+    # ------------------------------------------------------------------ #
+
+    def pop(self, timeout: float | None = None) -> ScoreRequest | None:
+        """Oldest queued request; ``None`` on timeout or closed-and-empty.
+
+        ``timeout=None`` blocks until an item arrives or the queue is
+        closed; ``timeout=0`` never blocks.
+        """
+        with self._not_empty:
+            if not self._items and timeout != 0:
+                deadline = None if timeout is None else time.monotonic() + timeout
+                while not self._items and not self._closed:
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        break
+                    self._not_empty.wait(remaining)
+            if not self._items:
+                return None
+            return self._items.popleft()
+
+    def close(self) -> None:
+        """Stop admission; queued requests stay poppable (drain mode)."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def saturated(self) -> bool:
+        with self._lock:
+            return len(self._items) >= self.capacity
+
+    @property
+    def shed_total(self) -> int:
+        """Requests shed by admission control since construction."""
+        with self._lock:
+            return self._shed_total
+
+    @property
+    def peak_depth(self) -> int:
+        with self._lock:
+            return self._peak_depth
+
+    def __len__(self) -> int:
+        return self.depth

@@ -1,0 +1,252 @@
+"""Stdlib HTTP front end for the serving daemon.
+
+Four routes, no framework, no new dependencies:
+
+* ``POST /v1/endpoints/<name>/score[?version=V]`` — admit a frame into
+  the endpoint's queue and block until its micro-batch is scored.
+  Overload answers ``429`` with a ``Retry-After`` header (admission
+  control), a draining daemon answers ``503``, an unknown endpoint
+  ``404``, a malformed body ``400``, and a request whose batch did not
+  score within the configured timeout ``504``.
+* ``GET /healthz`` — JSON health summary; ``503`` when degraded (an
+  open circuit breaker or a saturated queue) or draining.
+* ``GET /metrics`` — Prometheus text exposition from the shared
+  :class:`~repro.serving.metrics.MetricsRegistry`, span aggregates
+  bridged in.
+* ``GET /spans`` — the daemon's collected spans as JSON.
+
+Handlers run on :class:`~http.server.ThreadingHTTPServer` threads; the
+blocking wait in ``score`` therefore occupies one handler thread per
+in-flight request, which is exactly the admission-control story — the
+queue bound, not the thread pool, is the contract.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.daemon.protocol import frame_from_payload, result_to_payload
+from repro.exceptions import (
+    DaemonClosedError,
+    DataValidationError,
+    QueueFullError,
+    ReproError,
+)
+from repro.obs import current_tracer
+
+_SCORE_PREFIX = "/v1/endpoints/"
+_SCORE_SUFFIX = "/score"
+
+#: Cap on accepted request bodies (64 MiB) — a daemon guarding models
+#: should not be OOM-able by one oversized POST.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class DaemonHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ServingDaemon`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], daemon):
+        super().__init__(address, DaemonRequestHandler)
+        self.validation_daemon = daemon
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class DaemonRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def daemon(self):
+        return self.server.validation_daemon
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
+        path = urlparse(self.path).path
+        if path == "/healthz":
+            self._handle_health()
+        elif path == "/metrics":
+            self._handle_metrics()
+        elif path == "/spans":
+            self._handle_spans()
+        else:
+            self._send_json(404, {"error": f"no route {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler API
+        parsed = urlparse(self.path)
+        path = parsed.path
+        if path.startswith(_SCORE_PREFIX) and path.endswith(_SCORE_SUFFIX):
+            name = path[len(_SCORE_PREFIX):-len(_SCORE_SUFFIX)]
+            query = parse_qs(parsed.query)
+            version = query.get("version", [None])[0]
+            self._handle_score(name, version)
+        else:
+            self._send_json(404, {"error": f"no route {path!r}"})
+
+    # ------------------------------------------------------------------ #
+    # Score
+    # ------------------------------------------------------------------ #
+
+    def _handle_score(self, name: str, version: str | None) -> None:
+        daemon = self.daemon
+        with current_tracer().span("daemon.accept", endpoint=name) as span:
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                if length <= 0:
+                    self._send_json(400, {"error": "request body required"})
+                    return
+                if length > MAX_BODY_BYTES:
+                    self._send_json(
+                        413, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
+                    )
+                    return
+                body = self.rfile.read(length)
+                payload = json.loads(body)
+                frame = frame_from_payload(payload)
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                self._send_json(400, {"error": f"invalid JSON body: {error}"})
+                return
+            except DataValidationError as error:
+                self._send_json(400, {"error": str(error)})
+                return
+
+            try:
+                request = daemon.submit(name, frame, version=version)
+            except QueueFullError as error:
+                span.add(outcome_code=429)
+                self._send_json(
+                    429,
+                    {"error": str(error)},
+                    headers={
+                        "Retry-After": _format_retry_after(
+                            error.retry_after_seconds
+                        )
+                    },
+                )
+                return
+            except DaemonClosedError as error:
+                span.add(outcome_code=503)
+                self._send_json(503, {"error": str(error)})
+                return
+            except DataValidationError as error:
+                # Unknown endpoint / version or an unscorable frame.
+                code = 404 if "no endpoint" in str(error) or "version" in str(error) else 400
+                span.add(outcome_code=code)
+                self._send_json(code, {"error": str(error)})
+                return
+
+        if not request.wait(daemon.settings.request_timeout_seconds):
+            self._send_json(
+                504,
+                {
+                    "error": (
+                        "request accepted but its batch did not score within "
+                        f"{daemon.settings.request_timeout_seconds}s"
+                    )
+                },
+            )
+            return
+        if request.error is not None:
+            if isinstance(request.error, QueueFullError):
+                # drop_oldest shed this request after admission.
+                self._send_json(
+                    429,
+                    {"error": str(request.error)},
+                    headers={
+                        "Retry-After": _format_retry_after(
+                            request.error.retry_after_seconds
+                        )
+                    },
+                )
+                return
+            if isinstance(request.error, DataValidationError):
+                # The batch failed validation at scoring time (e.g. a
+                # schema mismatch) — the caller's fault, not upstream's.
+                status = 400
+            elif isinstance(request.error, ReproError):
+                status = 502
+            else:
+                status = 500
+            self._send_json(
+                status,
+                {
+                    "error": f"{type(request.error).__name__}: {request.error}",
+                },
+            )
+            return
+        queued = daemon.clock() - request.enqueued_at
+        self._send_json(
+            200,
+            result_to_payload(
+                request.result,
+                coalesced_requests=request.coalesced_requests,
+                coalesced_rows=request.coalesced_rows,
+                queued_seconds=round(max(0.0, queued), 6),
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection routes
+    # ------------------------------------------------------------------ #
+
+    def _handle_health(self) -> None:
+        health = self.daemon.health()
+        code = 200 if health["status"] == "ok" else 503
+        self._send_json(code, health)
+
+    def _handle_metrics(self) -> None:
+        text = self.daemon.metrics_text()
+        self._send_bytes(200, text.encode("utf-8"), "text/plain; version=0.0.4")
+
+    def _handle_spans(self) -> None:
+        self._send_bytes(
+            200, self.daemon.spans_json().encode("utf-8"), "application/json"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+
+    def _send_json(
+        self, code: int, payload: dict, headers: dict[str, str] | None = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(code, body, "application/json", headers)
+
+    def _send_bytes(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-response; nothing to answer
+        self.daemon.record_http(self.command, code)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # Access logs go to metrics (daemon_http_responses_total), not
+        # stderr — a daemon under load must not block on terminal I/O.
+        pass
+
+
+def _format_retry_after(seconds: float) -> str:
+    # Retry-After is integer seconds; always advise at least 1.
+    return str(max(1, int(round(seconds))))

@@ -1,0 +1,126 @@
+"""Worker threads: drain one endpoint's queue through the coalescer.
+
+Each :class:`EndpointWorker` loops *gather → merge → score → fan out*:
+
+1. gather a micro-batch group from the endpoint's queue (the coalescer
+   applies the max-rows / max-wait rule),
+2. merge the group's frames into one batch,
+3. score it once through
+   :meth:`~repro.serving.service.ValidationService.score_now` — which
+   runs the PR-5 resilient path (retry / breaker / fallback chain) when
+   the config enables it,
+4. answer every request in the group with the same
+   :class:`~repro.serving.service.BatchResult` (or the same error).
+
+Scoring is serialized per endpoint with a shared lock because the
+monitor's smoothing state is sequential; with ``workers > 1`` the extra
+threads overlap gathering and waiting, not monitor updates.
+
+A worker exits when its queue is closed *and* empty — the graceful-drain
+contract: every admitted request is answered exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.daemon.coalescer import MicroBatchCoalescer
+from repro.daemon.queues import ScoreRequest
+from repro.obs import current_tracer
+from repro.serving.service import ValidationService
+from repro.tabular.frame import DataFrame, concat
+
+
+class EndpointWorker(threading.Thread):
+    """One coalesce-and-score loop over an endpoint's queue.
+
+    Parameters
+    ----------
+    key:
+        The resolved ``name@version`` endpoint key (display only).
+    name / version:
+        The registry address used for scoring.
+    coalescer:
+        Gathers queued requests into micro-batch groups.
+    service:
+        The validation service that scores merged frames.
+    score_lock:
+        Shared per-endpoint lock serializing monitor updates.
+    on_group:
+        Optional hook ``on_group(n_requests, n_rows, queue_waits)`` for
+        daemon metrics (coalesced group sizes and per-request time spent
+        queued before scoring).
+    """
+
+    def __init__(
+        self,
+        key: str,
+        name: str,
+        version: str | None,
+        coalescer: MicroBatchCoalescer,
+        service: ValidationService,
+        score_lock: threading.Lock,
+        on_group: Callable[[int, int, list[float]], None] | None = None,
+        worker_index: int = 0,
+    ):
+        super().__init__(name=f"repro-daemon-{key}-{worker_index}", daemon=True)
+        self.key = key
+        self.endpoint_name = name
+        self.endpoint_version = version
+        self.coalescer = coalescer
+        self.service = service
+        self._score_lock = score_lock
+        self._on_group = on_group
+        self.groups_scored = 0
+        self.requests_answered = 0
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> None:
+        queue = self.coalescer.queue
+        while True:
+            group = self.coalescer.gather()
+            if not group:
+                if queue.closed and queue.depth == 0:
+                    return
+                continue
+            self.score_group(group)
+
+    def score_group(self, group: list[ScoreRequest]) -> None:
+        """Score one gathered group and answer every request in it."""
+        n_rows = sum(request.n_rows for request in group)
+        now = self.coalescer.clock()
+        queue_waits = [max(0.0, now - request.enqueued_at) for request in group]
+        tracer = current_tracer()
+        with tracer.span(
+            "daemon.coalesce",
+            endpoint=self.key,
+            requests=len(group),
+            rows=n_rows,
+        ):
+            merged = _merge([request.frame for request in group])
+            try:
+                with self._score_lock:
+                    result = self.service.score_now(
+                        self.endpoint_name,
+                        merged,
+                        version=self.endpoint_version,
+                        requests=len(group),
+                    )
+            except BaseException as error:  # noqa: BLE001 - answered, not lost
+                for request in group:
+                    request.set_error(error)
+                return
+        for request in group:
+            request.coalesced_requests = len(group)
+            request.coalesced_rows = n_rows
+            request.set_result(result)
+        self.groups_scored += 1
+        self.requests_answered += len(group)
+        if self._on_group is not None:
+            self._on_group(len(group), n_rows, queue_waits)
+
+
+def _merge(frames: list[DataFrame]) -> DataFrame:
+    return frames[0] if len(frames) == 1 else concat(frames)

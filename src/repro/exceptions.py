@@ -80,3 +80,23 @@ class ParallelExecutionError(ReproError):
         super().__init__(message)
         self.task_index = task_index
         self.original_type = original_type
+
+
+class DaemonError(ReproError):
+    """Base class for serving-daemon failures (admission, lifecycle)."""
+
+
+class QueueFullError(DaemonError):
+    """An endpoint queue is at capacity and the request was shed.
+
+    Carries ``retry_after_seconds`` so the HTTP front end can answer
+    429 with a ``Retry-After`` header instead of inventing one.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 1.0):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class DaemonClosedError(DaemonError):
+    """The daemon is draining (or stopped) and no longer accepts requests."""

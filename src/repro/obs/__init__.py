@@ -13,6 +13,7 @@ from repro.obs.report import (
     aggregate_spans,
     check_well_nested,
     format_span_tree,
+    span_percentiles,
     span_tree,
 )
 from repro.obs.trace import (
@@ -56,6 +57,7 @@ __all__ = [
     "current_tracer",
     "format_span_tree",
     "set_tracer",
+    "span_percentiles",
     "span_tree",
     "spans_from_json",
     "spans_to_json",

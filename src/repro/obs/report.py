@@ -121,6 +121,36 @@ def aggregate_spans(spans: list[Span]) -> dict[str, dict]:
     return totals
 
 
+def span_percentiles(
+    spans: list[Span],
+    name: str,
+    quantiles: tuple[float, ...] = (0.5, 0.99),
+) -> dict[str, float] | None:
+    """Wall-time quantiles over every span named ``name``.
+
+    Returns ``{"p50": ..., "p99": ..., "count": ...}`` (seconds) using
+    linear interpolation over the sorted sample, or ``None`` when no
+    span matches — the daemon throughput bench derives its latency
+    figures from this.
+    """
+    walls = sorted(span.wall_seconds for span in spans if span.name == name)
+    if not walls:
+        return None
+    result: dict[str, float] = {"count": len(walls)}
+    for quantile in quantiles:
+        if not 0.0 <= quantile <= 1.0:
+            raise DataValidationError(
+                f"quantile must be in [0, 1], got {quantile}"
+            )
+        position = quantile * (len(walls) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(walls) - 1)
+        fraction = position - lower
+        value = walls[lower] * (1.0 - fraction) + walls[upper] * fraction
+        result[f"p{quantile * 100:g}"] = value
+    return result
+
+
 def _format_counters(counters: dict) -> str:
     if not counters:
         return ""

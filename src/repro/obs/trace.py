@@ -36,7 +36,7 @@ import json
 import threading
 import time
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.exceptions import DataValidationError
 
@@ -193,7 +193,7 @@ class _ActiveSpan:
         self._parent_id = stack[-1] if stack else None
         self._span_id = next(self._tracer._ids)
         stack.append(self._span_id)
-        self._started_at = time.time()
+        self._started_at = self._tracer.wall_clock()
         self._cpu_start = time.thread_time()
         self._wall_start = time.perf_counter()
         return self
@@ -227,12 +227,23 @@ class Tracer:
     One tracer serves all threads: span ids are globally unique within
     the tracer and the nesting stack is thread-local, so concurrently
     traced work on different threads yields independent span trees.
+
+    ``wall_clock`` stamps ``started_at`` on every span (wall time, for
+    correlating spans with external logs); durations always come from
+    ``time.perf_counter``, so a jumping wall clock can mislabel a span's
+    start but never corrupt its measured length. Inject a fake to make
+    span timestamps deterministic under test.
     """
 
     enabled = True
 
-    def __init__(self, store: SpanStore | None = None):
+    def __init__(
+        self,
+        store: SpanStore | None = None,
+        wall_clock: Callable[[], float] = time.time,
+    ):
         self.store = store if store is not None else SpanStore()
+        self.wall_clock = wall_clock
         self._ids = itertools.count(1)
         self._local = threading.local()
 

@@ -8,9 +8,11 @@ guarantee). Two further benchmarks race the exact tree engine against
 the histogram engine (forest fit and gradient boosting, both at
 ``n_jobs=1``) and check quality parity between the engines (R² /
 accuracy within tolerance — the engines make different split choices,
-so bit-identity is not expected there). Everything lands in one JSON
-report; ``BENCH_PR3.json`` at the repo root is the committed reference
-run, and CI refreshes a smoke-profile copy per PR so the perf
+so bit-identity is not expected there). A final benchmark bursts the
+serving daemon over HTTP and reports coalescing throughput plus p50/p99
+latency (see :mod:`repro.perf.daemon_bench`). Everything lands in one
+JSON report; ``BENCH_PR6.json`` at the repo root is the committed
+reference run, and CI refreshes a smoke-profile copy per PR so the perf
 trajectory stays visible.
 """
 
@@ -59,6 +61,12 @@ PROFILES: dict[str, dict[str, Any]] = {
         boost_rows=240,
         boost_features=10,
         boost_stages=6,
+        daemon_meta_samples=15,
+        daemon_requests=48,
+        daemon_clients=12,
+        daemon_rows_per_request=12,
+        daemon_queue_depth=32,
+        daemon_max_batch_rows=96,
     ),
     "full": dict(
         n_rows=1500,
@@ -75,6 +83,12 @@ PROFILES: dict[str, dict[str, Any]] = {
         boost_rows=2000,
         boost_features=20,
         boost_stages=40,
+        daemon_meta_samples=40,
+        daemon_requests=240,
+        daemon_clients=24,
+        daemon_rows_per_request=25,
+        daemon_queue_depth=64,
+        daemon_max_batch_rows=256,
     ),
 }
 
@@ -360,6 +374,8 @@ def run_benchmarks(
         )
     sizes = PROFILES[profile]
     blackbox, splits = _income_workload(sizes)
+    from repro.perf.daemon_bench import bench_daemon_throughput
+
     benchmarks = [
         bench_meta_dataset(sizes, blackbox, splits, n_jobs, backend),
         bench_forest_fit(sizes, n_jobs, backend),
@@ -368,9 +384,10 @@ def run_benchmarks(
         bench_tree_fit_exact_vs_hist(sizes),
         bench_boosting_exact_vs_hist(sizes),
         bench_trace_overhead(sizes),
+        bench_daemon_throughput(sizes),
     ]
     return {
-        "schema_version": 2,
+        "schema_version": 3,
         "profile": profile,
         "n_jobs": n_jobs,
         "backend": backend,
@@ -402,6 +419,17 @@ def format_report(payload: dict[str, Any]) -> str:
                 f"  {bench['name']:<24} serial {bench['serial_seconds']:>8.3f}s  "
                 f"n_jobs={payload['n_jobs']} {bench['parallel_seconds']:>8.3f}s  "
                 f"speedup {bench['speedup']:>5.2f}x  [{marker}]"
+            )
+        elif bench["name"] == "daemon_throughput":
+            marker = "ok " if bench["coalesced"] and bench["drain_clean"] else "WARN"
+            p50 = bench["score_latency_p50_ms"]
+            p99 = bench["score_latency_p99_ms"]
+            lines.append(
+                f"  {bench['name']:<24} "
+                f"{bench['batches_per_second'] or 0:>6.1f} batches/s  "
+                f"mean batch {bench['mean_batch_requests']:>5.2f} req  "
+                f"p50 {p50 or 0:>7.1f}ms p99 {p99 or 0:>8.1f}ms  "
+                f"shed {bench['shed_429']}  [{marker}]"
             )
         elif "quality_parity" in bench:
             marker = "ok " if bench["quality_parity"] else "GAP"

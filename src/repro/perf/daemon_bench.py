@@ -1,0 +1,137 @@
+"""Throughput benchmark for the serving daemon (``repro bench``).
+
+Starts a real :class:`~repro.daemon.ServingDaemon` on an ephemeral port,
+fires a burst of concurrent HTTP clients at it, and reports
+
+* batches (coalesced groups) per second and requests per second,
+* the mean coalesced batch size — the whole point of queue-level
+  micro-batching is that this lands well above 1 under burst,
+* p50 / p99 end-to-end scoring latency, derived from the daemon's own
+  ``serving.score`` span histogram via
+  :func:`repro.obs.report.span_percentiles`,
+* admission-control behavior: how many requests the bounded queue shed.
+
+The workload deliberately over-subscribes the queue (more concurrent
+clients than ``queue_depth``) so the report demonstrates both
+coalescing and load shedding rather than an idle daemon.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.core.predictor import PerformancePredictor
+from repro.daemon import DaemonClient, ServingDaemon
+from repro.evaluation.harness import known_error_generators, prepare_splits
+from repro.ml.linear import SGDClassifier
+from repro.ml.pipeline import Pipeline, TabularEncoder
+from repro.core.blackbox import BlackBoxModel
+from repro.obs import span_percentiles
+from repro.serving.config import DaemonSettings
+from repro.serving.registry import Endpoint, EndpointPolicy, ModelRegistry
+
+
+def _daemon_workload(profile: dict[str, Any]):
+    """A small fitted endpoint for the daemon to serve, plus serving rows."""
+    splits = prepare_splits("income", n_rows=profile["n_rows"], seed=0)
+    pipeline = Pipeline(TabularEncoder(), SGDClassifier(epochs=5, random_state=0))
+    pipeline.fit(splits.train, splits.y_train)
+    generators = list(known_error_generators("tabular").values())
+    predictor = PerformancePredictor(
+        BlackBoxModel.wrap(pipeline),
+        generators,
+        n_samples=profile["daemon_meta_samples"],
+        random_state=0,
+    ).fit(splits.test, splits.y_test)
+    registry = ModelRegistry()
+    registry.register(
+        Endpoint(
+            name="bench",
+            version="1",
+            predictor=predictor,
+            policy=EndpointPolicy(interval_coverage=None),
+        )
+    )
+    return registry, splits.serving
+
+
+def bench_daemon_throughput(profile: dict[str, Any]) -> dict[str, Any]:
+    """Burst a daemon over HTTP; report throughput, latency and shedding."""
+    registry, serving = _daemon_workload(profile)
+    rows_per_request = profile["daemon_rows_per_request"]
+    n_requests = profile["daemon_requests"]
+    n_clients = profile["daemon_clients"]
+    request_frame = serving.head(min(rows_per_request, len(serving)))
+
+    daemon = ServingDaemon(
+        registry,
+        settings=DaemonSettings(
+            port=0,
+            workers=1,
+            queue_depth=profile["daemon_queue_depth"],
+            max_batch_rows=profile["daemon_max_batch_rows"],
+            max_wait_seconds=0.02,
+            shed_policy="reject",
+        ),
+    )
+    daemon.start()
+    try:
+        client = DaemonClient(daemon.url, timeout=60.0)
+        statuses: list[int] = []
+        statuses_lock = threading.Lock()
+        coalesced: list[int] = []
+
+        def fire(count: int) -> None:
+            local_client = DaemonClient(daemon.url, timeout=60.0)
+            for _ in range(count):
+                response = local_client.score("bench", request_frame)
+                with statuses_lock:
+                    statuses.append(response.status)
+                    if response.status == 200:
+                        coalesced.append(response.payload["coalesced_requests"])
+
+        per_client, remainder = divmod(n_requests, n_clients)
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(target=fire, args=(per_client + (1 if i < remainder else 0),))
+            for i in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+
+        spans = daemon.tracer.store.spans()
+        latency = span_percentiles(spans, "serving.score", (0.5, 0.99))
+        scored_groups = sum(worker.groups_scored for worker in daemon._workers)
+        answered = statuses.count(200)
+        shed = statuses.count(429)
+        client.health()  # touch the health route so it lands in the spans
+    finally:
+        report = daemon.drain()
+
+    mean_batch = (sum(coalesced) / len(coalesced)) if coalesced else 0.0
+    return {
+        "name": "daemon_throughput",
+        "requests": n_requests,
+        "clients": n_clients,
+        "rows_per_request": len(request_frame),
+        "elapsed_seconds": round(elapsed, 4),
+        "answered_200": answered,
+        "shed_429": shed,
+        "other_statuses": len(statuses) - answered - shed,
+        "batches_per_second": round(scored_groups / elapsed, 3) if elapsed > 0 else None,
+        "requests_per_second": round(answered / elapsed, 3) if elapsed > 0 else None,
+        "mean_batch_requests": round(mean_batch, 3),
+        "score_latency_p50_ms": (
+            round(latency["p50"] * 1e3, 3) if latency else None
+        ),
+        "score_latency_p99_ms": (
+            round(latency["p99"] * 1e3, 3) if latency else None
+        ),
+        "drain_clean": report.clean,
+        "coalesced": mean_batch > 1.0,
+    }

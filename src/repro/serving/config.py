@@ -188,6 +188,85 @@ class ResilienceSettings:
 _RESILIENCE_FIELDS = {f.name for f in fields(ResilienceSettings)}
 
 
+@dataclass(frozen=True)
+class DaemonSettings:
+    """The config file's ``daemon`` block: the persistent serving daemon.
+
+    Consumed by ``repro serve`` /
+    :class:`~repro.daemon.lifecycle.ServingDaemon`. ``workers`` is the
+    coalescer/scorer thread count *per endpoint* (more workers trade
+    micro-batch size for scoring parallelism); ``queue_depth`` bounds
+    each endpoint's waiting requests, and ``shed_policy`` decides what a
+    full queue does (``"reject"`` the new request vs ``"drop_oldest"``).
+    ``max_batch_rows`` / ``max_wait_seconds`` drive queue-level
+    micro-batch coalescing; ``snapshot_dir`` (optional) receives a
+    registry snapshot during graceful drain.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8099
+    workers: int = 1
+    queue_depth: int = 64
+    max_batch_rows: int = 512
+    max_wait_seconds: float = 0.05
+    shed_policy: str = "reject"
+    retry_after_seconds: float = 1.0
+    request_timeout_seconds: float = 30.0
+    drain_timeout_seconds: float = 10.0
+    snapshot_dir: str | None = None
+
+    def __post_init__(self):
+        from repro.daemon.queues import SHED_POLICIES
+
+        if not isinstance(self.host, str) or not self.host:
+            raise DataValidationError("daemon.host must be a non-empty string")
+        if not 0 <= self.port <= 65535:
+            raise DataValidationError(
+                f"daemon.port must be in [0, 65535], got {self.port}"
+            )
+        if self.workers < 1:
+            raise DataValidationError(
+                f"daemon.workers must be >= 1, got {self.workers}"
+            )
+        if self.queue_depth < 1:
+            raise DataValidationError(
+                f"daemon.queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.max_batch_rows < 1:
+            raise DataValidationError(
+                f"daemon.max_batch_rows must be >= 1, got {self.max_batch_rows}"
+            )
+        if self.max_wait_seconds < 0:
+            raise DataValidationError(
+                f"daemon.max_wait_seconds must be >= 0, got {self.max_wait_seconds}"
+            )
+        if self.shed_policy not in SHED_POLICIES:
+            raise DataValidationError(
+                f"daemon.shed_policy must be one of {SHED_POLICIES}, "
+                f"got {self.shed_policy!r}"
+            )
+        if self.retry_after_seconds <= 0:
+            raise DataValidationError(
+                f"daemon.retry_after_seconds must be > 0, "
+                f"got {self.retry_after_seconds}"
+            )
+        if self.request_timeout_seconds <= 0:
+            raise DataValidationError(
+                f"daemon.request_timeout_seconds must be > 0, "
+                f"got {self.request_timeout_seconds}"
+            )
+        if self.drain_timeout_seconds <= 0:
+            raise DataValidationError(
+                f"daemon.drain_timeout_seconds must be > 0, "
+                f"got {self.drain_timeout_seconds}"
+            )
+        if self.snapshot_dir is not None and not isinstance(self.snapshot_dir, str):
+            raise DataValidationError("daemon.snapshot_dir must be a string")
+
+
+_DAEMON_FIELDS = {f.name for f in fields(DaemonSettings)}
+
+
 def parse_policy(raw: dict) -> EndpointPolicy:
     """Build a policy from a JSON object, rejecting unknown keys loudly."""
     unknown = set(raw) - _POLICY_FIELDS
@@ -236,6 +315,19 @@ def parse_observability(raw: dict) -> ObservabilitySettings:
     return ObservabilitySettings(**raw)
 
 
+def parse_daemon(raw: dict) -> DaemonSettings:
+    """Build daemon settings from a JSON object, rejecting unknown keys."""
+    if not isinstance(raw, dict):
+        raise DataValidationError("'daemon' must be an object")
+    unknown = set(raw) - _DAEMON_FIELDS
+    if unknown:
+        raise DataValidationError(
+            f"unknown daemon keys {sorted(unknown)}; "
+            f"valid keys: {sorted(_DAEMON_FIELDS)}"
+        )
+    return DaemonSettings(**raw)
+
+
 def parse_resilience(raw: dict) -> ResilienceSettings:
     """Build resilience settings from a JSON object, rejecting unknown keys."""
     if not isinstance(raw, dict):
@@ -263,7 +355,7 @@ def load_serving_config(path: str | Path) -> list[EndpointSpec]:
             f"{config_path} must be an object with an 'endpoints' list"
         )
     unknown = set(payload) - {
-        "endpoints", "parallel", "model", "observability", "resilience"
+        "endpoints", "parallel", "model", "observability", "resilience", "daemon"
     }
     if unknown:
         raise DataValidationError(
@@ -342,6 +434,20 @@ def load_observability_settings(path: str | Path) -> ObservabilitySettings:
     if not isinstance(payload, dict):
         raise DataValidationError(f"{config_path} must be a JSON object")
     return parse_observability(payload.get("observability", {}))
+
+
+def load_daemon_settings(path: str | Path) -> DaemonSettings:
+    """The ``daemon`` block of a config file (defaults when absent)."""
+    config_path = Path(path)
+    if not config_path.exists():
+        raise DataValidationError(f"no serving config at {config_path}")
+    try:
+        payload = json.loads(config_path.read_text())
+    except json.JSONDecodeError as error:
+        raise DataValidationError(f"invalid JSON in {config_path}: {error}") from error
+    if not isinstance(payload, dict):
+        raise DataValidationError(f"{config_path} must be a JSON object")
+    return parse_daemon(payload.get("daemon", {}))
 
 
 def load_resilience_settings(path: str | Path) -> ResilienceSettings:

@@ -15,9 +15,13 @@ dependency:
 * the registry owns the families and renders every export format, so
   instrumented code never knows how it is scraped.
 
-Everything is plain Python and thread-safe enough for the current
-single-process service (one lock per registry); no background threads,
-no global state.
+Everything is plain Python and fully thread-safe: the registry lock
+guards the family dict, and every metric carries its own lock around
+series mutation and rendering — concurrent ``inc``/``observe`` calls
+from daemon worker and HTTP handler threads land exactly, and a
+Prometheus scrape never sees a histogram series mid-update (bucket
+counts, sum and count always render from one consistent state). No
+background threads, no global state.
 """
 
 from __future__ import annotations
@@ -71,6 +75,9 @@ class Metric:
         self.help_text = help_text
         self.labelnames = tuple(labelnames)
         self._series: dict[tuple[str, ...], object] = {}
+        # Guards every series read-modify-write and render; one lock per
+        # family keeps contention local to the metric being touched.
+        self._lock = threading.Lock()
 
     def _series_items(self) -> list[tuple[tuple[str, ...], object]]:
         return sorted(self._series.items())
@@ -85,26 +92,31 @@ class Counter(Metric):
         if amount < 0:
             raise DataValidationError(f"counters only go up, got {amount}")
         key = _label_key(self.labelnames, labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
 
     def value(self, **labels: str) -> float:
-        return float(self._series.get(_label_key(self.labelnames, labels), 0.0))
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
 
     def to_json(self) -> dict:
-        return {
-            "type": self.kind,
-            "help": self.help_text,
-            "series": [
-                {"labels": dict(zip(self.labelnames, key)), "value": value}
-                for key, value in self._series_items()
-            ],
-        }
+        with self._lock:
+            return {
+                "type": self.kind,
+                "help": self.help_text,
+                "series": [
+                    {"labels": dict(zip(self.labelnames, key)), "value": value}
+                    for key, value in self._series_items()
+                ],
+            }
 
     def render(self) -> list[str]:
-        return [
-            f"{self.name}{_format_labels(self.labelnames, key)} {_render_value(value)}"
-            for key, value in self._series_items()
-        ]
+        with self._lock:
+            return [
+                f"{self.name}{_format_labels(self.labelnames, key)} {_render_value(value)}"
+                for key, value in self._series_items()
+            ]
 
 
 class Gauge(Metric):
@@ -113,33 +125,40 @@ class Gauge(Metric):
     kind = "gauge"
 
     def set(self, value: float, **labels: str) -> None:
-        self._series[_label_key(self.labelnames, labels)] = float(value)
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._series[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
         key = _label_key(self.labelnames, labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels: str) -> None:
         self.inc(-amount, **labels)
 
     def value(self, **labels: str) -> float:
-        return float(self._series.get(_label_key(self.labelnames, labels), 0.0))
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
 
     def to_json(self) -> dict:
-        return {
-            "type": self.kind,
-            "help": self.help_text,
-            "series": [
-                {"labels": dict(zip(self.labelnames, key)), "value": value}
-                for key, value in self._series_items()
-            ],
-        }
+        with self._lock:
+            return {
+                "type": self.kind,
+                "help": self.help_text,
+                "series": [
+                    {"labels": dict(zip(self.labelnames, key)), "value": value}
+                    for key, value in self._series_items()
+                ],
+            }
 
     def render(self) -> list[str]:
-        return [
-            f"{self.name}{_format_labels(self.labelnames, key)} {_render_value(value)}"
-            for key, value in self._series_items()
-        ]
+        with self._lock:
+            return [
+                f"{self.name}{_format_labels(self.labelnames, key)} {_render_value(value)}"
+                for key, value in self._series_items()
+            ]
 
 
 @dataclass
@@ -168,53 +187,60 @@ class Histogram(Metric):
 
     def observe(self, value: float, **labels: str) -> None:
         key = _label_key(self.labelnames, labels)
-        series = self._series.get(key)
-        if series is None:
-            series = _HistogramSeries(bucket_counts=[0] * len(self.buckets))
-            self._series[key] = series
-        for i, upper in enumerate(self.buckets):
-            if value <= upper:
-                series.bucket_counts[i] += 1
-        series.total += float(value)
-        series.count += 1
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = _HistogramSeries(bucket_counts=[0] * len(self.buckets))
+                self._series[key] = series
+            for i, upper in enumerate(self.buckets):
+                if value <= upper:
+                    series.bucket_counts[i] += 1
+            series.total += float(value)
+            series.count += 1
 
     def count(self, **labels: str) -> int:
-        series = self._series.get(_label_key(self.labelnames, labels))
-        return 0 if series is None else series.count
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            return 0 if series is None else series.count
 
     def sum(self, **labels: str) -> float:
-        series = self._series.get(_label_key(self.labelnames, labels))
-        return 0.0 if series is None else series.total
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            return 0.0 if series is None else series.total
 
     def to_json(self) -> dict:
-        return {
-            "type": self.kind,
-            "help": self.help_text,
-            "buckets": list(self.buckets),
-            "series": [
-                {
-                    "labels": dict(zip(self.labelnames, key)),
-                    "bucket_counts": list(series.bucket_counts),
-                    "sum": series.total,
-                    "count": series.count,
-                }
-                for key, series in self._series_items()
-            ],
-        }
+        with self._lock:
+            return {
+                "type": self.kind,
+                "help": self.help_text,
+                "buckets": list(self.buckets),
+                "series": [
+                    {
+                        "labels": dict(zip(self.labelnames, key)),
+                        "bucket_counts": list(series.bucket_counts),
+                        "sum": series.total,
+                        "count": series.count,
+                    }
+                    for key, series in self._series_items()
+                ],
+            }
 
     def render(self) -> list[str]:
         lines: list[str] = []
-        for key, series in self._series_items():
-            for upper, cumulative in zip(self.buckets, series.bucket_counts):
-                bucket_labels = _format_labels(
-                    self.labelnames + ("le",), key + (_render_value(upper),)
-                )
-                lines.append(f"{self.name}_bucket{bucket_labels} {cumulative}")
-            inf_labels = _format_labels(self.labelnames + ("le",), key + ("+Inf",))
-            lines.append(f"{self.name}_bucket{inf_labels} {series.count}")
-            plain = _format_labels(self.labelnames, key)
-            lines.append(f"{self.name}_sum{plain} {_render_value(series.total)}")
-            lines.append(f"{self.name}_count{plain} {series.count}")
+        with self._lock:
+            for key, series in self._series_items():
+                for upper, cumulative in zip(self.buckets, series.bucket_counts):
+                    bucket_labels = _format_labels(
+                        self.labelnames + ("le",), key + (_render_value(upper),)
+                    )
+                    lines.append(f"{self.name}_bucket{bucket_labels} {cumulative}")
+                inf_labels = _format_labels(self.labelnames + ("le",), key + ("+Inf",))
+                lines.append(f"{self.name}_bucket{inf_labels} {series.count}")
+                plain = _format_labels(self.labelnames, key)
+                lines.append(f"{self.name}_sum{plain} {_render_value(series.total)}")
+                lines.append(f"{self.name}_count{plain} {series.count}")
         return lines
 
 

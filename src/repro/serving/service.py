@@ -260,6 +260,30 @@ class ValidationService:
                 results.append(self._score(endpoint, buffer.drain()))
         return results
 
+    def score_now(
+        self,
+        name: str,
+        frame: DataFrame,
+        version: str | None = None,
+        requests: int = 1,
+    ) -> BatchResult:
+        """Score a frame immediately, bypassing the endpoint's buffer.
+
+        The serving daemon coalesces requests in its own per-endpoint
+        queues and hands the merged frame here — double-buffering it
+        through the policy's micro-batch buffer would break the exact
+        request→result mapping the daemon guarantees. ``requests`` is
+        how many submissions the frame represents, so the request/row
+        counters stay truthful under coalescing.
+        """
+        if len(frame) == 0:
+            raise DataValidationError("cannot serve an empty batch")
+        endpoint = self.registry.get(name, version)
+        self._endpoint_gauge.set(len(self.registry))
+        self._requests.inc(requests, endpoint=endpoint.key)
+        self._rows.inc(len(frame), endpoint=endpoint.key)
+        return self._score(endpoint, frame)
+
     def flush(self, name: str, version: str | None = None) -> BatchResult | None:
         """Score whatever an endpoint's buffer holds, regardless of size."""
         endpoint = self.registry.get(name, version)

@@ -1,0 +1,75 @@
+"""Fixtures for the daemon suite: a fitted endpoint plus daemon factories.
+
+One predictor fit per test package (over the session-scoped income black
+box), with factories for registries and in-process daemons. Every daemon
+built through ``make_daemon`` is drained at teardown so no worker thread
+or bound port outlives its test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predictor import PerformancePredictor
+from repro.daemon import ServingDaemon
+from repro.errors.tabular_errors import MissingValues, Scaling
+from repro.serving.config import DaemonSettings
+from repro.serving.registry import Endpoint, EndpointPolicy, ModelRegistry
+
+
+@pytest.fixture(scope="package")
+def daemon_predictor(income_blackbox, income_splits):
+    return PerformancePredictor(
+        income_blackbox,
+        [MissingValues(), Scaling()],
+        n_samples=30,
+        random_state=0,
+    ).fit(income_splits.test, income_splits.y_test)
+
+
+@pytest.fixture
+def make_registry(daemon_predictor):
+    """Factory for registries over the shared fitted predictor."""
+
+    def factory(names=("income",), version="1", **policy_kwargs) -> ModelRegistry:
+        policy_kwargs.setdefault("interval_coverage", None)
+        registry = ModelRegistry()
+        for name in names:
+            registry.register(
+                Endpoint(
+                    name=name,
+                    version=version,
+                    predictor=daemon_predictor,
+                    policy=EndpointPolicy(**policy_kwargs),
+                )
+            )
+        return registry
+
+    return factory
+
+
+@pytest.fixture
+def serving_frame(income_splits):
+    return income_splits.serving
+
+
+@pytest.fixture
+def make_daemon(make_registry):
+    """Factory for in-process daemons on ephemeral ports; drains on teardown."""
+    created: list[ServingDaemon] = []
+
+    def factory(registry=None, **settings_kwargs) -> ServingDaemon:
+        settings_kwargs.setdefault("port", 0)
+        settings_kwargs.setdefault("max_wait_seconds", 0.02)
+        settings_kwargs.setdefault("drain_timeout_seconds", 20.0)
+        daemon = ServingDaemon(
+            registry if registry is not None else make_registry(),
+            settings=DaemonSettings(**settings_kwargs),
+        )
+        created.append(daemon)
+        return daemon
+
+    yield factory
+    for daemon in created:
+        if not daemon._drained:
+            daemon.drain()

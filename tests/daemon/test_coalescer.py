@@ -1,0 +1,112 @@
+"""Coalescer grouping rules under injectable clocks (no real sleeps)."""
+
+from __future__ import annotations
+
+from repro.daemon import BoundedRequestQueue, MicroBatchCoalescer, ScoreRequest
+from repro.resilience import FakeClock
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+
+class TickingClock:
+    """A monotonic clock that advances a fixed step per reading.
+
+    Lets the max-wait cutoff trigger deterministically without the test
+    ever sleeping for the configured wait.
+    """
+
+    def __init__(self, step: float):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def _request(n_rows: int = 2) -> ScoreRequest:
+    frame = DataFrame.from_dict(
+        {"x": [float(i) for i in range(n_rows)]}, {"x": ColumnType.NUMERIC}
+    )
+    return ScoreRequest(endpoint="income", frame=frame)
+
+
+def _preloaded(requests, **queue_kwargs) -> BoundedRequestQueue:
+    queue_kwargs.setdefault("capacity", 64)
+    queue = BoundedRequestQueue(**queue_kwargs)
+    for request in requests:
+        queue.put(request)
+    return queue
+
+
+class TestGrouping:
+    def test_queued_burst_coalesces_into_one_group(self):
+        requests = [_request(2) for _ in range(5)]
+        queue = _preloaded(requests)
+        coalescer = MicroBatchCoalescer(
+            queue, max_batch_rows=10, max_wait_seconds=60.0, clock=FakeClock()
+        )
+        # The clock never moves: only the row budget can close the group,
+        # and already-queued requests pop without blocking.
+        assert coalescer.gather() == requests
+        assert queue.depth == 0
+
+    def test_row_budget_closes_group(self):
+        requests = [_request(2) for _ in range(5)]
+        queue = _preloaded(requests)
+        coalescer = MicroBatchCoalescer(
+            queue, max_batch_rows=4, max_wait_seconds=60.0, clock=FakeClock()
+        )
+        assert coalescer.gather() == requests[:2]
+        assert coalescer.gather() == requests[2:4]
+
+    def test_oversized_request_forms_its_own_group(self):
+        big = _request(100)
+        # The follow-up exactly fills the row budget so the second group
+        # also closes on budget — a frozen clock never reaches max_wait.
+        after = _request(10)
+        queue = _preloaded([big, after])
+        coalescer = MicroBatchCoalescer(
+            queue, max_batch_rows=10, max_wait_seconds=60.0, clock=FakeClock()
+        )
+        assert coalescer.gather() == [big]  # never split, never held
+        assert coalescer.gather() == [after]
+
+    def test_max_wait_cutoff_driven_by_injected_clock(self):
+        # One queued request, then the queue runs dry. A ticking clock
+        # crosses max_wait after two readings, so gather returns the
+        # partial group without ever sleeping max_wait of real time.
+        lone = _request(2)
+        queue = _preloaded([lone])
+        coalescer = MicroBatchCoalescer(
+            queue,
+            max_batch_rows=100,
+            max_wait_seconds=0.05,
+            clock=TickingClock(step=0.03),
+            idle_poll_seconds=0.001,
+        )
+        assert coalescer.gather() == [lone]
+
+    def test_nonblocking_gather_on_empty_queue(self):
+        queue = BoundedRequestQueue(capacity=4)
+        coalescer = MicroBatchCoalescer(
+            queue, max_batch_rows=10, max_wait_seconds=60.0, clock=FakeClock(),
+            idle_poll_seconds=0.001,
+        )
+        assert coalescer.gather(block=False) == []
+
+
+class TestClosedQueue:
+    def test_gather_drains_then_signals_empty(self):
+        requests = [_request(2) for _ in range(3)]
+        queue = _preloaded(requests)
+        queue.close()
+        coalescer = MicroBatchCoalescer(
+            queue, max_batch_rows=100, max_wait_seconds=60.0, clock=FakeClock(),
+            idle_poll_seconds=0.001,
+        )
+        # Everything still queued comes out (drain), frozen clock and all:
+        # the closed queue breaks the wait loop instead of idling.
+        assert coalescer.gather() == requests
+        # ... and once empty, gather reports the drain-complete signal.
+        assert coalescer.gather() == []

@@ -1,0 +1,289 @@
+"""Daemon lifecycle: graceful drain, signal handling, config reload.
+
+The exactly-once drain contract (satellite 4): SIGTERM stops admission,
+every request already admitted is scored and answered exactly once —
+no drops, no double-scores — and a SIGHUP reload swaps config without
+dropping in-flight batches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro import persistence
+from repro.daemon import DaemonClient, ServingDaemon
+from repro.exceptions import DaemonClosedError, DataValidationError
+from repro.serving.config import DaemonSettings, load_daemon_settings
+
+
+@pytest.fixture
+def config_on_disk(tmp_path, daemon_predictor):
+    """A serving config + artifact dir a daemon can reload from."""
+    artifact_dir = tmp_path / "deployed" / "income"
+    artifact_dir.mkdir(parents=True)
+    persistence.save_model(daemon_predictor, artifact_dir / "predictor.npz")
+    config_path = tmp_path / "serving.json"
+
+    def write(endpoints, daemon_block=None):
+        payload = {"endpoints": endpoints}
+        if daemon_block is not None:
+            payload["daemon"] = daemon_block
+        config_path.write_text(json.dumps(payload))
+        return config_path
+
+    write(
+        [{"name": "income", "version": "1", "artifacts": "deployed/income",
+          "policy": {"interval_coverage": None}}],
+        daemon_block={"port": 0, "max_wait_seconds": 0.02},
+    )
+    return config_path, write
+
+
+class TestDrain:
+    def test_drain_flushes_every_queued_request_exactly_once(
+        self, make_daemon, serving_frame
+    ):
+        daemon = make_daemon(queue_depth=32, max_batch_rows=500)
+        daemon.start()
+        # Hold the endpoint's score lock so submitted requests pile up in
+        # the queue (or block pre-scoring) instead of racing the workers.
+        score_lock = daemon._score_locks["income@1"]
+        frame = serving_frame.head(8)
+        with score_lock:
+            requests = [daemon.submit("income", frame) for _ in range(6)]
+            assert not any(request.done for request in requests)
+        report = daemon.drain()
+
+        assert report.clean
+        assert report.unanswered_requests == 0
+        assert all(request.done for request in requests)
+        assert all(request.error is None for request in requests)
+        assert all(request.result is not None for request in requests)
+        # Exactly once: workers answered precisely the submitted count,
+        # and the coalesced group sizes partition the requests (each
+        # request in a group of size k contributes 1/k of a group).
+        assert report.answered_requests == 6
+        assert sum(
+            1.0 / request.coalesced_requests for request in requests
+        ) == pytest.approx(report.scored_groups)
+        assert (
+            daemon.metrics.get("serving_requests_total").value(endpoint="income@1")
+            == 6
+        )
+
+    def test_submit_after_drain_is_refused(self, make_daemon, serving_frame):
+        daemon = make_daemon()
+        daemon.start()
+        daemon.drain()
+        with pytest.raises(DaemonClosedError):
+            daemon.submit("income", serving_frame.head(4))
+
+    def test_double_drain_is_an_error(self, make_daemon):
+        daemon = make_daemon()
+        daemon.start()
+        daemon.drain()
+        with pytest.raises(DaemonClosedError):
+            daemon.drain()
+
+    def test_drain_snapshots_registry_when_configured(
+        self, make_daemon, tmp_path
+    ):
+        daemon = make_daemon(snapshot_dir=str(tmp_path / "snap"))
+        daemon.start()
+        report = daemon.drain()
+        assert report.snapshot_path is not None
+        assert (tmp_path / "snap" / "registry.json").exists()
+
+    def test_empty_batch_is_refused_before_queueing(
+        self, make_daemon, serving_frame
+    ):
+        daemon = make_daemon()
+        daemon.start()
+        with pytest.raises(DataValidationError):
+            daemon.submit("income", serving_frame.head(0))
+
+
+@pytest.fixture
+def _signals():
+    """Put back whatever handlers the test process had before."""
+    saved = {
+        number: signal.getsignal(number)
+        for number in (signal.SIGTERM, signal.SIGINT, signal.SIGHUP)
+    }
+    yield
+    for number, handler in saved.items():
+        signal.signal(number, handler)
+
+
+class TestSignals:
+    def test_sigterm_drains_with_in_flight_request_answered(
+        self, make_daemon, serving_frame, _signals
+    ):
+        daemon = make_daemon()
+        daemon.install_signal_handlers()
+        daemon.start()
+        frame = serving_frame.head(10)
+        statuses: list[int] = []
+
+        def client_then_term():
+            client = DaemonClient(daemon.url, timeout=30.0)
+            statuses.append(client.score("income", frame).status)
+            os.kill(os.getpid(), signal.SIGTERM)
+
+        thread = threading.Thread(target=client_then_term)
+        thread.start()
+        report = daemon.run_forever()  # blocks until the SIGTERM lands
+        thread.join(timeout=10.0)
+
+        assert statuses == [200]
+        assert report.clean
+        assert not daemon.accepting
+
+    def test_request_stop_flag_drives_run_forever(self, make_daemon):
+        daemon = make_daemon()
+        daemon.start()
+        threading.Timer(0.05, daemon.request_stop).start()
+        report = daemon.run_forever()
+        assert report.clean
+
+
+class TestReload:
+    def test_reload_requires_a_config_path(self, make_daemon):
+        daemon = make_daemon()
+        with pytest.raises(DataValidationError, match="config"):
+            daemon.reload()
+
+    def test_reload_registers_new_endpoints_live(
+        self, config_on_disk, serving_frame
+    ):
+        config_path, write = config_on_disk
+        daemon = ServingDaemon.from_config(config_path, port=0)
+        daemon.start()
+        try:
+            client = DaemonClient(daemon.url, timeout=30.0)
+            frame = serving_frame.head(6)
+            assert client.score("income", frame).status == 200
+            assert client.score("fraud", frame).status == 404
+
+            write(
+                [
+                    {"name": "income", "version": "1",
+                     "artifacts": "deployed/income",
+                     "policy": {"interval_coverage": None}},
+                    {"name": "fraud", "version": "1",
+                     "artifacts": "deployed/income",
+                     "policy": {"interval_coverage": None}},
+                ],
+                daemon_block={"port": 0, "max_wait_seconds": 0.02},
+            )
+            daemon.reload()
+            assert client.score("fraud", frame).status == 200
+            assert (
+                daemon.metrics.get("daemon_config_reloads_total").value() == 1
+            )
+        finally:
+            daemon.drain()
+
+    def test_reload_closes_removed_endpoints_without_dropping_queued(
+        self, config_on_disk, serving_frame
+    ):
+        config_path, write = config_on_disk
+        daemon = ServingDaemon.from_config(config_path, port=0)
+        daemon.start()
+        try:
+            frame = serving_frame.head(6)
+            # Park a request behind the score lock, then drop the endpoint
+            # from the config (replaced by another — the loader refuses an
+            # empty endpoint list): the queued request must still be answered.
+            with daemon._score_locks["income@1"]:
+                parked = daemon.submit("income", frame)
+                write(
+                    [{"name": "fraud", "version": "1",
+                      "artifacts": "deployed/income",
+                      "policy": {"interval_coverage": None}}],
+                    daemon_block={"port": 0},
+                )
+                daemon.reload()
+                with pytest.raises(DaemonClosedError):
+                    daemon.submit("income", frame)
+            assert parked.wait(timeout=20.0)
+            assert parked.error is None and parked.result is not None
+        finally:
+            daemon.drain()
+
+    def test_sighup_triggers_reload_and_keeps_serving(
+        self, config_on_disk, serving_frame, _signals
+    ):
+        config_path, write = config_on_disk
+        daemon = ServingDaemon.from_config(config_path, port=0)
+        daemon.install_signal_handlers()
+        daemon.start()
+        frame = serving_frame.head(6)
+        statuses: list[tuple[str, int]] = []
+
+        def hup_then_score_then_term():
+            client = DaemonClient(daemon.url, timeout=30.0)
+            statuses.append(("before", client.score("fraud", frame).status))
+            write(
+                [
+                    {"name": "income", "version": "1",
+                     "artifacts": "deployed/income",
+                     "policy": {"interval_coverage": None}},
+                    {"name": "fraud", "version": "1",
+                     "artifacts": "deployed/income",
+                     "policy": {"interval_coverage": None}},
+                ],
+                daemon_block={"port": 0, "max_wait_seconds": 0.02},
+            )
+            os.kill(os.getpid(), signal.SIGHUP)
+            deadline = 30.0
+            while deadline > 0:
+                response = client.score("fraud", frame)
+                if response.status == 200:
+                    break
+                time.sleep(0.1)
+                deadline -= 0.1
+            statuses.append(("after", response.status))
+            os.kill(os.getpid(), signal.SIGTERM)
+
+        thread = threading.Thread(target=hup_then_score_then_term)
+        thread.start()
+        report = daemon.run_forever()
+        thread.join(timeout=10.0)
+
+        assert statuses[0] == ("before", 404)
+        assert statuses[1] == ("after", 200)
+        assert report.clean
+
+
+class TestFromConfig:
+    def test_overrides_beat_config_daemon_block(self, config_on_disk):
+        config_path, write = config_on_disk
+        write(
+            [{"name": "income", "version": "1", "artifacts": "deployed/income",
+              "policy": {"interval_coverage": None}}],
+            daemon_block={"port": 9321, "workers": 2, "queue_depth": 7},
+        )
+        daemon = ServingDaemon.from_config(config_path, port=0, workers=1)
+        assert daemon.settings.port == 0
+        assert daemon.settings.workers == 1
+        assert daemon.settings.queue_depth == 7
+
+    def test_daemon_block_round_trips_through_loader(self, config_on_disk):
+        config_path, write = config_on_disk
+        write(
+            [{"name": "income", "version": "1", "artifacts": "deployed/income"}],
+            daemon_block={"queue_depth": 5, "shed_policy": "drop_oldest"},
+        )
+        settings = load_daemon_settings(config_path)
+        assert settings.queue_depth == 5
+        assert settings.shed_policy == "drop_oldest"
+        assert settings == DaemonSettings(
+            queue_depth=5, shed_policy="drop_oldest"
+        )

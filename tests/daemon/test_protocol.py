@@ -1,0 +1,118 @@
+"""Wire-format roundtrips and validation for the daemon protocol."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.daemon import frame_from_payload, frame_to_payload, result_to_payload
+from repro.exceptions import DataValidationError
+from repro.serving.service import BatchResult
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+
+@pytest.fixture
+def mixed_frame() -> DataFrame:
+    return DataFrame.from_dict(
+        {
+            "age": [20.0, np.nan, 40.0],
+            "city": ["berlin", None, "rome"],
+            "note": ["hello", "world", None],
+        },
+        {
+            "age": ColumnType.NUMERIC,
+            "city": ColumnType.CATEGORICAL,
+            "note": ColumnType.TEXT,
+        },
+    )
+
+
+class TestFrameRoundtrip:
+    def test_roundtrip_preserves_values_and_types(self, mixed_frame):
+        payload = frame_to_payload(mixed_frame)
+        # The payload must be genuinely JSON-serializable (no NaN leaks).
+        restored = frame_from_payload(json.loads(json.dumps(payload)))
+        assert len(restored) == len(mixed_frame)
+        assert [s.ctype for s in restored.schema] == [
+            s.ctype for s in mixed_frame.schema
+        ]
+        ages = restored["age"]
+        assert ages[0] == 20.0 and math.isnan(ages[1]) and ages[2] == 40.0
+        assert list(restored["city"]) == ["berlin", None, "rome"]
+
+    def test_numeric_null_becomes_nan(self):
+        frame = frame_from_payload(
+            {"columns": {"x": [1.0, None]}, "types": {"x": "numeric"}}
+        )
+        values = frame["x"]
+        assert values[0] == 1.0 and math.isnan(values[1])
+
+    def test_nan_encodes_as_null(self, mixed_frame):
+        payload = frame_to_payload(mixed_frame)
+        assert payload["columns"]["age"][1] is None
+
+
+class TestFramePayloadValidation:
+    def test_non_object_body_rejected(self):
+        with pytest.raises(DataValidationError, match="JSON object"):
+            frame_from_payload([1, 2, 3])
+
+    def test_missing_sections_rejected(self):
+        with pytest.raises(DataValidationError, match="missing"):
+            frame_from_payload({"columns": {"x": [1]}})
+
+    def test_types_must_match_columns(self):
+        with pytest.raises(DataValidationError, match="exactly the 'columns' keys"):
+            frame_from_payload(
+                {"columns": {"x": [1]}, "types": {"y": "numeric"}}
+            )
+
+    def test_unknown_type_name_rejected(self):
+        with pytest.raises(DataValidationError, match="unknown type"):
+            frame_from_payload(
+                {"columns": {"x": [1]}, "types": {"x": "decimal"}}
+            )
+
+    def test_non_array_column_rejected(self):
+        with pytest.raises(DataValidationError, match="JSON array"):
+            frame_from_payload(
+                {"columns": {"x": 5}, "types": {"x": "numeric"}}
+            )
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(DataValidationError, match="non-empty"):
+            frame_from_payload({"columns": {}, "types": {}})
+
+
+class TestResultPayload:
+    def _result(self) -> BatchResult:
+        return BatchResult(
+            endpoint="income", version="1", batch_index=3, n_rows=40,
+            estimated_score=0.81, smoothed_score=0.8, expected_score=0.82,
+            alarm_floor=0.77, alarm=False, sustained_alarm=False,
+            interval=(0.7, 0.81, 0.9), trusted=True,
+        )
+
+    def test_mirrors_batch_result(self):
+        payload = result_to_payload(self._result())
+        assert payload["endpoint"] == "income"
+        assert payload["estimated_score"] == 0.81
+        assert payload["interval"] == [0.7, 0.81, 0.9]
+        assert payload["trusted"] is True
+        assert "coalesced_requests" not in payload
+
+    def test_daemon_context_is_optional_extras(self):
+        payload = result_to_payload(
+            self._result(),
+            coalesced_requests=4,
+            coalesced_rows=160,
+            queued_seconds=0.012,
+        )
+        assert payload["coalesced_requests"] == 4
+        assert payload["coalesced_rows"] == 160
+        assert payload["queued_seconds"] == 0.012
+        json.dumps(payload)  # stays wire-serializable

@@ -1,0 +1,135 @@
+"""Bounded queue semantics: admission, shedding, close-and-drain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.daemon import BoundedRequestQueue, ScoreRequest
+from repro.exceptions import (
+    DaemonClosedError,
+    DataValidationError,
+    QueueFullError,
+)
+from repro.resilience import FakeClock
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+
+
+def _request(n_rows: int = 3, endpoint: str = "income") -> ScoreRequest:
+    frame = DataFrame.from_dict(
+        {"x": [float(i) for i in range(n_rows)]}, {"x": ColumnType.NUMERIC}
+    )
+    return ScoreRequest(endpoint=endpoint, frame=frame)
+
+
+class TestAdmission:
+    def test_fifo_order(self):
+        queue = BoundedRequestQueue(capacity=4)
+        first, second = _request(), _request()
+        queue.put(first)
+        queue.put(second)
+        assert queue.pop(timeout=0) is first
+        assert queue.pop(timeout=0) is second
+        assert queue.pop(timeout=0) is None
+
+    def test_enqueued_at_uses_injected_clock(self):
+        clock = FakeClock(start=100.0)
+        queue = BoundedRequestQueue(capacity=2, clock=clock)
+        request = _request()
+        queue.put(request)
+        assert request.enqueued_at == 100.0
+        clock.advance(5.0)
+        later = _request()
+        queue.put(later)
+        assert later.enqueued_at == 105.0
+
+    def test_reject_policy_refuses_new_request(self):
+        queue = BoundedRequestQueue(capacity=1, shed_policy="reject",
+                                    retry_after_seconds=2.5)
+        queue.put(_request())
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.put(_request())
+        assert excinfo.value.retry_after_seconds == 2.5
+        assert queue.depth == 1  # the rejected request was never queued
+        assert queue.shed_total == 1
+
+    def test_drop_oldest_policy_evicts_and_admits(self):
+        queue = BoundedRequestQueue(capacity=2, shed_policy="drop_oldest")
+        oldest = _request()
+        queue.put(oldest)
+        queue.put(_request())
+        newest = _request()
+        shed = queue.put(newest)
+        assert shed is oldest
+        assert queue.depth == 2
+        assert queue.shed_total == 1
+        # Eviction preserved FIFO among survivors; newest is last out.
+        queue.pop(timeout=0)
+        assert queue.pop(timeout=0) is newest
+
+    def test_put_returns_none_when_room(self):
+        queue = BoundedRequestQueue(capacity=2, shed_policy="drop_oldest")
+        assert queue.put(_request()) is None
+
+    def test_peak_depth_and_saturated(self):
+        queue = BoundedRequestQueue(capacity=2)
+        assert not queue.saturated
+        queue.put(_request())
+        queue.put(_request())
+        assert queue.saturated
+        queue.pop(timeout=0)
+        assert not queue.saturated
+        assert queue.peak_depth == 2
+
+
+class TestClose:
+    def test_close_stops_admission_but_keeps_items_poppable(self):
+        queue = BoundedRequestQueue(capacity=4)
+        queued = _request()
+        queue.put(queued)
+        queue.close()
+        with pytest.raises(DaemonClosedError):
+            queue.put(_request())
+        assert queue.pop(timeout=0) is queued
+        assert queue.pop(timeout=0) is None
+
+    def test_pop_blocking_returns_none_once_closed_and_empty(self):
+        queue = BoundedRequestQueue(capacity=4)
+        queue.close()
+        # Must return promptly rather than blocking for the full timeout.
+        assert queue.pop(timeout=30.0) is None
+        assert queue.pop(timeout=None) is None
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(DataValidationError):
+            BoundedRequestQueue(capacity=0)
+
+    def test_unknown_shed_policy_rejected(self):
+        with pytest.raises(DataValidationError):
+            BoundedRequestQueue(capacity=1, shed_policy="random")
+
+    def test_retry_after_must_be_positive(self):
+        with pytest.raises(DataValidationError):
+            BoundedRequestQueue(capacity=1, retry_after_seconds=0)
+
+
+class TestScoreRequest:
+    def test_set_result_unblocks_wait(self):
+        request = _request()
+        assert not request.done
+        request.set_result("sentinel")
+        assert request.wait(timeout=0.1)
+        assert request.result == "sentinel"
+        assert request.error is None
+
+    def test_set_error_unblocks_wait(self):
+        request = _request()
+        failure = RuntimeError("boom")
+        request.set_error(failure)
+        assert request.wait(timeout=0.1)
+        assert request.error is failure
+
+    def test_wait_times_out_unanswered(self):
+        assert not _request().wait(timeout=0.01)

@@ -1,0 +1,210 @@
+"""HTTP front-end behavior: routes, status codes, admission control."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.daemon import DaemonClient, frame_from_payload
+from repro.exceptions import QueueFullError
+
+
+@pytest.fixture
+def running_daemon(make_daemon):
+    daemon = make_daemon(queue_depth=16, max_batch_rows=256)
+    daemon.start()
+    return daemon
+
+
+@pytest.fixture
+def client(running_daemon):
+    return DaemonClient(running_daemon.url, timeout=30.0)
+
+
+class TestScoreRoute:
+    def test_score_returns_batch_result_with_daemon_context(
+        self, client, serving_frame
+    ):
+        response = client.score("income", serving_frame.head(20))
+        assert response.status == 200
+        payload = response.payload
+        assert payload["endpoint"] == "income"
+        assert payload["n_rows"] >= 20  # may have coalesced with others
+        assert 0.0 <= payload["estimated_score"] <= 1.0
+        assert payload["coalesced_requests"] >= 1
+        assert payload["queued_seconds"] >= 0.0
+
+    def test_version_query_parameter_is_honored(self, client, serving_frame):
+        assert client.score("income", serving_frame.head(5), version="1").status == 200
+        response = client.score("income", serving_frame.head(5), version="9")
+        assert response.status == 404
+        assert "version" in response.payload["error"]
+
+    def test_unknown_endpoint_is_404(self, client, serving_frame):
+        response = client.score("nope", serving_frame.head(5))
+        assert response.status == 404
+
+    def test_unknown_route_is_404(self, running_daemon):
+        request = urllib.request.Request(
+            running_daemon.url + "/v2/score", data=b"{}", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 404
+
+    def test_malformed_json_is_400(self, running_daemon):
+        request = urllib.request.Request(
+            running_daemon.url + "/v1/endpoints/income/score",
+            data=b"{not json",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_empty_body_is_400(self, running_daemon):
+        request = urllib.request.Request(
+            running_daemon.url + "/v1/endpoints/income/score",
+            data=b"",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_schema_mismatch_at_scoring_time_is_400(self, client):
+        # A well-formed frame that doesn't match the endpoint's fit-time
+        # schema fails inside the worker — still the caller's fault.
+        body = {"columns": {"x": [1.0, 2.0]}, "types": {"x": "numeric"}}
+        response = client.score("income", frame_from_payload(body))
+        assert response.status == 400
+        assert "schema" in response.payload["error"]
+
+    def test_invalid_frame_payload_is_400(self, running_daemon):
+        body = json.dumps({"columns": {"x": [1]}, "types": {"x": "wat"}}).encode()
+        request = urllib.request.Request(
+            running_daemon.url + "/v1/endpoints/income/score",
+            data=body,
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestAdmissionControl:
+    def test_burst_over_queue_bound_gets_429_with_retry_after(
+        self, make_daemon, serving_frame
+    ):
+        # max_batch_rows == one request's rows: the worker closes its
+        # first group immediately and blocks on the held score lock, so
+        # the rest of the burst must fit the depth-2 queue or be shed —
+        # a bigger row budget would let the worker coalesce the whole
+        # burst out of the queue and nothing would ever reach the bound.
+        daemon = make_daemon(queue_depth=2, max_batch_rows=4,
+                             max_wait_seconds=0.001, retry_after_seconds=3.0)
+        daemon.start()
+        client = DaemonClient(daemon.url, timeout=30.0)
+        frame = serving_frame.head(4)
+        # Hold scoring so the queue genuinely fills instead of draining.
+        responses = []
+        lock = daemon._score_locks["income@1"]
+        with lock:
+            # The worker parks at most one closed group pre-lock; the
+            # queue bound itself admits 2. Burst far past both.
+            barrier = threading.Barrier(8)
+
+            def post():
+                barrier.wait()
+                responses.append(client.score("income", frame))
+
+            threads = [threading.Thread(target=post) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            # Wait until rejections surface while scoring stays blocked.
+            for _ in range(100):
+                if any(r.status == 429 for r in responses):
+                    break
+                threading.Event().wait(0.05)
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+        statuses = sorted(response.status for response in responses)
+        assert statuses.count(429) >= 1
+        assert statuses.count(200) >= 2
+        assert statuses.count(200) + statuses.count(429) == 8
+        rejected = next(r for r in responses if r.status == 429)
+        assert rejected.retry_after == 3
+        assert "full" in rejected.payload["error"]
+
+    def test_draining_daemon_answers_503(self, make_daemon, serving_frame):
+        daemon = make_daemon()
+        daemon.start()
+        client = DaemonClient(daemon.url, timeout=30.0)
+        daemon._accepting = False  # drain starts: admission closed
+        response = client.score("income", serving_frame.head(4))
+        assert response.status == 503
+
+
+class TestIntrospectionRoutes:
+    def test_healthz_ok(self, client):
+        response = client.health()
+        assert response.status == 200
+        assert response.payload["status"] == "ok"
+        detail = response.payload["endpoints"]["income@1"]
+        assert detail["breaker"] == "closed"
+        assert detail["accepting"] is True
+
+    def test_healthz_degraded_when_queue_saturated(
+        self, make_daemon, serving_frame
+    ):
+        # One-request row budget: the worker blocks on the held lock
+        # with its first group, so submits accumulate until the depth-1
+        # queue is genuinely full — and stays full while the lock is held.
+        daemon = make_daemon(queue_depth=1, max_batch_rows=4,
+                             max_wait_seconds=0.001)
+        daemon.start()
+        client = DaemonClient(daemon.url, timeout=30.0)
+        frame = serving_frame.head(4)
+        with daemon._score_locks["income@1"]:
+            queue = daemon._queues["income@1"]
+            for _ in range(200):
+                if queue.saturated:
+                    break
+                try:
+                    daemon.submit("income", frame)
+                except QueueFullError:
+                    break  # full counts as saturated
+                threading.Event().wait(0.01)
+            assert queue.saturated
+            response = client.health()
+            assert response.status == 503
+            assert response.payload["status"] == "degraded"
+            assert response.payload["endpoints"]["income@1"]["queue_saturated"]
+
+    def test_metrics_exposition_includes_daemon_families(
+        self, client, serving_frame
+    ):
+        client.score("income", serving_frame.head(5))
+        text = client.metrics()
+        assert "# TYPE daemon_accepted_total counter" in text
+        assert 'daemon_accepted_total{endpoint="income@1"}' in text
+        assert "daemon_coalesced_requests_bucket" in text
+        assert "serving_requests_total" in text
+        # Span aggregates bridged into the same exposition.
+        assert "trace_span_wall_seconds" in text
+
+    def test_spans_route_shows_request_lifecycle(self, client, serving_frame):
+        client.score("income", serving_frame.head(5))
+        names = {span["name"] for span in client.spans()}
+        assert {"daemon.accept", "daemon.enqueue", "daemon.coalesce",
+                "serving.score"} <= names
+
+    def test_http_responses_counted(self, client, serving_frame):
+        client.score("income", serving_frame.head(5))
+        client.health()
+        text = client.metrics()
+        assert 'daemon_http_responses_total{method="POST",code="200"}' in text

@@ -1,0 +1,220 @@
+"""Concurrency hammers for the metrics registry and span store.
+
+The daemon drives these structures from many threads at once — worker
+threads observing histograms, HTTP handler threads incrementing
+counters, scrape requests rendering the whole registry mid-flight.
+These tests assert the two invariants that matter:
+
+* totals are exact — no lost increments, no double counts,
+* a Prometheus scrape never tears — every histogram series renders
+  from one consistent state (``_count`` equals the ``+Inf`` bucket,
+  buckets stay monotone, ``sum`` matches the arithmetic of what was
+  observed so far).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+
+from repro.obs import Span, SpanStore
+from repro.serving.metrics import MetricsRegistry
+
+THREADS = 8
+ITERATIONS = 500
+
+
+def _hammer(worker, n_threads=THREADS):
+    """Run ``worker(thread_index)`` in ``n_threads`` threads, barrier-aligned."""
+    barrier = threading.Barrier(n_threads)
+    errors: list[BaseException] = []
+
+    def run(index):
+        barrier.wait()
+        try:
+            worker(index)
+        except BaseException as exc:  # surfaced below, not swallowed
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not any(thread.is_alive() for thread in threads)
+    assert not errors, errors
+
+
+class TestCounterExactness:
+    def test_concurrent_increments_land_exactly(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "hammered", ("shard",))
+
+        def worker(index):
+            shard = str(index % 2)
+            for _ in range(ITERATIONS):
+                counter.inc(shard=shard)
+
+        _hammer(worker)
+        expected_per_shard = THREADS // 2 * ITERATIONS
+        assert counter.value(shard="0") == expected_per_shard
+        assert counter.value(shard="1") == expected_per_shard
+
+    def test_concurrent_gauge_incdec_nets_to_zero(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "hammered")
+
+        def worker(_index):
+            for _ in range(ITERATIONS):
+                gauge.inc()
+                gauge.dec()
+
+        _hammer(worker)
+        assert gauge.value() == 0.0
+
+    def test_concurrent_histogram_count_and_sum_exact(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "work_seconds", "hammered", buckets=(0.5, 1.0)
+        )
+
+        def worker(_index):
+            for _ in range(ITERATIONS):
+                histogram.observe(0.25)
+
+        _hammer(worker)
+        total = THREADS * ITERATIONS
+        assert histogram.count() == total
+        assert histogram.sum() == total * 0.25
+
+
+class TestScrapeNeverTears:
+    def test_histogram_scrape_is_internally_consistent_under_writes(self):
+        """Every scrape of a hammered histogram must be self-consistent.
+
+        A torn read would show a ``+Inf`` bucket (== count) that
+        disagrees with ``_count``, a non-monotone bucket ladder, or a
+        ``sum`` that is not a multiple of the constant observed value.
+        """
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat_seconds", "hammered", ("endpoint",), buckets=(0.01, 0.1, 1.0)
+        )
+        stop = threading.Event()
+        violations: list[str] = []
+
+        def scrape_loop():
+            pattern_bucket = re.compile(
+                r'lat_seconds_bucket\{endpoint="a",le="([^"]+)"\} (\d+)'
+            )
+            pattern_count = re.compile(r'lat_seconds_count\{endpoint="a"\} (\d+)')
+            pattern_sum = re.compile(r'lat_seconds_sum\{endpoint="a"\} (\S+)')
+            while not stop.is_set():
+                text = registry.to_prometheus()
+                buckets = pattern_bucket.findall(text)
+                counts = pattern_count.findall(text)
+                sums = pattern_sum.findall(text)
+                if not counts:
+                    continue  # first observation not landed yet
+                count = int(counts[0])
+                ladder = [int(value) for _le, value in buckets]
+                if ladder != sorted(ladder):
+                    violations.append(f"non-monotone buckets: {buckets}")
+                if ladder and ladder[-1] != count:
+                    violations.append(
+                        f"+Inf bucket {ladder[-1]} != count {count}"
+                    )
+                total = float(sums[0])
+                if abs(total - count * 0.05) > 1e-6:
+                    violations.append(f"sum {total} != {count} * 0.05")
+
+        scrapers = [threading.Thread(target=scrape_loop) for _ in range(2)]
+        for scraper in scrapers:
+            scraper.start()
+        try:
+            _hammer(
+                lambda _i: [
+                    histogram.observe(0.05, endpoint="a")
+                    for _ in range(ITERATIONS)
+                ]
+            )
+        finally:
+            stop.set()
+            for scraper in scrapers:
+                scraper.join(timeout=30.0)
+        assert not violations, violations[:5]
+        assert histogram.count(endpoint="a") == THREADS * ITERATIONS
+
+    def test_registry_json_export_renders_during_writes(self):
+        import json
+
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", "hammered")
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def export_loop():
+            try:
+                while not stop.is_set():
+                    json.loads(registry.to_json())
+            except BaseException as exc:
+                failures.append(exc)
+
+        exporter = threading.Thread(target=export_loop)
+        exporter.start()
+        try:
+            _hammer(lambda _i: [counter.inc() for _ in range(ITERATIONS)])
+        finally:
+            stop.set()
+            exporter.join(timeout=30.0)
+        assert not failures, failures
+        assert counter.value() == THREADS * ITERATIONS
+
+
+class TestSpanStoreConcurrency:
+    @staticmethod
+    def _span(name: str) -> Span:
+        return Span(
+            span_id=1, parent_id=None, name=name, started_at=0.0,
+            wall_seconds=0.001, cpu_seconds=0.001, counters={},
+        )
+
+    def test_adds_are_never_lost_only_evicted(self):
+        store = SpanStore(capacity=256)
+
+        def worker(index):
+            for i in range(ITERATIONS):
+                store.add(self._span(f"t{index}.{i}"))
+
+        _hammer(worker)
+        total = THREADS * ITERATIONS
+        assert len(store) + store.dropped == total
+        assert len(store) == 256  # ring stayed at capacity
+
+    def test_snapshot_during_adds_is_a_consistent_list(self):
+        store = SpanStore(capacity=128)
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def snapshot_loop():
+            while not stop.is_set():
+                snapshot = store.spans()
+                if len(snapshot) > 128:
+                    failures.append(f"snapshot over capacity: {len(snapshot)}")
+                if any(span is None for span in snapshot):
+                    failures.append("snapshot contained a hole")
+
+        reader = threading.Thread(target=snapshot_loop)
+        reader.start()
+        try:
+            _hammer(
+                lambda index: [
+                    store.add(self._span(f"t{index}.{i}"))
+                    for i in range(ITERATIONS)
+                ]
+            )
+        finally:
+            stop.set()
+            reader.join(timeout=30.0)
+        assert not failures, failures[:5]
+        assert len(store) + store.dropped == THREADS * ITERATIONS

@@ -288,7 +288,7 @@ class TestBenchCommand:
         args = build_parser().parse_args(["bench", "--smoke"])
         assert args.n_jobs == 4
         assert args.smoke is True
-        assert args.out == "BENCH_PR3.json"
+        assert args.out == "BENCH_PR6.json"
 
     def test_smoke_bench_writes_report(self, tmp_path, capsys):
         out = tmp_path / "bench.json"
@@ -303,4 +303,6 @@ class TestBenchCommand:
         assert report["all_identical"] is True
         assert report["quality_parity"] is True
         assert report["profile"] == "smoke"
-        assert len(report["benchmarks"]) == 7
+        assert len(report["benchmarks"]) == 8
+        names = [bench["name"] for bench in report["benchmarks"]]
+        assert "daemon_throughput" in names
