@@ -26,10 +26,15 @@ def test_report_shape(smoke_report):
         "tree_fit_exact_vs_hist",
         "boosting_exact_vs_hist",
         "trace_overhead",
+        "serving_score_fused_vs_reference",
         "daemon_throughput",
     ]
     for bench in smoke_report["benchmarks"]:
-        if "identical_results" in bench:
+        if bench["name"] == "serving_score_fused_vs_reference":
+            assert bench["reference_seconds"] > 0
+            assert bench["fused_seconds"] > 0
+            assert bench["speedup"] is not None
+        elif "identical_results" in bench:
             assert bench["serial_seconds"] > 0
             assert bench["parallel_seconds"] > 0
             assert bench["speedup"] is not None
@@ -60,6 +65,35 @@ def test_parallel_results_identical(smoke_report):
         for b in smoke_report["benchmarks"]
         if "identical_results" in b
     )
+
+
+def test_fused_kernel_gates(smoke_report):
+    assert smoke_report["fused_kernel_identical"]
+    assert smoke_report["fused_kernel_not_slower"]
+    bench = next(
+        b
+        for b in smoke_report["benchmarks"]
+        if b["name"] == "serving_score_fused_vs_reference"
+    )
+    assert bench["identical_results"]
+    assert bench["speedup"] >= 1.0
+    assert bench["fused_score_latency_p50_ms"] is not None
+    assert bench["fused_score_latency_p99_ms"] is not None
+    assert (
+        bench["fused_score_latency_p99_ms"] >= bench["fused_score_latency_p50_ms"]
+    )
+
+
+def test_effective_parallelism_recorded(smoke_report):
+    import os
+
+    assert smoke_report["effective_parallelism"] == min(2, os.cpu_count() or 1)
+    for bench in smoke_report["benchmarks"]:
+        if "serial_seconds" in bench:
+            assert bench["requested_n_jobs"] == 2
+            assert bench["effective_parallelism"] >= 1
+            if bench["oversubscribed"]:
+                assert "speedup_note" in bench
 
 
 def test_tree_engines_reach_quality_parity(smoke_report):

@@ -505,12 +505,14 @@ def _iter_replay_batches(args):
 def _run_serve_batch(args) -> int:
     from repro.obs import bridge_spans
     from repro.serving.config import (
+        load_kernel_setting,
         load_observability_settings,
         load_resilience_settings,
     )
 
     observability = load_observability_settings(args.config)
     resilience = load_resilience_settings(args.config)
+    kernel = load_kernel_setting(args.config)
     registry = registry_from_config(args.config)
     if args.inject_predictor_fault is not None:
         from repro.resilience import wrap_method
@@ -529,7 +531,7 @@ def _run_serve_batch(args) -> int:
     if args.alerts_out:
         sinks.append(JsonlFileSink(args.alerts_out))
     service = ValidationService(
-        registry, events=EventRouter(sinks), resilience=resilience
+        registry, events=EventRouter(sinks), resilience=resilience, kernel=kernel
     )
     tracer = Tracer() if observability.enabled else None
     exit_code = 0
@@ -575,7 +577,7 @@ def _add_bench_command(subparsers) -> None:
         "--smoke", action="store_true",
         help="tiny workload for CI (default: the full reference workload)",
     )
-    parser.add_argument("--out", default="BENCH_PR6.json", help="report output path")
+    parser.add_argument("--out", default="BENCH_PR7.json", help="report output path")
     _add_parallel_arguments(parser)
     _add_trace_arguments(parser)
     parser.set_defaults(handler=_run_bench, n_jobs=4)
@@ -599,6 +601,18 @@ def _run_bench(args) -> int:
         failed = True
     if not payload["quality_parity"]:
         print("error: hist tree engine failed quality parity", file=sys.stderr)
+        failed = True
+    if not payload["fused_kernel_identical"]:
+        print(
+            "error: fused serving kernel diverged from the reference path",
+            file=sys.stderr,
+        )
+        failed = True
+    if not payload["fused_kernel_not_slower"]:
+        print(
+            "error: fused serving kernel was slower than the reference path",
+            file=sys.stderr,
+        )
         failed = True
     return 2 if failed else 0
 

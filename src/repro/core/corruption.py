@@ -35,32 +35,42 @@ class CorruptionSample:
 
 @dataclass(frozen=True)
 class _Episode:
-    """Payload for one corrupt→predict→score episode.
+    """Per-episode payload for one corrupt→predict→score episode.
 
     Module-level and dataclass-based so the process backend can pickle
-    it; episodes within one chunk share the frame / black box objects,
-    which pickle memoization sends across only once per chunk.
+    it. Deliberately slim — only what varies between episodes; the heavy
+    invariants (black box, frame, labels) live in :class:`_EpisodeContext`
+    and ride the executor's broadcast ``shared`` payload, pickled once
+    per worker instead of once per episode.
     """
+
+    generator: ErrorGen | None
+    mixture: ErrorMixture | None
+
+
+@dataclass(frozen=True)
+class _EpisodeContext:
+    """Read-only state shared by every episode of one ``sample()`` call."""
 
     blackbox: BlackBoxModel
     frame: DataFrame
     labels: np.ndarray
     metric: str
-    generator: ErrorGen | None
-    mixture: ErrorMixture | None
 
 
-def _run_episode(episode: _Episode, rng: np.random.Generator) -> CorruptionSample:
+def _run_episode(
+    episode: _Episode, rng: np.random.Generator, context: _EpisodeContext
+) -> CorruptionSample:
     """Corrupt one copy with the episode's private RNG and score the black box."""
     if episode.generator is not None:
-        corrupted, report = episode.generator.corrupt_random(episode.frame, rng)
+        corrupted, report = episode.generator.corrupt_random(context.frame, rng)
         reports: tuple[CorruptionReport, ...] = (report,)
     else:
         assert episode.mixture is not None
-        corrupted, report_list = episode.mixture.corrupt_random(episode.frame, rng)
+        corrupted, report_list = episode.mixture.corrupt_random(context.frame, rng)
         reports = tuple(report_list)
-    proba = episode.blackbox.predict_proba(corrupted)
-    score = episode.blackbox.score(corrupted, episode.labels, episode.metric)
+    proba = context.blackbox.predict_proba(corrupted)
+    score = context.blackbox.score(corrupted, context.labels, context.metric)
     return CorruptionSample(proba=proba, score=score, reports=reports)
 
 
@@ -161,6 +171,12 @@ class CorruptionSampler:
                         CorruptionSample(proba=proba, score=score, reports=())
                     )
             mixture = ErrorMixture(self.error_generators, fire_prob=self.fire_prob)
+            context = _EpisodeContext(
+                blackbox=self.blackbox,
+                frame=test_frame,
+                labels=test_labels,
+                metric=self.metric,
+            )
             episodes = []
             for index in range(n_samples):
                 if self.mode == "single":
@@ -172,14 +188,7 @@ class CorruptionSampler:
                     generator = None
                     episode_mixture = mixture
                 episodes.append(
-                    _Episode(
-                        blackbox=self.blackbox,
-                        frame=test_frame,
-                        labels=test_labels,
-                        metric=self.metric,
-                        generator=generator,
-                        mixture=episode_mixture,
-                    )
+                    _Episode(generator=generator, mixture=episode_mixture)
                 )
             seeds = spawn_seeds(rng, n_samples)
             use_jobs = self.n_jobs if n_jobs is None else n_jobs
@@ -194,12 +203,13 @@ class CorruptionSampler:
                             seeds=seeds,
                             backend=use_backend,
                             task_retries=self.task_retries,
+                            shared=context,
                         )
                     )
             else:
                 samples.extend(
                     self._sample_checkpointed(
-                        episodes, seeds, checkpoint, checkpoint_every,
+                        episodes, context, seeds, checkpoint, checkpoint_every,
                         n_jobs=use_jobs, backend=use_backend,
                     )
                 )
@@ -208,6 +218,7 @@ class CorruptionSampler:
     def _sample_checkpointed(
         self,
         episodes: list[_Episode],
+        context: _EpisodeContext,
         seeds: list[np.random.SeedSequence],
         checkpoint: "CheckpointStore | str | Path",
         checkpoint_every: int,
@@ -233,7 +244,7 @@ class CorruptionSampler:
             "metric": self.metric,
             "include_clean": self.include_clean,
             "fire_prob": self.fire_prob,
-            "rows": len(episodes[0].frame),
+            "rows": len(context.frame),
             "generators": [type(g).__name__ for g in self.error_generators],
             "seed_entropy": int(seeds[0].entropy) if seeds else 0,
         }
@@ -255,6 +266,7 @@ class CorruptionSampler:
                     _run_episode,
                     [episodes[i] for i in chunk],
                     seeds=[seeds[i] for i in chunk],
+                    shared=context,
                 )
                 for index, result in zip(chunk, chunk_results):
                     completed[index] = result

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.exceptions import DataValidationError
 from repro.stats.descriptive import matrix_moments, matrix_percentiles
-from repro.stats.tests import ks_two_sample
+from repro.stats.tests import ks_two_sample, ks_two_sample_matrix
 
 FEATURIZERS = ("percentiles", "moments")
 
@@ -53,12 +53,21 @@ def ks_output_features(proba: np.ndarray, proba_reference: np.ndarray) -> np.nda
         raise DataValidationError(
             f"class count mismatch: {proba.shape[1]} vs {proba_reference.shape[1]}"
         )
-    features = []
-    for column in range(proba.shape[1]):
-        result = ks_two_sample(proba[:, column], proba_reference[:, column])
-        features.append(result.statistic)
-        features.append(result.p_value)
-    return np.asarray(features)
+    if proba.shape[1] == 0:
+        return np.asarray([])
+    if np.isnan(proba).any() or np.isnan(proba_reference).any():
+        # NaN drops shrink per-column sample sizes independently, which
+        # the shared-merge vectorization cannot express; keep the
+        # per-column tests for those matrices.
+        features = []
+        for column in range(proba.shape[1]):
+            result = ks_two_sample(proba[:, column], proba_reference[:, column])
+            features.append(result.statistic)
+            features.append(result.p_value)
+        return np.asarray(features)
+    # One vectorized merge across all class columns; bit-identical to the
+    # per-column loop (see repro.stats.tests.ks_matrix_from_sorted).
+    return ks_two_sample_matrix(proba, proba_reference).ravel()
 
 
 def predicted_class_fractions(proba: np.ndarray) -> np.ndarray:

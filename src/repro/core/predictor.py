@@ -229,12 +229,22 @@ class PerformancePredictor:
         proba = self.blackbox.predict_proba(serving_frame)
         return self.predict_from_proba(proba)
 
-    def predict_from_proba(self, proba: np.ndarray) -> float:
-        """Estimated score from an already-computed probability matrix."""
+    def predict_from_proba(
+        self, proba: np.ndarray, features: np.ndarray | None = None
+    ) -> float:
+        """Estimated score from an already-computed probability matrix.
+
+        ``features`` lets a fused serving kernel pass the featurization it
+        already derived from the shared column sort (see
+        :class:`repro.perf.kernels.FusedScorer`); it must equal
+        ``self._featurize(proba)``.
+        """
         if not hasattr(self, "regressor_"):
             raise NotFittedError("PerformancePredictor is not fitted; call fit() first")
         with current_tracer().span("predictor.estimate", rows=proba.shape[0]):
-            features = self._featurize(proba).reshape(1, -1)
+            if features is None:
+                features = self._featurize(proba)
+            features = np.asarray(features).reshape(1, -1)
             estimate = float(self.regressor_.predict(features)[0])  # type: ignore[attr-defined]
             # Scores live in [0, 1]; keep the regressor honest at the borders.
             return float(np.clip(estimate, 0.0, 1.0))

@@ -197,14 +197,24 @@ class PerformanceValidator:
         proba = self.blackbox.predict_proba(serving_frame)
         return self.validate_from_proba(proba)
 
-    def validate_from_proba(self, proba: np.ndarray) -> bool:
-        """Validation decision from an already-computed probability matrix."""
+    def validate_from_proba(
+        self, proba: np.ndarray, features: np.ndarray | None = None
+    ) -> bool:
+        """Validation decision from an already-computed probability matrix.
+
+        ``features`` lets a fused serving kernel pass the featurization it
+        already derived from the shared column sort (see
+        :class:`repro.perf.kernels.FusedScorer`); it must equal
+        ``self._featurize(proba)``.
+        """
         if not hasattr(self, "meta_features_"):
             raise NotFittedError("PerformanceValidator is not fitted; call fit() first")
         with current_tracer().span("validator.validate", rows=proba.shape[0]):
             if self._constant_decision is not None:
                 return bool(self._constant_decision)
-            features = self._featurize(proba).reshape(1, -1)
+            if features is None:
+                features = self._featurize(proba)
+            features = np.asarray(features).reshape(1, -1)
             decision = self.model_.predict(features)[0]  # type: ignore[union-attr]
             return bool(decision == 1)
 

@@ -46,6 +46,7 @@ from repro.serving.config import (
     DaemonSettings,
     ResilienceSettings,
     load_daemon_settings,
+    load_kernel_setting,
     load_resilience_settings,
     registry_from_config,
 )
@@ -94,6 +95,7 @@ class ServingDaemon:
         metrics: MetricsRegistry | None = None,
         clock: Callable[[], float] = time.monotonic,
         config_path: str | Path | None = None,
+        kernel: str = "fused",
     ):
         self.settings = settings if settings is not None else DaemonSettings()
         self.clock = clock
@@ -105,6 +107,7 @@ class ServingDaemon:
             events=events,
             clock=clock,
             resilience=resilience,
+            kernel=kernel,
         )
         self.tracer = Tracer(SpanStore(capacity=SPAN_STORE_CAPACITY))
 
@@ -197,6 +200,7 @@ class ServingDaemon:
             events=events,
             clock=clock,
             config_path=config_path,
+            kernel=load_kernel_setting(config_path),
         )
 
     # ------------------------------------------------------------------ #

@@ -126,30 +126,33 @@ def extended_error_generators(blackbox: BlackBoxModel) -> dict[str, ErrorGen]:
 
 
 # --------------------------------------------------------------------- #
-# Parallel round runners (module-level so process pools can pickle them)
+# Parallel round runners (module-level so process pools can pickle them).
+# Each takes its round-varying state as the item and the heavy invariants
+# (predictor, black box, serving split) through the executor's broadcast
+# ``shared`` payload, pickled once per process-pool worker, not per round.
 # --------------------------------------------------------------------- #
 
 
-def _estimation_round(task, rng: np.random.Generator) -> float:
+def _estimation_round(corruptor, rng: np.random.Generator, shared) -> float:
     """One corrupt→estimate→score round; returns the absolute error."""
-    predictor, blackbox, corruptor, serving, y_serving, metric = task
+    predictor, blackbox, serving, y_serving, metric = shared
     corrupted, _ = corruptor.corrupt_random(serving, rng)
     estimate = predictor.predict(corrupted)
     truth = blackbox.score(corrupted, y_serving, metric)
     return abs(estimate - truth)
 
 
-def _prediction_round(task, rng: np.random.Generator) -> tuple[float, float]:
+def _prediction_round(_round, rng: np.random.Generator, shared) -> tuple[float, float]:
     """One corrupt→predict round; returns (estimated, true) score."""
-    predictor, blackbox, mixture, serving, y_serving = task
+    predictor, blackbox, mixture, serving, y_serving = shared
     corrupted, _ = mixture.corrupt_random(serving, rng)
     return predictor.predict(corrupted), blackbox.score(corrupted, y_serving)
 
 
-def _validation_round(task, rng: np.random.Generator):
+def _validation_round(_round, rng: np.random.Generator, shared):
     """One §6.2 evaluation round: corrupt the serving split, collect the
     black box's outputs, the true score, and REL's frame-level alarm."""
-    blackbox, mixture, serving, y_serving, rel = task
+    blackbox, mixture, serving, y_serving, rel = shared
     corrupted, _ = mixture.corrupt_random(serving, rng)
     proba = blackbox.predict_proba(corrupted)
     true_score = blackbox.score(corrupted, y_serving)
@@ -196,19 +199,16 @@ def score_estimation_errors(
     ).fit(splits.test, splits.y_test)
     rng = np.random.default_rng(seed + 10_000)
     tasks = [
-        (
-            predictor,
-            blackbox,
-            eval_generators[round_index % len(eval_generators)],
-            splits.serving,
-            splits.y_serving,
-            metric,
-        )
+        eval_generators[round_index % len(eval_generators)]
         for round_index in range(n_eval_rounds)
     ]
     seeds = spawn_seeds(rng, n_eval_rounds)
+    shared = (predictor, blackbox, splits.serving, splits.y_serving, metric)
     return np.asarray(
-        pmap(_estimation_round, tasks, n_jobs=n_jobs, seeds=seeds, backend=backend)
+        pmap(
+            _estimation_round, tasks,
+            n_jobs=n_jobs, seeds=seeds, backend=backend, shared=shared,
+        )
     )
 
 
@@ -268,15 +268,16 @@ def unknown_fraction_errors(
     ).fit(splits.test, splits.y_test)
     rng = np.random.default_rng(seed + 20_000)
     mixture = ErrorMixture(full_generators, fire_prob=0.6)
-    task = (predictor, blackbox, mixture, splits.serving, splits.y_serving, "accuracy")
+    shared = (predictor, blackbox, splits.serving, splits.y_serving, "accuracy")
     seeds = spawn_seeds(rng, n_eval_rounds)
     return np.asarray(
         pmap(
             _estimation_round,
-            [task] * n_eval_rounds,
+            [mixture] * n_eval_rounds,
             n_jobs=n_jobs,
             seeds=seeds,
             backend=backend,
+            shared=shared,
         )
     )
 
@@ -312,15 +313,16 @@ def sample_size_errors(
         random_state=seed, n_jobs=n_jobs, backend=backend,
         tree_method=tree_method,
     ).fit(small_test, small_labels)
-    task = (predictor, blackbox, generator, splits.serving, splits.y_serving, "accuracy")
+    shared = (predictor, blackbox, splits.serving, splits.y_serving, "accuracy")
     seeds = spawn_seeds(rng, n_eval_rounds)
     return np.asarray(
         pmap(
             _estimation_round,
-            [task] * n_eval_rounds,
+            [generator] * n_eval_rounds,
             n_jobs=n_jobs,
             seeds=seeds,
             backend=backend,
+            shared=shared,
         )
     )
 
@@ -401,14 +403,15 @@ def validation_comparison_multi(
     # The expensive corrupt→predict→score part of each round fans out;
     # the per-threshold alarm decisions on the collected outputs are cheap
     # and stay in the parent.
-    round_task = (blackbox, mixture, splits.serving, splits.y_serving, rel)
+    round_shared = (blackbox, mixture, splits.serving, splits.y_serving, rel)
     seeds = spawn_seeds(eval_rng, n_eval_rounds)
     rounds = pmap(
         _validation_round,
-        [round_task] * n_eval_rounds,
+        range(n_eval_rounds),
         n_jobs=n_jobs,
         seeds=seeds,
         backend=backend,
+        shared=round_shared,
     )
 
     true_scores = []
@@ -503,11 +506,11 @@ def cloud_experiment(
     ).fit(splits.test, splits.y_test)
     rng = np.random.default_rng(seed + 50_000)
     mixture = ErrorMixture(generators, fire_prob=0.6)
-    task = (predictor, blackbox, mixture, splits.serving, splits.y_serving)
+    shared = (predictor, blackbox, mixture, splits.serving, splits.y_serving)
     seeds = spawn_seeds(rng, n_eval_rounds)
     rounds = pmap(
-        _prediction_round, [task] * n_eval_rounds,
-        n_jobs=n_jobs, seeds=seeds, backend=backend,
+        _prediction_round, range(n_eval_rounds),
+        n_jobs=n_jobs, seeds=seeds, backend=backend, shared=shared,
     )
     predicted = [estimate for estimate, _ in rounds]
     true = [truth for _, truth in rounds]

@@ -27,16 +27,20 @@ def _bootstrap(rng: np.random.Generator, n: int) -> np.ndarray:
     return rng.integers(0, n, size=n)
 
 
-def _fit_tree(task) -> Estimator:
+def _fit_tree(task, shared) -> Estimator:
     """Fit one pre-seeded tree on its bootstrap rows (process-pool safe).
 
     The forest draws every tree's bootstrap rows and seed from its own
     RNG *serially* before fanning the fits out, so the fitted trees are
-    bit-identical to a fully serial fit at any ``n_jobs``. With the hist
-    engine the forest bins the matrix once and every tree receives the
-    shared :class:`~repro.ml.binning.BinnedMatrix` instead of raw floats.
+    bit-identical to a fully serial fit at any ``n_jobs``. The training
+    matrix, labels and (with the hist engine) the shared
+    :class:`~repro.ml.binning.BinnedMatrix` ride in the executor's
+    broadcast ``shared`` payload — pickled once per process pool instead
+    of once per tree — so per-task payloads carry only the bootstrap rows
+    and the tree parameters.
     """
-    tree_cls, X, y, rows, params, binned = task
+    tree_cls, rows, params = task
+    X, y, binned = shared
     if binned is not None:
         return tree_cls(**params).fit_binned(binned, y, rows=rows)
     return tree_cls(**params).fit(X[rows], y[rows])
@@ -105,10 +109,11 @@ class RandomForestRegressor(Estimator):
                     tree_method=self.tree_method,
                     max_bins=self.max_bins,
                 )
-                tasks.append((DecisionTreeRegressor, shared_X, y, rows, params, binned))
+                tasks.append((DecisionTreeRegressor, rows, params))
             with tracer.span("forest.grow", trees=self.n_trees):
                 self.trees_ = pmap(
-                    _fit_tree, tasks, n_jobs=self.n_jobs, backend=self.backend
+                    _fit_tree, tasks, n_jobs=self.n_jobs, backend=self.backend,
+                    shared=(shared_X, y, binned),
                 )
         return self
 
@@ -184,10 +189,11 @@ class RandomForestClassifier(Estimator, ClassifierMixin):
                     tree_method=self.tree_method,
                     max_bins=self.max_bins,
                 )
-                tasks.append((DecisionTreeClassifier, shared_X, y, rows, params, binned))
+                tasks.append((DecisionTreeClassifier, rows, params))
             with tracer.span("forest.grow", trees=self.n_trees):
                 self.trees_ = pmap(
-                    _fit_tree, tasks, n_jobs=self.n_jobs, backend=self.backend
+                    _fit_tree, tasks, n_jobs=self.n_jobs, backend=self.backend,
+                    shared=(shared_X, y, binned),
                 )
         return self
 

@@ -49,13 +49,17 @@ def _default_score(estimator: Estimator, X: np.ndarray, y: np.ndarray) -> float:
     return -mean_absolute_error(y, estimator.predict(X))  # type: ignore[attr-defined]
 
 
-def _fit_and_score(task) -> float:
+def _fit_and_score(task, shared) -> float:
     """Clone-fit-score one (estimator, fold) pair (process-pool safe).
 
     Every task carries an *unfitted* estimator template with its own
     ``random_state``, so fold scores are identical at any ``n_jobs``.
+    The data matrix and labels travel in the executor's broadcast
+    ``shared`` payload — pickled once per process-pool worker rather
+    than once per candidate×fold cell.
     """
-    estimator, X, y, train_idx, val_idx = task
+    estimator, train_idx, val_idx = task
+    X, y = shared
     model = clone(estimator)
     model.fit(X[train_idx], y[train_idx])  # type: ignore[attr-defined]
     return _default_score(model, X[val_idx], y[val_idx])
@@ -74,10 +78,12 @@ def cross_val_score(
     X = check_matrix(X)
     y = check_labels(y, X.shape[0])
     tasks = [
-        (estimator, X, y, train_idx, val_idx)
+        (estimator, train_idx, val_idx)
         for train_idx, val_idx in KFold(n_splits, random_state).split(X.shape[0])
     ]
-    return np.asarray(pmap(_fit_and_score, tasks, n_jobs=n_jobs, backend=backend))
+    return np.asarray(
+        pmap(_fit_and_score, tasks, n_jobs=n_jobs, backend=backend, shared=(X, y))
+    )
 
 
 class GridSearchCV(Estimator):
@@ -128,13 +134,14 @@ class GridSearchCV(Estimator):
             # this matches the per-candidate splits of a serial search).
             folds = list(KFold(self.n_splits, self.random_state).split(X.shape[0]))
             tasks = [
-                (clone(self.estimator).set_params(**params), X, y, train_idx, val_idx)
+                (clone(self.estimator).set_params(**params), train_idx, val_idx)
                 for params in candidates
                 for train_idx, val_idx in folds
             ]
             with tracer.span("grid_search.scan", cells=len(tasks)):
                 scores = pmap(
-                    _fit_and_score, tasks, n_jobs=self.n_jobs, backend=self.backend
+                    _fit_and_score, tasks, n_jobs=self.n_jobs,
+                    backend=self.backend, shared=(X, y),
                 )
             results = []
             for i, params in enumerate(candidates):

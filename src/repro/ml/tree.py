@@ -79,8 +79,42 @@ class _FlatTree:
             )
         return self._frozen
 
+    def _route(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index for every row via level-wise vectorized routing.
+
+        Instead of descending the tree per row (or per row group), every
+        still-active row advances one level per iteration through pure
+        gather/compare/where steps on the frozen arrays — the loop runs
+        ``tree depth`` times regardless of batch size. Split comparisons
+        are the same ``<=`` on the same floats as a per-row descent, so
+        routing (and therefore prediction) is bit-identical.
+        """
+        feature, threshold, left, right, _ = self._arrays()
+        pos = np.zeros(X.shape[0], dtype=np.int64)
+        active = np.flatnonzero(np.take(feature, pos) >= 0)
+        while active.size:
+            nodes = pos[active]
+            split_feature = np.take(feature, nodes)
+            go_left = (
+                X[active, split_feature] <= np.take(threshold, nodes)
+            )
+            pos[active] = np.where(
+                go_left, np.take(left, nodes), np.take(right, nodes)
+            )
+            active = active[np.take(feature, pos[active]) >= 0]
+        return pos
+
     def predict(self, X: np.ndarray) -> np.ndarray:
-        """Batch prediction by iterative partitioning of the row set."""
+        """Batch prediction: route all rows level-wise, gather leaf values."""
+        values = self._arrays()[4]
+        return values[self._route(X)]
+
+    def predict_reference(self, X: np.ndarray) -> np.ndarray:
+        """Reference traversal (iterative row-set partitioning).
+
+        Kept as the parity oracle for :meth:`predict`; not used on any
+        hot path.
+        """
         feature, threshold, left, right, values = self._arrays()
         out = np.empty((X.shape[0], values.shape[1]))
         # Walk groups of rows down the tree together.
@@ -101,6 +135,10 @@ class _FlatTree:
 
     def apply(self, X: np.ndarray) -> np.ndarray:
         """Leaf index reached by every row (for per-leaf boosting updates)."""
+        return self._route(X)
+
+    def apply_reference(self, X: np.ndarray) -> np.ndarray:
+        """Reference leaf routing (parity oracle for :meth:`apply`)."""
         feature, threshold, left, right, _ = self._arrays()
         out = np.empty(X.shape[0], dtype=np.int64)
         stack = [(0, np.arange(X.shape[0]))]

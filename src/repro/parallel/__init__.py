@@ -15,6 +15,7 @@ from repro.parallel.executor import (
     Executor,
     QuarantinedTask,
     available_backends,
+    effective_parallelism,
     pmap,
     resolve_n_jobs,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "ParallelExecutionError",
     "QuarantinedTask",
     "available_backends",
+    "effective_parallelism",
     "pmap",
     "resolve_n_jobs",
     "rng_from_seed",

@@ -34,6 +34,9 @@ follow that pattern.
 
 from __future__ import annotations
 
+import os
+import pickle
+import time
 import traceback
 import warnings
 from dataclasses import dataclass
@@ -51,6 +54,11 @@ BACKENDS = ("serial", "thread", "process")
 #: keeping the pool load-balanced.
 _CHUNKS_PER_WORKER = 4
 
+#: Adaptive chunking targets roughly this much work per pool submission:
+#: cheap tasks get batched into larger chunks (fewer submissions), while
+#: expensive tasks keep the even split (better load balancing).
+_TARGET_CHUNK_SECONDS = 0.02
+
 
 def available_backends() -> tuple[str, ...]:
     """Backends usable on this host ("serial" and "thread" always are)."""
@@ -65,14 +73,23 @@ def available_backends() -> tuple[str, ...]:
     return tuple(usable)
 
 
+def effective_parallelism(n_jobs: int | None) -> int:
+    """The concurrency ``n_jobs`` workers can actually deliver on this host.
+
+    Process workers beyond the CPU count only time-slice a core; this is
+    the honest figure benchmark reports record next to the requested
+    ``n_jobs`` so speedups measured on oversubscribed hosts are
+    interpretable.
+    """
+    return min(resolve_n_jobs(n_jobs), os.cpu_count() or 1)
+
+
 def resolve_n_jobs(n_jobs: int | None) -> int:
     """Normalize an ``n_jobs`` request to a positive worker count.
 
     ``None`` means 1; negative values count back from the host CPU count
     (``-1`` = all cores, as in joblib).
     """
-    import os
-
     if n_jobs is None:
         return 1
     n_jobs = int(n_jobs)
@@ -131,10 +148,32 @@ class QuarantinedTask:
         )
 
 
+#: Per-process slot for the read-only payload broadcast to process-pool
+#: workers through their initializer (installed once per worker, not
+#: pickled per task).
+_WORKER_SHARED: Any = None
+
+
+class _SharedFromWorker:
+    """Pickled marker telling a chunk to read the per-process broadcast.
+
+    A plain sentinel object would not survive pickling with its identity,
+    so the marker is a type: ``isinstance`` checks work on both sides of
+    the process boundary.
+    """
+
+
+def _install_shared(payload: bytes) -> None:
+    """Process-pool initializer: unpickle the broadcast payload once."""
+    global _WORKER_SHARED
+    _WORKER_SHARED = pickle.loads(payload)
+
+
 def _run_chunk(
     fn: Callable[..., Any],
     tasks: list[tuple[int, Any, Any]],
     task_retries: int = 0,
+    shared: Any = None,
 ) -> list[tuple[int, bool, Any]]:
     """Execute one chunk of (index, item, seed) tasks; never raises.
 
@@ -144,15 +183,26 @@ def _run_chunk(
     Each task gets ``task_retries`` in-place re-runs; a retried task's
     RNG is re-materialized from its seed, so a task that succeeds on
     retry produces the exact result a first-try success would have.
+
+    ``shared`` is a read-only payload appended as the last positional
+    argument of every call (``fn(item, shared)`` / ``fn(item, rng,
+    shared)``). In a process-pool worker the chunk receives a
+    :class:`_SharedFromWorker` marker and resolves it against the payload
+    the pool initializer installed, so the (potentially large) object
+    crosses the process boundary once per worker instead of once per task.
     """
+    if isinstance(shared, _SharedFromWorker):
+        shared = _WORKER_SHARED
     out: list[tuple[int, bool, Any]] = []
     for index, item, seed in tasks:
         for attempt in range(1, task_retries + 2):
             try:
                 if seed is None:
-                    out.append((index, True, fn(item)))
+                    args = (item,) if shared is None else (item, shared)
                 else:
-                    out.append((index, True, fn(item, rng_from_seed(seed))))
+                    rng = rng_from_seed(seed)
+                    args = (item, rng) if shared is None else (item, rng, shared)
+                out.append((index, True, fn(*args)))
                 break
             except Exception as error:
                 if attempt > task_retries:
@@ -228,6 +278,7 @@ class Executor:
         items: Iterable[Any],
         *,
         seeds: Sequence[Any] | None = None,
+        shared: Any = None,
     ) -> list[Any]:
         """Apply ``fn`` to every item, returning results in item order.
 
@@ -235,8 +286,15 @@ class Executor:
         :func:`~repro.parallel.seeding.spawn_seeds`) each call receives a
         private ``numpy.random.Generator`` as second argument:
         ``fn(item, rng)``. Without seeds, ``fn(item)``.
+
+        ``shared`` is a read-only payload handed to every call as the last
+        positional argument (``fn(item[, rng], shared)``). On the process
+        backend it is pickled once per worker through the pool initializer
+        instead of once per task — put the large invariant objects (the
+        training matrix, a :class:`~repro.ml.binning.BinnedMatrix`, a
+        fitted black box) here and keep the per-item payloads slim.
         """
-        results, failures = self._map_impl(fn, items, seeds)
+        results, failures = self._map_impl(fn, items, seeds, shared)
         if failures:
             first = min(failures, key=lambda f: f.index)
             error = ParallelExecutionError(
@@ -258,6 +316,7 @@ class Executor:
         items: Iterable[Any],
         *,
         seeds: Sequence[Any] | None = None,
+        shared: Any = None,
     ) -> tuple[list[Any], list[QuarantinedTask]]:
         """Like :meth:`map`, but poison tasks are skipped, not fatal.
 
@@ -267,7 +326,7 @@ class Executor:
         Callers that need completeness check ``quarantined`` explicitly
         — nothing is dropped silently.
         """
-        results, failures = self._map_impl(fn, items, seeds)
+        results, failures = self._map_impl(fn, items, seeds, shared)
         quarantined = [
             QuarantinedTask(
                 index=failure.index,
@@ -285,6 +344,7 @@ class Executor:
         fn: Callable[..., Any],
         items: Iterable[Any],
         seeds: Sequence[Any] | None,
+        shared: Any = None,
     ) -> tuple[list[Any], list[_TaskFailure]]:
         items = list(items)
         if seeds is not None:
@@ -299,10 +359,12 @@ class Executor:
         ]
         backend = self.resolved_backend(len(items))
         if backend == "serial":
-            return self._collect(_run_chunk(fn, tasks, self.task_retries), len(items))
+            return self._collect(
+                _run_chunk(fn, tasks, self.task_retries, shared), len(items)
+            )
         n_jobs = min(resolve_n_jobs(self.n_jobs), max(1, len(items)))
         try:
-            results = self._run_pool(fn, tasks, backend, n_jobs)
+            results = self._run_pool(fn, tasks, backend, n_jobs, shared)
         except Exception as error:
             if not self.fallback_serial:
                 raise ParallelExecutionError(
@@ -315,7 +377,7 @@ class Executor:
                 RuntimeWarning,
                 stacklevel=2,
             )
-            results = _run_chunk(fn, tasks, self.task_retries)
+            results = _run_chunk(fn, tasks, self.task_retries, shared)
         return self._collect(results, len(items))
 
     # ------------------------------------------------------------------ #
@@ -326,19 +388,56 @@ class Executor:
         tasks: list[tuple[int, Any, Any]],
         backend: str,
         n_jobs: int,
+        shared: Any = None,
     ) -> list[tuple[int, bool, Any]]:
         from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
+        results: list[tuple[int, bool, Any]] = []
         if self.chunk_size is not None:
             chunk_size = self.chunk_size
         else:
-            chunk_size = max(1, -(-len(tasks) // (n_jobs * _CHUNKS_PER_WORKER)))
+            # Adaptive granularity: time the first task in the parent and
+            # size chunks toward ~_TARGET_CHUNK_SECONDS of work, never
+            # below the legacy even split (load balancing for expensive
+            # tasks) and never above a one-chunk-per-worker split. The
+            # probe's result is kept, so no task runs twice on success.
+            started = time.perf_counter()
+            results.extend(_run_chunk(fn, tasks[:1], self.task_retries, shared))
+            probe_seconds = time.perf_counter() - started
+            tasks = tasks[1:]
+            if not tasks:
+                return results
+            even = max(1, -(-len(tasks) // (n_jobs * _CHUNKS_PER_WORKER)))
+            per_worker = max(1, -(-len(tasks) // n_jobs))
+            if probe_seconds <= 0:
+                cost_based = per_worker
+            else:
+                cost_based = max(1, int(_TARGET_CHUNK_SECONDS / probe_seconds))
+            chunk_size = min(max(even, cost_based), per_worker)
         chunks = [tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)]
-        pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
-        results: list[tuple[int, bool, Any]] = []
-        with pool_cls(max_workers=n_jobs) as pool:
+        if backend == "thread":
+            pool_cls: Any = ThreadPoolExecutor
+            pool_kwargs: dict[str, Any] = {"max_workers": n_jobs}
+            shared_arg = shared
+        else:
+            # Workers beyond the host cores only add scheduling overhead
+            # for CPU-bound tasks; clamp the pool (the requested n_jobs
+            # still shapes chunking, so results stay bit-identical).
+            workers = min(n_jobs, os.cpu_count() or 1)
+            pool_cls = ProcessPoolExecutor
+            pool_kwargs = {"max_workers": workers}
+            shared_arg = shared
+            if shared is not None:
+                # Broadcast once per worker through the initializer; the
+                # chunks carry only a marker. An unpicklable payload fails
+                # here, in the parent, and degrades to the serial fallback.
+                payload = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
+                pool_kwargs["initializer"] = _install_shared
+                pool_kwargs["initargs"] = (payload,)
+                shared_arg = _SharedFromWorker()
+        with pool_cls(**pool_kwargs) as pool:
             futures = [
-                pool.submit(_run_chunk, fn, chunk, self.task_retries)
+                pool.submit(_run_chunk, fn, chunk, self.task_retries, shared_arg)
                 for chunk in chunks
             ]
             for future in futures:
@@ -373,10 +472,11 @@ def pmap(
     backend: str = "auto",
     chunk_size: int | None = None,
     task_retries: int = 0,
+    shared: Any = None,
 ) -> list[Any]:
     """One-shot deterministic parallel map (see :class:`Executor`)."""
     executor = Executor(
         n_jobs=n_jobs, backend=backend, chunk_size=chunk_size,
         task_retries=task_retries,
     )
-    return executor.map(fn, items, seeds=seeds)
+    return executor.map(fn, items, seeds=seeds, shared=shared)

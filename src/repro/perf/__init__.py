@@ -1,22 +1,34 @@
-"""Performance measurement: the ``repro bench`` timing harness.
+"""Performance: the fused serving kernel and the ``repro bench`` harness.
 
-Times the parallelized hot paths at serial vs. parallel settings and
-verifies the engine's bit-identical-results guarantee while doing so.
-See :mod:`repro.perf.bench` and ``benchmarks/perf/``.
+* :mod:`repro.perf.kernels` — the fused scoring kernel for the serving
+  hot path (sort each class-probability column once per micro-batch and
+  derive both the percentile grid and the KS empirical CDFs from that
+  order), bit-identical to the reference featurizers.
+* :mod:`repro.perf.bench` — times the parallelized hot paths at serial
+  vs. parallel settings and verifies the bit-identical-results guarantee
+  while doing so (see ``benchmarks/perf/``).
+
+The bench exports resolve lazily: the serving layer imports
+:mod:`repro.perf.kernels` on its hot path, which must not drag the
+benchmark harness (and its evaluation/daemon imports) along.
 """
 
-from repro.perf.bench import (
-    PROFILES,
-    environment_info,
-    format_report,
-    run_benchmarks,
-    write_report,
-)
+from typing import Any
 
-__all__ = [
+_BENCH_EXPORTS = (
     "PROFILES",
     "environment_info",
     "format_report",
     "run_benchmarks",
     "write_report",
-]
+)
+
+__all__ = list(_BENCH_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _BENCH_EXPORTS:
+        from repro.perf import bench
+
+        return getattr(bench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

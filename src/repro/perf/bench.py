@@ -8,12 +8,21 @@ guarantee). Two further benchmarks race the exact tree engine against
 the histogram engine (forest fit and gradient boosting, both at
 ``n_jobs=1``) and check quality parity between the engines (R² /
 accuracy within tolerance — the engines make different split choices,
-so bit-identity is not expected there). A final benchmark bursts the
-serving daemon over HTTP and reports coalescing throughput plus p50/p99
-latency (see :mod:`repro.perf.daemon_bench`). Everything lands in one
-JSON report; ``BENCH_PR6.json`` at the repo root is the committed
-reference run, and CI refreshes a smoke-profile copy per PR so the perf
-trajectory stays visible.
+so bit-identity is not expected there). A serving benchmark races the
+fused scoring kernel against the reference featurization path with a
+bit-identity gate (see :mod:`repro.perf.serving_bench`), and a final
+benchmark bursts the serving daemon over HTTP and reports coalescing
+throughput plus p50/p99 latency (see :mod:`repro.perf.daemon_bench`).
+Everything lands in one JSON report; ``BENCH_PR7.json`` at the repo
+root is the committed reference run, and CI refreshes a smoke-profile
+copy per PR so the perf trajectory stays visible.
+
+Parallel speedups are only interpretable next to the host's actual
+concurrency, so the report records ``effective_parallelism``
+(:func:`repro.parallel.effective_parallelism`) and flags every speedup
+measured with more workers than cores as ``oversubscribed`` — on such
+hosts (CI runners often have one core) a "speedup" below 1.0 measures
+pool overhead, not a regression.
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ from repro.ml.linear import SGDClassifier
 from repro.ml.metrics import accuracy_score, r2_score
 from repro.ml.model_selection import GridSearchCV
 from repro.ml.pipeline import Pipeline, TabularEncoder
+from repro.parallel import effective_parallelism, resolve_n_jobs
 
 #: Workload sizes. ``smoke`` keeps the CI job around a minute; ``full``
 #: is the committed reference workload.
@@ -67,6 +77,10 @@ PROFILES: dict[str, dict[str, Any]] = {
         daemon_rows_per_request=12,
         daemon_queue_depth=32,
         daemon_max_batch_rows=96,
+        serving_meta_samples=15,
+        serving_batches=12,
+        serving_batch_rows=48,
+        serving_repeats=5,
     ),
     "full": dict(
         n_rows=1500,
@@ -89,6 +103,10 @@ PROFILES: dict[str, dict[str, Any]] = {
         daemon_rows_per_request=25,
         daemon_queue_depth=64,
         daemon_max_batch_rows=256,
+        serving_meta_samples=40,
+        serving_batches=40,
+        serving_batch_rows=100,
+        serving_repeats=10,
     ),
 }
 
@@ -162,7 +180,9 @@ def bench_meta_dataset(profile, blackbox, splits, n_jobs, backend) -> dict[str, 
         s.score == p.score and np.array_equal(s.proba, p.proba)
         for s, p in zip(serial, parallel)
     )
-    return _report("meta_dataset", serial_seconds, parallel_seconds, identical)
+    return _report(
+        "meta_dataset", serial_seconds, parallel_seconds, identical, n_jobs=n_jobs
+    )
 
 
 def bench_forest_fit(profile, n_jobs, backend) -> dict[str, Any]:
@@ -180,7 +200,7 @@ def bench_forest_fit(profile, n_jobs, backend) -> dict[str, Any]:
     parallel_seconds, parallel = _timed(lambda: run(n_jobs))
     return _report(
         "forest_fit", serial_seconds, parallel_seconds,
-        np.array_equal(serial, parallel),
+        np.array_equal(serial, parallel), n_jobs=n_jobs,
     )
 
 
@@ -201,7 +221,9 @@ def bench_grid_search(profile, n_jobs, backend) -> dict[str, Any]:
     serial_seconds, (serial_best, serial_cv) = _timed(lambda: run(1))
     parallel_seconds, (parallel_best, parallel_cv) = _timed(lambda: run(n_jobs))
     identical = serial_best == parallel_best and serial_cv == parallel_cv
-    return _report("grid_search", serial_seconds, parallel_seconds, identical)
+    return _report(
+        "grid_search", serial_seconds, parallel_seconds, identical, n_jobs=n_jobs
+    )
 
 
 def bench_harness_rounds(profile, blackbox, splits, n_jobs, backend) -> dict[str, Any]:
@@ -220,7 +242,7 @@ def bench_harness_rounds(profile, blackbox, splits, n_jobs, backend) -> dict[str
     parallel_seconds, parallel = _timed(lambda: run(n_jobs))
     return _report(
         "harness_rounds", serial_seconds, parallel_seconds,
-        np.array_equal(serial, parallel),
+        np.array_equal(serial, parallel), n_jobs=n_jobs,
     )
 
 
@@ -352,14 +374,32 @@ def _engine_report(
     }
 
 
-def _report(name: str, serial: float, parallel: float, identical: bool) -> dict[str, Any]:
-    return {
+def _report(
+    name: str,
+    serial: float,
+    parallel: float,
+    identical: bool,
+    n_jobs: int | None = None,
+) -> dict[str, Any]:
+    report = {
         "name": name,
         "serial_seconds": round(serial, 4),
         "parallel_seconds": round(parallel, 4),
         "speedup": round(serial / parallel, 3) if parallel > 0 else None,
         "identical_results": bool(identical),
     }
+    if n_jobs is not None:
+        requested = resolve_n_jobs(n_jobs)
+        effective = effective_parallelism(n_jobs)
+        report["requested_n_jobs"] = requested
+        report["effective_parallelism"] = effective
+        report["oversubscribed"] = effective < requested
+        if effective < requested:
+            report["speedup_note"] = (
+                f"measured with {requested} workers on {effective} usable "
+                "core(s); the speedup reflects pool overhead, not scaling"
+            )
+    return report
 
 
 def run_benchmarks(
@@ -375,6 +415,7 @@ def run_benchmarks(
     sizes = PROFILES[profile]
     blackbox, splits = _income_workload(sizes)
     from repro.perf.daemon_bench import bench_daemon_throughput
+    from repro.perf.serving_bench import bench_serving_score
 
     benchmarks = [
         bench_meta_dataset(sizes, blackbox, splits, n_jobs, backend),
@@ -384,13 +425,18 @@ def run_benchmarks(
         bench_tree_fit_exact_vs_hist(sizes),
         bench_boosting_exact_vs_hist(sizes),
         bench_trace_overhead(sizes),
+        bench_serving_score(sizes),
         bench_daemon_throughput(sizes),
     ]
+    serving = next(
+        b for b in benchmarks if b["name"] == "serving_score_fused_vs_reference"
+    )
     return {
-        "schema_version": 3,
+        "schema_version": 4,
         "profile": profile,
         "n_jobs": n_jobs,
         "backend": backend,
+        "effective_parallelism": effective_parallelism(n_jobs),
         "environment": environment_info(),
         "benchmarks": benchmarks,
         "all_identical": all(
@@ -398,6 +444,10 @@ def run_benchmarks(
         ),
         "quality_parity": all(
             b["quality_parity"] for b in benchmarks if "quality_parity" in b
+        ),
+        "fused_kernel_identical": serving["identical_results"],
+        "fused_kernel_not_slower": bool(
+            serving["speedup"] is not None and serving["speedup"] >= 1.0
         ),
     }
 
@@ -413,7 +463,18 @@ def format_report(payload: dict[str, Any]) -> str:
         f"backend={payload['backend']} cpus={payload['environment']['cpu_count']}"
     ]
     for bench in payload["benchmarks"]:
-        if "identical_results" in bench:
+        if bench["name"] == "serving_score_fused_vs_reference":
+            marker = "ok " if bench["identical_results"] else "DIFF"
+            p50 = bench["fused_score_latency_p50_ms"]
+            p99 = bench["fused_score_latency_p99_ms"]
+            lines.append(
+                f"  {bench['name']:<24} "
+                f"ref {bench['reference_kernel_ms_per_batch']:>7.3f}ms/batch  "
+                f"fused {bench['fused_kernel_ms_per_batch']:>7.3f}ms/batch  "
+                f"speedup {bench['speedup'] or 0:>5.2f}x  "
+                f"p50 {p50 or 0:.2f}ms p99 {p99 or 0:.2f}ms  [{marker}]"
+            )
+        elif "identical_results" in bench:
             marker = "ok " if bench["identical_results"] else "DIFF"
             lines.append(
                 f"  {bench['name']:<24} serial {bench['serial_seconds']:>8.3f}s  "

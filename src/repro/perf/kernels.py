@@ -1,0 +1,232 @@
+"""The fused scoring kernel for the serving hot path.
+
+The reference serving path walks a micro-batch's probability matrix three
+times: ``matrix_percentiles`` for the predictor features, a second
+percentile pass for the validator features, and a per-column KS loop
+against the retained test-time outputs. All three are order statistics of
+the same columns, so :class:`FusedScorer` sorts each class-probability
+column **once** per micro-batch and derives
+
+* the percentile grids (predictor and validator may use different steps)
+  by replaying numpy's interpolation arithmetic on the sorted columns
+  (:func:`percentiles_from_sorted`), and
+* the KS statistics by merging the sorted batch columns with the
+  endpoint's cached, pre-sorted reference columns
+  (:func:`repro.stats.tests.ks_matrix_from_sorted`),
+
+while the test-side chi-squared counts — invariant across batches — are
+computed once per endpoint instead of once per request. Outputs are
+bit-identical to the reference featurizers; anything the fused form
+cannot express exactly (NaN entries, zero-column matrices, class-count
+mismatches, unfitted models) falls back to the reference path so even
+error behaviour matches. :class:`~repro.serving.service.ValidationService`
+selects between the two with ``kernel="fused" | "reference"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.featurize import predicted_class_fractions, prediction_statistics
+from repro.exceptions import DataValidationError
+from repro.stats.descriptive import DEFAULT_PERCENTILE_STEP, percentile_grid
+from repro.stats.tests import chi2_from_counts, ks_matrix_from_sorted
+
+KERNELS = ("reference", "fused")
+
+
+def check_kernel(kernel: str) -> str:
+    """Validate a serving kernel name."""
+    if kernel not in KERNELS:
+        raise DataValidationError(
+            f"unknown kernel {kernel!r}; use one of {KERNELS}"
+        )
+    return kernel
+
+
+#: Memoized percentile-read plans: the clamped neighbour indexes and the
+#: interpolation weights depend only on ``(step, n)``, which serving
+#: traffic repeats endlessly (one step per endpoint, a handful of
+#: micro-batch sizes), so the setup arithmetic runs once per shape.
+_GRID_PLANS: dict[tuple[int, int], tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+_GRID_PLAN_CAPACITY = 256
+
+
+def _grid_plan(step: int, n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    plan = _GRID_PLANS.get((step, n))
+    if plan is None:
+        quantiles = np.true_divide(percentile_grid(step), 100)
+        virtual = (n - 1) * quantiles
+        previous = np.floor(virtual)
+        next_ = previous + 1
+        above = virtual >= n - 1
+        previous[above] = -1
+        next_[above] = -1
+        previous_indexes = previous.astype(np.intp)
+        next_indexes = next_.astype(np.intp)
+        gamma = (virtual - previous_indexes).reshape(-1, 1)
+        if len(_GRID_PLANS) >= _GRID_PLAN_CAPACITY:
+            _GRID_PLANS.clear()
+        plan = (previous_indexes, next_indexes, gamma)
+        _GRID_PLANS[(step, n)] = plan
+    return plan
+
+
+def percentiles_from_sorted(
+    sorted_matrix: np.ndarray, step: int = DEFAULT_PERCENTILE_STEP
+) -> np.ndarray:
+    """Percentile features from an already column-sorted matrix.
+
+    Bit-identical to
+    :func:`repro.stats.descriptive.matrix_percentiles` on the unsorted
+    matrix: numpy's linear method reads order statistics at the clamped
+    neighbours of ``(n - 1) * q`` and interpolates with a two-sided lerp
+    (the ``gamma >= 0.5`` half computed from the right endpoint); this
+    replays that arithmetic on the shared sorted columns, so a batch
+    sorted once serves every percentile grid. NaN-free input only — numpy
+    propagates NaN per slice, which a plain sorted read would not.
+    """
+    sorted_matrix = np.asarray(sorted_matrix, dtype=np.float64)
+    if sorted_matrix.ndim != 2:
+        raise DataValidationError(
+            f"expected a 2-d matrix, got shape {sorted_matrix.shape}"
+        )
+    n = sorted_matrix.shape[0]
+    if n == 0:
+        raise DataValidationError("cannot featurize an empty prediction matrix")
+    previous_indexes, next_indexes, gamma = _grid_plan(int(step), n)
+    left = sorted_matrix[previous_indexes]
+    right = sorted_matrix[next_indexes]
+    diff = right - left
+    result = left + diff * gamma
+    np.subtract(right, diff * (1 - gamma), out=result, where=gamma >= 0.5)
+    return result.T.ravel()
+
+
+class FusedScorer:
+    """Per-endpoint fused featurization for ``score_now`` micro-batches.
+
+    Bundles an endpoint's :class:`~repro.core.predictor.PerformancePredictor`
+    and (optional) :class:`~repro.core.validator.PerformanceValidator` and
+    produces both feature vectors from one sort of the batch's probability
+    columns. Construction caches everything invariant across batches: the
+    validator's retained test-time outputs pre-sorted for the KS merge,
+    and the test-side predicted-class counts for the chi-squared feature.
+
+    :meth:`features` is the only entry point; results are bit-identical
+    to ``predictor._featurize`` / ``validator._featurize``.
+    """
+
+    def __init__(self, predictor: Any, validator: Any = None):
+        self.predictor = predictor
+        self.validator = validator
+        self._reference_sorted: np.ndarray | None = None
+        self._test_counts: np.ndarray | None = None
+        reference = getattr(validator, "_test_proba", None)
+        if (
+            reference is not None
+            and getattr(validator, "use_ks_features", False)
+        ):
+            reference = np.asarray(reference, dtype=np.float64)
+            if (
+                reference.ndim == 2
+                and reference.shape[0] > 0
+                and reference.shape[1] > 0
+                and not np.isnan(reference).any()
+            ):
+                self._reference_sorted = np.sort(reference, axis=0)
+                # chi2's test-side counts do not depend on the batch; the
+                # reference path recomputes them per request.
+                self._test_counts = (
+                    predicted_class_fractions(reference) * reference.shape[0]
+                )
+
+    def _usable_validator(self) -> Any:
+        """The validator when it is fitted and actually consumes features."""
+        validator = self.validator
+        if validator is None or not hasattr(validator, "meta_features_"):
+            # Unfitted: leave features to validate_from_proba so its
+            # NotFittedError surfaces exactly as on the reference path.
+            return None
+        if getattr(validator, "_constant_decision", None) is not None:
+            # Degenerate corpus: the decision ignores features entirely.
+            return None
+        return validator
+
+    def _reference_features(
+        self, proba: np.ndarray, validator: Any
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        pred = prediction_statistics(
+            proba,
+            step=self.predictor.percentile_step,
+            featurizer=self.predictor.featurizer,
+        )
+        val = validator._featurize(proba) if validator is not None else None
+        return pred, val
+
+    def features(
+        self, proba: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """``(predictor_features, validator_features)`` for one batch.
+
+        The validator slot is ``None`` when the endpoint has no fitted
+        validator or its decision is constant (features unused). Batches
+        the fused arithmetic cannot reproduce exactly — NaN entries,
+        zero columns, class counts that disagree with the retained
+        reference — run the reference featurizers instead, so values
+        *and* failure modes stay identical.
+        """
+        proba = np.asarray(proba, dtype=np.float64)
+        if proba.ndim != 2:
+            raise DataValidationError(
+                f"expected (n, m) probabilities, got {proba.shape}"
+            )
+        validator = self._usable_validator()
+        fusable = (
+            proba.shape[0] > 0
+            and proba.shape[1] > 0
+            and not np.isnan(proba).any()
+        )
+        if validator is not None and validator.use_ks_features:
+            fusable = fusable and (
+                self._reference_sorted is not None
+                and self._reference_sorted.shape[1] == proba.shape[1]
+            )
+        if not fusable:
+            return self._reference_features(proba, validator)
+
+        sorted_proba = np.sort(proba, axis=0)
+        if self.predictor.featurizer == "percentiles":
+            pred = percentiles_from_sorted(
+                sorted_proba, self.predictor.percentile_step
+            )
+        else:
+            pred = prediction_statistics(
+                proba,
+                step=self.predictor.percentile_step,
+                featurizer=self.predictor.featurizer,
+            )
+        if validator is None:
+            return pred, None
+        if (
+            self.predictor.featurizer == "percentiles"
+            and validator.percentile_step == self.predictor.percentile_step
+        ):
+            # Same grid, same sorted columns — the vectors are equal, so
+            # the predictor's read doubles as the validator's base.
+            val = pred
+        else:
+            val = percentiles_from_sorted(sorted_proba, validator.percentile_step)
+        if validator.use_ks_features:
+            ks = ks_matrix_from_sorted(
+                sorted_proba, self._reference_sorted
+            ).ravel()
+            fractions = predicted_class_fractions(proba)
+            counts = fractions * proba.shape[0]
+            chi2 = chi2_from_counts(counts, self._test_counts)
+            val = np.concatenate(
+                [val, ks, fractions, [chi2.statistic, chi2.p_value]]
+            )
+        return pred, val

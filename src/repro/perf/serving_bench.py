@@ -1,0 +1,169 @@
+"""Fused-vs-reference serving kernel benchmark (``repro bench``).
+
+Scores the same deterministic stream of micro-batches through two
+:class:`~repro.serving.service.ValidationService` instances that share
+one set of fitted artifacts — one with ``kernel="fused"``, one with
+``kernel="reference"`` — and reports
+
+* the fused kernel's speedup over the reference featurization path
+  (timed on the scoring stage itself: percentile features, KS and
+  chi-squared statistics from one shared column sort versus the three
+  separate passes),
+* whether every :class:`~repro.serving.service.BatchResult` and every
+  feature vector is **bit-identical** between the two kernels — the
+  parity gate CI enforces,
+* p50 / p99 end-to-end ``serving.score`` latency per kernel, derived
+  from each service's span histogram via
+  :func:`repro.obs.report.span_percentiles`.
+
+The speedup is measured on the featurization stage because that is the
+code the fused kernel replaces; the black-box ``predict_proba`` that
+precedes it is byte-for-byte the same work in both modes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.core.blackbox import BlackBoxModel
+from repro.core.predictor import PerformancePredictor
+from repro.core.validator import PerformanceValidator
+from repro.evaluation.harness import known_error_generators, prepare_splits
+from repro.ml.linear import SGDClassifier
+from repro.ml.pipeline import Pipeline, TabularEncoder
+from repro.obs import Tracer, span_percentiles, use_tracer
+from repro.perf.kernels import FusedScorer
+from repro.serving.registry import Endpoint, EndpointPolicy, ModelRegistry
+from repro.serving.service import ValidationService
+
+
+def _serving_workload(profile: dict[str, Any]):
+    """One fitted predictor + validator pair and a micro-batch stream."""
+    splits = prepare_splits("income", n_rows=profile["n_rows"], seed=0)
+    pipeline = Pipeline(TabularEncoder(), SGDClassifier(epochs=5, random_state=0))
+    pipeline.fit(splits.train, splits.y_train)
+    blackbox = BlackBoxModel.wrap(pipeline)
+    generators = list(known_error_generators("tabular").values())
+    predictor = PerformancePredictor(
+        blackbox, generators,
+        n_samples=profile["serving_meta_samples"], random_state=0,
+    ).fit(splits.test, splits.y_test)
+    validator = PerformanceValidator(
+        blackbox, generators, threshold=0.05,
+        n_samples=profile["serving_meta_samples"], random_state=0,
+    ).fit(splits.test, splits.y_test)
+    rng = np.random.default_rng(3)
+    batches = [
+        splits.serving.select_rows(
+            rng.choice(
+                len(splits.serving),
+                size=profile["serving_batch_rows"],
+                replace=True,
+            )
+        )
+        for _ in range(profile["serving_batches"])
+    ]
+    return predictor, validator, batches
+
+
+def _make_service(
+    predictor: PerformancePredictor,
+    validator: PerformanceValidator,
+    kernel: str,
+) -> ValidationService:
+    registry = ModelRegistry()
+    registry.register(
+        Endpoint(
+            name="bench",
+            version="1",
+            predictor=predictor,
+            validator=validator,
+            policy=EndpointPolicy(interval_coverage=0.8),
+        )
+    )
+    return ValidationService(registry, kernel=kernel)
+
+
+def bench_serving_score(profile: dict[str, Any]) -> dict[str, Any]:
+    """Race the fused scoring kernel against the reference path."""
+    predictor, validator, batches = _serving_workload(profile)
+    repeats = profile["serving_repeats"]
+
+    # End-to-end: full score_now streams, one tracer per kernel, for the
+    # BatchResult parity gate and the span-histogram latency figures.
+    outcomes: dict[str, Any] = {}
+    for kernel in ("reference", "fused"):
+        service = _make_service(predictor, validator, kernel)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            started = time.perf_counter()
+            results = [service.score_now("bench", batch) for batch in batches]
+            elapsed = time.perf_counter() - started
+        latency = span_percentiles(tracer.store.spans(), "serving.score", (0.5, 0.99))
+        outcomes[kernel] = (results, elapsed, latency)
+    reference_results, reference_e2e, reference_latency = outcomes["reference"]
+    fused_results, fused_e2e, fused_latency = outcomes["fused"]
+    identical = reference_results == fused_results
+
+    # Kernel stage: the same probability matrices through the reference
+    # featurizers and the fused scorer, feature vectors compared bitwise.
+    probas = [predictor.blackbox.predict_proba(batch) for batch in batches]
+    fused_scorer = FusedScorer(predictor, validator)
+    for proba in probas:
+        fused_pred, fused_val = fused_scorer.features(proba)
+        identical = identical and bool(
+            np.array_equal(
+                fused_pred.view(np.uint64),
+                predictor._featurize(proba).view(np.uint64),
+            )
+            and fused_val is not None
+            and np.array_equal(
+                fused_val.view(np.uint64),
+                validator._featurize(proba).view(np.uint64),
+            )
+        )
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for proba in probas:
+            predictor._featurize(proba)
+            validator._featurize(proba)
+    reference_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for proba in probas:
+            fused_scorer.features(proba)
+    fused_seconds = time.perf_counter() - started
+
+    calls = repeats * len(batches)
+    return {
+        "name": "serving_score_fused_vs_reference",
+        "batches": len(batches),
+        "batch_rows": profile["serving_batch_rows"],
+        "reference_seconds": round(reference_seconds, 4),
+        "fused_seconds": round(fused_seconds, 4),
+        "reference_kernel_ms_per_batch": round(reference_seconds / calls * 1e3, 4),
+        "fused_kernel_ms_per_batch": round(fused_seconds / calls * 1e3, 4),
+        "speedup": (
+            round(reference_seconds / fused_seconds, 3)
+            if fused_seconds > 0
+            else None
+        ),
+        "identical_results": bool(identical),
+        "reference_e2e_seconds": round(reference_e2e, 4),
+        "fused_e2e_seconds": round(fused_e2e, 4),
+        "reference_score_latency_p50_ms": (
+            round(reference_latency["p50"] * 1e3, 3) if reference_latency else None
+        ),
+        "reference_score_latency_p99_ms": (
+            round(reference_latency["p99"] * 1e3, 3) if reference_latency else None
+        ),
+        "fused_score_latency_p50_ms": (
+            round(fused_latency["p50"] * 1e3, 3) if fused_latency else None
+        ),
+        "fused_score_latency_p99_ms": (
+            round(fused_latency["p99"] * 1e3, 3) if fused_latency else None
+        ),
+    }

@@ -25,6 +25,7 @@ from repro.serving.config import (
     ParallelSettings,
     ResilienceSettings,
     build_registry,
+    load_kernel_setting,
     load_model_settings,
     load_observability_settings,
     load_parallel_settings,
@@ -84,6 +85,7 @@ __all__ = [
     "ValidationService",
     "build_registry",
     "endpoint_from_artifacts",
+    "load_kernel_setting",
     "load_model_settings",
     "load_observability_settings",
     "load_parallel_settings",

@@ -17,7 +17,8 @@ block::
       "parallel": {"n_jobs": 4, "backend": "thread"},
       "model": {"tree_method": "hist", "max_bins": 128},
       "observability": {"enabled": true, "export_path": "spans.json"},
-      "resilience": {"enabled": true, "max_retries": 1, "fallback": "bbseh"}
+      "resilience": {"enabled": true, "max_retries": 1, "fallback": "bbseh"},
+      "kernel": "fused"
     }
 
 The optional ``parallel`` block controls how many artifact directories
@@ -26,7 +27,9 @@ unpickling bound, so the thread backend is the default there). The
 optional ``model`` block declares the tree engine that refits against
 this config should use (``repro train --tree-method``); the serving
 layer itself never refits, so the block is advisory metadata surfaced
-by ``repro endpoints``.
+by ``repro endpoints``. The optional top-level ``kernel`` string selects
+the serving scoring kernel (``"fused"``, the default, or
+``"reference"``; see :mod:`repro.perf.kernels`).
 
 Relative artifact paths resolve against the config file's directory, so
 a config checked in next to its artifacts keeps working from any CWD.
@@ -355,7 +358,8 @@ def load_serving_config(path: str | Path) -> list[EndpointSpec]:
             f"{config_path} must be an object with an 'endpoints' list"
         )
     unknown = set(payload) - {
-        "endpoints", "parallel", "model", "observability", "resilience", "daemon"
+        "endpoints", "parallel", "model", "observability", "resilience",
+        "daemon", "kernel",
     }
     if unknown:
         raise DataValidationError(
@@ -448,6 +452,25 @@ def load_daemon_settings(path: str | Path) -> DaemonSettings:
     if not isinstance(payload, dict):
         raise DataValidationError(f"{config_path} must be a JSON object")
     return parse_daemon(payload.get("daemon", {}))
+
+
+def load_kernel_setting(path: str | Path) -> str:
+    """The top-level ``kernel`` string of a config file (default "fused")."""
+    from repro.perf.kernels import check_kernel
+
+    config_path = Path(path)
+    if not config_path.exists():
+        raise DataValidationError(f"no serving config at {config_path}")
+    try:
+        payload = json.loads(config_path.read_text())
+    except json.JSONDecodeError as error:
+        raise DataValidationError(f"invalid JSON in {config_path}: {error}") from error
+    if not isinstance(payload, dict):
+        raise DataValidationError(f"{config_path} must be a JSON object")
+    kernel = payload.get("kernel", "fused")
+    if not isinstance(kernel, str):
+        raise DataValidationError("'kernel' must be a string")
+    return check_kernel(kernel)
 
 
 def load_resilience_settings(path: str | Path) -> ResilienceSettings:

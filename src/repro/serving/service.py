@@ -27,6 +27,7 @@ from typing import Callable
 from repro.exceptions import DataValidationError
 from repro.monitoring import BatchMonitor, BatchRecord
 from repro.obs import current_tracer
+from repro.perf.kernels import FusedScorer, check_kernel
 from repro.resilience import (
     BREAKER_STATES,
     CircuitBreaker,
@@ -130,6 +131,14 @@ class ValidationService:
     sleep:
         Injectable sleep used by the retry policy's backoff; defaults to
         :func:`time.sleep`.
+    kernel:
+        Scoring kernel for the featurization inside ``score_now`` /
+        ``submit``: ``"fused"`` (default) sorts each class-probability
+        column once per micro-batch and derives percentile and KS
+        features from the shared order
+        (:class:`~repro.perf.kernels.FusedScorer`); ``"reference"`` runs
+        the unfused per-feature passes. Outputs are bit-identical — the
+        reference mode exists as the parity oracle and escape hatch.
     """
 
     def __init__(
@@ -140,6 +149,7 @@ class ValidationService:
         clock: Callable[[], float] = time.monotonic,
         resilience: ResilienceSettings | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        kernel: str = "fused",
     ):
         self.registry = registry
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -147,10 +157,12 @@ class ValidationService:
         self._clock = clock
         self._sleep = sleep
         self.resilience = resilience
+        self.kernel = check_kernel(kernel)
         self._monitors: dict[str, BatchMonitor] = {}
         self._buffers: dict[str, _MicroBatchBuffer] = {}
         self._scorers: dict[str, ResilientScorer] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
+        self._kernels: dict[str, FusedScorer] = {}
 
         labels = ("endpoint",)
         self._requests = self.metrics.counter(
@@ -343,6 +355,22 @@ class ValidationService:
             self._monitors[endpoint.key] = monitor
         return monitor
 
+    def _fused_scorer(self, endpoint: Endpoint) -> FusedScorer:
+        """The endpoint's fused featurization kernel (created on first
+        use, like monitors; the construction pre-sorts the validator's
+        retained reference outputs once). Rebuilt when a hot reload swaps
+        the endpoint's models under the same key — the cached reference
+        sort belongs to the old validator."""
+        scorer = self._kernels.get(endpoint.key)
+        if (
+            scorer is None
+            or scorer.predictor is not endpoint.predictor
+            or scorer.validator is not endpoint.validator
+        ):
+            scorer = FusedScorer(endpoint.predictor, endpoint.validator)
+            self._kernels[endpoint.key] = scorer
+        return scorer
+
     def _primary_outcome(
         self, endpoint: Endpoint, frame: DataFrame, deadline: Deadline
     ) -> ScoreOutcome:
@@ -350,11 +378,21 @@ class ValidationService:
 
         Deadline-checked at stage boundaries so an overloaded host gives
         up between stages instead of serving an arbitrarily late answer.
+        With ``kernel="fused"`` the predictor and validator features come
+        from one shared column sort of ``proba`` (bit-identical to the
+        per-model featurizers the reference kernel runs).
         """
         policy = endpoint.policy
         proba = endpoint.predictor.blackbox.predict_proba(frame)
         deadline.check("blackbox predict_proba")
-        estimate = endpoint.predictor.predict_from_proba(proba)
+        predictor_features = validator_features = None
+        if self.kernel == "fused":
+            predictor_features, validator_features = self._fused_scorer(
+                endpoint
+            ).features(proba)
+        estimate = endpoint.predictor.predict_from_proba(
+            proba, features=predictor_features
+        )
         deadline.check("score estimation")
         interval = None
         if (
@@ -367,7 +405,9 @@ class ValidationService:
             )
         trusted = None
         if endpoint.validator is not None:
-            trusted = endpoint.validator.validate_from_proba(proba)
+            trusted = endpoint.validator.validate_from_proba(
+                proba, features=validator_features
+            )
         return ScoreOutcome(
             estimate=float(estimate), interval=interval, trusted=trusted
         )

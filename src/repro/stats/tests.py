@@ -53,12 +53,86 @@ def ks_two_sample(sample_a: np.ndarray, sample_b: np.ndarray) -> TestResult:
         # the asymptotic series is numerically unstable near zero, and the
         # exact answer is "no evidence against the null".
         return TestResult(statistic=0.0, p_value=1.0)
-    effective_n = a.size * b.size / (a.size + b.size)
-    # The truncated asymptotic series can stray outside [0, 1] for small
-    # arguments (tie-heavy samples drive the statistic there); clamp so
-    # downstream feature vectors and alpha comparisons stay sane.
-    p_value = min(1.0, max(0.0, kolmogorov_sf(math.sqrt(effective_n) * statistic)))
-    return TestResult(statistic=statistic, p_value=p_value)
+    # _ks_p_value clamps into [0, 1]: the truncated asymptotic series can
+    # stray outside for small arguments (tie-heavy samples drive the
+    # statistic there), which would unsettle downstream feature vectors.
+    return TestResult(
+        statistic=statistic, p_value=_ks_p_value(statistic, a.size, b.size)
+    )
+
+
+def _ks_p_value(statistic: float, n: int, m: int) -> float:
+    """The asymptotic p-value exactly as :func:`ks_two_sample` computes it."""
+    if statistic <= 0.0:
+        # Identical ECDFs: the asymptotic series is unstable near zero and
+        # the exact answer is "no evidence against the null".
+        return 1.0
+    effective_n = n * m / (n + m)
+    return min(1.0, max(0.0, kolmogorov_sf(math.sqrt(effective_n) * statistic)))
+
+
+def ks_matrix_from_sorted(sorted_a: np.ndarray, sorted_b: np.ndarray) -> np.ndarray:
+    """Column-wise two-sample KS tests between two column-sorted matrices.
+
+    Returns a ``(n_columns, 2)`` array of ``(statistic, p_value)`` rows,
+    bit-identical to calling :func:`ks_two_sample` on each column pair.
+    Instead of per-column ``searchsorted`` passes, one stable merge of the
+    concatenated matrices yields, via a cumulative count of which sample
+    each sorted value came from, the integer ``count(a <= v)`` /
+    ``count(b <= v)`` at the close of every tie group — exactly the
+    quantities the right-sided ``searchsorted`` produces, so the divisions
+    and the supremum land on the same floats.
+
+    Inputs must be NaN-free (NaN would change per-column sample sizes
+    after dropping; callers fall back to the per-column path for that).
+    """
+    sorted_a = np.asarray(sorted_a, dtype=np.float64)
+    sorted_b = np.asarray(sorted_b, dtype=np.float64)
+    if sorted_a.ndim != 2 or sorted_b.ndim != 2:
+        raise DataValidationError("both matrices must be 2-d")
+    if sorted_a.shape[1] != sorted_b.shape[1]:
+        raise DataValidationError(
+            f"column count mismatch: {sorted_a.shape[1]} vs {sorted_b.shape[1]}"
+        )
+    n, m = sorted_a.shape[0], sorted_b.shape[0]
+    if n == 0 or m == 0:
+        raise DataValidationError("KS test requires two non-empty samples")
+    merged = np.concatenate([sorted_a, sorted_b], axis=0)
+    # Stable sort of two already-sorted runs per column: timsort detects
+    # and merges them in linear time.
+    order = np.argsort(merged, axis=0, kind="stable")
+    values = np.take_along_axis(merged, order, axis=0)
+    count_a = np.cumsum(order < n, axis=0)
+    count_b = np.arange(1, n + m + 1, dtype=np.int64)[:, None] - count_a
+    diffs = np.abs(count_a / n - count_b / m)
+    # Both ECDFs are only fully counted at the last copy of each tied
+    # value; mid-group positions would overshoot the supremum.
+    closes_group = np.empty(values.shape, dtype=bool)
+    closes_group[-1] = True
+    closes_group[:-1] = values[1:] != values[:-1]
+    statistics = np.where(closes_group, diffs, 0.0).max(axis=0)
+    out = np.empty((merged.shape[1], 2), dtype=np.float64)
+    for column, statistic in enumerate(statistics):
+        statistic = float(statistic)
+        out[column, 0] = 0.0 if statistic <= 0.0 else statistic
+        out[column, 1] = _ks_p_value(statistic, n, m)
+    return out
+
+
+def ks_two_sample_matrix(sample_a: np.ndarray, sample_b: np.ndarray) -> np.ndarray:
+    """Column-wise KS tests between two (row-aligned-in-columns) matrices.
+
+    Vectorized equivalent of a :func:`ks_two_sample` loop over columns;
+    see :func:`ks_matrix_from_sorted` for the identity argument. Inputs
+    must be NaN-free.
+    """
+    sample_a = np.asarray(sample_a, dtype=np.float64)
+    sample_b = np.asarray(sample_b, dtype=np.float64)
+    if sample_a.ndim != 2 or sample_b.ndim != 2:
+        raise DataValidationError("both matrices must be 2-d")
+    return ks_matrix_from_sorted(
+        np.sort(sample_a, axis=0), np.sort(sample_b, axis=0)
+    )
 
 
 def _drop_missing(sample: np.ndarray) -> np.ndarray:

@@ -292,3 +292,45 @@ class TestFlatTreeFrozenCache:
         flat.set_leaf_values({int(leaf): 99.0 for leaf in leaves})
         assert flat._frozen is None
         assert np.all(flat.predict(X) == 99.0)
+
+
+class TestLevelWiseRoutingParity:
+    """Level-wise vectorized routing against the reference traversal."""
+
+    @pytest.mark.parametrize("tree_method", ["exact", "hist"])
+    @pytest.mark.parametrize("depth", [1, 3, 8])
+    def test_regressor_routing_bit_identical(self, rng, tree_method, depth):
+        X = rng.normal(size=(200, 5))
+        y = X[:, 0] * 2 + rng.normal(scale=0.1, size=200)
+        tree = DecisionTreeRegressor(
+            max_depth=depth, tree_method=tree_method
+        ).fit(X, y)
+        fresh = rng.normal(size=(64, 5))
+        for batch in (X, fresh, fresh[:1], fresh[:0]):
+            flat = tree.tree_
+            assert np.array_equal(flat.apply(batch), flat.apply_reference(batch))
+            assert (
+                flat.predict(batch).tobytes()
+                == flat.predict_reference(batch).tobytes()
+            )
+
+    @pytest.mark.parametrize("tree_method", ["exact", "hist"])
+    def test_classifier_routing_bit_identical(self, rng, tree_method):
+        X = rng.normal(size=(150, 4))
+        y = (X[:, 0] + X[:, 1] > 0).astype(np.int64)
+        tree = DecisionTreeClassifier(max_depth=6, tree_method=tree_method).fit(X, y)
+        flat = tree.tree_
+        batch = rng.normal(size=(80, 4))
+        assert np.array_equal(flat.apply(batch), flat.apply_reference(batch))
+        assert (
+            flat.predict(batch).tobytes() == flat.predict_reference(batch).tobytes()
+        )
+
+    def test_leaf_only_tree_routes_everything_to_root(self, rng):
+        tree = DecisionTreeRegressor(max_depth=1).fit(
+            np.zeros((4, 2)), np.full(4, 3.0)
+        )
+        flat = tree.tree_
+        batch = rng.random((10, 2))
+        assert np.all(flat.apply(batch) == 0)
+        assert np.array_equal(flat.apply(batch), flat.apply_reference(batch))

@@ -28,6 +28,20 @@ def _boom(x):
     return x
 
 
+def _add_shared(item, shared):
+    return item + shared["offset"]
+
+
+def _draw_shared(item, rng, shared):
+    return float(rng.random()) + item + shared
+
+
+def _boom_shared(item, shared):
+    if item == shared["poison"]:
+        raise ValueError("poisoned item")
+    return item
+
+
 class TestResolveNJobs:
     def test_none_means_one(self):
         assert resolve_n_jobs(None) == 1
@@ -127,3 +141,75 @@ class TestFailureSemantics:
         with pytest.raises(ParallelExecutionError) as excinfo:
             pmap(_boom, [3, 3, 0], n_jobs=2, backend="thread")
         assert excinfo.value.task_index == 0
+
+
+class TestSharedPayload:
+    """The ``shared=`` broadcast: one read-only payload for every task."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_shared_reaches_every_task(self, backend):
+        executor = Executor(n_jobs=1 if backend == "serial" else 2, backend=backend)
+        result = executor.map(_add_shared, [1, 2, 3, 4], shared={"offset": 10})
+        assert result == [11, 12, 13, 14]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_shared_with_seeds_matches_serial(self, backend):
+        seeds = spawn_seeds(0, 4)
+        serial = Executor(n_jobs=1).map(
+            _draw_shared, range(4), seeds=seeds, shared=100.0
+        )
+        parallel = Executor(n_jobs=2, backend=backend).map(
+            _draw_shared, range(4), seeds=seeds, shared=100.0
+        )
+        assert parallel == serial
+
+    def test_pmap_accepts_shared(self):
+        result = pmap(
+            _add_shared, [1, 2], n_jobs=2, backend="thread", shared={"offset": 1}
+        )
+        assert result == [2, 3]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_map_quarantine_passes_shared(self, backend):
+        executor = Executor(n_jobs=1 if backend == "serial" else 2, backend=backend)
+        results, quarantined = executor.map_quarantine(
+            _boom_shared, [0, 1, 2], shared={"poison": 1}
+        )
+        assert results == [0, None, 2]
+        assert [q.index for q in quarantined] == [1]
+
+    def test_unpicklable_shared_falls_back_to_serial(self):
+        executor = Executor(n_jobs=2, backend="process")
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            result = executor.map(
+                _add_shared, [1, 2], shared={"offset": 3, "bad": lambda: None}
+            )
+        assert result == [4, 5]
+
+
+class TestAdaptiveChunking:
+    def test_adaptive_chunks_match_serial_results(self):
+        items = list(range(23))
+        serial = Executor(n_jobs=1).map(_square, items)
+        adaptive = Executor(n_jobs=2, backend="thread").map(_square, items)
+        assert adaptive == serial
+
+    def test_explicit_chunk_size_still_honoured(self):
+        items = list(range(9))
+        explicit = Executor(n_jobs=2, backend="thread", chunk_size=2).map(
+            _square, items
+        )
+        assert explicit == [x * x for x in items]
+
+
+class TestEffectiveParallelism:
+    def test_clamped_to_host_cores(self):
+        import os
+
+        from repro.parallel import effective_parallelism
+
+        cores = os.cpu_count() or 1
+        assert effective_parallelism(1) == 1
+        assert effective_parallelism(cores + 8) == cores
+        assert effective_parallelism(-1) == cores
+        assert effective_parallelism(None) == 1

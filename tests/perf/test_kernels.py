@@ -1,0 +1,241 @@
+"""Fused scoring kernel: bitwise parity with the reference featurizers."""
+
+from __future__ import annotations
+
+import copy
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.featurize import prediction_statistics
+from repro.core.predictor import PerformancePredictor
+from repro.core.validator import PerformanceValidator
+from repro.errors.tabular_errors import GaussianOutliers, MissingValues, Scaling
+from repro.exceptions import DataValidationError, NotFittedError
+from repro.perf.kernels import (
+    _GRID_PLAN_CAPACITY,
+    _GRID_PLANS,
+    FusedScorer,
+    check_kernel,
+    percentiles_from_sorted,
+)
+from repro.stats.descriptive import matrix_percentiles
+from repro.stats.tests import ks_matrix_from_sorted, ks_two_sample
+
+STEPS = (1, 2, 5, 7, 10, 25, 50, 100)
+
+
+def _bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    return a.shape == b.shape and a.tobytes() == b.tobytes()
+
+
+class TestCheckKernel:
+    def test_known_names_pass_through(self):
+        assert check_kernel("fused") == "fused"
+        assert check_kernel("reference") == "reference"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DataValidationError, match="unknown kernel"):
+            check_kernel("turbo")
+
+
+class TestPercentilesFromSorted:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=60),
+        m=st.integers(min_value=1, max_value=7),
+        step=st.sampled_from(STEPS),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        quantize=st.booleans(),
+    )
+    def test_bitwise_identical_to_matrix_percentiles(
+        self, n, m, step, seed, quantize
+    ):
+        rng = np.random.default_rng(seed)
+        matrix = rng.random((n, m))
+        if quantize:
+            # Heavy ties: only a handful of distinct values per column.
+            matrix = np.round(matrix * 4) / 4
+        fused = percentiles_from_sorted(np.sort(matrix, axis=0), step)
+        assert _bitwise_equal(fused, matrix_percentiles(matrix, step=step))
+
+    @pytest.mark.parametrize("step", STEPS)
+    def test_constant_columns(self, step):
+        matrix = np.full((13, 3), 0.25)
+        matrix[:, 1] = 0.7
+        fused = percentiles_from_sorted(np.sort(matrix, axis=0), step)
+        assert _bitwise_equal(fused, matrix_percentiles(matrix, step=step))
+
+    def test_single_row(self):
+        matrix = np.array([[0.2, 0.3, 0.5]])
+        fused = percentiles_from_sorted(matrix, 5)
+        assert _bitwise_equal(fused, matrix_percentiles(matrix, step=5))
+
+    @pytest.mark.parametrize("m", [1, 3, 5, 7])
+    def test_odd_class_counts(self, m):
+        matrix = np.random.default_rng(m).random((29, m))
+        fused = percentiles_from_sorted(np.sort(matrix, axis=0), 5)
+        assert _bitwise_equal(fused, matrix_percentiles(matrix, step=5))
+
+    def test_empty_matrix_raises(self):
+        with pytest.raises(DataValidationError, match="empty"):
+            percentiles_from_sorted(np.empty((0, 2)), 5)
+
+    def test_one_dimensional_raises(self):
+        with pytest.raises(DataValidationError, match="2-d"):
+            percentiles_from_sorted(np.zeros(5), 5)
+
+    def test_grid_plan_cache_clears_at_capacity(self):
+        _GRID_PLANS.clear()
+        for fake in range(_GRID_PLAN_CAPACITY):
+            _GRID_PLANS[(fake, -1)] = ()  # type: ignore[assignment]
+        matrix = np.sort(np.random.default_rng(0).random((17, 2)), axis=0)
+        expected = percentiles_from_sorted(matrix, 5)
+        assert len(_GRID_PLANS) == 1  # capacity hit -> cleared, then refilled
+        # The cached plan reproduces the first read exactly.
+        assert _bitwise_equal(percentiles_from_sorted(matrix, 5), expected)
+
+
+class TestKsMatrixFromSorted:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        m=st.integers(min_value=1, max_value=40),
+        cols=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        quantize=st.booleans(),
+    )
+    def test_bitwise_identical_to_per_column_ks(self, n, m, cols, seed, quantize):
+        rng = np.random.default_rng(seed)
+        a = rng.random((n, cols))
+        b = rng.random((m, cols))
+        if quantize:
+            a = np.round(a * 3) / 3
+            b = np.round(b * 3) / 3
+        merged = ks_matrix_from_sorted(np.sort(a, axis=0), np.sort(b, axis=0))
+        for column in range(cols):
+            result = ks_two_sample(a[:, column], b[:, column])
+            assert merged[column, 0] == result.statistic
+            assert merged[column, 1] == result.p_value
+
+    def test_column_mismatch_raises(self):
+        with pytest.raises(DataValidationError, match="mismatch"):
+            ks_matrix_from_sorted(np.zeros((3, 2)), np.zeros((3, 3)))
+
+
+@pytest.fixture(scope="module")
+def fitted_pair(income_blackbox, income_splits):
+    generators = [MissingValues(), GaussianOutliers(), Scaling()]
+    predictor = PerformancePredictor(
+        income_blackbox, generators, n_samples=20, random_state=0
+    ).fit(income_splits.test, income_splits.y_test)
+    validator = PerformanceValidator(
+        income_blackbox, generators, threshold=0.05, n_samples=20, random_state=0
+    ).fit(income_splits.test, income_splits.y_test)
+    return predictor, validator
+
+
+@pytest.fixture(scope="module")
+def serving_probas(income_blackbox, income_splits):
+    rng = np.random.default_rng(11)
+    return [
+        income_blackbox.predict_proba(
+            income_splits.serving.select_rows(
+                rng.choice(len(income_splits.serving), size=size, replace=True)
+            )
+        )
+        for size in (1, 2, 37, 64)
+    ]
+
+
+class TestFusedScorer:
+    def test_bitwise_identical_to_reference_featurizers(
+        self, fitted_pair, serving_probas
+    ):
+        predictor, validator = fitted_pair
+        scorer = FusedScorer(predictor, validator)
+        for proba in serving_probas:
+            pred, val = scorer.features(proba)
+            assert _bitwise_equal(pred, predictor._featurize(proba))
+            assert val is not None
+            assert _bitwise_equal(val, validator._featurize(proba))
+
+    @pytest.mark.parametrize("m", [3, 5])
+    def test_odd_class_counts_predictor_only(self, m):
+        predictor = SimpleNamespace(featurizer="percentiles", percentile_step=5)
+        scorer = FusedScorer(predictor)
+        proba = np.random.default_rng(m).random((21, m))
+        pred, val = scorer.features(proba)
+        assert val is None
+        assert _bitwise_equal(pred, prediction_statistics(proba, step=5))
+
+    def test_nan_batch_falls_back_to_reference(self, fitted_pair, serving_probas):
+        predictor, validator = fitted_pair
+        scorer = FusedScorer(predictor, validator)
+        proba = serving_probas[-1].copy()
+        proba[0, 0] = np.nan
+        pred, val = scorer.features(proba)
+        assert np.array_equal(pred, predictor._featurize(proba), equal_nan=True)
+        assert np.array_equal(val, validator._featurize(proba), equal_nan=True)
+
+    def test_empty_batch_raises_like_reference(self, fitted_pair):
+        predictor, validator = fitted_pair
+        scorer = FusedScorer(predictor, validator)
+        with pytest.raises(DataValidationError):
+            prediction_statistics(np.empty((0, 2)))
+        with pytest.raises(DataValidationError):
+            scorer.features(np.empty((0, 2)))
+
+    def test_one_dimensional_raises(self, fitted_pair):
+        predictor, validator = fitted_pair
+        with pytest.raises(DataValidationError, match="probabilities"):
+            FusedScorer(predictor, validator).features(np.zeros(4))
+
+    def test_unfitted_validator_leaves_features_to_reference(
+        self, fitted_pair, income_blackbox, serving_probas
+    ):
+        predictor, _ = fitted_pair
+        unfitted = PerformanceValidator(income_blackbox, [MissingValues()])
+        scorer = FusedScorer(predictor, unfitted)
+        pred, val = scorer.features(serving_probas[0])
+        assert val is None  # validate_from_proba raises NotFittedError itself
+        assert _bitwise_equal(pred, predictor._featurize(serving_probas[0]))
+        with pytest.raises(NotFittedError):
+            unfitted.validate_from_proba(serving_probas[0])
+
+    def test_constant_decision_validator_skips_features(
+        self, fitted_pair, serving_probas
+    ):
+        predictor, validator = fitted_pair
+        degenerate = copy.copy(validator)
+        degenerate._constant_decision = 1
+        _, val = FusedScorer(predictor, degenerate).features(serving_probas[0])
+        assert val is None
+
+    def test_class_count_mismatch_falls_back(self, fitted_pair):
+        predictor, validator = fitted_pair
+        scorer = FusedScorer(predictor, validator)
+        proba = np.random.default_rng(0).random((9, 3))
+        with pytest.raises(DataValidationError):
+            validator._featurize(proba)
+        with pytest.raises(DataValidationError):
+            scorer.features(proba)
+
+    def test_distinct_validator_step_still_identical(
+        self, fitted_pair, income_blackbox, income_splits, serving_probas
+    ):
+        predictor, _ = fitted_pair
+        validator = PerformanceValidator(
+            income_blackbox,
+            [MissingValues(), Scaling()],
+            percentile_step=10,
+            n_samples=12,
+            random_state=0,
+        ).fit(income_splits.test, income_splits.y_test)
+        scorer = FusedScorer(predictor, validator)
+        for proba in serving_probas:
+            _, val = scorer.features(proba)
+            assert _bitwise_equal(val, validator._featurize(proba))

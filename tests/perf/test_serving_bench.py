@@ -1,0 +1,56 @@
+"""Smoke tests for the serving-kernel benchmark and its report plumbing."""
+
+from __future__ import annotations
+
+from repro.perf.bench import format_report
+from repro.perf.serving_bench import bench_serving_score
+
+TINY_PROFILE = {
+    "n_rows": 300,
+    "serving_meta_samples": 6,
+    "serving_batches": 3,
+    "serving_batch_rows": 16,
+    "serving_repeats": 1,
+}
+
+
+def test_bench_serving_score_reports_identity_and_latency():
+    entry = bench_serving_score(TINY_PROFILE)
+    assert entry["name"] == "serving_score_fused_vs_reference"
+    assert entry["identical_results"] is True
+    assert entry["batches"] == 3
+    assert entry["batch_rows"] == 16
+    assert entry["reference_seconds"] >= 0
+    assert entry["fused_seconds"] >= 0
+    assert entry["speedup"] is None or entry["speedup"] > 0
+    # span_percentiles saw every score_now call of both streams
+    assert entry["fused_score_latency_p50_ms"] is not None
+    assert entry["fused_score_latency_p99_ms"] is not None
+    assert entry["reference_score_latency_p50_ms"] is not None
+
+
+def test_format_report_renders_serving_entry():
+    """The serving entry has ``identical_results`` but none of the
+    serial/parallel keys — it must hit its own branch, not the generic
+    serial-vs-parallel one."""
+    payload = {
+        "profile": "smoke",
+        "n_jobs": 4,
+        "backend": "auto",
+        "environment": {"cpu_count": 1},
+        "benchmarks": [
+            {
+                "name": "serving_score_fused_vs_reference",
+                "identical_results": True,
+                "reference_kernel_ms_per_batch": 0.4,
+                "fused_kernel_ms_per_batch": 0.2,
+                "speedup": 2.0,
+                "fused_score_latency_p50_ms": 1.5,
+                "fused_score_latency_p99_ms": 3.0,
+            }
+        ],
+    }
+    text = format_report(payload)
+    assert "serving_score_fused_vs_reference" in text
+    assert "speedup" in text
+    assert "[ok ]" in text

@@ -1,0 +1,133 @@
+"""Fused vs reference serving kernel: bit-identical ``BatchResult`` streams.
+
+The matrix below refits the meta-models under every combination of tree
+engine, worker count and parallel backend the predictor/validator expose,
+then scores the same micro-batch stream through two services that differ
+only in ``kernel=``. ``BatchResult`` is a frozen dataclass, so ``==`` is
+an exact, field-by-field comparison — any drift in the fused arithmetic
+fails loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import PerformancePredictor
+from repro.core.validator import PerformanceValidator
+from repro.errors.tabular_errors import MissingValues, Scaling
+from repro.exceptions import DataValidationError
+from repro.serving.registry import Endpoint, EndpointPolicy, ModelRegistry
+from repro.serving.service import ValidationService
+
+MATRIX = [
+    ("exact", 1, "auto"),
+    ("exact", 2, "thread"),
+    ("exact", 2, "process"),
+    ("hist", 1, "auto"),
+    ("hist", 2, "thread"),
+    ("hist", 2, "process"),
+]
+
+
+def _batches(income_splits, count=3, rows=40):
+    rng = np.random.default_rng(5)
+    return [
+        income_splits.serving.select_rows(
+            rng.choice(len(income_splits.serving), size=rows, replace=True)
+        )
+        for _ in range(count)
+    ]
+
+
+def _service(predictor, validator, kernel):
+    registry = ModelRegistry()
+    registry.register(
+        Endpoint(
+            name="income",
+            version="1",
+            predictor=predictor,
+            validator=validator,
+            policy=EndpointPolicy(interval_coverage=0.8),
+        )
+    )
+    return ValidationService(registry, kernel=kernel)
+
+
+@pytest.mark.parametrize("tree_method,n_jobs,backend", MATRIX)
+def test_batch_results_bit_identical_across_engines(
+    income_blackbox, income_splits, tree_method, n_jobs, backend
+):
+    generators = [MissingValues(), Scaling()]
+    fit_kwargs = dict(
+        n_samples=12,
+        random_state=0,
+        n_jobs=n_jobs,
+        backend=backend,
+        tree_method=tree_method,
+    )
+    predictor = PerformancePredictor(
+        income_blackbox, generators, **fit_kwargs
+    ).fit(income_splits.test, income_splits.y_test)
+    validator = PerformanceValidator(
+        income_blackbox, generators, threshold=0.05, **fit_kwargs
+    ).fit(income_splits.test, income_splits.y_test)
+    batches = _batches(income_splits)
+    reference_service = _service(predictor, validator, "reference")
+    fused_service = _service(predictor, validator, "fused")
+    reference = [reference_service.score_now("income", b) for b in batches]
+    fused = [fused_service.score_now("income", b) for b in batches]
+    assert fused == reference
+
+
+def test_fused_matches_reference_without_validator(
+    serving_predictor, income_splits
+):
+    batches = _batches(income_splits)
+    reference_service = _service(serving_predictor, None, "reference")
+    fused_service = _service(serving_predictor, None, "fused")
+    reference = [reference_service.score_now("income", b) for b in batches]
+    assert [fused_service.score_now("income", b) for b in batches] == reference
+
+
+def test_unknown_kernel_rejected(registry):
+    with pytest.raises(DataValidationError, match="unknown kernel"):
+        ValidationService(registry, kernel="turbo")
+
+
+def test_hot_swapped_endpoint_rebuilds_fused_scorer(
+    serving_predictor, serving_validator, income_splits
+):
+    """Re-registering under the same key must not serve a stale kernel.
+
+    Both services traverse the identical register → score → hot-swap →
+    score trajectory; only ``kernel=`` differs, so any disagreement on
+    the post-swap batch means the fused scorer cached the old artifacts.
+    """
+    batches = _batches(income_splits, count=2)
+    fresh = PerformanceValidator(
+        serving_predictor.blackbox,
+        [MissingValues(), Scaling()],
+        percentile_step=10,
+        n_samples=12,
+        random_state=1,
+    ).fit(income_splits.test, income_splits.y_test)
+
+    def endpoint(validator):
+        return Endpoint(
+            name="income",
+            version="1",
+            predictor=serving_predictor,
+            validator=validator,
+            policy=EndpointPolicy(interval_coverage=0.8),
+        )
+
+    results = {}
+    for kernel in ("reference", "fused"):
+        registry = ModelRegistry()
+        registry.register(endpoint(serving_validator))
+        service = ValidationService(registry, kernel=kernel)
+        service.score_now("income", batches[0])  # caches the fused scorer
+        registry.register(endpoint(fresh), replace_existing=True)
+        results[kernel] = service.score_now("income", batches[1])
+    assert results["fused"] == results["reference"]
