@@ -28,12 +28,17 @@ def test_report_shape(smoke_report):
         "trace_overhead",
         "serving_score_fused_vs_reference",
         "daemon_throughput",
+        "registry_fleet",
     ]
     for bench in smoke_report["benchmarks"]:
         if bench["name"] == "serving_score_fused_vs_reference":
             assert bench["reference_seconds"] > 0
             assert bench["fused_seconds"] > 0
             assert bench["speedup"] is not None
+        elif bench["name"] == "registry_fleet":
+            assert bench["build_seconds"] >= 0
+            assert bench["lazy_first_score_seconds"] > 0
+            assert bench["eager_first_score_seconds"] > 0
         elif "identical_results" in bench:
             assert bench["serial_seconds"] > 0
             assert bench["parallel_seconds"] > 0
@@ -82,6 +87,22 @@ def test_fused_kernel_gates(smoke_report):
     assert (
         bench["fused_score_latency_p99_ms"] >= bench["fused_score_latency_p50_ms"]
     )
+
+
+def test_registry_fleet_gates(smoke_report):
+    assert smoke_report["registry_fleet_identical"]
+    assert smoke_report["registry_fleet_memory_ok"]
+    bench = next(
+        b for b in smoke_report["benchmarks"] if b["name"] == "registry_fleet"
+    )
+    assert bench["parity_identical"]
+    assert bench["shard_identical"]
+    assert bench["first_result_parity"]
+    assert bench["memory_ok"]
+    assert bench["capped_heap_bytes"] <= bench["eager_heap_bytes"] * 0.5
+    assert bench["dedup_ratio"] is not None and bench["dedup_ratio"] > 1.0
+    assert bench["store_blob_count"] > 0
+    assert bench["hydration_p99_ms"] >= bench["hydration_p50_ms"]
 
 
 def test_effective_parallelism_recorded(smoke_report):

@@ -307,34 +307,67 @@ def _add_endpoints_command(subparsers) -> None:
 def _run_endpoints(args) -> int:
     from dataclasses import asdict
 
-    from repro.serving.config import load_model_settings
+    from repro.serving.config import (
+        load_model_settings,
+        load_registry_settings,
+        resolve_store_dir,
+    )
 
-    registry = registry_from_config(args.config)
     model = load_model_settings(args.config)
+    registry_settings = load_registry_settings(args.config)
+    store = None
+    if registry_settings.store_dir is not None:
+        # Store-backed: the listing comes from the manifest alone — no
+        # model is unpickled and no array blob is opened, so listing a
+        # 1,000-endpoint fleet is one JSON parse.
+        from repro.serving.store import ArtifactStore, read_store_manifest
+
+        store_dir = resolve_store_dir(args.config, registry_settings)
+        entries = read_store_manifest(store_dir)
+        store = ArtifactStore(store_dir)
+    else:
+        entries = registry_from_config(args.config).entries()
     if args.json:
         document = {
             "model": {"tree_method": model.tree_method, "max_bins": model.max_bins},
-            "endpoints": [
-                {
-                    "name": endpoint.name,
-                    "version": endpoint.version,
-                    "key": endpoint.key,
-                    "expected_score": endpoint.expected_score,
-                    "has_validator": endpoint.validator is not None,
-                    "policy": asdict(endpoint.policy),
-                }
-                for endpoint in registry.endpoints()
-            ],
+            "endpoints": [],
         }
+        for entry in entries:
+            item = {
+                "name": entry.name,
+                "version": entry.version,
+                "key": entry.key,
+                "expected_score": entry.expected_score,
+                "has_validator": entry.has_validator,
+                "policy": asdict(entry.policy),
+            }
+            if entry.predictor_record is not None:
+                item["stored_bytes"] = entry.stored_bytes
+                item["blobs"] = {"predictor": entry.predictor_record.to_json()}
+                if entry.validator_record is not None:
+                    item["blobs"]["validator"] = entry.validator_record.to_json()
+            document["endpoints"].append(item)
+        if store is not None:
+            document["store"] = {
+                "dir": str(store.root),
+                "blob_count": store.blob_count(),
+                "blob_bytes": store.total_blob_bytes(),
+            }
         print(json.dumps(document, indent=2))
         return 0
     print(f"model: tree_method={model.tree_method} max_bins={model.max_bins}")
-    for endpoint in registry.endpoints():
-        print(endpoint.describe())
-        predictor_path = Path(persistence_dir_of(args.config, endpoint))
-        if predictor_path.exists():
-            class_path = persistence.artifact_class_path(predictor_path)
-            print(f"  predictor artifact: {predictor_path} ({class_path})")
+    for entry in entries:
+        print(entry.describe())
+        if store is None:
+            predictor_path = Path(persistence_dir_of(args.config, entry))
+            if predictor_path.exists():
+                class_path = persistence.artifact_class_path(predictor_path)
+                print(f"  predictor artifact: {predictor_path} ({class_path})")
+    if store is not None:
+        print(
+            f"store: {store.root} ({store.blob_count()} blobs, "
+            f"{store.total_blob_bytes() / 1024:.1f} KiB after dedup)"
+        )
     return 0
 
 
@@ -369,7 +402,7 @@ def _run_serve(args) -> int:
     )
     daemon.install_signal_handlers()
     daemon.start()
-    names = ", ".join(e.key for e in daemon.service.registry.endpoints())
+    names = ", ".join(e.key for e in daemon.service.registry.entries())
     print(f"serving {names} at {daemon.url} (SIGTERM drains, SIGHUP reloads)")
     report = daemon.run_forever()
     print(
@@ -577,7 +610,7 @@ def _add_bench_command(subparsers) -> None:
         "--smoke", action="store_true",
         help="tiny workload for CI (default: the full reference workload)",
     )
-    parser.add_argument("--out", default="BENCH_PR7.json", help="report output path")
+    parser.add_argument("--out", default="BENCH_PR8.json", help="report output path")
     _add_parallel_arguments(parser)
     _add_trace_arguments(parser)
     parser.set_defaults(handler=_run_bench, n_jobs=4)
@@ -611,6 +644,20 @@ def _run_bench(args) -> int:
     if not payload["fused_kernel_not_slower"]:
         print(
             "error: fused serving kernel was slower than the reference path",
+            file=sys.stderr,
+        )
+        failed = True
+    if not payload["registry_fleet_identical"]:
+        print(
+            "error: mmap-hydrated or sharded fleet scoring diverged from "
+            "the resident path",
+            file=sys.stderr,
+        )
+        failed = True
+    if not payload["registry_fleet_memory_ok"]:
+        print(
+            "error: capped-cache fleet memory was not materially below "
+            "eager restore",
             file=sys.stderr,
         )
         failed = True

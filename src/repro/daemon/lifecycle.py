@@ -52,7 +52,7 @@ from repro.serving.config import (
 )
 from repro.serving.events import EventRouter
 from repro.serving.metrics import MetricsRegistry
-from repro.serving.registry import Endpoint, ModelRegistry
+from repro.serving.registry import Endpoint, EndpointEntry, ModelRegistry
 from repro.serving.service import ValidationService
 from repro.tabular.frame import DataFrame
 
@@ -158,8 +158,12 @@ class ServingDaemon:
             "daemon_config_reloads_total", "Successful SIGHUP config reloads"
         )
 
-        for endpoint in registry.endpoints():
-            self._ensure_endpoint(endpoint)
+        # Entries, not endpoints(): queue/worker setup needs only the
+        # key and policy, so a lazy store-backed registry starts the
+        # daemon without hydrating a single endpoint — models
+        # materialize on first scored request.
+        for entry in registry.entries():
+            self._ensure_endpoint(entry)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -207,9 +211,10 @@ class ServingDaemon:
     # Endpoint plumbing
     # ------------------------------------------------------------------ #
 
-    def _ensure_endpoint(self, endpoint: Endpoint) -> None:
+    def _ensure_endpoint(self, endpoint: Endpoint | EndpointEntry) -> None:
         """Create (or refresh) the queue / coalescer / workers for one
-        endpoint. Must hold ``self._lock`` or run pre-start."""
+        endpoint (or its entry view — only the identity and policy are
+        read). Must hold ``self._lock`` or run pre-start."""
         key = endpoint.key
         policy = endpoint.policy
         max_batch = (
@@ -280,8 +285,9 @@ class ServingDaemon:
             raise DataValidationError("cannot serve an empty batch")
         if not self._accepting:
             raise DaemonClosedError("daemon is draining; not accepting requests")
-        endpoint = self.service.registry.get(name, version)
-        key = endpoint.key
+        # resolve(), not get(): admission must not hydrate a cold
+        # endpoint — the scoring worker does that on first batch.
+        key = self.service.registry.resolve(name, version).key
         with self._lock:
             queue = self._queues.get(key)
         if queue is None:
@@ -398,21 +404,48 @@ class ServingDaemon:
             raise DataValidationError(
                 "reload requires a daemon built from a config file"
             )
+        from repro.serving.store import LazyModelRegistry
+
         new_registry = registry_from_config(self.config_path)
-        new_keys = {endpoint.key for endpoint in new_registry.endpoints()}
+        current = self.service.registry
+        new_entries = new_registry.entries()
+        new_keys = {entry.key for entry in new_entries}
+        adopt_entries = isinstance(current, LazyModelRegistry) and isinstance(
+            new_registry, LazyModelRegistry
+        )
         with self._lock:
-            for endpoint in new_registry.endpoints():
-                # Replace (or add) the artifacts/policy under the same key;
-                # queued work keeps scoring against the registry, which now
-                # resolves to the refreshed endpoint.
-                self.service.registry.register(endpoint, replace_existing=True)
-                self._ensure_endpoint(endpoint)
+            if adopt_entries:
+                # Store-backed both sides: adopt the manifest entries —
+                # nothing hydrates during the reload; refreshed models
+                # materialize on their next scored batch. The entry keeps
+                # a handle to the *new* store in case the config moved it.
+                for entry in new_entries:
+                    current.register_entry(
+                        entry, store=new_registry.store, write_manifest=False
+                    )
+                    self.service.invalidate(entry.key)
+                    self._ensure_endpoint(entry)
+            else:
+                for endpoint in new_registry.endpoints():
+                    # Replace (or add) the artifacts/policy under the same
+                    # key; queued work keeps scoring against the registry,
+                    # which now resolves to the refreshed endpoint.
+                    current.register(endpoint, replace_existing=True)
+                    self.service.invalidate(endpoint.key)
+                    self._ensure_endpoint(endpoint)
             for key, queue in self._queues.items():
                 if key not in new_keys and not queue.closed:
                     # Removed endpoints stop admitting; their workers drain
                     # what is already queued (the registry entry survives
-                    # until restart so those batches still score).
+                    # until restart so those batches still score). Their
+                    # hydrated models and derived caches (fused kernel,
+                    # resilient scorer) are dropped — a queued batch
+                    # re-hydrates once, everything else releases memory.
                     queue.close()
+                    self.service.invalidate(key)
+                    evict = getattr(current, "evict", None)
+                    if evict is not None:
+                        evict(key)
         self._reloads.inc()
 
     def drain(self) -> DrainReport:
@@ -438,6 +471,14 @@ class ServingDaemon:
             if self.config_path is not None and not base.is_absolute():
                 base = self.config_path.parent / base
             snapshot_path = str(self.service.registry.snapshot(base))
+
+        # A lazy registry releases every hydrated endpoint on the way
+        # out (after the snapshot, which needs them); eviction listeners
+        # drop the service's derived caches with them, so a drained
+        # daemon holds no model state.
+        evict_all = getattr(self.service.registry, "evict_all", None)
+        if evict_all is not None:
+            evict_all()
 
         if self._server is not None:
             self._server.shutdown()
@@ -468,10 +509,10 @@ class ServingDaemon:
         degraded = False
         with self._lock:
             queues = dict(self._queues)
-        for endpoint in self.service.registry.endpoints():
-            key = endpoint.key
+        for entry in self.service.registry.entries():
+            key = entry.key
             queue = queues.get(key)
-            breaker = self.service.breaker_state(endpoint.name, endpoint.version)
+            breaker = self.service.breaker_state(entry.name, entry.version)
             saturated = queue.saturated if queue is not None else False
             if breaker == "open" or saturated:
                 degraded = True
@@ -491,7 +532,19 @@ class ServingDaemon:
             status = "degraded"
         else:
             status = "ok"
-        return {"status": status, "endpoints": endpoints}
+        payload = {"status": status, "endpoints": endpoints}
+        registry = self.service.registry
+        if hasattr(registry, "hydrated_keys"):
+            # Store-backed registries report their hydration state: the
+            # hydrated-endpoint count against the byte budget is the
+            # RSS proxy operators (and the CI scale smoke) watch.
+            payload["registry"] = {
+                "endpoints": len(registry),
+                "hydrated_endpoints": len(registry.hydrated_keys()),
+                "hydrated_bytes": registry.hydrated_bytes(),
+                "cache_bytes": registry.cache_capacity_bytes,
+            }
+        return payload
 
     def metrics_text(self) -> str:
         """Prometheus exposition with new span aggregates bridged in."""

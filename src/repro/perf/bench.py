@@ -12,10 +12,13 @@ so bit-identity is not expected there). A serving benchmark races the
 fused scoring kernel against the reference featurization path with a
 bit-identity gate (see :mod:`repro.perf.serving_bench`), and a final
 benchmark bursts the serving daemon over HTTP and reports coalescing
-throughput plus p50/p99 latency (see :mod:`repro.perf.daemon_bench`).
-Everything lands in one JSON report; ``BENCH_PR7.json`` at the repo
-root is the committed reference run, and CI refreshes a smoke-profile
-copy per PR so the perf trajectory stays visible.
+throughput plus p50/p99 latency (see :mod:`repro.perf.daemon_bench`),
+and a fleet benchmark builds a 1,000-endpoint content-addressed store
+and gates lazy mmap hydration on bitwise parity and a capped-cache
+memory ceiling (see :mod:`repro.perf.registry_bench`). Everything lands
+in one JSON report; ``BENCH_PR8.json`` at the repo root is the
+committed reference run, and CI refreshes a smoke-profile copy per PR
+so the perf trajectory stays visible.
 
 Parallel speedups are only interpretable next to the host's actual
 concurrency, so the report records ``effective_parallelism``
@@ -81,6 +84,14 @@ PROFILES: dict[str, dict[str, Any]] = {
         serving_batches=12,
         serving_batch_rows=48,
         serving_repeats=5,
+        fleet_endpoints=48,
+        fleet_scored=6,
+        fleet_parity_batches=3,
+        fleet_batch_rows=32,
+        fleet_meta_samples=10,
+        fleet_hydrations=8,
+        fleet_cache_entries=3,
+        fleet_rows=320,
     ),
     "full": dict(
         n_rows=1500,
@@ -107,6 +118,14 @@ PROFILES: dict[str, dict[str, Any]] = {
         serving_batches=40,
         serving_batch_rows=100,
         serving_repeats=10,
+        fleet_endpoints=1000,
+        fleet_scored=25,
+        fleet_parity_batches=5,
+        fleet_batch_rows=64,
+        fleet_meta_samples=12,
+        fleet_hydrations=40,
+        fleet_cache_entries=4,
+        fleet_rows=400,
     ),
 }
 
@@ -415,6 +434,7 @@ def run_benchmarks(
     sizes = PROFILES[profile]
     blackbox, splits = _income_workload(sizes)
     from repro.perf.daemon_bench import bench_daemon_throughput
+    from repro.perf.registry_bench import bench_registry_fleet
     from repro.perf.serving_bench import bench_serving_score
 
     benchmarks = [
@@ -427,12 +447,14 @@ def run_benchmarks(
         bench_trace_overhead(sizes),
         bench_serving_score(sizes),
         bench_daemon_throughput(sizes),
+        bench_registry_fleet(sizes),
     ]
     serving = next(
         b for b in benchmarks if b["name"] == "serving_score_fused_vs_reference"
     )
+    fleet = next(b for b in benchmarks if b["name"] == "registry_fleet")
     return {
-        "schema_version": 4,
+        "schema_version": 5,
         "profile": profile,
         "n_jobs": n_jobs,
         "backend": backend,
@@ -449,6 +471,8 @@ def run_benchmarks(
         "fused_kernel_not_slower": bool(
             serving["speedup"] is not None and serving["speedup"] >= 1.0
         ),
+        "registry_fleet_identical": fleet["identical_results"],
+        "registry_fleet_memory_ok": fleet["memory_ok"],
     }
 
 
@@ -463,7 +487,21 @@ def format_report(payload: dict[str, Any]) -> str:
         f"backend={payload['backend']} cpus={payload['environment']['cpu_count']}"
     ]
     for bench in payload["benchmarks"]:
-        if bench["name"] == "serving_score_fused_vs_reference":
+        if bench["name"] == "registry_fleet":
+            marker = "ok " if bench["identical_results"] and bench["memory_ok"] else "FAIL"
+            lines.append(
+                f"  {bench['name']:<24} "
+                f"{bench['n_endpoints']} endpoints  "
+                f"ttfs lazy {bench['lazy_first_score_seconds']:.3f}s "
+                f"eager {bench['eager_first_score_seconds']:.3f}s "
+                f"({bench['first_score_speedup'] or 0:.1f}x)  "
+                f"heap {bench['capped_heap_bytes'] / 1e6:.1f}/"
+                f"{bench['eager_heap_bytes'] / 1e6:.1f}MB  "
+                f"hydrate p50 {bench['hydration_p50_ms']:.1f}ms "
+                f"p99 {bench['hydration_p99_ms']:.1f}ms  "
+                f"dedup {bench['dedup_ratio'] or 0:.0f}x  [{marker}]"
+            )
+        elif bench["name"] == "serving_score_fused_vs_reference":
             marker = "ok " if bench["identical_results"] else "DIFF"
             p50 = bench["fused_score_latency_p50_ms"]
             p99 = bench["fused_score_latency_p99_ms"]

@@ -1,0 +1,295 @@
+"""Fleet-scale registry benchmark (``registry_fleet``).
+
+Measures what the lazy store-backed registry buys over the eager one at
+fleet scale, and gates the two properties the optimization must not
+cost:
+
+* **Bitwise parity** — every endpoint hydrated with memory-mapped
+  arrays must score byte-for-byte identically to the fully-resident
+  load, across the ``tree_method × kernel`` matrix (exact/hist
+  predictors × fused/reference serving kernels), and sharded fleet
+  scoring must be bit-identical at every ``n_jobs``.
+* **Memory ceiling** — scoring a slice of the fleet under a byte-capped
+  cache must allocate materially less heap than hydrating the whole
+  fleet eagerly. Heap is measured with :mod:`tracemalloc` (numpy
+  registers array data there, and memory-mapped arrays cost ~0 heap),
+  which — unlike ``ru_maxrss`` — is not a process-lifetime high-water
+  mark, so the capped phase is attributable.
+
+The fleet itself is content-addressed: all N endpoints share one fitted
+predictor/validator pair, so building a 1,000-endpoint store costs one
+ingest plus a manifest write — exactly the dedup the store exists for,
+and the report records the logical:physical ratio to prove it.
+"""
+
+from __future__ import annotations
+
+import gc
+import shutil
+import tempfile
+import tracemalloc
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.predictor import PerformancePredictor
+from repro.core.validator import PerformanceValidator
+from repro.evaluation.harness import known_error_generators, prepare_splits
+from repro.perf.bench import _income_workload, _timed
+from repro.serving.registry import EndpointEntry, EndpointPolicy
+from repro.serving.service import ValidationService
+from repro.serving.store import (
+    ArtifactStore,
+    LazyModelRegistry,
+    score_fleet,
+    write_store_manifest,
+)
+
+#: The capped phase must allocate at most this fraction of the eager
+#: phase's heap to pass the memory gate.
+MEMORY_RATIO_GATE = 0.5
+
+_KERNELS = ("fused", "reference")
+_TREE_METHODS = ("exact", "hist")
+
+
+def _fit_artifacts(
+    blackbox, splits, profile: dict[str, Any], tree_method: str
+) -> tuple[PerformancePredictor, PerformanceValidator]:
+    generators = list(known_error_generators("tabular").values())[:2]
+    predictor = PerformancePredictor(
+        blackbox,
+        generators,
+        n_samples=profile["fleet_meta_samples"],
+        random_state=0,
+        tree_method=tree_method,
+    ).fit(splits.test, splits.y_test)
+    validator = PerformanceValidator(
+        blackbox,
+        generators,
+        threshold=0.05,
+        n_samples=profile["fleet_meta_samples"],
+        random_state=0,
+        tree_method=tree_method,
+    ).fit(splits.test, splits.y_test)
+    return predictor, validator
+
+
+def _build_fleet(
+    store_dir: Path,
+    artifacts: dict[str, tuple[PerformancePredictor, PerformanceValidator]],
+    n_endpoints: int,
+) -> list[EndpointEntry]:
+    """Write an N-endpoint store where every endpoint shares the blobs
+    of one ingested artifact pair per tree method (content addressing
+    makes the other N-1 registrations pure manifest entries)."""
+    store = ArtifactStore(store_dir)
+    records = {
+        method: (store.put_model(predictor), store.put_model(validator))
+        for method, (predictor, validator) in artifacts.items()
+    }
+    methods = sorted(records)
+    entries = []
+    for i in range(n_endpoints):
+        method = methods[i % len(methods)]
+        predictor_record, validator_record = records[method]
+        entries.append(
+            EndpointEntry(
+                name=f"tenant-{i:04d}",
+                version="1",
+                expected_score=artifacts[method][0].test_score_,
+                has_validator=True,
+                policy=EndpointPolicy(),
+                predictor_record=predictor_record,
+                validator_record=validator_record,
+            )
+        )
+    write_store_manifest(store_dir, entries)
+    return entries
+
+
+def _score_slice(
+    store_dir: Path,
+    names: list[str],
+    frame,
+    *,
+    cache_bytes: int | None,
+    mmap: bool,
+    kernel: str = "fused",
+) -> list:
+    registry = LazyModelRegistry.restore(
+        store_dir, cache_bytes=cache_bytes, mmap=mmap
+    )
+    service = ValidationService(registry, kernel=kernel)
+    return [service.score_now(name, frame) for name in names]
+
+
+def _heap_delta(fn) -> tuple[int, Any]:
+    """Peak-less heap growth of one phase, via tracemalloc snapshots."""
+    gc.collect()
+    tracemalloc.start()
+    try:
+        before, _ = tracemalloc.get_traced_memory()
+        result = fn()
+        gc.collect()
+        after, _ = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return max(0, after - before), result
+
+
+def bench_registry_fleet(profile: dict[str, Any]) -> dict[str, Any]:
+    """Build an N-endpoint fleet and race lazy against eager restore."""
+    blackbox, splits = _income_workload(
+        {**profile, "n_rows": profile["fleet_rows"]}
+    )
+    artifacts = {
+        method: _fit_artifacts(blackbox, splits, profile, method)
+        for method in _TREE_METHODS
+    }
+    n_endpoints = profile["fleet_endpoints"]
+    n_scored = min(profile["fleet_scored"], n_endpoints)
+    batch_rows = min(profile["fleet_batch_rows"], splits.test.n_rows)
+    frame = splits.test.select_rows(np.arange(batch_rows))
+
+    workdir = Path(tempfile.mkdtemp(prefix="registry-fleet-"))
+    try:
+        store_dir = workdir / "store"
+        build_seconds, entries = _timed(
+            lambda: _build_fleet(store_dir, artifacts, n_endpoints)
+        )
+        store = ArtifactStore(store_dir)
+        logical_bytes = sum(entry.stored_bytes for entry in entries)
+        physical_bytes = store.total_blob_bytes()
+        per_endpoint = max(entry.stored_bytes for entry in entries)
+        cache_bytes = profile["fleet_cache_entries"] * per_endpoint
+        scored_names = [
+            entries[i * (n_endpoints // n_scored)].name for i in range(n_scored)
+        ]
+
+        # --- time-to-first-score: lazy manifest restore vs eager ------ #
+        def lazy_first_score():
+            registry = LazyModelRegistry.restore(store_dir, mmap=True)
+            service = ValidationService(registry)
+            return service.score_now(scored_names[0], frame)
+
+        lazy_ttfs_seconds, lazy_first = _timed(lazy_first_score)
+
+        def eager_first_score():
+            registry = LazyModelRegistry.restore(store_dir, mmap=False)
+            for entry in registry.entries():
+                registry.get(entry.name, entry.version)  # hydrate all
+            service = ValidationService(registry)
+            return service.score_now(scored_names[0], frame)
+
+        eager_ttfs_seconds, eager_first = _timed(eager_first_score)
+
+        # --- warm scoring + hydration latency ------------------------- #
+        registry = LazyModelRegistry.restore(
+            store_dir, cache_bytes=cache_bytes, mmap=True
+        )
+        service = ValidationService(registry)
+        service.score_now(scored_names[0], frame)
+        warm_seconds, _ = _timed(
+            lambda: service.score_now(scored_names[0], frame)
+        )
+        hydrations = []
+        target = entries[0]
+        for _ in range(profile["fleet_hydrations"]):
+            registry.evict(target.key)
+            seconds, _ = _timed(lambda: registry.get(target.name, target.version))
+            hydrations.append(seconds * 1000.0)
+        hydration_p50 = float(np.percentile(hydrations, 50))
+        hydration_p99 = float(np.percentile(hydrations, 99))
+
+        # --- heap: capped lazy slice vs eager hydrate-all ------------- #
+        # Capped phase first: tracemalloc deltas are per-phase, but any
+        # allocator reuse from a previous large phase would flatter the
+        # later one.
+        capped_heap, capped_results = _heap_delta(
+            lambda: _score_slice(
+                store_dir, scored_names, frame,
+                cache_bytes=cache_bytes, mmap=True,
+            )
+        )
+
+        def eager_hydrate_all():
+            eager = LazyModelRegistry.restore(store_dir, mmap=False)
+            endpoints = [
+                eager.get(entry.name, entry.version) for entry in eager.entries()
+            ]
+            eager_service = ValidationService(eager)
+            results = [
+                eager_service.score_now(name, frame) for name in scored_names
+            ]
+            return endpoints, results
+
+        eager_heap, (_, eager_results) = _heap_delta(eager_hydrate_all)
+        memory_ok = capped_heap <= eager_heap * MEMORY_RATIO_GATE
+
+        # --- bitwise parity: mmap vs resident, tree_method × kernel --- #
+        parity_identical = True
+        n_parity = min(profile["fleet_parity_batches"] * len(_TREE_METHODS),
+                       n_endpoints)
+        parity_names = [entries[i].name for i in range(n_parity)]
+        for kernel in _KERNELS:
+            resident = _score_slice(
+                store_dir, parity_names, frame,
+                cache_bytes=None, mmap=False, kernel=kernel,
+            )
+            mapped = _score_slice(
+                store_dir, parity_names, frame,
+                cache_bytes=cache_bytes, mmap=True, kernel=kernel,
+            )
+            parity_identical = parity_identical and resident == mapped
+        parity_identical = parity_identical and capped_results == eager_results
+
+        # --- shard determinism across n_jobs ------------------------- #
+        batches = [(name, frame) for name in parity_names for _ in range(2)]
+        serial_results = score_fleet(
+            str(store_dir), batches, n_shards=4, n_jobs=1,
+            cache_bytes=cache_bytes,
+        )
+        parallel_results = score_fleet(
+            str(store_dir), batches, n_shards=4, n_jobs=4,
+            cache_bytes=cache_bytes,
+        )
+        shard_identical = serial_results == parallel_results
+
+        return {
+            "name": "registry_fleet",
+            "n_endpoints": n_endpoints,
+            "n_scored": n_scored,
+            "build_seconds": round(build_seconds, 4),
+            "store_blob_count": store.blob_count(),
+            "logical_bytes": int(logical_bytes),
+            "physical_bytes": int(physical_bytes),
+            "dedup_ratio": round(logical_bytes / physical_bytes, 2)
+            if physical_bytes
+            else None,
+            "cache_bytes": int(cache_bytes),
+            "lazy_first_score_seconds": round(lazy_ttfs_seconds, 4),
+            "eager_first_score_seconds": round(eager_ttfs_seconds, 4),
+            "first_score_speedup": round(
+                eager_ttfs_seconds / lazy_ttfs_seconds, 3
+            )
+            if lazy_ttfs_seconds > 0
+            else None,
+            "warm_score_ms": round(warm_seconds * 1000.0, 3),
+            "hydration_p50_ms": round(hydration_p50, 3),
+            "hydration_p99_ms": round(hydration_p99, 3),
+            "capped_heap_bytes": int(capped_heap),
+            "eager_heap_bytes": int(eager_heap),
+            "heap_ratio": round(capped_heap / eager_heap, 4)
+            if eager_heap
+            else None,
+            "memory_ok": bool(memory_ok),
+            "parity_identical": bool(parity_identical),
+            "shard_identical": bool(shard_identical),
+            # Rides the report-wide all_identical gate.
+            "identical_results": bool(parity_identical and shard_identical),
+            "first_result_parity": bool(lazy_first == eager_first),
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)

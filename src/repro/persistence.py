@@ -18,8 +18,10 @@ another without sharing memory or a pickle of the whole object graph.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
+import os
 import pickle
 from pathlib import Path
 
@@ -47,6 +49,40 @@ def normalize_npz_path(path: str | Path) -> Path:
     if resolved.suffix != ".npz":
         resolved = resolved.with_name(resolved.name + ".npz")
     return resolved
+
+
+def array_to_npy_bytes(array: np.ndarray) -> bytes:
+    """Canonical ``.npy`` serialization of one array.
+
+    The bytes are what ``np.save`` writes for the C-contiguous form of
+    the array, so two arrays with equal dtype/shape/values serialize
+    identically regardless of their in-memory layout — the property the
+    content-addressed artifact store's dedup relies on. ``allow_pickle``
+    is off: object-dtype arrays belong in the pickled state stream, not
+    in array blobs (a blob must stay ``np.load(mmap_mode="r")``-able).
+    """
+    if array.dtype == object:
+        raise DataValidationError("object-dtype arrays cannot become npy blobs")
+    buffer = io.BytesIO()
+    np.save(buffer, np.ascontiguousarray(array), allow_pickle=False)
+    return buffer.getvalue()
+
+
+def content_digest(data: bytes) -> str:
+    """Hex SHA-256 of a blob's bytes — its content address."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write bytes so readers see the old file or the new one, never a
+    truncated mix: temp file in the same directory, then ``os.replace``
+    (the :class:`~repro.resilience.checkpoint.CheckpointStore` idiom)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = target.with_name(f"{target.name}.tmp-{os.getpid()}")
+    tmp_path.write_bytes(data)
+    os.replace(tmp_path, target)
+    return target
 
 
 def _encode_object_column(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

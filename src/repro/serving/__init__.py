@@ -23,19 +23,23 @@ from repro.serving.config import (
     ModelSettings,
     ObservabilitySettings,
     ParallelSettings,
+    RegistrySettings,
     ResilienceSettings,
     build_registry,
     load_kernel_setting,
     load_model_settings,
     load_observability_settings,
     load_parallel_settings,
+    load_registry_settings,
     load_resilience_settings,
     load_serving_config,
     parse_model,
     parse_observability,
     parse_parallel,
+    parse_registry,
     parse_resilience,
     registry_from_config,
+    resolve_store_dir,
     write_serving_config,
 )
 from repro.serving.events import (
@@ -55,31 +59,48 @@ from repro.serving.metrics import (
 )
 from repro.serving.registry import (
     Endpoint,
+    EndpointEntry,
     EndpointPolicy,
     ModelRegistry,
     endpoint_from_artifacts,
 )
 from repro.serving.service import BatchResult, ValidationService
+from repro.serving.store import (
+    ArtifactRecord,
+    ArtifactStore,
+    ByteBudgetLRU,
+    LazyModelRegistry,
+    read_store_manifest,
+    score_fleet,
+    shard_for,
+    write_store_manifest,
+)
 
 __all__ = [
     "AlertEvent",
     "AlertSink",
+    "ArtifactRecord",
+    "ArtifactStore",
     "BatchResult",
+    "ByteBudgetLRU",
     "CallbackSink",
     "Counter",
     "DeadLetter",
     "Endpoint",
+    "EndpointEntry",
     "EndpointPolicy",
     "EndpointSpec",
     "EventRouter",
     "Gauge",
     "Histogram",
     "JsonlFileSink",
+    "LazyModelRegistry",
     "MetricsRegistry",
     "ModelRegistry",
     "ModelSettings",
     "ObservabilitySettings",
     "ParallelSettings",
+    "RegistrySettings",
     "ResilienceSettings",
     "StdoutSink",
     "ValidationService",
@@ -89,12 +110,18 @@ __all__ = [
     "load_model_settings",
     "load_observability_settings",
     "load_parallel_settings",
+    "load_registry_settings",
     "load_resilience_settings",
     "load_serving_config",
     "parse_model",
     "parse_observability",
     "parse_parallel",
+    "parse_registry",
     "parse_resilience",
+    "read_store_manifest",
     "registry_from_config",
-    "write_serving_config",
+    "resolve_store_dir",
+    "score_fleet",
+    "shard_for",
+    "write_store_manifest",
 ]

@@ -270,6 +270,52 @@ class DaemonSettings:
 _DAEMON_FIELDS = {f.name for f in fields(DaemonSettings)}
 
 
+@dataclass(frozen=True)
+class RegistrySettings:
+    """The config file's ``registry`` block: store-backed lazy serving.
+
+    ``store_dir`` points at a content-addressed artifact store
+    (:class:`~repro.serving.store.ArtifactStore`); when set, the serving
+    registry is a :class:`~repro.serving.store.LazyModelRegistry`
+    restored from the store's manifest — endpoints hydrate on first use
+    instead of at start-up, and the config's ``endpoints`` list must be
+    empty (the manifest is the endpoint source of truth).
+    ``cache_bytes`` caps the hydrated-endpoint cache (``None`` =
+    unbounded); ``shards`` is the default shard count for fleet scoring;
+    ``mmap`` toggles memory-mapped array loading (on by default — off is
+    the fully-resident escape hatch).
+    """
+
+    store_dir: str | None = None
+    cache_bytes: int | None = None
+    shards: int = 1
+    mmap: bool = True
+
+    def __post_init__(self):
+        if self.store_dir is not None and (
+            not isinstance(self.store_dir, str) or not self.store_dir
+        ):
+            raise DataValidationError(
+                "registry.store_dir must be a non-empty string"
+            )
+        if self.cache_bytes is not None and (
+            not isinstance(self.cache_bytes, int) or self.cache_bytes < 0
+        ):
+            raise DataValidationError(
+                f"registry.cache_bytes must be a non-negative integer or null, "
+                f"got {self.cache_bytes!r}"
+            )
+        if not isinstance(self.shards, int) or self.shards < 1:
+            raise DataValidationError(
+                f"registry.shards must be an integer >= 1, got {self.shards!r}"
+            )
+        if not isinstance(self.mmap, bool):
+            raise DataValidationError("registry.mmap must be a boolean")
+
+
+_REGISTRY_FIELDS = {f.name for f in fields(RegistrySettings)}
+
+
 def parse_policy(raw: dict) -> EndpointPolicy:
     """Build a policy from a JSON object, rejecting unknown keys loudly."""
     unknown = set(raw) - _POLICY_FIELDS
@@ -331,6 +377,19 @@ def parse_daemon(raw: dict) -> DaemonSettings:
     return DaemonSettings(**raw)
 
 
+def parse_registry(raw: dict) -> RegistrySettings:
+    """Build registry settings from a JSON object, rejecting unknown keys."""
+    if not isinstance(raw, dict):
+        raise DataValidationError("'registry' must be an object")
+    unknown = set(raw) - _REGISTRY_FIELDS
+    if unknown:
+        raise DataValidationError(
+            f"unknown registry keys {sorted(unknown)}; "
+            f"valid keys: {sorted(_REGISTRY_FIELDS)}"
+        )
+    return RegistrySettings(**raw)
+
+
 def parse_resilience(raw: dict) -> ResilienceSettings:
     """Build resilience settings from a JSON object, rejecting unknown keys."""
     if not isinstance(raw, dict):
@@ -353,21 +412,38 @@ def load_serving_config(path: str | Path) -> list[EndpointSpec]:
         payload = json.loads(config_path.read_text())
     except json.JSONDecodeError as error:
         raise DataValidationError(f"invalid JSON in {config_path}: {error}") from error
-    if not isinstance(payload, dict) or "endpoints" not in payload:
+    if not isinstance(payload, dict):
         raise DataValidationError(
-            f"{config_path} must be an object with an 'endpoints' list"
+            f"{config_path} must be an object with an 'endpoints' list "
+            "or a 'registry' block"
         )
     unknown = set(payload) - {
         "endpoints", "parallel", "model", "observability", "resilience",
-        "daemon", "kernel",
+        "daemon", "kernel", "registry",
     }
     if unknown:
         raise DataValidationError(
             f"{config_path} has unknown top-level keys {sorted(unknown)}"
         )
-    entries = payload["endpoints"]
-    if not isinstance(entries, list) or not entries:
-        raise DataValidationError(f"{config_path}: 'endpoints' must be a non-empty list")
+    registry_settings = parse_registry(payload.get("registry", {}))
+    entries = payload.get("endpoints", [])
+    if not isinstance(entries, list):
+        raise DataValidationError(f"{config_path}: 'endpoints' must be a list")
+    if registry_settings.store_dir is not None:
+        # Store-backed configs take their endpoints from the store
+        # manifest; a config that also lists artifact endpoints has two
+        # competing sources of truth, which is an operator error.
+        if entries:
+            raise DataValidationError(
+                f"{config_path}: a config with registry.store_dir must not "
+                "also list 'endpoints' — the store manifest is the "
+                "endpoint source of truth"
+            )
+    elif not entries:
+        raise DataValidationError(
+            f"{config_path}: 'endpoints' must be a non-empty list "
+            "(or set registry.store_dir for a store-backed registry)"
+        )
     specs: list[EndpointSpec] = []
     for i, entry in enumerate(entries):
         if not isinstance(entry, dict):
@@ -473,6 +549,34 @@ def load_kernel_setting(path: str | Path) -> str:
     return check_kernel(kernel)
 
 
+def load_registry_settings(path: str | Path) -> RegistrySettings:
+    """The ``registry`` block of a config file (defaults when absent)."""
+    config_path = Path(path)
+    if not config_path.exists():
+        raise DataValidationError(f"no serving config at {config_path}")
+    try:
+        payload = json.loads(config_path.read_text())
+    except json.JSONDecodeError as error:
+        raise DataValidationError(f"invalid JSON in {config_path}: {error}") from error
+    if not isinstance(payload, dict):
+        raise DataValidationError(f"{config_path} must be a JSON object")
+    return parse_registry(payload.get("registry", {}))
+
+
+def resolve_store_dir(config_path: str | Path, settings: RegistrySettings) -> Path:
+    """The store directory a config's registry block points at.
+
+    Relative paths resolve against the config file's directory, like
+    endpoint artifact paths.
+    """
+    if settings.store_dir is None:
+        raise DataValidationError("config has no registry.store_dir")
+    store_dir = Path(settings.store_dir)
+    if not store_dir.is_absolute():
+        store_dir = Path(config_path).parent / store_dir
+    return store_dir
+
+
 def load_resilience_settings(path: str | Path) -> ResilienceSettings:
     """The ``resilience`` block of a config file (defaults when absent)."""
     config_path = Path(path)
@@ -522,10 +626,25 @@ def build_registry(
 
 
 def registry_from_config(path: str | Path) -> ModelRegistry:
-    """One-call path from a config file to a servable registry."""
+    """One-call path from a config file to a servable registry.
+
+    A config with ``registry.store_dir`` restores a lazy, store-backed
+    registry (manifest read only — nothing hydrates here); otherwise the
+    listed artifact endpoints are loaded eagerly as before.
+    """
     config_path = Path(path)
+    specs = load_serving_config(config_path)
+    settings = load_registry_settings(config_path)
+    if settings.store_dir is not None:
+        from repro.serving.store import LazyModelRegistry
+
+        return LazyModelRegistry.restore(
+            resolve_store_dir(config_path, settings),
+            cache_bytes=settings.cache_bytes,
+            mmap=settings.mmap,
+        )
     return build_registry(
-        load_serving_config(config_path),
+        specs,
         base_dir=config_path.parent,
         parallel=load_parallel_settings(config_path),
     )

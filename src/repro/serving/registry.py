@@ -17,9 +17,13 @@ number of serving processes.
 from __future__ import annotations
 
 import json
+import os
 import re
+import shutil
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+from typing import Any
 
 from repro import persistence
 from repro.core.predictor import PerformancePredictor
@@ -112,6 +116,54 @@ class Endpoint:
         )
 
 
+@dataclass(frozen=True)
+class EndpointEntry:
+    """The cheap, always-resident view of one endpoint.
+
+    An entry carries everything listings, routing and queue setup need
+    (identity, policy, expected score) without the fitted artifacts, so
+    a registry can answer ``entries()`` / ``resolve()`` for thousands of
+    endpoints at ~0 memory cost. Store-backed registries additionally
+    attach the content-addressed :class:`~repro.serving.store.ArtifactRecord`
+    for each model (``predictor_record`` / ``validator_record``); eager
+    registries leave those ``None``.
+    """
+
+    name: str
+    version: str
+    expected_score: float
+    has_validator: bool
+    policy: EndpointPolicy = field(default_factory=EndpointPolicy)
+    predictor_record: Any = None
+    validator_record: Any = None
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}@{self.version}"
+
+    @property
+    def stored_bytes(self) -> int | None:
+        """On-disk bytes of this endpoint's blobs (``None`` when eager)."""
+        if self.predictor_record is None:
+            return None
+        total = self.predictor_record.total_bytes
+        if self.validator_record is not None:
+            total += self.validator_record.total_bytes
+        return total
+
+    def describe(self) -> str:
+        validator = "with validator" if self.has_validator else "predictor only"
+        stored = (
+            f", {self.stored_bytes / 1024:.1f} KiB stored"
+            if self.stored_bytes is not None
+            else ""
+        )
+        return (
+            f"{self.key}: expected score {self.expected_score:.4f}, "
+            f"threshold {self.policy.threshold:.0%}, {validator}{stored}"
+        )
+
+
 class ModelRegistry:
     """Registry of serving endpoints, keyed by ``name`` and ``version``.
 
@@ -178,6 +230,40 @@ class ModelRegistry:
             result.extend(self._endpoints[name].values())
         return result
 
+    def entries(self) -> list[EndpointEntry]:
+        """Lightweight views of every endpoint (see :class:`EndpointEntry`).
+
+        Listings, health pages and queue setup should iterate these
+        instead of :meth:`endpoints` — on a lazy registry the latter
+        hydrates every endpoint's fitted artifacts.
+        """
+        return [self._entry_of(endpoint) for endpoint in self.endpoints()]
+
+    def resolve(self, name: str, version: str | None = None) -> EndpointEntry:
+        """Like :meth:`get`, but returns the artifact-free entry view."""
+        return self._entry_of(self.get(name, version))
+
+    @staticmethod
+    def _entry_of(endpoint: Endpoint) -> EndpointEntry:
+        return EndpointEntry(
+            name=endpoint.name,
+            version=endpoint.version,
+            expected_score=endpoint.expected_score,
+            has_validator=endpoint.validator is not None,
+            policy=endpoint.policy,
+        )
+
+    @contextmanager
+    def pinned(self, key: str):
+        """Hold an endpoint hydrated for the duration of the block.
+
+        A no-op here — eager registries never evict — but the serving
+        hot path wraps every score in it so a byte-budget lazy registry
+        (:class:`~repro.serving.store.LazyModelRegistry`, which
+        overrides this) cannot thrash an endpoint out mid-score.
+        """
+        yield
+
     # ------------------------------------------------------------------ #
     # Snapshot / restore
     # ------------------------------------------------------------------ #
@@ -193,26 +279,59 @@ class ModelRegistry:
                 predictor.npz
                 validator.npz                # only when present
                 endpoint.json                # identity + policy
+
+        The write is atomic at the directory level: everything lands in
+        a staging directory next to the target, which is then swapped
+        into place with ``os.replace``. A crash mid-snapshot leaves
+        either the complete previous snapshot or the complete new one —
+        the worst case (a crash between the two renames of an
+        overwriting snapshot) leaves no directory at all, which
+        :meth:`restore` reports loudly. It never leaves a torn,
+        half-written directory that a serving process could restore.
         """
         root = Path(directory)
-        root.mkdir(parents=True, exist_ok=True)
-        manifest: dict = {"manifest_version": _MANIFEST_VERSION, "endpoints": []}
-        for endpoint in self.endpoints():
-            subdir = root / endpoint.key
-            subdir.mkdir(parents=True, exist_ok=True)
-            persistence.save_model(endpoint.predictor, subdir / "predictor.npz")
-            if endpoint.validator is not None:
-                persistence.save_model(endpoint.validator, subdir / "validator.npz")
-            meta = {
-                "name": endpoint.name,
-                "version": endpoint.version,
-                "has_validator": endpoint.validator is not None,
-                "expected_score": endpoint.expected_score,
-                "policy": asdict(endpoint.policy),
-            }
-            (subdir / "endpoint.json").write_text(json.dumps(meta, indent=2))
-            manifest["endpoints"].append({"key": endpoint.key, "path": endpoint.key})
-        (root / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        if root.exists() and not root.is_dir():
+            raise DataValidationError(f"snapshot target {root} is not a directory")
+        root.parent.mkdir(parents=True, exist_ok=True)
+        stage = root.with_name(f"{root.name}.tmp-{os.getpid()}")
+        if stage.exists():
+            shutil.rmtree(stage)
+        stage.mkdir(parents=True)
+        try:
+            manifest: dict = {"manifest_version": _MANIFEST_VERSION, "endpoints": []}
+            for endpoint in self.endpoints():
+                subdir = stage / endpoint.key
+                subdir.mkdir(parents=True, exist_ok=True)
+                persistence.save_model(endpoint.predictor, subdir / "predictor.npz")
+                if endpoint.validator is not None:
+                    persistence.save_model(endpoint.validator, subdir / "validator.npz")
+                meta = {
+                    "name": endpoint.name,
+                    "version": endpoint.version,
+                    "has_validator": endpoint.validator is not None,
+                    "expected_score": endpoint.expected_score,
+                    "policy": asdict(endpoint.policy),
+                }
+                (subdir / "endpoint.json").write_text(json.dumps(meta, indent=2))
+                manifest["endpoints"].append(
+                    {"key": endpoint.key, "path": endpoint.key}
+                )
+            (stage / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        except BaseException:
+            shutil.rmtree(stage, ignore_errors=True)
+            raise
+        if root.exists():
+            # os.replace cannot replace a non-empty directory: move the
+            # old snapshot aside first, swap the staging dir in, then
+            # drop the old one.
+            old = root.with_name(f"{root.name}.old-{os.getpid()}")
+            if old.exists():
+                shutil.rmtree(old)
+            os.replace(root, old)
+            os.replace(stage, root)
+            shutil.rmtree(old)
+        else:
+            os.replace(stage, root)
         return root
 
     @classmethod

@@ -160,9 +160,18 @@ class ValidationService:
         self.kernel = check_kernel(kernel)
         self._monitors: dict[str, BatchMonitor] = {}
         self._buffers: dict[str, _MicroBatchBuffer] = {}
-        self._scorers: dict[str, ResilientScorer] = {}
+        self._scorers: dict[str, tuple[Endpoint, ResilientScorer]] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
         self._kernels: dict[str, FusedScorer] = {}
+        # A byte-budget lazy registry evicts hydrated endpoints under
+        # cache pressure; the per-endpoint caches derived from those
+        # models (the fused kernel's pre-sorted reference outputs, the
+        # resilient scorer's closures) must go with them or they pin the
+        # evicted models in memory and serve stale state after the next
+        # hydration.
+        add_listener = getattr(registry, "add_eviction_listener", None)
+        if add_listener is not None:
+            add_listener(self.invalidate)
 
         labels = ("endpoint",)
         self._requests = self.metrics.counter(
@@ -331,8 +340,11 @@ class ValidationService:
 
     def pending_rows(self, name: str, version: str | None = None) -> int:
         """Rows currently buffered for an endpoint."""
-        endpoint = self.registry.get(name, version)
-        buffer = self._buffers.get(endpoint.key)
+        entry = self.registry.resolve(name, version)
+        return self._pending_rows_by_key(entry.key)
+
+    def _pending_rows_by_key(self, key: str) -> int:
+        buffer = self._buffers.get(key)
         return 0 if buffer is None else buffer.n_rows
 
     # ------------------------------------------------------------------ #
@@ -414,21 +426,29 @@ class ValidationService:
 
     def _resilient_scorer(self, endpoint: Endpoint) -> ResilientScorer:
         """The per-endpoint scorer with retry / breaker / fallback chain
-        (created on first use, like monitors)."""
-        scorer = self._scorers.get(endpoint.key)
-        if scorer is not None:
-            return scorer
+        (created on first use, like monitors). The scorer's primary and
+        fallback closures capture the endpoint's models, so a hot reload
+        or re-hydration that swaps them under the same key rebuilds the
+        scorer — reusing the existing breaker, whose failure history
+        belongs to the endpoint, not to one hydration of it."""
+        cached = self._scorers.get(endpoint.key)
+        if cached is not None:
+            owner, scorer = cached
+            if owner is endpoint:
+                return scorer
         settings = self.resilience
         key = endpoint.key
-        breaker = CircuitBreaker(
-            failure_threshold=settings.breaker_failure_threshold,
-            window=settings.breaker_window,
-            cooldown_seconds=settings.breaker_cooldown_seconds,
-            clock=self._clock,
-            on_transition=lambda old, new: self._on_breaker_transition(key, new),
-        )
-        self._breakers[key] = breaker
-        self._res_breaker_state.set(0.0, endpoint=key)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=settings.breaker_failure_threshold,
+                window=settings.breaker_window,
+                cooldown_seconds=settings.breaker_cooldown_seconds,
+                clock=self._clock,
+                on_transition=lambda old, new: self._on_breaker_transition(key, new),
+            )
+            self._breakers[key] = breaker
+            self._res_breaker_state.set(0.0, endpoint=key)
         reference = None
         if endpoint.validator is not None and hasattr(
             endpoint.validator, "_test_proba"
@@ -458,8 +478,21 @@ class ValidationService:
                 key, kind, **info
             ),
         )
-        self._scorers[key] = scorer
+        self._scorers[key] = (endpoint, scorer)
         return scorer
+
+    def invalidate(self, key: str) -> None:
+        """Drop the per-endpoint caches derived from fitted models.
+
+        Called on registry eviction (and by the daemon when a reload
+        removes or replaces an endpoint). Monitors, breakers and buffers
+        survive — their state (smoothing history, failure counts, queued
+        rows) describes the endpoint's traffic, not one hydration of its
+        models, and they hold at most the predictor (monitors), which is
+        cheap when mmap-backed.
+        """
+        self._kernels.pop(key, None)
+        self._scorers.pop(key, None)
 
     def _on_breaker_transition(self, key: str, new_state: str) -> None:
         self._res_transitions.inc(endpoint=key, state=new_state)
@@ -480,15 +513,18 @@ class ValidationService:
     def breaker_state(self, name: str, version: str | None = None) -> str | None:
         """The endpoint's circuit breaker state (``None`` before first use
         or with resilience disabled)."""
-        endpoint = self.registry.get(name, version)
-        breaker = self._breakers.get(endpoint.key)
+        entry = self.registry.resolve(name, version)
+        breaker = self._breakers.get(entry.key)
         return None if breaker is None else breaker.state
 
     def _score(self, endpoint: Endpoint, frame: DataFrame) -> BatchResult:
         monitor = self.monitor(endpoint.name, endpoint.version)
         started = self._clock()
         tracer = current_tracer()
-        with tracer.span(
+        # Pin the hydrated endpoint for the duration of the score so a
+        # byte-budget registry cannot evict it mid-batch (a no-op on
+        # eager registries).
+        with self.registry.pinned(endpoint.key), tracer.span(
             "serving.score", rows=len(frame), endpoint=endpoint.key
         ):
             if self.resilience is not None and self.resilience.enabled:
@@ -587,18 +623,20 @@ class ValidationService:
     def summary(self) -> str:
         """Multi-endpoint state overview for logs and the CLI."""
         lines = [f"ValidationService: {len(self.registry)} endpoint(s)"]
-        for endpoint in self.registry.endpoints():
-            monitor = self._monitors.get(endpoint.key)
+        # Entries, not endpoints(): a summary of a lazy fleet must not
+        # hydrate every endpoint just to report monitor state.
+        for entry in self.registry.entries():
+            monitor = self._monitors.get(entry.key)
             if monitor is None or not monitor.state.records:
-                lines.append(f"  {endpoint.key}: no batches observed")
+                lines.append(f"  {entry.key}: no batches observed")
                 continue
             latest = monitor.state.records[-1]
             state = "SUSTAINED-ALARM" if latest.sustained_alarm else (
                 "alarm" if latest.alarm else "ok"
             )
-            pending = self.pending_rows(endpoint.name, endpoint.version)
+            pending = self._pending_rows_by_key(entry.key)
             lines.append(
-                f"  {endpoint.key}: {monitor.state.total_batches} batches, "
+                f"  {entry.key}: {monitor.state.total_batches} batches, "
                 f"latest {latest.estimated_score:.4f} "
                 f"(floor {monitor.alarm_floor:.4f}), "
                 f"alarm rate {monitor.alarm_rate():.2f}, "

@@ -1,0 +1,883 @@
+"""Fleet-scale registry: content-addressed blobs, lazy mmap hydration.
+
+The paper deploys the learned performance predictor "along with the
+original model"; the north-star serving tier hosts *thousands* of such
+deployments. Keeping every endpoint's fitted arrays resident bounds the
+fleet by RAM and makes start-up linear in endpoints that may never see
+traffic. This module removes both bounds:
+
+* :class:`ArtifactStore` — a content-addressed blob store. Every fitted
+  model is split into (a) large numeric arrays, each serialized to
+  canonical ``.npy`` bytes and stored once under its SHA-256 digest, and
+  (b) a pickled state stream in which those arrays are replaced by their
+  digests (``pickle`` persistent IDs, the joblib idiom). Two versions
+  that share a predictor therefore share every blob — registering a
+  duplicate writes nothing. Raw ``.npy`` (not ``.npz``) is load-bearing:
+  ``np.load(mmap_mode="r")`` silently ignores ``mmap_mode`` for zip
+  containers, and real memory-mapping is what makes a cold endpoint cost
+  ~0 RSS. All writes are atomic (tmp + ``os.replace``).
+* :class:`LazyModelRegistry` — a :class:`~repro.serving.registry.ModelRegistry`
+  whose ``restore()`` reads only a JSON manifest; endpoints hydrate on
+  first ``get()``, with arrays memory-mapped, through a
+  :class:`ByteBudgetLRU` whose capacity is **bytes, not endpoint
+  counts** — fleet tenants differ by orders of magnitude in artifact
+  size, so an N-entry cache bounds nothing, while a byte budget is an
+  RSS ceiling. Eviction notifies listeners so the serving layer can drop
+  derived caches (the :class:`~repro.perf.kernels.FusedScorer` with its
+  pre-sorted reference outputs, the resilient-scorer closure) that pin
+  the evicted models.
+* :func:`shard_for` / :func:`score_fleet` — deterministic sharding of
+  fleet scoring by endpoint-name hash across the existing
+  :class:`~repro.parallel.executor.Executor`, with the store handle
+  broadcast once per worker via ``shared=``. Every batch stream for one
+  endpoint lands in exactly one shard, in submission order, so results
+  are bit-identical at any ``n_jobs`` × backend × shard count.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pickle
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro import persistence
+from repro.exceptions import DataValidationError
+from repro.serving.registry import (
+    Endpoint,
+    EndpointEntry,
+    EndpointPolicy,
+    ModelRegistry,
+)
+
+STORE_MANIFEST_NAME = "manifest.json"
+_STORE_MANIFEST_VERSION = 1
+
+#: Arrays at least this large leave the pickle stream and become
+#: individually mmap-able ``.npy`` blobs; smaller ones stay inline
+#: (a blob per 48-byte threshold array would drown the store in files).
+DEFAULT_ARRAY_THRESHOLD_BYTES = 4096
+
+_ARRAY_PID_KIND = "npy-blob"
+_ARRAY_SUFFIX = ".npy"
+_STATE_SUFFIX = ".pkl"
+
+
+# ---------------------------------------------------------------------- #
+# Artifact records and the content-addressed store
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ArtifactRecord:
+    """Content address of one stored model.
+
+    ``state_digest`` names the pickled state stream; ``array_digests``
+    name the externalized array blobs that stream references.
+    ``array_bytes`` is the summed ``nbytes`` of those arrays — the heap
+    the model would occupy fully resident, and what the byte-budget LRU
+    charges for it.
+    """
+
+    class_path: str
+    state_digest: str
+    state_bytes: int
+    array_digests: tuple[str, ...]
+    array_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """State + array payload bytes (≈ on-disk and resident size)."""
+        return self.state_bytes + self.array_bytes
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "class_path": self.class_path,
+            "state_digest": self.state_digest,
+            "state_bytes": self.state_bytes,
+            "array_digests": list(self.array_digests),
+            "array_bytes": self.array_bytes,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "ArtifactRecord":
+        return cls(
+            class_path=str(payload["class_path"]),
+            state_digest=str(payload["state_digest"]),
+            state_bytes=int(payload["state_bytes"]),
+            array_digests=tuple(str(d) for d in payload["array_digests"]),
+            array_bytes=int(payload["array_bytes"]),
+        )
+
+
+class _ExternalizingPickler(pickle.Pickler):
+    """Pickler that spills large arrays into content-addressed blobs."""
+
+    def __init__(self, buffer: io.BytesIO, store: "ArtifactStore"):
+        super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        self._store = store
+        self.blobs: dict[str, int] = {}  # digest -> array nbytes
+
+    def persistent_id(self, obj: Any):
+        # Plain ndarrays above the threshold are externalized; memmaps
+        # always are (they came from a blob, so this is free dedup, and
+        # plain-pickling a memmap would materialize it with a subclass
+        # surprise). Other ndarray subclasses and object dtypes stay in
+        # the stream — np.load would not round-trip their type.
+        if isinstance(obj, np.ndarray) and obj.dtype != object and (
+            isinstance(obj, np.memmap)
+            or (
+                type(obj) is np.ndarray
+                and obj.nbytes >= self._store.array_threshold_bytes
+            )
+        ):
+            digest = self._store._put_array_blob(obj)
+            self.blobs.setdefault(digest, int(obj.nbytes))
+            return (_ARRAY_PID_KIND, digest)
+        return None
+
+
+class _HydratingUnpickler(pickle.Unpickler):
+    """Unpickler that resolves array digests back to (mmap) arrays.
+
+    Pickle does not memoize persistent IDs, so a per-load cache maps
+    each digest to one array object — aliasing inside the model graph
+    survives the round trip, and a blob is mapped at most once per load.
+    """
+
+    def __init__(self, buffer, store: "ArtifactStore", mmap: bool):
+        super().__init__(buffer)
+        self._store = store
+        self._mmap_mode = "r" if mmap else None
+        self._cache: dict[str, np.ndarray] = {}
+
+    def persistent_load(self, pid: Any) -> np.ndarray:
+        try:
+            kind, digest = pid
+        except (TypeError, ValueError):
+            raise pickle.UnpicklingError(f"unsupported persistent id {pid!r}")
+        if kind != _ARRAY_PID_KIND:
+            raise pickle.UnpicklingError(f"unsupported persistent id kind {kind!r}")
+        array = self._cache.get(digest)
+        if array is None:
+            array = np.load(
+                self._store._blob_path(digest, _ARRAY_SUFFIX),
+                mmap_mode=self._mmap_mode,
+                allow_pickle=False,
+            )
+            self._cache[digest] = array
+        return array
+
+
+class ArtifactStore:
+    """Content-addressed blob store for fitted serving artifacts.
+
+    Layout::
+
+        <root>/
+          manifest.json              # endpoint entries (written separately)
+          blobs/<d[:2]>/<digest>.npy # one array, np.load/mmap-able directly
+          blobs/<d[:2]>/<digest>.pkl # one model's pickled state stream
+
+    The handle itself is just a path plus a threshold — it pickles in a
+    few dozen bytes, which is what lets :func:`score_fleet` broadcast it
+    to process-pool workers through ``Executor(shared=...)``.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        array_threshold_bytes: int = DEFAULT_ARRAY_THRESHOLD_BYTES,
+    ):
+        if array_threshold_bytes < 0:
+            raise DataValidationError(
+                f"array_threshold_bytes must be >= 0, got {array_threshold_bytes}"
+            )
+        self.root = Path(root)
+        self.array_threshold_bytes = array_threshold_bytes
+
+    @property
+    def blobs_dir(self) -> Path:
+        return self.root / "blobs"
+
+    def _blob_path(self, digest: str, suffix: str) -> Path:
+        return self.blobs_dir / digest[:2] / f"{digest}{suffix}"
+
+    def _put_blob(self, data: bytes, suffix: str) -> str:
+        digest = persistence.content_digest(data)
+        path = self._blob_path(digest, suffix)
+        if not path.exists():  # content-addressed: existing blob == same bytes
+            persistence.atomic_write_bytes(path, data)
+        return digest
+
+    def _put_array_blob(self, array: np.ndarray) -> str:
+        return self._put_blob(persistence.array_to_npy_bytes(array), _ARRAY_SUFFIX)
+
+    def has_blob(self, digest: str) -> bool:
+        return (
+            self._blob_path(digest, _ARRAY_SUFFIX).exists()
+            or self._blob_path(digest, _STATE_SUFFIX).exists()
+        )
+
+    def blob_count(self) -> int:
+        return sum(1 for _ in self._iter_blobs())
+
+    def total_blob_bytes(self) -> int:
+        """Physical on-disk bytes across all blobs (post-dedup)."""
+        return sum(path.stat().st_size for path in self._iter_blobs())
+
+    def _iter_blobs(self) -> Iterable[Path]:
+        if not self.blobs_dir.exists():
+            return
+        for fan in sorted(self.blobs_dir.iterdir()):
+            if fan.is_dir():
+                yield from sorted(fan.iterdir())
+
+    def put_model(self, model: object) -> ArtifactRecord:
+        """Store one fitted model, returning its content address.
+
+        Pickling an identical object graph is byte-deterministic, so
+        re-storing the same fitted model (or a second version sharing
+        it) rediscovers the same digests and writes nothing new.
+        """
+        buffer = io.BytesIO()
+        pickler = _ExternalizingPickler(buffer, self)
+        pickler.dump(model)
+        state = buffer.getvalue()
+        state_digest = self._put_blob(state, _STATE_SUFFIX)
+        return ArtifactRecord(
+            class_path=f"{type(model).__module__}.{type(model).__qualname__}",
+            state_digest=state_digest,
+            state_bytes=len(state),
+            array_digests=tuple(pickler.blobs),
+            array_bytes=sum(pickler.blobs.values()),
+        )
+
+    def load_model(
+        self,
+        record: ArtifactRecord,
+        mmap: bool = True,
+        expected_class: type | None = None,
+    ) -> object:
+        """Materialize a stored model.
+
+        With ``mmap=True`` (the default) every externalized array comes
+        back memory-mapped read-only: the heap cost is the pickled state
+        stream, and array pages fault in only when scoring touches them.
+        ``mmap=False`` loads fully resident arrays — the parity oracle
+        the bench gate compares against bitwise.
+        """
+        state_path = self._blob_path(record.state_digest, _STATE_SUFFIX)
+        if not state_path.exists():
+            raise DataValidationError(
+                f"missing state blob {record.state_digest} under {self.blobs_dir}"
+            )
+        with state_path.open("rb") as handle:
+            model = _HydratingUnpickler(handle, self, mmap=mmap).load()
+        actual = f"{type(model).__module__}.{type(model).__qualname__}"
+        if actual != record.class_path:
+            raise DataValidationError(
+                f"artifact class mismatch: record says {record.class_path}, "
+                f"payload is {actual}"
+            )
+        if expected_class is not None and not isinstance(model, expected_class):
+            raise DataValidationError(
+                f"expected a {expected_class.__name__}, loaded a {type(model).__name__}"
+            )
+        return model
+
+
+# ---------------------------------------------------------------------- #
+# Store manifest
+# ---------------------------------------------------------------------- #
+
+
+def write_store_manifest(
+    store_dir: str | Path, entries: Sequence[EndpointEntry]
+) -> Path:
+    """Atomically write the ``name@version`` → blob-digests manifest."""
+    payload = {
+        "manifest_version": _STORE_MANIFEST_VERSION,
+        "endpoints": [
+            {
+                "name": entry.name,
+                "version": entry.version,
+                "expected_score": entry.expected_score,
+                "has_validator": entry.has_validator,
+                "policy": asdict(entry.policy),
+                "predictor": entry.predictor_record.to_json(),
+                "validator": (
+                    entry.validator_record.to_json()
+                    if entry.validator_record is not None
+                    else None
+                ),
+            }
+            for entry in entries
+        ],
+    }
+    for entry in entries:
+        if entry.predictor_record is None:
+            raise DataValidationError(
+                f"entry {entry.key} has no predictor record; only store-backed "
+                "entries belong in a store manifest"
+            )
+    return persistence.atomic_write_bytes(
+        Path(store_dir) / STORE_MANIFEST_NAME,
+        (json.dumps(payload, indent=2) + "\n").encode("utf-8"),
+    )
+
+
+def read_store_manifest(store_dir: str | Path) -> list[EndpointEntry]:
+    """Read the manifest only — no blob is opened, nothing hydrates."""
+    manifest_path = Path(store_dir) / STORE_MANIFEST_NAME
+    if not manifest_path.exists():
+        raise DataValidationError(f"no artifact-store manifest at {manifest_path}")
+    payload = json.loads(manifest_path.read_text())
+    if payload.get("manifest_version") != _STORE_MANIFEST_VERSION:
+        raise DataValidationError(
+            f"unsupported store manifest version "
+            f"{payload.get('manifest_version')!r} at {manifest_path}"
+        )
+    entries = []
+    for raw in payload["endpoints"]:
+        entries.append(
+            EndpointEntry(
+                name=str(raw["name"]),
+                version=str(raw["version"]),
+                expected_score=float(raw["expected_score"]),
+                has_validator=bool(raw["has_validator"]),
+                policy=EndpointPolicy(**raw["policy"]),
+                predictor_record=ArtifactRecord.from_json(raw["predictor"]),
+                validator_record=(
+                    ArtifactRecord.from_json(raw["validator"])
+                    if raw.get("validator") is not None
+                    else None
+                ),
+            )
+        )
+    return entries
+
+
+# ---------------------------------------------------------------------- #
+# Byte-budget LRU
+# ---------------------------------------------------------------------- #
+
+
+class ByteBudgetLRU:
+    """LRU cache whose capacity is a byte budget, not an entry count.
+
+    Entries carry an explicit size (the summed ``nbytes`` of the hydrated
+    endpoint's arrays plus its state stream); inserting past the budget
+    evicts least-recently-used **unpinned** entries until the total fits.
+    Pinning marks an entry in active use (an endpoint mid-score): pinned
+    entries are never evicted, so a hot endpoint cannot be thrashed out
+    from under an in-flight batch. A single entry larger than the whole
+    budget is still admitted — refusing it would make the endpoint
+    unservable — and evicts everything else unpinned.
+
+    Thread-safe: the serving daemon scores from one worker thread per
+    endpoint, all sharing the registry's cache.
+    """
+
+    def __init__(self, capacity_bytes: int | None = None):
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise DataValidationError(
+                f"capacity_bytes must be >= 0 or None, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[str, tuple[Any, int]]" = OrderedDict()
+        self._pins: dict[str, int] = {}
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(size for _, size in self._entries.values())
+
+    def keys(self) -> list[str]:
+        """Keys from least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    def get(self, key: str) -> Any | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            return entry[0]
+
+    def put(self, key: str, value: Any, nbytes: int) -> list[tuple[str, Any]]:
+        """Insert (or refresh) an entry; returns the evicted pairs."""
+        if nbytes < 0:
+            raise DataValidationError(f"entry size must be >= 0, got {nbytes}")
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = (value, nbytes)
+            return self._trim(protect=key)
+
+    def _trim(self, protect: str | None = None) -> list[tuple[str, Any]]:
+        """Evict LRU unpinned entries until the budget fits. Lock held."""
+        evicted: list[tuple[str, Any]] = []
+        if self.capacity_bytes is None:
+            return evicted
+        total = sum(size for _, size in self._entries.values())
+        while total > self.capacity_bytes:
+            victim = next(
+                (
+                    key
+                    for key in self._entries
+                    if key != protect and self._pins.get(key, 0) == 0
+                ),
+                None,
+            )
+            if victim is None:
+                break  # everything else is pinned (or this entry is oversized)
+            value, size = self._entries.pop(victim)
+            total -= size
+            evicted.append((victim, value))
+        return evicted
+
+    def pin(self, key: str) -> bool:
+        """Protect an entry from eviction; False if it is not cached."""
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._pins[key] = self._pins.get(key, 0) + 1
+            return True
+
+    def unpin(self, key: str) -> list[tuple[str, Any]]:
+        """Release one pin; a now-evictable over-budget cache trims."""
+        with self._lock:
+            count = self._pins.get(key, 0)
+            if count <= 1:
+                self._pins.pop(key, None)
+            else:
+                self._pins[key] = count - 1
+            return self._trim()
+
+    def pinned(self, key: str) -> bool:
+        with self._lock:
+            return self._pins.get(key, 0) > 0
+
+    def evict(self, key: str) -> Any | None:
+        """Forcibly drop one entry (deregistration / reload removal).
+
+        Clears any pins: callers that removed the endpoint outrank the
+        scoring path, whose in-flight batch keeps its own reference and
+        finishes safely on the orphaned object.
+        """
+        with self._lock:
+            self._pins.pop(key, None)
+            entry = self._entries.pop(key, None)
+            return None if entry is None else entry[0]
+
+    def clear(self) -> list[tuple[str, Any]]:
+        with self._lock:
+            evicted = [(key, value) for key, (value, _) in self._entries.items()]
+            self._entries.clear()
+            self._pins.clear()
+            return evicted
+
+
+# ---------------------------------------------------------------------- #
+# Lazy registry
+# ---------------------------------------------------------------------- #
+
+
+class LazyModelRegistry(ModelRegistry):
+    """A registry whose endpoints live in an :class:`ArtifactStore`.
+
+    ``restore()`` reads only the JSON manifest — constant work however
+    large the fleet. ``get()`` hydrates an endpoint on first use (arrays
+    memory-mapped by default) and caches it in a :class:`ByteBudgetLRU`;
+    ``entries()`` / ``resolve()`` never hydrate. ``register()`` ingests
+    the endpoint's models into the store (free when the content already
+    exists) and rewrites the manifest, so the registry is durable by
+    construction.
+
+    Eviction listeners (:meth:`add_eviction_listener`) receive the
+    evicted ``name@version`` key; the :class:`~repro.serving.service.ValidationService`
+    uses this to drop its per-endpoint fused-kernel and resilient-scorer
+    caches, which would otherwise pin the evicted models in memory and
+    serve stale pre-sorted reference outputs after a re-hydration.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        cache_bytes: int | None = None,
+        mmap: bool = True,
+    ):
+        super().__init__()
+        self.store = store
+        self.mmap = mmap
+        self._cache = ByteBudgetLRU(cache_bytes)
+        self._records: dict[str, dict[str, EndpointEntry]] = {}
+        self._entry_stores: dict[str, ArtifactStore] = {}
+        self._listeners: list[Callable[[str], None]] = []
+        self._lock = threading.RLock()
+
+    # -------------------------- construction -------------------------- #
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str | Path,
+        *,
+        cache_bytes: int | None = None,
+        mmap: bool = True,
+        array_threshold_bytes: int = DEFAULT_ARRAY_THRESHOLD_BYTES,
+    ) -> "LazyModelRegistry":
+        """Open a store directory by reading its manifest only.
+
+        No model is unpickled and no array blob is opened until the
+        first ``get()`` of each endpoint — restoring a 1,000-endpoint
+        fleet costs one JSON parse.
+        """
+        store = ArtifactStore(directory, array_threshold_bytes=array_threshold_bytes)
+        registry = cls(store, cache_bytes=cache_bytes, mmap=mmap)
+        for entry in read_store_manifest(directory):
+            registry.register_entry(entry, write_manifest=False)
+        return registry
+
+    # --------------------------- registration ------------------------- #
+
+    def register(self, endpoint: Endpoint, replace_existing: bool = False) -> Endpoint:
+        """Ingest a materialized endpoint into the store and manifest."""
+        with self._lock:
+            versions = self._records.get(endpoint.name, {})
+            if endpoint.version in versions and not replace_existing:
+                raise DataValidationError(
+                    f"endpoint {endpoint.key} already registered; "
+                    "pass replace_existing=True to overwrite"
+                )
+            entry = self._ingest(endpoint)
+            self.register_entry(entry)
+            # The freshly registered endpoint is hot: seed the cache so
+            # the registering process's first score skips re-hydration.
+            self._notify(
+                self._cache.put(entry.key, endpoint, self._hydrated_nbytes(entry))
+            )
+        return endpoint
+
+    def register_entry(
+        self,
+        entry: EndpointEntry,
+        store: ArtifactStore | None = None,
+        write_manifest: bool = True,
+    ) -> EndpointEntry:
+        """Adopt a store-backed entry without hydrating anything.
+
+        ``store`` overrides the blob source for this entry (a config
+        reload may point at a different store directory). Replacing an
+        existing key evicts its cached hydration — the old models no
+        longer back the entry.
+        """
+        if entry.predictor_record is None:
+            raise DataValidationError(
+                f"entry {entry.key} has no predictor record; use register() "
+                "for materialized endpoints"
+            )
+        with self._lock:
+            versions = self._records.setdefault(entry.name, {})
+            replacing = entry.version in versions
+            versions.pop(entry.version, None)
+            versions[entry.version] = entry
+            if store is not None and store.root != self.store.root:
+                self._entry_stores[entry.key] = store
+            else:
+                self._entry_stores.pop(entry.key, None)
+            if replacing:
+                self.evict(entry.key)
+            if write_manifest:
+                self._write_manifest()
+        return entry
+
+    def _ingest(self, endpoint: Endpoint) -> EndpointEntry:
+        predictor_record = self.store.put_model(endpoint.predictor)
+        validator_record = (
+            self.store.put_model(endpoint.validator)
+            if endpoint.validator is not None
+            else None
+        )
+        return EndpointEntry(
+            name=endpoint.name,
+            version=endpoint.version,
+            expected_score=endpoint.expected_score,
+            has_validator=endpoint.validator is not None,
+            policy=endpoint.policy,
+            predictor_record=predictor_record,
+            validator_record=validator_record,
+        )
+
+    def _write_manifest(self) -> None:
+        write_store_manifest(self.store.root, self.entries())
+
+    def deregister(self, name: str, version: str | None = None) -> None:
+        with self._lock:
+            versions = self._records.get(name)
+            if not versions:
+                raise DataValidationError(f"no endpoint named {name!r}")
+            if version is None:
+                removed = list(versions)
+                del self._records[name]
+            else:
+                if version not in versions:
+                    raise DataValidationError(
+                        f"endpoint {name!r} has no version {version!r}"
+                    )
+                del versions[version]
+                removed = [version]
+                if not versions:
+                    del self._records[name]
+            for gone in removed:
+                self.evict(f"{name}@{gone}")
+                self._entry_stores.pop(f"{name}@{gone}", None)
+            self._write_manifest()
+
+    # ----------------------------- lookup ----------------------------- #
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(versions) for versions in self._records.values())
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._records
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._records)
+
+    def entries(self) -> list[EndpointEntry]:
+        with self._lock:
+            result: list[EndpointEntry] = []
+            for name in sorted(self._records):
+                result.extend(self._records[name].values())
+            return result
+
+    def resolve(self, name: str, version: str | None = None) -> EndpointEntry:
+        with self._lock:
+            versions = self._records.get(name)
+            if not versions:
+                raise DataValidationError(
+                    f"no endpoint named {name!r}; have {sorted(self._records)}"
+                )
+            if version is None:
+                return next(reversed(versions.values()))
+            if version not in versions:
+                raise DataValidationError(
+                    f"endpoint {name!r} has no version {version!r}; "
+                    f"have {sorted(versions)}"
+                )
+            return versions[version]
+
+    def endpoints(self) -> list[Endpoint]:
+        """Hydrate and return every endpoint (snapshot/debug use only —
+        this is exactly the eager restore the lazy registry avoids)."""
+        return [
+            self.get(entry.name, entry.version) for entry in self.entries()
+        ]
+
+    # ---------------------------- hydration --------------------------- #
+
+    def get(self, name: str, version: str | None = None) -> Endpoint:
+        with self._lock:
+            entry = self.resolve(name, version)
+            cached = self._cache.get(entry.key)
+            if cached is not None:
+                return cached
+            endpoint = self._hydrate(entry)
+            self._notify(
+                self._cache.put(entry.key, endpoint, self._hydrated_nbytes(entry))
+            )
+            return endpoint
+
+    def _hydrate(self, entry: EndpointEntry) -> Endpoint:
+        from repro.core.predictor import PerformancePredictor
+        from repro.core.validator import PerformanceValidator
+
+        store = self._entry_stores.get(entry.key, self.store)
+        predictor = store.load_model(
+            entry.predictor_record, mmap=self.mmap,
+            expected_class=PerformancePredictor,
+        )
+        validator = None
+        if entry.validator_record is not None:
+            validator = store.load_model(
+                entry.validator_record, mmap=self.mmap,
+                expected_class=PerformanceValidator,
+            )
+        return Endpoint(
+            name=entry.name,
+            version=entry.version,
+            predictor=predictor,
+            validator=validator,
+            policy=entry.policy,
+        )
+
+    @staticmethod
+    def _hydrated_nbytes(entry: EndpointEntry) -> int:
+        return entry.stored_bytes or 0
+
+    # ------------------------ cache management ------------------------ #
+
+    def add_eviction_listener(self, listener: Callable[[str], None]) -> None:
+        """Call ``listener(key)`` whenever a hydrated endpoint leaves the
+        cache (LRU pressure, replacement, explicit eviction)."""
+        self._listeners.append(listener)
+
+    def _notify(self, evicted: list[tuple[str, Any]]) -> None:
+        for key, _ in evicted:
+            for listener in self._listeners:
+                listener(key)
+
+    def evict(self, key: str) -> bool:
+        """Drop one hydrated endpoint from the cache (entry remains)."""
+        with self._lock:
+            dropped = self._cache.evict(key)
+            if dropped is None:
+                return False
+            self._notify([(key, dropped)])
+            return True
+
+    def evict_all(self) -> int:
+        with self._lock:
+            evicted = self._cache.clear()
+            self._notify(evicted)
+            return len(evicted)
+
+    @contextmanager
+    def pinned(self, key: str):
+        """Keep one hydrated endpoint un-evictable for the block.
+
+        The serving path wraps each score in this so cache pressure from
+        sibling endpoints cannot thrash the one mid-score (correctness
+        would survive — the scorer holds a reference — but the endpoint
+        would re-hydrate every batch and the byte accounting would
+        undercount live memory). A no-op when the key is not cached.
+        """
+        held = self._cache.pin(key)
+        try:
+            yield
+        finally:
+            if held:
+                self._notify(self._cache.unpin(key))
+
+    def hydrated_keys(self) -> list[str]:
+        """Cached endpoint keys, least- to most-recently used."""
+        return self._cache.keys()
+
+    def hydrated_bytes(self) -> int:
+        """Byte charge of everything currently hydrated."""
+        return self._cache.total_bytes
+
+    @property
+    def cache_capacity_bytes(self) -> int | None:
+        return self._cache.capacity_bytes
+
+
+# ---------------------------------------------------------------------- #
+# Sharded fleet scoring
+# ---------------------------------------------------------------------- #
+
+
+def shard_for(name: str, n_shards: int) -> int:
+    """Deterministic shard of an endpoint name (stable across runs,
+    processes and platforms — hash() is salted, so sha256 instead)."""
+    if n_shards < 1:
+        raise DataValidationError(f"n_shards must be >= 1, got {n_shards}")
+    digest = persistence.content_digest(name.encode("utf-8"))
+    return int(digest[:16], 16) % n_shards
+
+
+def _score_shard(
+    task: list[tuple[int, str, str | None]],
+    frames: Any,
+    shared: tuple[str, int | None, bool, str],
+) -> list[tuple[int, Any]]:
+    """Score one shard's batches in submission order (worker body)."""
+    store_dir, cache_bytes, mmap, kernel = shared
+    from repro.serving.service import ValidationService
+
+    registry = LazyModelRegistry.restore(
+        store_dir, cache_bytes=cache_bytes, mmap=mmap
+    )
+    service = ValidationService(registry, kernel=kernel)
+    out = []
+    for index, name, version in task:
+        out.append((index, service.score_now(name, frames[index], version=version)))
+    return out
+
+
+def _run_shard(item, shared):
+    task, frames = item
+    return _score_shard(task, frames, shared)
+
+
+def score_fleet(
+    store_dir: str | Path,
+    batches: Sequence[tuple[str, Any]],
+    *,
+    n_shards: int | None = None,
+    cache_bytes: int | None = None,
+    mmap: bool = True,
+    kernel: str = "fused",
+    n_jobs: int | None = 1,
+    backend: str = "auto",
+) -> list[Any]:
+    """Score ``(endpoint_name, frame)`` batches across registry shards.
+
+    Endpoints are partitioned over ``n_shards`` by :func:`shard_for`;
+    each shard restores its own lazy registry from the broadcast store
+    handle and scores its endpoints' batches **in submission order**.
+    Because every endpoint's whole stream lives in exactly one shard,
+    its monitor sees the same sequence whatever the parallelism — so the
+    returned :class:`~repro.serving.service.BatchResult` list (in input
+    order) is bit-identical at any ``n_jobs`` × backend × shard count.
+    """
+    from repro.parallel import resolve_n_jobs
+    from repro.parallel.executor import Executor
+
+    batches = list(batches)
+    if not batches:
+        return []
+    resolved_shards = (
+        n_shards if n_shards is not None else max(1, resolve_n_jobs(n_jobs))
+    )
+    tasks: list[list[tuple[int, str, str | None]]] = [
+        [] for _ in range(resolved_shards)
+    ]
+    frames: list[dict[int, Any]] = [{} for _ in range(resolved_shards)]
+    for index, (name, frame) in enumerate(batches):
+        shard = shard_for(name, resolved_shards)
+        tasks[shard].append((index, name, None))
+        frames[shard][index] = frame
+    items = [
+        (task, shard_frames)
+        for task, shard_frames in zip(tasks, frames)
+        if task
+    ]
+    shared = (str(store_dir), cache_bytes, mmap, kernel)
+    executor = Executor(n_jobs=n_jobs, backend=backend)
+    results: list[Any] = [None] * len(batches)
+    for chunk in executor.map(_run_shard, items, shared=shared):
+        for index, result in chunk:
+            results[index] = result
+    return results

@@ -198,6 +198,11 @@ class TestReload:
         daemon.start()
         try:
             frame = serving_frame.head(6)
+            # Score once so the fused kernel and scorer caches are warm
+            # for the endpoint about to be removed.
+            warmup = daemon.submit("income", frame)
+            assert warmup.wait(timeout=20.0)
+            assert "income@1" in daemon.service._kernels
             # Park a request behind the score lock, then drop the endpoint
             # from the config (replaced by another — the loader refuses an
             # empty endpoint list): the queued request must still be answered.
@@ -210,6 +215,11 @@ class TestReload:
                     daemon_block={"port": 0},
                 )
                 daemon.reload()
+                # No stale per-endpoint cache survives the removal: the
+                # fused kernel and resilient scorer built against the old
+                # hydration are dropped, not served to the next batch.
+                assert "income@1" not in daemon.service._kernels
+                assert "income@1" not in daemon.service._scorers
                 with pytest.raises(DaemonClosedError):
                     daemon.submit("income", frame)
             assert parked.wait(timeout=20.0)
@@ -260,6 +270,135 @@ class TestReload:
         assert statuses[0] == ("before", 404)
         assert statuses[1] == ("after", 200)
         assert report.clean
+
+
+@pytest.fixture
+def store_config_on_disk(tmp_path, daemon_predictor):
+    """A content-addressed store + registry config a daemon can serve from."""
+    import shutil
+
+    from repro.serving.registry import Endpoint, EndpointPolicy
+    from repro.serving.store import ArtifactStore, LazyModelRegistry
+
+    config_path = tmp_path / "serving.json"
+    store_dir = tmp_path / "store"
+
+    def write(names, daemon_block=None, cache_entries=None):
+        shutil.rmtree(store_dir, ignore_errors=True)
+        registry = LazyModelRegistry(ArtifactStore(store_dir))
+        for name in names:
+            registry.register(
+                Endpoint(
+                    name=name,
+                    version="1",
+                    predictor=daemon_predictor,
+                    policy=EndpointPolicy(interval_coverage=None),
+                )
+            )
+        registry_block = {"store_dir": "store"}
+        if cache_entries is not None:
+            per_endpoint = max(e.stored_bytes for e in registry.entries())
+            registry_block["cache_bytes"] = cache_entries * per_endpoint
+        payload = {"registry": registry_block}
+        if daemon_block is not None:
+            payload["daemon"] = daemon_block
+        config_path.write_text(json.dumps(payload))
+        return config_path
+
+    return config_path, write
+
+
+class TestStoreBackedDaemon:
+    def test_daemon_serves_lazily_and_drain_evicts(
+        self, store_config_on_disk, serving_frame
+    ):
+        from repro.serving.store import LazyModelRegistry
+
+        config_path, write = store_config_on_disk
+        write(
+            ["income", "fraud"],
+            daemon_block={"port": 0, "max_wait_seconds": 0.02},
+            cache_entries=2,
+        )
+        daemon = ServingDaemon.from_config(config_path, port=0)
+        registry = daemon.service.registry
+        assert isinstance(registry, LazyModelRegistry)
+        # Start-up reads the manifest only: nothing hydrates until traffic.
+        assert registry.hydrated_keys() == []
+        daemon.start()
+        try:
+            frame = serving_frame.head(6)
+            request = daemon.submit("income", frame)
+            assert request.wait(timeout=20.0) and request.error is None
+            assert registry.hydrated_keys() == ["income@1"]
+            health = daemon.health()
+            assert health["registry"]["endpoints"] == 2
+            assert health["registry"]["hydrated_endpoints"] == 1
+            assert health["registry"]["hydrated_bytes"] > 0
+            assert (
+                health["registry"]["cache_bytes"]
+                >= health["registry"]["hydrated_bytes"]
+            )
+        finally:
+            daemon.drain()
+        # Drain releases every hydration along with the queues.
+        assert registry.hydrated_keys() == []
+
+    def test_hydrated_set_respects_cache_budget_under_traffic(
+        self, store_config_on_disk, serving_frame
+    ):
+        config_path, write = store_config_on_disk
+        names = ["tenant-a", "tenant-b", "tenant-c"]
+        write(
+            names,
+            daemon_block={"port": 0, "max_wait_seconds": 0.02},
+            cache_entries=1,
+        )
+        daemon = ServingDaemon.from_config(config_path, port=0)
+        registry = daemon.service.registry
+        daemon.start()
+        try:
+            frame = serving_frame.head(6)
+            for name in names:
+                request = daemon.submit(name, frame)
+                assert request.wait(timeout=20.0) and request.error is None
+            health = daemon.health()
+            assert health["registry"]["hydrated_endpoints"] <= 1
+            assert (
+                health["registry"]["hydrated_bytes"]
+                <= health["registry"]["cache_bytes"]
+            )
+        finally:
+            daemon.drain()
+
+    def test_reload_adopts_entries_lazily_and_evicts_removed(
+        self, store_config_on_disk, serving_frame
+    ):
+        config_path, write = store_config_on_disk
+        write(["income"], daemon_block={"port": 0, "max_wait_seconds": 0.02})
+        daemon = ServingDaemon.from_config(config_path, port=0)
+        registry = daemon.service.registry
+        daemon.start()
+        try:
+            frame = serving_frame.head(6)
+            request = daemon.submit("income", frame)
+            assert request.wait(timeout=20.0) and request.error is None
+            assert registry.hydrated_keys() == ["income@1"]
+            assert "income@1" in daemon.service._kernels
+
+            write(["fraud"], daemon_block={"port": 0, "max_wait_seconds": 0.02})
+            daemon.reload()
+            # The removed endpoint's hydration and per-endpoint caches are
+            # gone; the adopted one stays cold until its first batch.
+            assert registry.hydrated_keys() == []
+            assert "income@1" not in daemon.service._kernels
+            assert "income@1" not in daemon.service._scorers
+
+            request = daemon.submit("fraud", frame)
+            assert request.wait(timeout=20.0) and request.error is None
+            assert registry.hydrated_keys() == ["fraud@1"]
+        finally:
+            daemon.drain()
 
 
 class TestFromConfig:

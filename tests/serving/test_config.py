@@ -385,3 +385,84 @@ class TestResilienceBlock:
             },
         )
         assert len(load_serving_config(path)) == 1
+
+
+class TestRegistryBlock:
+    def test_parse_defaults_and_overrides(self):
+        from repro.serving.config import RegistrySettings, parse_registry
+
+        assert parse_registry({}) == RegistrySettings()
+        settings = parse_registry(
+            {"store_dir": "store", "cache_bytes": 1024, "shards": 4, "mmap": False}
+        )
+        assert settings.store_dir == "store"
+        assert settings.cache_bytes == 1024
+        assert settings.shards == 4
+        assert settings.mmap is False
+
+    def test_unknown_keys_raise(self):
+        from repro.serving.config import parse_registry
+
+        with pytest.raises(DataValidationError, match="unknown registry keys"):
+            parse_registry({"stored_ir": "typo"})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"store_dir": ""},
+            {"cache_bytes": -1},
+            {"cache_bytes": "1MB"},
+            {"shards": 0},
+            {"mmap": "yes"},
+        ],
+    )
+    def test_invalid_values_raise(self, kwargs):
+        from repro.serving.config import RegistrySettings
+
+        with pytest.raises(DataValidationError):
+            RegistrySettings(**kwargs)
+
+    def test_store_dir_and_endpoints_are_mutually_exclusive(self, tmp_path):
+        path = write_config(
+            tmp_path / "serving.json",
+            {
+                "registry": {"store_dir": "store"},
+                "endpoints": [{"name": "a", "artifacts": "d"}],
+            },
+        )
+        with pytest.raises(DataValidationError, match="store_dir"):
+            load_serving_config(path)
+
+    def test_config_requires_endpoints_or_store_dir(self, tmp_path):
+        path = write_config(tmp_path / "serving.json", {})
+        with pytest.raises(DataValidationError, match="store_dir"):
+            load_serving_config(path)
+
+    def test_relative_store_dir_resolves_against_config_dir(self, tmp_path):
+        from repro.serving.config import (
+            load_registry_settings,
+            resolve_store_dir,
+        )
+
+        path = write_config(
+            tmp_path / "serving.json", {"registry": {"store_dir": "store"}}
+        )
+        settings = load_registry_settings(path)
+        assert resolve_store_dir(path, settings) == tmp_path / "store"
+
+    def test_registry_from_config_restores_lazy_registry(
+        self, make_endpoint, tmp_path
+    ):
+        from repro.serving.store import ArtifactStore, LazyModelRegistry
+
+        registry = LazyModelRegistry(ArtifactStore(tmp_path / "store"))
+        registry.register(make_endpoint(name="lazy-a"))
+        path = write_config(
+            tmp_path / "serving.json",
+            {"registry": {"store_dir": "store", "cache_bytes": 10**9}},
+        )
+        restored = registry_from_config(path)
+        assert isinstance(restored, LazyModelRegistry)
+        assert restored.hydrated_keys() == []  # config load hydrates nothing
+        assert [e.key for e in restored.entries()] == ["lazy-a@1"]
+        assert restored.cache_capacity_bytes == 10**9

@@ -133,6 +133,72 @@ class TestSnapshotRestore:
         with pytest.raises(DataValidationError):
             ModelRegistry.restore(tmp_path)
 
+    def test_crash_mid_snapshot_leaves_no_trace(
+        self, make_endpoint, tmp_path, monkeypatch
+    ):
+        """A crash while writing artifacts must leave neither a torn
+        target directory nor a staging directory behind."""
+        from repro import persistence
+        from repro.serving import registry as registry_module
+
+        registry = ModelRegistry()
+        registry.register(make_endpoint())
+
+        def boom(model, path):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(registry_module.persistence, "save_model", boom)
+        target = tmp_path / "snap"
+        with pytest.raises(OSError):
+            registry.snapshot(target)
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []  # no .tmp-* staging leftovers
+
+    def test_crash_mid_overwrite_preserves_previous_snapshot(
+        self, make_endpoint, income_splits, tmp_path, monkeypatch
+    ):
+        """Re-snapshotting over an existing directory is atomic: a crash
+        during staging leaves the previous snapshot fully restorable."""
+        from repro.serving import registry as registry_module
+
+        registry = ModelRegistry()
+        registry.register(make_endpoint(threshold=0.07))
+        target = tmp_path / "snap"
+        registry.snapshot(target)
+
+        registry.register(make_endpoint(name="second"))
+        calls = {"n": 0}
+        real_save = registry_module.persistence.save_model
+
+        def flaky(model, path):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise OSError("disk full")
+            return real_save(model, path)
+
+        monkeypatch.setattr(registry_module.persistence, "save_model", flaky)
+        with pytest.raises(OSError):
+            registry.snapshot(target)
+
+        restored = ModelRegistry.restore(target)
+        assert [e.key for e in restored.endpoints()] == ["income@1"]
+        assert restored.get("income").policy.threshold == 0.07
+        assert [p.name for p in tmp_path.iterdir()] == ["snap"]
+
+    def test_overwrite_snapshot_replaces_contents(self, make_endpoint, tmp_path):
+        registry = ModelRegistry()
+        registry.register(make_endpoint())
+        target = tmp_path / "snap"
+        registry.snapshot(target)
+
+        replacement = ModelRegistry()
+        replacement.register(make_endpoint(name="other"))
+        replacement.snapshot(target)
+
+        restored = ModelRegistry.restore(target)
+        assert [e.name for e in restored.endpoints()] == ["other"]
+        assert [p.name for p in tmp_path.iterdir()] == ["snap"]
+
 
 class TestEndpointFromArtifacts:
     def test_missing_predictor_raises(self, tmp_path):

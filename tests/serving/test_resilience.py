@@ -184,3 +184,35 @@ class TestMonitorContinuity:
         # trips the threshold-2 breaker, so batch 3 is shed while open.
         assert degraded == [2, 3]
         assert not any(r.alarm for r in results)
+
+
+class TestRehydrationStaleness:
+    def test_rehydration_rebuilds_scorer_but_keeps_breaker_history(
+        self, serving_predictor, income_splits, settings, tmp_path
+    ):
+        """Evicting and re-hydrating an endpoint must rebuild the
+        resilient scorer (its closures capture the old hydration's
+        models) while keeping the circuit breaker — failure history
+        belongs to the endpoint, not to one hydration of it."""
+        from repro.serving.registry import Endpoint
+        from repro.serving.store import ArtifactStore, LazyModelRegistry
+
+        registry = LazyModelRegistry(ArtifactStore(tmp_path / "store"))
+        registry.register(
+            Endpoint(name="income", version="1", predictor=serving_predictor)
+        )
+        service = make_service(registry, resilience=settings)
+        frame = income_splits.serving.head(100)
+
+        [before] = service.submit("income", frame)
+        _, old_scorer = service._scorers["income@1"]
+        old_breaker = service._breakers["income@1"]
+
+        registry.evict("income@1")
+        assert "income@1" not in service._scorers  # invalidated with eviction
+
+        [after] = service.submit("income", frame)
+        _, new_scorer = service._scorers["income@1"]
+        assert new_scorer is not old_scorer
+        assert service._breakers["income@1"] is old_breaker
+        assert after.estimated_score == before.estimated_score

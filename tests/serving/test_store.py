@@ -1,0 +1,413 @@
+"""Tests for the content-addressed store, lazy registry and fleet scoring."""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import persistence
+from repro.core.predictor import PerformancePredictor
+from repro.core.validator import PerformanceValidator
+from repro.errors.tabular_errors import GaussianOutliers, MissingValues
+from repro.exceptions import DataValidationError
+from repro.persistence import array_to_npy_bytes, content_digest
+from repro.serving.registry import EndpointPolicy
+from repro.serving.service import ValidationService
+from repro.serving.store import (
+    ArtifactStore,
+    ByteBudgetLRU,
+    LazyModelRegistry,
+    read_store_manifest,
+    score_fleet,
+    shard_for,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+@pytest.fixture
+def lazy_registry(tmp_path):
+    return LazyModelRegistry(ArtifactStore(tmp_path / "store"))
+
+
+@pytest.fixture(scope="module")
+def hist_artifacts(income_blackbox, income_splits):
+    """A second fitted pair on the histogram tree engine, for the
+    tree_method × kernel parity matrix."""
+    predictor = PerformancePredictor(
+        income_blackbox, [MissingValues(), GaussianOutliers()],
+        n_samples=12, random_state=0, tree_method="hist",
+    ).fit(income_splits.test, income_splits.y_test)
+    validator = PerformanceValidator(
+        income_blackbox, [MissingValues(), GaussianOutliers()],
+        threshold=0.05, n_samples=12, random_state=0, tree_method="hist",
+    ).fit(income_splits.test, income_splits.y_test)
+    return predictor, validator
+
+
+class TestBlobHelpers:
+    def test_npy_bytes_are_layout_canonical(self):
+        base = np.arange(12, dtype=np.float64).reshape(3, 4)
+        fortran = np.asfortranarray(base)
+        assert array_to_npy_bytes(base) == array_to_npy_bytes(fortran)
+        assert content_digest(array_to_npy_bytes(base)) == content_digest(
+            array_to_npy_bytes(fortran)
+        )
+
+    def test_object_arrays_rejected(self):
+        with pytest.raises(DataValidationError):
+            array_to_npy_bytes(np.array(["a", None], dtype=object))
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=True, allow_infinity=True, width=64),
+            min_size=1, max_size=40,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_numeric_npy_round_trip_bitwise(self, values):
+        """NaN-missing numerics survive the blob format bit-for-bit."""
+        import io
+
+        array = np.array(values, dtype=np.float64)
+        loaded = np.load(io.BytesIO(array_to_npy_bytes(array)), allow_pickle=False)
+        assert loaded.dtype == array.dtype
+        assert array_to_npy_bytes(loaded) == array_to_npy_bytes(array)
+
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.text(max_size=12)),
+            min_size=1, max_size=40,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_object_column_encode_decode_round_trip(self, values):
+        """The None-mask string encoding is lossless for object columns."""
+        column = np.array(values, dtype=object)
+        strings, missing = persistence._encode_object_column(column)
+        decoded = persistence._decode_object_column(strings, missing)
+        assert list(decoded) == list(column)
+
+
+class TestArtifactStore:
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_model_round_trip(self, store, serving_predictor, income_splits, mmap):
+        record = store.put_model(serving_predictor)
+        loaded = store.load_model(
+            record, mmap=mmap, expected_class=PerformancePredictor
+        )
+        frame = income_splits.test
+        assert loaded.predict(frame) == serving_predictor.predict(frame)
+
+    def test_mmap_round_trip_of_frame_arrays(self, store, small_frame):
+        """Object/string columns and NaN numerics survive externalized
+        storage: numeric columns become mmap-able blobs (threshold 0),
+        object columns stay in the pickle stream."""
+        store.array_threshold_bytes = 0
+        record = store.put_model(small_frame)
+        assert record.array_digests  # numeric columns were externalized
+        loaded = store.load_model(record, mmap=True)
+        assert loaded == small_frame
+        assert isinstance(loaded["age"], np.memmap)
+
+    def test_content_addressing_dedups_shared_models(
+        self, store, serving_predictor
+    ):
+        first = store.put_model(serving_predictor)
+        count_after_first = store.blob_count()
+        second = store.put_model(serving_predictor)
+        assert first == second
+        assert store.blob_count() == count_after_first
+
+    def test_load_checks_class(self, store, serving_predictor):
+        record = store.put_model(serving_predictor)
+        with pytest.raises(DataValidationError):
+            store.load_model(record, expected_class=PerformanceValidator)
+
+    def test_aliasing_survives_hydration(self, store):
+        shared = np.arange(4096, dtype=np.float64)
+        record = store.put_model({"a": shared, "b": shared})
+        loaded = store.load_model(record, mmap=True)
+        assert loaded["a"] is loaded["b"]
+
+
+class TestByteBudgetLRU:
+    def test_evicts_least_recently_used_past_budget(self):
+        cache = ByteBudgetLRU(100)
+        cache.put("a", "A", 40)
+        cache.put("b", "B", 40)
+        cache.get("a")  # refresh: b is now LRU
+        evicted = cache.put("c", "C", 40)
+        assert [key for key, _ in evicted] == ["b"]
+        assert cache.keys() == ["a", "c"]
+
+    def test_oversized_entry_is_admitted(self):
+        cache = ByteBudgetLRU(10)
+        cache.put("small", "s", 5)
+        evicted = cache.put("huge", "H", 50)
+        assert [key for key, _ in evicted] == ["small"]
+        assert cache.get("huge") == "H"
+
+    def test_pinned_entries_survive_pressure(self):
+        cache = ByteBudgetLRU(100)
+        cache.put("a", "A", 60)
+        assert cache.pin("a")
+        evicted = cache.put("b", "B", 60)
+        assert evicted == []  # a is pinned, b is the fresh insert
+        assert cache.get("a") == "A"  # refresh: b is now LRU
+        evicted = cache.unpin("a")  # over budget: trim now evicts the LRU
+        assert [key for key, _ in evicted] == ["b"]
+        assert cache.keys() == ["a"]
+
+    def test_evict_overrides_pins(self):
+        cache = ByteBudgetLRU(None)
+        cache.put("a", "A", 10)
+        cache.pin("a")
+        assert cache.evict("a") == "A"
+        assert not cache.pinned("a")
+        assert "a" not in cache
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = ByteBudgetLRU(None)
+        for i in range(20):
+            assert cache.put(str(i), i, 10**9) == []
+        assert len(cache) == 20
+
+
+class TestLazyModelRegistry:
+    def test_restore_reads_manifest_only(self, lazy_registry, make_endpoint):
+        lazy_registry.register(make_endpoint(name="a", with_validator=True))
+        lazy_registry.register(make_endpoint(name="b"))
+        restored = LazyModelRegistry.restore(lazy_registry.store.root)
+        assert [e.key for e in restored.entries()] == ["a@1", "b@1"]
+        assert restored.hydrated_keys() == []
+        assert restored.hydrated_bytes() == 0
+        entry = restored.resolve("a")
+        assert entry.has_validator and entry.stored_bytes > 0
+
+    def test_get_hydrates_and_caches(self, lazy_registry, make_endpoint):
+        lazy_registry.register(make_endpoint(name="a"))
+        restored = LazyModelRegistry.restore(lazy_registry.store.root)
+        endpoint = restored.get("a")
+        assert restored.hydrated_keys() == ["a@1"]
+        assert restored.get("a") is endpoint  # cached, not re-hydrated
+
+    def test_byte_budget_evicts_cold_endpoints(self, lazy_registry, make_endpoint):
+        for name in ("a", "b", "c"):
+            lazy_registry.register(make_endpoint(name=name))
+        per_endpoint = lazy_registry.resolve("a").stored_bytes
+        restored = LazyModelRegistry.restore(
+            lazy_registry.store.root, cache_bytes=2 * per_endpoint
+        )
+        for name in ("a", "b", "c"):
+            restored.get(name)
+        assert restored.hydrated_keys() == ["b@1", "c@1"]
+        assert restored.hydrated_bytes() <= 2 * per_endpoint
+
+    def test_pinned_endpoint_survives_cache_pressure(
+        self, lazy_registry, make_endpoint
+    ):
+        for name in ("a", "b", "c"):
+            lazy_registry.register(make_endpoint(name=name))
+        per_endpoint = lazy_registry.resolve("a").stored_bytes
+        restored = LazyModelRegistry.restore(
+            lazy_registry.store.root, cache_bytes=per_endpoint
+        )
+        restored.get("a")
+        with restored.pinned("a@1"):
+            restored.get("b")
+            restored.get("c")
+            assert "a@1" in restored.hydrated_keys()
+        # After unpin the over-budget cache trims back down.
+        assert restored.hydrated_bytes() <= per_endpoint
+
+    def test_eviction_notifies_listeners(self, lazy_registry, make_endpoint):
+        lazy_registry.register(make_endpoint(name="a"))
+        evicted = []
+        lazy_registry.add_eviction_listener(evicted.append)
+        lazy_registry.get("a")
+        assert lazy_registry.evict("a@1")
+        assert evicted == ["a@1"]
+        assert not lazy_registry.evict("a@1")  # already cold: no double fire
+        assert evicted == ["a@1"]
+
+    def test_replacing_entry_evicts_stale_hydration(
+        self, lazy_registry, make_endpoint
+    ):
+        lazy_registry.register(make_endpoint(name="a"))
+        old = lazy_registry.get("a")
+        lazy_registry.register(
+            make_endpoint(name="a", threshold=0.1), replace_existing=True
+        )
+        refreshed = lazy_registry.get("a")
+        assert refreshed is not old
+        assert refreshed.policy.threshold == 0.1
+
+    def test_deregister_updates_manifest(self, lazy_registry, make_endpoint):
+        lazy_registry.register(make_endpoint(name="a"))
+        lazy_registry.register(make_endpoint(name="b"))
+        lazy_registry.deregister("a")
+        assert [e.key for e in read_store_manifest(lazy_registry.store.root)] == [
+            "b@1"
+        ]
+
+    def test_duplicate_registration_raises_unless_replacing(
+        self, lazy_registry, make_endpoint
+    ):
+        lazy_registry.register(make_endpoint(name="a"))
+        with pytest.raises(DataValidationError):
+            lazy_registry.register(make_endpoint(name="a"))
+
+
+class TestHydrationParity:
+    @pytest.mark.parametrize("tree_method", ["exact", "hist"])
+    @pytest.mark.parametrize("kernel", ["fused", "reference"])
+    def test_mmap_scores_bitwise_identical_to_resident(
+        self,
+        tmp_path,
+        tree_method,
+        kernel,
+        serving_predictor,
+        serving_validator,
+        hist_artifacts,
+        income_splits,
+    ):
+        """The full tree_method × kernel matrix: a memory-mapped
+        hydration must be indistinguishable from a resident one."""
+        if tree_method == "exact":
+            predictor, validator = serving_predictor, serving_validator
+        else:
+            predictor, validator = hist_artifacts
+        from repro.serving.registry import Endpoint
+
+        registry = LazyModelRegistry(ArtifactStore(tmp_path / "store"))
+        registry.register(
+            Endpoint(
+                name="m", version="1", predictor=predictor, validator=validator
+            )
+        )
+        frame = income_splits.test.select_rows(np.arange(60))
+        results = {}
+        for mmap in (True, False):
+            restored = LazyModelRegistry.restore(registry.store.root, mmap=mmap)
+            service = ValidationService(restored, kernel=kernel)
+            results[mmap] = [service.score_now("m", frame) for _ in range(3)]
+        assert results[True] == results[False]
+
+
+class TestServiceIntegration:
+    def test_eviction_drops_fused_kernel_cache(
+        self, lazy_registry, make_endpoint, income_splits
+    ):
+        lazy_registry.register(make_endpoint(name="a", with_validator=True))
+        service = ValidationService(lazy_registry, kernel="fused")
+        frame = income_splits.test.select_rows(np.arange(40))
+        service.score_now("a", frame)
+        assert "a@1" in service._kernels
+        lazy_registry.evict("a@1")
+        assert "a@1" not in service._kernels
+        # Re-hydration rebuilds the kernel against the fresh models.
+        service.score_now("a", frame)
+        assert service._kernels["a@1"].predictor is lazy_registry.get("a").predictor
+
+    def test_concurrent_scoring_under_tiny_cache_is_deterministic(
+        self, lazy_registry, make_endpoint, income_splits
+    ):
+        names = ("a", "b", "c")
+        for name in names:
+            lazy_registry.register(make_endpoint(name=name))
+        per_endpoint = lazy_registry.resolve("a").stored_bytes
+        frame = income_splits.test.select_rows(np.arange(30))
+        rounds = 4
+
+        baseline_registry = LazyModelRegistry.restore(
+            lazy_registry.store.root, cache_bytes=per_endpoint
+        )
+        baseline = ValidationService(baseline_registry)
+        expected = {
+            name: [baseline.score_now(name, frame) for _ in range(rounds)]
+            for name in names
+        }
+
+        registry = LazyModelRegistry.restore(
+            lazy_registry.store.root, cache_bytes=per_endpoint
+        )
+        service = ValidationService(registry)
+        results = {name: [] for name in names}
+        errors = []
+
+        def worker(name):
+            try:
+                for _ in range(rounds):
+                    results[name].append(service.score_now(name, frame))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in names]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Constant eviction pressure (three tenants, one-endpoint budget)
+        # must not change a single scored bit.
+        assert results == expected
+
+
+class TestSharding:
+    def test_shard_for_is_stable_and_in_range(self):
+        assert shard_for("income", 4) == shard_for("income", 4)
+        for n_shards in (1, 2, 7):
+            for name in ("a", "b", "tenant-0042"):
+                assert 0 <= shard_for(name, n_shards) < n_shards
+        with pytest.raises(DataValidationError):
+            shard_for("a", 0)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_score_fleet_bit_identical_across_parallelism(
+        self, lazy_registry, make_endpoint, income_splits, backend, n_jobs
+    ):
+        for name in ("a", "b", "c"):
+            lazy_registry.register(make_endpoint(name=name))
+        frame = income_splits.test.select_rows(np.arange(30))
+        batches = [(name, frame) for name in ("a", "b", "c") for _ in range(2)]
+        store_dir = lazy_registry.store.root
+        serial = score_fleet(store_dir, batches, n_shards=2, n_jobs=1)
+        parallel = score_fleet(
+            store_dir, batches, n_shards=2, n_jobs=n_jobs, backend=backend
+        )
+        assert serial == parallel
+
+    def test_score_fleet_shard_count_does_not_change_results(
+        self, lazy_registry, make_endpoint, income_splits
+    ):
+        for name in ("a", "b"):
+            lazy_registry.register(make_endpoint(name=name))
+        frame = income_splits.test.select_rows(np.arange(30))
+        batches = [(name, frame) for name in ("a", "b") for _ in range(3)]
+        store_dir = lazy_registry.store.root
+        reference = score_fleet(store_dir, batches, n_shards=1, n_jobs=1)
+        for n_shards in (2, 5):
+            assert score_fleet(store_dir, batches, n_shards=n_shards, n_jobs=2) == reference
+
+    def test_score_fleet_empty_batches(self, lazy_registry):
+        assert score_fleet(lazy_registry.store.root, []) == []
+
+
+class TestManifest:
+    def test_manifest_round_trips_policy(self, lazy_registry, make_endpoint):
+        lazy_registry.register(
+            make_endpoint(name="a", threshold=0.07, micro_batch_size=64)
+        )
+        entry = read_store_manifest(lazy_registry.store.root)[0]
+        assert entry.policy == EndpointPolicy(threshold=0.07, micro_batch_size=64)
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            read_store_manifest(tmp_path)

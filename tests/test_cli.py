@@ -288,7 +288,7 @@ class TestBenchCommand:
         args = build_parser().parse_args(["bench", "--smoke"])
         assert args.n_jobs == 4
         assert args.smoke is True
-        assert args.out == "BENCH_PR7.json"
+        assert args.out == "BENCH_PR8.json"
 
     def test_smoke_bench_writes_report(self, tmp_path, capsys):
         out = tmp_path / "bench.json"
@@ -303,9 +303,12 @@ class TestBenchCommand:
         assert report["all_identical"] is True
         assert report["quality_parity"] is True
         assert report["profile"] == "smoke"
-        assert len(report["benchmarks"]) == 9
+        assert len(report["benchmarks"]) == 10
         assert report["fused_kernel_identical"] is True
         assert report["fused_kernel_not_slower"] is True
+        assert report["registry_fleet_identical"] is True
+        assert report["registry_fleet_memory_ok"] is True
         names = [bench["name"] for bench in report["benchmarks"]]
         assert "serving_score_fused_vs_reference" in names
         assert "daemon_throughput" in names
+        assert "registry_fleet" in names
