@@ -11,6 +11,7 @@ Exposes the library's end-to-end workflow without writing Python::
     python -m repro serve --config serving.json --port 8099
     python -m repro health --config serving.json
     python -m repro serve-batch --config serving.json --endpoint income --data income.npz
+    python -m repro replay --config serving.json --endpoint income --data income.npz
     python -m repro trace --trace-out spans.json train --data income.npz --out deployed/
 
 ``train`` persists three artifacts into the output directory: the fitted
@@ -601,6 +602,146 @@ def _run_serve_batch(args) -> int:
     return exit_code
 
 
+def _add_replay_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "replay",
+        help="replay drift scenarios through the serving stack and score detection",
+        description=(
+            "Plays declarative drift scenarios (gradual ramps, sudden label "
+            "shift, seasonal recurrence, adversarial escalation) through an "
+            "in-process ValidationService built from a serving config, or "
+            "against a live daemon via --url, and reports detection latency, "
+            "time-to-sustained-alarm and pre-onset false-alarm rate per "
+            "scenario. Deterministic per --seed at any --n-jobs/backend and "
+            "resumable bit-identically via --checkpoint."
+        ),
+    )
+    parser.add_argument(
+        "--scenario", default=None,
+        help="scenario JSON file (one scenario or {'scenarios': [...]})",
+    )
+    parser.add_argument(
+        "--families", default="gradual,sudden,seasonal,adversarial",
+        help="comma-separated builtin families when no --scenario file is given",
+    )
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--config", default=None,
+        help="serving config JSON (scores through an in-process service)",
+    )
+    target.add_argument(
+        "--url", default=None,
+        help="daemon base URL (scores through a live daemon)",
+    )
+    parser.add_argument("--endpoint", required=True, help="default endpoint name")
+    parser.add_argument("--data", required=True, help="dataset .npz from `generate`")
+    parser.add_argument("--batches", type=int, default=30, help="builtin suite length")
+    parser.add_argument("--batch-size", type=int, default=100)
+    parser.add_argument("--onset", type=int, default=10, help="builtin drift onset batch")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--checkpoint", default=None,
+        help="checkpoint path; re-running resumes bit-identically",
+    )
+    parser.add_argument("--checkpoint-every", type=int, default=8)
+    parser.add_argument(
+        "--expect-detection-within", type=int, default=None, metavar="N",
+        help="exit 3 unless every detectable scenario sustains an alarm "
+        "within N batches of its onset (seasonal is exempt)",
+    )
+    parser.add_argument(
+        "--expect-no-false-alarms", action="store_true",
+        help="exit 3 if any scenario alarms before its drift onset",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report instead of text",
+    )
+    _add_parallel_arguments(parser)
+    parser.set_defaults(handler=_run_replay)
+
+
+def _run_replay(args) -> int:
+    from repro.scenarios import (
+        ReplayHarness,
+        builtin_suite,
+        isolate_scenarios,
+        load_scenarios,
+    )
+
+    if args.scenario is not None:
+        scenarios = load_scenarios(args.scenario)
+    else:
+        families = [f.strip() for f in args.families.split(",") if f.strip()]
+        scenarios = builtin_suite(
+            n_batches=args.batches,
+            batch_size=args.batch_size,
+            onset=args.onset,
+            families=families,
+        )
+    dataset = persistence.load_dataset_file(args.data)
+    _, _, _, _, serving, y_serving = _split(dataset, args.seed)
+    if args.config is not None:
+        from repro.serving.config import (
+            load_kernel_setting,
+            load_resilience_settings,
+        )
+
+        service = ValidationService(
+            registry_from_config(args.config),
+            resilience=load_resilience_settings(args.config),
+            kernel=load_kernel_setting(args.config),
+        )
+        # One monitor per scenario: interleaved tenants sharing a
+        # monitor would reset each other's alarm streaks.
+        scenarios = isolate_scenarios(service, scenarios, args.endpoint)
+        harness = ReplayHarness(
+            serving, y_serving, service=service, endpoint=args.endpoint,
+            n_jobs=args.n_jobs, backend=args.parallel_backend,
+        )
+    else:
+        from repro.daemon import DaemonClient
+
+        harness = ReplayHarness(
+            serving, y_serving, client=DaemonClient(args.url),
+            endpoint=args.endpoint,
+            n_jobs=args.n_jobs, backend=args.parallel_backend,
+        )
+    report = harness.run(
+        scenarios,
+        seed=args.seed,
+        checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    failures = []
+    if args.expect_no_false_alarms:
+        failures.extend(
+            f"{m.scenario}: {m.false_alarms} false alarm(s) before onset"
+            for m in report.metrics
+            if m.false_alarms > 0
+        )
+    if args.expect_detection_within is not None:
+        for metric in report.metrics:
+            if metric.scenario == "seasonal" or metric.onset is None:
+                continue
+            if (
+                metric.sustained_latency is None
+                or metric.sustained_latency > args.expect_detection_within
+            ):
+                failures.append(
+                    f"{metric.scenario}: no sustained alarm within "
+                    f"{args.expect_detection_within} batches of onset "
+                    f"(got {metric.sustained_latency})"
+                )
+    for failure in failures:
+        print(f"expectation failed: {failure}", file=sys.stderr)
+    return 3 if failures else 0
+
+
 def _add_bench_command(subparsers) -> None:
     parser = subparsers.add_parser(
         "bench",
@@ -610,7 +751,13 @@ def _add_bench_command(subparsers) -> None:
         "--smoke", action="store_true",
         help="tiny workload for CI (default: the full reference workload)",
     )
-    parser.add_argument("--out", default="BENCH_PR8.json", help="report output path")
+    parser.add_argument("--out", default="BENCH_PR9.json", help="report output path")
+    parser.add_argument(
+        "--baseline", default=None,
+        help="committed bench report to diff detection latencies against "
+        "(the drift_replay workload is profile-independent, so a smoke "
+        "run is comparable to the committed full-profile report)",
+    )
     _add_parallel_arguments(parser)
     _add_trace_arguments(parser)
     parser.set_defaults(handler=_run_bench, n_jobs=4)
@@ -661,6 +808,27 @@ def _run_bench(args) -> int:
             file=sys.stderr,
         )
         failed = True
+    if not payload["drift_replay_identical"]:
+        print(
+            "error: drift replay diverged across parallelism or checkpoint "
+            "resume",
+            file=sys.stderr,
+        )
+        failed = True
+    if not payload["drift_replay_diversity_ok"]:
+        print(
+            "error: drift replay scenario-diversity gate failed (missing "
+            "family, pre-onset false alarms, or undetected drift)",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.baseline is not None:
+        from repro.perf.replay_bench import check_detection_regression
+
+        baseline = json.loads(Path(args.baseline).read_text())
+        for failure in check_detection_regression(payload, baseline):
+            print(f"error: detection regression: {failure}", file=sys.stderr)
+            failed = True
     return 2 if failed else 0
 
 
@@ -719,6 +887,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve_command(subparsers)
     _add_health_command(subparsers)
     _add_serve_batch_command(subparsers)
+    _add_replay_command(subparsers)
     _add_bench_command(subparsers)
     _add_trace_command(subparsers)
     return parser

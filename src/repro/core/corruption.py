@@ -152,8 +152,10 @@ class CorruptionSampler:
         produces a meta-dataset bit-identical to an uninterrupted run.
         The checkpoint is fingerprinted with the sampler configuration
         and the seed entropy, so a stale or mismatched file fails loudly
-        instead of silently mixing runs. On clean completion the
-        checkpoint file is removed.
+        instead of silently mixing runs. On clean completion a checkpoint
+        the sampler created from a bare path is removed; a caller-supplied
+        :class:`CheckpointStore` object is left intact — it belongs to the
+        caller, who may be reusing it across runs.
         """
         if n_samples < 1:
             raise DataValidationError(f"n_samples must be >= 1, got {n_samples}")
@@ -232,11 +234,12 @@ class CorruptionSampler:
             raise DataValidationError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
-        store = (
-            checkpoint
-            if isinstance(checkpoint, CheckpointStore)
-            else CheckpointStore(checkpoint)
-        )
+        # A store built here from a bare path is sampler-owned and cleaned
+        # up on completion; a CheckpointStore object handed in by the
+        # caller is caller-owned — clearing it would delete a file the
+        # caller may be reusing across runs.
+        owns_store = not isinstance(checkpoint, CheckpointStore)
+        store = CheckpointStore(checkpoint) if owns_store else checkpoint
         fingerprint = {
             "kind": "corruption-sample",
             "n_samples": len(episodes),
@@ -271,5 +274,6 @@ class CorruptionSampler:
                 for index, result in zip(chunk, chunk_results):
                     completed[index] = result
                 store.save(fingerprint, completed)
-        store.clear()
+        if owns_store:
+            store.clear()
         return [completed[i] for i in range(len(episodes))]

@@ -69,6 +69,65 @@ class ErrorGen(abc.ABC):
         corrupted = self.corrupt(frame, rng, **params)
         return corrupted, CorruptionReport(error_name=self.name, params=params)
 
+    def scaled_params(
+        self,
+        frame: DataFrame,
+        rng: np.random.Generator,
+        intensity: float,
+        columns: Sequence[str] | None = None,
+    ) -> dict[str, Any]:
+        """Magnitude parameters interpolated to a drift ``intensity``.
+
+        Where :meth:`sample_params` draws a *random* magnitude (the
+        paper's i.i.d. episode protocol), this maps a scheduled intensity
+        in ``[0, 1]`` onto the same parameter space monotonically:
+        ``0`` leaves the frame untouched, ``1`` is the generator's
+        maximum corruption. Drift scenarios (:mod:`repro.scenarios`)
+        call this per scheduled batch so a gradual ramp produces a
+        gradually worsening frame instead of an i.i.d. lottery.
+
+        The default interpolates the corruption ``fraction`` linearly
+        over every applicable column (stable targets keep consecutive
+        batches comparable); generators with extra magnitude knobs
+        override this and interpolate those too, always inside the
+        bounds :meth:`sample_params` draws from. ``rng`` is unused here
+        but part of the contract so subclasses may randomize tie-breaks.
+        """
+        if not 0.0 <= intensity <= 1.0:
+            raise CorruptionError(
+                f"{self.name}: intensity must be in [0, 1], got {intensity}"
+            )
+        if columns is not None:
+            targets = [c for c in columns if c in self.applicable_columns(frame)]
+            missing = [c for c in columns if c not in frame]
+            if missing:
+                raise CorruptionError(f"{self.name}: unknown columns {missing}")
+            if not targets:
+                raise CorruptionError(
+                    f"{self.name}: none of {list(columns)} is applicable"
+                )
+        else:
+            targets = self._resolve_columns(frame)
+        return {"columns": list(targets), "fraction": float(intensity)}
+
+    def corrupt_scaled(
+        self,
+        frame: DataFrame,
+        rng: np.random.Generator,
+        intensity: float,
+        columns: Sequence[str] | None = None,
+    ) -> tuple[DataFrame, CorruptionReport]:
+        """Apply the generator at a scheduled intensity (see
+        :meth:`scaled_params`). Intensity ``0`` returns the frame
+        untouched without consuming randomness."""
+        if intensity == 0.0:
+            return frame, CorruptionReport(
+                error_name=self.name, params={"fraction": 0.0, "columns": []}
+            )
+        params = self.scaled_params(frame, rng, intensity, columns=columns)
+        corrupted = self.corrupt(frame, rng, **params)
+        return corrupted, CorruptionReport(error_name=self.name, params=params)
+
     def _resolve_columns(self, frame: DataFrame) -> list[str]:
         applicable = self.applicable_columns(frame)
         if self.columns is not None:

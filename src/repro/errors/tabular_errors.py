@@ -73,6 +73,15 @@ class GaussianOutliers(ErrorGen):
         params["scale"] = float(rng.uniform(2.0, 5.0))
         return params
 
+    def scaled_params(
+        self, frame, rng, intensity, columns=None
+    ) -> dict[str, Any]:
+        # Interpolate the noise std inside the sample_params range (2-5x)
+        # so scheduled ramps stay comparable to training-time episodes.
+        params = super().scaled_params(frame, rng, intensity, columns=columns)
+        params["scale"] = 2.0 + 3.0 * float(intensity)
+        return params
+
     def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
         columns, fraction = params["columns"], params["fraction"]
         scale = params.get("scale", 3.0)
@@ -111,6 +120,19 @@ class SwappedValues(ErrorGen):
             raise CorruptionError("swapped_values needs at least two applicable columns")
         pair = list(rng.choice(targets, size=2, replace=False))
         return {"columns": pair, "fraction": float(rng.uniform(0.05, 1.0))}
+
+    def scaled_params(
+        self, frame, rng, intensity, columns=None
+    ) -> dict[str, Any]:
+        # A scheduled swap needs a *stable* column pair batch to batch, so
+        # take the first two applicable targets deterministically instead
+        # of sampling a random pair.
+        params = super().scaled_params(frame, rng, intensity, columns=columns)
+        targets = params["columns"]
+        if len(targets) < 2:
+            raise CorruptionError("swapped_values needs at least two applicable columns")
+        params["columns"] = targets[:2]
+        return params
 
     def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:
         columns, fraction = params["columns"], params["fraction"]
@@ -156,6 +178,15 @@ class Scaling(ErrorGen):
     def sample_params(self, frame: DataFrame, rng: np.random.Generator) -> dict[str, Any]:
         params = super().sample_params(frame, rng)
         params["factor"] = float(rng.choice([10.0, 100.0, 1000.0]))
+        return params
+
+    def scaled_params(
+        self, frame, rng, intensity, columns=None
+    ) -> dict[str, Any]:
+        # Log-interpolate the unit mix-up factor across the discrete
+        # sample_params choices: 10 at intensity 0, 1000 at intensity 1.
+        params = super().scaled_params(frame, rng, intensity, columns=columns)
+        params["factor"] = float(10.0 ** (1.0 + 2.0 * float(intensity)))
         return params
 
     def corrupt(self, frame: DataFrame, rng: np.random.Generator, **params: Any) -> DataFrame:

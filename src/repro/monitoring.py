@@ -21,7 +21,15 @@ from repro.tabular.frame import DataFrame
 
 @dataclass(frozen=True)
 class BatchRecord:
-    """One monitored serving batch."""
+    """One monitored serving batch.
+
+    ``degraded`` marks estimates produced by a fallback layer (see
+    :mod:`repro.resilience.fallback`) rather than the real predictor: a
+    predictor outage, not a statement about the data. Degraded records
+    never alarm and are excluded from the smoothing stream and the
+    sustained-alarm streak, so detection metrics measure drift, not
+    outages.
+    """
 
     batch_index: int
     n_rows: int
@@ -29,6 +37,14 @@ class BatchRecord:
     smoothed_score: float
     alarm: bool
     sustained_alarm: bool
+    degraded: bool = False
+
+    def __setstate__(self, state):
+        # Records pickled before the degraded field existed restore
+        # without it; default it so old snapshots keep loading.
+        state.setdefault("degraded", False)
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
 
 
 @dataclass
@@ -38,11 +54,32 @@ class MonitorState:
     ``total_batches`` counts every batch ever observed — unlike
     ``len(records)``, it keeps increasing after history trimming, so
     ``BatchRecord.batch_index`` stays unique over the monitor's lifetime.
+    ``total_alarms`` / ``total_sustained`` / ``total_degraded`` are the
+    matching lifetime counters for alarm decisions: ``records`` is a
+    *window* (trimmed to ``history``), so rates computed over it silently
+    forget everything the window dropped.
     """
 
     records: list[BatchRecord] = field(default_factory=list)
     consecutive_alarms: int = 0
     total_batches: int = 0
+    total_alarms: int = 0
+    total_sustained: int = 0
+    total_degraded: int = 0
+
+    def __setstate__(self, state):
+        # States pickled before the lifetime counters existed restore
+        # without them; backfill from the retained window — the best
+        # information an old snapshot still carries.
+        self.__dict__.update(state)
+        records = self.__dict__.get("records", [])
+        defaults = {
+            "total_alarms": sum(1 for r in records if r.alarm),
+            "total_sustained": sum(1 for r in records if r.sustained_alarm),
+            "total_degraded": sum(1 for r in records if r.degraded),
+        }
+        for name, value in defaults.items():
+            self.__dict__.setdefault(name, value)
 
 
 class BatchMonitor:
@@ -116,38 +153,61 @@ class BatchMonitor:
             raise DataValidationError("cannot monitor an empty batch")
         return self.observe_estimate(self.predictor.predict(batch), len(batch))
 
-    def observe_estimate(self, estimate: float, n_rows: int) -> BatchRecord:
+    def observe_estimate(
+        self, estimate: float, n_rows: int, degraded: bool = False
+    ) -> BatchRecord:
         """Record an externally computed score estimate.
 
         The serving layer computes ``predict_proba`` once per batch and
         derives estimate, interval and validation from it; this entry
         point lets the monitor join that single pass instead of
         re-scoring the batch itself.
+
+        ``degraded`` marks a fallback estimate (the predictor itself was
+        down — see :mod:`repro.resilience.fallback`). Degraded estimates
+        are recorded and counted, but they carry no information about the
+        serving *data*, so they leave the smoothed score and the
+        consecutive-alarm streak untouched and never alarm themselves —
+        otherwise a predictor outage would be indistinguishable from
+        drift in the detection metrics. A sustained alarm already raised
+        by real estimates stays raised through the outage.
         """
         if n_rows < 1:
             raise DataValidationError(f"n_rows must be >= 1, got {n_rows}")
-        if self._smoothed is None:
-            self._smoothed = estimate
+        if degraded:
+            alarm = False
+            self.state.total_degraded += 1
         else:
-            self._smoothed = (
-                self.smoothing * estimate + (1.0 - self.smoothing) * self._smoothed
-            )
-        alarm = estimate < self.alarm_floor
-        if alarm:
-            self.state.consecutive_alarms += 1
-        else:
-            self.state.consecutive_alarms = 0
+            if self._smoothed is None:
+                self._smoothed = estimate
+            else:
+                self._smoothed = (
+                    self.smoothing * estimate
+                    + (1.0 - self.smoothing) * self._smoothed
+                )
+            alarm = estimate < self.alarm_floor
+            if alarm:
+                self.state.consecutive_alarms += 1
+                self.state.total_alarms += 1
+            else:
+                self.state.consecutive_alarms = 0
         sustained = (
             self.state.consecutive_alarms >= self.patience
+            and self._smoothed is not None
             and self._smoothed < self.alarm_floor
         )
+        if sustained:
+            self.state.total_sustained += 1
         record = BatchRecord(
             batch_index=self.state.total_batches,
             n_rows=n_rows,
             estimated_score=float(estimate),
-            smoothed_score=float(self._smoothed),
+            smoothed_score=float(
+                estimate if self._smoothed is None else self._smoothed
+            ),
             alarm=alarm,
             sustained_alarm=sustained,
+            degraded=degraded,
         )
         self.state.records.append(record)
         self.state.total_batches += 1
@@ -166,7 +226,25 @@ class BatchMonitor:
         return self.state.records[-n:]
 
     def alarm_rate(self) -> float:
-        """Fraction of observed batches that alarmed (0 if none observed)."""
+        """Fraction of **all** observed batches that alarmed (0 if none).
+
+        Computed from the lifetime counters, not the trimmed ``records``
+        window — after ``history`` trimming a window average silently
+        forgets every older alarm. Degraded batches never alarm (they
+        measure an outage, not the data), so they dilute this rate; see
+        :meth:`windowed_alarm_rate` for the recent-window variant.
+        """
+        if self.state.total_batches == 0:
+            return 0.0
+        return self.state.total_alarms / self.state.total_batches
+
+    def windowed_alarm_rate(self) -> float:
+        """Fraction of the *retained* records window that alarmed.
+
+        The old (buggy) behaviour of :meth:`alarm_rate`, kept explicit:
+        useful as a recency signal once the monitor has outlived its
+        ``history`` budget, meaningless as a lifetime rate.
+        """
         if not self.state.records:
             return 0.0
         return float(np.mean([record.alarm for record in self.state.records]))

@@ -15,10 +15,13 @@ benchmark bursts the serving daemon over HTTP and reports coalescing
 throughput plus p50/p99 latency (see :mod:`repro.perf.daemon_bench`),
 and a fleet benchmark builds a 1,000-endpoint content-addressed store
 and gates lazy mmap hydration on bitwise parity and a capped-cache
-memory ceiling (see :mod:`repro.perf.registry_bench`). Everything lands
-in one JSON report; ``BENCH_PR8.json`` at the repo root is the
-committed reference run, and CI refreshes a smoke-profile copy per PR
-so the perf trajectory stays visible.
+memory ceiling (see :mod:`repro.perf.registry_bench`). A drift-replay
+benchmark plays the builtin drift-scenario suite through the serving
+stack with parity gates across parallelism and checkpoint resume plus
+per-scenario detection metrics (see :mod:`repro.perf.replay_bench`).
+Everything lands in one JSON report; ``BENCH_PR9.json`` at the repo
+root is the committed reference run, and CI refreshes a smoke-profile
+copy per PR so the perf trajectory stays visible.
 
 Parallel speedups are only interpretable next to the host's actual
 concurrency, so the report records ``effective_parallelism``
@@ -435,6 +438,7 @@ def run_benchmarks(
     blackbox, splits = _income_workload(sizes)
     from repro.perf.daemon_bench import bench_daemon_throughput
     from repro.perf.registry_bench import bench_registry_fleet
+    from repro.perf.replay_bench import bench_drift_replay
     from repro.perf.serving_bench import bench_serving_score
 
     benchmarks = [
@@ -448,13 +452,15 @@ def run_benchmarks(
         bench_serving_score(sizes),
         bench_daemon_throughput(sizes),
         bench_registry_fleet(sizes),
+        bench_drift_replay(sizes, n_jobs, backend),
     ]
     serving = next(
         b for b in benchmarks if b["name"] == "serving_score_fused_vs_reference"
     )
     fleet = next(b for b in benchmarks if b["name"] == "registry_fleet")
+    replay = next(b for b in benchmarks if b["name"] == "drift_replay")
     return {
-        "schema_version": 5,
+        "schema_version": 6,
         "profile": profile,
         "n_jobs": n_jobs,
         "backend": backend,
@@ -473,6 +479,8 @@ def run_benchmarks(
         ),
         "registry_fleet_identical": fleet["identical_results"],
         "registry_fleet_memory_ok": fleet["memory_ok"],
+        "drift_replay_identical": replay["identical_results"],
+        "drift_replay_diversity_ok": replay["scenario_diversity_ok"],
     }
 
 
@@ -511,6 +519,23 @@ def format_report(payload: dict[str, Any]) -> str:
                 f"fused {bench['fused_kernel_ms_per_batch']:>7.3f}ms/batch  "
                 f"speedup {bench['speedup'] or 0:>5.2f}x  "
                 f"p50 {p50 or 0:.2f}ms p99 {p99 or 0:.2f}ms  [{marker}]"
+            )
+        elif bench["name"] == "drift_replay":
+            marker = (
+                "ok "
+                if bench["identical_results"] and bench["scenario_diversity_ok"]
+                else "FAIL"
+            )
+            latencies = " ".join(
+                f"{name}:{entry['sustained_latency']}"
+                for name, entry in bench["scenarios"].items()
+            )
+            lines.append(
+                f"  {bench['name']:<24} "
+                f"{bench['batches_scored']} batches/"
+                f"{bench['n_scenarios']} scenarios  "
+                f"serial {bench['serial_seconds']:>7.3f}s  "
+                f"sustained {latencies}  [{marker}]"
             )
         elif "identical_results" in bench:
             marker = "ok " if bench["identical_results"] else "DIFF"

@@ -1,0 +1,230 @@
+"""Drift-scenario replay benchmark (``repro bench``).
+
+Plays the four builtin drift families (gradual / sudden / seasonal /
+adversarial — see :func:`repro.scenarios.builtin_suite`) through an
+in-process :class:`~repro.serving.service.ValidationService` three ways
+— serially, at the requested ``n_jobs``, and interrupted-then-resumed
+through a :class:`~repro.resilience.CheckpointStore` — and gates on the
+stream digests being **bit-identical** across all three. On top of the
+parity gate it reports the detection metrics the harness exists for
+(detection latency, time-to-sustained-alarm, pre-onset false-alarm rate
+per scenario) and a scenario-diversity gate: all four families must
+replay with zero pre-onset false alarms, and the three families the
+monitor is expected to catch (gradual, sudden, adversarial) must reach
+a sustained alarm.
+
+The workload is deliberately **profile-independent**: the same fixed
+splits, predictor, and scenario suite run under ``smoke`` and ``full``,
+so detection latencies are directly comparable between a CI smoke run
+and the committed reference report —
+:func:`check_detection_regression` diffs exactly those fields against
+``BENCH_PR9.json``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.core.blackbox import BlackBoxModel
+from repro.core.predictor import PerformancePredictor
+from repro.evaluation.harness import known_error_generators, prepare_splits
+from repro.ml.linear import SGDClassifier
+from repro.ml.pipeline import Pipeline, TabularEncoder
+from repro.scenarios import (
+    ReplayHarness,
+    ReplayReport,
+    builtin_suite,
+    isolate_scenarios,
+)
+from repro.serving.registry import Endpoint, EndpointPolicy, ModelRegistry
+from repro.serving.service import ValidationService
+
+#: Fixed workload knobs — identical in every profile so detection
+#: latencies can be regression-checked against the committed report.
+REPLAY_ROWS = 1500
+REPLAY_META_SAMPLES = 24
+REPLAY_BATCHES = 24
+REPLAY_BATCH_SIZE = 80
+REPLAY_ONSET = 8
+REPLAY_SEED = 7
+
+#: Families whose drift the monitor must catch (sustained alarm). The
+#: seasonal family recurs below the detection floor by design — it
+#: exercises the false-alarm side, not the latency side.
+DETECTABLE_FAMILIES = ("gradual", "sudden", "adversarial")
+
+
+def _replay_workload():
+    """One fitted endpoint and the builtin scenario suite (fixed sizes)."""
+    splits = prepare_splits("income", n_rows=REPLAY_ROWS, seed=0)
+    pipeline = Pipeline(TabularEncoder(), SGDClassifier(epochs=5, random_state=0))
+    pipeline.fit(splits.train, splits.y_train)
+    blackbox = BlackBoxModel.wrap(pipeline)
+    generators = list(known_error_generators("tabular").values())
+    predictor = PerformancePredictor(
+        blackbox, generators, n_samples=REPLAY_META_SAMPLES, random_state=0
+    ).fit(splits.test, splits.y_test)
+    suite = builtin_suite(
+        n_batches=REPLAY_BATCHES,
+        batch_size=REPLAY_BATCH_SIZE,
+        onset=REPLAY_ONSET,
+    )
+
+    def new_service() -> ValidationService:
+        registry = ModelRegistry()
+        registry.register(
+            Endpoint(
+                name="income",
+                version="1",
+                predictor=predictor,
+                validator=None,
+                policy=EndpointPolicy(threshold=0.05, smoothing=0.5, patience=2),
+            )
+        )
+        return ValidationService(registry)
+
+    return splits, suite, new_service
+
+
+def _run_replay(
+    splits, suite, new_service, n_jobs: int, backend: str, **run_kwargs
+) -> ReplayReport:
+    # Each scenario gets an aliased endpoint (its own monitor): the
+    # suite replays as four interleaved tenants, not one polluted
+    # stream, so the detection latencies below are per-scenario truths.
+    service = new_service()
+    isolated = isolate_scenarios(service, suite, "income")
+    harness = ReplayHarness(
+        splits.serving,
+        splits.y_serving,
+        service=service,
+        endpoint="income",
+        n_jobs=n_jobs,
+        backend=backend,
+    )
+    return harness.run(isolated, seed=REPLAY_SEED, **run_kwargs)
+
+
+def bench_drift_replay(
+    profile: dict[str, Any], n_jobs: int = 4, backend: str = "auto"
+) -> dict[str, Any]:
+    """Replay the builtin suite with parity and diversity gates."""
+    import time
+
+    splits, suite, new_service = _replay_workload()
+
+    start = time.perf_counter()
+    serial = _run_replay(splits, suite, new_service, 1, backend)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = _run_replay(splits, suite, new_service, n_jobs, backend)
+    parallel_seconds = time.perf_counter() - start
+
+    # Interrupt after half the plan, then resume from the checkpoint
+    # with a fresh service — the digest must not move.
+    total = sum(s.n_batches for s in suite)
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = Path(tmp) / "drift-replay"
+        _run_replay(
+            splits, suite, new_service, 1, backend,
+            checkpoint=checkpoint, checkpoint_every=8,
+            stop_after_steps=total // 2,
+        )
+        resumed = _run_replay(
+            splits, suite, new_service, 1, backend,
+            checkpoint=checkpoint, checkpoint_every=8,
+        )
+
+    digest = serial.digest()
+    parallel_identical = parallel.digest() == digest
+    resume_identical = resumed.digest() == digest and resumed.complete
+
+    scenarios = {}
+    for metric in serial.metrics:
+        scenarios[metric.scenario] = {
+            "onset": metric.onset,
+            "detection_latency": metric.detection_latency,
+            "sustained_latency": metric.sustained_latency,
+            "false_alarm_rate": metric.false_alarm_rate,
+            "pre_onset_batches": metric.pre_onset_batches,
+        }
+    diversity_ok = (
+        len(scenarios) >= 4
+        and all(
+            entry["false_alarm_rate"] == 0.0 for entry in scenarios.values()
+        )
+        and all(
+            scenarios[family]["sustained_latency"] is not None
+            for family in DETECTABLE_FAMILIES
+            if family in scenarios
+        )
+        and all(family in scenarios for family in DETECTABLE_FAMILIES)
+    )
+    return {
+        "name": "drift_replay",
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": (
+            round(serial_seconds / parallel_seconds, 3)
+            if parallel_seconds > 0
+            else None
+        ),
+        "n_scenarios": len(suite),
+        "batches_scored": len(serial.outcomes),
+        "digest": digest,
+        "identical_results": bool(parallel_identical and resume_identical),
+        "resume_identical": bool(resume_identical),
+        "scenario_diversity_ok": bool(diversity_ok),
+        "scenarios": scenarios,
+    }
+
+
+def check_detection_regression(
+    current: dict[str, Any], baseline: dict[str, Any]
+) -> list[str]:
+    """Detection-latency regressions of ``current`` vs a baseline report.
+
+    Both arguments are full bench payloads (the JSON written by
+    ``repro bench``). Returns human-readable failure strings — empty
+    means no regression. The replay workload is profile-independent, so
+    a smoke run is comparable against the committed full-profile
+    report. A latency is a regression when the baseline detected
+    (non-``None``) and the current run detects strictly later (or not
+    at all); a pre-onset false alarm appearing where the baseline had
+    none is also a regression.
+    """
+    failures: list[str] = []
+
+    def entry(payload: dict[str, Any]) -> dict[str, Any] | None:
+        for bench in payload.get("benchmarks", []):
+            if bench.get("name") == "drift_replay":
+                return bench
+        return None
+
+    now, then = entry(current), entry(baseline)
+    if now is None:
+        return ["current report has no drift_replay entry"]
+    if then is None:
+        return []  # baseline predates the replay bench: nothing to compare
+    for name, base in then.get("scenarios", {}).items():
+        cur = now.get("scenarios", {}).get(name)
+        if cur is None:
+            failures.append(f"scenario {name!r} missing from current run")
+            continue
+        for field in ("detection_latency", "sustained_latency"):
+            base_value, cur_value = base.get(field), cur.get(field)
+            if base_value is None:
+                continue
+            if cur_value is None or cur_value > base_value:
+                failures.append(
+                    f"{name}: {field} regressed from {base_value} to {cur_value}"
+                )
+        if base.get("false_alarm_rate") == 0.0 and cur.get("false_alarm_rate", 0.0) > 0.0:
+            failures.append(
+                f"{name}: false alarms appeared pre-onset "
+                f"(rate {cur.get('false_alarm_rate')})"
+            )
+    return failures

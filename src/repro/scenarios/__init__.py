@@ -1,0 +1,62 @@
+"""Drift scenarios: temporal schedules × error generators, plus replay.
+
+The deployment-facing half of the reproduction (ROADMAP item 5): where
+:mod:`repro.core.corruption` draws i.i.d. single-shot corruption
+episodes to *train* the performance predictor, this package generates
+*serving timelines* — gradual ramps, sudden label shift, seasonal
+recurrence, adversarial escalation, mixed-tenant traffic — and replays
+them through the serving stack to measure how fast the monitor detects
+real drift and how often it pages on clean traffic.
+"""
+
+from repro.scenarios.replay import (
+    ReplayHarness,
+    ReplayOutcome,
+    ReplayReport,
+    ScenarioMetrics,
+    isolate_scenarios,
+    scenario_metrics,
+)
+from repro.scenarios.scenario import (
+    ERROR_POOL,
+    LABEL_SHIFT,
+    DriftEvent,
+    Scenario,
+    ScheduledBatch,
+    builtin_suite,
+    load_scenarios,
+)
+from repro.scenarios.schedule import (
+    SCHEDULES,
+    AdversarialRampSchedule,
+    ConstantSchedule,
+    RampSchedule,
+    Schedule,
+    SeasonalSchedule,
+    StepSchedule,
+    schedule_from_dict,
+)
+
+__all__ = [
+    "ERROR_POOL",
+    "LABEL_SHIFT",
+    "SCHEDULES",
+    "AdversarialRampSchedule",
+    "ConstantSchedule",
+    "DriftEvent",
+    "RampSchedule",
+    "ReplayHarness",
+    "ReplayOutcome",
+    "ReplayReport",
+    "Scenario",
+    "ScenarioMetrics",
+    "ScheduledBatch",
+    "Schedule",
+    "SeasonalSchedule",
+    "StepSchedule",
+    "builtin_suite",
+    "isolate_scenarios",
+    "load_scenarios",
+    "scenario_metrics",
+    "schedule_from_dict",
+]

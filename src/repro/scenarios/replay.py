@@ -1,0 +1,546 @@
+"""Streaming replay: scheduled drift batches through the serving stack.
+
+:class:`ReplayHarness` plays one or more :class:`~repro.scenarios.scenario.Scenario`
+timelines through a scorer — either an in-process
+:class:`~repro.serving.service.ValidationService` (``score_now``) or a
+live daemon via :class:`~repro.daemon.client.DaemonClient` — and scores
+the *monitor*, not the model: per scenario it reports
+
+* **detection latency** — batches from drift onset to the first
+  (non-degraded) batch alarm,
+* **time to sustained alarm** — batches from onset to the first
+  sustained alarm (the paging signal),
+* **false-alarm rate** — alarming fraction of the pre-onset,
+  non-degraded batches (clean traffic must not page).
+
+Degraded batches (fallback estimates during a predictor outage) are
+excluded from all three, matching the monitor's accounting: an outage
+is not drift.
+
+Mixed-tenant traffic falls out of the suite structure: scenarios with
+different ``endpoint`` names replay *interleaved* at the same global
+clock, so heterogeneous per-endpoint drift shares the serving stack the
+way real tenants do.
+
+Replays are deterministic per seed at any ``n_jobs``/backend (each
+scheduled batch owns a spawned RNG) and resumable: with a
+``checkpoint``, scored outcomes persist every ``checkpoint_every``
+steps through the PR-5 :class:`~repro.resilience.CheckpointStore`, and
+a resumed run reconstructs monitor state by replaying the stored
+estimates — bit-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.exceptions import DaemonError, DataValidationError
+from repro.obs import current_tracer
+from repro.parallel import Executor, spawn_seeds
+from repro.resilience.checkpoint import CheckpointStore
+from repro.scenarios.scenario import (
+    Scenario,
+    ScheduledBatch,
+    _GenerationContext,
+    _build_batch,
+)
+from repro.tabular.frame import DataFrame
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """The monitor's verdict on one replayed batch."""
+
+    scenario: str
+    endpoint: str
+    global_step: int
+    step: int
+    n_rows: int
+    intensity: float
+    estimated_score: float
+    smoothed_score: float
+    alarm: bool
+    sustained_alarm: bool
+    degraded: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "endpoint": self.endpoint,
+            "global_step": self.global_step,
+            "step": self.step,
+            "n_rows": self.n_rows,
+            "intensity": self.intensity,
+            "estimated_score": self.estimated_score,
+            "smoothed_score": self.smoothed_score,
+            "alarm": self.alarm,
+            "sustained_alarm": self.sustained_alarm,
+            "degraded": self.degraded,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioMetrics:
+    """Detection quality of the monitor on one scenario timeline."""
+
+    scenario: str
+    n_batches: int
+    onset: int | None
+    detection_latency: int | None
+    sustained_latency: int | None
+    false_alarms: int
+    pre_onset_batches: int
+    false_alarm_rate: float
+    alarms: int
+    degraded_batches: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "n_batches": self.n_batches,
+            "onset": self.onset,
+            "detection_latency": self.detection_latency,
+            "sustained_latency": self.sustained_latency,
+            "false_alarms": self.false_alarms,
+            "pre_onset_batches": self.pre_onset_batches,
+            "false_alarm_rate": self.false_alarm_rate,
+            "alarms": self.alarms,
+            "degraded_batches": self.degraded_batches,
+        }
+
+    def describe(self) -> str:
+        detect = (
+            "never detected"
+            if self.detection_latency is None
+            else f"detected after {self.detection_latency} batch(es)"
+        )
+        sustained = (
+            "no sustained alarm"
+            if self.sustained_latency is None
+            else f"sustained after {self.sustained_latency}"
+        )
+        onset = "no onset" if self.onset is None else f"onset @{self.onset}"
+        return (
+            f"{self.scenario}: {onset}, {detect}, {sustained}, "
+            f"false-alarm rate {self.false_alarm_rate:.2f} "
+            f"({self.false_alarms}/{self.pre_onset_batches} pre-onset)"
+        )
+
+
+def scenario_metrics(
+    scenario: Scenario, outcomes: Sequence[ReplayOutcome]
+) -> ScenarioMetrics:
+    """Score one scenario's replayed outcomes (any order; sorted here)."""
+    ordered = sorted(
+        (o for o in outcomes if o.scenario == scenario.name),
+        key=lambda o: o.step,
+    )
+    onset = scenario.onset()
+    pre = [
+        o
+        for o in ordered
+        if not o.degraded and (onset is None or o.step < onset)
+    ]
+    false_alarms = sum(1 for o in pre if o.alarm)
+    detection = sustained = None
+    if onset is not None:
+        for o in ordered:
+            if o.step < onset or o.degraded:
+                continue
+            if detection is None and o.alarm:
+                detection = o.step - onset
+            if sustained is None and o.sustained_alarm:
+                sustained = o.step - onset
+            if detection is not None and sustained is not None:
+                break
+    return ScenarioMetrics(
+        scenario=scenario.name,
+        n_batches=len(ordered),
+        onset=onset,
+        detection_latency=detection,
+        sustained_latency=sustained,
+        false_alarms=false_alarms,
+        pre_onset_batches=len(pre),
+        false_alarm_rate=false_alarms / len(pre) if pre else 0.0,
+        alarms=sum(1 for o in ordered if o.alarm and not o.degraded),
+        degraded_batches=sum(1 for o in ordered if o.degraded),
+    )
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Everything one replay run produced."""
+
+    outcomes: tuple[ReplayOutcome, ...]
+    metrics: tuple[ScenarioMetrics, ...]
+    complete: bool
+
+    def metric(self, scenario: str) -> ScenarioMetrics:
+        for entry in self.metrics:
+            if entry.scenario == scenario:
+                return entry
+        raise DataValidationError(f"no metrics for scenario {scenario!r}")
+
+    def digest(self) -> str:
+        """Content hash of the scored stream (exact floats included).
+
+        Two replays of the same scenarios and seed must produce the same
+        digest regardless of ``n_jobs``, backend, or checkpoint resume —
+        the ``drift_replay`` bench gates on exactly this.
+        """
+        blob = json.dumps(
+            [o.to_dict() for o in sorted(self.outcomes, key=lambda o: o.global_step)],
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "complete": self.complete,
+            "n_scored": len(self.outcomes),
+            "digest": self.digest(),
+            "scenarios": {m.scenario: m.to_dict() for m in self.metrics},
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"Replay: {len(self.outcomes)} batch(es) across "
+            f"{len(self.metrics)} scenario(s)"
+            + ("" if self.complete else " [PARTIAL]")
+        ]
+        lines.extend(f"  {m.describe()}" for m in self.metrics)
+        return "\n".join(lines)
+
+
+class ReplayHarness:
+    """Plays drift scenarios through a scorer and scores the monitor.
+
+    Parameters
+    ----------
+    frame / labels:
+        The source pool scenario batches are resampled from (typically
+        the held-out serving split — never the predictor's training
+        data).
+    service / client:
+        Exactly one scoring target: an in-process
+        :class:`~repro.serving.service.ValidationService` (batches go
+        through ``score_now``) or a :class:`~repro.daemon.client.DaemonClient`
+        talking to a live daemon.
+    endpoint:
+        Default endpoint for scenarios that don't pin one.
+    n_jobs / backend:
+        Parallelism for *batch generation* (corruption is the heavy
+        part); scoring is inherently sequential because monitors are
+        stateful. Results are bit-identical for every setting.
+    """
+
+    def __init__(
+        self,
+        frame: DataFrame,
+        labels: np.ndarray,
+        service=None,
+        client=None,
+        endpoint: str | None = None,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
+    ):
+        if (service is None) == (client is None):
+            raise DataValidationError(
+                "provide exactly one of service= or client="
+            )
+        self.frame = frame
+        self.labels = np.asarray(labels)
+        self.service = service
+        self.client = client
+        self.endpoint = endpoint
+        self.n_jobs = n_jobs
+        self.backend = backend
+
+    @property
+    def mode(self) -> str:
+        return "service" if self.service is not None else "daemon"
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        scenarios: Scenario | Sequence[Scenario],
+        seed: int | np.random.SeedSequence | np.random.Generator = 0,
+        checkpoint: CheckpointStore | str | Path | None = None,
+        checkpoint_every: int = 8,
+        stop_after_steps: int | None = None,
+    ) -> ReplayReport:
+        """Replay scenarios interleaved on one global clock.
+
+        With multiple scenarios, batch ``t`` of every scenario plays
+        before batch ``t + 1`` of any (mixed-tenant round-robin). With
+        ``checkpoint``, scored outcomes persist every
+        ``checkpoint_every`` steps; a resumed run loads them, rebuilds
+        monitor state in service mode by replaying the stored estimates
+        (pass a *freshly constructed* service — daemon monitors live in
+        the daemon process and need no rebuild), and continues
+        bit-identically. ``stop_after_steps`` scores at most that many
+        *new* batches then returns a partial report (the
+        interrupt-and-resume path the parity bench exercises). As in
+        :class:`~repro.core.corruption.CorruptionSampler`, a checkpoint
+        built here from a bare path is removed on completion; a
+        caller-supplied :class:`CheckpointStore` is left intact.
+        """
+        if isinstance(scenarios, Scenario):
+            scenarios = [scenarios]
+        scenarios = list(scenarios)
+        if not scenarios:
+            raise DataValidationError("need at least one scenario")
+        names = [s.name for s in scenarios]
+        if len(set(names)) != len(names):
+            raise DataValidationError(f"duplicate scenario names in {names}")
+        for scenario in scenarios:
+            if scenario.endpoint is None and self.endpoint is None:
+                raise DataValidationError(
+                    f"scenario {scenario.name!r} has no endpoint and the "
+                    "harness has no default endpoint"
+                )
+        if checkpoint_every < 1:
+            raise DataValidationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+
+        roots = spawn_seeds(seed, len(scenarios))
+        plan = self._plan(scenarios)
+        fingerprint = {
+            "kind": "drift-replay",
+            "mode": self.mode,
+            "endpoint": self.endpoint,
+            "rows": len(self.frame),
+            "scenarios": [s.to_dict() for s in scenarios],
+            "seed_entropy": int(roots[0].entropy) if roots else 0,
+        }
+        owns_store = checkpoint is not None and not isinstance(
+            checkpoint, CheckpointStore
+        )
+        store = (
+            None
+            if checkpoint is None
+            else (CheckpointStore(checkpoint) if owns_store else checkpoint)
+        )
+        completed: dict[int, ReplayOutcome] = (
+            store.load(fingerprint) if store is not None else {}
+        )
+        if completed and self.mode == "service":
+            self._rebuild_monitors(scenarios, completed)
+
+        pending = [task for task in plan if task[0] not in completed]
+        if stop_after_steps is not None:
+            pending = pending[: max(0, stop_after_steps)]
+
+        executor = Executor(n_jobs=self.n_jobs, backend=self.backend)
+        tracer = current_tracer()
+        with tracer.span(
+            "scenarios.replay",
+            scenarios=len(scenarios),
+            batches=len(plan),
+            resumed=len(completed),
+            pending=len(pending),
+        ):
+            since_save = 0
+            for start in range(0, len(pending), checkpoint_every):
+                chunk = pending[start : start + checkpoint_every]
+                batches = self._generate_chunk(scenarios, roots, chunk, executor)
+                for (global_step, index, _), batch in zip(chunk, batches):
+                    completed[global_step] = self._score_batch(
+                        scenarios[index], global_step, batch
+                    )
+                    since_save += 1
+                if store is not None and since_save > 0:
+                    store.save(fingerprint, completed)
+                    since_save = 0
+
+        complete = len(completed) == len(plan)
+        if complete and store is not None and owns_store:
+            store.clear()
+        outcomes = tuple(
+            completed[global_step]
+            for global_step, _, _ in plan
+            if global_step in completed
+        )
+        metrics = tuple(
+            scenario_metrics(scenario, outcomes) for scenario in scenarios
+        )
+        return ReplayReport(outcomes=outcomes, metrics=metrics, complete=complete)
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _plan(scenarios: list[Scenario]) -> list[tuple[int, int, int]]:
+        """Global round-robin order: (global_step, scenario_index, step)."""
+        plan: list[tuple[int, int, int]] = []
+        longest = max(s.n_batches for s in scenarios)
+        for step in range(longest):
+            for index, scenario in enumerate(scenarios):
+                if step < scenario.n_batches:
+                    plan.append((len(plan), index, step))
+        return plan
+
+    def _generate_chunk(
+        self,
+        scenarios: list[Scenario],
+        roots: list[np.random.SeedSequence],
+        chunk: list[tuple[int, int, int]],
+        executor: Executor,
+    ) -> list[ScheduledBatch]:
+        """Corrupt the chunk's batches in parallel, in plan order.
+
+        Seeds come from each scenario's root spawned afresh per call
+        (``generate_batches`` re-roots the same way), so chunk
+        boundaries — and therefore resume points — cannot shift batch
+        content.
+        """
+        seeds_by_scenario: dict[int, list[np.random.SeedSequence]] = {}
+        tasks = []
+        seeds = []
+        for _, index, step in chunk:
+            if index not in seeds_by_scenario:
+                root = roots[index]
+                fresh = np.random.SeedSequence(
+                    entropy=root.entropy, spawn_key=root.spawn_key
+                )
+                seeds_by_scenario[index] = spawn_seeds(
+                    fresh, scenarios[index].n_batches
+                )
+            tasks.append((index, step))
+            seeds.append(seeds_by_scenario[index][step])
+        contexts = {
+            index: _GenerationContext(
+                scenario=scenarios[index], frame=self.frame, labels=self.labels
+            )
+            for index in {index for index, _ in tasks}
+        }
+        return executor.map(
+            _build_chunk_batch,
+            tasks,
+            seeds=seeds,
+            shared=contexts,
+        )
+
+    def _score_batch(
+        self, scenario: Scenario, global_step: int, batch: ScheduledBatch
+    ) -> ReplayOutcome:
+        endpoint = scenario.endpoint or self.endpoint
+        if self.service is not None:
+            result = self.service.score_now(endpoint, batch.frame)
+            return ReplayOutcome(
+                scenario=scenario.name,
+                endpoint=endpoint,
+                global_step=global_step,
+                step=batch.step,
+                n_rows=len(batch.frame),
+                intensity=batch.intensity,
+                estimated_score=result.estimated_score,
+                smoothed_score=result.smoothed_score,
+                alarm=result.alarm,
+                sustained_alarm=result.sustained_alarm,
+                degraded=result.degraded,
+            )
+        response = self.client.score(endpoint, batch.frame)
+        if not response.ok:
+            raise DaemonError(
+                f"daemon answered {response.status} for scenario "
+                f"{scenario.name!r} step {batch.step}: {response.payload}"
+            )
+        payload = response.payload
+        return ReplayOutcome(
+            scenario=scenario.name,
+            endpoint=endpoint,
+            global_step=global_step,
+            step=batch.step,
+            n_rows=len(batch.frame),
+            intensity=batch.intensity,
+            estimated_score=float(payload["estimated_score"]),
+            smoothed_score=float(payload["smoothed_score"]),
+            alarm=bool(payload["alarm"]),
+            sustained_alarm=bool(payload["sustained_alarm"]),
+            degraded=bool(payload.get("degraded", False)),
+        )
+
+    def _rebuild_monitors(
+        self, scenarios: list[Scenario], completed: dict[int, ReplayOutcome]
+    ) -> None:
+        """Replay checkpointed estimates into fresh service monitors.
+
+        Monitor state is a deterministic function of the estimate
+        stream (smoothing, streaks, counters), so feeding the stored
+        floats back in global order reconstructs it bit-identically —
+        without re-scoring a single batch.
+        """
+        by_key: dict[str, Scenario] = {s.name: s for s in scenarios}
+        for global_step in sorted(completed):
+            outcome = completed[global_step]
+            scenario = by_key[outcome.scenario]
+            endpoint = scenario.endpoint or self.endpoint
+            monitor = self.service.monitor(endpoint)
+            monitor.observe_estimate(
+                outcome.estimated_score,
+                outcome.n_rows,
+                degraded=outcome.degraded,
+            )
+
+
+def _build_chunk_batch(
+    task: tuple[int, int],
+    rng: np.random.Generator,
+    contexts: dict[int, _GenerationContext],
+) -> ScheduledBatch:
+    index, step = task
+    return _build_batch(step, rng, contexts[index])
+
+
+def isolate_scenarios(
+    service,
+    scenarios: Sequence[Scenario],
+    endpoint: str,
+    version: str | None = None,
+) -> list[Scenario]:
+    """Give every scenario its own monitor by aliasing one endpoint.
+
+    Scenarios replayed interleaved against the *same* endpoint share
+    one :class:`~repro.monitoring.BatchMonitor`: each tenant's clean
+    batches reset the others' alarm streaks and every tenant's
+    estimates pollute the shared smoothed score, so per-scenario
+    detection latencies become meaningless. This registers the base
+    endpoint's fitted artifacts under ``<endpoint>-<scenario>`` aliases
+    (same predictor and policy objects — registration is cheap) and
+    pins each scenario without an explicit endpoint to its alias.
+    Scenarios that already name an endpoint are left alone.
+
+    Service mode only: a daemon's registry cannot be mutated from the
+    client side — give daemon scenarios distinct endpoints in the
+    serving config instead.
+    """
+    from dataclasses import replace
+
+    from repro.serving.registry import Endpoint
+
+    base = service.registry.get(endpoint, version)
+    isolated: list[Scenario] = []
+    for scenario in scenarios:
+        if scenario.endpoint is not None:
+            isolated.append(scenario)
+            continue
+        alias = f"{endpoint}-{scenario.name}"
+        service.registry.register(
+            Endpoint(
+                name=alias,
+                version=base.version,
+                predictor=base.predictor,
+                validator=base.validator,
+                policy=base.policy,
+            )
+        )
+        isolated.append(replace(scenario, endpoint=alias))
+    return isolated

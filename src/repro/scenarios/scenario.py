@@ -1,0 +1,485 @@
+"""Declarative drift scenarios: schedules × error generators.
+
+A :class:`Scenario` describes one endpoint's serving traffic over time:
+``n_batches`` batches of ``batch_size`` rows resampled from a source
+pool, with a set of :class:`DriftEvent`s layered on top. Each event
+pairs an error generator (by registry name) with a
+:class:`~repro.scenarios.schedule.Schedule` that sets the corruption
+intensity per batch; the special ``"label_shift"`` event changes the
+*sampling* instead, interpolating the class priors of the drawn rows
+(the paper's §6 shift family that corrupts no cell values at all).
+
+Scenario generation is embarrassingly parallel and bit-identical at any
+``n_jobs``/backend: every scheduled batch gets its own RNG spawned from
+the root seed (:func:`repro.parallel.spawn_seeds`), so batch ``t`` is
+the same whether it is built in-process, by a thread pool, or by a
+process pool — and whether or not the run was resumed from a
+checkpoint.
+
+Scenarios are data. ``to_dict`` / :func:`scenario_from_dict` round-trip
+through JSON, :func:`load_scenarios` reads scenario files for the
+``repro replay`` CLI, and :func:`builtin_suite` provides the four named
+drift families (gradual / sudden / seasonal / adversarial) plus a
+mixed-tenant pairing used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors.base import ErrorGen
+from repro.errors.tabular_errors import (
+    EncodingErrors,
+    GaussianOutliers,
+    MissingValues,
+    Scaling,
+    SignFlip,
+    Smearing,
+    SwappedValues,
+    Typos,
+)
+from repro.exceptions import DataValidationError
+from repro.parallel import pmap, spawn_seeds
+from repro.scenarios.schedule import (
+    AdversarialRampSchedule,
+    RampSchedule,
+    Schedule,
+    SeasonalSchedule,
+    StepSchedule,
+    schedule_from_dict,
+)
+from repro.tabular.frame import DataFrame
+
+#: Error generators addressable by name from scenario files. The key is
+#: the generator's ``name`` attribute; ``label_shift`` is handled by the
+#: sampler, not a generator.
+ERROR_POOL: dict[str, type[ErrorGen]] = {
+    cls.name: cls
+    for cls in (
+        MissingValues,
+        GaussianOutliers,
+        SwappedValues,
+        Scaling,
+        EncodingErrors,
+        Typos,
+        Smearing,
+        SignFlip,
+    )
+}
+
+LABEL_SHIFT = "label_shift"
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One drift process: an error family under a temporal schedule.
+
+    ``error`` names an :data:`ERROR_POOL` generator or ``"label_shift"``.
+    ``columns`` optionally pins the generator to specific columns (so a
+    ramp degrades the *same* features batch after batch). ``params``
+    carries event-specific extras — for ``label_shift``:
+    ``target_class`` (default: the rarest class in the source labels)
+    and ``target_prior`` (default 0.9), the class prior reached at
+    intensity 1.
+    """
+
+    error: str
+    schedule: Schedule
+    columns: tuple[str, ...] | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.error != LABEL_SHIFT and self.error not in ERROR_POOL:
+            raise DataValidationError(
+                f"unknown error {self.error!r}; valid: "
+                f"{sorted(ERROR_POOL) + [LABEL_SHIFT]}"
+            )
+        if self.columns is not None:
+            object.__setattr__(self, "columns", tuple(self.columns))
+
+    def generator(self) -> ErrorGen | None:
+        """The configured generator (``None`` for label shift)."""
+        if self.error == LABEL_SHIFT:
+            return None
+        columns = list(self.columns) if self.columns is not None else None
+        return ERROR_POOL[self.error](columns=columns)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "error": self.error,
+            "schedule": self.schedule.to_dict(),
+            "columns": None if self.columns is None else list(self.columns),
+            "params": dict(self.params),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict[str, Any]) -> "DriftEvent":
+        if not isinstance(payload, dict) or "error" not in payload:
+            raise DataValidationError(
+                f"drift event payload must be a dict with 'error', got {payload!r}"
+            )
+        return DriftEvent(
+            error=payload["error"],
+            schedule=schedule_from_dict(payload.get("schedule", {})),
+            columns=payload.get("columns"),
+            params=dict(payload.get("params", {})),
+        )
+
+
+@dataclass(frozen=True)
+class ScheduledBatch:
+    """One generated serving batch of a scenario timeline."""
+
+    step: int
+    frame: DataFrame
+    intensities: dict[str, float]
+
+    @property
+    def intensity(self) -> float:
+        """The strongest event intensity acting on this batch."""
+        return max(self.intensities.values(), default=0.0)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named drift timeline for one endpoint's serving traffic."""
+
+    name: str
+    n_batches: int
+    batch_size: int
+    events: tuple[DriftEvent, ...]
+    endpoint: str | None = None
+
+    def __post_init__(self):
+        if self.n_batches < 1:
+            raise DataValidationError(
+                f"n_batches must be >= 1, got {self.n_batches}"
+            )
+        if self.batch_size < 1:
+            raise DataValidationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if not self.events:
+            raise DataValidationError("a scenario needs at least one event")
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def intensities(self, t: int) -> dict[str, float]:
+        """Per-event intensity at batch ``t`` (event name → intensity)."""
+        values: dict[str, float] = {}
+        for index, event in enumerate(self.events):
+            key = event.error if event.error not in values else f"{event.error}#{index}"
+            values[key] = event.schedule.intensity(t)
+        return values
+
+    def onset(self) -> int | None:
+        """First batch where any event is active (``None`` = never)."""
+        onsets = [
+            onset
+            for onset in (
+                event.schedule.onset(self.n_batches) for event in self.events
+            )
+            if onset is not None
+        ]
+        return min(onsets) if onsets else None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "n_batches": self.n_batches,
+            "batch_size": self.batch_size,
+            "endpoint": self.endpoint,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict[str, Any]) -> "Scenario":
+        if not isinstance(payload, dict):
+            raise DataValidationError(
+                f"scenario payload must be a dict, got {payload!r}"
+            )
+        missing = {"name", "n_batches", "batch_size", "events"} - set(payload)
+        if missing:
+            raise DataValidationError(
+                f"scenario payload is missing {sorted(missing)}"
+            )
+        return Scenario(
+            name=str(payload["name"]),
+            n_batches=int(payload["n_batches"]),
+            batch_size=int(payload["batch_size"]),
+            events=tuple(
+                DriftEvent.from_dict(event) for event in payload["events"]
+            ),
+            endpoint=payload.get("endpoint"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Batch generation
+    # ------------------------------------------------------------------ #
+
+    def generate_batches(
+        self,
+        frame: DataFrame,
+        labels: np.ndarray,
+        seed: int | np.random.SeedSequence | np.random.Generator,
+        steps: Sequence[int] | None = None,
+        n_jobs: int | None = 1,
+        backend: str = "auto",
+    ) -> list[ScheduledBatch]:
+        """Materialize the scenario's scheduled batches from a source pool.
+
+        Every batch ``t`` draws from its own RNG —
+        ``spawn_seeds(seed, n_batches)[t]`` — so the result is
+        bit-identical at any ``n_jobs``/backend and for any subset of
+        ``steps`` (a resumed run regenerating only the remaining steps
+        produces exactly the batches the interrupted run would have).
+        """
+        if len(frame) != len(labels):
+            raise DataValidationError(
+                f"frame has {len(frame)} rows but labels has {len(labels)}"
+            )
+        for event in self.events:
+            # Fail fast on bad label-shift params instead of surfacing
+            # them as a wrapped worker error mid-generation.
+            if event.error == LABEL_SHIFT:
+                _resolve_shift(event, np.asarray(labels))
+        # Re-root a SeedSequence before spawning: SeedSequence.spawn
+        # advances an internal counter, so repeated chunked calls with
+        # the same object would otherwise derive different batch seeds.
+        if isinstance(seed, np.random.SeedSequence):
+            seed = np.random.SeedSequence(
+                entropy=seed.entropy, spawn_key=seed.spawn_key
+            )
+        seeds = spawn_seeds(seed, self.n_batches)
+        wanted = list(range(self.n_batches)) if steps is None else list(steps)
+        for step in wanted:
+            if not 0 <= step < self.n_batches:
+                raise DataValidationError(
+                    f"step {step} outside [0, {self.n_batches})"
+                )
+        context = _GenerationContext(
+            scenario=self, frame=frame, labels=np.asarray(labels)
+        )
+        return pmap(
+            _build_batch,
+            wanted,
+            n_jobs=n_jobs,
+            seeds=[seeds[step] for step in wanted],
+            backend=backend,
+            shared=context,
+        )
+
+
+@dataclass(frozen=True)
+class _GenerationContext:
+    """Read-only state shared by every batch task of one generate call."""
+
+    scenario: Scenario
+    frame: DataFrame
+    labels: np.ndarray
+
+
+def _build_batch(
+    step: int, rng: np.random.Generator, context: _GenerationContext
+) -> ScheduledBatch:
+    """Build one scheduled batch with its private RNG.
+
+    RNG call order is fixed (sampling, then events in scenario order)
+    so the batch is a pure function of ``(scenario, source, step seed)``.
+    """
+    scenario = context.scenario
+    intensities = scenario.intensities(step)
+    batch = _sample_rows(scenario, step, context, rng)
+    for event in scenario.events:
+        if event.error == LABEL_SHIFT:
+            continue
+        intensity = event.schedule.intensity(step)
+        if intensity <= 0.0:
+            continue
+        generator = event.generator()
+        batch, _ = generator.corrupt_scaled(
+            batch, rng, intensity, columns=event.columns
+        )
+    return ScheduledBatch(step=step, frame=batch, intensities=intensities)
+
+
+def _sample_rows(
+    scenario: Scenario,
+    step: int,
+    context: _GenerationContext,
+    rng: np.random.Generator,
+) -> DataFrame:
+    """Draw the batch's rows, honouring an active label-shift event."""
+    shift = next(
+        (event for event in scenario.events if event.error == LABEL_SHIFT), None
+    )
+    n = scenario.batch_size
+    if shift is None or shift.schedule.intensity(step) <= 0.0:
+        indices = rng.choice(len(context.frame), size=n, replace=True)
+        return context.frame.select_rows(indices)
+
+    intensity = shift.schedule.intensity(step)
+    labels = context.labels
+    target, target_prior = _resolve_shift(shift, labels)
+    target_mask = labels == np.asarray(target, dtype=labels.dtype)
+    natural = float(np.mean(target_mask))
+    prior = (1.0 - intensity) * natural + intensity * target_prior
+    # Deterministic split (round, not a binomial draw) keeps the realized
+    # prior monotone in the schedule instead of an extra noise source.
+    n_target = int(round(prior * n))
+    n_target = min(max(n_target, 0), n)
+    target_pool = np.nonzero(target_mask)[0]
+    other_pool = np.nonzero(~target_mask)[0]
+    chosen = np.concatenate(
+        [
+            rng.choice(target_pool, size=n_target, replace=True),
+            rng.choice(other_pool, size=n - n_target, replace=True),
+        ]
+    )
+    return context.frame.select_rows(rng.permutation(chosen))
+
+
+def _resolve_shift(shift: DriftEvent, labels: np.ndarray):
+    """Validate a label-shift event against the pool's labels.
+
+    Returns ``(target_class, target_prior)``; raises on an absent target
+    class, an out-of-range prior, or a single-class pool.
+    """
+    classes, counts = np.unique(labels, return_counts=True)
+    if len(classes) < 2:
+        raise DataValidationError("label_shift needs at least two classes")
+    target = shift.params.get("target_class")
+    if target is None:
+        target = classes[int(np.argmin(counts))]
+    else:
+        matches = np.nonzero(classes == np.asarray(target, dtype=classes.dtype))[0]
+        if matches.size == 0:
+            raise DataValidationError(
+                f"target_class {target!r} not present in labels"
+            )
+    target_prior = float(shift.params.get("target_prior", 0.9))
+    if not 0.0 <= target_prior <= 1.0:
+        raise DataValidationError(
+            f"target_prior must be in [0, 1], got {target_prior}"
+        )
+    return target, target_prior
+
+
+# ---------------------------------------------------------------------- #
+# Scenario files and builtin families
+# ---------------------------------------------------------------------- #
+
+
+def load_scenarios(path: str | Path) -> list[Scenario]:
+    """Read a scenario file: one scenario object or ``{"scenarios": [...]}``."""
+    raw = Path(path).read_text(encoding="utf-8")
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise DataValidationError(f"{path} is not valid JSON: {error}") from error
+    if isinstance(payload, dict) and "scenarios" in payload:
+        entries = payload["scenarios"]
+        if not isinstance(entries, list) or not entries:
+            raise DataValidationError(f"{path}: 'scenarios' must be a non-empty list")
+    elif isinstance(payload, list):
+        entries = payload
+    else:
+        entries = [payload]
+    return [Scenario.from_dict(entry) for entry in entries]
+
+
+def builtin_suite(
+    n_batches: int = 30,
+    batch_size: int = 100,
+    onset: int = 10,
+    endpoint: str | None = None,
+    families: Sequence[str] | None = None,
+) -> list[Scenario]:
+    """The four named drift families over a common timeline.
+
+    ``gradual`` — covariate shift ramping linearly (outliers);
+    ``sudden`` — label shift stepping to a skewed prior at ``onset``;
+    ``seasonal`` — missing values recurring with period ``onset``;
+    ``adversarial`` — scaling corruption escalating geometrically from a
+    sub-detection intensity. ``families`` selects a subset by name.
+    """
+    duration = max(1, (n_batches - onset) // 2)
+    suite = {
+        "gradual": Scenario(
+            name="gradual",
+            n_batches=n_batches,
+            batch_size=batch_size,
+            endpoint=endpoint,
+            events=(
+                DriftEvent(
+                    error="outliers",
+                    schedule=_ramp(onset, duration),
+                ),
+            ),
+        ),
+        "sudden": Scenario(
+            name="sudden",
+            n_batches=n_batches,
+            batch_size=batch_size,
+            endpoint=endpoint,
+            events=(
+                DriftEvent(
+                    error=LABEL_SHIFT,
+                    schedule=_step(onset),
+                    params={"target_prior": 0.95},
+                ),
+            ),
+        ),
+        "seasonal": Scenario(
+            name="seasonal",
+            n_batches=n_batches,
+            batch_size=batch_size,
+            endpoint=endpoint,
+            events=(
+                DriftEvent(
+                    error="missing_values",
+                    schedule=_seasonal(max(2, onset), phase=onset),
+                ),
+            ),
+        ),
+        "adversarial": Scenario(
+            name="adversarial",
+            n_batches=n_batches,
+            batch_size=batch_size,
+            endpoint=endpoint,
+            events=(
+                DriftEvent(
+                    error="scaling",
+                    schedule=_adversarial(onset),
+                ),
+            ),
+        ),
+    }
+    if families is None:
+        return list(suite.values())
+    unknown = [f for f in families if f not in suite]
+    if unknown:
+        raise DataValidationError(
+            f"unknown scenario families {unknown}; valid: {sorted(suite)}"
+        )
+    return [suite[f] for f in families]
+
+
+def _ramp(onset: int, duration: int) -> Schedule:
+    return RampSchedule(onset=onset, duration=duration, peak=1.0, shape="linear")
+
+
+def _step(onset: int) -> Schedule:
+    return StepSchedule(onset=onset, level=1.0)
+
+
+def _seasonal(period: int, phase: int) -> Schedule:
+    return SeasonalSchedule(period=period, amplitude=1.0, phase=phase)
+
+
+def _adversarial(onset: int) -> Schedule:
+    return AdversarialRampSchedule(onset=onset, initial=0.05, growth=1.6, cap=1.0)

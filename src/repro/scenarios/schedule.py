@@ -1,0 +1,294 @@
+"""Temporal intensity schedules for drift scenarios.
+
+A :class:`Schedule` maps a batch index ``t`` (0, 1, 2, ...) to a drift
+*intensity* in ``[0, 1]`` — the knob that
+:meth:`repro.errors.base.ErrorGen.scaled_params` interpolates into
+corruption magnitudes. Composing schedules with error generators gives
+the drift families ROADMAP item 5 asks for:
+
+* :class:`ConstantSchedule` — a flat level (including 0: clean traffic).
+* :class:`RampSchedule` — gradual drift: 0 until ``onset``, then a
+  linear or cosine rise to ``peak`` over ``duration`` batches.
+* :class:`StepSchedule` — sudden drift: a jump to ``level`` at ``onset``.
+* :class:`SeasonalSchedule` — recurring drift: a raised-cosine wave with
+  period ``period``, exactly periodic in ``t``.
+* :class:`AdversarialRampSchedule` — an attacker probing the monitor:
+  geometric escalation from a sub-detection ``initial`` intensity,
+  multiplying by ``growth`` each batch until ``cap``.
+
+Schedules are plain data: ``to_dict`` / :func:`schedule_from_dict` give
+a loss-free JSON round-trip so scenarios can live in files and travel
+through checkpoints and fingerprints.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Any
+
+from repro.exceptions import DataValidationError
+
+
+class Schedule(abc.ABC):
+    """Deterministic map from batch index to drift intensity in [0, 1]."""
+
+    kind: str = "schedule"
+
+    @abc.abstractmethod
+    def intensity(self, t: int) -> float:
+        """Drift intensity at batch ``t`` (always within [0, 1])."""
+
+    @abc.abstractmethod
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (must include ``kind``)."""
+
+    def onset(self, n_batches: int) -> int | None:
+        """First batch in ``range(n_batches)`` with non-zero intensity."""
+        for t in range(n_batches):
+            if self.intensity(t) > 0.0:
+                return t
+        return None
+
+    def __call__(self, t: int) -> float:
+        return self.intensity(t)
+
+    def __eq__(self, other: object) -> bool:
+        # Schedules are plain data: two are equal iff they serialize the
+        # same, which makes DriftEvent/Scenario round-trips comparable.
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.to_dict().items())))
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{k}={v!r}" for k, v in self.to_dict().items() if k != "kind"
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+def _check_unit(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise DataValidationError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def _check_nonneg_int(name: str, value: int) -> int:
+    value = int(value)
+    if value < 0:
+        raise DataValidationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+class ConstantSchedule(Schedule):
+    """A flat intensity for every batch (0 models clean traffic)."""
+
+    kind = "constant"
+
+    def __init__(self, level: float = 0.0):
+        self.level = _check_unit("level", level)
+
+    def intensity(self, t: int) -> float:
+        return self.level
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "level": self.level}
+
+
+class RampSchedule(Schedule):
+    """Gradual drift: rise from 0 to ``peak`` over ``duration`` batches.
+
+    Intensity is 0 for ``t < onset``, interpolates over
+    ``[onset, onset + duration)`` (linearly, or along a smooth raised
+    cosine with ``shape="cosine"``), and holds at ``peak`` afterwards.
+    A ``duration`` of 0 degenerates to a step.
+    """
+
+    kind = "ramp"
+
+    def __init__(
+        self,
+        onset: int,
+        duration: int,
+        peak: float = 1.0,
+        shape: str = "linear",
+    ):
+        if shape not in ("linear", "cosine"):
+            raise DataValidationError(
+                f"shape must be 'linear' or 'cosine', got {shape!r}"
+            )
+        self.onset_batch = _check_nonneg_int("onset", onset)
+        self.duration = _check_nonneg_int("duration", duration)
+        self.peak = _check_unit("peak", peak)
+        self.shape = shape
+
+    def intensity(self, t: int) -> float:
+        if t < self.onset_batch:
+            return 0.0
+        if self.duration == 0 or t >= self.onset_batch + self.duration:
+            return self.peak
+        progress = (t - self.onset_batch + 1) / self.duration
+        if self.shape == "cosine":
+            progress = 0.5 * (1.0 - math.cos(math.pi * progress))
+        return self.peak * progress
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "onset": self.onset_batch,
+            "duration": self.duration,
+            "peak": self.peak,
+            "shape": self.shape,
+        }
+
+
+class StepSchedule(Schedule):
+    """Sudden drift: 0 before ``onset``, a constant ``level`` from it on.
+
+    An optional ``end`` turns the step into a rectangular pulse
+    (intensity returns to 0 at ``end``), modelling a transient incident.
+    """
+
+    kind = "step"
+
+    def __init__(self, onset: int, level: float = 1.0, end: int | None = None):
+        self.onset_batch = _check_nonneg_int("onset", onset)
+        self.level = _check_unit("level", level)
+        if end is not None:
+            end = _check_nonneg_int("end", end)
+            if end <= self.onset_batch:
+                raise DataValidationError(
+                    f"end must be > onset ({self.onset_batch}), got {end}"
+                )
+        self.end = end
+
+    def intensity(self, t: int) -> float:
+        if t < self.onset_batch:
+            return 0.0
+        if self.end is not None and t >= self.end:
+            return 0.0
+        return self.level
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "onset": self.onset_batch,
+            "level": self.level,
+            "end": self.end,
+        }
+
+
+class SeasonalSchedule(Schedule):
+    """Recurring drift: a raised-cosine wave, exactly periodic.
+
+    ``intensity(t) = amplitude * (1 - cos(2π (t - phase) / period)) / 2``
+    — 0 at the start of every period, peaking at ``amplitude`` halfway
+    through. ``intensity(t + period) == intensity(t)`` for every ``t``.
+    """
+
+    kind = "seasonal"
+
+    def __init__(self, period: int, amplitude: float = 1.0, phase: int = 0):
+        period = int(period)
+        if period < 2:
+            raise DataValidationError(f"period must be >= 2, got {period}")
+        self.period = period
+        self.amplitude = _check_unit("amplitude", amplitude)
+        self.phase = int(phase)
+
+    def intensity(self, t: int) -> float:
+        # Work in integer period position so periodicity is exact in
+        # floating point: cos(2π k / period) depends only on k mod period.
+        position = (t - self.phase) % self.period
+        value = self.amplitude * 0.5 * (
+            1.0 - math.cos(2.0 * math.pi * position / self.period)
+        )
+        return min(1.0, max(0.0, value))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "period": self.period,
+            "amplitude": self.amplitude,
+            "phase": self.phase,
+        }
+
+
+class AdversarialRampSchedule(Schedule):
+    """Adversarially escalating drift probing the detection floor.
+
+    Models an attacker (or a slowly compounding pipeline bug) that
+    starts below the monitor's detection threshold and multiplies its
+    intensity by ``growth`` every batch:
+    ``min(cap, initial * growth**(t - onset))`` for ``t >= onset``,
+    0 before. With ``growth > 1`` this is the worst case for fixed
+    alarm floors — the pre-detection exposure window is logarithmic in
+    ``cap / initial``.
+    """
+
+    kind = "adversarial_ramp"
+
+    def __init__(
+        self,
+        onset: int,
+        initial: float = 0.02,
+        growth: float = 1.5,
+        cap: float = 1.0,
+    ):
+        self.onset_batch = _check_nonneg_int("onset", onset)
+        initial = float(initial)
+        if not 0.0 < initial <= 1.0:
+            raise DataValidationError(f"initial must be in (0, 1], got {initial}")
+        self.initial = initial
+        growth = float(growth)
+        if growth < 1.0:
+            raise DataValidationError(f"growth must be >= 1, got {growth}")
+        self.growth = growth
+        self.cap = _check_unit("cap", cap)
+
+    def intensity(self, t: int) -> float:
+        if t < self.onset_batch:
+            return 0.0
+        value = self.initial * self.growth ** (t - self.onset_batch)
+        return min(self.cap, value)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "onset": self.onset_batch,
+            "initial": self.initial,
+            "growth": self.growth,
+            "cap": self.cap,
+        }
+
+
+SCHEDULES: dict[str, type[Schedule]] = {
+    cls.kind: cls
+    for cls in (
+        ConstantSchedule,
+        RampSchedule,
+        StepSchedule,
+        SeasonalSchedule,
+        AdversarialRampSchedule,
+    )
+}
+
+
+def schedule_from_dict(payload: dict[str, Any]) -> Schedule:
+    """Rebuild a schedule from its ``to_dict`` payload."""
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise DataValidationError(
+            f"schedule payload must be a dict with a 'kind', got {payload!r}"
+        )
+    kind = payload["kind"]
+    cls = SCHEDULES.get(kind)
+    if cls is None:
+        raise DataValidationError(
+            f"unknown schedule kind {kind!r}; valid kinds: {sorted(SCHEDULES)}"
+        )
+    kwargs = {k: v for k, v in payload.items() if k != "kind"}
+    return cls(**kwargs)

@@ -541,7 +541,12 @@ class ValidationService:
                         pass
             else:
                 outcome = self._primary_outcome(endpoint, frame, Deadline(None))
-            record = monitor.observe_estimate(outcome.estimate, len(frame))
+            # Fallback estimates are tagged so the monitor keeps outage
+            # batches out of the smoothing stream and the alarm streak —
+            # a predictor outage must not read as data drift.
+            record = monitor.observe_estimate(
+                outcome.estimate, len(frame), degraded=outcome.degraded
+            )
         elapsed = max(0.0, self._clock() - started)
 
         key = endpoint.key

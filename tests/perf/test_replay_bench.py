@@ -1,0 +1,105 @@
+"""Tests for the drift-replay benchmark and its regression gate."""
+
+import pytest
+
+from repro.perf.replay_bench import (
+    DETECTABLE_FAMILIES,
+    bench_drift_replay,
+    check_detection_regression,
+)
+
+
+@pytest.fixture(scope="module")
+def entry():
+    # The replay workload is profile-independent; run it once.
+    return bench_drift_replay({}, n_jobs=2, backend="thread")
+
+
+class TestBenchDriftReplay:
+    def test_parity_and_diversity_gates_pass(self, entry):
+        assert entry["identical_results"] is True
+        assert entry["resume_identical"] is True
+        assert entry["scenario_diversity_ok"] is True
+        assert entry["batches_scored"] == 96
+        assert set(entry["scenarios"]) == {
+            "gradual", "sudden", "seasonal", "adversarial",
+        }
+
+    def test_detectable_families_sustain_with_no_false_alarms(self, entry):
+        for family in DETECTABLE_FAMILIES:
+            scenario = entry["scenarios"][family]
+            assert scenario["sustained_latency"] is not None
+            assert scenario["false_alarm_rate"] == 0.0
+        # Seasonal recurs below the detection floor by design.
+        assert entry["scenarios"]["seasonal"]["false_alarm_rate"] == 0.0
+
+
+def payload(**scenarios):
+    return {
+        "benchmarks": [{"name": "drift_replay", "scenarios": scenarios}]
+    }
+
+
+def scenario(detection=2, sustained=5, false_alarm_rate=0.0):
+    return {
+        "detection_latency": detection,
+        "sustained_latency": sustained,
+        "false_alarm_rate": false_alarm_rate,
+    }
+
+
+class TestCheckDetectionRegression:
+    def test_identical_reports_pass(self):
+        report = payload(gradual=scenario())
+        assert check_detection_regression(report, report) == []
+
+    def test_faster_detection_passes(self):
+        assert check_detection_regression(
+            payload(gradual=scenario(detection=1, sustained=3)),
+            payload(gradual=scenario(detection=2, sustained=5)),
+        ) == []
+
+    def test_slower_detection_fails(self):
+        failures = check_detection_regression(
+            payload(gradual=scenario(detection=4)),
+            payload(gradual=scenario(detection=2)),
+        )
+        assert any("detection_latency regressed from 2 to 4" in f for f in failures)
+
+    def test_lost_detection_fails(self):
+        failures = check_detection_regression(
+            payload(gradual=scenario(sustained=None)),
+            payload(gradual=scenario(sustained=5)),
+        )
+        assert any("sustained_latency regressed" in f for f in failures)
+
+    def test_baseline_never_detected_is_not_a_regression(self):
+        assert check_detection_regression(
+            payload(seasonal=scenario(detection=None, sustained=None)),
+            payload(seasonal=scenario(detection=None, sustained=None)),
+        ) == []
+
+    def test_new_false_alarms_fail(self):
+        failures = check_detection_regression(
+            payload(gradual=scenario(false_alarm_rate=0.25)),
+            payload(gradual=scenario(false_alarm_rate=0.0)),
+        )
+        assert any("false alarms appeared" in f for f in failures)
+
+    def test_missing_scenario_fails(self):
+        failures = check_detection_regression(
+            payload(gradual=scenario()),
+            payload(gradual=scenario(), sudden=scenario()),
+        )
+        assert any("missing from current run" in f for f in failures)
+
+    def test_baseline_without_replay_entry_is_skipped(self):
+        assert check_detection_regression(
+            payload(gradual=scenario()), {"benchmarks": []}
+        ) == []
+
+    def test_current_without_replay_entry_fails(self):
+        failures = check_detection_regression(
+            {"benchmarks": []}, payload(gradual=scenario())
+        )
+        assert failures == ["current report has no drift_replay entry"]

@@ -1,0 +1,365 @@
+"""Tests for the streaming replay harness and its detection metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import PerformancePredictor
+from repro.errors.tabular_errors import GaussianOutliers, MissingValues, Scaling
+from repro.exceptions import DaemonError, DataValidationError
+from repro.resilience.checkpoint import CheckpointStore
+from repro.scenarios import (
+    DriftEvent,
+    RampSchedule,
+    ReplayHarness,
+    ReplayOutcome,
+    Scenario,
+    StepSchedule,
+    builtin_suite,
+    isolate_scenarios,
+    scenario_metrics,
+)
+from repro.serving.registry import Endpoint, EndpointPolicy, ModelRegistry
+from repro.serving.service import ValidationService
+
+
+@pytest.fixture(scope="module")
+def replay_predictor(income_blackbox, income_splits):
+    return PerformancePredictor(
+        income_blackbox,
+        [MissingValues(), GaussianOutliers(), Scaling()],
+        n_samples=24,
+        random_state=0,
+    ).fit(income_splits.test, income_splits.y_test)
+
+
+@pytest.fixture
+def new_service(replay_predictor):
+    def build() -> ValidationService:
+        registry = ModelRegistry()
+        registry.register(
+            Endpoint(
+                name="income",
+                version="1",
+                predictor=replay_predictor,
+                validator=None,
+                policy=EndpointPolicy(threshold=0.05, smoothing=0.5, patience=2),
+            )
+        )
+        return ValidationService(registry)
+
+    return build
+
+
+@pytest.fixture(scope="module")
+def pool(income_splits):
+    return income_splits.serving.head(400), np.asarray(
+        income_splits.y_serving[:400]
+    )
+
+
+def small_suite(n_batches=8, onset=3):
+    return builtin_suite(
+        n_batches=n_batches, batch_size=60, onset=onset,
+        families=["gradual", "sudden"],
+    )
+
+
+def run_replay(pool, service, scenarios, **kwargs):
+    harness = ReplayHarness(
+        pool[0], pool[1], service=service, endpoint="income",
+        n_jobs=kwargs.pop("n_jobs", 1), backend=kwargs.pop("backend", "serial"),
+    )
+    return harness.run(scenarios, **kwargs)
+
+
+class TestDeterminism:
+    def test_bit_identical_across_n_jobs_and_backend(self, pool, new_service):
+        suite = small_suite()
+        service = new_service()
+        scenarios = isolate_scenarios(service, suite, "income")
+        baseline = run_replay(pool, service, scenarios, seed=3)
+
+        threaded_service = new_service()
+        threaded = ReplayHarness(
+            pool[0], pool[1], service=threaded_service, endpoint="income",
+            n_jobs=4, backend="thread",
+        ).run(isolate_scenarios(threaded_service, suite, "income"), seed=3)
+
+        assert threaded.digest() == baseline.digest()
+        assert baseline.complete and threaded.complete
+
+    def test_interleaving_is_round_robin(self, pool, new_service):
+        service = new_service()
+        scenarios = isolate_scenarios(service, small_suite(n_batches=3), "income")
+        report = run_replay(pool, service, scenarios, seed=0)
+        order = [(o.scenario, o.step) for o in report.outcomes]
+        assert order == [
+            ("gradual", 0), ("sudden", 0),
+            ("gradual", 1), ("sudden", 1),
+            ("gradual", 2), ("sudden", 2),
+        ]
+
+
+class TestCheckpointResume:
+    def test_interrupt_and_resume_is_bit_identical(
+        self, pool, new_service, tmp_path
+    ):
+        suite = small_suite()
+        reference_service = new_service()
+        reference = run_replay(
+            pool,
+            reference_service,
+            isolate_scenarios(reference_service, suite, "income"),
+            seed=9,
+        )
+
+        store = CheckpointStore(tmp_path / "replay")
+        partial_service = new_service()
+        partial = run_replay(
+            pool,
+            partial_service,
+            isolate_scenarios(partial_service, suite, "income"),
+            seed=9, checkpoint=store, checkpoint_every=3, stop_after_steps=7,
+        )
+        assert not partial.complete
+        assert len(partial.outcomes) == 7
+        assert "[PARTIAL]" in partial.describe()
+        assert store.exists()
+
+        # Resume with a *fresh* service: monitor state is rebuilt from
+        # the checkpointed estimates, so the stream digest cannot move.
+        resumed_service = new_service()
+        resumed = run_replay(
+            pool,
+            resumed_service,
+            isolate_scenarios(resumed_service, suite, "income"),
+            seed=9, checkpoint=store, checkpoint_every=3,
+        )
+        assert resumed.complete
+        assert resumed.digest() == reference.digest()
+        # A caller-supplied store is never cleared by the harness.
+        assert store.exists()
+
+    def test_path_checkpoint_is_cleared_on_completion(
+        self, pool, new_service, tmp_path
+    ):
+        path = tmp_path / "replay-owned"
+        service = new_service()
+        report = run_replay(
+            pool,
+            service,
+            isolate_scenarios(service, small_suite(n_batches=4), "income"),
+            seed=1, checkpoint=path, checkpoint_every=2,
+        )
+        assert report.complete
+        assert not CheckpointStore(path).exists()
+
+    def test_checkpoint_every_validated(self, pool, new_service):
+        service = new_service()
+        with pytest.raises(DataValidationError, match="checkpoint_every"):
+            run_replay(
+                pool, service, small_suite(), checkpoint_every=0,
+            )
+
+
+class TestValidation:
+    def test_exactly_one_scoring_target(self, pool, new_service):
+        with pytest.raises(DataValidationError, match="exactly one"):
+            ReplayHarness(pool[0], pool[1], endpoint="income")
+        with pytest.raises(DataValidationError, match="exactly one"):
+            ReplayHarness(
+                pool[0], pool[1], service=new_service(), client=object(),
+                endpoint="income",
+            )
+
+    def test_duplicate_scenario_names_rejected(self, pool, new_service):
+        suite = small_suite()
+        with pytest.raises(DataValidationError, match="duplicate"):
+            run_replay(pool, new_service(), [suite[0], suite[0]])
+
+    def test_scenario_without_endpoint_needs_harness_default(
+        self, pool, new_service
+    ):
+        harness = ReplayHarness(pool[0], pool[1], service=new_service())
+        with pytest.raises(DataValidationError, match="no endpoint"):
+            harness.run(small_suite())
+
+    def test_empty_scenario_list_rejected(self, pool, new_service):
+        with pytest.raises(DataValidationError, match="at least one"):
+            run_replay(pool, new_service(), [])
+
+    def test_unknown_metric_lookup_raises(self, pool, new_service):
+        service = new_service()
+        report = run_replay(
+            pool,
+            service,
+            isolate_scenarios(service, small_suite(n_batches=2), "income"),
+        )
+        with pytest.raises(DataValidationError, match="no metrics"):
+            report.metric("nope")
+
+
+class TestIsolateScenarios:
+    def test_aliases_get_their_own_monitors(self, new_service):
+        service = new_service()
+        suite = small_suite()
+        isolated = isolate_scenarios(service, suite, "income")
+        names = [s.endpoint for s in isolated]
+        assert names == ["income-gradual", "income-sudden"]
+        monitors = {service.monitor(name) for name in names}
+        assert len(monitors) == 2  # distinct monitor per alias
+        base = service.registry.get("income")
+        for name in names:
+            alias = service.registry.get(name)
+            assert alias.predictor is base.predictor
+            assert alias.policy is base.policy
+
+    def test_pinned_endpoints_are_left_alone(self, new_service):
+        service = new_service()
+        scenario = small_suite()[0]
+        pinned = Scenario(
+            name=scenario.name,
+            n_batches=scenario.n_batches,
+            batch_size=scenario.batch_size,
+            events=scenario.events,
+            endpoint="income",
+        )
+        isolated = isolate_scenarios(service, [pinned], "income")
+        assert isolated[0] is pinned
+
+
+class FakeResponse:
+    def __init__(self, status, payload):
+        self.status = status
+        self.payload = payload
+
+    @property
+    def ok(self):
+        return 200 <= self.status < 300
+
+
+class FakeDaemonClient:
+    """Stateful stub standing in for a live daemon (monitor included)."""
+
+    def __init__(self, fail_at=None):
+        self.calls = 0
+        self.fail_at = fail_at
+
+    def score(self, endpoint, frame, version=None):
+        self.calls += 1
+        if self.fail_at is not None and self.calls == self.fail_at:
+            return FakeResponse(503, {"error": "shed"})
+        return FakeResponse(
+            200,
+            {
+                "estimated_score": 0.8,
+                "smoothed_score": 0.8,
+                "alarm": False,
+                "sustained_alarm": False,
+                "degraded": self.calls % 2 == 0,
+            },
+        )
+
+
+class TestDaemonMode:
+    def test_daemon_payloads_become_outcomes(self, pool):
+        harness = ReplayHarness(
+            pool[0], pool[1], client=FakeDaemonClient(), endpoint="income",
+        )
+        report = harness.run(small_suite(n_batches=2), seed=0)
+        assert report.complete
+        assert len(report.outcomes) == 4
+        assert {o.estimated_score for o in report.outcomes} == {0.8}
+        assert sum(o.degraded for o in report.outcomes) == 2
+
+    def test_daemon_error_status_raises(self, pool):
+        harness = ReplayHarness(
+            pool[0], pool[1], client=FakeDaemonClient(fail_at=2), endpoint="income",
+        )
+        with pytest.raises(DaemonError, match="503"):
+            harness.run(small_suite(n_batches=2), seed=0)
+
+
+def outcome(step, *, alarm=False, sustained=False, degraded=False, scenario="s"):
+    return ReplayOutcome(
+        scenario=scenario,
+        endpoint="income",
+        global_step=step,
+        step=step,
+        n_rows=10,
+        intensity=0.0,
+        estimated_score=0.5,
+        smoothed_score=0.5,
+        alarm=alarm,
+        sustained_alarm=sustained,
+        degraded=degraded,
+    )
+
+
+class TestScenarioMetrics:
+    def _scenario(self, onset=4, n_batches=10):
+        return Scenario(
+            name="s",
+            n_batches=n_batches,
+            batch_size=10,
+            events=(
+                DriftEvent(error="scaling", schedule=StepSchedule(onset=onset)),
+            ),
+        )
+
+    def test_latencies_measured_from_onset(self):
+        outcomes = [outcome(t) for t in range(4)] + [
+            outcome(4, alarm=True),
+            outcome(5, alarm=True, sustained=True),
+        ]
+        metrics = scenario_metrics(self._scenario(onset=4, n_batches=6), outcomes)
+        assert metrics.onset == 4
+        assert metrics.detection_latency == 0
+        assert metrics.sustained_latency == 1
+        assert metrics.false_alarms == 0
+        assert metrics.pre_onset_batches == 4
+        assert metrics.false_alarm_rate == 0.0
+
+    def test_pre_onset_alarms_are_false_alarms(self):
+        outcomes = [
+            outcome(0), outcome(1, alarm=True), outcome(2), outcome(3, alarm=True),
+        ] + [outcome(t) for t in range(4, 6)]
+        metrics = scenario_metrics(self._scenario(onset=4, n_batches=6), outcomes)
+        assert metrics.false_alarms == 2
+        assert metrics.false_alarm_rate == pytest.approx(0.5)
+        assert metrics.detection_latency is None
+
+    def test_degraded_batches_are_excluded_everywhere(self):
+        # A degraded pre-onset batch doesn't count toward the false-alarm
+        # denominator, and a degraded post-onset batch cannot be the
+        # detection: the first *real* alarm is.
+        outcomes = [
+            outcome(0, degraded=True),
+            outcome(1),
+            outcome(2, degraded=True),
+            outcome(3, alarm=True, degraded=True),  # fallback glitch, not drift
+            outcome(4, alarm=True),
+        ]
+        metrics = scenario_metrics(self._scenario(onset=2, n_batches=5), outcomes)
+        assert metrics.pre_onset_batches == 1
+        assert metrics.false_alarms == 0
+        assert metrics.detection_latency == 2  # batch 4, not degraded batch 3
+        assert metrics.degraded_batches == 3
+
+    def test_no_onset_means_no_latency_and_all_batches_pre(self):
+        quiet = Scenario(
+            name="s",
+            n_batches=4,
+            batch_size=10,
+            events=(
+                DriftEvent(
+                    error="scaling",
+                    schedule=RampSchedule(onset=99, duration=2),
+                ),
+            ),
+        )
+        outcomes = [outcome(t) for t in range(4)]
+        metrics = scenario_metrics(quiet, outcomes)
+        assert metrics.onset is None
+        assert metrics.detection_latency is None
+        assert metrics.pre_onset_batches == 4

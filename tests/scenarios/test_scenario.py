@@ -1,0 +1,310 @@
+"""Tests for the drift-scenario DSL and deterministic batch generation."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors.base import CorruptionError
+from repro.errors.tabular_errors import GaussianOutliers, Scaling, SwappedValues
+from repro.exceptions import DataValidationError
+from repro.scenarios import (
+    ERROR_POOL,
+    LABEL_SHIFT,
+    ConstantSchedule,
+    DriftEvent,
+    RampSchedule,
+    Scenario,
+    SeasonalSchedule,
+    StepSchedule,
+    builtin_suite,
+    load_scenarios,
+)
+
+
+@pytest.fixture(scope="module")
+def pool(income_splits):
+    frame = income_splits.serving.head(400)
+    labels = np.asarray(income_splits.y_serving[:400])
+    return frame, labels
+
+
+def two_event_scenario(n_batches=8, batch_size=50) -> Scenario:
+    return Scenario(
+        name="mixed",
+        n_batches=n_batches,
+        batch_size=batch_size,
+        events=(
+            DriftEvent(error="outliers", schedule=RampSchedule(onset=2, duration=4)),
+            DriftEvent(
+                error=LABEL_SHIFT,
+                schedule=StepSchedule(onset=4),
+                params={"target_prior": 0.9},
+            ),
+        ),
+    )
+
+
+class TestScaledParams:
+    @settings(max_examples=40, deadline=None)
+    @given(intensity=st.floats(0.0, 1.0))
+    def test_outlier_scale_stays_inside_sampled_range(self, intensity, income_splits):
+        # sample_params draws scale from U(2, 5); the interpolation must
+        # stay inside the same magnitude space. (rng built inline:
+        # hypothesis forbids function-scoped fixtures under @given.)
+        params = GaussianOutliers().scaled_params(
+            income_splits.serving, np.random.default_rng(0), intensity
+        )
+        assert 2.0 <= params["scale"] <= 5.0
+        assert params["fraction"] == pytest.approx(intensity)
+
+    @settings(max_examples=40, deadline=None)
+    @given(intensity=st.floats(0.0, 1.0))
+    def test_scaling_factor_stays_inside_sampled_range(self, intensity, income_splits):
+        params = Scaling().scaled_params(
+            income_splits.serving, np.random.default_rng(0), intensity
+        )
+        assert 10.0 <= params["factor"] <= 1000.0 + 1e-9
+
+    def test_interpolation_is_monotone_in_intensity(self, income_splits, rng):
+        frame = income_splits.serving
+        scales = [
+            GaussianOutliers().scaled_params(frame, rng, i)["scale"]
+            for i in (0.0, 0.25, 0.5, 1.0)
+        ]
+        factors = [
+            Scaling().scaled_params(frame, rng, i)["factor"]
+            for i in (0.0, 0.25, 0.5, 1.0)
+        ]
+        assert scales == sorted(scales)
+        assert factors == sorted(factors)
+
+    def test_swapped_values_pair_is_stable(self, income_splits, rng):
+        # The i.i.d. protocol swaps a random pair; the scheduled variant
+        # must degrade the *same* pair batch after batch.
+        error = SwappedValues()
+        first = error.scaled_params(income_splits.serving, rng, 0.5)["columns"]
+        second = error.scaled_params(income_splits.serving, rng, 0.9)["columns"]
+        assert first == second
+        assert len(first) == 2
+
+    def test_intensity_out_of_range_rejected(self, income_splits, rng):
+        with pytest.raises(CorruptionError):
+            GaussianOutliers().scaled_params(income_splits.serving, rng, 1.5)
+
+    def test_unknown_columns_rejected(self, income_splits, rng):
+        with pytest.raises(CorruptionError, match="unknown columns"):
+            Scaling().scaled_params(
+                income_splits.serving, rng, 0.5, columns=["no-such-column"]
+            )
+
+    def test_zero_intensity_is_a_noop_preserving_rng(self, income_splits):
+        frame = income_splits.serving.head(50)
+        rng = np.random.default_rng(3)
+        corrupted, report = GaussianOutliers().corrupt_scaled(frame, rng, 0.0)
+        assert corrupted is frame
+        assert report.params["fraction"] == 0.0
+        # The RNG was not consumed: the next draw matches a fresh stream.
+        assert rng.integers(1 << 30) == np.random.default_rng(3).integers(1 << 30)
+
+
+class TestDriftEventAndScenarioSerialization:
+    def test_event_round_trip(self):
+        event = DriftEvent(
+            error="scaling",
+            schedule=RampSchedule(onset=3, duration=6, shape="cosine"),
+            columns=("age", "hours"),
+            params={"note": "pinned"},
+        )
+        rebuilt = DriftEvent.from_dict(event.to_dict())
+        assert rebuilt == event
+
+    def test_scenario_round_trips_through_json(self):
+        scenario = two_event_scenario()
+        payload = json.loads(json.dumps(scenario.to_dict()))
+        assert Scenario.from_dict(payload) == scenario
+
+    def test_unknown_error_rejected(self):
+        with pytest.raises(DataValidationError, match="unknown error"):
+            DriftEvent(error="bit-rot", schedule=ConstantSchedule(0.5))
+
+    def test_scenario_validation(self):
+        event = DriftEvent(error="scaling", schedule=StepSchedule(onset=0))
+        with pytest.raises(DataValidationError):
+            Scenario(name="x", n_batches=0, batch_size=10, events=(event,))
+        with pytest.raises(DataValidationError):
+            Scenario(name="x", n_batches=5, batch_size=0, events=(event,))
+        with pytest.raises(DataValidationError):
+            Scenario(name="x", n_batches=5, batch_size=10, events=())
+        with pytest.raises(DataValidationError, match="missing"):
+            Scenario.from_dict({"name": "x"})
+
+    def test_onset_is_earliest_event_onset(self):
+        assert two_event_scenario().onset() == 2
+        quiet = Scenario(
+            name="quiet",
+            n_batches=5,
+            batch_size=10,
+            events=(DriftEvent(error="scaling", schedule=ConstantSchedule(0.0)),),
+        )
+        assert quiet.onset() is None
+
+    def test_intensities_disambiguates_duplicate_errors(self):
+        scenario = Scenario(
+            name="double",
+            n_batches=6,
+            batch_size=10,
+            events=(
+                DriftEvent(error="scaling", schedule=ConstantSchedule(0.2)),
+                DriftEvent(error="scaling", schedule=ConstantSchedule(0.7)),
+            ),
+        )
+        values = scenario.intensities(0)
+        assert values == {"scaling": 0.2, "scaling#1": 0.7}
+
+
+class TestScenarioFiles:
+    def test_load_single_list_and_wrapped(self, tmp_path):
+        scenario = two_event_scenario().to_dict()
+        single = tmp_path / "one.json"
+        single.write_text(json.dumps(scenario))
+        listed = tmp_path / "list.json"
+        listed.write_text(json.dumps([scenario, dict(scenario, name="other")]))
+        wrapped = tmp_path / "wrapped.json"
+        wrapped.write_text(json.dumps({"scenarios": [scenario]}))
+        assert [s.name for s in load_scenarios(single)] == ["mixed"]
+        assert [s.name for s in load_scenarios(listed)] == ["mixed", "other"]
+        assert [s.name for s in load_scenarios(wrapped)] == ["mixed"]
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(DataValidationError, match="not valid JSON"):
+            load_scenarios(path)
+
+    def test_builtin_suite_families(self):
+        suite = builtin_suite(n_batches=12, batch_size=30, onset=4)
+        assert [s.name for s in suite] == [
+            "gradual", "sudden", "seasonal", "adversarial",
+        ]
+        for scenario in suite:
+            assert scenario.onset() is not None
+        subset = builtin_suite(families=["adversarial", "gradual"])
+        assert [s.name for s in subset] == ["adversarial", "gradual"]
+        with pytest.raises(DataValidationError, match="unknown scenario families"):
+            builtin_suite(families=["glacial"])
+
+    def test_error_pool_names_match_generators(self):
+        for name, cls in ERROR_POOL.items():
+            assert cls.name == name
+
+
+class TestBatchGeneration:
+    def test_bit_identical_across_n_jobs_and_backend(self, pool):
+        frame, labels = pool
+        scenario = two_event_scenario()
+        serial = scenario.generate_batches(frame, labels, seed=11)
+        threaded = scenario.generate_batches(
+            frame, labels, seed=11, n_jobs=4, backend="thread"
+        )
+        for a, b in zip(serial, threaded):
+            assert a.step == b.step
+            assert a.intensities == b.intensities
+            assert a.frame == b.frame
+
+    def test_step_subsets_match_the_full_run(self, pool):
+        # A resumed run regenerating only the tail must reproduce the
+        # exact batches an uninterrupted run would have built.
+        frame, labels = pool
+        scenario = two_event_scenario()
+        full = scenario.generate_batches(frame, labels, seed=7)
+        tail = scenario.generate_batches(frame, labels, seed=7, steps=[5, 6, 7])
+        for got, want in zip(tail, full[5:]):
+            assert got.step == want.step
+            assert got.frame == want.frame
+
+    def test_seed_sequence_reuse_is_stable(self, pool):
+        # SeedSequence.spawn is stateful; generate_batches must re-root
+        # so passing the same SeedSequence twice gives the same batches.
+        frame, labels = pool
+        scenario = two_event_scenario(n_batches=4)
+        seed = np.random.SeedSequence(99)
+        first = scenario.generate_batches(frame, labels, seed=seed)
+        second = scenario.generate_batches(frame, labels, seed=seed)
+        for a, b in zip(first, second):
+            assert a.frame == b.frame
+
+    def test_out_of_range_step_rejected(self, pool):
+        frame, labels = pool
+        with pytest.raises(DataValidationError, match="outside"):
+            two_event_scenario(n_batches=4).generate_batches(
+                frame, labels, seed=0, steps=[4]
+            )
+
+    def test_mismatched_labels_rejected(self, pool):
+        frame, labels = pool
+        with pytest.raises(DataValidationError, match="rows"):
+            two_event_scenario().generate_batches(frame, labels[:-5], seed=0)
+
+    def test_batch_intensity_tracks_schedule(self, pool):
+        frame, labels = pool
+        batches = two_event_scenario().generate_batches(frame, labels, seed=0)
+        assert batches[0].intensity == 0.0  # pre-onset traffic is clean
+        assert batches[7].intensity == 1.0  # label shift fully active
+        assert [b.step for b in batches] == list(range(8))
+
+
+class TestLabelShiftSampling:
+    def _shift_scenario(self, schedule, **params) -> Scenario:
+        return Scenario(
+            name="shift",
+            n_batches=6,
+            batch_size=200,
+            events=(
+                DriftEvent(error=LABEL_SHIFT, schedule=schedule, params=params),
+            ),
+        )
+
+    def test_realized_prior_interpolates(self, income_splits):
+        from repro.tabular.frame import DataFrame
+        from repro.tabular.schema import ColumnType
+
+        # A pool whose only column is the row index makes sampled labels
+        # directly observable.
+        labels = np.asarray(income_splits.y_serving[:400])
+        frame = DataFrame.from_dict(
+            {"row": np.arange(len(labels), dtype=float)},
+            {"row": ColumnType.NUMERIC},
+        )
+        classes, counts = np.unique(labels, return_counts=True)
+        rare = classes[int(np.argmin(counts))]
+        natural = float(np.mean(labels == rare))
+
+        scenario = self._shift_scenario(
+            RampSchedule(onset=2, duration=2), target_prior=0.9
+        )
+        batches = scenario.generate_batches(frame, labels, seed=5)
+        priors = [
+            float(np.mean(labels[batch.frame["row"].astype(int)] == rare))
+            for batch in batches
+        ]
+        # Pre-onset batches track the natural prior; the fully shifted
+        # tail hits the target within rounding of batch_size.
+        assert priors[0] == pytest.approx(natural, abs=0.08)
+        assert priors[1] == pytest.approx(natural, abs=0.08)
+        assert priors[3] == pytest.approx(0.9, abs=0.005)
+        assert priors[5] == pytest.approx(0.9, abs=0.005)
+
+    def test_unknown_target_class_rejected(self, pool):
+        frame, labels = pool
+        scenario = self._shift_scenario(StepSchedule(onset=0), target_class=42)
+        with pytest.raises(DataValidationError, match="not present"):
+            scenario.generate_batches(frame, labels, seed=0)
+
+    def test_target_prior_validated(self, pool):
+        frame, labels = pool
+        scenario = self._shift_scenario(StepSchedule(onset=0), target_prior=1.5)
+        with pytest.raises(DataValidationError, match="target_prior"):
+            scenario.generate_batches(frame, labels, seed=0)

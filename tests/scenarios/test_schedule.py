@@ -1,0 +1,176 @@
+"""Property and unit tests for the drift-intensity schedules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DataValidationError
+from repro.scenarios import (
+    SCHEDULES,
+    AdversarialRampSchedule,
+    ConstantSchedule,
+    RampSchedule,
+    SeasonalSchedule,
+    StepSchedule,
+    schedule_from_dict,
+)
+
+
+class TestRampSchedule:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        onset=st.integers(0, 20),
+        duration=st.integers(0, 30),
+        peak=st.floats(0.0, 1.0),
+        shape=st.sampled_from(["linear", "cosine"]),
+        horizon=st.integers(1, 80),
+    )
+    def test_monotone_and_bounded(self, onset, duration, peak, shape, horizon):
+        # A ramp never decreases and never leaves [0, peak] — whatever
+        # the onset, duration, shape, or horizon.
+        schedule = RampSchedule(onset=onset, duration=duration, peak=peak, shape=shape)
+        values = [schedule.intensity(t) for t in range(horizon)]
+        assert all(0.0 <= v <= peak + 1e-12 for v in values)
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_zero_before_onset_and_peak_after(self):
+        schedule = RampSchedule(onset=5, duration=4, peak=0.8)
+        assert [schedule.intensity(t) for t in range(5)] == [0.0] * 5
+        assert schedule.intensity(5) > 0.0  # active from the onset batch
+        assert schedule.intensity(9) == pytest.approx(0.8)
+        assert schedule.intensity(100) == pytest.approx(0.8)
+
+    def test_zero_duration_degenerates_to_step(self):
+        schedule = RampSchedule(onset=3, duration=0, peak=1.0)
+        assert schedule.intensity(2) == 0.0
+        assert schedule.intensity(3) == 1.0
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(DataValidationError):
+            RampSchedule(onset=0, duration=1, shape="exponential")
+
+
+class TestStepSchedule:
+    def test_step_and_pulse(self):
+        step = StepSchedule(onset=4, level=0.7)
+        assert step.intensity(3) == 0.0
+        assert step.intensity(4) == pytest.approx(0.7)
+        assert step.intensity(40) == pytest.approx(0.7)
+        pulse = StepSchedule(onset=4, level=0.7, end=6)
+        assert [pulse.intensity(t) for t in (3, 4, 5, 6, 7)] == [
+            0.0, 0.7, 0.7, 0.0, 0.0,
+        ]
+
+    def test_end_must_follow_onset(self):
+        with pytest.raises(DataValidationError):
+            StepSchedule(onset=4, end=4)
+
+
+class TestSeasonalSchedule:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        period=st.integers(2, 24),
+        amplitude=st.floats(0.0, 1.0),
+        phase=st.integers(-10, 10),
+        t=st.integers(0, 200),
+        cycles=st.integers(1, 5),
+    )
+    def test_exactly_periodic(self, period, amplitude, phase, t, cycles):
+        # Integer period arithmetic makes periodicity exact in floating
+        # point, not approximately so.
+        schedule = SeasonalSchedule(period=period, amplitude=amplitude, phase=phase)
+        assert schedule.intensity(t + cycles * period) == schedule.intensity(t)
+
+    @settings(max_examples=40, deadline=None)
+    @given(period=st.integers(2, 24), amplitude=st.floats(0.0, 1.0), t=st.integers(0, 100))
+    def test_bounded_by_amplitude(self, period, amplitude, t):
+        schedule = SeasonalSchedule(period=period, amplitude=amplitude)
+        assert 0.0 <= schedule.intensity(t) <= amplitude + 1e-12
+
+    def test_starts_each_period_quiet_and_peaks_halfway(self):
+        schedule = SeasonalSchedule(period=8, amplitude=1.0)
+        assert schedule.intensity(0) == 0.0
+        assert schedule.intensity(8) == 0.0
+        assert schedule.intensity(4) == pytest.approx(1.0)
+
+    def test_period_validation(self):
+        with pytest.raises(DataValidationError):
+            SeasonalSchedule(period=1)
+
+
+class TestAdversarialRampSchedule:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        onset=st.integers(0, 10),
+        initial=st.floats(0.001, 1.0),
+        growth=st.floats(1.0, 3.0),
+        horizon=st.integers(1, 60),
+    )
+    def test_monotone_capped_and_quiet_before_onset(
+        self, onset, initial, growth, horizon
+    ):
+        schedule = AdversarialRampSchedule(
+            onset=onset, initial=initial, growth=growth, cap=1.0
+        )
+        values = [schedule.intensity(t) for t in range(horizon)]
+        assert all(v == 0.0 for v in values[:onset])
+        active = values[onset:]
+        assert all(0.0 < v <= 1.0 for v in active)
+        assert all(a <= b + 1e-12 for a, b in zip(active, active[1:]))
+
+    def test_starts_below_cap_then_saturates(self):
+        schedule = AdversarialRampSchedule(onset=0, initial=0.1, growth=2.0, cap=0.5)
+        assert schedule.intensity(0) == pytest.approx(0.1)
+        assert schedule.intensity(1) == pytest.approx(0.2)
+        assert schedule.intensity(10) == pytest.approx(0.5)
+
+    def test_parameter_validation(self):
+        with pytest.raises(DataValidationError):
+            AdversarialRampSchedule(onset=0, initial=0.0)
+        with pytest.raises(DataValidationError):
+            AdversarialRampSchedule(onset=0, growth=0.9)
+
+
+class TestOnset:
+    def test_onset_matches_first_active_batch(self):
+        assert RampSchedule(onset=7, duration=3).onset(30) == 7
+        assert StepSchedule(onset=0).onset(30) == 0
+        assert AdversarialRampSchedule(onset=4).onset(30) == 4
+        # Seasonal with phase == period start: batch 0 is quiet.
+        assert SeasonalSchedule(period=6, phase=0).onset(30) == 1
+
+    def test_never_active_is_none(self):
+        assert ConstantSchedule(0.0).onset(50) is None
+        assert RampSchedule(onset=99, duration=2).onset(50) is None
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            ConstantSchedule(0.25),
+            RampSchedule(onset=3, duration=5, peak=0.9, shape="cosine"),
+            StepSchedule(onset=2, level=0.6, end=9),
+            SeasonalSchedule(period=7, amplitude=0.8, phase=3),
+            AdversarialRampSchedule(onset=1, initial=0.05, growth=1.7, cap=0.9),
+        ],
+        ids=lambda s: s.kind,
+    )
+    def test_round_trip_is_lossless(self, schedule):
+        rebuilt = schedule_from_dict(schedule.to_dict())
+        assert type(rebuilt) is type(schedule)
+        assert rebuilt.to_dict() == schedule.to_dict()
+        assert [rebuilt.intensity(t) for t in range(40)] == [
+            schedule.intensity(t) for t in range(40)
+        ]
+
+    def test_registry_covers_every_kind(self):
+        assert set(SCHEDULES) == {
+            "constant", "ramp", "step", "seasonal", "adversarial_ramp",
+        }
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DataValidationError, match="unknown schedule kind"):
+            schedule_from_dict({"kind": "fourier"})
+        with pytest.raises(DataValidationError):
+            schedule_from_dict(["not", "a", "dict"])

@@ -185,6 +185,31 @@ class TestMonitorContinuity:
         assert degraded == [2, 3]
         assert not any(r.alarm for r in results)
 
+    def test_degraded_estimates_leave_monitor_accounting_untouched(
+        self, inject, registry, income_splits, settings
+    ):
+        # Regression: fallback estimates used to feed the smoothing
+        # stream and the consecutive-alarm streak, so a predictor outage
+        # skewed detection metrics exactly like drift would.
+        service = make_service(registry, resilience=settings)
+        batch = income_splits.serving.head(60)
+        service.submit("income", batch)  # healthy batch seeds smoothing
+        monitor = service.monitor("income")
+        smoothed_before = monitor._smoothed
+        streak_before = monitor.state.consecutive_alarms
+
+        inject(
+            registry.get("income").predictor, "predict_from_proba", fail_on="all"
+        )
+        outage = [service.submit("income", batch)[0] for _ in range(2)]
+        assert all(r.degraded for r in outage)
+        assert not any(r.alarm for r in outage)
+        assert monitor._smoothed == smoothed_before
+        assert monitor.state.consecutive_alarms == streak_before
+        assert monitor.state.total_degraded == 2
+        assert monitor.state.total_alarms == 0
+        assert monitor.state.total_batches == 3
+
 
 class TestRehydrationStaleness:
     def test_rehydration_rebuilds_scorer_but_keeps_breaker_history(

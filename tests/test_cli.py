@@ -187,6 +187,75 @@ class TestServeBatchCommand:
         assert "no .npz batch files" in capsys.readouterr().err
 
 
+class TestReplayCommand:
+    def _replay(self, serving_config, dataset_file, *extra):
+        return main([
+            "replay", "--config", str(serving_config), "--endpoint", "income",
+            "--data", str(dataset_file), "--batches", "8", "--batch-size", "60",
+            "--onset", "3", *extra,
+        ])
+
+    def test_builtin_families_report_detection_metrics(
+        self, serving_config, dataset_file, capsys
+    ):
+        code = self._replay(
+            serving_config, dataset_file, "--families", "gradual,sudden", "--json",
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["complete"] is True
+        assert payload["n_scored"] == 16
+        assert set(payload["scenarios"]) == {"gradual", "sudden"}
+        for entry in payload["scenarios"].values():
+            assert entry["onset"] == 3
+            assert entry["pre_onset_batches"] == 3
+
+    def test_replay_is_deterministic_per_seed(
+        self, serving_config, dataset_file, capsys
+    ):
+        digests = []
+        for _ in range(2):
+            code = self._replay(
+                serving_config, dataset_file, "--families", "gradual", "--json",
+            )
+            assert code == 0
+            digests.append(json.loads(capsys.readouterr().out)["digest"])
+        assert digests[0] == digests[1]
+
+    def test_scenario_file_with_unmet_expectation_exits_three(
+        self, serving_config, dataset_file, tmp_path, capsys
+    ):
+        # Sub-detection drift (2% missing cells) has an onset but never
+        # sustains an alarm, so a detection-window expectation fails.
+        scenario = {
+            "name": "lowdrift", "n_batches": 6, "batch_size": 60,
+            "events": [{
+                "error": "missing_values",
+                "schedule": {"kind": "constant", "level": 0.02},
+            }],
+        }
+        path = tmp_path / "lowdrift.json"
+        path.write_text(json.dumps(scenario))
+        code = self._replay(
+            serving_config, dataset_file,
+            "--scenario", str(path), "--expect-detection-within", "2",
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "expectation failed" in captured.err
+        assert "lowdrift" in captured.err
+
+    def test_text_report_describes_each_scenario(
+        self, serving_config, dataset_file, capsys
+    ):
+        code = self._replay(serving_config, dataset_file, "--families", "adversarial")
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Replay: 8 batch(es)" in output
+        assert "adversarial" in output
+        assert "onset @3" in output
+
+
 class TestParallelArguments:
     def test_train_defaults_to_serial(self):
         from repro.cli import build_parser
@@ -288,7 +357,8 @@ class TestBenchCommand:
         args = build_parser().parse_args(["bench", "--smoke"])
         assert args.n_jobs == 4
         assert args.smoke is True
-        assert args.out == "BENCH_PR8.json"
+        assert args.out == "BENCH_PR9.json"
+        assert args.baseline is None
 
     def test_smoke_bench_writes_report(self, tmp_path, capsys):
         out = tmp_path / "bench.json"
@@ -303,12 +373,15 @@ class TestBenchCommand:
         assert report["all_identical"] is True
         assert report["quality_parity"] is True
         assert report["profile"] == "smoke"
-        assert len(report["benchmarks"]) == 10
+        assert len(report["benchmarks"]) == 11
         assert report["fused_kernel_identical"] is True
         assert report["fused_kernel_not_slower"] is True
         assert report["registry_fleet_identical"] is True
         assert report["registry_fleet_memory_ok"] is True
+        assert report["drift_replay_identical"] is True
+        assert report["drift_replay_diversity_ok"] is True
         names = [bench["name"] for bench in report["benchmarks"]]
         assert "serving_score_fused_vs_reference" in names
         assert "daemon_throughput" in names
         assert "registry_fleet" in names
+        assert "drift_replay" in names

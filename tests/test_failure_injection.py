@@ -255,11 +255,38 @@ class TestCheckpointResumeAfterCrash:
             checkpoint=store, checkpoint_every=2,
         )
         assert faulty.calls == calls_before + 2  # episodes 4 and 5 only
-        assert not store.exists()  # cleared on success
+        # Regression: the sampler used to clear *caller-supplied* stores
+        # on success; it only owns (and clears) stores it built itself
+        # from a bare path.
+        assert store.exists()
         assert len(resumed) == len(expected) == 6
         for got, want in zip(resumed, expected):
             np.testing.assert_array_equal(got.proba, want.proba)
             assert got.score == want.score
+
+    def test_path_checkpoint_is_cleared_caller_store_survives(
+        self, income_blackbox, income_splits, tmp_path
+    ):
+        frame = income_splits.test.head(80)
+        labels = income_splits.y_test[:80]
+
+        # A bare path: the sampler builds the store, so it clears it.
+        path = tmp_path / "owned-run"
+        self._sampler(income_blackbox).sample(
+            frame, labels, 4, np.random.default_rng(0),
+            checkpoint=path, checkpoint_every=2,
+        )
+        assert not CheckpointStore(path).exists()
+
+        # A caller-supplied store survives success — the caller may be
+        # sharing it across runs or inspecting it afterwards.
+        store = CheckpointStore(tmp_path / "caller-run")
+        self._sampler(income_blackbox).sample(
+            frame, labels, 4, np.random.default_rng(0),
+            checkpoint=store, checkpoint_every=2,
+        )
+        assert store.exists()
+        store.clear()  # the caller disposes of it
 
     def test_checkpoint_refuses_a_different_run(
         self, income_blackbox, income_splits, tmp_path

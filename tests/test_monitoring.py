@@ -160,6 +160,93 @@ class TestObservation:
         assert second.smoothed_score < first.smoothed_score
 
 
+class TestAlarmAccounting:
+    def test_alarm_rate_is_lifetime_not_window(self, predictor):
+        # Regression: alarm_rate() used to average the *retained* records
+        # window, so after history trimming it silently forgot every
+        # older alarm — 3 early alarms followed by `history` clean
+        # batches reported a rate of 0.0.
+        monitor = BatchMonitor(predictor, threshold=0.05, history=4)
+        clean = predictor.test_score_
+        for _ in range(3):
+            monitor.observe_estimate(0.0, 10)  # alarming
+        for _ in range(4):
+            monitor.observe_estimate(clean, 10)
+        assert len(monitor.state.records) == 4  # alarms trimmed away
+        assert monitor.state.total_alarms == 3
+        assert monitor.alarm_rate() == pytest.approx(3 / 7)
+        # The windowed variant keeps the old recency semantics, explicitly.
+        assert monitor.windowed_alarm_rate() == 0.0
+
+    def test_windowed_rate_covers_only_the_window(self, predictor):
+        monitor = BatchMonitor(predictor, threshold=0.05, history=4)
+        clean = predictor.test_score_
+        for _ in range(4):
+            monitor.observe_estimate(clean, 10)
+        for _ in range(2):
+            monitor.observe_estimate(0.0, 10)
+        assert monitor.windowed_alarm_rate() == pytest.approx(0.5)
+        assert monitor.alarm_rate() == pytest.approx(2 / 6)
+
+    def test_empty_monitor_rates_are_zero(self, predictor):
+        monitor = BatchMonitor(predictor)
+        assert monitor.alarm_rate() == 0.0
+        assert monitor.windowed_alarm_rate() == 0.0
+
+    def test_sustained_counter_tracks_sustained_records(self, predictor):
+        monitor = BatchMonitor(predictor, threshold=0.05, patience=2)
+        for _ in range(4):
+            monitor.observe_estimate(0.0, 10)
+        assert monitor.state.total_alarms == 4
+        assert monitor.state.total_sustained == 3  # patience delays the first
+
+
+class TestDegradedEstimates:
+    def test_degraded_never_alarms_and_dilutes_no_stream(self, predictor):
+        # Regression: fallback estimates used to feed the smoothing
+        # stream and the alarm streak, so a predictor outage serving a
+        # stale (low) fallback score looked exactly like drift.
+        monitor = BatchMonitor(predictor, threshold=0.05, patience=2, smoothing=0.5)
+        clean = predictor.test_score_
+        first = monitor.observe_estimate(clean, 10)
+        degraded = monitor.observe_estimate(0.0, 10, degraded=True)
+        assert degraded.alarm is False
+        assert degraded.sustained_alarm is False
+        assert degraded.degraded is True
+        # Smoothing untouched: the next clean batch continues from the
+        # pre-outage smoothed value, not from the fallback 0.0.
+        after = monitor.observe_estimate(clean, 10)
+        assert after.smoothed_score == pytest.approx(first.smoothed_score)
+        assert monitor.state.total_degraded == 1
+        assert monitor.state.total_alarms == 0
+
+    def test_degraded_does_not_break_an_alarm_streak(self, predictor):
+        monitor = BatchMonitor(predictor, threshold=0.05, patience=2)
+        monitor.observe_estimate(0.0, 10)
+        assert monitor.state.consecutive_alarms == 1
+        monitor.observe_estimate(0.7, 10, degraded=True)  # outage mid-incident
+        assert monitor.state.consecutive_alarms == 1  # streak preserved
+        record = monitor.observe_estimate(0.0, 10)
+        assert record.sustained_alarm is True  # patience=2 reached
+
+    def test_sustained_alarm_persists_through_an_outage(self, predictor):
+        monitor = BatchMonitor(predictor, threshold=0.05, patience=2)
+        monitor.observe_estimate(0.0, 10)
+        assert monitor.observe_estimate(0.0, 10).sustained_alarm is True
+        during_outage = monitor.observe_estimate(0.5, 10, degraded=True)
+        assert during_outage.sustained_alarm is True
+        assert during_outage.alarm is False
+
+    def test_degraded_counts_toward_batches_but_not_alarm_rate_numerator(
+        self, predictor
+    ):
+        monitor = BatchMonitor(predictor, threshold=0.05)
+        monitor.observe_estimate(0.0, 10)
+        monitor.observe_estimate(0.0, 10, degraded=True)
+        assert monitor.state.total_batches == 2
+        assert monitor.alarm_rate() == pytest.approx(0.5)
+
+
 class TestPersistenceRoundTrip:
     def test_monitor_state_survives_save_load_observe(
         self, predictor, income_splits, tmp_path
@@ -186,6 +273,52 @@ class TestPersistenceRoundTrip:
         restored_next = restored.observe(batch)
         assert restored_next == original_next
         assert restored_next.batch_index == 3
+
+    def test_lifetime_counters_survive_the_round_trip(
+        self, predictor, tmp_path
+    ):
+        from repro import persistence
+
+        monitor = BatchMonitor(predictor, threshold=0.05, patience=2, history=3)
+        for _ in range(4):
+            monitor.observe_estimate(0.0, 10)
+        monitor.observe_estimate(0.7, 10, degraded=True)
+        monitor.observe_estimate(predictor.test_score_, 10)
+        path = tmp_path / "monitor.npz"
+        persistence.save_model(monitor, path)
+
+        restored = persistence.load_model(path, expected_class=BatchMonitor)
+        # History trimming dropped early records, but the counters are
+        # lifetime truths and must survive the snapshot untouched.
+        assert len(restored.state.records) == 3
+        assert restored.state.total_batches == 6
+        assert restored.state.total_alarms == 4
+        # 3 sustained batches from the streak, plus the degraded batch
+        # through which the sustained alarm persisted.
+        assert restored.state.total_sustained == 4
+        assert restored.state.total_degraded == 1
+        assert restored.alarm_rate() == pytest.approx(monitor.alarm_rate())
+
+    def test_old_snapshots_backfill_counters_from_the_window(self):
+        # Snapshots pickled before the lifetime counters / degraded tag
+        # existed must keep loading: BatchRecord defaults degraded and
+        # MonitorState backfills counters from the retained records.
+        from repro.monitoring import BatchRecord, MonitorState
+
+        record = BatchRecord.__new__(BatchRecord)
+        record.__setstate__({
+            "batch_index": 0, "n_rows": 10, "estimated_score": 0.2,
+            "smoothed_score": 0.2, "alarm": True, "sustained_alarm": True,
+        })
+        assert record.degraded is False
+
+        state = MonitorState.__new__(MonitorState)
+        state.__setstate__({
+            "records": [record], "consecutive_alarms": 1, "total_batches": 1,
+        })
+        assert state.total_alarms == 1
+        assert state.total_sustained == 1
+        assert state.total_degraded == 0
 
 
 class TestReporting:
