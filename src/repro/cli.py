@@ -645,6 +645,17 @@ def _add_replay_command(subparsers) -> None:
     )
     parser.add_argument("--checkpoint-every", type=int, default=8)
     parser.add_argument(
+        "--label-budget", type=int, default=None, metavar="N",
+        help="active Bayesian assessment: reveal up to N ground-truth "
+        "labels per batch from the replay oracle and record the "
+        "posterior-refined estimate (service mode only)",
+    )
+    parser.add_argument(
+        "--expect-labels-spent", action="store_true",
+        help="exit 3 unless the run spent at least one oracle label "
+        "(guards that --label-budget was actually exercised)",
+    )
+    parser.add_argument(
         "--expect-detection-within", type=int, default=None, metavar="N",
         help="exit 3 unless every detectable scenario sustains an alarm "
         "within N batches of its onset (seasonal is exempt)",
@@ -698,10 +709,18 @@ def _run_replay(args) -> int:
         harness = ReplayHarness(
             serving, y_serving, service=service, endpoint=args.endpoint,
             n_jobs=args.n_jobs, backend=args.parallel_backend,
+            label_budget=args.label_budget,
         )
     else:
         from repro.daemon import DaemonClient
 
+        if args.label_budget is not None:
+            print(
+                "error: --label-budget needs per-row model outputs and is "
+                "available with --config (service mode) only",
+                file=sys.stderr,
+            )
+            return 2
         harness = ReplayHarness(
             serving, y_serving, client=DaemonClient(args.url),
             endpoint=args.endpoint,
@@ -718,6 +737,13 @@ def _run_replay(args) -> int:
     else:
         print(report.describe())
     failures = []
+    if args.expect_labels_spent:
+        spent = report.coverage()["labels_spent"]
+        if spent <= 0:
+            failures.append(
+                "no oracle labels were spent (is --label-budget set and the "
+                "target in service mode?)"
+            )
     if args.expect_no_false_alarms:
         failures.extend(
             f"{m.scenario}: {m.false_alarms} false alarm(s) before onset"
@@ -751,7 +777,7 @@ def _add_bench_command(subparsers) -> None:
         "--smoke", action="store_true",
         help="tiny workload for CI (default: the full reference workload)",
     )
-    parser.add_argument("--out", default="BENCH_PR9.json", help="report output path")
+    parser.add_argument("--out", default="BENCH_PR10.json", help="report output path")
     parser.add_argument(
         "--baseline", default=None,
         help="committed bench report to diff detection latencies against "
@@ -819,6 +845,20 @@ def _run_bench(args) -> int:
         print(
             "error: drift replay scenario-diversity gate failed (missing "
             "family, pre-onset false alarms, or undetected drift)",
+            file=sys.stderr,
+        )
+        failed = True
+    if not payload["drift_replay_coverage_ok"]:
+        print(
+            "error: drift replay interval-coverage gate failed (empirical "
+            "coverage below nominal - 5pp for conformal or CQR intervals)",
+            file=sys.stderr,
+        )
+        failed = True
+    if not payload["drift_replay_interval_alarm_ok"]:
+        print(
+            "error: interval-lower alarming gate failed (detected later "
+            "than point-estimate alarming or added pre-onset false alarms)",
             file=sys.stderr,
         )
         failed = True

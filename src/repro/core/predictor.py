@@ -9,6 +9,7 @@ statistics.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
@@ -23,6 +24,12 @@ from repro.ml.forest import RandomForestRegressor
 from repro.ml.model_selection import GridSearchCV
 from repro.obs import current_tracer
 from repro.tabular.frame import DataFrame
+from repro.uncertainty.conformal import (
+    INTERVAL_METHODS,
+    conformal_quantile,
+    normal_quantile,
+)
+from repro.uncertainty.cqr import MIN_CALIBRATION_SAMPLES, CQRIntervalModel
 
 DEFAULT_FOREST_GRID = (20, 50, 100)
 
@@ -153,6 +160,10 @@ class PerformancePredictor:
             "predictor.fit", rows=len(test_frame), corruptions=self.n_samples
         ):
             self.test_score_ = self.blackbox.score(test_frame, test_labels, self.metric)
+            # Size of the batches the calibration residuals were measured
+            # on: the sampling-noise inflation for small serving batches
+            # subtracts this scale's own variance.
+            self.calibration_rows_ = len(test_frame)
             # Retain the clean test-time outputs: degraded-mode serving
             # fits its BBSE/BBSEh fallback detectors against them.
             self.reference_proba_ = self.blackbox.predict_proba(test_frame)
@@ -204,7 +215,7 @@ class PerformancePredictor:
         from repro.ml.base import clone as clone_estimator
 
         n = len(self.meta_scores_)
-        if n < 15:
+        if n < MIN_CALIBRATION_SAMPLES:
             self.calibration_residuals_ = None
             return
         order = rng.permutation(n)
@@ -250,25 +261,122 @@ class PerformancePredictor:
             return float(np.clip(estimate, 0.0, 1.0))
 
     def predict_interval(
-        self, serving_frame: DataFrame, coverage: float = 0.8
+        self, serving_frame: DataFrame, coverage: float = 0.8, method: str = "conformal"
     ) -> tuple[float, float, float]:
-        """(lower, estimate, upper) split-conformal interval for the score.
+        """(lower, estimate, upper) calibrated interval for the score.
 
-        The interval width is the ``coverage`` quantile of the calibration
-        residuals collected during :meth:`fit`; under exchangeability of
-        the corruption episodes it covers the true score with roughly the
-        requested probability.
+        ``method="conformal"`` (default) is the fixed-width split-conformal
+        interval: the width is the finite-sample conformal ``coverage``
+        quantile of the calibration residuals collected during
+        :meth:`fit`, so under exchangeability of the corruption episodes
+        it covers the true score with at least the requested probability.
+        ``method="cqr"`` uses learned quantile heads conformalized with
+        the CQR correction instead (see :meth:`interval_model`): the width
+        adapts to the batch's output statistics.
         """
-        return self.interval_from_estimate(self.predict(serving_frame), coverage)
+        if not hasattr(self, "regressor_"):
+            raise NotFittedError("PerformancePredictor is not fitted; call fit() first")
+        proba = self.blackbox.predict_proba(serving_frame)
+        features = self._featurize(proba)
+        estimate = self.predict_from_proba(proba, features)
+        return self.interval_from_features(
+            features, estimate, coverage, method, n_rows=len(serving_frame)
+        )
+
+    def interval_model(self, coverage: float = 0.8) -> CQRIntervalModel:
+        """The CQR interval model for ``coverage``, fit lazily and cached.
+
+        The heads train on the same meta-dataset as ``h`` (features
+        retained from :meth:`fit`), one model per requested coverage
+        level; fitting is deterministic given ``random_state``.
+        """
+        if not hasattr(self, "meta_features_"):
+            raise NotFittedError("PerformancePredictor is not fitted; call fit() first")
+        if len(self.meta_scores_) < MIN_CALIBRATION_SAMPLES:
+            raise NotFittedError(
+                "no calibration residuals available; fit with enough meta-samples"
+            )
+        cache: dict[float, CQRIntervalModel] = getattr(self, "interval_models_", None) or {}
+        model = cache.get(coverage)
+        if model is None:
+            with current_tracer().span("predictor.fit_interval_model", coverage=coverage):
+                model = CQRIntervalModel(
+                    coverage=coverage,
+                    random_state=0 if self.random_state is None else self.random_state,
+                ).fit(self.meta_features_, self.meta_scores_)
+            cache[coverage] = model
+            self.interval_models_ = cache
+        return model
+
+    def interval_from_features(
+        self,
+        features: np.ndarray,
+        estimate: float,
+        coverage: float = 0.8,
+        method: str = "conformal",
+        n_rows: int | None = None,
+    ) -> tuple[float, float, float]:
+        """Interval around an estimate from already-computed features."""
+        if method not in INTERVAL_METHODS:
+            raise DataValidationError(
+                f"interval method must be one of {INTERVAL_METHODS}, got {method!r}"
+            )
+        if method == "conformal":
+            return self.interval_from_estimate(estimate, coverage, n_rows=n_rows)
+        lower, upper = self.interval_model(coverage).predict_interval(
+            np.asarray(features).reshape(1, -1)
+        )
+        # The heads learned score quantiles at the calibration batch
+        # size; a smaller serving batch's observed score carries extra
+        # binomial noise the meta-dataset never saw, so both bounds get
+        # the same sampling inflation as the conformal path.
+        inflation = self._sampling_inflation(estimate, coverage, n_rows)
+        return (
+            float(np.clip(min(float(lower[0]) - inflation, estimate), 0.0, 1.0)),
+            float(estimate),
+            float(np.clip(max(float(upper[0]) + inflation, estimate), 0.0, 1.0)),
+        )
+
+    def _sampling_inflation(
+        self, estimate: float, coverage: float, n_rows: int | None
+    ) -> float:
+        """Binomial sampling-noise term for a batch of ``n_rows``.
+
+        The calibration residuals measure the meta-regressor's error at
+        the *calibration* batch size (a corrupted copy of the full test
+        split). A small serving batch's observed score additionally
+        fluctuates around its distribution-level value with binomial
+        scale ``sqrt(p(1-p)/n)``; without this term the conformal
+        interval undercovers exactly when batches are small, which is
+        the regime serving lives in. The calibration batches' own (much
+        smaller) sampling variance is subtracted so large serving
+        batches get no spurious inflation.
+        """
+        if n_rows is None or n_rows < 1:
+            return 0.0
+        p = min(max(float(estimate), 1e-6), 1.0 - 1e-6)
+        calibration_rows = getattr(self, "calibration_rows_", None)
+        variance = p * (1.0 - p) * max(
+            0.0,
+            1.0 / n_rows - (1.0 / calibration_rows if calibration_rows else 0.0),
+        )
+        if variance <= 0.0:
+            return 0.0
+        return normal_quantile(0.5 + coverage / 2.0) * math.sqrt(variance)
 
     def interval_from_estimate(
-        self, estimate: float, coverage: float = 0.8
+        self, estimate: float, coverage: float = 0.8, n_rows: int | None = None
     ) -> tuple[float, float, float]:
-        """Conformal interval around an already-computed estimate.
+        """Split-conformal interval around an already-computed estimate.
 
         Lets serving-layer callers that hold one ``predict_proba`` result
         derive estimate, interval and monitor update in a single pass
-        instead of re-scoring the batch per question.
+        instead of re-scoring the batch per question. The width is the
+        finite-sample conformal quantile (rank ``ceil((n+1)*coverage)``)
+        of the cross-conformal residuals — the plug-in ``np.quantile``
+        undercovers for small calibration sets — plus, when ``n_rows``
+        is given, the batch-size sampling-noise term of
+        :meth:`_sampling_inflation`.
         """
         if not 0.0 < coverage < 1.0:
             raise DataValidationError(f"coverage must be in (0, 1), got {coverage}")
@@ -276,12 +384,60 @@ class PerformancePredictor:
             raise NotFittedError(
                 "no calibration residuals available; fit with enough meta-samples"
             )
-        width = float(np.quantile(self.calibration_residuals_, coverage))
+        width = conformal_quantile(self.calibration_residuals_, coverage)
+        width += self._sampling_inflation(estimate, coverage, n_rows)
         return (
             float(np.clip(estimate - width, 0.0, 1.0)),
             float(estimate),
             float(np.clip(estimate + width, 0.0, 1.0)),
         )
+
+    def interval_alarm_margin(
+        self,
+        coverage: float,
+        n_rows: int | None = None,
+        method: str = "conformal",
+    ) -> float:
+        """Clean-traffic interval half-width for interval-lower alarming.
+
+        An interval lower bound sits a half-width below the estimate
+        *even on clean traffic*, so comparing it against the point
+        alarm floor would page on calibration uncertainty alone. The
+        monitor therefore widens the floor by this margin — the
+        half-width the method assigns to undrifted traffic: for
+        ``conformal``, the width at the held-out test score for this
+        batch size; for ``cqr``, the mean conformalized half-width over
+        the calibration meta-features plus the same batch-size
+        sampling inflation the served interval gets, so the clean
+        cancellation holds at any batch size. What remains of the lower bound
+        after adding the margin back is drift evidence: score drops
+        *and* interval widening both pull it under the floor.
+        """
+        if method not in INTERVAL_METHODS:
+            raise DataValidationError(
+                f"interval method must be one of {INTERVAL_METHODS}, got {method!r}"
+            )
+        if method == "cqr":
+            if not hasattr(self, "test_score_"):
+                raise NotFittedError(
+                    "PerformancePredictor is not fitted; call fit() first"
+                )
+            return self.interval_model(
+                coverage
+            ).baseline_halfwidth_ + self._sampling_inflation(
+                self.test_score_, coverage, n_rows
+            )
+        if not hasattr(self, "test_score_"):
+            raise NotFittedError("PerformancePredictor is not fitted; call fit() first")
+        if getattr(self, "calibration_residuals_", None) is None:
+            raise NotFittedError(
+                "no calibration residuals available; fit with enough meta-samples"
+            )
+        # Unclipped width: [0, 1] clipping near the borders would shrink
+        # the margin and make the lower-bound stream spuriously sensitive.
+        return conformal_quantile(
+            self.calibration_residuals_, coverage
+        ) + self._sampling_inflation(self.test_score_, coverage, n_rows)
 
     def expected_drop(self, serving_frame: DataFrame) -> float:
         """Estimated relative drop vs. the held-out test score (>= 0 means a drop)."""

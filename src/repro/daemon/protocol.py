@@ -102,6 +102,12 @@ def result_to_payload(
         "alarm": result.alarm,
         "sustained_alarm": result.sustained_alarm,
         "interval": None if result.interval is None else list(result.interval),
+        "interval_width": (
+            None
+            if result.interval is None
+            else result.interval[2] - result.interval[0]
+        ),
+        "interval_coverage": result.interval_coverage,
         "trusted": result.trusted,
         "degraded": result.degraded,
         "fallback": result.fallback,

@@ -23,7 +23,11 @@ from repro.ml.binning import (
     check_max_bins,
     check_tree_method,
 )
-from repro.ml.boosting import GradientBoostingClassifier, GradientBoostingRegressor
+from repro.ml.boosting import (
+    REGRESSION_LOSSES,
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+)
 from repro.ml.calibration import CalibratedClassifier, IsotonicCalibrator, PlattCalibrator
 from repro.ml.conv import ConvNetClassifier
 from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
@@ -36,6 +40,7 @@ from repro.ml.metrics import (
     log_loss,
     mean_absolute_error,
     mean_squared_error,
+    pinball_loss,
     precision_score,
     r2_score,
     recall_score,
@@ -77,6 +82,7 @@ __all__ = [
     "OneHotEncoder",
     "Pipeline",
     "PlattCalibrator",
+    "REGRESSION_LOSSES",
     "RandomForestClassifier",
     "RandomForestRegressor",
     "SCORERS",
@@ -99,6 +105,7 @@ __all__ = [
     "matrix_train_test_split",
     "mean_absolute_error",
     "mean_squared_error",
+    "pinball_loss",
     "precision_score",
     "r2_score",
     "recall_score",

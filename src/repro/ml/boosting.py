@@ -21,9 +21,12 @@ from repro.ml.base import (
     sigmoid,
     softmax,
 )
+from repro.exceptions import DataValidationError
 from repro.ml.binning import BinnedMatrix, bin_matrix, check_tree_method
 from repro.ml.tree import DecisionTreeRegressor
 from repro.obs import current_tracer
+
+REGRESSION_LOSSES = ("squared", "pinball")
 
 
 def _newton_leaf_updates(
@@ -46,6 +49,34 @@ def _newton_leaf_updates(
     tree.tree_.set_leaf_values(
         {int(leaf): float(step) for leaf, step in zip(unique_leaves, steps)}
     )
+
+
+def _quantile_leaf_updates(
+    tree: DecisionTreeRegressor,
+    X: np.ndarray,
+    residuals: np.ndarray,
+    tau: float,
+) -> None:
+    """Relabel each leaf with the ``tau``-quantile of its raw residuals.
+
+    Pinball-loss boosting fits the stage tree against the loss *gradient*
+    (a step function in {tau - 1, tau}) which only decides the partition;
+    the optimal constant per leaf is the within-leaf residual quantile
+    (the line search of Friedman's LAD/quantile GBM, as in sklearn's
+    quantile loss).
+    """
+    leaves = tree.apply(X)
+    unique_leaves, inverse = np.unique(leaves, return_inverse=True)
+    order = np.argsort(inverse, kind="stable")
+    counts = np.bincount(inverse, minlength=len(unique_leaves))
+    sorted_residuals = residuals[order]
+    values: dict[int, float] = {}
+    start = 0
+    for leaf, count in zip(unique_leaves, counts):
+        segment = sorted_residuals[start : start + int(count)]
+        values[int(leaf)] = float(np.quantile(segment, tau))
+        start += int(count)
+    tree.tree_.set_leaf_values(values)
 
 
 def _fit_stage_tree(
@@ -198,7 +229,16 @@ class GradientBoostingClassifier(Estimator, ClassifierMixin):
 
 
 class GradientBoostingRegressor(Estimator):
-    """Least-squares gradient boosting (ablation learner for the predictor)."""
+    """Gradient boosting for regression.
+
+    ``loss="squared"`` (default) is the least-squares boosting that backs
+    the predictor ablation. ``loss="pinball"`` minimizes the pinball
+    (quantile) loss at level ``tau``: stage trees are grown against the
+    pinball gradient and their leaves relabeled with the within-leaf
+    residual ``tau``-quantile, so ``predict`` estimates the conditional
+    ``tau``-quantile of ``y`` — the interval heads behind
+    :mod:`repro.uncertainty` (Elder et al.-style learned bounds).
+    """
 
     def __init__(
         self,
@@ -209,6 +249,8 @@ class GradientBoostingRegressor(Estimator):
         random_state: int | None = 0,
         tree_method: str = "exact",
         max_bins: int = 256,
+        loss: str = "squared",
+        tau: float = 0.5,
     ):
         self.n_stages = n_stages
         self.learning_rate = learning_rate
@@ -217,11 +259,23 @@ class GradientBoostingRegressor(Estimator):
         self.random_state = random_state
         self.tree_method = tree_method
         self.max_bins = max_bins
+        self.loss = loss
+        self.tau = tau
+
+    def _check_loss(self) -> None:
+        if self.loss not in REGRESSION_LOSSES:
+            raise DataValidationError(
+                f"loss must be one of {REGRESSION_LOSSES}, got {self.loss!r}"
+            )
+        if self.loss == "pinball" and not 0.0 < self.tau < 1.0:
+            raise DataValidationError(f"tau must be in (0, 1), got {self.tau}")
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingRegressor":
         X = check_matrix(X)
         y = check_labels(y, X.shape[0]).astype(np.float64)
         check_tree_method(self.tree_method)
+        self._check_loss()
+        pinball = self.loss == "pinball"
         tracer = current_tracer()
         with tracer.span(
             "boosting.fit", rows=X.shape[0], features=X.shape[1],
@@ -233,12 +287,19 @@ class GradientBoostingRegressor(Estimator):
                     binned = bin_matrix(X, self.max_bins)
             else:
                 binned = None
-            self.base_score_ = float(y.mean())
+            if pinball:
+                self.base_score_ = float(np.quantile(y, self.tau))
+            else:
+                self.base_score_ = float(y.mean())
             prediction = np.full(X.shape[0], self.base_score_)
             self.trees_: list[DecisionTreeRegressor] = []
             for stage_index in range(self.n_stages):
                 with tracer.span("boosting.stage", stage=stage_index, trees=1):
                     residuals = y - prediction
+                    if pinball:
+                        targets = np.where(residuals > 0.0, self.tau, self.tau - 1.0)
+                    else:
+                        targets = residuals
                     tree = DecisionTreeRegressor(
                         max_depth=self.max_depth,
                         min_samples_leaf=self.min_samples_leaf,
@@ -247,9 +308,11 @@ class GradientBoostingRegressor(Estimator):
                         max_bins=self.max_bins,
                     )
                     if binned is not None:
-                        tree.fit_binned(binned, residuals)
+                        tree.fit_binned(binned, targets)
                     else:
-                        tree.fit(X, residuals)
+                        tree.fit(X, targets)
+                    if pinball:
+                        _quantile_leaf_updates(tree, X, residuals, self.tau)
                     prediction += self.learning_rate * tree.predict(X)
                     self.trees_.append(tree)
         return self

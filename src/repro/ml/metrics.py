@@ -42,6 +42,17 @@ def mean_squared_error(y_true: object, y_pred: object) -> float:
     return float(np.mean(diff * diff))
 
 
+def pinball_loss(y_true: object, y_pred: object, tau: float = 0.5) -> float:
+    """Mean pinball (quantile) loss at level ``tau``.
+
+    The proper scoring rule for conditional-quantile predictions; the
+    training objective of ``GradientBoostingRegressor(loss="pinball")``.
+    """
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    diff = y_true.astype(float) - y_pred.astype(float)
+    return float(np.mean(np.where(diff > 0.0, tau * diff, (tau - 1.0) * diff)))
+
+
 def r2_score(y_true: object, y_pred: object) -> float:
     """Coefficient of determination; 0 for a constant-mean predictor."""
     y_true, y_pred = _check_pair(y_true, y_pred)

@@ -127,6 +127,7 @@ class BatchMonitor:
         self.history = history
         self.state = MonitorState()
         self._smoothed: float | None = None
+        self._smoothed_alarm: float | None = None
 
     @property
     def expected_score(self) -> float:
@@ -146,6 +147,7 @@ class BatchMonitor:
         """
         self.state = MonitorState()
         self._smoothed = None
+        self._smoothed_alarm = None
 
     def observe(self, batch: DataFrame) -> BatchRecord:
         """Score one serving batch and update the monitor state."""
@@ -154,7 +156,11 @@ class BatchMonitor:
         return self.observe_estimate(self.predictor.predict(batch), len(batch))
 
     def observe_estimate(
-        self, estimate: float, n_rows: int, degraded: bool = False
+        self,
+        estimate: float,
+        n_rows: int,
+        degraded: bool = False,
+        alarm_score: float | None = None,
     ) -> BatchRecord:
         """Record an externally computed score estimate.
 
@@ -171,9 +177,20 @@ class BatchMonitor:
         otherwise a predictor outage would be indistinguishable from
         drift in the detection metrics. A sustained alarm already raised
         by real estimates stays raised through the outage.
+
+        ``alarm_score`` decouples what *alarms* from what is *reported*:
+        with ``alarm_on="interval_lower"`` the serving layer passes the
+        interval's lower bound here, so alarms fire when the floor can no
+        longer be ruled out at the configured coverage, while
+        ``estimated_score``/``smoothed_score`` keep tracking the point
+        estimate. The alarm score gets its own smoothing stream (same
+        constant) driving the sustained check. ``None`` (the default)
+        alarms on the estimate itself — the two streams then coincide and
+        behavior is exactly the historical one.
         """
         if n_rows < 1:
             raise DataValidationError(f"n_rows must be >= 1, got {n_rows}")
+        score = estimate if alarm_score is None else alarm_score
         if degraded:
             alarm = False
             self.state.total_degraded += 1
@@ -185,7 +202,14 @@ class BatchMonitor:
                     self.smoothing * estimate
                     + (1.0 - self.smoothing) * self._smoothed
                 )
-            alarm = estimate < self.alarm_floor
+            if self._smoothed_alarm is None:
+                self._smoothed_alarm = score
+            else:
+                self._smoothed_alarm = (
+                    self.smoothing * score
+                    + (1.0 - self.smoothing) * self._smoothed_alarm
+                )
+            alarm = score < self.alarm_floor
             if alarm:
                 self.state.consecutive_alarms += 1
                 self.state.total_alarms += 1
@@ -193,8 +217,8 @@ class BatchMonitor:
                 self.state.consecutive_alarms = 0
         sustained = (
             self.state.consecutive_alarms >= self.patience
-            and self._smoothed is not None
-            and self._smoothed < self.alarm_floor
+            and self._smoothed_alarm is not None
+            and self._smoothed_alarm < self.alarm_floor
         )
         if sustained:
             self.state.total_sustained += 1

@@ -17,9 +17,11 @@ and a fleet benchmark builds a 1,000-endpoint content-addressed store
 and gates lazy mmap hydration on bitwise parity and a capped-cache
 memory ceiling (see :mod:`repro.perf.registry_bench`). A drift-replay
 benchmark plays the builtin drift-scenario suite through the serving
-stack with parity gates across parallelism and checkpoint resume plus
-per-scenario detection metrics (see :mod:`repro.perf.replay_bench`).
-Everything lands in one JSON report; ``BENCH_PR9.json`` at the repo
+stack with parity gates across parallelism and checkpoint resume,
+per-scenario detection metrics, empirical interval-coverage gates for
+both interval methods, and an interval-lower alarming parity gate (see
+:mod:`repro.perf.replay_bench`).
+Everything lands in one JSON report; ``BENCH_PR10.json`` at the repo
 root is the committed reference run, and CI refreshes a smoke-profile
 copy per PR so the perf trajectory stays visible.
 
@@ -460,7 +462,7 @@ def run_benchmarks(
     fleet = next(b for b in benchmarks if b["name"] == "registry_fleet")
     replay = next(b for b in benchmarks if b["name"] == "drift_replay")
     return {
-        "schema_version": 6,
+        "schema_version": 7,
         "profile": profile,
         "n_jobs": n_jobs,
         "backend": backend,
@@ -481,6 +483,8 @@ def run_benchmarks(
         "registry_fleet_memory_ok": fleet["memory_ok"],
         "drift_replay_identical": replay["identical_results"],
         "drift_replay_diversity_ok": replay["scenario_diversity_ok"],
+        "drift_replay_coverage_ok": replay["coverage_ok"],
+        "drift_replay_interval_alarm_ok": replay["interval_alarm_ok"],
     }
 
 
@@ -523,19 +527,27 @@ def format_report(payload: dict[str, Any]) -> str:
         elif bench["name"] == "drift_replay":
             marker = (
                 "ok "
-                if bench["identical_results"] and bench["scenario_diversity_ok"]
+                if bench["identical_results"]
+                and bench["scenario_diversity_ok"]
+                and bench["coverage_ok"]
+                and bench["interval_alarm_ok"]
                 else "FAIL"
             )
             latencies = " ".join(
                 f"{name}:{entry['sustained_latency']}"
                 for name, entry in bench["scenarios"].items()
             )
+            coverage = bench["coverage"]
             lines.append(
                 f"  {bench['name']:<24} "
                 f"{bench['batches_scored']} batches/"
                 f"{bench['n_scenarios']} scenarios  "
                 f"serial {bench['serial_seconds']:>7.3f}s  "
-                f"sustained {latencies}  [{marker}]"
+                f"sustained {latencies}  "
+                f"cov conformal {coverage['conformal']['coverage'] or 0:.2f} "
+                f"cqr {coverage['cqr']['coverage'] or 0:.2f} "
+                f"@{coverage['nominal']:.0%}  "
+                f"labels {bench['labels_spent']}  [{marker}]"
             )
         elif "identical_results" in bench:
             marker = "ok " if bench["identical_results"] else "DIFF"

@@ -100,7 +100,10 @@ def _build_fleet(
                 version="1",
                 expected_score=artifacts[method][0].test_score_,
                 has_validator=True,
-                policy=EndpointPolicy(),
+                # The fleet predictors fit on tiny meta-corpora that
+                # cannot back a coverage claim; this bench measures
+                # hydration, not intervals.
+                policy=EndpointPolicy(interval_coverage=None),
                 predictor_record=predictor_record,
                 validator_record=validator_record,
             )

@@ -18,7 +18,16 @@ splits, predictor, and scenario suite run under ``smoke`` and ``full``,
 so detection latencies are directly comparable between a CI smoke run
 and the committed reference report —
 :func:`check_detection_regression` diffs exactly those fields against
-``BENCH_PR9.json``.
+the committed baseline.
+
+Beyond the PR-9 parity/diversity gates, the bench scores the calibrated
+uncertainty layer: every run serves 90%-nominal intervals and the
+harness's oracle checks them against the batches' true scores, gating
+pooled empirical coverage at ``nominal - 5pp`` for **both** interval
+methods (fixed-width conformal and CQR), and a fourth run alarms on the
+interval lower bound (``alarm_on="interval_lower"``) and is gated on
+detecting every detectable family *no later* than point-estimate
+alarming with no new pre-onset false alarms.
 """
 
 from __future__ import annotations
@@ -50,6 +59,13 @@ REPLAY_BATCH_SIZE = 80
 REPLAY_ONSET = 8
 REPLAY_SEED = 7
 
+#: Nominal interval coverage every bench run serves, the empirical floor
+#: it is gated at (nominal − 5pp), and the per-batch label budget of the
+#: active-assessment pass.
+INTERVAL_COVERAGE = 0.9
+COVERAGE_FLOOR = 0.85
+LABEL_BUDGET = 10
+
 #: Families whose drift the monitor must catch (sustained alarm). The
 #: seasonal family recurs below the detection floor by design — it
 #: exercises the false-alarm side, not the latency side.
@@ -72,7 +88,14 @@ def _replay_workload():
         onset=REPLAY_ONSET,
     )
 
-    def new_service() -> ValidationService:
+    def new_service(**policy_overrides) -> ValidationService:
+        policy = dict(
+            threshold=0.05,
+            smoothing=0.5,
+            patience=2,
+            interval_coverage=INTERVAL_COVERAGE,
+        )
+        policy.update(policy_overrides)
         registry = ModelRegistry()
         registry.register(
             Endpoint(
@@ -80,7 +103,7 @@ def _replay_workload():
                 version="1",
                 predictor=predictor,
                 validator=None,
-                policy=EndpointPolicy(threshold=0.05, smoothing=0.5, patience=2),
+                policy=EndpointPolicy(**policy),
             )
         )
         return ValidationService(registry)
@@ -89,12 +112,13 @@ def _replay_workload():
 
 
 def _run_replay(
-    splits, suite, new_service, n_jobs: int, backend: str, **run_kwargs
+    splits, suite, new_service, n_jobs: int, backend: str,
+    policy_overrides: dict[str, Any] | None = None, **run_kwargs
 ) -> ReplayReport:
     # Each scenario gets an aliased endpoint (its own monitor): the
     # suite replays as four interleaved tenants, not one polluted
     # stream, so the detection latencies below are per-scenario truths.
-    service = new_service()
+    service = new_service(**(policy_overrides or {}))
     isolated = isolate_scenarios(service, suite, "income")
     harness = ReplayHarness(
         splits.serving,
@@ -103,14 +127,60 @@ def _run_replay(
         endpoint="income",
         n_jobs=n_jobs,
         backend=backend,
+        label_budget=LABEL_BUDGET,
     )
     return harness.run(isolated, seed=REPLAY_SEED, **run_kwargs)
+
+
+def _scenario_entries(report: ReplayReport) -> dict[str, dict[str, Any]]:
+    entries: dict[str, dict[str, Any]] = {}
+    for metric in report.metrics:
+        entries[metric.scenario] = {
+            "onset": metric.onset,
+            "detection_latency": metric.detection_latency,
+            "sustained_latency": metric.sustained_latency,
+            "false_alarm_rate": metric.false_alarm_rate,
+            "pre_onset_batches": metric.pre_onset_batches,
+            "coverage": metric.coverage,
+            "labels_spent": metric.labels_spent,
+        }
+    return entries
+
+
+def _interval_alarm_parity(
+    point: dict[str, dict[str, Any]], interval: dict[str, dict[str, Any]]
+) -> bool:
+    """Lower-bound alarming must dominate point alarming on this suite.
+
+    For every detectable family the point run catches, the
+    interval-lower run must detect no later; and it must introduce no
+    pre-onset false alarms anywhere.
+    """
+    for name, entry in interval.items():
+        base = point.get(name, {})
+        if (
+            entry["false_alarm_rate"] > base.get("false_alarm_rate", 0.0)
+        ):
+            return False
+    for family in DETECTABLE_FAMILIES:
+        base = point.get(family)
+        current = interval.get(family)
+        if base is None or current is None:
+            return False
+        if base["detection_latency"] is None:
+            continue
+        if (
+            current["detection_latency"] is None
+            or current["detection_latency"] > base["detection_latency"]
+        ):
+            return False
+    return True
 
 
 def bench_drift_replay(
     profile: dict[str, Any], n_jobs: int = 4, backend: str = "auto"
 ) -> dict[str, Any]:
-    """Replay the builtin suite with parity and diversity gates."""
+    """Replay the builtin suite with parity, diversity and coverage gates."""
     import time
 
     splits, suite, new_service = _replay_workload()
@@ -138,19 +208,36 @@ def bench_drift_replay(
             checkpoint=checkpoint, checkpoint_every=8,
         )
 
+    # Same workload, alarming on the interval lower bound instead of the
+    # point estimate; and once more with CQR interval heads, so both
+    # methods' empirical coverage is on the record.
+    interval_lower = _run_replay(
+        splits, suite, new_service, 1, backend,
+        policy_overrides={"alarm_on": "interval_lower"},
+    )
+    cqr = _run_replay(
+        splits, suite, new_service, 1, backend,
+        policy_overrides={"interval_method": "cqr"},
+    )
+
     digest = serial.digest()
     parallel_identical = parallel.digest() == digest
     resume_identical = resumed.digest() == digest and resumed.complete
 
-    scenarios = {}
-    for metric in serial.metrics:
-        scenarios[metric.scenario] = {
-            "onset": metric.onset,
-            "detection_latency": metric.detection_latency,
-            "sustained_latency": metric.sustained_latency,
-            "false_alarm_rate": metric.false_alarm_rate,
-            "pre_onset_batches": metric.pre_onset_batches,
-        }
+    scenarios = _scenario_entries(serial)
+    interval_scenarios = _scenario_entries(interval_lower)
+    coverage = {
+        "nominal": INTERVAL_COVERAGE,
+        "floor": COVERAGE_FLOOR,
+        "conformal": serial.coverage(),
+        "cqr": cqr.coverage(),
+    }
+    coverage_ok = all(
+        coverage[method]["coverage"] is not None
+        and coverage[method]["coverage"] >= COVERAGE_FLOOR
+        for method in ("conformal", "cqr")
+    )
+    interval_alarm_ok = _interval_alarm_parity(scenarios, interval_scenarios)
     diversity_ok = (
         len(scenarios) >= 4
         and all(
@@ -179,6 +266,12 @@ def bench_drift_replay(
         "resume_identical": bool(resume_identical),
         "scenario_diversity_ok": bool(diversity_ok),
         "scenarios": scenarios,
+        "coverage": coverage,
+        "coverage_ok": bool(coverage_ok),
+        "label_budget": LABEL_BUDGET,
+        "labels_spent": serial.coverage()["labels_spent"],
+        "interval_alarm_scenarios": interval_scenarios,
+        "interval_alarm_ok": bool(interval_alarm_ok),
     }
 
 

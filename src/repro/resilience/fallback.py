@@ -47,6 +47,12 @@ class ScoreOutcome:
     human-readable summaries of every layer that failed before the
     answering one — surfaced in spans so an on-call can see *why* a
     response degraded.
+
+    Degraded outcomes never carry an ``interval``: the fallback estimate
+    is the held-out expectation, not a draw from the calibrated
+    estimate-residual distribution, so any interval stamped on it would
+    state a coverage it does not have. :meth:`ResilientScorer.score`
+    enforces this on every fallback answer.
     """
 
     estimate: float
@@ -169,7 +175,11 @@ class ResilientScorer:
                 continue
             self._emit("fallback", name=name)
             return replace(
-                outcome, degraded=True, fallback=name, failures=tuple(failures)
+                outcome,
+                interval=None,
+                degraded=True,
+                fallback=name,
+                failures=tuple(failures),
             )
         raise ResilienceError(
             "every scoring layer failed: " + "; ".join(failures)

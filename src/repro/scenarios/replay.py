@@ -41,6 +41,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.exceptions import DaemonError, DataValidationError
+from repro.ml.metrics import accuracy_score, roc_auc_score
 from repro.obs import current_tracer
 from repro.parallel import Executor, spawn_seeds
 from repro.resilience.checkpoint import CheckpointStore
@@ -51,11 +52,23 @@ from repro.scenarios.scenario import (
     _build_batch,
 )
 from repro.tabular.frame import DataFrame
+from repro.uncertainty import ActiveAssessor
 
 
 @dataclass(frozen=True)
 class ReplayOutcome:
-    """The monitor's verdict on one replayed batch."""
+    """The monitor's verdict on one replayed batch.
+
+    The harness holds the sampled rows' ground truth (the replay
+    *oracle*), so beyond the monitor's decision it can record what a
+    production system never sees: ``true_score`` (the black box's actual
+    score on the batch) and ``covered`` (did the served interval contain
+    it). ``labels_spent`` and the ``assessed_*`` fields come from the
+    optional :class:`~repro.uncertainty.ActiveAssessor` pass — a
+    label-budget refinement of the estimate that never feeds back into
+    the monitor's alarm stream. All oracle fields are ``None``/0 in
+    daemon mode (per-row model outputs stay in the daemon process).
+    """
 
     scenario: str
     endpoint: str
@@ -68,6 +81,31 @@ class ReplayOutcome:
     alarm: bool
     sustained_alarm: bool
     degraded: bool
+    interval: tuple[float, float, float] | None = None
+    interval_coverage: float | None = None
+    true_score: float | None = None
+    covered: bool | None = None
+    labels_spent: int = 0
+    assessed_score: float | None = None
+    assessed_lower: float | None = None
+    assessed_upper: float | None = None
+
+    def __setstate__(self, state):
+        # Outcomes checkpointed before the uncertainty fields existed
+        # restore without them; default them so old stores keep loading.
+        for name, value in {
+            "interval": None,
+            "interval_coverage": None,
+            "true_score": None,
+            "covered": None,
+            "labels_spent": 0,
+            "assessed_score": None,
+            "assessed_lower": None,
+            "assessed_upper": None,
+        }.items():
+            state.setdefault(name, value)
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -82,12 +120,27 @@ class ReplayOutcome:
             "alarm": self.alarm,
             "sustained_alarm": self.sustained_alarm,
             "degraded": self.degraded,
+            "interval": None if self.interval is None else list(self.interval),
+            "interval_coverage": self.interval_coverage,
+            "true_score": self.true_score,
+            "covered": self.covered,
+            "labels_spent": self.labels_spent,
+            "assessed_score": self.assessed_score,
+            "assessed_lower": self.assessed_lower,
+            "assessed_upper": self.assessed_upper,
         }
 
 
 @dataclass(frozen=True)
 class ScenarioMetrics:
-    """Detection quality of the monitor on one scenario timeline."""
+    """Detection quality of the monitor on one scenario timeline.
+
+    ``intervals``/``covered``/``coverage`` score the served intervals
+    against the replay oracle: of the non-degraded batches that carried
+    both an interval and a true score, how many intervals contained the
+    truth. ``coverage`` is ``None`` when no batch was checkable (daemon
+    mode, or interval serving disabled).
+    """
 
     scenario: str
     n_batches: int
@@ -99,6 +152,11 @@ class ScenarioMetrics:
     false_alarm_rate: float
     alarms: int
     degraded_batches: int
+    intervals: int = 0
+    covered: int = 0
+    coverage: float | None = None
+    mean_interval_width: float | None = None
+    labels_spent: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -112,6 +170,11 @@ class ScenarioMetrics:
             "false_alarm_rate": self.false_alarm_rate,
             "alarms": self.alarms,
             "degraded_batches": self.degraded_batches,
+            "intervals": self.intervals,
+            "covered": self.covered,
+            "coverage": self.coverage,
+            "mean_interval_width": self.mean_interval_width,
+            "labels_spent": self.labels_spent,
         }
 
     def describe(self) -> str:
@@ -126,11 +189,19 @@ class ScenarioMetrics:
             else f"sustained after {self.sustained_latency}"
         )
         onset = "no onset" if self.onset is None else f"onset @{self.onset}"
-        return (
+        line = (
             f"{self.scenario}: {onset}, {detect}, {sustained}, "
             f"false-alarm rate {self.false_alarm_rate:.2f} "
             f"({self.false_alarms}/{self.pre_onset_batches} pre-onset)"
         )
+        if self.coverage is not None:
+            line += (
+                f", coverage {self.coverage:.2f} "
+                f"({self.covered}/{self.intervals})"
+            )
+        if self.labels_spent:
+            line += f", {self.labels_spent} label(s) spent"
+        return line
 
 
 def scenario_metrics(
@@ -159,6 +230,12 @@ def scenario_metrics(
                 sustained = o.step - onset
             if detection is not None and sustained is not None:
                 break
+    checkable = [o for o in ordered if o.covered is not None and not o.degraded]
+    widths = [
+        o.interval[2] - o.interval[0]
+        for o in ordered
+        if o.interval is not None and not o.degraded
+    ]
     return ScenarioMetrics(
         scenario=scenario.name,
         n_batches=len(ordered),
@@ -170,6 +247,15 @@ def scenario_metrics(
         false_alarm_rate=false_alarms / len(pre) if pre else 0.0,
         alarms=sum(1 for o in ordered if o.alarm and not o.degraded),
         degraded_batches=sum(1 for o in ordered if o.degraded),
+        intervals=len(checkable),
+        covered=sum(1 for o in checkable if o.covered),
+        coverage=(
+            sum(1 for o in checkable if o.covered) / len(checkable)
+            if checkable
+            else None
+        ),
+        mean_interval_width=float(np.mean(widths)) if widths else None,
+        labels_spent=sum(o.labels_spent for o in ordered),
     )
 
 
@@ -200,11 +286,29 @@ class ReplayReport:
         )
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
+    def coverage(self) -> dict[str, Any]:
+        """Pooled interval-coverage accounting across all scenarios."""
+        intervals = sum(m.intervals for m in self.metrics)
+        covered = sum(m.covered for m in self.metrics)
+        widths = [
+            o.interval[2] - o.interval[0]
+            for o in self.outcomes
+            if o.interval is not None and not o.degraded
+        ]
+        return {
+            "intervals": intervals,
+            "covered": covered,
+            "coverage": covered / intervals if intervals else None,
+            "mean_interval_width": float(np.mean(widths)) if widths else None,
+            "labels_spent": sum(m.labels_spent for m in self.metrics),
+        }
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "complete": self.complete,
             "n_scored": len(self.outcomes),
             "digest": self.digest(),
+            "coverage": self.coverage(),
             "scenarios": {m.scenario: m.to_dict() for m in self.metrics},
         }
 
@@ -214,6 +318,13 @@ class ReplayReport:
             f"{len(self.metrics)} scenario(s)"
             + ("" if self.complete else " [PARTIAL]")
         ]
+        pooled = self.coverage()
+        if pooled["coverage"] is not None:
+            lines.append(
+                f"  interval coverage {pooled['coverage']:.2f} "
+                f"({pooled['covered']}/{pooled['intervals']}), "
+                f"{pooled['labels_spent']} label(s) spent"
+            )
         lines.extend(f"  {m.describe()}" for m in self.metrics)
         return "\n".join(lines)
 
@@ -238,6 +349,17 @@ class ReplayHarness:
         Parallelism for *batch generation* (corruption is the heavy
         part); scoring is inherently sequential because monitors are
         stateful. Results are bit-identical for every setting.
+    label_budget / assessor:
+        Enable Bayesian active assessment: per non-degraded batch the
+        harness lets an :class:`~repro.uncertainty.ActiveAssessor`
+        select up to ``label_budget`` rows, reveals their ground truth
+        from the replay oracle, and records the posterior-refined
+        estimate and credible interval on the outcome. Pass
+        ``assessor`` to control selection strategy or prior strength;
+        ``label_budget`` alone builds a default assessor. Service mode
+        only — the refinement needs per-row model outputs, which a
+        daemon keeps to itself. The assessment annotates outcomes; it
+        never feeds the monitor's alarm stream.
     """
 
     def __init__(
@@ -249,10 +371,19 @@ class ReplayHarness:
         endpoint: str | None = None,
         n_jobs: int | None = 1,
         backend: str = "auto",
+        label_budget: int | None = None,
+        assessor: ActiveAssessor | None = None,
     ):
         if (service is None) == (client is None):
             raise DataValidationError(
                 "provide exactly one of service= or client="
+            )
+        if assessor is None and label_budget is not None:
+            assessor = ActiveAssessor(label_budget=label_budget)
+        if assessor is not None and client is not None:
+            raise DataValidationError(
+                "label-budget assessment needs per-row model outputs; "
+                "it is available in service mode only"
             )
         self.frame = frame
         self.labels = np.asarray(labels)
@@ -261,6 +392,8 @@ class ReplayHarness:
         self.endpoint = endpoint
         self.n_jobs = n_jobs
         self.backend = backend
+        self.assessor = assessor
+        self.label_budget = None if assessor is None else assessor.label_budget
 
     @property
     def mode(self) -> str:
@@ -320,6 +453,7 @@ class ReplayHarness:
             "rows": len(self.frame),
             "scenarios": [s.to_dict() for s in scenarios],
             "seed_entropy": int(roots[0].entropy) if roots else 0,
+            "label_budget": self.label_budget,
         }
         owns_store = checkpoint is not None and not isinstance(
             checkpoint, CheckpointStore
@@ -434,6 +568,9 @@ class ReplayHarness:
         endpoint = scenario.endpoint or self.endpoint
         if self.service is not None:
             result = self.service.score_now(endpoint, batch.frame)
+            true_score, covered, assessment = self._consult_oracle(
+                endpoint, batch, result, global_step
+            )
             return ReplayOutcome(
                 scenario=scenario.name,
                 endpoint=endpoint,
@@ -446,6 +583,14 @@ class ReplayHarness:
                 alarm=result.alarm,
                 sustained_alarm=result.sustained_alarm,
                 degraded=result.degraded,
+                interval=result.interval,
+                interval_coverage=result.interval_coverage,
+                true_score=true_score,
+                covered=covered,
+                labels_spent=0 if assessment is None else assessment.labels_spent,
+                assessed_score=None if assessment is None else assessment.estimate,
+                assessed_lower=None if assessment is None else assessment.lower,
+                assessed_upper=None if assessment is None else assessment.upper,
             )
         response = self.client.score(endpoint, batch.frame)
         if not response.ok:
@@ -454,6 +599,7 @@ class ReplayHarness:
                 f"{scenario.name!r} step {batch.step}: {response.payload}"
             )
         payload = response.payload
+        interval = payload.get("interval")
         return ReplayOutcome(
             scenario=scenario.name,
             endpoint=endpoint,
@@ -466,7 +612,48 @@ class ReplayHarness:
             alarm=bool(payload["alarm"]),
             sustained_alarm=bool(payload["sustained_alarm"]),
             degraded=bool(payload.get("degraded", False)),
+            interval=None if interval is None else tuple(float(v) for v in interval),
+            interval_coverage=payload.get("interval_coverage"),
         )
+
+    def _consult_oracle(self, endpoint, batch, result, global_step):
+        """Score the batch against held-back truth (service mode only).
+
+        Returns ``(true_score, covered, assessment)``. Degraded batches
+        get neither a coverage verdict nor an assessment — a fallback
+        estimate says nothing about the interval machinery, and active
+        assessment needs the primary predictor's probabilities.
+        """
+        if batch.labels is None:
+            return None, None, None
+        registered = self.service.registry.get(endpoint)
+        predictor = registered.predictor
+        blackbox = predictor.blackbox
+        proba = blackbox.predict_proba(batch.frame)
+        predictions = blackbox.classes[np.argmax(proba, axis=1)]
+        if predictor.metric == "accuracy":
+            true_score = float(accuracy_score(batch.labels, predictions))
+        else:
+            true_score = float(
+                roc_auc_score(
+                    batch.labels, proba[:, 1], positive=blackbox.classes[1]
+                )
+            )
+        covered = None
+        if result.interval is not None and not result.degraded:
+            covered = bool(
+                result.interval[0] <= true_score <= result.interval[2]
+            )
+        assessment = None
+        if self.assessor is not None and not result.degraded:
+            correct = predictions == batch.labels
+            assessment = self.assessor.assess(
+                proba,
+                lambda idx: correct[idx],
+                prior_estimate=result.estimated_score,
+                seed=global_step,
+            )
+        return true_score, covered, assessment
 
     def _rebuild_monitors(
         self, scenarios: list[Scenario], completed: dict[int, ReplayOutcome]
@@ -476,7 +663,10 @@ class ReplayHarness:
         Monitor state is a deterministic function of the estimate
         stream (smoothing, streaks, counters), so feeding the stored
         floats back in global order reconstructs it bit-identically —
-        without re-scoring a single batch.
+        without re-scoring a single batch. Endpoints alarming on the
+        interval lower bound also need their alarm stream replayed from
+        the stored intervals, or a resumed run's streaks would silently
+        fall back to point-estimate alarming.
         """
         by_key: dict[str, Scenario] = {s.name: s for s in scenarios}
         for global_step in sorted(completed):
@@ -484,10 +674,16 @@ class ReplayHarness:
             scenario = by_key[outcome.scenario]
             endpoint = scenario.endpoint or self.endpoint
             monitor = self.service.monitor(endpoint)
+            alarm_score = self.service.interval_alarm_score(
+                self.service.registry.get(endpoint),
+                None if outcome.degraded else outcome.interval,
+                outcome.n_rows,
+            )
             monitor.observe_estimate(
                 outcome.estimated_score,
                 outcome.n_rows,
                 degraded=outcome.degraded,
+                alarm_score=alarm_score,
             )
 
 

@@ -131,13 +131,24 @@ class DriftEvent:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class ScheduledBatch:
-    """One generated serving batch of a scenario timeline."""
+    """One generated serving batch of a scenario timeline.
+
+    ``labels`` carries the ground truth of the sampled pool rows, aligned
+    with ``frame``. The serving path never sees them — they are the
+    *oracle* side of the harness: the replay loop uses them to score
+    empirical interval coverage and to answer the
+    :class:`~repro.uncertainty.ActiveAssessor`'s label-budget queries.
+    Cell corruption events alter feature values only, so the labels stay
+    those of the source rows; a label-shift event reorders the sampling
+    and the labels follow the drawn rows.
+    """
 
     step: int
     frame: DataFrame
     intensities: dict[str, float]
+    labels: np.ndarray | None = None
 
     @property
     def intensity(self) -> float:
@@ -293,7 +304,7 @@ def _build_batch(
     """
     scenario = context.scenario
     intensities = scenario.intensities(step)
-    batch = _sample_rows(scenario, step, context, rng)
+    batch, labels = _sample_rows(scenario, step, context, rng)
     for event in scenario.events:
         if event.error == LABEL_SHIFT:
             continue
@@ -304,7 +315,9 @@ def _build_batch(
         batch, _ = generator.corrupt_scaled(
             batch, rng, intensity, columns=event.columns
         )
-    return ScheduledBatch(step=step, frame=batch, intensities=intensities)
+    return ScheduledBatch(
+        step=step, frame=batch, intensities=intensities, labels=labels
+    )
 
 
 def _sample_rows(
@@ -312,15 +325,17 @@ def _sample_rows(
     step: int,
     context: _GenerationContext,
     rng: np.random.Generator,
-) -> DataFrame:
-    """Draw the batch's rows, honouring an active label-shift event."""
+) -> tuple[DataFrame, np.ndarray]:
+    """Draw the batch's rows (and their labels), honouring an active
+    label-shift event. RNG call order matches the pre-label-oracle code
+    exactly, so generated frames stay bit-identical."""
     shift = next(
         (event for event in scenario.events if event.error == LABEL_SHIFT), None
     )
     n = scenario.batch_size
     if shift is None or shift.schedule.intensity(step) <= 0.0:
         indices = rng.choice(len(context.frame), size=n, replace=True)
-        return context.frame.select_rows(indices)
+        return context.frame.select_rows(indices), context.labels[indices]
 
     intensity = shift.schedule.intensity(step)
     labels = context.labels
@@ -340,7 +355,8 @@ def _sample_rows(
             rng.choice(other_pool, size=n - n_target, replace=True),
         ]
     )
-    return context.frame.select_rows(rng.permutation(chosen))
+    order = rng.permutation(chosen)
+    return context.frame.select_rows(order), labels[order]
 
 
 def _resolve_shift(shift: DriftEvent, labels: np.ndarray):

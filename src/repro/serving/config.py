@@ -673,6 +673,8 @@ def write_serving_config(
                     "micro_batch_size": endpoint.policy.micro_batch_size,
                     "max_wait_seconds": endpoint.policy.max_wait_seconds,
                     "interval_coverage": endpoint.policy.interval_coverage,
+                    "interval_method": endpoint.policy.interval_method,
+                    "alarm_on": endpoint.policy.alarm_on,
                 },
             }
             for endpoint, artifact_dir in endpoints

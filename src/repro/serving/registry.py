@@ -29,10 +29,13 @@ from repro import persistence
 from repro.core.predictor import PerformancePredictor
 from repro.core.validator import PerformanceValidator
 from repro.exceptions import DataValidationError
+from repro.uncertainty.conformal import INTERVAL_METHODS
 
 _MANIFEST_NAME = "registry.json"
 _MANIFEST_VERSION = 1
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+ALARM_MODES = ("estimate", "interval_lower")
 
 
 @dataclass(frozen=True)
@@ -42,8 +45,14 @@ class EndpointPolicy:
     ``micro_batch_size`` of ``None`` scores every submitted frame
     immediately; otherwise rows accumulate until the target size is
     reached or ``max_wait_seconds`` elapses since the first buffered
-    row. ``interval_coverage`` of ``None`` skips conformal intervals
+    row. ``interval_coverage`` of ``None`` skips intervals entirely
     (they need calibration residuals, which tiny meta-corpora lack).
+    ``interval_method`` selects fixed-width split-conformal intervals
+    (``"conformal"``) or learned CQR quantile heads (``"cqr"``; see
+    :mod:`repro.uncertainty`). ``alarm_on="interval_lower"`` fires alarms
+    when the interval's *lower bound* drops below the alarm floor — "the
+    floor can no longer be ruled out at this coverage" — instead of the
+    point estimate; it requires ``interval_coverage`` to be set.
     """
 
     threshold: float = 0.05
@@ -53,10 +62,25 @@ class EndpointPolicy:
     micro_batch_size: int | None = None
     max_wait_seconds: float = 1.0
     interval_coverage: float | None = 0.8
+    interval_method: str = "conformal"
+    alarm_on: str = "estimate"
 
     def __post_init__(self):
         if not 0.0 < self.threshold < 1.0:
             raise DataValidationError(f"threshold must be in (0, 1), got {self.threshold}")
+        if self.interval_method not in INTERVAL_METHODS:
+            raise DataValidationError(
+                f"interval_method must be one of {INTERVAL_METHODS}, "
+                f"got {self.interval_method!r}"
+            )
+        if self.alarm_on not in ALARM_MODES:
+            raise DataValidationError(
+                f"alarm_on must be one of {ALARM_MODES}, got {self.alarm_on!r}"
+            )
+        if self.alarm_on == "interval_lower" and self.interval_coverage is None:
+            raise DataValidationError(
+                "alarm_on='interval_lower' requires interval_coverage to be set"
+            )
         if self.micro_batch_size is not None and self.micro_batch_size < 1:
             raise DataValidationError(
                 f"micro_batch_size must be >= 1 or None, got {self.micro_batch_size}"

@@ -21,10 +21,11 @@ flushing is deterministic under test.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
-from repro.exceptions import DataValidationError
+from repro.exceptions import DataValidationError, NotFittedError
 from repro.monitoring import BatchMonitor, BatchRecord
 from repro.obs import current_tracer
 from repro.perf.kernels import FusedScorer, check_kernel
@@ -64,6 +65,10 @@ class BatchResult:
     trusted: bool | None = None
     degraded: bool = False
     fallback: str | None = None
+    # Nominal coverage of the served interval (None when no interval was
+    # served — including degraded batches, whose fallback estimates carry
+    # no calibrated residual distribution).
+    interval_coverage: float | None = None
 
     @property
     def key(self) -> str:
@@ -202,6 +207,22 @@ class ValidationService:
             "serving_estimated_score", "Distribution of estimated scores", labels,
             buckets=SCORE_BUCKETS,
         )
+        self._intervals = self.metrics.counter(
+            "serving_intervals_total", "Intervals served, by method",
+            ("endpoint", "method"),
+        )
+        self._interval_unavailable = self.metrics.counter(
+            "serving_interval_unavailable_total",
+            "Batches whose policy requested an interval that could not be "
+            "served, by reason",
+            ("endpoint", "reason"),
+        )
+        self._interval_widths = self.metrics.histogram(
+            "serving_interval_width",
+            "Width (upper - lower) of served intervals", labels,
+            buckets=SCORE_BUCKETS,
+        )
+        self._interval_warned: set[str] = set()
         self._endpoint_gauge = self.metrics.gauge(
             "serving_endpoints_registered", "Endpoints known to the registry"
         )
@@ -407,13 +428,9 @@ class ValidationService:
         )
         deadline.check("score estimation")
         interval = None
-        if (
-            policy.interval_coverage is not None
-            and getattr(endpoint.predictor, "calibration_residuals_", None)
-            is not None
-        ):
-            interval = endpoint.predictor.interval_from_estimate(
-                estimate, policy.interval_coverage
+        if policy.interval_coverage is not None:
+            interval = self._interval(
+                endpoint, estimate, predictor_features, proba, len(frame)
             )
         trusted = None
         if endpoint.validator is not None:
@@ -423,6 +440,89 @@ class ValidationService:
         return ScoreOutcome(
             estimate=float(estimate), interval=interval, trusted=trusted
         )
+
+    def _interval(
+        self,
+        endpoint: Endpoint,
+        estimate: float,
+        features,
+        proba,
+        n_rows: int,
+    ) -> tuple[float, float, float] | None:
+        """The policy-selected interval, or ``None`` — *audibly*.
+
+        A predictor without calibration residuals (meta-corpus below the
+        floor) cannot honor an ``interval_coverage`` policy. Silently
+        serving no interval would drop the operator's request on the
+        floor, so the miss is counted in
+        ``serving_interval_unavailable_total`` and warned once per
+        endpoint; an ``alarm_on="interval_lower"`` endpoint then alarms
+        on the point estimate until the predictor is refit with enough
+        meta-samples.
+        """
+        policy = endpoint.policy
+        predictor = endpoint.predictor
+        try:
+            if policy.interval_method == "cqr":
+                if features is None:
+                    features = predictor._featurize(proba)
+                return predictor.interval_from_features(
+                    features,
+                    estimate,
+                    policy.interval_coverage,
+                    method="cqr",
+                    n_rows=n_rows,
+                )
+            return predictor.interval_from_estimate(
+                estimate, policy.interval_coverage, n_rows=n_rows
+            )
+        except NotFittedError as error:
+            self._interval_unavailable.inc(
+                endpoint=endpoint.key, reason="no_calibration"
+            )
+            if endpoint.key not in self._interval_warned:
+                self._interval_warned.add(endpoint.key)
+                warnings.warn(
+                    f"endpoint {endpoint.key}: policy requests "
+                    f"{policy.interval_coverage:.0%} {policy.interval_method} "
+                    f"intervals but none can be served ({error}); batches "
+                    "will carry interval=None",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return None
+
+    def interval_alarm_score(
+        self,
+        endpoint: Endpoint,
+        interval: tuple[float, float, float] | None,
+        n_rows: int,
+    ) -> float | None:
+        """The score the alarm stream tracks under ``alarm_on="interval_lower"``.
+
+        The interval lower bound sits a clean-traffic half-width below
+        the estimate even when nothing drifts, so comparing it raw
+        against the point-estimate floor would page on calibration
+        uncertainty alone. The monitor therefore tracks
+        ``lower + margin`` where ``margin`` is the method's clean-traffic
+        half-width (:meth:`PerformancePredictor.interval_alarm_margin`):
+        on undrifted traffic this re-centers the stream on the estimate,
+        while drift pulls it down through *both* channels — the estimate
+        dropping and the interval widening beyond its baseline. Returns
+        ``None`` (alarm on the estimate stream) for other policies,
+        batches without an interval, and predictors that cannot price a
+        margin.
+        """
+        policy = endpoint.policy
+        if policy.alarm_on != "interval_lower" or interval is None:
+            return None
+        try:
+            margin = endpoint.predictor.interval_alarm_margin(
+                policy.interval_coverage, n_rows, policy.interval_method
+            )
+        except NotFittedError:
+            return None
+        return interval[0] + margin
 
     def _resilient_scorer(self, endpoint: Endpoint) -> ResilientScorer:
         """The per-endpoint scorer with retry / breaker / fallback chain
@@ -541,11 +641,24 @@ class ValidationService:
                         pass
             else:
                 outcome = self._primary_outcome(endpoint, frame, Deadline(None))
+            if outcome.degraded and outcome.interval is not None:
+                # Belt over ResilientScorer's own stripping: an interval's
+                # coverage claim never rides on a fallback estimate.
+                self._interval_unavailable.inc(
+                    endpoint=endpoint.key, reason="degraded"
+                )
+                outcome = replace(outcome, interval=None)
             # Fallback estimates are tagged so the monitor keeps outage
             # batches out of the smoothing stream and the alarm streak —
             # a predictor outage must not read as data drift.
+            alarm_score = self.interval_alarm_score(
+                endpoint, outcome.interval, len(frame)
+            )
             record = monitor.observe_estimate(
-                outcome.estimate, len(frame), degraded=outcome.degraded
+                outcome.estimate,
+                len(frame),
+                degraded=outcome.degraded,
+                alarm_score=alarm_score,
             )
         elapsed = max(0.0, self._clock() - started)
 
@@ -554,6 +667,11 @@ class ValidationService:
         self._latency.observe(elapsed, endpoint=key)
         self._batch_sizes.observe(len(frame), endpoint=key)
         self._scores.observe(outcome.estimate, endpoint=key)
+        if outcome.interval is not None:
+            self._intervals.inc(endpoint=key, method=endpoint.policy.interval_method)
+            self._interval_widths.observe(
+                outcome.interval[2] - outcome.interval[0], endpoint=key
+            )
         severity = self._severity(record)
         if severity is not None:
             self._alarms.inc(endpoint=key, severity=severity)
@@ -574,6 +692,11 @@ class ValidationService:
             trusted=outcome.trusted,
             degraded=outcome.degraded,
             fallback=outcome.fallback,
+            interval_coverage=(
+                endpoint.policy.interval_coverage
+                if outcome.interval is not None
+                else None
+            ),
         )
 
     @staticmethod

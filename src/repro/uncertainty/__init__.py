@@ -1,0 +1,45 @@
+"""Calibrated uncertainty for the performance predictor.
+
+Three pieces, grounded in the papers named in ROADMAP item 4:
+
+- :mod:`repro.uncertainty.conformal` — the finite-sample conformal
+  quantile behind the fixed-width split-conformal intervals (and the
+  fix for the ``np.quantile`` undercoverage bug).
+- :mod:`repro.uncertainty.cqr` — learned interval heads (pinball-loss
+  gradient boosting) conformalized with the CQR correction, so interval
+  width adapts to the output statistics while keeping coverage.
+- :mod:`repro.uncertainty.active` — Ji et al.-style active Bayesian
+  assessment: spend a small label budget per batch and posterior-update
+  the score estimate with a Beta posterior.
+"""
+
+from repro.uncertainty.active import (
+    SELECTION_METHODS,
+    ActiveAssessor,
+    AssessmentResult,
+    BetaPosterior,
+    beta_quantile,
+    regularized_incomplete_beta,
+)
+from repro.uncertainty.conformal import (
+    INTERVAL_METHODS,
+    conformal_quantile,
+    conformal_rank,
+    normal_quantile,
+)
+from repro.uncertainty.cqr import MIN_CALIBRATION_SAMPLES, CQRIntervalModel
+
+__all__ = [
+    "ActiveAssessor",
+    "AssessmentResult",
+    "BetaPosterior",
+    "CQRIntervalModel",
+    "INTERVAL_METHODS",
+    "MIN_CALIBRATION_SAMPLES",
+    "SELECTION_METHODS",
+    "beta_quantile",
+    "conformal_quantile",
+    "conformal_rank",
+    "normal_quantile",
+    "regularized_incomplete_beta",
+]

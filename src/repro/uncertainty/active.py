@@ -1,0 +1,263 @@
+"""Active Bayesian assessment of the serving-time score (Ji et al.).
+
+When the unlabeled estimate is uncertain, a small ``label_budget`` of
+serving rows can be sent to an oracle (a human labeler in production, the
+replay harness's ground truth in tests/benchmarks). The per-batch accuracy
+gets a Beta posterior anchored at the unlabeled estimate; each labeled row
+is a Bernoulli observation (prediction correct / incorrect) that updates
+the posterior, shrinking the credible interval as labels accumulate.
+
+The Beta quantile function is implemented here from scratch (regularized
+incomplete beta via the standard continued fraction, inverted by
+bisection): ``repro`` keeps its numerical core dependency-free outside
+the image pipeline, and the serving path must not grow a scipy import.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+SELECTION_METHODS = ("margin", "thompson")
+
+_CF_MAX_ITERATIONS = 200
+_CF_EPS = 3e-12
+_FPMIN = 1e-300
+
+
+def _beta_continued_fraction(a: float, b: float, x: float) -> float:
+    """Lentz continued-fraction evaluation for the incomplete beta."""
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _FPMIN:
+        d = _FPMIN
+    d = 1.0 / d
+    h = d
+    for m in range(1, _CF_MAX_ITERATIONS + 1):
+        m2 = 2 * m
+        numerator = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < _FPMIN:
+            d = _FPMIN
+        c = 1.0 + numerator / c
+        if abs(c) < _FPMIN:
+            c = _FPMIN
+        d = 1.0 / d
+        h *= d * c
+        numerator = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < _FPMIN:
+            d = _FPMIN
+        c = 1.0 + numerator / c
+        if abs(c) < _FPMIN:
+            c = _FPMIN
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _CF_EPS:
+            break
+    return h
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """``I_x(a, b)`` — the Beta(a, b) cumulative distribution at ``x``."""
+    if a <= 0.0 or b <= 0.0:
+        raise DataValidationError("beta shape parameters must be positive")
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    log_front = (
+        math.lgamma(a + b) - math.lgamma(a) - math.lgamma(b)
+        + a * math.log(x) + b * math.log1p(-x)
+    )
+    front = math.exp(log_front)
+    # The continued fraction converges fast only on one side of the mean;
+    # use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) for the other.
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_continued_fraction(a, b, x) / a
+    return 1.0 - front * _beta_continued_fraction(b, a, 1.0 - x) / b
+
+
+def beta_quantile(q: float, a: float, b: float) -> float:
+    """Inverse CDF of Beta(a, b) by bisection on the regularized beta."""
+    if not 0.0 <= q <= 1.0:
+        raise DataValidationError(f"quantile level must be in [0, 1], got {q}")
+    if q == 0.0:
+        return 0.0
+    if q == 1.0:
+        return 1.0
+    lo, hi = 0.0, 1.0
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if regularized_incomplete_beta(a, b, mid) < q:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+@dataclass(frozen=True)
+class BetaPosterior:
+    """Beta(alpha, beta) belief over a score in [0, 1]."""
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0 or self.beta <= 0.0:
+            raise DataValidationError("beta shape parameters must be positive")
+
+    @classmethod
+    def from_estimate(cls, estimate: float, strength: float) -> "BetaPosterior":
+        """Prior anchored at an unlabeled estimate with ``strength``
+        pseudo-observations (plus the uniform Beta(1, 1), which keeps the
+        prior proper even when the estimate sits on a border)."""
+        if strength <= 0.0:
+            raise DataValidationError(f"prior strength must be > 0, got {strength}")
+        estimate = float(np.clip(estimate, 0.0, 1.0))
+        return cls(1.0 + strength * estimate, 1.0 + strength * (1.0 - estimate))
+
+    @property
+    def mean(self) -> float:
+        return self.alpha / (self.alpha + self.beta)
+
+    @property
+    def variance(self) -> float:
+        total = self.alpha + self.beta
+        return self.alpha * self.beta / (total * total * (total + 1.0))
+
+    def update(self, successes: int, failures: int) -> "BetaPosterior":
+        if successes < 0 or failures < 0:
+            raise DataValidationError("observation counts must be non-negative")
+        return BetaPosterior(self.alpha + successes, self.beta + failures)
+
+    def interval(self, coverage: float = 0.9) -> tuple[float, float]:
+        """Central ``coverage`` credible interval."""
+        if not 0.0 < coverage < 1.0:
+            raise DataValidationError(f"coverage must be in (0, 1), got {coverage}")
+        tail = (1.0 - coverage) / 2.0
+        return (
+            beta_quantile(tail, self.alpha, self.beta),
+            beta_quantile(1.0 - tail, self.alpha, self.beta),
+        )
+
+
+@dataclass(frozen=True)
+class AssessmentResult:
+    """Outcome of one active-assessment round on a serving batch."""
+
+    estimate: float
+    lower: float
+    upper: float
+    labels_spent: int
+    successes: int
+    posterior: BetaPosterior
+    selected: tuple[int, ...]
+
+    @property
+    def interval(self) -> tuple[float, float, float]:
+        return (self.lower, self.estimate, self.upper)
+
+
+class ActiveAssessor:
+    """Selects which serving rows to label and fuses the answers.
+
+    ``selection="margin"`` ranks rows by the gap between the top two
+    predicted class probabilities (deterministic, most-uncertain-first —
+    the variance-based heuristic). ``selection="thompson"`` follows
+    Ji et al.'s Thompson-sampling flavor: each row's correctness gets an
+    independent Beta belief centered on the model's confidence, one draw
+    per row is sampled, and the rows whose sampled correctness is lowest
+    win the budget — randomized exploration that still favors rows the
+    model is likely wrong about. Thompson draws are seeded per call (pass
+    the batch's global step) so replays and checkpoint resumes stay
+    bit-identical.
+    """
+
+    def __init__(
+        self,
+        label_budget: int = 10,
+        selection: str = "margin",
+        prior_strength: float = 12.0,
+        coverage: float = 0.9,
+        random_state: int | None = 0,
+    ):
+        if label_budget < 1:
+            raise DataValidationError(f"label_budget must be >= 1, got {label_budget}")
+        if selection not in SELECTION_METHODS:
+            raise DataValidationError(
+                f"selection must be one of {SELECTION_METHODS}, got {selection!r}"
+            )
+        if prior_strength <= 0.0:
+            raise DataValidationError(
+                f"prior_strength must be > 0, got {prior_strength}"
+            )
+        if not 0.0 < coverage < 1.0:
+            raise DataValidationError(f"coverage must be in (0, 1), got {coverage}")
+        self.label_budget = label_budget
+        self.selection = selection
+        self.prior_strength = prior_strength
+        self.coverage = coverage
+        self.random_state = random_state
+
+    def select(self, proba: np.ndarray, seed: int | None = None) -> np.ndarray:
+        """Indices of the rows worth spending labels on, budget-capped."""
+        proba = np.atleast_2d(np.asarray(proba, dtype=np.float64))
+        n = proba.shape[0]
+        budget = min(self.label_budget, n)
+        if self.selection == "margin":
+            if proba.shape[1] < 2:
+                margins = proba[:, 0]
+            else:
+                top_two = np.partition(proba, proba.shape[1] - 2, axis=1)[:, -2:]
+                margins = top_two[:, 1] - top_two[:, 0]
+            return np.argsort(margins, kind="stable")[:budget]
+        rng = np.random.default_rng(
+            (0 if self.random_state is None else self.random_state,
+             0 if seed is None else seed)
+        )
+        confidence = np.clip(proba.max(axis=1), 1e-6, 1.0 - 1e-6)
+        draws = rng.beta(
+            1.0 + self.prior_strength * confidence,
+            1.0 + self.prior_strength * (1.0 - confidence),
+        )
+        return np.argsort(draws, kind="stable")[:budget]
+
+    def assess(
+        self,
+        proba: np.ndarray,
+        oracle: Callable[[np.ndarray], Sequence[bool]],
+        prior_estimate: float,
+        seed: int | None = None,
+    ) -> AssessmentResult:
+        """Spend the budget on one batch and posterior-update the score.
+
+        ``oracle`` receives the selected row indices and returns, for each,
+        whether the black box's prediction was correct.
+        """
+        selected = self.select(proba, seed=seed)
+        outcomes = np.asarray(oracle(selected), dtype=bool).ravel()
+        if outcomes.size != selected.size:
+            raise DataValidationError(
+                "oracle must answer exactly the selected indices"
+            )
+        successes = int(outcomes.sum())
+        prior = BetaPosterior.from_estimate(prior_estimate, self.prior_strength)
+        posterior = prior.update(successes, int(outcomes.size) - successes)
+        lower, upper = posterior.interval(self.coverage)
+        return AssessmentResult(
+            estimate=posterior.mean,
+            lower=lower,
+            upper=upper,
+            labels_spent=int(outcomes.size),
+            successes=successes,
+            posterior=posterior,
+            selected=tuple(int(i) for i in selected),
+        )

@@ -1,0 +1,69 @@
+"""Finite-sample conformal quantiles.
+
+The split-conformal guarantee — that an interval built from ``n``
+calibration residuals covers a fresh exchangeable point with probability
+at least ``coverage`` — requires the *finite-sample corrected* rank
+``ceil((n + 1) * coverage)`` of the sorted residuals, not the plug-in
+empirical quantile (Vovk et al., Lei et al.). ``np.quantile`` interpolates
+between order statistics and systematically undercovers for small ``n``:
+with 9 residuals at 90% nominal it lands between the 8th and 9th order
+statistic instead of taking the 9th, and the served interval misses more
+than a tenth of the time.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+INTERVAL_METHODS = ("conformal", "cqr")
+
+
+def conformal_rank(n: int, coverage: float) -> int:
+    """1-indexed order statistic for a split-conformal quantile.
+
+    ``ceil((n + 1) * coverage)`` clipped to ``n`` — clipping corresponds
+    to the ``ceil((n+1)c)/n > 1`` regime where the guarantee needs the
+    maximum residual (the calibration set is too small for the requested
+    coverage and the widest interval it can justify is returned).
+    """
+    if n < 1:
+        raise DataValidationError("conformal quantile needs at least one residual")
+    if not 0.0 < coverage < 1.0:
+        raise DataValidationError(f"coverage must be in (0, 1), got {coverage}")
+    return min(n, math.ceil((n + 1) * coverage))
+
+
+def conformal_quantile(values: np.ndarray, coverage: float) -> float:
+    """The finite-sample conformal ``coverage``-quantile of ``values``.
+
+    Returns the ``conformal_rank(n, coverage)``-th smallest value. For
+    ``n -> inf`` this converges to the plain empirical quantile; for small
+    ``n`` it is the (strictly larger or equal) order statistic that makes
+    the split-conformal coverage bound hold exactly.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    rank = conformal_rank(values.size, coverage)
+    return float(np.partition(values, rank - 1)[rank - 1])
+
+
+def normal_quantile(q: float) -> float:
+    """Standard normal quantile ``Phi^{-1}(q)`` by bisection on ``erf``.
+
+    Used for the batch-size sampling-noise term added to conformal
+    widths; 60 bisection steps on [-40, 40] pin the result well below
+    float precision for any ``q`` representable away from {0, 1}.
+    """
+    if not 0.0 < q < 1.0:
+        raise DataValidationError(f"normal quantile needs q in (0, 1), got {q}")
+    lo, hi = -40.0, 40.0
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if 0.5 * (1.0 + math.erf(mid / math.sqrt(2.0))) < q:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

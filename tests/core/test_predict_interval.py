@@ -7,6 +7,7 @@ from repro.core.predictor import PerformancePredictor
 from repro.errors.mixture import ErrorMixture
 from repro.errors.tabular_errors import GaussianOutliers, MissingValues, Scaling
 from repro.exceptions import DataValidationError, NotFittedError
+from repro.uncertainty import conformal_quantile
 
 
 @pytest.fixture(scope="module")
@@ -70,8 +71,8 @@ class TestPredictInterval:
         assert (loose[2] - loose[0]) >= (tight[2] - tight[0])
         # 0.01 coverage keeps essentially the smallest residual: the band
         # must hug the estimate.
-        assert (tight[2] - tight[0]) <= 2.0 * float(
-            np.quantile(predictor.calibration_residuals_, 0.01)
+        assert (tight[2] - tight[0]) <= 2.0 * conformal_quantile(
+            predictor.calibration_residuals_, 0.01
         ) + 1e-12
 
     @pytest.mark.parametrize("coverage", [0.0, 1.0, -0.5, 2.0])
@@ -80,7 +81,7 @@ class TestPredictInterval:
             predictor.interval_from_estimate(0.8, coverage=coverage)
 
     def test_interval_clips_at_unit_borders(self, predictor):
-        width = float(np.quantile(predictor.calibration_residuals_, 0.99))
+        width = conformal_quantile(predictor.calibration_residuals_, 0.99)
         assert width > 0.0
         lower, estimate, upper = predictor.interval_from_estimate(1.0, coverage=0.99)
         assert (lower, estimate, upper) == (pytest.approx(1.0 - width), 1.0, 1.0)
@@ -95,3 +96,169 @@ class TestPredictInterval:
         assert predictor.interval_from_estimate(estimate, 0.8) == pytest.approx(
             predictor.predict_interval(batch, coverage=0.8)
         )
+
+
+class TestFiniteSampleQuantile:
+    """Regression tests for the split-conformal quantile rank.
+
+    The plug-in ``np.quantile(residuals, coverage)`` interpolates between
+    order statistics and undercovers for small calibration sets; the
+    conformal guarantee needs the ``ceil((n+1)*coverage)``-th smallest
+    residual. These pin the n=9, coverage=0.9 case where the two differ
+    (interpolation gives 0.82, the corrected rank gives the maximum 0.9).
+    """
+
+    def _predictor_with_residuals(self, residuals):
+        predictor = PerformancePredictor.__new__(PerformancePredictor)
+        predictor.calibration_residuals_ = np.asarray(residuals, dtype=float)
+        return predictor
+
+    def test_n9_coverage_90_takes_the_max_residual(self):
+        residuals = np.linspace(0.01, 0.09, 9)  # 0.01, 0.02, ..., 0.09
+        predictor = self._predictor_with_residuals(residuals)
+        lower, estimate, upper = predictor.interval_from_estimate(0.5, coverage=0.9)
+        # ceil((9 + 1) * 0.9) = 9 -> the 9th order statistic, 0.09. The old
+        # np.quantile code interpolated to 0.082 and the interval undercovered.
+        assert upper - estimate == pytest.approx(0.09)
+        assert estimate - lower == pytest.approx(0.09)
+        assert float(np.quantile(residuals, 0.9)) < 0.09 - 1e-9
+
+    def test_width_is_the_conformal_rank_order_statistic(self):
+        rng = np.random.default_rng(5)
+        residuals = rng.uniform(size=25)
+        predictor = self._predictor_with_residuals(residuals)
+        for coverage in (0.1, 0.5, 0.8, 0.9, 0.99):
+            _, estimate, upper = predictor.interval_from_estimate(0.3, coverage)
+            rank = min(len(residuals), int(np.ceil((len(residuals) + 1) * coverage)))
+            expected = float(np.sort(residuals)[rank - 1])
+            assert upper - estimate == pytest.approx(min(expected, 0.7))
+
+
+class TestSamplingInflation:
+    """Small serving batches widen the conformal interval."""
+
+    def test_small_batches_get_wider_intervals(self, predictor):
+        tiny = predictor.interval_from_estimate(0.7, coverage=0.9, n_rows=20)
+        large = predictor.interval_from_estimate(
+            0.7, coverage=0.9, n_rows=predictor.calibration_rows_
+        )
+        assert (tiny[2] - tiny[0]) > (large[2] - large[0])
+
+    def test_no_inflation_at_or_above_calibration_size(self, predictor):
+        base = predictor.interval_from_estimate(0.7, coverage=0.9)
+        at_scale = predictor.interval_from_estimate(
+            0.7, coverage=0.9, n_rows=predictor.calibration_rows_
+        )
+        beyond = predictor.interval_from_estimate(
+            0.7, coverage=0.9, n_rows=10 * predictor.calibration_rows_
+        )
+        assert at_scale == pytest.approx(base)
+        assert beyond == pytest.approx(base)
+
+    def test_inflation_matches_the_binomial_term(self, predictor):
+        from repro.uncertainty import normal_quantile
+
+        estimate, coverage, n = 0.7, 0.9, 40
+        base_width = conformal_quantile(predictor.calibration_residuals_, coverage)
+        variance = estimate * (1 - estimate) * (
+            1 / n - 1 / predictor.calibration_rows_
+        )
+        expected = base_width + normal_quantile(0.5 + coverage / 2) * np.sqrt(variance)
+        _, _, upper = predictor.interval_from_estimate(estimate, coverage, n_rows=n)
+        assert upper - estimate == pytest.approx(expected)
+
+    def test_old_pickles_without_calibration_rows_still_work(self, predictor):
+        # Predictors fitted before calibration_rows_ existed fall back to
+        # pure 1/n inflation.
+        bare = PerformancePredictor.__new__(PerformancePredictor)
+        bare.calibration_residuals_ = predictor.calibration_residuals_
+        interval = bare.interval_from_estimate(0.7, coverage=0.9, n_rows=40)
+        assert interval[2] - interval[0] > 2 * conformal_quantile(
+            predictor.calibration_residuals_, 0.9
+        )
+
+
+class TestIntervalAlarmMargin:
+    def test_conformal_margin_is_the_unclipped_width(self, predictor):
+        margin = predictor.interval_alarm_margin(0.9, n_rows=100)
+        expected = conformal_quantile(
+            predictor.calibration_residuals_, 0.9
+        ) + predictor._sampling_inflation(predictor.test_score_, 0.9, 100)
+        assert margin == pytest.approx(expected)
+        assert margin > 0.0
+
+    def test_margin_grows_as_batches_shrink(self, predictor):
+        assert predictor.interval_alarm_margin(0.9, n_rows=20) > (
+            predictor.interval_alarm_margin(0.9, n_rows=2000)
+        )
+
+    def test_cqr_margin_is_the_inflated_baseline_halfwidth(self, predictor):
+        margin = predictor.interval_alarm_margin(0.9, n_rows=100, method="cqr")
+        assert margin == pytest.approx(
+            predictor.interval_model(0.9).baseline_halfwidth_
+            + predictor._sampling_inflation(predictor.test_score_, 0.9, 100)
+        )
+        # The CQR stream inflates exactly like the conformal one, so
+        # tiny batches don't page on their own sampling noise.
+        assert predictor.interval_alarm_margin(0.9, n_rows=20, method="cqr") > (
+            predictor.interval_alarm_margin(0.9, n_rows=2000, method="cqr")
+        )
+
+    def test_unknown_method_rejected(self, predictor):
+        with pytest.raises(DataValidationError):
+            predictor.interval_alarm_margin(0.9, method="bootstrap")
+
+    def test_uncalibrated_predictor_cannot_price_a_margin(
+        self, income_blackbox, income_splits
+    ):
+        small = PerformancePredictor(
+            income_blackbox, [Scaling()], n_samples=8, random_state=0
+        ).fit(income_splits.test, income_splits.y_test)
+        with pytest.raises(NotFittedError):
+            small.interval_alarm_margin(0.9, n_rows=100)
+        with pytest.raises(NotFittedError):
+            small.interval_alarm_margin(0.9, n_rows=100, method="cqr")
+
+
+class TestCQRFromPredictor:
+    def test_cqr_interval_contains_the_estimate(self, predictor, income_splits):
+        batch = income_splits.serving.head(300)
+        lower, estimate, upper = predictor.predict_interval(
+            batch, coverage=0.9, method="cqr"
+        )
+        assert 0.0 <= lower <= estimate <= upper <= 1.0
+
+    def test_interval_models_are_cached_per_coverage(self, predictor):
+        first = predictor.interval_model(0.9)
+        assert predictor.interval_model(0.9) is first
+        assert predictor.interval_model(0.8) is not first
+
+    def test_cqr_interval_inflates_for_small_batches(
+        self, predictor, income_splits
+    ):
+        # The heads learned quantiles at the calibration batch size; a
+        # small batch's observed score adds binomial noise on top, so
+        # the served CQR interval must widen as the batch shrinks —
+        # without this the CQR path undercovers exactly where serving
+        # lives (the conformal path already had the term).
+        batch = income_splits.serving.head(300)
+        proba = predictor.blackbox.predict_proba(batch)
+        features = predictor._featurize(proba)
+        estimate = predictor.predict_from_proba(proba, features)
+
+        def width(n_rows):
+            lower, _, upper = predictor.interval_from_features(
+                features, estimate, 0.9, "cqr", n_rows=n_rows
+            )
+            return upper - lower
+
+        assert width(20) > width(2000)
+        inflation = predictor._sampling_inflation(estimate, 0.9, 20)
+        assert inflation > 0.0
+        assert width(20) == pytest.approx(width(None) + 2 * inflation, abs=1e-9)
+
+    def test_unknown_method_rejected_end_to_end(self, predictor, income_splits):
+        with pytest.raises(DataValidationError):
+            predictor.predict_interval(
+                income_splits.serving.head(50), method="bootstrap"
+            )

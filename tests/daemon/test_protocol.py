@@ -94,7 +94,7 @@ class TestResultPayload:
             endpoint="income", version="1", batch_index=3, n_rows=40,
             estimated_score=0.81, smoothed_score=0.8, expected_score=0.82,
             alarm_floor=0.77, alarm=False, sustained_alarm=False,
-            interval=(0.7, 0.81, 0.9), trusted=True,
+            interval=(0.7, 0.81, 0.9), trusted=True, interval_coverage=0.9,
         )
 
     def test_mirrors_batch_result(self):
@@ -102,8 +102,19 @@ class TestResultPayload:
         assert payload["endpoint"] == "income"
         assert payload["estimated_score"] == 0.81
         assert payload["interval"] == [0.7, 0.81, 0.9]
+        assert payload["interval_width"] == pytest.approx(0.9 - 0.7)
+        assert payload["interval_coverage"] == 0.9
         assert payload["trusted"] is True
         assert "coalesced_requests" not in payload
+
+    def test_intervalless_result_has_null_width_and_coverage(self):
+        from dataclasses import replace
+
+        bare = replace(self._result(), interval=None, interval_coverage=None)
+        payload = result_to_payload(bare)
+        assert payload["interval"] is None
+        assert payload["interval_width"] is None
+        assert payload["interval_coverage"] is None
 
     def test_daemon_context_is_optional_extras(self):
         payload = result_to_payload(

@@ -100,3 +100,81 @@ class TestGradientBoostingRegressor:
         err_fast = mean_absolute_error(y, fast.predict(X))
         err_slow = mean_absolute_error(y, slow.predict(X))
         assert err_fast < err_slow
+
+
+class TestPinballBoosting:
+    @staticmethod
+    def _heteroscedastic(n=600, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0.0, 1.0, size=(n, 2))
+        y = 2.0 * X[:, 0] + rng.normal(scale=0.1 + 0.4 * X[:, 1])
+        return X, y
+
+    def test_loss_and_tau_validation(self):
+        from repro.exceptions import DataValidationError
+
+        X = np.random.default_rng(0).random((30, 2))
+        y = X[:, 0]
+        with pytest.raises(DataValidationError):
+            GradientBoostingRegressor(loss="huber").fit(X, y)
+        with pytest.raises(DataValidationError):
+            GradientBoostingRegressor(loss="pinball", tau=1.0).fit(X, y)
+        with pytest.raises(DataValidationError):
+            GradientBoostingRegressor(loss="pinball", tau=0.0).fit(X, y)
+
+    def test_zero_stage_pinball_predicts_the_quantile(self):
+        X, y = self._heteroscedastic(200)
+        model = GradientBoostingRegressor(
+            n_stages=0, loss="pinball", tau=0.25
+        ).fit(X, y)
+        assert model.base_score_ == pytest.approx(float(np.quantile(y, 0.25)))
+
+    @pytest.mark.parametrize("tau", [0.1, 0.5, 0.9])
+    def test_quantile_heads_are_calibrated(self, tau):
+        # A tau-head's predictions should leave about tau of the targets
+        # below them.
+        X, y = self._heteroscedastic()
+        model = GradientBoostingRegressor(
+            n_stages=60, loss="pinball", tau=tau, random_state=0
+        ).fit(X, y)
+        below = float(np.mean(y <= model.predict(X)))
+        assert below == pytest.approx(tau, abs=0.08)
+
+    def test_upper_head_sits_above_lower_head_on_average(self):
+        X, y = self._heteroscedastic()
+        lower = GradientBoostingRegressor(
+            n_stages=60, loss="pinball", tau=0.1, random_state=0
+        ).fit(X, y)
+        upper = GradientBoostingRegressor(
+            n_stages=60, loss="pinball", tau=0.9, random_state=0
+        ).fit(X, y)
+        gap = upper.predict(X) - lower.predict(X)
+        assert float(np.mean(gap)) > 0.0
+        assert float(np.mean(gap > 0.0)) > 0.9
+
+    def test_heads_learn_heteroscedastic_width(self):
+        # Noise scales with feature 1: the learned 10-90 band must be
+        # wider where the noise is.
+        X, y = self._heteroscedastic()
+        lower = GradientBoostingRegressor(
+            n_stages=60, loss="pinball", tau=0.1, random_state=0
+        ).fit(X, y)
+        upper = GradientBoostingRegressor(
+            n_stages=60, loss="pinball", tau=0.9, random_state=0
+        ).fit(X, y)
+        width = upper.predict(X) - lower.predict(X)
+        quiet = width[X[:, 1] < 0.3].mean()
+        noisy = width[X[:, 1] > 0.7].mean()
+        assert noisy > quiet
+
+    def test_pinball_beats_squared_loss_on_its_own_objective(self):
+        from repro.ml.metrics import pinball_loss
+
+        X, y = self._heteroscedastic()
+        quantile_model = GradientBoostingRegressor(
+            n_stages=60, loss="pinball", tau=0.9, random_state=0
+        ).fit(X, y)
+        mean_model = GradientBoostingRegressor(n_stages=60, random_state=0).fit(X, y)
+        assert pinball_loss(y, quantile_model.predict(X), tau=0.9) < pinball_loss(
+            y, mean_model.predict(X), tau=0.9
+        )

@@ -147,3 +147,38 @@ class TestScorePredictions:
     def test_unknown_metric_raises(self):
         with pytest.raises(DataValidationError):
             score_predictions("nope", np.array([1]), np.array([1]))
+
+
+class TestPinballLoss:
+    def test_hand_value(self):
+        from repro.ml.metrics import pinball_loss
+
+        # Under-prediction of 1.0 costs tau; over-prediction costs 1-tau.
+        assert pinball_loss([1.0], [0.0], tau=0.9) == pytest.approx(0.9)
+        assert pinball_loss([0.0], [1.0], tau=0.9) == pytest.approx(0.1)
+
+    def test_median_pinball_is_half_mae(self):
+        from repro.ml.metrics import mean_absolute_error, pinball_loss
+
+        rng = np.random.default_rng(0)
+        y_true, y_pred = rng.normal(size=50), rng.normal(size=50)
+        assert pinball_loss(y_true, y_pred, tau=0.5) == pytest.approx(
+            0.5 * mean_absolute_error(y_true, y_pred)
+        )
+
+    def test_minimized_at_the_empirical_quantile(self):
+        from repro.ml.metrics import pinball_loss
+
+        rng = np.random.default_rng(1)
+        y = rng.exponential(size=500)
+        tau = 0.8
+        at_quantile = pinball_loss(y, np.full_like(y, np.quantile(y, tau)), tau=tau)
+        for candidate in (0.2, 0.5, 0.95):
+            other = pinball_loss(y, np.full_like(y, np.quantile(y, candidate)), tau=tau)
+            assert at_quantile <= other + 1e-12
+
+    def test_shape_mismatch_raises(self):
+        from repro.ml.metrics import pinball_loss
+
+        with pytest.raises(DataValidationError):
+            pinball_loss([1.0, 2.0], [1.0])

@@ -1,0 +1,89 @@
+"""Empirical interval coverage across the builtin drift families.
+
+The acceptance bar of the calibrated-uncertainty layer: 90%-nominal
+intervals must achieve at least nominal − 5pp empirical coverage against
+the replay oracle on *every* builtin scenario family, for both interval
+methods. A scaled-down version of the ``drift_replay`` bench workload
+(fewer batches, smaller pool) keeps the suite fast; the committed
+BENCH_PR10.json gates the full-size run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import PerformancePredictor
+from repro.evaluation.harness import known_error_generators
+from repro.scenarios import ReplayHarness, builtin_suite, isolate_scenarios
+from repro.serving.registry import Endpoint, EndpointPolicy, ModelRegistry
+from repro.serving.service import ValidationService
+
+NOMINAL = 0.9
+FLOOR = NOMINAL - 0.05
+FAMILIES = ("gradual", "sudden", "seasonal", "adversarial")
+
+
+@pytest.fixture(scope="module")
+def coverage_predictor(income_blackbox, income_splits):
+    # The full generator pool: the meta-dataset must span the drift
+    # regimes the families replay (label shift included), or the
+    # calibration residuals understate exactly the errors under test.
+    return PerformancePredictor(
+        income_blackbox,
+        list(known_error_generators("tabular").values()),
+        n_samples=24,
+        random_state=0,
+    ).fit(income_splits.test, income_splits.y_test)
+
+
+@pytest.fixture(scope="module", params=["conformal", "cqr"])
+def coverage_report(request, coverage_predictor, income_splits):
+    registry = ModelRegistry()
+    registry.register(
+        Endpoint(
+            name="income",
+            version="1",
+            predictor=coverage_predictor,
+            policy=EndpointPolicy(
+                threshold=0.05,
+                smoothing=0.5,
+                patience=2,
+                interval_coverage=NOMINAL,
+                interval_method=request.param,
+            ),
+        )
+    )
+    service = ValidationService(registry)
+    suite = builtin_suite(n_batches=16, batch_size=80, onset=4)
+    harness = ReplayHarness(
+        income_splits.serving,
+        np.asarray(income_splits.y_serving),
+        service=service,
+        endpoint="income",
+    )
+    report = harness.run(isolate_scenarios(service, suite, "income"), seed=7)
+    return request.param, report
+
+
+def test_every_family_was_scored(coverage_report):
+    _, report = coverage_report
+    assert {m.scenario for m in report.metrics} == set(FAMILIES)
+    for metric in report.metrics:
+        assert metric.intervals > 0, f"{metric.scenario}: nothing checkable"
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_family_coverage_meets_the_floor(coverage_report, family):
+    method, report = coverage_report
+    metric = report.metric(family)
+    assert metric.coverage is not None
+    assert metric.coverage >= FLOOR, (
+        f"{method} coverage {metric.coverage:.2f} on {family} "
+        f"below floor {FLOOR:.2f}"
+    )
+
+
+def test_pooled_coverage_meets_the_floor(coverage_report):
+    method, report = coverage_report
+    pooled = report.coverage()
+    assert pooled["coverage"] >= FLOOR
+    assert pooled["mean_interval_width"] < 2 * (1.0 - NOMINAL) + 0.4

@@ -1,0 +1,297 @@
+"""The replay oracle: batch labels, coverage scoring, label-budget assessment."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import PerformancePredictor
+from repro.errors.tabular_errors import GaussianOutliers, MissingValues, Scaling
+from repro.exceptions import DataValidationError
+from repro.resilience.checkpoint import CheckpointStore
+from repro.scenarios import (
+    LABEL_SHIFT,
+    DriftEvent,
+    ReplayHarness,
+    ReplayOutcome,
+    Scenario,
+    StepSchedule,
+    builtin_suite,
+    isolate_scenarios,
+)
+from repro.serving.registry import Endpoint, EndpointPolicy, ModelRegistry
+from repro.serving.service import ValidationService
+from repro.tabular.frame import DataFrame
+from repro.tabular.schema import ColumnType
+from repro.uncertainty import ActiveAssessor
+
+
+@pytest.fixture(scope="module")
+def oracle_predictor(income_blackbox, income_splits):
+    return PerformancePredictor(
+        income_blackbox,
+        [MissingValues(), GaussianOutliers(), Scaling()],
+        n_samples=24,
+        random_state=0,
+    ).fit(income_splits.test, income_splits.y_test)
+
+
+@pytest.fixture
+def new_service(oracle_predictor):
+    def build(**policy_kwargs) -> ValidationService:
+        policy = dict(threshold=0.05, smoothing=0.5, patience=2, interval_coverage=0.9)
+        policy.update(policy_kwargs)
+        registry = ModelRegistry()
+        registry.register(
+            Endpoint(
+                name="income",
+                version="1",
+                predictor=oracle_predictor,
+                validator=None,
+                policy=EndpointPolicy(**policy),
+            )
+        )
+        return ValidationService(registry)
+
+    return build
+
+
+@pytest.fixture(scope="module")
+def pool(income_splits):
+    return income_splits.serving.head(400), np.asarray(
+        income_splits.y_serving[:400]
+    )
+
+
+def small_suite(n_batches=8, onset=3):
+    return builtin_suite(
+        n_batches=n_batches, batch_size=60, onset=onset,
+        families=["gradual", "sudden"],
+    )
+
+
+class TestBatchLabels:
+    """ScheduledBatch carries the sampled rows' ground truth, aligned."""
+
+    @staticmethod
+    def _traceable_pool(n=200):
+        # Row i's "id" value equals its label, so alignment is checkable
+        # on the generated batch itself.
+        ids = np.arange(n, dtype=float)
+        numeric = {"id": ColumnType.NUMERIC, "noise": ColumnType.NUMERIC}
+        frame = DataFrame.from_dict({"id": ids, "noise": np.zeros(n)}, numeric)
+        return frame, ids.astype(int)
+
+    def test_labels_align_with_sampled_rows(self):
+        frame, labels = self._traceable_pool()
+        scenario = Scenario(
+            name="outliers",
+            n_batches=4,
+            batch_size=50,
+            events=(
+                DriftEvent(
+                    error="outliers",
+                    schedule=StepSchedule(onset=2),
+                    columns=("noise",),
+                ),
+            ),
+        )
+        for batch in scenario.generate_batches(frame, labels, seed=0):
+            assert batch.labels is not None and len(batch.labels) == 50
+            # Corruption touches only the "noise" column, so "id" still
+            # identifies each row — and must match its label.
+            np.testing.assert_array_equal(
+                batch.frame["id"].astype(int), batch.labels
+            )
+
+    def test_label_shift_labels_follow_the_permutation(self):
+        frame, labels = self._traceable_pool()
+        labels = (labels % 2).astype(int)  # two classes, balanced pool
+        frame = DataFrame.from_dict(
+            {"id": np.asarray(labels, dtype=float), "noise": np.zeros(200)},
+            {"id": ColumnType.NUMERIC, "noise": ColumnType.NUMERIC},
+        )
+        scenario = Scenario(
+            name="shift",
+            n_batches=6,
+            batch_size=80,
+            events=(
+                DriftEvent(
+                    error=LABEL_SHIFT,
+                    schedule=StepSchedule(onset=2),
+                    params={"target_prior": 0.95},
+                ),
+            ),
+        )
+        batches = scenario.generate_batches(frame, labels, seed=0)
+        for batch in batches:
+            np.testing.assert_array_equal(batch.frame["id"].astype(int), batch.labels)
+        pre = np.mean(batches[0].labels)
+        post = np.mean(batches[-1].labels)
+        # The shift reweights toward the target class; the labels see it.
+        assert abs(post - 0.5) > abs(pre - 0.5)
+
+
+class TestOracleScoring:
+    def test_service_outcomes_carry_truth_and_coverage(self, pool, new_service):
+        service = new_service()
+        scenarios = isolate_scenarios(service, small_suite(n_batches=4), "income")
+        harness = ReplayHarness(
+            pool[0], pool[1], service=service, endpoint="income",
+        )
+        report = harness.run(scenarios, seed=0)
+        live = [o for o in report.outcomes if not o.degraded]
+        assert live, "expected non-degraded outcomes"
+        for o in live:
+            assert o.true_score is not None and 0.0 <= o.true_score <= 1.0
+            assert o.interval is not None
+            assert o.interval_coverage == 0.9
+            assert o.covered == (o.interval[0] <= o.true_score <= o.interval[2])
+        pooled = report.coverage()
+        assert pooled["intervals"] == len(live)
+        assert pooled["coverage"] == pytest.approx(
+            sum(o.covered for o in live) / len(live)
+        )
+        assert "coverage" in report.to_dict()
+        assert "interval coverage" in report.describe()
+
+    def test_interval_free_policy_leaves_oracle_fields_checkable_but_uncovered(
+        self, pool, new_service
+    ):
+        service = new_service(interval_coverage=None)
+        scenarios = isolate_scenarios(service, small_suite(n_batches=2), "income")
+        harness = ReplayHarness(pool[0], pool[1], service=service, endpoint="income")
+        report = harness.run(scenarios, seed=0)
+        assert all(o.covered is None for o in report.outcomes)
+        assert all(o.true_score is not None for o in report.outcomes)
+        assert report.coverage()["coverage"] is None
+
+
+class TestLabelBudget:
+    def test_budgeted_run_spends_labels_and_refines(self, pool, new_service):
+        service = new_service()
+        scenarios = isolate_scenarios(service, small_suite(n_batches=4), "income")
+        harness = ReplayHarness(
+            pool[0], pool[1], service=service, endpoint="income", label_budget=5,
+        )
+        report = harness.run(scenarios, seed=0)
+        live = [o for o in report.outcomes if not o.degraded]
+        assert all(o.labels_spent == 5 for o in live)
+        assert report.coverage()["labels_spent"] == 5 * len(live)
+        for o in live:
+            assert o.assessed_score is not None
+            assert o.assessed_lower <= o.assessed_score <= o.assessed_upper
+
+    def test_custom_assessor_controls_the_budget(self, pool, new_service):
+        service = new_service()
+        harness = ReplayHarness(
+            pool[0], pool[1], service=service, endpoint="income",
+            assessor=ActiveAssessor(label_budget=3, selection="thompson"),
+        )
+        assert harness.label_budget == 3
+
+    def test_assessment_never_moves_the_alarm_stream(self, pool, new_service):
+        plain_service = new_service()
+        suite = small_suite(n_batches=4)
+        plain = ReplayHarness(
+            pool[0], pool[1], service=plain_service, endpoint="income",
+        ).run(isolate_scenarios(plain_service, suite, "income"), seed=0)
+        budgeted_service = new_service()
+        budgeted = ReplayHarness(
+            pool[0], pool[1], service=budgeted_service, endpoint="income",
+            label_budget=5,
+        ).run(isolate_scenarios(budgeted_service, suite, "income"), seed=0)
+        for a, b in zip(plain.outcomes, budgeted.outcomes):
+            assert (a.alarm, a.sustained_alarm, a.estimated_score) == (
+                b.alarm, b.sustained_alarm, b.estimated_score
+            )
+
+    def test_daemon_mode_rejects_label_budget(self, pool):
+        with pytest.raises(DataValidationError, match="service mode"):
+            ReplayHarness(
+                pool[0], pool[1], client=object(), endpoint="income", label_budget=5,
+            )
+
+
+class TestIntervalLowerResume:
+    def test_resume_is_bit_identical_under_interval_lower_alarming(
+        self, pool, new_service, tmp_path
+    ):
+        suite = small_suite()
+        reference_service = new_service(alarm_on="interval_lower")
+        reference = ReplayHarness(
+            pool[0], pool[1], service=reference_service, endpoint="income",
+            label_budget=5,
+        ).run(isolate_scenarios(reference_service, suite, "income"), seed=9)
+
+        store = CheckpointStore(tmp_path / "replay")
+        partial_service = new_service(alarm_on="interval_lower")
+        partial = ReplayHarness(
+            pool[0], pool[1], service=partial_service, endpoint="income",
+            label_budget=5,
+        ).run(
+            isolate_scenarios(partial_service, suite, "income"),
+            seed=9, checkpoint=store, checkpoint_every=3, stop_after_steps=7,
+        )
+        assert not partial.complete
+
+        resumed_service = new_service(alarm_on="interval_lower")
+        resumed = ReplayHarness(
+            pool[0], pool[1], service=resumed_service, endpoint="income",
+            label_budget=5,
+        ).run(
+            isolate_scenarios(resumed_service, suite, "income"),
+            seed=9, checkpoint=store, checkpoint_every=3,
+        )
+        assert resumed.complete
+        assert resumed.digest() == reference.digest()
+
+    def test_label_budget_is_part_of_the_fingerprint(
+        self, pool, new_service, tmp_path
+    ):
+        # A checkpoint written without a budget must not silently resume
+        # a budgeted run: its outcomes would lack the spent labels.
+        from repro.exceptions import CheckpointError
+
+        suite = small_suite(n_batches=4)
+        store = CheckpointStore(tmp_path / "replay")
+        first_service = new_service()
+        ReplayHarness(
+            pool[0], pool[1], service=first_service, endpoint="income",
+        ).run(
+            isolate_scenarios(first_service, suite, "income"),
+            seed=2, checkpoint=store, checkpoint_every=2, stop_after_steps=4,
+        )
+        budgeted_service = new_service()
+        with pytest.raises(CheckpointError, match="different run"):
+            ReplayHarness(
+                pool[0], pool[1], service=budgeted_service, endpoint="income",
+                label_budget=5,
+            ).run(
+                isolate_scenarios(budgeted_service, suite, "income"),
+                seed=2, checkpoint=store, checkpoint_every=2,
+            )
+
+
+class TestOutcomeCompatibility:
+    def test_old_checkpoint_state_restores_with_defaults(self):
+        modern = ReplayOutcome(
+            scenario="s", endpoint="e", global_step=0, step=0, n_rows=10,
+            intensity=0.0, estimated_score=0.5, smoothed_score=0.5,
+            alarm=False, sustained_alarm=False, degraded=False,
+        )
+        state = {
+            k: v
+            for k, v in modern.__dict__.items()
+            if k
+            in {
+                "scenario", "endpoint", "global_step", "step", "n_rows",
+                "intensity", "estimated_score", "smoothed_score", "alarm",
+                "sustained_alarm", "degraded",
+            }
+        }
+        restored = ReplayOutcome.__new__(ReplayOutcome)
+        restored.__setstate__(state)
+        assert restored.interval is None
+        assert restored.covered is None
+        assert restored.labels_spent == 0
+        assert restored.assessed_score is None
+        assert restored == modern

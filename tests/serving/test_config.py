@@ -111,13 +111,22 @@ class TestRegistryFromConfig:
     def test_config_written_by_write_serving_config_round_trips(
         self, artifact_dir, make_endpoint, tmp_path
     ):
-        endpoint = make_endpoint(threshold=0.08, micro_batch_size=50)
+        endpoint = make_endpoint(
+            threshold=0.08,
+            micro_batch_size=50,
+            interval_coverage=0.9,
+            interval_method="cqr",
+            alarm_on="interval_lower",
+        )
         config_path = tmp_path / "serving.json"
         write_serving_config(config_path, [(endpoint, str(artifact_dir))])
         registry = registry_from_config(config_path)
         loaded = registry.get("income")
         assert loaded.policy.threshold == 0.08
         assert loaded.policy.micro_batch_size == 50
+        assert loaded.policy.interval_coverage == 0.9
+        assert loaded.policy.interval_method == "cqr"
+        assert loaded.policy.alarm_on == "interval_lower"
 
     def test_duplicate_endpoint_keys_raise(self, artifact_dir, tmp_path):
         entry = {"name": "income", "artifacts": "deployed"}

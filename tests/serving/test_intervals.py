@@ -1,0 +1,214 @@
+"""Interval-aware serving: methods, telemetry, and lower-bound alarming."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import PerformancePredictor
+from repro.errors.tabular_errors import GaussianOutliers, MissingValues, Scaling
+from repro.exceptions import DataValidationError
+from repro.resilience import FakeClock, FaultyCallable
+from repro.serving import ResilienceSettings, ValidationService
+from repro.serving.registry import EndpointPolicy, ModelRegistry
+
+
+@pytest.fixture(scope="module")
+def uncalibrated_predictor(income_blackbox, income_splits):
+    """Fitted predictor whose meta-corpus is below the calibration floor:
+    point estimates work, but no interval of any method can be served."""
+    return PerformancePredictor(
+        income_blackbox,
+        [MissingValues(), GaussianOutliers(), Scaling()],
+        n_samples=8,
+        random_state=0,
+    ).fit(income_splits.test, income_splits.y_test)
+
+
+def corrupt(batch, income_splits, rng):
+    return Scaling().corrupt(
+        batch, rng,
+        columns=income_splits.serving.numeric_columns, fraction=1.0, factor=1000.0,
+    )
+
+
+class TestPolicyValidation:
+    def test_rejects_unknown_interval_method(self):
+        with pytest.raises(DataValidationError):
+            EndpointPolicy(interval_method="bootstrap")
+
+    def test_rejects_unknown_alarm_mode(self):
+        with pytest.raises(DataValidationError):
+            EndpointPolicy(alarm_on="smoothed")
+
+    def test_interval_lower_requires_coverage(self):
+        with pytest.raises(DataValidationError):
+            EndpointPolicy(alarm_on="interval_lower", interval_coverage=None)
+
+
+class TestIntervalTelemetry:
+    def test_result_carries_the_nominal_coverage(self, make_endpoint, income_splits):
+        registry = ModelRegistry()
+        registry.register(make_endpoint(interval_coverage=0.9))
+        service = ValidationService(registry)
+        [result] = service.submit("income", income_splits.serving.head(100))
+        assert result.interval is not None
+        assert result.interval_coverage == 0.9
+
+    def test_suppressed_interval_has_no_coverage_claim(
+        self, make_endpoint, income_splits
+    ):
+        registry = ModelRegistry()
+        registry.register(make_endpoint(interval_coverage=None))
+        service = ValidationService(registry)
+        [result] = service.submit("income", income_splits.serving.head(100))
+        assert result.interval is None
+        assert result.interval_coverage is None
+
+    def test_interval_counters_and_width_histogram(self, registry, income_splits):
+        service = ValidationService(registry)
+        [result] = service.submit("income", income_splits.serving.head(100))
+        intervals = service.metrics.get("serving_intervals_total")
+        assert intervals.value(endpoint="income@1", method="conformal") == 1
+        widths = service.metrics.get("serving_interval_width")
+        assert widths.count(endpoint="income@1") == 1
+        assert widths.sum(endpoint="income@1") == pytest.approx(
+            result.interval[2] - result.interval[0]
+        )
+
+    def test_cqr_method_serves_adaptive_intervals(self, make_endpoint, income_splits):
+        registry = ModelRegistry()
+        registry.register(make_endpoint(interval_method="cqr"))
+        service = ValidationService(registry)
+        [result] = service.submit("income", income_splits.serving.head(100))
+        assert result.interval is not None
+        assert result.interval[0] <= result.estimated_score <= result.interval[2]
+        intervals = service.metrics.get("serving_intervals_total")
+        assert intervals.value(endpoint="income@1", method="cqr") == 1
+
+
+class TestIntervalUnavailable:
+    def test_unserveable_interval_is_counted_and_warned_once(
+        self, uncalibrated_predictor, income_splits
+    ):
+        from repro.serving.registry import Endpoint
+
+        registry = ModelRegistry()
+        registry.register(
+            Endpoint(
+                name="income",
+                version="1",
+                predictor=uncalibrated_predictor,
+                policy=EndpointPolicy(interval_coverage=0.9),
+            )
+        )
+        service = ValidationService(registry)
+        batch = income_splits.serving.head(100)
+        with pytest.warns(RuntimeWarning, match="interval=None"):
+            [first] = service.submit("income", batch)
+        assert first.interval is None
+        assert first.interval_coverage is None
+        # The second miss increments the counter but does not warn again.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            service.submit("income", batch)
+        unavailable = service.metrics.get("serving_interval_unavailable_total")
+        assert unavailable.value(endpoint="income@1", reason="no_calibration") == 2
+
+    def test_interval_lower_policy_falls_back_to_estimate_alarming(
+        self, uncalibrated_predictor, income_splits
+    ):
+        from repro.serving.registry import Endpoint
+
+        registry = ModelRegistry()
+        endpoint = Endpoint(
+            name="income",
+            version="1",
+            predictor=uncalibrated_predictor,
+            policy=EndpointPolicy(alarm_on="interval_lower", interval_coverage=0.9),
+        )
+        registry.register(endpoint)
+        service = ValidationService(registry)
+        assert service.interval_alarm_score(endpoint, None, 100) is None
+        with pytest.warns(RuntimeWarning):
+            [result] = service.submit("income", income_splits.serving.head(100))
+        assert result.alarm is False  # clean batch, estimate stream
+
+
+class TestDegradedIntervals:
+    def test_degraded_batches_carry_no_interval(
+        self, registry, income_splits, monkeypatch
+    ):
+        settings = ResilienceSettings(
+            enabled=True, max_retries=0, backoff_seconds=0.0, fallback="static"
+        )
+        service = ValidationService(
+            registry, resilience=settings, clock=FakeClock(), sleep=lambda _: None
+        )
+        predictor = registry.get("income").predictor
+        monkeypatch.setattr(
+            predictor,
+            "predict_from_proba",
+            FaultyCallable(predictor.predict_from_proba, fail_on="all"),
+        )
+        [result] = service.submit("income", income_splits.serving.head(100))
+        assert result.degraded
+        assert result.interval is None
+        assert result.interval_coverage is None
+
+
+class TestIntervalAlarmScore:
+    def test_none_for_estimate_policy(self, registry, income_splits):
+        service = ValidationService(registry)
+        endpoint = registry.get("income")
+        interval = (0.5, 0.6, 0.7)
+        assert service.interval_alarm_score(endpoint, interval, 100) is None
+
+    def test_lower_plus_margin_for_interval_lower_policy(
+        self, make_endpoint, income_splits
+    ):
+        registry = ModelRegistry()
+        endpoint = make_endpoint(alarm_on="interval_lower", interval_coverage=0.9)
+        registry.register(endpoint)
+        service = ValidationService(registry)
+        interval = (0.5, 0.6, 0.7)
+        score = service.interval_alarm_score(endpoint, interval, 100)
+        margin = endpoint.predictor.interval_alarm_margin(0.9, 100, "conformal")
+        assert score == pytest.approx(interval[0] + margin)
+        assert margin > 0.0
+        assert service.interval_alarm_score(endpoint, None, 100) is None
+
+    def test_clean_traffic_alarm_score_recentered_on_estimate(
+        self, make_endpoint, income_splits
+    ):
+        # On undrifted batches the margin cancels the interval's clean
+        # half-width: the alarm stream sits near the point estimate, not
+        # a half-width below it.
+        registry = ModelRegistry()
+        endpoint = make_endpoint(alarm_on="interval_lower", interval_coverage=0.9)
+        registry.register(endpoint)
+        service = ValidationService(registry)
+        [result] = service.submit("income", income_splits.serving.head(100))
+        score = service.interval_alarm_score(endpoint, result.interval, 100)
+        half_width = (result.interval[2] - result.interval[0]) / 2.0
+        assert abs(score - result.estimated_score) < half_width / 2.0
+
+
+class TestIntervalLowerEndToEnd:
+    def test_clean_batches_stay_quiet_and_drift_alarms(
+        self, make_endpoint, income_splits, rng
+    ):
+        registry = ModelRegistry()
+        registry.register(
+            make_endpoint(alarm_on="interval_lower", interval_coverage=0.9, patience=2)
+        )
+        service = ValidationService(registry)
+        batch = income_splits.serving.head(150)
+        clean = [service.submit("income", batch)[0] for _ in range(5)]
+        assert not any(r.alarm for r in clean)
+        corrupted = [
+            service.submit("income", corrupt(batch, income_splits, rng))[0]
+            for _ in range(3)
+        ]
+        assert all(r.alarm for r in corrupted)
+        assert corrupted[-1].sustained_alarm

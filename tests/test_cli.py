@@ -357,7 +357,7 @@ class TestBenchCommand:
         args = build_parser().parse_args(["bench", "--smoke"])
         assert args.n_jobs == 4
         assert args.smoke is True
-        assert args.out == "BENCH_PR9.json"
+        assert args.out == "BENCH_PR10.json"
         assert args.baseline is None
 
     def test_smoke_bench_writes_report(self, tmp_path, capsys):

@@ -345,3 +345,51 @@ class TestReporting:
         for _ in range(3):
             monitor.observe(batch)
         assert monitor.recent_records(n) == []
+
+
+class TestAlarmScoreStream:
+    """``alarm_score`` decouples what alarms from what is reported."""
+
+    def test_alarm_fires_on_the_alarm_score_not_the_estimate(self, predictor):
+        monitor = BatchMonitor(predictor, threshold=0.10)
+        healthy = predictor.test_score_
+        record = monitor.observe_estimate(healthy, 100, alarm_score=0.0)
+        assert record.alarm is True
+        assert record.estimated_score == pytest.approx(healthy)
+
+    def test_low_estimate_with_healthy_alarm_score_stays_quiet(self, predictor):
+        monitor = BatchMonitor(predictor, threshold=0.10)
+        record = monitor.observe_estimate(
+            0.0, 100, alarm_score=predictor.test_score_
+        )
+        assert record.alarm is False
+        assert record.estimated_score == 0.0
+
+    def test_none_alarm_score_is_bit_identical_to_legacy(self, predictor, rng):
+        legacy = BatchMonitor(predictor, threshold=0.10, smoothing=0.4, patience=2)
+        explicit = BatchMonitor(predictor, threshold=0.10, smoothing=0.4, patience=2)
+        estimates = rng.uniform(0.3, 0.9, size=12)
+        for estimate in estimates:
+            a = legacy.observe_estimate(float(estimate), 100)
+            b = explicit.observe_estimate(
+                float(estimate), 100, alarm_score=float(estimate)
+            )
+            assert a == b
+        assert legacy._smoothed == explicit._smoothed
+        assert legacy._smoothed_alarm == explicit._smoothed_alarm
+        assert legacy.state.total_alarms == explicit.state.total_alarms
+
+    def test_sustained_check_runs_on_the_smoothed_alarm_stream(self, predictor):
+        monitor = BatchMonitor(predictor, threshold=0.10, patience=2, smoothing=0.5)
+        healthy = predictor.test_score_
+        monitor.observe_estimate(healthy, 100, alarm_score=0.0)
+        record = monitor.observe_estimate(healthy, 100, alarm_score=0.0)
+        assert record.sustained_alarm is True
+        # The reported smoothing stream still tracks the healthy estimate.
+        assert record.smoothed_score == pytest.approx(healthy)
+
+    def test_reset_clears_the_alarm_stream(self, predictor):
+        monitor = BatchMonitor(predictor, threshold=0.10)
+        monitor.observe_estimate(predictor.test_score_, 100, alarm_score=0.0)
+        monitor.reset()
+        assert monitor._smoothed_alarm is None

@@ -1,0 +1,180 @@
+"""Tests for active Bayesian assessment (Beta machinery + assessor)."""
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DataValidationError
+from repro.uncertainty import (
+    ActiveAssessor,
+    BetaPosterior,
+    beta_quantile,
+    regularized_incomplete_beta,
+)
+
+shapes = st.floats(min_value=0.05, max_value=200.0, allow_nan=False)
+probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestBetaNumerics:
+    @given(shapes, shapes, probs)
+    def test_cdf_matches_scipy(self, a, b, x):
+        assert regularized_incomplete_beta(a, b, x) == pytest.approx(
+            float(scipy.stats.beta.cdf(x, a, b)), abs=1e-9
+        )
+
+    @given(shapes, shapes, st.floats(min_value=0.001, max_value=0.999))
+    def test_quantile_matches_scipy(self, a, b, q):
+        assert beta_quantile(q, a, b) == pytest.approx(
+            float(scipy.stats.beta.ppf(q, a, b)), abs=1e-7
+        )
+
+    def test_cdf_rejects_bad_shapes(self):
+        with pytest.raises(DataValidationError):
+            regularized_incomplete_beta(0.0, 1.0, 0.5)
+        with pytest.raises(DataValidationError):
+            beta_quantile(1.5, 1.0, 1.0)
+
+
+class TestBetaPosterior:
+    @given(probs, st.floats(min_value=0.5, max_value=50.0))
+    def test_prior_mean_tracks_the_estimate(self, estimate, strength):
+        prior = BetaPosterior.from_estimate(estimate, strength)
+        # The uniform Beta(1,1) component pulls toward 1/2; the mean must
+        # sit between the estimate and 1/2 and stay in [0, 1].
+        assert 0.0 <= prior.mean <= 1.0
+        assert min(estimate, 0.5) - 1e-12 <= prior.mean <= max(estimate, 0.5) + 1e-12
+
+    @given(
+        probs,
+        st.floats(min_value=0.5, max_value=50.0),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=40),
+    )
+    def test_estimate_stays_in_unit_interval(self, estimate, strength, s, f):
+        posterior = BetaPosterior.from_estimate(estimate, strength).update(s, f)
+        lower, upper = posterior.interval(0.9)
+        assert 0.0 <= lower <= posterior.mean <= upper <= 1.0
+
+    @given(shapes, shapes)
+    def test_expected_posterior_variance_shrinks_with_each_label(self, a, b):
+        # The honest law-of-total-variance property: a *single* surprising
+        # label can raise the variance, but averaged over the prior
+        # predictive the posterior variance strictly shrinks.
+        prior = BetaPosterior(a, b)
+        p = prior.mean
+        expected = (
+            p * prior.update(1, 0).variance + (1.0 - p) * prior.update(0, 1).variance
+        )
+        assert expected < prior.variance
+
+    @given(shapes, shapes, st.integers(min_value=1, max_value=200))
+    def test_variance_bound_shrinks_with_labels(self, a, b, n):
+        # Whatever the outcomes, Var(Beta) <= 1 / (4 (a+b+1)): the bound
+        # after n more labels is strictly below the bound before them.
+        before = 1.0 / (4.0 * (a + b + 1.0))
+        after = 1.0 / (4.0 * (a + b + n + 1.0))
+        assert after < before
+        posterior = BetaPosterior(a, b).update(n // 2, n - n // 2)
+        assert posterior.variance <= after + 1e-12
+
+    def test_a_surprising_label_can_raise_pointwise_variance(self):
+        # Documents why the property above is about *expected* variance.
+        prior = BetaPosterior(1.0, 9.0)
+        assert prior.update(1, 0).variance > prior.variance
+
+    @given(shapes, shapes, st.integers(min_value=0, max_value=30))
+    def test_interval_widens_with_coverage(self, a, b, n):
+        posterior = BetaPosterior(a, b).update(n, n)
+        narrow = posterior.interval(0.5)
+        wide = posterior.interval(0.99)
+        assert wide[0] <= narrow[0] and narrow[1] <= wide[1]
+
+    def test_update_rejects_negative_counts(self):
+        with pytest.raises(DataValidationError):
+            BetaPosterior(1.0, 1.0).update(-1, 0)
+
+
+@pytest.fixture
+def binary_proba():
+    rng = np.random.default_rng(0)
+    confident = rng.uniform(0.9, 1.0, size=30)
+    uncertain = rng.uniform(0.5, 0.6, size=10)
+    p1 = np.concatenate([confident, uncertain])
+    return np.column_stack([p1, 1.0 - p1])
+
+
+class TestActiveAssessor:
+    def test_margin_selection_prefers_uncertain_rows(self, binary_proba):
+        assessor = ActiveAssessor(label_budget=10, selection="margin")
+        selected = assessor.select(binary_proba)
+        # The 10 uncertain rows live at indices 30..39.
+        assert sorted(selected) == list(range(30, 40))
+
+    def test_budget_caps_at_batch_size(self, binary_proba):
+        assessor = ActiveAssessor(label_budget=100)
+        assert assessor.select(binary_proba).size == len(binary_proba)
+
+    def test_thompson_is_deterministic_per_seed(self, binary_proba):
+        assessor = ActiveAssessor(label_budget=5, selection="thompson")
+        first = assessor.select(binary_proba, seed=7)
+        again = assessor.select(binary_proba, seed=7)
+        other = assessor.select(binary_proba, seed=8)
+        assert np.array_equal(first, again)
+        assert not np.array_equal(first, other)
+
+    def test_thompson_still_favors_uncertain_rows(self, binary_proba):
+        assessor = ActiveAssessor(label_budget=10, selection="thompson")
+        hits = 0
+        for seed in range(20):
+            selected = assessor.select(binary_proba, seed=seed)
+            hits += sum(1 for i in selected if i >= 30)
+        # Uncertain rows are 25% of the batch but should win well over
+        # half the Thompson budget across seeds.
+        assert hits / (20 * 10) > 0.5
+
+    def test_assess_spends_budget_and_updates(self, binary_proba):
+        assessor = ActiveAssessor(label_budget=8, prior_strength=10.0)
+        correct = np.ones(len(binary_proba), dtype=bool)
+        correct[30:] = False  # the uncertain rows are wrong
+        result = assessor.assess(
+            binary_proba, lambda idx: correct[idx], prior_estimate=0.9, seed=0
+        )
+        assert result.labels_spent == 8
+        assert result.successes == 0
+        assert result.estimate < 0.9  # labels contradicted the estimate
+        assert result.lower <= result.estimate <= result.upper
+        assert result.interval == (result.lower, result.estimate, result.upper)
+        assert all(i >= 30 for i in result.selected)
+
+    def test_confirming_labels_tighten_the_interval(self, binary_proba):
+        assessor = ActiveAssessor(label_budget=10, prior_strength=10.0, coverage=0.9)
+        correct = np.ones(len(binary_proba), dtype=bool)
+        prior = BetaPosterior.from_estimate(0.9, 10.0)
+        prior_width = np.subtract(*reversed(prior.interval(0.9)))
+        result = assessor.assess(
+            binary_proba, lambda idx: correct[idx], prior_estimate=0.9, seed=0
+        )
+        assert result.upper - result.lower < prior_width
+
+    def test_oracle_must_answer_every_selected_row(self, binary_proba):
+        assessor = ActiveAssessor(label_budget=5)
+        with pytest.raises(DataValidationError):
+            assessor.assess(
+                binary_proba, lambda idx: [True], prior_estimate=0.9, seed=0
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(label_budget=0),
+            dict(selection="random"),
+            dict(prior_strength=0.0),
+            dict(coverage=1.0),
+        ],
+    )
+    def test_constructor_validation(self, kwargs):
+        with pytest.raises(DataValidationError):
+            ActiveAssessor(**kwargs)

@@ -1,0 +1,94 @@
+"""Tests for the conformalized quantile regression interval model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError, NotFittedError
+from repro.uncertainty import MIN_CALIBRATION_SAMPLES, CQRIntervalModel
+
+
+def _heteroscedastic_meta(n=400, seed=0):
+    """Synthetic meta-dataset: score noise scales with the first feature."""
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(0.0, 1.0, size=(n, 3))
+    noise = rng.normal(scale=0.02 + 0.15 * features[:, 0])
+    scores = np.clip(0.85 - 0.3 * features[:, 0] + noise, 0.0, 1.0)
+    return features, scores
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    features, scores = _heteroscedastic_meta()
+    model = CQRIntervalModel(coverage=0.9, n_stages=40, random_state=0)
+    return model.fit(features, scores), features, scores
+
+
+class TestFit:
+    def test_requires_aligned_2d_features(self):
+        with pytest.raises(DataValidationError):
+            CQRIntervalModel().fit(np.zeros(20), np.zeros(20))
+        with pytest.raises(DataValidationError):
+            CQRIntervalModel().fit(np.zeros((20, 2)), np.zeros(19))
+
+    def test_requires_minimum_calibration_samples(self):
+        n = MIN_CALIBRATION_SAMPLES - 1
+        with pytest.raises(DataValidationError):
+            CQRIntervalModel().fit(np.zeros((n, 2)), np.zeros(n))
+
+    def test_rejects_degenerate_coverage(self):
+        with pytest.raises(DataValidationError):
+            CQRIntervalModel(coverage=1.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            CQRIntervalModel().predict_interval(np.zeros((1, 2)))
+
+    def test_fit_is_deterministic_for_a_seed(self):
+        features, scores = _heteroscedastic_meta(n=80)
+        first = CQRIntervalModel(n_stages=20, random_state=3).fit(features, scores)
+        again = CQRIntervalModel(n_stages=20, random_state=3).fit(features, scores)
+        assert first.correction_ == again.correction_
+        lo1, hi1 = first.predict_interval(features)
+        lo2, hi2 = again.predict_interval(features)
+        np.testing.assert_array_equal(lo1, lo2)
+        np.testing.assert_array_equal(hi1, hi2)
+
+    def test_baseline_halfwidth_is_a_clean_traffic_width(self, fitted):
+        model, features, _ = fitted
+        assert model.baseline_halfwidth_ >= 0.0
+        lower, upper = model.predict_interval(features)
+        mean_halfwidth = float(np.mean((upper - lower) / 2.0))
+        # Same quantity up to the [0, 1] clipping in predict_interval.
+        assert model.baseline_halfwidth_ == pytest.approx(mean_halfwidth, abs=0.05)
+
+
+class TestPredictInterval:
+    def test_bounds_are_ordered_and_clipped(self, fitted):
+        model, features, _ = fitted
+        lower, upper = model.predict_interval(features)
+        assert np.all(lower <= upper)
+        assert np.all(lower >= 0.0) and np.all(upper <= 1.0)
+
+    def test_single_row_features_are_accepted(self, fitted):
+        model, features, _ = fitted
+        lower, upper = model.predict_interval(features[0])
+        assert lower.shape == upper.shape == (1,)
+
+    def test_intervals_adapt_to_the_noise_regime(self, fitted):
+        # The heads should learn that score noise grows with feature 0:
+        # the noisy regime's intervals must be wider on average.
+        model, features, _ = fitted
+        lower, upper = model.predict_interval(features)
+        width = upper - lower
+        quiet = width[features[:, 0] < 0.3].mean()
+        noisy = width[features[:, 0] > 0.7].mean()
+        assert noisy > quiet
+
+    def test_empirical_coverage_on_held_out_draws(self):
+        train_x, train_y = _heteroscedastic_meta(n=400, seed=0)
+        test_x, test_y = _heteroscedastic_meta(n=400, seed=1)
+        model = CQRIntervalModel(coverage=0.9, n_stages=40, random_state=0)
+        model.fit(train_x, train_y)
+        lower, upper = model.predict_interval(test_x)
+        covered = np.mean((lower <= test_y) & (test_y <= upper))
+        assert covered >= 0.85  # nominal − 5pp, the repo-wide floor
